@@ -1,0 +1,269 @@
+(* dvmctl: command-line front end to the DVM.
+
+     dvmctl gen <app> <dir>       generate a Figure-5 workload app into a
+                                  directory of .class files
+     dvmctl disasm <file>         disassemble a class file
+     dvmctl verify <file>...      statically verify class files (the first
+                                  files serve as the oracle environment)
+     dvmctl rewrite [opts] <file> run a class through the service pipeline
+     dvmctl run <entry> <file>... execute an application on a DVM client
+     dvmctl bench <target>        shortcut for bench/main.exe targets
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path data =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc data)
+
+let load_class path =
+  match Bytecode.Decode.class_of_bytes (read_file path) with
+  | cf -> cf
+  | exception Bytecode.Decode.Format_error msg ->
+    Printf.eprintf "%s: malformed class file: %s\n" path msg;
+    exit 2
+
+(* --- gen --- *)
+
+let gen app_name dir =
+  match
+    List.find_opt
+      (fun s -> String.equal s.Workloads.Appgen.name app_name)
+      Workloads.Apps.all_specs
+  with
+  | None ->
+    Printf.eprintf "unknown app %S (expected: %s)\n" app_name
+      (String.concat ", "
+         (List.map (fun s -> s.Workloads.Appgen.name) Workloads.Apps.all_specs));
+    exit 2
+  | Some spec ->
+    let app = Workloads.Apps.build spec in
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    List.iter
+      (fun cf ->
+        let fname =
+          String.map
+            (fun c -> if c = '/' then '.' else c)
+            cf.Bytecode.Classfile.name
+          ^ ".class"
+        in
+        write_file (Filename.concat dir fname)
+          (Bytecode.Encode.class_to_bytes cf))
+      app.Workloads.Appgen.classes;
+    Printf.printf "wrote %d classes (%d bytes), entry point %s\n"
+      (List.length app.Workloads.Appgen.classes)
+      app.Workloads.Appgen.total_bytes app.Workloads.Appgen.entry;
+    0
+
+(* --- disasm --- *)
+
+let disasm path =
+  print_string (Bytecode.Disasm.class_to_string (load_class path));
+  0
+
+(* --- verify --- *)
+
+let verify paths =
+  let classes = List.map load_class paths in
+  let oracle =
+    Verifier.Oracle.of_classes (Jvm.Bootlib.boot_classes () @ classes)
+  in
+  let failed = ref 0 in
+  List.iter
+    (fun cf ->
+      match Verifier.Static_verifier.verify ~oracle cf with
+      | Verifier.Static_verifier.Verified (_, stats) ->
+        Printf.printf "%-40s OK (%d static checks, %d deferred)\n"
+          cf.Bytecode.Classfile.name
+          stats.Verifier.Static_verifier.sv_static_checks
+          stats.Verifier.Static_verifier.sv_deferred
+      | Verifier.Static_verifier.Rejected (errors, _) ->
+        incr failed;
+        Printf.printf "%-40s REJECTED\n" cf.Bytecode.Classfile.name;
+        List.iter
+          (fun e -> Printf.printf "    %s\n" (Verifier.Verror.to_string e))
+          errors)
+    classes;
+  if !failed > 0 then 1 else 0
+
+(* --- rewrite --- *)
+
+let rewrite with_security with_audit policy_path sign_key path out_path =
+  let policy =
+    match policy_path with
+    | Some p -> Security.Policy_xml.parse (read_file p)
+    | None -> Dvm.Experiment.standard_policy
+  in
+  let oracle = Verifier.Oracle.of_classes (Jvm.Bootlib.boot_classes ()) in
+  let filters =
+    [ Verifier.Static_verifier.filter ~oracle () ]
+    @ (if with_security then [ Security.Rewriter.filter policy ] else [])
+    @ if with_audit then [ Monitor.Instrument.audit_filter () ] else []
+  in
+  let signer =
+    Option.map (fun secret -> Dsig.Sign.make_key ~key_id:"org" ~secret) sign_key
+  in
+  let outcome = Proxy.Pipeline.run ?signer filters (read_file path) in
+  (match outcome.Proxy.Pipeline.rejected with
+  | Some (filter, reason) ->
+    Printf.eprintf "rejected by %s: %s\n(an error-propagation class was emitted)\n"
+      filter reason
+  | None -> ());
+  let out = Option.value ~default:(path ^ ".dvm") out_path in
+  write_file out outcome.Proxy.Pipeline.out_bytes;
+  Printf.printf "%s -> %s (%d -> %d bytes, proxy cost %.1f ms)\n" path out
+    (String.length (read_file path))
+    (String.length outcome.Proxy.Pipeline.out_bytes)
+    (Int64.to_float (Proxy.Pipeline.total_cost outcome) /. 1000.0);
+  0
+
+(* --- run --- *)
+
+let run entry paths =
+  let classes = List.map load_class paths in
+  let vm = Jvm.Bootlib.fresh_vm () in
+  ignore (Verifier.Rt_verifier.install vm);
+  ignore (Monitor.Profiler.install vm ());
+  let server = Security.Server.create Dvm.Experiment.standard_policy in
+  ignore (Security.Enforcement.install vm ~server ~sid:"apps");
+  List.iter (Jvm.Classreg.register vm.Jvm.Vmstate.reg) classes;
+  match Jvm.Interp.run_main vm entry with
+  | Ok () ->
+    print_string (Jvm.Vmstate.output vm);
+    Printf.eprintf "(%Ld bytecodes executed)\n" vm.Jvm.Vmstate.instr_count;
+    0
+  | Error e ->
+    print_string (Jvm.Vmstate.output vm);
+    Printf.eprintf "uncaught exception: %s\n" (Jvm.Interp.describe_throwable e);
+    1
+
+(* --- split: profile an app and repartition it (section 5). --- *)
+
+let split entry paths out_dir =
+  let classes = List.map load_class paths in
+  (* profile a first execution *)
+  let instrumented =
+    List.map
+      (Monitor.Instrument.instrument_class
+         ~runtime_class:Monitor.Profiler.profiler_class)
+      classes
+  in
+  let vm = Jvm.Bootlib.fresh_vm () in
+  let prof = Monitor.Profiler.install vm () in
+  List.iter (Jvm.Classreg.register vm.Jvm.Vmstate.reg) instrumented;
+  (match Jvm.Interp.run_main vm entry with
+  | Ok () -> ()
+  | Error e ->
+    Printf.eprintf "profile run failed: %s
+" (Jvm.Interp.describe_throwable e);
+    exit 1);
+  let profile = Opt.First_use.of_profiler prof in
+  let split_classes, results = Opt.Repartition.split_app profile classes in
+  if not (Sys.file_exists out_dir) then Sys.mkdir out_dir 0o755;
+  List.iter
+    (fun cf ->
+      let fname =
+        String.map (fun c -> if c = '/' then '.' else c) cf.Bytecode.Classfile.name
+        ^ ".class"
+      in
+      write_file (Filename.concat out_dir fname)
+        (Bytecode.Encode.class_to_bytes cf))
+    split_classes;
+  let orig = List.fold_left (fun a c -> a + Bytecode.Encode.class_size c) 0 classes in
+  let hot = List.fold_left (fun a r -> a + r.Opt.Repartition.hot_bytes) 0 results in
+  let moved = List.fold_left (fun a r -> a + r.Opt.Repartition.moved) 0 results in
+  Printf.printf
+    "profiled %d methods; moved %d cold methods into satellites;
+     startup transfer %d -> %d bytes (%.1f%% saved); wrote %d classes to %s
+"
+    (List.length (Monitor.Profiler.first_use_order prof))
+    moved orig hot
+    (100.0 *. Float.of_int (orig - hot) /. Float.of_int orig)
+    (List.length split_classes) out_dir;
+  0
+
+(* --- Cmdliner plumbing. --- *)
+
+let gen_cmd =
+  let app_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"APP")
+  in
+  let dir_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR")
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a Figure-5 workload application")
+    Term.(const gen $ app_arg $ dir_arg)
+
+let disasm_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a class file")
+    Term.(const disasm $ path)
+
+let verify_cmd =
+  let paths = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Statically verify class files; all given files form the oracle \
+          environment")
+    Term.(const verify $ paths)
+
+let rewrite_cmd =
+  let security =
+    Arg.(value & flag & info [ "security" ] ~doc:"insert security checks")
+  in
+  let audit =
+    Arg.(value & flag & info [ "audit" ] ~doc:"insert audit instrumentation")
+  in
+  let policy =
+    Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"XML"
+           ~doc:"XML policy file for the security service")
+  in
+  let key =
+    Arg.(value & opt (some string) None & info [ "sign" ] ~docv:"SECRET"
+           ~doc:"sign the output with this organization secret")
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT"
+           ~doc:"output path (default FILE.dvm)")
+  in
+  Cmd.v
+    (Cmd.info "rewrite" ~doc:"Run a class through the static service pipeline")
+    Term.(const rewrite $ security $ audit $ policy $ key $ path $ out)
+
+let run_cmd =
+  let entry = Arg.(required & pos 0 (some string) None & info [] ~docv:"ENTRY") in
+  let paths = Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"FILE") in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute an application's main() on a DVM client")
+    Term.(const run $ entry $ paths)
+
+let split_cmd =
+  let entry = Arg.(required & pos 0 (some string) None & info [] ~docv:"ENTRY") in
+  let paths = Arg.(non_empty & pos_right 0 file [] & info [] ~docv:"FILE") in
+  let out =
+    Arg.(value & opt string "split-out" & info [ "o" ] ~docv:"DIR"
+           ~doc:"output directory (default split-out)")
+  in
+  Cmd.v
+    (Cmd.info "split"
+       ~doc:
+         "Profile a first execution and repartition the application at           method granularity (section 5)")
+    Term.(const split $ entry $ paths $ out)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "dvmctl" ~version:"1.0"
+       ~doc:"Distributed virtual machine control tool")
+    [ gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/fleet_admin.ml: Bytecode Dvm Format Jit Jvm List Monitor Printf Proxy Simnet String Verifier

@@ -1,0 +1,1 @@
+examples/mobile_code.ml: Float Jvm List Monitor Opt Printf String Workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bytecode Dvm Jvm List Printf Proxy Simnet String Verifier

@@ -1,0 +1,1 @@
+examples/secure_intranet.ml: Bytecode Format Hashtbl Jvm Option Printf Security String

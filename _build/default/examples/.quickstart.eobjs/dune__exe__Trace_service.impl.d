@@ -1,0 +1,1 @@
+examples/trace_service.ml: Bytecode Jvm List Monitor Printf String

@@ -1,0 +1,129 @@
+(* Fleet administration (§3.3): a heterogeneous fleet of clients
+   handshakes with the remote administration console; the tamper-
+   evident audit trail records network-wide activity; the network
+   compiler pre-translates for every ISA in the fleet; and a rogue
+   application is pruned from the whole network with one administrative
+   action. Run with:
+
+     dune exec examples/fleet_admin.exe
+*)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+
+let app_ok =
+  B.class_ "corp/Payroll"
+    [
+      B.meth
+        ~flags:[ CF.Public; CF.Static ]
+        "main" "()V"
+        [
+          B.Getstatic ("java/lang/System", "out", "Ljava/io/OutputStream;");
+          B.Push_str "payroll done";
+          B.Invokevirtual
+            ("java/io/OutputStream", "println", "(Ljava/lang/String;)V");
+          B.Return;
+        ];
+    ]
+
+let app_rogue =
+  B.class_ "fun/Miner"
+    [
+      B.meth
+        ~flags:[ CF.Public; CF.Static ]
+        "main" "()V"
+        [
+          B.Getstatic ("java/lang/System", "out", "Ljava/io/OutputStream;");
+          B.Push_str "mining...";
+          B.Invokevirtual
+            ("java/io/OutputStream", "println", "(Ljava/lang/String;)V");
+          B.Return;
+        ];
+    ]
+
+let origin name =
+  if String.equal name "corp/Payroll" then
+    Some (Bytecode.Encode.class_to_bytes app_ok)
+  else if String.equal name "fun/Miner" then
+    Some (Bytecode.Encode.class_to_bytes app_rogue)
+  else None
+
+let () =
+  let console = Monitor.Console.create () in
+  (* 1. A heterogeneous fleet checks in. *)
+  let fleet =
+    List.map
+      (fun (user, hw, isa) ->
+        Monitor.Console.handshake console ~user ~hardware:hw ~native_format:isa
+          ~vm_version:"dvm-1.0" ~time:0L)
+      [
+        ("alice", "x86-200MHz-64MB", "x86");
+        ("bob", "alpha-500MHz-128MB", "alpha");
+        ("carol", "x86-166MHz-32MB", "x86");
+      ]
+  in
+  Printf.printf "fleet: %d clients, ISAs present: %s\n" (List.length fleet)
+    (String.concat ", " (Monitor.Console.native_formats console));
+
+  (* 2. The network compiler pre-translates for every ISA present —
+     resource investments in the compiler benefit the whole fleet. *)
+  let svc = Jit.Service.create () in
+  let compiled = Jit.Service.compile_for_fleet svc console app_ok in
+  Printf.printf "network compiler: %d (method, ISA) units ready ahead of time\n"
+    (List.length compiled);
+
+  (* 3. Clients run apps through the instrumented pipeline; every
+     method entry/exit lands in the console's audit trail. *)
+  let oracle = Verifier.Oracle.of_classes (Jvm.Bootlib.boot_classes ()) in
+  let run_client client app_name =
+    let engine = Simnet.Engine.create () in
+    let proxy =
+      Proxy.create engine ~origin
+        ~origin_latency:(fun _ -> 0L)
+        ~filters:
+          [
+            Verifier.Static_verifier.filter ~oracle ();
+            Monitor.Instrument.audit_filter ();
+          ]
+        ()
+    in
+    (* the loader refuses banned applications *)
+    let provider name =
+      match Monitor.Console.is_banned console name with
+      | Some _ -> None
+      | None -> Proxy.provider proxy name
+    in
+    let c =
+      Dvm.Client.create_dvm ~console ~session:client.Monitor.Console.session
+        ~provider ()
+    in
+    Monitor.Console.record_app_start console client ~app:app_name ~time:0L;
+    match Dvm.Client.run_main c app_name with
+    | Ok () -> Printf.printf "  [%s] %s -> %s" client.Monitor.Console.user
+                 app_name (Jvm.Vmstate.output c.Dvm.Client.vm)
+    | Error e ->
+      Printf.printf "  [%s] %s -> REFUSED (%s)\n" client.Monitor.Console.user
+        app_name (Jvm.Interp.describe_throwable e)
+  in
+  print_endline "\nbusiness as usual:";
+  List.iter (fun c -> run_client c "corp/Payroll") fleet;
+  run_client (List.hd fleet) "fun/Miner";
+
+  (* 4. The administrator prunes the rogue app network-wide. *)
+  print_endline "\n>>> console bans fun/Miner across the network <<<";
+  Monitor.Console.ban_app console ~app:"fun/Miner" ~reason:"unauthorized"
+    ~time:1L;
+  List.iter (fun c -> run_client c "fun/Miner") fleet;
+
+  (* 5. The audit trail saw everything and is tamper-evident. *)
+  let audit = Monitor.Console.audit console in
+  Printf.printf "\naudit trail: %d events, hash chain verifies: %b\n"
+    (Monitor.Audit.count audit)
+    (Monitor.Audit.verify_chain audit);
+  print_endline "last five events:";
+  let events = Monitor.Audit.events audit in
+  let tail = List.filteri (fun i _ -> i >= List.length events - 5) events in
+  List.iter
+    (fun ev -> Format.printf "  %a@." Monitor.Audit.pp_event ev)
+    tail;
+  Format.printf "@.%a" Monitor.Console.pp_report console

@@ -1,0 +1,1 @@
+lib/bytecode/builder.ml: Array Classfile Cp Descriptor Hashtbl Instr Int32 List String

@@ -1,0 +1,1 @@
+lib/bytecode/builder.mli: Classfile Cp Instr

@@ -1,0 +1,1 @@
+lib/bytecode/classfile.ml: Array Cp Format Instr List String

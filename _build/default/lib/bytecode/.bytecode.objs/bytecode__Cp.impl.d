@@ -1,0 +1,1 @@
+lib/bytecode/cp.ml: Array Format Hashtbl

@@ -1,0 +1,1 @@
+lib/bytecode/cp.mli: Format

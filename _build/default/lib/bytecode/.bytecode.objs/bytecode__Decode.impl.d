@@ -1,0 +1,1 @@
+lib/bytecode/decode.ml: Array Classfile Cp Encode Format Hashtbl Instr Io List

@@ -1,0 +1,1 @@
+lib/bytecode/decode.mli: Classfile

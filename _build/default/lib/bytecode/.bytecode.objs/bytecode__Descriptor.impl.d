@@ -1,0 +1,1 @@
+lib/bytecode/descriptor.ml: Buffer Format List String

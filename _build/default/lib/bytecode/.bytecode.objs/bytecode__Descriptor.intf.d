@@ -1,0 +1,1 @@
+lib/bytecode/descriptor.mli: Format

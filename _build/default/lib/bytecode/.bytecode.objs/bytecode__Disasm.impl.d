@@ -1,0 +1,1 @@
+lib/bytecode/disasm.ml: Array Classfile Cp Format Instr List String

@@ -1,0 +1,1 @@
+lib/bytecode/disasm.mli: Classfile Cp Format Instr

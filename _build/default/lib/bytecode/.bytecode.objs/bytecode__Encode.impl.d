@@ -1,0 +1,1 @@
+lib/bytecode/encode.ml: Array Classfile Cp Instr Io List String

@@ -1,0 +1,1 @@
+lib/bytecode/encode.mli: Classfile

@@ -1,0 +1,1 @@
+lib/bytecode/io.ml: Buffer Char Int32 Printf String

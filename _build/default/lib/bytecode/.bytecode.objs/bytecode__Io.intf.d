@@ -1,0 +1,1 @@
+lib/bytecode/io.mli:

@@ -1,0 +1,17 @@
+(** Binary class-file decoder.
+
+    Decoding performs the {e syntactic} part of class-file checking:
+    magic and version, pool-entry tags, truncation, and — because
+    branch targets are converted from byte offsets back to instruction
+    indices — the "branches land on instruction boundaries" part of the
+    paper's phase-2 instruction-integrity verification. Everything else
+    (pool-index kinds, bounds, type safety) belongs to the verifier. *)
+
+exception Format_error of string
+
+val class_of_bytes : string -> Classfile.t
+(** @raise Format_error on any malformed input. *)
+
+val class_attributes_of_bytes : string -> (string * string) list
+(** Fast path: extract only the class attributes, skipping code bodies
+    via their length prefixes. @raise Format_error on malformed input. *)

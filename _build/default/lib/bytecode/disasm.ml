@@ -1,0 +1,80 @@
+(* Human-readable class dumps, with constant-pool references resolved
+   inline where possible. *)
+
+let pp_resolved pool ppf (i : Instr.t) =
+  let member get idx mnemonic =
+    match get pool idx with
+    | { Cp.ref_class; ref_name; ref_desc } ->
+      Format.fprintf ppf "%s %s.%s:%s" mnemonic ref_class ref_name ref_desc
+    | exception (Cp.Invalid_index _ | Cp.Wrong_kind _) ->
+      Format.fprintf ppf "%s #%d (unresolvable)" mnemonic idx
+  in
+  let cls idx mnemonic =
+    match Cp.get_class_name pool idx with
+    | name -> Format.fprintf ppf "%s %s" mnemonic name
+    | exception (Cp.Invalid_index _ | Cp.Wrong_kind _) ->
+      Format.fprintf ppf "%s #%d (unresolvable)" mnemonic idx
+  in
+  match i with
+  | Instr.Ldc_str idx -> (
+    match Cp.get_string pool idx with
+    | s -> Format.fprintf ppf "ldc %S" s
+    | exception (Cp.Invalid_index _ | Cp.Wrong_kind _) ->
+      Format.fprintf ppf "ldc #%d (unresolvable)" idx)
+  | Instr.Getstatic idx -> member Cp.get_fieldref idx "getstatic"
+  | Instr.Putstatic idx -> member Cp.get_fieldref idx "putstatic"
+  | Instr.Getfield idx -> member Cp.get_fieldref idx "getfield"
+  | Instr.Putfield idx -> member Cp.get_fieldref idx "putfield"
+  | Instr.Invokevirtual idx -> member Cp.get_methodref idx "invokevirtual"
+  | Instr.Invokestatic idx -> member Cp.get_methodref idx "invokestatic"
+  | Instr.Invokespecial idx -> member Cp.get_methodref idx "invokespecial"
+  | Instr.Invokeinterface idx -> member Cp.get_methodref idx "invokeinterface"
+  | Instr.New idx -> cls idx "new"
+  | Instr.Anewarray idx -> cls idx "anewarray"
+  | Instr.Checkcast idx -> cls idx "checkcast"
+  | Instr.Instanceof idx -> cls idx "instanceof"
+  | other -> Instr.pp ppf other
+
+let pp_code pool ppf (code : Classfile.code) =
+  Format.fprintf ppf "    stack=%d locals=%d@\n" code.max_stack
+    code.max_locals;
+  Array.iteri
+    (fun idx i ->
+      Format.fprintf ppf "    %4d: %a@\n" idx (pp_resolved pool) i)
+    code.instrs;
+  List.iter
+    (fun h ->
+      Format.fprintf ppf "    handler [%d, %d) -> %d catch %s@\n"
+        h.Classfile.h_start h.Classfile.h_end h.Classfile.h_target
+        (match h.Classfile.h_catch with None -> "<any>" | Some c -> c))
+    code.handlers
+
+let pp_method pool ppf (m : Classfile.meth) =
+  Format.fprintf ppf "  %a %s %s@\n"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Classfile.pp_access)
+    m.m_flags m.m_name m.m_desc;
+  match m.m_code with
+  | None -> Format.fprintf ppf "    <no code>@\n"
+  | Some code -> pp_code pool ppf code
+
+let pp_class ppf (cls : Classfile.t) =
+  Format.fprintf ppf "class %s" cls.name;
+  (match cls.super with
+  | None -> ()
+  | Some s -> Format.fprintf ppf " extends %s" s);
+  if cls.interfaces <> [] then
+    Format.fprintf ppf " implements %s" (String.concat ", " cls.interfaces);
+  Format.fprintf ppf "@\n";
+  List.iter
+    (fun f ->
+      Format.fprintf ppf "  field %s : %s@\n" f.Classfile.f_name
+        f.Classfile.f_desc)
+    cls.fields;
+  List.iter (pp_method cls.pool ppf) cls.methods;
+  List.iter
+    (fun (name, value) ->
+      Format.fprintf ppf "  attribute %s (%d bytes)@\n" name
+        (String.length value))
+    cls.attributes
+
+let class_to_string cls = Format.asprintf "%a" pp_class cls

@@ -1,0 +1,17 @@
+(** Binary class-file encoder.
+
+    The layout mirrors the real class-file format (magic, versioned
+    header, constant pool, members, attributes). Two simplifications
+    are documented in DESIGN.md: header class names are direct strings
+    rather than pool indices, and branch operands are absolute byte
+    offsets rather than relative ones. *)
+
+val magic : int
+val version_major : int
+val version_minor : int
+
+val class_to_bytes : Classfile.t -> string
+
+val class_size : Classfile.t -> int
+(** Encoded size in bytes; this is the "size on the wire" used by the
+    network experiments. *)

@@ -1,0 +1,83 @@
+(* Big-endian byte-level readers and writers used by the class-file
+   encoder/decoder and by services that attach binary attributes. *)
+
+exception Truncated of string
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let u1 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u2 b v =
+    u1 b ((v lsr 8) land 0xff);
+    u1 b (v land 0xff)
+
+  let u4 b v =
+    u1 b ((v lsr 24) land 0xff);
+    u1 b ((v lsr 16) land 0xff);
+    u1 b ((v lsr 8) land 0xff);
+    u1 b (v land 0xff)
+
+  let i4 b (v : int32) = u4 b (Int32.to_int v land 0xffffffff)
+
+  let i2 b v =
+    (* two's-complement 16-bit *)
+    u2 b (v land 0xffff)
+
+  let str b s =
+    u2 b (String.length s);
+    Buffer.add_string b s
+
+  let raw b s = Buffer.add_string b s
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = { data : string; mutable pos : int }
+
+  let of_string data = { data; pos = 0 }
+  let pos r = r.pos
+  let remaining r = String.length r.data - r.pos
+  let at_end r = remaining r = 0
+
+  let need r n what =
+    if remaining r < n then
+      raise (Truncated (Printf.sprintf "%s: need %d bytes at %d" what n r.pos))
+
+  let u1 r =
+    need r 1 "u1";
+    let v = Char.code r.data.[r.pos] in
+    r.pos <- r.pos + 1;
+    v
+
+  let u2 r =
+    need r 2 "u2";
+    let v = u1 r in
+    (v lsl 8) lor u1 r
+
+  let u4 r =
+    need r 4 "u4";
+    let a = u2 r in
+    let b = u2 r in
+    (a lsl 16) lor b
+
+  let i4 r = Int32.of_int (u4 r)
+
+  let i2 r =
+    let v = u2 r in
+    if v land 0x8000 <> 0 then v - 0x10000 else v
+
+  let str r =
+    let n = u2 r in
+    need r n "str";
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+
+  let raw r n =
+    need r n "raw";
+    let s = String.sub r.data r.pos n in
+    r.pos <- r.pos + n;
+    s
+end

@@ -1,0 +1,37 @@
+(** Big-endian byte-level readers and writers for the class-file wire
+    format and binary attributes. *)
+
+exception Truncated of string
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val u1 : t -> int -> unit
+  val u2 : t -> int -> unit
+  val u4 : t -> int -> unit
+  val i4 : t -> int32 -> unit
+  val i2 : t -> int -> unit
+
+  val str : t -> string -> unit
+  (** Length-prefixed (u2) string. *)
+
+  val raw : t -> string -> unit
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val at_end : t -> bool
+  val u1 : t -> int
+  val u2 : t -> int
+  val u4 : t -> int
+  val i4 : t -> int32
+  val i2 : t -> int
+  val str : t -> string
+  val raw : t -> int -> string
+end

@@ -1,0 +1,1 @@
+lib/dsig/md5.ml: Array Buffer Char Float Int32 Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/dsig/md5.mli:

@@ -1,0 +1,1 @@
+lib/dsig/sign.ml: Bytecode Char List Md5 String

@@ -1,0 +1,1 @@
+lib/dsig/sign.mli: Bytecode

@@ -1,0 +1,7 @@
+(** MD5 (RFC 1321), implemented from the specification. *)
+
+val digest : string -> string
+(** 16-byte raw digest. *)
+
+val to_hex : string -> string
+val hex_digest : string -> string

@@ -1,0 +1,1 @@
+lib/dvm/applet_study.ml: Bytecode Costs Experiment Float Int64 Jvm List Monitor Proxy Security String Verifier Workloads

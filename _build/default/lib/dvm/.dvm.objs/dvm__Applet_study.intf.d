@@ -1,0 +1,1 @@
+lib/dvm/applet_study.mli:

@@ -1,0 +1,1 @@
+lib/dvm/client.ml: Bytecode Costs Float Hashtbl Int64 Jvm List Monitor Option Security Verifier

@@ -1,0 +1,1 @@
+lib/dvm/client.mli: Jvm Monitor Security Verifier

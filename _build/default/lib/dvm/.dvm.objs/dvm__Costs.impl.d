@@ -1,0 +1,1 @@
+lib/dvm/costs.ml: Float Int64 Jvm

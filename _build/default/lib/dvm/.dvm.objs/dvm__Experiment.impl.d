@@ -1,0 +1,1 @@
+lib/dvm/experiment.ml: Bytecode Client Costs Float Hashtbl Int64 Jvm List Monitor Proxy Rewrite Security Simnet String Verifier Workloads

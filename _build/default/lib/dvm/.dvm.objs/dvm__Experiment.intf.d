@@ -1,0 +1,1 @@
+lib/dvm/experiment.mli: Monitor Rewrite Security Verifier Workloads

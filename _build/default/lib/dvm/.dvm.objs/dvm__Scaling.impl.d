@@ -1,0 +1,1 @@
+lib/dvm/scaling.ml: Array Bytecode Experiment Float Int64 Jvm List Monitor Printf Proxy Security Simnet String Verifier Workloads

@@ -1,0 +1,136 @@
+(* Client assembly: builds a VM configured either as a *monolithic*
+   virtual machine (all services local: load-time verification,
+   stack-introspection security, client-side auditing) or as a *DVM
+   client* (thin runtime plus the dynamic service components:
+   RTVerifier link checks, the enforcement manager, the monitoring
+   natives). *)
+
+type architecture =
+  | Monolithic
+  | Dvm_client
+
+type t = {
+  vm : Jvm.Vmstate.t;
+  architecture : architecture;
+  (* DVM dynamic components (present on DVM clients). *)
+  rt_verifier : Verifier.Rt_verifier.stats option;
+  enforcement : Security.Enforcement.t option;
+  profiler : Monitor.Profiler.t option;
+  (* Monolithic local-service accounting. *)
+  mutable local_verify_checks : int;
+  mutable local_verify_errors : int;
+}
+
+(* The monolithic client verifies everything it loads, locally, at
+   load time: full static verification against an oracle that can see
+   whatever the provider can serve. The cost lands on the client. *)
+let monolithic_verify_hook client provider =
+  let decode_cache : (string, Bytecode.Classfile.t option) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let oracle_extra name =
+    match Hashtbl.find_opt decode_cache name with
+    | Some v -> v
+    | None ->
+      let v =
+        match provider name with
+        | None -> None
+        | Some bytes -> (
+          match Bytecode.Decode.class_of_bytes bytes with
+          | cf -> Some cf
+          | exception Bytecode.Decode.Format_error _ -> None)
+      in
+      Hashtbl.replace decode_cache name v;
+      v
+  in
+  let boot_oracle = Verifier.Oracle.of_classes (Jvm.Bootlib.boot_classes ()) in
+  let oracle name =
+    match boot_oracle name with
+    | Some i -> Some i
+    | None -> Option.map Verifier.Oracle.info_of_classfile (oracle_extra name)
+  in
+  fun (cf : Bytecode.Classfile.t) ->
+    match Verifier.Static_verifier.verify ~oracle cf with
+    | Verifier.Static_verifier.Verified (_, stats) ->
+      client.local_verify_checks <-
+        client.local_verify_checks + stats.Verifier.Static_verifier.sv_static_checks;
+      Jvm.Vmstate.add_cost client.vm
+        (Int64.of_float
+           (Costs.monolithic_verify_us_per_check
+           *. Float.of_int stats.Verifier.Static_verifier.sv_static_checks))
+    | Verifier.Static_verifier.Rejected (errors, stats) ->
+      client.local_verify_checks <-
+        client.local_verify_checks + stats.Verifier.Static_verifier.sv_static_checks;
+      client.local_verify_errors <-
+        client.local_verify_errors + List.length errors;
+      raise
+        (Jvm.Classreg.Load_rejected
+           {
+             cls = cf.Bytecode.Classfile.name;
+             reason =
+               (match errors with
+               | e :: _ -> Verifier.Verror.to_string e
+               | [] -> "verification failed");
+           })
+
+(* The monolithic JDK security manager: the stack-introspection check
+   at the operations the system designers anticipated, charged at
+   Figure 9's measured overheads. *)
+let jdk_security_hook vm (policy : Security.Policy.t) ~sid op =
+  let overhead =
+    match op with
+    | "property.get" | "property.set" -> Costs.jdk_overhead_get_property
+    | "file.open" -> Costs.jdk_overhead_open_file
+    | "thread.setPriority" -> Costs.jdk_overhead_set_priority
+    | _ -> Costs.jdk_overhead_get_property
+  in
+  Jvm.Vmstate.add_cost vm overhead;
+  if not (Security.Policy.decide policy ~sid ~permission:op) then
+    Jvm.Vmstate.throw vm ~cls:Jvm.Vmstate.c_security ~message:op
+
+let create_monolithic ?(policy = Security.Policy.empty)
+    ?(sid = "default") ?(verify = true) ?oracle_provider ~provider () =
+  let vm = Jvm.Bootlib.fresh_vm ~provider () in
+  let client =
+    {
+      vm;
+      architecture = Monolithic;
+      rt_verifier = None;
+      enforcement = None;
+      profiler = None;
+      local_verify_checks = 0;
+      local_verify_errors = 0;
+    }
+  in
+  (* The verifier's environment lookups resolve against the raw origin
+     (no transfer metering): resolution state is local to the client in
+     a monolithic VM. *)
+  let oracle_provider = Option.value ~default:provider oracle_provider in
+  if verify then
+    Jvm.Classreg.set_on_load vm.Jvm.Vmstate.reg
+      (monolithic_verify_hook client oracle_provider);
+  vm.Jvm.Vmstate.security_hook <- Some (jdk_security_hook vm policy ~sid);
+  client
+
+let create_dvm ?console ?(session = 0) ?security_server ?(sid = "default")
+    ~provider () =
+  let vm = Jvm.Bootlib.fresh_vm ~provider () in
+  let rt = Verifier.Rt_verifier.install vm in
+  let enforcement =
+    Option.map (fun server -> Security.Enforcement.install vm ~server ~sid)
+      security_server
+  in
+  let profiler = Monitor.Profiler.install vm ?console ~session () in
+  {
+    vm;
+    architecture = Dvm_client;
+    rt_verifier = Some rt;
+    enforcement;
+    profiler = Some profiler;
+    local_verify_checks = 0;
+    local_verify_errors = 0;
+  }
+
+let run_main client entry = Jvm.Interp.run_main client.vm entry
+
+let client_time_us client = Costs.client_us_of_vm client.vm

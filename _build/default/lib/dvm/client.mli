@@ -1,0 +1,48 @@
+(** Client assembly.
+
+    Builds a VM configured either as a {e monolithic} virtual machine
+    (all services local: load-time verification, stack-introspection
+    security, client-side auditing) or as a {e DVM client} (thin
+    runtime plus the dynamic service components: RTVerifier link
+    checks, the enforcement manager, the monitoring natives). *)
+
+type architecture = Monolithic | Dvm_client
+
+type t = {
+  vm : Jvm.Vmstate.t;
+  architecture : architecture;
+  rt_verifier : Verifier.Rt_verifier.stats option;
+  enforcement : Security.Enforcement.t option;
+  profiler : Monitor.Profiler.t option;
+  mutable local_verify_checks : int;
+  mutable local_verify_errors : int;
+}
+
+val jdk_security_hook :
+  Jvm.Vmstate.t -> Security.Policy.t -> sid:Security.Policy.sid -> string -> unit
+(** The monolithic JDK security manager: stack-introspection checks at
+    the anticipated operations, charged at Figure 9's overheads. *)
+
+val create_monolithic :
+  ?policy:Security.Policy.t ->
+  ?sid:Security.Policy.sid ->
+  ?verify:bool ->
+  ?oracle_provider:Jvm.Classreg.provider ->
+  provider:Jvm.Classreg.provider ->
+  unit ->
+  t
+(** [oracle_provider] serves the local verifier's environment lookups
+    (defaults to [provider]); pass the raw origin to keep transfer
+    metering honest. *)
+
+val create_dvm :
+  ?console:Monitor.Console.t ->
+  ?session:int ->
+  ?security_server:Security.Server.t ->
+  ?sid:Security.Policy.sid ->
+  provider:Jvm.Classreg.provider ->
+  unit ->
+  t
+
+val run_main : t -> string -> (unit, Jvm.Value.t) result
+val client_time_us : t -> int64

@@ -1,0 +1,44 @@
+(** The end-to-end experiment harness (§4.1, Figure 6).
+
+    Runs a benchmark application under a service architecture,
+    accounting every component of the wall time: client execution,
+    client-resident service work, proxy work, and network transfer.
+    Both architectures use identical clients and identical class bytes
+    at the origin; only the service architecture differs. *)
+
+type architecture = Monolithic | Dvm of { cached : bool }
+
+val architecture_name : architecture -> string
+
+type result = {
+  r_app : string;
+  r_arch : architecture;
+  r_wall_us : int64;
+  r_client_us : int64;  (** execution + client-resident service work *)
+  r_proxy_us : int64;
+  r_transfer_us : int64;
+  r_bytes_fetched : int;
+  r_static_checks : int;
+  r_dynamic_checks : int;
+  r_enforcement_checks : int;
+  r_audit_events : int;
+  r_output : string;
+}
+
+val wall : result -> int64
+
+val standard_policy : Security.Policy.t
+(** Per §4.1: a policy that forces the services to parse every class
+    and examine every instruction. *)
+
+type services = {
+  verifier_counters : Verifier.Static_verifier.counters;
+  security_counters : Security.Rewriter.counters;
+  audit_counters : Monitor.Instrument.counters;
+  filters : Rewrite.Filter.t list;
+}
+
+val standard_services :
+  ?policy:Security.Policy.t -> oracle:Verifier.Oracle.t -> unit -> services
+
+val run : ?policy:Security.Policy.t -> arch:architecture -> Workloads.Appgen.app -> result

@@ -1,0 +1,146 @@
+(* The scaling experiment of §4.2 (Figure 10): up to hundreds of
+   clients simultaneously fetch different applets from the Internet
+   through one proxy with caching disabled — the worst case for a DVM.
+
+   Resource model: the proxy serializes pipeline work on one reference
+   CPU and holds per-connected-client service state (connection
+   buffers, session and rewriting state) in its 64 MB of memory. While
+   client count stays under the memory budget, throughput grows
+   linearly — the static services never synchronize with clients or
+   share exclusive state. Past it, the host pages and all service work
+   slows down: the knee the paper reports at its 64 MB. *)
+
+type point = {
+  clients : int;
+  throughput_bytes_per_s : float;
+  mean_latency_us : float;
+  mean_latency_s_per_kb : float;
+  requests_completed : int;
+  proxy_utilization : float;
+}
+
+(* Per-connected-client proxy footprint: 256 KB of connection and
+   service state. 250 clients saturate the 64 MB proxy. *)
+let per_client_state_bytes = 256 * 1024
+
+(* Per-client think time between fetches: browsing users do not
+   request applets back to back. *)
+let think_time = Simnet.Engine.sec 9
+
+let run ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
+    ?(mem_capacity = 64 * 1024 * 1024) ?(proxies = 1)
+    ?(cache_capacity = 0) ~clients () : point =
+  let engine = Simnet.Engine.create () in
+  let pop = Workloads.Applets.population ~n:applet_count ~seed () in
+  let applets = Array.of_list pop in
+  (* Realize one served body per applet (real class bytes the pipeline
+     can decode, verify and rewrite). *)
+  let bodies =
+    Array.map
+      (fun ap -> Bytecode.Encode.class_to_bytes (Workloads.Applets.realize ap))
+      applets
+  in
+  let origin name =
+    (* name = "a<k>/<uniq>": serve body k *)
+    match String.index_opt name '/' with
+    | Some i ->
+      let k = int_of_string (String.sub name 1 (i - 1)) in
+      Some bodies.(k mod Array.length bodies)
+    | None -> None
+  in
+  let origin_latency name =
+    match String.index_opt name '/' with
+    | Some i ->
+      let k = int_of_string (String.sub name 1 (i - 1)) in
+      Int64.of_int applets.(k mod Array.length applets).Workloads.Applets.ap_wan_latency_us
+    | None -> Simnet.Engine.ms 2000
+  in
+  let oracle = Verifier.Oracle.of_classes (Jvm.Bootlib.boot_classes ()) in
+  let filters =
+    [
+      Verifier.Static_verifier.filter ~oracle ();
+      Security.Rewriter.filter Experiment.standard_policy;
+      Monitor.Instrument.audit_filter ();
+    ]
+  in
+  (* Replicated server implementations (§2): clients spread round-robin
+     over the proxy pool, each proxy holding its own share of
+     per-client state. *)
+  let pool =
+    Array.init proxies (fun _ ->
+        Proxy.create engine ~cache_capacity ~mem_capacity ~origin
+          ~origin_latency ~filters ())
+  in
+  Array.iteri
+    (fun i proxy ->
+      let share = (clients / proxies) + (if i < clients mod proxies then 1 else 0) in
+      Simnet.Host.allocate proxy.Proxy.host (share * per_client_state_bytes))
+    pool;
+  let lan = Simnet.Link.ethernet_10mb engine in
+  let horizon = Simnet.Engine.sec duration_s in
+  let completed = ref 0 in
+  let bytes_delivered = ref 0 in
+  let latency_sum = ref 0L in
+  let latency_weighted_kb = ref 0.0 in
+  let rec client_loop id iter =
+    (* With the cache disabled every request is unique (the paper's
+       worst case); with it enabled, clients share the popular applet
+       set and the cache can work. *)
+    let k = (id + (iter * 37)) mod applet_count in
+    let name =
+      if cache_capacity > 0 then Printf.sprintf "a%d/pop" k
+      else Printf.sprintf "a%d/c%d-i%d" k id iter
+    in
+    let started = Simnet.Engine.now engine in
+    let proxy = pool.(id mod proxies) in
+    Proxy.request proxy ~cls:name (fun reply ->
+        match reply with
+        | Proxy.Not_found -> ()
+        | Proxy.Bytes b ->
+          Simnet.Link.transfer lan ~bytes:(String.length b) (fun () ->
+              let now = Simnet.Engine.now engine in
+              if Int64.compare now horizon <= 0 then begin
+                incr completed;
+                bytes_delivered := !bytes_delivered + String.length b;
+                let lat = Int64.sub now started in
+                latency_sum := Int64.add !latency_sum lat;
+                latency_weighted_kb :=
+                  !latency_weighted_kb
+                  +. (Int64.to_float lat /. 1_000_000.0)
+                     /. (Float.of_int (String.length b) /. 1024.0);
+                Simnet.Engine.schedule engine ~delay:think_time (fun () ->
+                    client_loop id (iter + 1))
+              end))
+  in
+  for id = 0 to clients - 1 do
+    (* Stagger arrivals over the first second. *)
+    Simnet.Engine.schedule_at engine
+      (Int64.of_int (id * 1_000_000 / max 1 clients))
+      (fun () -> client_loop id 0)
+  done;
+  Simnet.Engine.run ~until:horizon engine;
+  let dur = Simnet.Engine.to_sec horizon in
+  {
+    clients;
+    throughput_bytes_per_s = Float.of_int !bytes_delivered /. dur;
+    mean_latency_us =
+      (if !completed = 0 then 0.0
+       else Int64.to_float !latency_sum /. Float.of_int !completed);
+    mean_latency_s_per_kb =
+      (if !completed = 0 then 0.0
+       else !latency_weighted_kb /. Float.of_int !completed);
+    requests_completed = !completed;
+    proxy_utilization =
+      (Array.fold_left
+         (fun a p -> a +. Simnet.Host.utilization p.Proxy.host)
+         0.0 pool
+      /. Float.of_int proxies);
+  }
+
+let sweep ?duration_s ?seed ?applet_count ?mem_capacity ?proxies
+    ?cache_capacity counts =
+  List.map
+    (fun clients ->
+      run ?duration_s ?seed ?applet_count ?mem_capacity ?proxies
+        ?cache_capacity ~clients ())
+    counts

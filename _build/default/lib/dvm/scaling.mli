@@ -1,0 +1,41 @@
+(** The scaling experiment of §4.2 (Figure 10): hundreds of clients
+    fetch different applets through one proxy with caching disabled.
+    See the implementation header for the resource model behind the
+    64 MB knee. *)
+
+type point = {
+  clients : int;
+  throughput_bytes_per_s : float;
+  mean_latency_us : float;
+  mean_latency_s_per_kb : float;
+  requests_completed : int;
+  proxy_utilization : float;
+}
+
+val per_client_state_bytes : int
+val think_time : Simnet.Engine.time
+
+val run :
+  ?duration_s:int ->
+  ?seed:int ->
+  ?applet_count:int ->
+  ?mem_capacity:int ->
+  ?proxies:int ->
+  ?cache_capacity:int ->
+  clients:int ->
+  unit ->
+  point
+(** [proxies] > 1 models the replicated-server deployment of §2:
+    clients spread round-robin over the pool. [cache_capacity] > 0
+    enables the proxy cache and makes clients share the popular applet
+    set (the paper's stated mitigations). *)
+
+val sweep :
+  ?duration_s:int ->
+  ?seed:int ->
+  ?applet_count:int ->
+  ?mem_capacity:int ->
+  ?proxies:int ->
+  ?cache_capacity:int ->
+  int list ->
+  point list

@@ -1,0 +1,1 @@
+lib/jit/exec.ml: Array Format Int32 Ir List

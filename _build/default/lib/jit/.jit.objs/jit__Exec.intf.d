@@ -1,0 +1,1 @@
+lib/jit/exec.mli: Ir

@@ -1,0 +1,1 @@
+lib/jit/regalloc.ml: Arch Array Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/jit/regalloc.mli: Arch Hashtbl Ir

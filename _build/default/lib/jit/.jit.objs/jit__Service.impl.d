@@ -1,0 +1,1 @@
+lib/jit/service.ml: Arch Array Bytecode Exec Hashtbl Int64 Ir List Monitor Printf Regalloc Translate

@@ -1,0 +1,1 @@
+lib/jit/service.mli: Arch Bytecode Hashtbl Ir Monitor Regalloc

@@ -1,0 +1,1 @@
+lib/jit/translate.ml: Array Bytecode Int32 Ir List

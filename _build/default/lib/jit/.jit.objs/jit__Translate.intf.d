@@ -1,0 +1,1 @@
+lib/jit/translate.mli: Bytecode Ir

@@ -1,0 +1,43 @@
+(* Client architecture descriptors for the network compilation service
+   (§3.4). The paper's DVM runs on x86 and DEC Alpha clients; the
+   client describes its native format during the administration
+   handshake and the network compiler translates ahead of time for that
+   format. *)
+
+type t = {
+  name : string;
+  registers : int; (* allocatable general-purpose registers *)
+  (* relative per-operation cost in cost units; interpretation of the
+     same operation costs ~1 unit, so these model native speedup *)
+  cost_alu : float;
+  cost_mem : float;
+  cost_branch : float;
+  cost_call : float;
+}
+
+let x86 =
+  {
+    name = "x86";
+    registers = 6; (* eax..edi minus stack/frame pointers *)
+    cost_alu = 0.10;
+    cost_mem = 0.25;
+    cost_branch = 0.15;
+    cost_call = 0.80;
+  }
+
+let alpha =
+  {
+    name = "alpha";
+    registers = 24;
+    cost_alu = 0.08;
+    cost_mem = 0.22;
+    cost_branch = 0.12;
+    cost_call = 0.70;
+  }
+
+let by_name = function
+  | "x86" -> Some x86
+  | "alpha" -> Some alpha
+  | _ -> None
+
+let all = [ x86; alpha ]

@@ -1,0 +1,20 @@
+(** Client architecture descriptors for the network compilation
+    service (§3.4). The paper's DVM runs on x86 and DEC Alpha clients;
+    the client's native format arrives via the administration
+    handshake. *)
+
+type t = {
+  name : string;
+  registers : int;  (** allocatable general-purpose registers *)
+  cost_alu : float;
+      (** relative per-operation costs in cost units; interpreting the
+          same operation costs ~1 unit, so these model native speedup *)
+  cost_mem : float;
+  cost_branch : float;
+  cost_call : float;
+}
+
+val x86 : t
+val alpha : t
+val by_name : string -> t option
+val all : t list

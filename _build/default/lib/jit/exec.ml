@@ -1,0 +1,124 @@
+(* An executor for compiled kernels: runs the arithmetic/control subset
+   of the IR directly over virtual registers. Methods whose IR uses
+   object or call operations are left to the interpreter (the service
+   reports them as interpreter-resident). This is enough to demonstrate
+   compile-and-run end to end and to benchmark dispatch cost against
+   the bytecode interpreter. *)
+
+exception Unsupported of string
+
+let supported_instr = function
+  | Ir.Const _ | Ir.Str _ | Ir.Null _ | Ir.Move _ | Ir.Bin _ | Ir.Neg _
+  | Ir.Jump _ | Ir.Branch _ | Ir.Switch _ | Ir.Ret _ | Ir.Newarr _
+  | Ir.Arrlen _
+  | Ir.Arrload (_, _, _, `Int)
+  | Ir.Arrstore (_, _, _, `Int)
+  | Ir.Nop ->
+    true
+  | Ir.Call _ | Ir.Getfield _ | Ir.Putfield _ | Ir.Getstatic _
+  | Ir.Putstatic _ | Ir.New _ | Ir.Anewarr _ | Ir.Throw _ | Ir.Cast _
+  | Ir.Instof _ | Ir.Monitor _
+  | Ir.Arrload (_, _, _, `Ref)
+  | Ir.Arrstore (_, _, _, `Ref) ->
+    false
+
+let supported (m : Ir.meth) = Array.for_all supported_instr m.Ir.code
+
+type value = Vint of int32 | Vstr of string | Vnull | Varr of int32 array
+
+exception Kernel_fault of string
+
+let run (m : Ir.meth) (args : value list) : value option =
+  let regs = Array.make (max 1 m.Ir.nregs) Vnull in
+  List.iteri (fun i v -> regs.(i) <- v) args;
+  let geti r =
+    match regs.(r) with
+    | Vint v -> v
+    | _ -> raise (Kernel_fault "expected int register")
+  in
+  let n = Array.length m.Ir.code in
+  let result = ref None in
+  let running = ref true in
+  let pc = ref 0 in
+  while !running do
+    if !pc < 0 || !pc >= n then raise (Kernel_fault "pc out of range");
+    let next = ref (!pc + 1) in
+    (match m.Ir.code.(!pc) with
+    | Ir.Const (d, v) -> regs.(d) <- Vint v
+    | Ir.Str (d, s) -> regs.(d) <- Vstr s
+    | Ir.Null d -> regs.(d) <- Vnull
+    | Ir.Move (d, s) -> regs.(d) <- regs.(s)
+    | Ir.Bin (op, d, a, b) ->
+      let x = geti a and y = geti b in
+      let v =
+        match op with
+        | Ir.Add -> Int32.add x y
+        | Ir.Sub -> Int32.sub x y
+        | Ir.Mul -> Int32.mul x y
+        | Ir.Div ->
+          if Int32.equal y 0l then raise (Kernel_fault "/0") else Int32.div x y
+        | Ir.Rem ->
+          if Int32.equal y 0l then raise (Kernel_fault "%0") else Int32.rem x y
+        | Ir.Shl -> Int32.shift_left x (Int32.to_int y land 31)
+        | Ir.Shr -> Int32.shift_right x (Int32.to_int y land 31)
+        | Ir.And -> Int32.logand x y
+        | Ir.Or -> Int32.logor x y
+        | Ir.Xor -> Int32.logxor x y
+      in
+      regs.(d) <- Vint v
+    | Ir.Neg (d, s) -> regs.(d) <- Vint (Int32.neg (geti s))
+    | Ir.Jump t -> next := t
+    | Ir.Branch (c, a, b, t) ->
+      let x =
+        match regs.(a) with
+        | Vint v -> Int32.to_int v
+        | Vnull -> 0
+        | Vstr _ | Varr _ -> 1
+      in
+      let y = match b with None -> 0 | Some r -> Int32.to_int (geti r) in
+      let cmp = compare x y in
+      let taken =
+        match c with
+        | Ir.Eq -> cmp = 0
+        | Ir.Ne -> cmp <> 0
+        | Ir.Lt -> cmp < 0
+        | Ir.Ge -> cmp >= 0
+        | Ir.Gt -> cmp > 0
+        | Ir.Le -> cmp <= 0
+      in
+      if taken then next := t
+    | Ir.Switch { src; low; targets; default } ->
+      let k = Int32.to_int (Int32.sub (geti src) low) in
+      if k >= 0 && k < Array.length targets then next := targets.(k)
+      else next := default
+    | Ir.Ret (Some r) ->
+      result := Some regs.(r);
+      running := false
+    | Ir.Ret None ->
+      result := None;
+      running := false
+    | Ir.Newarr (d, l) -> regs.(d) <- Varr (Array.make (Int32.to_int (geti l)) 0l)
+    | Ir.Arrlen (d, a) -> (
+      match regs.(a) with
+      | Varr arr -> regs.(d) <- Vint (Int32.of_int (Array.length arr))
+      | _ -> raise (Kernel_fault "arrlen of non-array"))
+    | Ir.Arrload (d, a, i, `Int) -> (
+      match regs.(a) with
+      | Varr arr ->
+        let k = Int32.to_int (geti i) in
+        if k < 0 || k >= Array.length arr then raise (Kernel_fault "bounds")
+        else regs.(d) <- Vint arr.(k)
+      | _ -> raise (Kernel_fault "arrload of non-array"))
+    | Ir.Arrstore (a, i, srcr, `Int) -> (
+      match regs.(a) with
+      | Varr arr ->
+        let k = Int32.to_int (geti i) in
+        if k < 0 || k >= Array.length arr then raise (Kernel_fault "bounds")
+        else arr.(k) <- geti srcr
+      | _ -> raise (Kernel_fault "arrstore of non-array"))
+    | Ir.Nop -> ()
+    | insn ->
+      raise (Unsupported (Format.asprintf "%a" Ir.pp_instr insn)));
+    pc := !next
+  done;
+  !result

@@ -1,0 +1,115 @@
+(* Linear-scan register allocation over live intervals: the second half
+   of the network compiler. Virtual registers get an interval spanning
+   their first definition/use to their last use (extended to whole-body
+   for registers live across backward branches); intervals are walked
+   in start order and assigned to the architecture's register file,
+   spilling the longest-lived interval when the file is full. *)
+
+type location = Phys of int | Spill of int
+
+type result = {
+  assignment : (Ir.reg, location) Hashtbl.t;
+  spills : int;
+  registers_used : int;
+}
+
+type interval = { vreg : Ir.reg; start : int; finish : int }
+
+let intervals (m : Ir.meth) =
+  let first = Hashtbl.create 16 in
+  let last = Hashtbl.create 16 in
+  let touch idx r =
+    if not (Hashtbl.mem first r) then Hashtbl.replace first r idx;
+    Hashtbl.replace last r idx
+  in
+  Array.iteri
+    (fun idx insn ->
+      List.iter (touch idx) (Ir.defs insn);
+      List.iter (touch idx) (Ir.uses insn))
+    m.Ir.code;
+  (* A backward branch extends every interval spanning its target:
+     conservatively, any vreg whose interval overlaps [target, branch]
+     stays live through the loop. *)
+  let extend_for_loops () =
+    Array.iteri
+      (fun idx insn ->
+        List.iter
+          (fun t ->
+            if t <= idx then
+              Hashtbl.iter
+                (fun r f ->
+                  let l = Hashtbl.find last r in
+                  if f <= idx && l >= t then Hashtbl.replace last r (max l idx))
+                first)
+          (Ir.targets insn))
+      m.Ir.code
+  in
+  extend_for_loops ();
+  Hashtbl.fold
+    (fun r f acc -> { vreg = r; start = f; finish = Hashtbl.find last r } :: acc)
+    first []
+  |> List.sort (fun a b -> compare (a.start, a.vreg) (b.start, b.vreg))
+
+let allocate (arch : Arch.t) (m : Ir.meth) : result =
+  let k = arch.Arch.registers in
+  let assignment = Hashtbl.create 16 in
+  let active = ref [] in (* (finish, phys, vreg), sorted by finish *)
+  let free = ref (List.init k (fun i -> i)) in
+  let spills = ref 0 in
+  let next_slot = ref 0 in
+  let used = Hashtbl.create 8 in
+  let expire point =
+    let expired, alive =
+      List.partition (fun (f, _, _) -> f < point) !active
+    in
+    List.iter (fun (_, p, _) -> free := p :: !free) expired;
+    active := alive
+  in
+  List.iter
+    (fun iv ->
+      expire iv.start;
+      match !free with
+      | p :: rest ->
+        free := rest;
+        Hashtbl.replace assignment iv.vreg (Phys p);
+        Hashtbl.replace used p ();
+        active :=
+          List.sort compare ((iv.finish, p, iv.vreg) :: !active)
+      | [] ->
+        (* Spill whichever lives longest: this interval or the last
+           active one. *)
+        let sorted = List.sort compare !active in
+        (match List.rev sorted with
+        | (f, p, v) :: rest_rev when f > iv.finish ->
+          (* steal the register from the longer-lived interval *)
+          Hashtbl.replace assignment v (Spill !next_slot);
+          incr next_slot;
+          incr spills;
+          Hashtbl.replace assignment iv.vreg (Phys p);
+          active := List.sort compare ((iv.finish, p, iv.vreg) :: List.rev rest_rev)
+        | _ ->
+          Hashtbl.replace assignment iv.vreg (Spill !next_slot);
+          incr next_slot;
+          incr spills))
+    (intervals m);
+  { assignment; spills = !spills; registers_used = Hashtbl.length used }
+
+(* Every vreg the method touches has a location, and no two phys-
+   allocated vregs with overlapping intervals share a register. Used by
+   tests as the allocator's correctness oracle. *)
+let valid (m : Ir.meth) (r : result) =
+  let ivs = intervals m in
+  List.for_all (fun iv -> Hashtbl.mem r.assignment iv.vreg) ivs
+  && List.for_all
+       (fun a ->
+         List.for_all
+           (fun b ->
+             a.vreg >= b.vreg
+             || a.finish < b.start
+             || b.finish < a.start
+             ||
+             match (Hashtbl.find r.assignment a.vreg, Hashtbl.find r.assignment b.vreg) with
+             | Phys x, Phys y -> x <> y
+             | _ -> true)
+           ivs)
+       ivs

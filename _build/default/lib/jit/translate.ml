@@ -1,0 +1,235 @@
+(* Stack-to-register translation: the first half of the network
+   compiler. Verified bytecode has a consistent operand-stack depth at
+   every program point, so each stack slot at depth d maps to the fixed
+   virtual register max_locals + d and no SSA construction is needed.
+   Locals keep their indices.
+
+   Scope (documented in DESIGN.md): methods using jsr/ret or exception
+   handlers stay interpreted — the service compiles what it can and
+   leaves the rest to the client interpreter, as a conservative AOT
+   compiler would. *)
+
+module CF = Bytecode.Classfile
+module CP = Bytecode.Cp
+module I = Bytecode.Instr
+module D = Bytecode.Descriptor
+
+exception Unsupported of string
+
+let cond_of_icmp = function
+  | I.Eq -> Ir.Eq
+  | I.Ne -> Ir.Ne
+  | I.Lt -> Ir.Lt
+  | I.Ge -> Ir.Ge
+  | I.Gt -> Ir.Gt
+  | I.Le -> Ir.Le
+
+let translate_method pool (m : CF.meth) : Ir.meth =
+  match m.CF.m_code with
+  | None -> raise (Unsupported "no code")
+  | Some code ->
+    if code.CF.handlers <> [] then raise (Unsupported "exception handlers");
+    Array.iter
+      (fun i ->
+        match i with
+        | I.Jsr _ | I.Ret _ -> raise (Unsupported "jsr/ret subroutine")
+        | _ -> ())
+      code.CF.instrs;
+    let n = Array.length code.CF.instrs in
+    let base = code.CF.max_locals in
+    let tmp0 = base + code.CF.max_stack in
+    let s d = base + d in
+    (* Entry stack depth per instruction, by propagation. *)
+    let depth = Array.make n (-1) in
+    let delta insn d =
+      match insn with
+      | I.Nop | I.Iinc _ | I.Goto _ -> d
+      | I.Iconst _ | I.Ldc_str _ | I.Aconst_null | I.Iload _ | I.Aload _
+      | I.New _ | I.Getstatic _ ->
+        d + 1
+      | I.Istore _ | I.Astore _ | I.Pop | I.Putstatic _ | I.If_z _
+      | I.If_null _ | I.Monitorenter | I.Monitorexit | I.Tableswitch _
+      | I.Athrow | I.Ireturn | I.Areturn ->
+        d - 1
+      | I.Iadd | I.Isub | I.Imul | I.Idiv | I.Irem | I.Ishl | I.Ishr | I.Iand
+      | I.Ior | I.Ixor | I.Iaload | I.Aaload ->
+        d - 1
+      | I.Ineg | I.Newarray | I.Anewarray _ | I.Arraylength | I.Checkcast _
+      | I.Instanceof _ | I.Swap | I.Return ->
+        d
+      | I.Dup | I.Dup_x1 -> d + 1
+      | I.If_icmp _ | I.If_acmp _ | I.Putfield _ -> d - 2
+      | I.Getfield _ -> d
+      | I.Iastore | I.Aastore -> d - 3
+      | I.Jsr _ | I.Ret _ -> raise (Unsupported "jsr/ret")
+      | I.Invokevirtual k | I.Invokespecial k | I.Invokeinterface k ->
+        let mr = CP.get_methodref pool k in
+        let sg = D.method_sig_of_string mr.CP.ref_desc in
+        d - 1 - List.length sg.D.params
+        + (match sg.D.ret with None -> 0 | Some _ -> 1)
+      | I.Invokestatic k ->
+        let mr = CP.get_methodref pool k in
+        let sg = D.method_sig_of_string mr.CP.ref_desc in
+        d - List.length sg.D.params
+        + (match sg.D.ret with None -> 0 | Some _ -> 1)
+    in
+    let rec flow idx d =
+      if idx >= 0 && idx < n && depth.(idx) < 0 then begin
+        depth.(idx) <- d;
+        let d' = delta code.CF.instrs.(idx) d in
+        List.iter (fun t -> flow t d') (I.successors idx code.CF.instrs.(idx))
+      end
+    in
+    flow 0 0;
+    (* Translate each bytecode to one or more IR instructions,
+       remembering the IR offset of each bytecode. *)
+    let out = ref [] in
+    let count = ref 0 in
+    let emit i =
+      out := i :: !out;
+      incr count
+    in
+    let start = Array.make (n + 1) 0 in
+    for idx = 0 to n - 1 do
+      start.(idx) <- !count;
+      let d = depth.(idx) in
+      if d < 0 then (* unreachable: keep alignment with a nop *)
+        emit Ir.Nop
+      else begin
+        let fieldref k = CP.get_fieldref pool k in
+        let methodref k = CP.get_methodref pool k in
+        match code.CF.instrs.(idx) with
+        | I.Nop -> emit Ir.Nop
+        | I.Iconst v -> emit (Ir.Const (s d, v))
+        | I.Ldc_str k -> emit (Ir.Str (s d, CP.get_string pool k))
+        | I.Aconst_null -> emit (Ir.Null (s d))
+        | I.Iload l | I.Aload l -> emit (Ir.Move (s d, l))
+        | I.Istore l | I.Astore l -> emit (Ir.Move (l, s (d - 1)))
+        | I.Iinc (l, c) ->
+          emit (Ir.Const (tmp0, Int32.of_int c));
+          emit (Ir.Bin (Ir.Add, l, l, tmp0))
+        | I.Iadd -> emit (Ir.Bin (Ir.Add, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Isub -> emit (Ir.Bin (Ir.Sub, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Imul -> emit (Ir.Bin (Ir.Mul, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Idiv -> emit (Ir.Bin (Ir.Div, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Irem -> emit (Ir.Bin (Ir.Rem, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Ishl -> emit (Ir.Bin (Ir.Shl, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Ishr -> emit (Ir.Bin (Ir.Shr, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Iand -> emit (Ir.Bin (Ir.And, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Ior -> emit (Ir.Bin (Ir.Or, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Ixor -> emit (Ir.Bin (Ir.Xor, s (d - 2), s (d - 2), s (d - 1)))
+        | I.Ineg -> emit (Ir.Neg (s (d - 1), s (d - 1)))
+        | I.Dup -> emit (Ir.Move (s d, s (d - 1)))
+        | I.Dup_x1 ->
+          (* ... b a  ->  ... a b a *)
+          emit (Ir.Move (tmp0, s (d - 2)));
+          emit (Ir.Move (s (d - 2), s (d - 1)));
+          emit (Ir.Move (s (d - 1), tmp0));
+          emit (Ir.Move (s d, s (d - 2)))
+        | I.Pop -> emit Ir.Nop
+        | I.Swap ->
+          emit (Ir.Move (tmp0, s (d - 2)));
+          emit (Ir.Move (s (d - 2), s (d - 1)));
+          emit (Ir.Move (s (d - 1), tmp0))
+        | I.Goto t -> emit (Ir.Jump t)
+        | I.If_icmp (c, t) ->
+          emit (Ir.Branch (cond_of_icmp c, s (d - 2), Some (s (d - 1)), t))
+        | I.If_z (c, t) -> emit (Ir.Branch (cond_of_icmp c, s (d - 1), None, t))
+        | I.If_acmp (eq, t) ->
+          emit
+            (Ir.Branch
+               ((if eq then Ir.Eq else Ir.Ne), s (d - 2), Some (s (d - 1)), t))
+        | I.If_null (isnull, t) ->
+          emit
+            (Ir.Branch ((if isnull then Ir.Eq else Ir.Ne), s (d - 1), None, t))
+        | I.Jsr _ | I.Ret _ -> raise (Unsupported "jsr/ret")
+        | I.Tableswitch { low; targets; default } ->
+          emit (Ir.Switch { src = s (d - 1); low; targets; default })
+        | I.Ireturn | I.Areturn -> emit (Ir.Ret (Some (s (d - 1))))
+        | I.Return -> emit (Ir.Ret None)
+        | I.Getstatic k ->
+          let fr = fieldref k in
+          emit (Ir.Getstatic (s d, fr.CP.ref_class, fr.CP.ref_name, fr.CP.ref_desc))
+        | I.Putstatic k ->
+          let fr = fieldref k in
+          emit
+            (Ir.Putstatic (s (d - 1), fr.CP.ref_class, fr.CP.ref_name, fr.CP.ref_desc))
+        | I.Getfield k ->
+          let fr = fieldref k in
+          emit
+            (Ir.Getfield
+               (s (d - 1), s (d - 1), fr.CP.ref_class, fr.CP.ref_name, fr.CP.ref_desc))
+        | I.Putfield k ->
+          let fr = fieldref k in
+          emit
+            (Ir.Putfield
+               (s (d - 2), s (d - 1), fr.CP.ref_class, fr.CP.ref_name, fr.CP.ref_desc))
+        | I.Invokevirtual k | I.Invokespecial k | I.Invokestatic k
+        | I.Invokeinterface k ->
+          let mr = methodref k in
+          let sg = D.method_sig_of_string mr.CP.ref_desc in
+          let kind =
+            match code.CF.instrs.(idx) with
+            | I.Invokevirtual _ | I.Invokeinterface _ -> `Virtual
+            | I.Invokespecial _ -> `Special
+            | _ -> `Static
+          in
+          let nargs =
+            List.length sg.D.params + (match kind with `Static -> 0 | _ -> 1)
+          in
+          let args = List.init nargs (fun i -> s (d - nargs + i)) in
+          let dst =
+            match sg.D.ret with None -> None | Some _ -> Some (s (d - nargs))
+          in
+          emit
+            (Ir.Call
+               {
+                 kind;
+                 cls = mr.CP.ref_class;
+                 name = mr.CP.ref_name;
+                 desc = mr.CP.ref_desc;
+                 args;
+                 dst;
+               })
+        | I.New k -> emit (Ir.New (s d, CP.get_class_name pool k))
+        | I.Newarray -> emit (Ir.Newarr (s (d - 1), s (d - 1)))
+        | I.Anewarray k ->
+          emit (Ir.Anewarr (s (d - 1), s (d - 1), CP.get_class_name pool k))
+        | I.Arraylength -> emit (Ir.Arrlen (s (d - 1), s (d - 1)))
+        | I.Iaload -> emit (Ir.Arrload (s (d - 2), s (d - 2), s (d - 1), `Int))
+        | I.Aaload -> emit (Ir.Arrload (s (d - 2), s (d - 2), s (d - 1), `Ref))
+        | I.Iastore ->
+          emit (Ir.Arrstore (s (d - 3), s (d - 2), s (d - 1), `Int))
+        | I.Aastore ->
+          emit (Ir.Arrstore (s (d - 3), s (d - 2), s (d - 1), `Ref))
+        | I.Athrow -> emit (Ir.Throw (s (d - 1)))
+        | I.Checkcast k ->
+          emit (Ir.Cast (s (d - 1), s (d - 1), CP.get_class_name pool k))
+        | I.Instanceof k ->
+          emit (Ir.Instof (s (d - 1), s (d - 1), CP.get_class_name pool k))
+        | I.Monitorenter -> emit (Ir.Monitor (s (d - 1), true))
+        | I.Monitorexit -> emit (Ir.Monitor (s (d - 1), false))
+      end
+    done;
+    start.(n) <- !count;
+    let arr = Array.of_list (List.rev !out) in
+    (* Remap branch targets from bytecode indices to IR offsets. *)
+    let remap = function
+      | Ir.Jump t -> Ir.Jump start.(t)
+      | Ir.Branch (c, a, b, t) -> Ir.Branch (c, a, b, start.(t))
+      | Ir.Switch { src; low; targets; default } ->
+        Ir.Switch
+          {
+            src;
+            low;
+            targets = Array.map (fun t -> start.(t)) targets;
+            default = start.(default);
+          }
+      | i -> i
+    in
+    {
+      Ir.ir_name = m.CF.m_name;
+      ir_desc = m.CF.m_desc;
+      code = Array.map remap arr;
+      nregs = tmp0 + 1;
+    }

@@ -1,0 +1,15 @@
+(** Stack-to-register translation: the first half of the network
+    compiler.
+
+    Verified bytecode has a consistent operand-stack depth at every
+    program point, so stack slot [d] maps to virtual register
+    [max_locals + d] and no SSA construction is needed.
+
+    Scope (DESIGN.md): methods using [jsr]/[ret] or exception handlers
+    stay interpreted — the service compiles what it can, as a
+    conservative AOT compiler would. *)
+
+exception Unsupported of string
+
+val translate_method : Bytecode.Cp.t -> Bytecode.Classfile.meth -> Ir.meth
+(** @raise Unsupported for abstract/native bodies, jsr/ret, handlers. *)

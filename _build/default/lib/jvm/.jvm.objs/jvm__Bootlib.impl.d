@@ -1,0 +1,1 @@
+lib/jvm/bootlib.ml: Buffer Bytecode Char Classreg Hashtbl Heap Int32 Int64 List Printf String Value Vmstate

@@ -1,0 +1,1 @@
+lib/jvm/bootlib.mli: Bytecode Classreg Vmstate

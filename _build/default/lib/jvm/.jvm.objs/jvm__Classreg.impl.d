@@ -1,0 +1,1 @@
+lib/jvm/classreg.ml: Bytecode Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/jvm/classreg.mli: Bytecode Hashtbl Value

@@ -1,0 +1,1 @@
+lib/jvm/gc.ml: Array Classreg Hashtbl Heap List Value Vmstate

@@ -1,0 +1,1 @@
+lib/jvm/gc.mli: Hashtbl Value Vmstate

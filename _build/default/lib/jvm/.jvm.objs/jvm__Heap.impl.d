@@ -1,0 +1,1 @@
+lib/jvm/heap.ml: Array Hashtbl List Value

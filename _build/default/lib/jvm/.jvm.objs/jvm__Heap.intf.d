@@ -1,0 +1,1 @@
+lib/jvm/heap.mli: Value

@@ -1,0 +1,1 @@
+lib/jvm/interp.ml: Array Bytecode Classreg Fun Hashtbl Heap Int32 Int64 List Printf Value Vmstate

@@ -1,0 +1,1 @@
+lib/jvm/interp.mli: Value Vmstate

@@ -1,0 +1,1 @@
+lib/jvm/value.ml: Array Bytecode Format Hashtbl Int32 String

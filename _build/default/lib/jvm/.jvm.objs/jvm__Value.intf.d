@@ -1,0 +1,1 @@
+lib/jvm/value.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/jvm/vmstate.ml: Buffer Classreg Format Hashtbl Heap Int64 List Value

@@ -1,0 +1,1 @@
+lib/jvm/vmstate.mli: Buffer Classreg Format Hashtbl Heap Value

@@ -1,0 +1,30 @@
+(** The boot class library.
+
+    The minimal [java/lang] and [java/io] surface the workloads and
+    services need, plus the native methods backing it. Native
+    operations carry fixed simulated costs matching the baseline
+    column of the paper's Figure 9 where one is reported.
+
+    Security-relevant natives (property access, file open, thread
+    priority) consult [vm.security_hook], modelling the monolithic JDK
+    SecurityManager's anticipated check points. File {e read} has no
+    hook — the paper's example of a hole only binary rewriting can
+    close. *)
+
+val boot_classes : unit -> Bytecode.Classfile.t list
+val boot_class_names : unit -> string list
+
+val install : Vmstate.t -> unit
+(** Register all boot classes and natives and wire up [System.out]. *)
+
+val fresh_vm :
+  ?budget:int64 -> ?provider:Classreg.provider -> unit -> Vmstate.t
+(** A new VM with the boot library installed. *)
+
+(** Baseline native costs (cost units), exposed for the cost model and
+    the Figure 9 harness. *)
+
+val cost_get_property : int64
+val cost_open_file : int64
+val cost_set_priority : int64
+val cost_read_file : int64

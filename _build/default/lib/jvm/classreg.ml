@@ -1,0 +1,196 @@
+(* The class registry: loaded classes, lazy loading through a provider
+   (the DVM client's window onto the network), hierarchy queries and
+   member resolution. *)
+
+type init_state = Not_initialized | Initializing | Initialized
+
+type loaded = {
+  cf : Bytecode.Classfile.t;
+  statics : (string, Value.t) Hashtbl.t;
+  mutable init_state : init_state;
+  wire_bytes : int; (* encoded size when fetched; 0 for boot classes *)
+}
+
+type provider = string -> string option
+
+exception Class_not_found of string
+exception Load_rejected of { cls : string; reason : string }
+
+type t = {
+  classes : (string, loaded) Hashtbl.t;
+  mutable provider : provider;
+  mutable on_load : Bytecode.Classfile.t -> unit;
+  mutable classes_fetched : int;
+  mutable bytes_fetched : int;
+  mutable load_order : string list; (* most recent first *)
+}
+
+let create ?(provider = fun _ -> None) () =
+  {
+    classes = Hashtbl.create 64;
+    provider;
+    on_load = ignore;
+    classes_fetched = 0;
+    bytes_fetched = 0;
+    load_order = [];
+  }
+
+let set_provider t p = t.provider <- p
+let set_on_load t f = t.on_load <- f
+
+let make_loaded ?(wire_bytes = 0) cf =
+  let statics = Hashtbl.create 8 in
+  List.iter
+    (fun f ->
+      if List.mem Bytecode.Classfile.Static f.Bytecode.Classfile.f_flags then
+        Hashtbl.replace statics f.Bytecode.Classfile.f_name
+          (Value.default_of_descriptor f.Bytecode.Classfile.f_desc))
+    cf.Bytecode.Classfile.fields;
+  { cf; statics; init_state = Not_initialized; wire_bytes }
+
+let register t cf =
+  Hashtbl.replace t.classes cf.Bytecode.Classfile.name (make_loaded cf)
+
+let find_loaded t name = Hashtbl.find_opt t.classes name
+
+let lookup t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some l -> l
+  | None -> (
+    match t.provider name with
+    | None -> raise (Class_not_found name)
+    | Some bytes ->
+      let cf =
+        try Bytecode.Decode.class_of_bytes bytes
+        with Bytecode.Decode.Format_error reason ->
+          raise (Load_rejected { cls = name; reason })
+      in
+      if not (String.equal cf.Bytecode.Classfile.name name) then
+        raise
+          (Load_rejected
+             {
+               cls = name;
+               reason =
+                 Printf.sprintf "provider returned class %S"
+                   cf.Bytecode.Classfile.name;
+             });
+      t.on_load cf;
+      let l = make_loaded ~wire_bytes:(String.length bytes) cf in
+      Hashtbl.replace t.classes name l;
+      t.classes_fetched <- t.classes_fetched + 1;
+      t.bytes_fetched <- t.bytes_fetched + String.length bytes;
+      t.load_order <- name :: t.load_order;
+      l)
+
+let is_loaded t name = Hashtbl.mem t.classes name
+
+(* All (transitive) interfaces of a class, including those inherited
+   through superclasses. *)
+let rec interfaces_of t name acc =
+  match find_or_load t name with
+  | None -> acc
+  | Some l ->
+    let cf = l.cf in
+    let acc =
+      List.fold_left
+        (fun acc i ->
+          if List.mem i acc then acc else interfaces_of t i (i :: acc))
+        acc cf.Bytecode.Classfile.interfaces
+    in
+    (match cf.Bytecode.Classfile.super with
+    | None -> acc
+    | Some s -> interfaces_of t s acc)
+
+and find_or_load t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some l -> Some l
+  | None -> ( try Some (lookup t name) with Class_not_found _ -> None)
+
+let rec superclass_chain t name acc =
+  match find_or_load t name with
+  | None -> List.rev (name :: acc)
+  | Some l -> (
+    match l.cf.Bytecode.Classfile.super with
+    | None -> List.rev (name :: acc)
+    | Some s -> superclass_chain t s (name :: acc))
+
+(* Reflexive subtype test over class names, covering arrays.
+   [java/lang/String] is a final class with superclass Object. *)
+let rec is_subclass t ~sub ~super =
+  if String.equal sub super then true
+  else if String.equal sub "<null>" then true (* null widens to any ref *)
+  else if String.length sub > 0 && sub.[0] = '[' then
+    (* arrays: [X <= Object; [LA; <= [LB; when A <= B *)
+    String.equal super Bytecode.Classfile.java_lang_object
+    ||
+    if String.length super > 0 && super.[0] = '[' then
+      match (array_elem sub, array_elem super) with
+      | Some a, Some b -> is_subclass t ~sub:a ~super:b
+      | _, _ -> false
+    else false
+  else
+    List.mem super (superclass_chain t sub [])
+    || List.mem super (interfaces_of t sub [])
+
+and array_elem name =
+  if String.length name >= 2 && name.[0] = '[' then
+    if name.[1] = 'L' && name.[String.length name - 1] = ';' then
+      Some (String.sub name 2 (String.length name - 3))
+    else if String.equal name "[I" then Some "I"
+    else None
+  else None
+
+(* Walk the superclass chain looking for a concrete (or native)
+   method. Returns the defining class's entry too, so the caller can
+   find the right native implementation. *)
+let resolve_method t cls_name name desc =
+  let rec walk cname =
+    match find_or_load t cname with
+    | None -> None
+    | Some l -> (
+      match Bytecode.Classfile.find_method l.cf name desc with
+      | Some m -> Some (l, m)
+      | None -> (
+        match l.cf.Bytecode.Classfile.super with
+        | None -> None
+        | Some s -> walk s))
+  in
+  walk cls_name
+
+let resolve_field t cls_name name =
+  let rec walk cname =
+    match find_or_load t cname with
+    | None -> None
+    | Some l -> (
+      match Bytecode.Classfile.find_field l.cf name with
+      | Some f -> Some (l, f)
+      | None -> (
+        match l.cf.Bytecode.Classfile.super with
+        | None -> None
+        | Some s -> walk s))
+  in
+  walk cls_name
+
+(* Instance fields of a class including inherited ones, as
+   (name, descriptor) pairs for object allocation. *)
+let all_instance_fields t cls_name =
+  let rec walk cname acc =
+    match find_or_load t cname with
+    | None -> acc
+    | Some l ->
+      let acc =
+        List.fold_left
+          (fun acc f ->
+            if List.mem Bytecode.Classfile.Static f.Bytecode.Classfile.f_flags
+            then acc
+            else
+              (f.Bytecode.Classfile.f_name, f.Bytecode.Classfile.f_desc) :: acc)
+          acc l.cf.Bytecode.Classfile.fields
+      in
+      (match l.cf.Bytecode.Classfile.super with
+      | None -> acc
+      | Some s -> walk s acc)
+  in
+  walk cls_name []
+
+let loaded_count t = Hashtbl.length t.classes

@@ -1,0 +1,65 @@
+(** Class registry: loaded classes, lazy loading through a provider
+    (the client's window onto the network), hierarchy queries and
+    member resolution. *)
+
+type init_state = Not_initialized | Initializing | Initialized
+
+type loaded = {
+  cf : Bytecode.Classfile.t;
+  statics : (string, Value.t) Hashtbl.t;
+  mutable init_state : init_state;
+  wire_bytes : int;  (** encoded size when fetched; 0 for boot classes *)
+}
+
+type provider = string -> string option
+(** Maps a class name to its encoded bytes, or [None] if unknown. *)
+
+exception Class_not_found of string
+exception Load_rejected of { cls : string; reason : string }
+
+type t = {
+  classes : (string, loaded) Hashtbl.t;
+  mutable provider : provider;
+  mutable on_load : Bytecode.Classfile.t -> unit;
+  mutable classes_fetched : int;
+  mutable bytes_fetched : int;
+  mutable load_order : string list;  (** most recently loaded first *)
+}
+
+val create : ?provider:provider -> unit -> t
+val set_provider : t -> provider -> unit
+
+val set_on_load : t -> (Bytecode.Classfile.t -> unit) -> unit
+(** Hook run on every provider-loaded class before registration — this
+    is where a monolithic client plugs in local verification. The hook
+    rejects a class by raising. *)
+
+val register : t -> Bytecode.Classfile.t -> unit
+(** Register a boot class directly, bypassing provider and hook. *)
+
+val find_loaded : t -> string -> loaded option
+
+val lookup : t -> string -> loaded
+(** Find a class, fetching through the provider if necessary.
+    @raise Class_not_found when the provider has no such class.
+    @raise Load_rejected when the bytes are malformed, misnamed, or the
+    [on_load] hook rejects them. *)
+
+val is_loaded : t -> string -> bool
+
+val is_subclass : t -> sub:string -> super:string -> bool
+(** Reflexive subtype test over class names, covering arrays and
+    (transitive) interfaces. *)
+
+val array_elem : string -> string option
+
+val resolve_method :
+  t -> string -> string -> string -> (loaded * Bytecode.Classfile.meth) option
+(** [resolve_method t cls name desc] walks the superclass chain. *)
+
+val resolve_field :
+  t -> string -> string -> (loaded * Bytecode.Classfile.field) option
+
+val all_instance_fields : t -> string -> (string * string) list
+val superclass_chain : t -> string -> string list -> string list
+val loaded_count : t -> int

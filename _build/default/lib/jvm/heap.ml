@@ -1,0 +1,48 @@
+(* Allocation and heap accounting. The heap does not collect garbage —
+   workloads are bounded — but it does track allocation volume because
+   the evaluation's memory model (e.g. the proxy's 64 MB ceiling)
+   depends on it. *)
+
+type t = {
+  mutable next_id : int;
+  mutable objects_allocated : int;
+  mutable arrays_allocated : int;
+  mutable bytes_allocated : int;
+}
+
+let create () =
+  {
+    next_id = 1;
+    objects_allocated = 0;
+    arrays_allocated = 0;
+    bytes_allocated = 0;
+  }
+
+let fresh_id h =
+  let id = h.next_id in
+  h.next_id <- id + 1;
+  id
+
+(* Rough per-object size model: header + one word per field slot. *)
+let word = 8
+
+let alloc_obj h ~cls ~field_descs =
+  let fields = Hashtbl.create (max 4 (List.length field_descs)) in
+  List.iter
+    (fun (name, desc) ->
+      Hashtbl.replace fields name (Value.default_of_descriptor desc))
+    field_descs;
+  h.objects_allocated <- h.objects_allocated + 1;
+  h.bytes_allocated <-
+    h.bytes_allocated + (2 * word) + (word * List.length field_descs);
+  { Value.oid = fresh_id h; cls; fields }
+
+let alloc_int_array h len =
+  h.arrays_allocated <- h.arrays_allocated + 1;
+  h.bytes_allocated <- h.bytes_allocated + (2 * word) + (4 * len);
+  { Value.aid = fresh_id h; ints = Array.make len 0l }
+
+let alloc_ref_array h ~elem len =
+  h.arrays_allocated <- h.arrays_allocated + 1;
+  h.bytes_allocated <- h.bytes_allocated + (2 * word) + (word * len);
+  { Value.rid = fresh_id h; relem = elem; refs = Array.make len Value.Null }

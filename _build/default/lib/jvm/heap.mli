@@ -1,0 +1,22 @@
+(** Allocation and heap accounting.
+
+    No garbage collection — workloads are bounded — but allocation
+    volume is tracked because the evaluation's memory model depends on
+    it. *)
+
+type t = {
+  mutable next_id : int;
+  mutable objects_allocated : int;
+  mutable arrays_allocated : int;
+  mutable bytes_allocated : int;
+}
+
+val create : unit -> t
+
+val alloc_obj :
+  t -> cls:string -> field_descs:(string * string) list -> Value.obj
+(** Allocate an object with all fields set to their descriptor
+    defaults. *)
+
+val alloc_int_array : t -> int -> Value.int_array
+val alloc_ref_array : t -> elem:string -> int -> Value.ref_array

@@ -1,0 +1,498 @@
+(* The bytecode interpreter.
+
+   Deliberately trusting: operand and local slots are checked at use
+   with Runtime_fault, which is exactly the class of crash the verifier
+   exists to rule out. Runs of verified code never fault; runs of
+   unverified code may. Exception objects unwind via Vmstate.Throw and
+   are dispatched against the exception tables of enclosing frames. *)
+
+module I = Bytecode.Instr
+module CF = Bytecode.Classfile
+module CP = Bytecode.Cp
+module D = Bytecode.Descriptor
+
+let max_call_depth = 2048
+
+(* --- Slot accessors: the unsafe edges verification protects. --- *)
+
+let as_int = function
+  | Value.Int n -> n
+  | v -> Vmstate.fault "expected int, got %s" (Value.to_string v)
+
+let as_retaddr = function
+  | Value.Retaddr pc -> pc
+  | v -> Vmstate.fault "expected return address, got %s" (Value.to_string v)
+
+let as_reference v =
+  if Value.is_reference v then v
+  else Vmstate.fault "expected reference, got %s" (Value.to_string v)
+
+(* --- Class initialization. --- *)
+
+let rec ensure_initialized vm name =
+  let l =
+    try Classreg.lookup vm.Vmstate.reg name with
+    | Classreg.Class_not_found c ->
+      Vmstate.throw vm ~cls:Vmstate.c_ncdfe ~message:c
+    | Classreg.Load_rejected { cls; reason } ->
+      Vmstate.throw vm ~cls:Vmstate.c_verify
+        ~message:(Printf.sprintf "%s: %s" cls reason)
+  in
+  match l.Classreg.init_state with
+  | Classreg.Initialized | Classreg.Initializing -> ()
+  | Classreg.Not_initialized ->
+    l.Classreg.init_state <- Classreg.Initializing;
+    (match l.Classreg.cf.CF.super with
+    | None -> ()
+    | Some s -> ensure_initialized vm s);
+    (match CF.find_method l.Classreg.cf "<clinit>" "()V" with
+    | None -> ()
+    | Some m -> ignore (invoke_resolved vm l m []));
+    l.Classreg.init_state <- Classreg.Initialized
+
+(* --- Method invocation. --- *)
+
+and invoke vm ~cls ~name ~desc args =
+  match Classreg.resolve_method vm.Vmstate.reg cls name desc with
+  | None ->
+    Vmstate.throw vm ~cls:"java/lang/NoSuchMethodError"
+      ~message:(Printf.sprintf "%s.%s:%s" cls name desc)
+  | Some (l, m) -> invoke_resolved vm l m args
+
+and invoke_resolved vm l (m : CF.meth) args =
+  let cls = l.Classreg.cf.CF.name in
+  vm.Vmstate.invocations <- Int64.add vm.Vmstate.invocations 1L;
+  vm.Vmstate.call_depth <- vm.Vmstate.call_depth + 1;
+  if vm.Vmstate.call_depth > vm.Vmstate.max_call_depth then
+    vm.Vmstate.max_call_depth <- vm.Vmstate.call_depth;
+  Fun.protect
+    ~finally:(fun () -> vm.Vmstate.call_depth <- vm.Vmstate.call_depth - 1)
+    (fun () ->
+      if vm.Vmstate.call_depth > max_call_depth then
+        Vmstate.throw vm ~cls:Vmstate.c_stack_overflow
+          ~message:(cls ^ "." ^ m.CF.m_name);
+      match m.CF.m_code with
+      | Some code -> exec_body vm l m code args
+      | None -> (
+        match
+          Vmstate.find_native vm ~cls ~name:m.CF.m_name ~desc:m.CF.m_desc
+        with
+        | Some impl -> impl vm args
+        | None ->
+          Vmstate.fault "no native implementation for %s.%s:%s" cls
+            m.CF.m_name m.CF.m_desc))
+
+and exec_body vm l (m : CF.meth) (code : CF.code) args =
+  let pool = l.Classreg.cf.CF.pool in
+  let locals = Array.make (max code.CF.max_locals (List.length args)) Value.Null in
+  List.iteri (fun i a -> locals.(i) <- a) args;
+  let stack = Array.make (code.CF.max_stack + 1) Value.Null in
+  let sp = ref 0 in
+  let push v =
+    if !sp >= Array.length stack then Vmstate.fault "operand stack overflow";
+    stack.(!sp) <- v;
+    incr sp
+  in
+  let pop () =
+    if !sp <= 0 then Vmstate.fault "operand stack underflow";
+    decr sp;
+    stack.(!sp)
+  in
+  let pop_int () = as_int (pop ()) in
+  let local n =
+    if n < 0 || n >= Array.length locals then
+      Vmstate.fault "local index %d out of range" n
+    else locals.(n)
+  in
+  let set_local n v =
+    if n < 0 || n >= Array.length locals then
+      Vmstate.fault "local index %d out of range" n
+    else locals.(n) <- v
+  in
+  let fieldref idx =
+    try CP.get_fieldref pool idx
+    with CP.Invalid_index _ | CP.Wrong_kind _ ->
+      Vmstate.fault "bad fieldref index %d" idx
+  in
+  let methodref idx =
+    try CP.get_methodref pool idx
+    with CP.Invalid_index _ | CP.Wrong_kind _ ->
+      Vmstate.fault "bad methodref index %d" idx
+  in
+  let class_at idx =
+    try CP.get_class_name pool idx
+    with CP.Invalid_index _ | CP.Wrong_kind _ ->
+      Vmstate.fault "bad class index %d" idx
+  in
+  (* Pop [n] call arguments, last argument on top of stack. *)
+  let pop_args n =
+    let rec go acc k = if k = 0 then acc else go (pop () :: acc) (k - 1) in
+    go [] n
+  in
+  let non_null v =
+    match v with
+    | Value.Null -> Vmstate.throw vm ~cls:Vmstate.c_npe ~message:""
+    | v -> v
+  in
+  let statics_of cls_name field =
+    match Classreg.resolve_field vm.Vmstate.reg cls_name field with
+    | Some (dl, f) when CF.has_flag f.CF.f_flags CF.Static ->
+      ensure_initialized vm dl.Classreg.cf.CF.name;
+      dl.Classreg.statics
+    | Some _ | None ->
+      Vmstate.throw vm ~cls:"java/lang/NoSuchFieldError"
+        ~message:(cls_name ^ "." ^ field)
+  in
+  let result = ref None in
+  let running = ref true in
+  let pc = ref 0 in
+  let ncode = Array.length code.CF.instrs in
+  while !running do
+    if !pc < 0 || !pc >= ncode then
+      Vmstate.fault "pc %d outside method %s.%s" !pc l.Classreg.cf.CF.name
+        m.CF.m_name;
+    let insn = code.CF.instrs.(!pc) in
+    vm.Vmstate.instr_count <- Int64.add vm.Vmstate.instr_count 1L;
+    if Int64.compare vm.Vmstate.instr_count vm.Vmstate.budget > 0 then
+      raise Vmstate.Budget_exhausted;
+    let next = ref (!pc + 1) in
+    (try
+       (match insn with
+       | I.Nop -> ()
+       | I.Iconst n -> push (Value.Int n)
+       | I.Ldc_str idx -> (
+         match CP.get_string pool idx with
+         | s -> push (Value.Str s)
+         | exception (CP.Invalid_index _ | CP.Wrong_kind _) ->
+           Vmstate.fault "bad string index %d" idx)
+       | I.Aconst_null -> push Value.Null
+       | I.Iload n -> push (Value.Int (as_int (local n)))
+       | I.Istore n -> set_local n (Value.Int (pop_int ()))
+       | I.Aload n -> push (as_reference (local n))
+       | I.Astore n ->
+         (* astore also accepts return addresses (jsr/ret idiom) *)
+         let v = pop () in
+         (match v with
+         | Value.Retaddr _ -> set_local n v
+         | v -> set_local n (as_reference v))
+       | I.Iinc (n, d) ->
+         set_local n
+           (Value.Int (Int32.add (as_int (local n)) (Int32.of_int d)))
+       | I.Iadd ->
+         let b = pop_int () in
+         let a = pop_int () in
+         push (Value.Int (Int32.add a b))
+       | I.Isub ->
+         let b = pop_int () in
+         let a = pop_int () in
+         push (Value.Int (Int32.sub a b))
+       | I.Imul ->
+         let b = pop_int () in
+         let a = pop_int () in
+         push (Value.Int (Int32.mul a b))
+       | I.Idiv ->
+         let b = pop_int () in
+         let a = pop_int () in
+         if Int32.equal b 0l then
+           Vmstate.throw vm ~cls:Vmstate.c_arith ~message:"/ by zero"
+         else push (Value.Int (Int32.div a b))
+       | I.Irem ->
+         let b = pop_int () in
+         let a = pop_int () in
+         if Int32.equal b 0l then
+           Vmstate.throw vm ~cls:Vmstate.c_arith ~message:"% by zero"
+         else push (Value.Int (Int32.rem a b))
+       | I.Ineg -> push (Value.Int (Int32.neg (pop_int ())))
+       | I.Ishl ->
+         let b = pop_int () in
+         let a = pop_int () in
+         push (Value.Int (Int32.shift_left a (Int32.to_int b land 31)))
+       | I.Ishr ->
+         let b = pop_int () in
+         let a = pop_int () in
+         push (Value.Int (Int32.shift_right a (Int32.to_int b land 31)))
+       | I.Iand ->
+         let b = pop_int () in
+         let a = pop_int () in
+         push (Value.Int (Int32.logand a b))
+       | I.Ior ->
+         let b = pop_int () in
+         let a = pop_int () in
+         push (Value.Int (Int32.logor a b))
+       | I.Ixor ->
+         let b = pop_int () in
+         let a = pop_int () in
+         push (Value.Int (Int32.logxor a b))
+       | I.Dup ->
+         let v = pop () in
+         push v;
+         push v
+       | I.Dup_x1 ->
+         let a = pop () in
+         let b = pop () in
+         push a;
+         push b;
+         push a
+       | I.Pop -> ignore (pop ())
+       | I.Swap ->
+         let a = pop () in
+         let b = pop () in
+         push a;
+         push b
+       | I.Goto t -> next := t
+       | I.If_icmp (c, t) ->
+         let b = pop_int () in
+         let a = pop_int () in
+         let cmp = Int32.compare a b in
+         let taken =
+           match c with
+           | I.Eq -> cmp = 0
+           | I.Ne -> cmp <> 0
+           | I.Lt -> cmp < 0
+           | I.Ge -> cmp >= 0
+           | I.Gt -> cmp > 0
+           | I.Le -> cmp <= 0
+         in
+         if taken then next := t
+       | I.If_z (c, t) ->
+         let a = pop_int () in
+         let cmp = Int32.compare a 0l in
+         let taken =
+           match c with
+           | I.Eq -> cmp = 0
+           | I.Ne -> cmp <> 0
+           | I.Lt -> cmp < 0
+           | I.Ge -> cmp >= 0
+           | I.Gt -> cmp > 0
+           | I.Le -> cmp <= 0
+         in
+         if taken then next := t
+       | I.If_acmp (want_eq, t) ->
+         let b = pop () in
+         let a = pop () in
+         if Value.ref_equal a b = want_eq then next := t
+       | I.If_null (want_null, t) ->
+         let v = pop () in
+         let is_null = match v with Value.Null -> true | _ -> false in
+         if is_null = want_null then next := t
+       | I.Jsr t ->
+         push (Value.Retaddr (!pc + 1));
+         next := t
+       | I.Ret n -> next := as_retaddr (local n)
+       | I.Tableswitch { low; targets; default } ->
+         let v = pop_int () in
+         let k = Int32.to_int (Int32.sub v low) in
+         if k >= 0 && k < Array.length targets then next := targets.(k)
+         else next := default
+       | I.Ireturn ->
+         result := Some (Value.Int (pop_int ()));
+         running := false
+       | I.Areturn ->
+         result := Some (as_reference (pop ()));
+         running := false
+       | I.Return ->
+         result := None;
+         running := false
+       | I.Getstatic idx ->
+         let fr = fieldref idx in
+         let statics = statics_of fr.CP.ref_class fr.CP.ref_name in
+         (match Hashtbl.find_opt statics fr.CP.ref_name with
+         | Some v -> push v
+         | None -> Vmstate.fault "uninitialized static %s" fr.CP.ref_name)
+       | I.Putstatic idx ->
+         let fr = fieldref idx in
+         let statics = statics_of fr.CP.ref_class fr.CP.ref_name in
+         Hashtbl.replace statics fr.CP.ref_name (pop ())
+       | I.Getfield idx -> (
+         let fr = fieldref idx in
+         match non_null (pop ()) with
+         | Value.Obj o -> (
+           match Hashtbl.find_opt o.Value.fields fr.CP.ref_name with
+           | Some v -> push v
+           | None ->
+             Vmstate.throw vm ~cls:"java/lang/NoSuchFieldError"
+               ~message:(fr.CP.ref_class ^ "." ^ fr.CP.ref_name))
+         | v -> Vmstate.fault "getfield on %s" (Value.to_string v))
+       | I.Putfield idx -> (
+         let fr = fieldref idx in
+         let v = pop () in
+         match non_null (pop ()) with
+         | Value.Obj o -> Hashtbl.replace o.Value.fields fr.CP.ref_name v
+         | recv -> Vmstate.fault "putfield on %s" (Value.to_string recv))
+       | I.Invokevirtual idx | I.Invokeinterface idx -> (
+         let mr = methodref idx in
+         let sg = D.method_sig_of_string mr.CP.ref_desc in
+         let args = pop_args (List.length sg.D.params) in
+         let recv = non_null (pop ()) in
+         let dyn = Value.class_of recv in
+         (* Dynamic dispatch starts at the receiver's class; falls back
+            to the static class for strings/arrays resolved through
+            their surrogate classes. *)
+         let start =
+           if Classreg.is_loaded vm.Vmstate.reg dyn then dyn
+           else mr.CP.ref_class
+         in
+         match
+           invoke vm ~cls:start ~name:mr.CP.ref_name ~desc:mr.CP.ref_desc
+             (recv :: args)
+         with
+         | Some v -> push v
+         | None -> ())
+       | I.Invokestatic idx -> (
+         let mr = methodref idx in
+         ensure_initialized vm mr.CP.ref_class;
+         let sg = D.method_sig_of_string mr.CP.ref_desc in
+         let args = pop_args (List.length sg.D.params) in
+         match
+           invoke vm ~cls:mr.CP.ref_class ~name:mr.CP.ref_name
+             ~desc:mr.CP.ref_desc args
+         with
+         | Some v -> push v
+         | None -> ())
+       | I.Invokespecial idx -> (
+         (* Non-virtual: constructors, private and super calls resolve
+            against the named class. *)
+         let mr = methodref idx in
+         let sg = D.method_sig_of_string mr.CP.ref_desc in
+         let args = pop_args (List.length sg.D.params) in
+         let recv = non_null (pop ()) in
+         match
+           invoke vm ~cls:mr.CP.ref_class ~name:mr.CP.ref_name
+             ~desc:mr.CP.ref_desc (recv :: args)
+         with
+         | Some v -> push v
+         | None -> ())
+       | I.New idx ->
+         let cname = class_at idx in
+         ensure_initialized vm cname;
+         let field_descs = Classreg.all_instance_fields vm.Vmstate.reg cname in
+         push (Value.Obj (Heap.alloc_obj vm.Vmstate.heap ~cls:cname ~field_descs))
+       | I.Newarray ->
+         let len = Int32.to_int (pop_int ()) in
+         if len < 0 then
+           Vmstate.throw vm ~cls:Vmstate.c_nase ~message:(string_of_int len)
+         else push (Value.Arr_int (Heap.alloc_int_array vm.Vmstate.heap len))
+       | I.Anewarray idx ->
+         let elem = class_at idx in
+         let len = Int32.to_int (pop_int ()) in
+         if len < 0 then
+           Vmstate.throw vm ~cls:Vmstate.c_nase ~message:(string_of_int len)
+         else
+           push (Value.Arr_ref (Heap.alloc_ref_array vm.Vmstate.heap ~elem len))
+       | I.Arraylength -> (
+         match non_null (pop ()) with
+         | Value.Arr_int a ->
+           push (Value.Int (Int32.of_int (Array.length a.Value.ints)))
+         | Value.Arr_ref a ->
+           push (Value.Int (Int32.of_int (Array.length a.Value.refs)))
+         | v -> Vmstate.fault "arraylength on %s" (Value.to_string v))
+       | I.Iaload -> (
+         let i = Int32.to_int (pop_int ()) in
+         match non_null (pop ()) with
+         | Value.Arr_int a ->
+           if i < 0 || i >= Array.length a.Value.ints then
+             Vmstate.throw vm ~cls:Vmstate.c_aioobe
+               ~message:(string_of_int i)
+           else push (Value.Int a.Value.ints.(i))
+         | v -> Vmstate.fault "iaload on %s" (Value.to_string v))
+       | I.Iastore -> (
+         let v = pop_int () in
+         let i = Int32.to_int (pop_int ()) in
+         match non_null (pop ()) with
+         | Value.Arr_int a ->
+           if i < 0 || i >= Array.length a.Value.ints then
+             Vmstate.throw vm ~cls:Vmstate.c_aioobe
+               ~message:(string_of_int i)
+           else a.Value.ints.(i) <- v
+         | arr -> Vmstate.fault "iastore on %s" (Value.to_string arr))
+       | I.Aaload -> (
+         let i = Int32.to_int (pop_int ()) in
+         match non_null (pop ()) with
+         | Value.Arr_ref a ->
+           if i < 0 || i >= Array.length a.Value.refs then
+             Vmstate.throw vm ~cls:Vmstate.c_aioobe
+               ~message:(string_of_int i)
+           else push a.Value.refs.(i)
+         | v -> Vmstate.fault "aaload on %s" (Value.to_string v))
+       | I.Aastore -> (
+         let v = pop () in
+         let i = Int32.to_int (pop_int ()) in
+         match non_null (pop ()) with
+         | Value.Arr_ref a ->
+           if i < 0 || i >= Array.length a.Value.refs then
+             Vmstate.throw vm ~cls:Vmstate.c_aioobe
+               ~message:(string_of_int i)
+           else a.Value.refs.(i) <- as_reference v
+         | arr -> Vmstate.fault "aastore on %s" (Value.to_string arr))
+       | I.Athrow -> (
+         match non_null (pop ()) with
+         | Value.Obj _ as v -> raise (Vmstate.Throw v)
+         | v -> Vmstate.fault "athrow of %s" (Value.to_string v))
+       | I.Checkcast idx -> (
+         let target = class_at idx in
+         let v = pop () in
+         match v with
+         | Value.Null -> push Value.Null
+         | v ->
+           if
+             Classreg.is_subclass vm.Vmstate.reg ~sub:(Value.class_of v)
+               ~super:target
+           then push v
+           else
+             Vmstate.throw vm ~cls:Vmstate.c_cce
+               ~message:(Value.class_of v ^ " -> " ^ target))
+       | I.Instanceof idx -> (
+         let target = class_at idx in
+         match pop () with
+         | Value.Null -> push (Value.Int 0l)
+         | v ->
+           let yes =
+             Classreg.is_subclass vm.Vmstate.reg ~sub:(Value.class_of v)
+               ~super:target
+           in
+           push (Value.Int (if yes then 1l else 0l)))
+       | I.Monitorenter | I.Monitorexit -> ignore (non_null (pop ())));
+       pc := !next
+     with Vmstate.Throw exn ->
+       (* Dispatch against this frame's exception table; first match
+          wins, otherwise unwind to the caller. *)
+       let cls_of_exn = Value.class_of exn in
+       let handler =
+         List.find_opt
+           (fun h ->
+             !pc >= h.CF.h_start && !pc < h.CF.h_end
+             &&
+             match h.CF.h_catch with
+             | None -> true
+             | Some c -> Classreg.is_subclass vm.Vmstate.reg ~sub:cls_of_exn ~super:c)
+           code.CF.handlers
+       in
+       (match handler with
+       | Some h ->
+         sp := 0;
+         push exn;
+         pc := h.CF.h_target
+       | None -> raise (Vmstate.Throw exn)))
+  done;
+  !result
+
+(* --- Entry points. --- *)
+
+let run_main vm cls_name =
+  match
+    ensure_initialized vm cls_name;
+    invoke vm ~cls:cls_name ~name:"main" ~desc:"()V" []
+  with
+  | _ -> Ok ()
+  | exception Vmstate.Throw v -> Error v
+
+let describe_throwable v =
+  match v with
+  | Value.Obj o ->
+    let msg =
+      match Hashtbl.find_opt o.Value.fields "message" with
+      | Some (Value.Str s) -> s
+      | Some _ | None -> ""
+    in
+    Printf.sprintf "%s: %s" o.Value.cls msg
+  | v -> Value.to_string v

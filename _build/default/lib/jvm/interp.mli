@@ -1,0 +1,27 @@
+(** The bytecode interpreter.
+
+    Deliberately trusting: operand and local slots are checked at use
+    with {!Vmstate.Runtime_fault}, which is exactly the class of crash
+    the verifier exists to rule out. Verified code never faults;
+    unverified code may. *)
+
+val ensure_initialized : Vmstate.t -> string -> unit
+(** Load, link and run [<clinit>] of a class (and its superclasses) on
+    first use. *)
+
+val invoke :
+  Vmstate.t ->
+  cls:string ->
+  name:string ->
+  desc:string ->
+  Value.t list ->
+  Value.t option
+(** Resolve and invoke a method. For instance methods the receiver is
+    the first element of the argument list.
+    @raise Vmstate.Throw when a VM exception escapes the call. *)
+
+val run_main : Vmstate.t -> string -> (unit, Value.t) result
+(** Initialize a class and run its [main()V], converting an escaping
+    VM exception into [Error]. *)
+
+val describe_throwable : Value.t -> string

@@ -1,0 +1,33 @@
+(** Runtime values.
+
+    Strings carry their payload natively; return addresses exist only
+    transiently for [jsr]/[ret]. *)
+
+type t =
+  | Int of int32
+  | Null
+  | Str of string
+  | Obj of obj
+  | Arr_int of int_array
+  | Arr_ref of ref_array
+  | Retaddr of int
+
+and obj = { oid : int; cls : string; fields : (string, t) Hashtbl.t }
+and int_array = { aid : int; ints : int32 array }
+and ref_array = { rid : int; relem : string; refs : t array }
+
+val string_class : string
+
+val class_of : t -> string
+(** Dynamic class name as [instanceof] sees it; arrays are ["\[I"] and
+    ["\[Lelem;"]. *)
+
+val is_reference : t -> bool
+val default_of_descriptor : string -> t
+val truthy : t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val ref_equal : t -> t -> bool
+(** Reference equality as [if_acmp] sees it (strings compare by
+    content, standing in for interning). *)

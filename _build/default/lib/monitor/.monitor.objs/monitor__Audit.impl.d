@@ -1,0 +1,1 @@
+lib/monitor/audit.ml: Bytecode Dsig Format Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/monitor/console.ml: Audit Format Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/monitor/console.mli: Audit Format

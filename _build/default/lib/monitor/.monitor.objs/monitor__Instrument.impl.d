@@ -1,0 +1,1 @@
+lib/monitor/instrument.ml: Array Bytecode List Printf Profiler Rewrite

@@ -1,0 +1,1 @@
+lib/monitor/instrument.mli: Bytecode Rewrite

@@ -1,0 +1,1 @@
+lib/monitor/profiler.ml: Audit Bytecode Console Hashtbl Jvm List Option String

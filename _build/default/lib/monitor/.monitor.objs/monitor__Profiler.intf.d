@@ -1,0 +1,1 @@
+lib/monitor/profiler.mli: Bytecode Console Jvm

@@ -1,0 +1,110 @@
+(* The audit trail (§3.3). Events live on a central administration
+   host, off-limits to untrusted applications: a security breach may
+   stop the creation of new events but cannot tamper with existing
+   ones. We make that property checkable with a hash chain — each event
+   seals the digest of its predecessor. *)
+
+type event = {
+  ev_seq : int;
+  ev_time : int64; (* simulated time or client cost when emitted *)
+  ev_session : int;
+  ev_kind : string; (* e.g. "app.start", "method.enter", "security.deny" *)
+  ev_detail : string;
+  ev_chain : string; (* hex MD5 over (prev chain ^ this event) *)
+}
+
+type t = {
+  mutable events : event list; (* newest first *)
+  mutable last_chain : string;
+  mutable count : int;
+}
+
+let create () = { events = []; last_chain = "genesis"; count = 0 }
+
+let seal ~prev ~seq ~time ~session ~kind ~detail =
+  Dsig.Md5.hex_digest
+    (Printf.sprintf "%s|%d|%Ld|%d|%s|%s" prev seq time session kind detail)
+
+let append t ~time ~session ~kind ~detail =
+  let ev =
+    {
+      ev_seq = t.count;
+      ev_time = time;
+      ev_session = session;
+      ev_kind = kind;
+      ev_detail = detail;
+      ev_chain =
+        seal ~prev:t.last_chain ~seq:t.count ~time ~session ~kind ~detail;
+    }
+  in
+  t.events <- ev :: t.events;
+  t.last_chain <- ev.ev_chain;
+  t.count <- t.count + 1
+
+let events t = List.rev t.events
+
+(* Recompute the chain from the beginning; any in-place tampering
+   breaks every subsequent seal. *)
+let verify_chain t =
+  let rec go prev = function
+    | [] -> true
+    | ev :: rest ->
+      String.equal ev.ev_chain
+        (seal ~prev ~seq:ev.ev_seq ~time:ev.ev_time ~session:ev.ev_session
+           ~kind:ev.ev_kind ~detail:ev.ev_detail)
+      && go ev.ev_chain rest
+  in
+  go "genesis" (events t)
+
+let count t = t.count
+
+let filter_kind t kind =
+  List.filter (fun ev -> String.equal ev.ev_kind kind) (events t)
+
+let pp_event ppf ev =
+  Format.fprintf ppf "#%d t=%Ldus s=%d %s %s" ev.ev_seq ev.ev_time
+    ev.ev_session ev.ev_kind ev.ev_detail
+
+(* Serialize the log for shipment to (or archival at) the console
+   host; import re-verifies every seal, so a log tampered with in
+   transit is refused. *)
+exception Corrupt_log of string
+
+let to_bytes t =
+  let w = Bytecode.Io.Writer.create () in
+  Bytecode.Io.Writer.u4 w t.count;
+  List.iter
+    (fun ev ->
+      Bytecode.Io.Writer.u4 w ev.ev_seq;
+      Bytecode.Io.Writer.u4 w (Int64.to_int ev.ev_time);
+      Bytecode.Io.Writer.u4 w ev.ev_session;
+      Bytecode.Io.Writer.str w ev.ev_kind;
+      Bytecode.Io.Writer.str w ev.ev_detail;
+      Bytecode.Io.Writer.str w ev.ev_chain)
+    (events t);
+  Bytecode.Io.Writer.contents w
+
+let of_bytes data =
+  let r = Bytecode.Io.Reader.of_string data in
+  try
+    let n = Bytecode.Io.Reader.u4 r in
+    let t = create () in
+    for _ = 1 to n do
+      let seq = Bytecode.Io.Reader.u4 r in
+      let time = Int64.of_int (Bytecode.Io.Reader.u4 r) in
+      let session = Bytecode.Io.Reader.u4 r in
+      let kind = Bytecode.Io.Reader.str r in
+      let detail = Bytecode.Io.Reader.str r in
+      let chain = Bytecode.Io.Reader.str r in
+      append t ~time ~session ~kind ~detail;
+      (* the recomputed seal must equal the transported one *)
+      match t.events with
+      | ev :: _ ->
+        if ev.ev_seq <> seq || not (String.equal ev.ev_chain chain) then
+          raise (Corrupt_log (Printf.sprintf "seal mismatch at event %d" seq))
+      | [] -> assert false
+    done;
+    if not (Bytecode.Io.Reader.at_end r) then
+      raise (Corrupt_log "trailing bytes");
+    t
+  with Bytecode.Io.Truncated m -> raise (Corrupt_log m)

@@ -1,0 +1,97 @@
+(* The remote administration console (§3.3): clients perform a
+   handshake establishing credentials and receive a session identifier;
+   the console tracks hardware configurations, users, VM instances,
+   code versions and noteworthy events, and is the single point from
+   which rogue applications are pruned off the network. *)
+
+type client = {
+  session : int;
+  user : string;
+  hardware : string; (* e.g. "x86-200MHz-64MB" *)
+  native_format : string; (* target ISA, consumed by the compilation service *)
+  vm_version : string;
+  mutable apps_started : string list;
+  mutable last_seen : int64;
+}
+
+type t = {
+  audit : Audit.t;
+  mutable clients : client list;
+  mutable next_session : int;
+  banned : (string, string) Hashtbl.t; (* app class -> reason *)
+}
+
+let create () =
+  {
+    audit = Audit.create ();
+    clients = [];
+    next_session = 1;
+    banned = Hashtbl.create 8;
+  }
+
+let audit t = t.audit
+
+(* The handshake protocol: credentials in, session identifier out. *)
+let handshake t ~user ~hardware ~native_format ~vm_version ~time =
+  let session = t.next_session in
+  t.next_session <- session + 1;
+  let c =
+    {
+      session;
+      user;
+      hardware;
+      native_format;
+      vm_version;
+      apps_started = [];
+      last_seen = time;
+    }
+  in
+  t.clients <- c :: t.clients;
+  Audit.append t.audit ~time ~session ~kind:"client.handshake"
+    ~detail:(Printf.sprintf "user=%s hw=%s isa=%s vm=%s" user hardware
+               native_format vm_version);
+  c
+
+let record_app_start t client ~app ~time =
+  client.apps_started <- app :: client.apps_started;
+  client.last_seen <- time;
+  Audit.append t.audit ~time ~session:client.session ~kind:"app.start"
+    ~detail:app
+
+let record_event t client ~kind ~detail ~time =
+  client.last_seen <- time;
+  Audit.append t.audit ~time ~session:client.session ~kind ~detail
+
+(* Pruning rogue applications: a banned class is refused by every
+   DVM client loader from then on. *)
+let ban_app t ~app ~reason ~time =
+  Hashtbl.replace t.banned app reason;
+  Audit.append t.audit ~time ~session:0 ~kind:"admin.ban" ~detail:app
+
+let is_banned t app = Hashtbl.find_opt t.banned app
+
+let clients t = List.rev t.clients
+let find_client t session =
+  List.find_opt (fun c -> c.session = session) t.clients
+
+let native_formats t =
+  List.sort_uniq String.compare (List.map (fun c -> c.native_format) t.clients)
+
+(* A fleet status report: what an administrator reads at the console
+   instead of ssh-ing into ten thousand machines. *)
+let pp_report ppf t =
+  Format.fprintf ppf "=== administration console ===@\n";
+  Format.fprintf ppf "clients: %d  audit events: %d (chain %s)@\n"
+    (List.length t.clients) (Audit.count t.audit)
+    (if Audit.verify_chain t.audit then "intact" else "BROKEN");
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "  #%d %-10s %-22s isa=%-6s vm=%s apps=[%s]@\n"
+        c.session c.user c.hardware c.native_format c.vm_version
+        (String.concat ", " (List.rev c.apps_started)))
+    (clients t);
+  let bans = Hashtbl.fold (fun app why acc -> (app, why) :: acc) t.banned [] in
+  if bans <> [] then begin
+    Format.fprintf ppf "banned applications:@\n";
+    List.iter (fun (app, why) -> Format.fprintf ppf "  %s (%s)@\n" app why) bans
+  end

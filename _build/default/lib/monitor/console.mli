@@ -1,0 +1,46 @@
+(** The remote administration console (§3.3).
+
+    Clients perform a handshake establishing credentials and receive a
+    session identifier; the console tracks hardware configurations,
+    users, VM instances and code versions, stores the audit trail, and
+    is the single point from which rogue applications are pruned. *)
+
+type client = {
+  session : int;
+  user : string;
+  hardware : string;
+  native_format : string;  (** target ISA, consumed by the compilation service *)
+  vm_version : string;
+  mutable apps_started : string list;
+  mutable last_seen : int64;
+}
+
+type t
+
+val create : unit -> t
+val audit : t -> Audit.t
+
+val handshake :
+  t ->
+  user:string ->
+  hardware:string ->
+  native_format:string ->
+  vm_version:string ->
+  time:int64 ->
+  client
+
+val record_app_start : t -> client -> app:string -> time:int64 -> unit
+val record_event : t -> client -> kind:string -> detail:string -> time:int64 -> unit
+
+val ban_app : t -> app:string -> reason:string -> time:int64 -> unit
+val is_banned : t -> string -> string option
+
+val clients : t -> client list
+val find_client : t -> int -> client option
+
+val native_formats : t -> string list
+(** Distinct client ISAs — what the network compiler pre-translates
+    for. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** A fleet status report: clients, sessions, audit health, bans. *)

@@ -1,0 +1,169 @@
+(* The dynamic side of the monitoring services (§3.3): natives backing
+   dvm/Auditor (audit events forwarded to the console), dvm/Profiler
+   (dynamic call graph à la gprof, invocation counts, first-use order —
+   the input to the §5 repartitioning optimizer) and dvm/Tracer
+   (synchronization tracing). *)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+
+let auditor_class = "dvm/Auditor"
+let profiler_class = "dvm/Profiler"
+let tracer_class = "dvm/Tracer"
+let desc_s = "(Ljava/lang/String;)V"
+
+let runtime_classes () =
+  let st = [ CF.Public; CF.Static; CF.Native ] in
+  [
+    B.class_ auditor_class
+      [
+        B.native_meth ~flags:st "enter" desc_s;
+        B.native_meth ~flags:st "exit" desc_s;
+        B.native_meth ~flags:st "event" desc_s;
+      ];
+    B.class_ profiler_class
+      [
+        B.native_meth ~flags:st "enter" desc_s;
+        B.native_meth ~flags:st "exit" desc_s;
+      ];
+    B.class_ tracer_class
+      [
+        B.native_meth ~flags:st "sync" desc_s;
+        B.native_meth ~flags:st "block" desc_s;
+      ];
+  ]
+
+(* Per-event client cost (cost units ~ µs). *)
+let cost_audit_event = 3L
+let cost_profile_event = 1L
+
+type t = {
+  mutable stack : string list; (* current call path *)
+  edges : (string * string, int) Hashtbl.t; (* caller -> callee counts *)
+  counts : (string, int) Hashtbl.t; (* invocation counts *)
+  first_use : (string, int64) Hashtbl.t; (* method -> first-use time *)
+  mutable first_use_rev : string list; (* reverse first-use order *)
+  sync_events : (string, int) Hashtbl.t; (* method -> sync ops *)
+  block_counts : (string, int) Hashtbl.t; (* "method@block" -> executions *)
+  mutable events : int;
+}
+
+let create () =
+  {
+    stack = [];
+    edges = Hashtbl.create 64;
+    counts = Hashtbl.create 64;
+    first_use = Hashtbl.create 64;
+    first_use_rev = [];
+    sync_events = Hashtbl.create 16;
+    block_counts = Hashtbl.create 64;
+    events = 0;
+  }
+
+let bump tbl key = Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+let on_enter t ~time name =
+  t.events <- t.events + 1;
+  (match t.stack with
+  | caller :: _ -> bump t.edges (caller, name)
+  | [] -> bump t.edges ("<root>", name));
+  bump t.counts name;
+  if not (Hashtbl.mem t.first_use name) then begin
+    Hashtbl.replace t.first_use name time;
+    t.first_use_rev <- name :: t.first_use_rev
+  end;
+  t.stack <- name :: t.stack
+
+let on_exit t name =
+  t.events <- t.events + 1;
+  match t.stack with
+  | top :: rest when String.equal top name -> t.stack <- rest
+  | _ ->
+    (* Exceptional unwinding can skip exits; drop to the matching
+       frame if one exists. *)
+    let rec unwind = function
+      | top :: rest when not (String.equal top name) -> unwind rest
+      | _ :: rest -> rest
+      | [] -> []
+    in
+    t.stack <- unwind t.stack
+
+let on_sync t name =
+  t.events <- t.events + 1;
+  bump t.sync_events name
+
+let on_block t label =
+  t.events <- t.events + 1;
+  bump t.block_counts label
+
+let first_use_order t = List.rev t.first_use_rev
+
+let call_graph t =
+  Hashtbl.fold (fun (a, b) n acc -> (a, b, n) :: acc) t.edges []
+
+let sync_count t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.sync_events name)
+
+let block_count t label =
+  Option.value ~default:0 (Hashtbl.find_opt t.block_counts label)
+
+let block_profile t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.block_counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let invocation_count t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.counts name)
+
+(* Install the monitoring natives into a client VM. Audit events are
+   forwarded to the console against the given client session; profile
+   data accumulates in the returned profiler state. *)
+let install vm ?console ?(session = 0) () =
+  let t = create () in
+  List.iter
+    (fun cf ->
+      Jvm.Classreg.register vm.Jvm.Vmstate.reg cf;
+      match Jvm.Classreg.find_loaded vm.Jvm.Vmstate.reg cf.CF.name with
+      | Some l -> l.Jvm.Classreg.init_state <- Jvm.Classreg.Initialized
+      | None -> assert false)
+    (runtime_classes ());
+  let str_arg args =
+    match args with
+    | [ Jvm.Value.Str s ] -> s
+    | _ -> Jvm.Vmstate.fault "monitor native: bad arguments"
+  in
+  let reg = Jvm.Vmstate.register_native vm in
+  let forward kind vm args =
+    Jvm.Vmstate.add_cost vm cost_audit_event;
+    (match console with
+    | Some console -> (
+      match Console.find_client console session with
+      | Some client ->
+        Console.record_event console client ~kind ~detail:(str_arg args)
+          ~time:(Jvm.Vmstate.total_cost vm)
+      | None ->
+        Audit.append (Console.audit console)
+          ~time:(Jvm.Vmstate.total_cost vm) ~session ~kind
+          ~detail:(str_arg args))
+    | None -> ());
+    None
+  in
+  reg ~cls:auditor_class ~name:"enter" ~desc:desc_s (forward "method.enter");
+  reg ~cls:auditor_class ~name:"exit" ~desc:desc_s (forward "method.exit");
+  reg ~cls:auditor_class ~name:"event" ~desc:desc_s (forward "app.event");
+  reg ~cls:profiler_class ~name:"enter" ~desc:desc_s (fun vm args ->
+      Jvm.Vmstate.add_cost vm cost_profile_event;
+      on_enter t ~time:(Jvm.Vmstate.total_cost vm) (str_arg args);
+      None);
+  reg ~cls:profiler_class ~name:"exit" ~desc:desc_s (fun vm args ->
+      Jvm.Vmstate.add_cost vm cost_profile_event;
+      on_exit t (str_arg args);
+      None);
+  reg ~cls:tracer_class ~name:"sync" ~desc:desc_s (fun vm args ->
+      Jvm.Vmstate.add_cost vm cost_profile_event;
+      on_sync t (str_arg args);
+      None);
+  reg ~cls:tracer_class ~name:"block" ~desc:desc_s (fun vm args ->
+      Jvm.Vmstate.add_cost vm cost_profile_event;
+      on_block t (str_arg args);
+      None);
+  t

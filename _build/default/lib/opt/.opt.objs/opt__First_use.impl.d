@@ -1,0 +1,1 @@
+lib/opt/first_use.ml: Bytecode Float Hashtbl List Monitor String

@@ -1,0 +1,1 @@
+lib/opt/first_use.mli: Bytecode Monitor

@@ -1,0 +1,1 @@
+lib/opt/repartition.ml: Array Bytecode First_use List

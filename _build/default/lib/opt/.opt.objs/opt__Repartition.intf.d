@@ -1,0 +1,1 @@
+lib/opt/repartition.mli: Bytecode First_use

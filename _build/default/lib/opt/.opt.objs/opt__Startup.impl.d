@@ -1,0 +1,1 @@
+lib/opt/startup.ml: Bytecode Float List Repartition

@@ -1,0 +1,1 @@
+lib/opt/startup.mli: Bytecode First_use

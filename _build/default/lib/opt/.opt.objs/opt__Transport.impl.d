@@ -1,0 +1,1 @@
+lib/opt/transport.ml: Bytecode First_use Float List Repartition

@@ -1,0 +1,1 @@
+lib/opt/transport.mli: Bytecode First_use

@@ -1,0 +1,44 @@
+(* First-use analysis (§5): from a profile of the first execution, the
+   proxy derives which methods an application actually touches — and in
+   what order — before it becomes ready for user requests. The
+   repartitioning service groups those; everything else is cold. *)
+
+type profile = {
+  used : (string, unit) Hashtbl.t; (* method labels used during startup *)
+  order : string list; (* first-use order *)
+}
+
+let method_key cls name desc = cls ^ "." ^ name ^ desc
+
+let of_order order =
+  let used = Hashtbl.create 64 in
+  List.iter (fun l -> Hashtbl.replace used l ()) order;
+  { used; order }
+
+let of_profiler p = of_order (Monitor.Profiler.first_use_order p)
+
+let is_used t label = Hashtbl.mem t.used label
+
+(* Partition one class's methods into hot (used, or structurally
+   unmovable) and cold. Constructors and class initializers are never
+   moved: they are tied to object layout and initialization order. *)
+let partition t (cf : Bytecode.Classfile.t) =
+  let open Bytecode.Classfile in
+  List.partition
+    (fun m ->
+      String.equal m.m_name "<init>"
+      || String.equal m.m_name "<clinit>"
+      || has_flag m.m_flags Native
+      || has_flag m.m_flags Abstract
+      || m.m_code = None
+      || is_used t (method_key cf.name m.m_name m.m_desc))
+    cf.methods
+
+(* Fraction (by encoded code bytes) of a class that is cold. *)
+let cold_fraction t (cf : Bytecode.Classfile.t) =
+  let open Bytecode.Classfile in
+  let size m = match m.m_code with None -> 0 | Some c -> code_bytes c in
+  let _, cold = partition t cf in
+  let total = List.fold_left (fun a m -> a + size m) 0 cf.methods in
+  let cold_bytes = List.fold_left (fun a m -> a + size m) 0 cold in
+  if total = 0 then 0.0 else Float.of_int cold_bytes /. Float.of_int total

@@ -1,0 +1,23 @@
+(** First-use analysis (§5).
+
+    From a profile of the first execution, derives which methods an
+    application touches — and in what order — before it is ready for
+    user requests. The repartitioning service groups those; everything
+    else is cold. *)
+
+type profile
+
+val method_key : string -> string -> string -> string
+val of_order : string list -> profile
+val of_profiler : Monitor.Profiler.t -> profile
+val is_used : profile -> string -> bool
+
+val partition :
+  profile ->
+  Bytecode.Classfile.t ->
+  Bytecode.Classfile.meth list * Bytecode.Classfile.meth list
+(** (hot-or-unmovable, cold). Constructors, class initializers,
+    natives and abstract methods are never moved. *)
+
+val cold_fraction : profile -> Bytecode.Classfile.t -> float
+(** Fraction by encoded code bytes of a class that is cold. *)

@@ -1,0 +1,141 @@
+(* The repartitioning service (§5): splits application classes at
+   method granularity so frequently used and related methods travel
+   together while rarely used methods are factored into separate units
+   loaded only on demand.
+
+   Mechanism: a cold method's body moves verbatim into a satellite
+   class <C>$cold as a *static* method whose descriptor gains the
+   receiver as first parameter — the locals layout is unchanged, so the
+   body needs no rewriting. The original method remains as a small
+   forwarding stub, preserving virtual dispatch and the public
+   interface; invoking it pulls the satellite over the network on first
+   use (lazy class loading does the rest). Neither the JVM clients nor
+   the origin servers need modification. *)
+
+module CF = Bytecode.Classfile
+module CP = Bytecode.Cp
+module I = Bytecode.Instr
+module D = Bytecode.Descriptor
+
+let satellite_name cls = cls ^ "$cold"
+let impl_name m_name = m_name ^ "$impl"
+
+(* The descriptor of the moved implementation: instance receivers are
+   made explicit. *)
+let impl_desc ~owner ~is_static desc =
+  if is_static then desc
+  else
+    let sg = D.method_sig_of_string desc in
+    D.method_sig_to_string { sg with D.params = D.Obj owner :: sg.D.params }
+
+(* The forwarding stub left in place of a cold method. *)
+let stub_body pool ~owner ~is_static (m : CF.meth) =
+  let sg = D.method_sig_of_string m.CF.m_desc in
+  let loads =
+    let param_loads base =
+      List.mapi
+        (fun i ty ->
+          match ty with
+          | D.Int -> I.Iload (base + i)
+          | D.Obj _ | D.Arr _ -> I.Aload (base + i))
+        sg.D.params
+    in
+    if is_static then param_loads 0 else I.Aload 0 :: param_loads 1
+  in
+  let call =
+    I.Invokestatic
+      (CP.Builder.methodref pool ~cls:(satellite_name owner)
+         ~name:(impl_name m.CF.m_name)
+         ~desc:(impl_desc ~owner ~is_static m.CF.m_desc))
+  in
+  let ret =
+    match sg.D.ret with
+    | None -> I.Return
+    | Some D.Int -> I.Ireturn
+    | Some (D.Obj _ | D.Arr _) -> I.Areturn
+  in
+  let instrs = Array.of_list (loads @ [ call; ret ]) in
+  {
+    CF.max_stack = max 1 (List.length loads);
+    max_locals = max 1 (List.length loads);
+    instrs;
+    handlers = [];
+  }
+
+type result = {
+  hot : CF.t; (* the slimmed class, stubs in place *)
+  cold : CF.t option; (* the satellite, or None if nothing moved *)
+  moved : int;
+  hot_bytes : int;
+  cold_bytes : int;
+}
+
+let split profile (cf : CF.t) : result =
+  let hot_meths, cold_meths = First_use.partition profile cf in
+  match cold_meths with
+  | [] ->
+    let b = Bytecode.Encode.class_size cf in
+    { hot = cf; cold = None; moved = 0; hot_bytes = b; cold_bytes = 0 }
+  | cold_meths ->
+    let pool = CP.Builder.of_pool cf.CF.pool in
+    let sat = satellite_name cf.CF.name in
+    (* Stubs replace the cold methods in the original class. *)
+    let stubs =
+      List.map
+        (fun m ->
+          let is_static = CF.has_flag m.CF.m_flags CF.Static in
+          {
+            m with
+            CF.m_code = Some (stub_body pool ~owner:cf.CF.name ~is_static m);
+          })
+        cold_meths
+    in
+    (* Moved implementations keep their bodies verbatim; only name,
+       staticness and descriptor change. The satellite shares the
+       original constant pool so every reference still resolves. *)
+    let impls =
+      List.map
+        (fun m ->
+          let is_static = CF.has_flag m.CF.m_flags CF.Static in
+          {
+            CF.m_name = impl_name m.CF.m_name;
+            m_desc = impl_desc ~owner:cf.CF.name ~is_static m.CF.m_desc;
+            m_flags = [ CF.Public; CF.Static ];
+            m_code = m.CF.m_code;
+          })
+        cold_meths
+    in
+    let final_pool = CP.Builder.to_pool pool in
+    let hot =
+      { cf with CF.methods = hot_meths @ stubs; pool = final_pool }
+    in
+    let cold =
+      {
+        CF.name = sat;
+        super = Some CF.java_lang_object;
+        interfaces = [];
+        c_flags = [ CF.Public ];
+        fields = [];
+        methods = impls;
+        pool = final_pool;
+        attributes = [ ("dvm.satellite.of", cf.CF.name) ];
+      }
+    in
+    {
+      hot;
+      cold = Some cold;
+      moved = List.length cold_meths;
+      hot_bytes = Bytecode.Encode.class_size hot;
+      cold_bytes = Bytecode.Encode.class_size cold;
+    }
+
+(* Repartition a whole application: returns the new class list (hot
+   classes plus satellites) and the map of satellite names. *)
+let split_app profile classes =
+  let results = List.map (split profile) classes in
+  let all =
+    List.concat_map
+      (fun r -> r.hot :: (match r.cold with Some c -> [ c ] | None -> []))
+      results
+  in
+  (all, results)

@@ -1,0 +1,69 @@
+(* Startup-time model for the §5 evaluation (Figures 11 and 12).
+
+   Startup time — invocation until the application can service user
+   requests — decomposes into a bandwidth-independent client component,
+   per-request round-trip latency, and the serialized transfer of the
+   code needed before readiness. Repartitioning removes the cold
+   fraction of that transfer; the improvement therefore approaches the
+   cold fraction on slow links and fades as bandwidth grows and the
+   fixed components dominate — the shape of Figure 12. *)
+
+type app_model = {
+  app_name : string;
+  startup_bytes : int; (* code transferred before readiness, baseline *)
+  requests : int; (* fetches issued during startup *)
+  cold_fraction : float; (* removable share of startup bytes *)
+  client_startup_us : int; (* bandwidth-independent client work *)
+}
+
+let transfer_us ~bandwidth_bps ~bytes =
+  int_of_float
+    (Float.of_int bytes *. 8.0 *. 1_000_000.0 /. Float.of_int bandwidth_bps)
+
+let startup_time_us t ~bandwidth_bps ~latency_us ~repartitioned =
+  let bytes =
+    if repartitioned then
+      int_of_float (Float.of_int t.startup_bytes *. (1.0 -. t.cold_fraction))
+    else t.startup_bytes
+  in
+  (* Repartitioning leaves the request count unchanged: the same
+     classes are fetched, just smaller. *)
+  t.client_startup_us + (t.requests * latency_us)
+  + transfer_us ~bandwidth_bps ~bytes
+
+let improvement_percent t ~bandwidth_bps ~latency_us =
+  let base =
+    startup_time_us t ~bandwidth_bps ~latency_us ~repartitioned:false
+  in
+  let opt = startup_time_us t ~bandwidth_bps ~latency_us ~repartitioned:true in
+  if base = 0 then 0.0
+  else 100.0 *. Float.of_int (base - opt) /. Float.of_int base
+
+(* A measured model built from real classes and a real profile: the
+   baseline transfers the originals, the optimized run transfers the
+   split hot parts. Used to validate the closed form against actual
+   repartitioned bytes. *)
+let model_of_classes ~name ~profile ~startup_classes ~client_startup_us
+    ~requests classes =
+  let startup =
+    List.filter
+      (fun cf -> List.mem cf.Bytecode.Classfile.name startup_classes)
+      classes
+  in
+  let base_bytes =
+    List.fold_left (fun a c -> a + Bytecode.Encode.class_size c) 0 startup
+  in
+  let hot_bytes =
+    List.fold_left
+      (fun a c -> a + (Repartition.split profile c).Repartition.hot_bytes)
+      0 startup
+  in
+  {
+    app_name = name;
+    startup_bytes = base_bytes;
+    requests;
+    cold_fraction =
+      (if base_bytes = 0 then 0.0
+       else Float.of_int (base_bytes - hot_bytes) /. Float.of_int base_bytes);
+    client_startup_us;
+  }

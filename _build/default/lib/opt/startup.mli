@@ -1,0 +1,26 @@
+(** Startup-time model for the §5 evaluation (Figures 11 and 12). *)
+
+type app_model = {
+  app_name : string;
+  startup_bytes : int;
+  requests : int;
+  cold_fraction : float;
+  client_startup_us : int;
+}
+
+val transfer_us : bandwidth_bps:int -> bytes:int -> int
+
+val startup_time_us :
+  app_model -> bandwidth_bps:int -> latency_us:int -> repartitioned:bool -> int
+
+val improvement_percent : app_model -> bandwidth_bps:int -> latency_us:int -> float
+
+val model_of_classes :
+  name:string ->
+  profile:First_use.profile ->
+  startup_classes:string list ->
+  client_startup_us:int ->
+  requests:int ->
+  Bytecode.Classfile.t list ->
+  app_model
+(** A measured model built from real classes and a real profile. *)

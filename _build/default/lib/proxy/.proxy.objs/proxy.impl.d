@@ -1,0 +1,1 @@
+lib/proxy/proxy.ml: Cache Dsig Float Httpwire Int64 Jvm Monitor Pipeline Printf Rewrite Simnet String

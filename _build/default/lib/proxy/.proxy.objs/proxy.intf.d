@@ -1,0 +1,1 @@
+lib/proxy/proxy.mli: Cache Dsig Httpwire Jvm Monitor Pipeline Rewrite Simnet

@@ -1,0 +1,1 @@
+lib/proxy/httpwire.mli:

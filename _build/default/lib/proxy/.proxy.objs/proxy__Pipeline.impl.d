@@ -1,0 +1,1 @@
+lib/proxy/pipeline.ml: Bytecode Dsig Float Int64 List Rewrite String Verifier

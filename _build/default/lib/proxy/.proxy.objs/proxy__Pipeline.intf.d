@@ -1,0 +1,1 @@
+lib/proxy/pipeline.mli: Bytecode Dsig Rewrite

@@ -1,0 +1,74 @@
+(* The proxy's class cache (§3): rewritten classes are cached so code
+   shared between clients is transformed once. LRU over a byte
+   budget. *)
+
+type entry = { bytes : string; mutable last_used : int }
+
+type t = {
+  capacity : int; (* bytes; 0 disables caching *)
+  tbl : (string, entry) Hashtbl.t;
+  mutable used : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  {
+    capacity;
+    tbl = Hashtbl.create 256;
+    used = 0;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let enabled t = t.capacity > 0
+
+let find t key =
+  if not (enabled t) then None
+  else
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+      t.clock <- t.clock + 1;
+      e.last_used <- t.clock;
+      t.hits <- t.hits + 1;
+      Some e.bytes
+    | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_one t =
+  let victim =
+    Hashtbl.fold
+      (fun k e acc ->
+        match acc with
+        | Some (_, best) when best.last_used <= e.last_used -> acc
+        | _ -> Some (k, e))
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (k, e) ->
+    Hashtbl.remove t.tbl k;
+    t.used <- t.used - String.length e.bytes;
+    t.evictions <- t.evictions + 1
+
+let store t key bytes =
+  if enabled t && String.length bytes <= t.capacity then begin
+    (match Hashtbl.find_opt t.tbl key with
+    | Some old ->
+      Hashtbl.remove t.tbl key;
+      t.used <- t.used - String.length old.bytes
+    | None -> ());
+    while t.used + String.length bytes > t.capacity && Hashtbl.length t.tbl > 0 do
+      evict_one t
+    done;
+    t.clock <- t.clock + 1;
+    Hashtbl.replace t.tbl key { bytes; last_used = t.clock };
+    t.used <- t.used + String.length bytes
+  end
+
+let size t = Hashtbl.length t.tbl

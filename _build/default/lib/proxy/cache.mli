@@ -1,0 +1,21 @@
+(** The proxy's class cache (§3): rewritten classes are cached so code
+    shared between clients is transformed once. LRU over a byte
+    budget; capacity 0 disables caching. *)
+
+type t = {
+  capacity : int;
+  tbl : (string, entry) Hashtbl.t;
+  mutable used : int;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+and entry = { bytes : string; mutable last_used : int }
+
+val create : capacity:int -> t
+val enabled : t -> bool
+val find : t -> string -> string option
+val store : t -> string -> string -> unit
+val size : t -> int

@@ -1,0 +1,101 @@
+(* The proxy's wire protocol.
+
+   The paper's proxy is an HTTP proxy (the evaluation runs it in front
+   of Netscape Enterprise); this is the minimal HTTP/1.0-shaped framing
+   the reproduction's clients and proxies exchange: a GET line naming
+   the class resource, and a status response with a Content-Length
+   body. The framing exists so that byte volumes on the wire include
+   protocol overhead and so malformed requests have somewhere to be
+   rejected. *)
+
+exception Bad_message of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Bad_message s)) fmt
+
+let crlf = "\r\n"
+
+(* --- Requests. --- *)
+
+let encode_request ~cls = Printf.sprintf "GET /%s DVM/1.0%s%s" cls crlf crlf
+
+let decode_request (data : string) : string =
+  match String.index_opt data '\r' with
+  | None -> fail "no request line terminator"
+  | Some eol -> (
+    let line = String.sub data 0 eol in
+    match String.split_on_char ' ' line with
+    | [ "GET"; path; "DVM/1.0" ] ->
+      if String.length path < 2 || path.[0] <> '/' then
+        fail "bad request path %S" path
+      else String.sub path 1 (String.length path - 1)
+    | _ -> fail "malformed request line %S" line)
+
+(* --- Responses. --- *)
+
+type status = Ok_200 | Not_found_404 | Bad_request_400
+
+let status_code = function
+  | Ok_200 -> 200
+  | Not_found_404 -> 404
+  | Bad_request_400 -> 400
+
+let status_of_code = function
+  | 200 -> Ok_200
+  | 404 -> Not_found_404
+  | 400 -> Bad_request_400
+  | c -> fail "unknown status %d" c
+
+let encode_response ~status ~body =
+  Printf.sprintf "DVM/1.0 %d%sContent-Length: %d%s%s%s" (status_code status)
+    crlf (String.length body) crlf crlf body
+
+let decode_response (data : string) : status * string =
+  let find_crlf from =
+    let rec go i =
+      if i + 1 >= String.length data then fail "truncated response"
+      else if data.[i] = '\r' && data.[i + 1] = '\n' then i
+      else go (i + 1)
+    in
+    go from
+  in
+  let eol1 = find_crlf 0 in
+  let status =
+    match String.split_on_char ' ' (String.sub data 0 eol1) with
+    | [ "DVM/1.0"; code ] -> (
+      match int_of_string_opt code with
+      | Some c -> status_of_code c
+      | None -> fail "bad status code %S" code)
+    | _ -> fail "malformed status line"
+  in
+  let eol2 = find_crlf (eol1 + 2) in
+  let header = String.sub data (eol1 + 2) (eol2 - eol1 - 2) in
+  let len =
+    match String.split_on_char ':' header with
+    | [ "Content-Length"; v ] -> (
+      match int_of_string_opt (String.trim v) with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> fail "bad content length %S" v)
+    | _ -> fail "missing Content-Length"
+  in
+  let body_start = eol2 + 4 in
+  if String.length data <> body_start + len then
+    fail "body length mismatch (declared %d, present %d)" len
+      (String.length data - body_start);
+  (status, String.sub data body_start len)
+
+(* Framing overhead in bytes for a response carrying [body_bytes] — the
+   wire-volume correction network experiments can apply. *)
+let response_overhead ~body_bytes =
+  String.length (encode_response ~status:Ok_200 ~body:"") +
+  (* Content-Length digits grow with the body *)
+  String.length (string_of_int body_bytes) - 1
+
+(* Serve one request against an origin-like lookup. *)
+let serve lookup (raw_request : string) : string =
+  match decode_request raw_request with
+  | exception Bad_message m ->
+    encode_response ~status:Bad_request_400 ~body:m
+  | cls -> (
+    match lookup cls with
+    | Some body -> encode_response ~status:Ok_200 ~body
+    | None -> encode_response ~status:Not_found_404 ~body:"")

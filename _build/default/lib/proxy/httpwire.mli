@@ -1,0 +1,20 @@
+(** The proxy's wire protocol: minimal HTTP/1.0-shaped framing (the
+    paper's proxy is an HTTP proxy). Requests name a class resource;
+    responses carry a status and Content-Length body. *)
+
+exception Bad_message of string
+
+val encode_request : cls:string -> string
+val decode_request : string -> string
+(** @raise Bad_message on malformed input. *)
+
+type status = Ok_200 | Not_found_404 | Bad_request_400
+
+val status_code : status -> int
+val encode_response : status:status -> body:string -> string
+val decode_response : string -> status * string
+val response_overhead : body_bytes:int -> int
+
+val serve : (string -> string option) -> string -> string
+(** One request/response exchange over an origin-like lookup;
+    malformed requests get a 400. *)

@@ -1,0 +1,32 @@
+(** The static-service pipeline (Figure 2).
+
+    Code flows through a stack of independent code-transformation
+    filters; parsing and generation happen once for all services. A
+    rejection anywhere becomes an error-propagation replacement class,
+    so failures reach clients as ordinary Java exceptions. *)
+
+type outcome = {
+  out_bytes : string;
+  rejected : (string * string) option;  (** (filter, reason) *)
+  parse_cost : int64;  (** µs of proxy CPU *)
+  transform_cost : int64;
+  generate_cost : int64;
+  parses : int;
+}
+
+val total_cost : outcome -> int64
+
+val parse_us_per_byte : float
+val generate_us_per_byte : float
+val transform_us_per_instr : float
+
+val parse_cost_of : string -> int64
+val generate_cost_of : string -> int64
+val transform_cost_of : Bytecode.Classfile.t -> int64
+
+val run : ?signer:Dsig.Sign.key -> Rewrite.Filter.t list -> string -> outcome
+
+val run_parse_per_service :
+  ?signer:Dsig.Sign.key -> Rewrite.Filter.t list -> string -> outcome
+(** Ablation: re-parse and re-generate between every pair of services
+    (same output, multiplied cost). *)

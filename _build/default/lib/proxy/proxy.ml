@@ -1,0 +1,154 @@
+(* The transparent network proxy hosting the static service components
+   (§2–§3): it intercepts class requests from clients, fetches from the
+   origin (an Internet web server or an intranet file store), runs the
+   filter pipeline once per class, signs the result, caches it, and
+   leaves an audit trail for the administration console.
+
+   Placement mirrors the paper: the proxy sits at the organization's
+   trust boundary on a physically secure host. Its CPU serializes
+   pipeline work and its memory holds per-request working state — the
+   resource model behind the Figure 10 scaling experiment. *)
+
+module Cache = Cache
+module Pipeline = Pipeline
+module Httpwire = Httpwire
+
+type reply = Bytes of string | Not_found
+
+type origin = string -> string option
+
+type t = {
+  engine : Simnet.Engine.t;
+  host : Simnet.Host.t;
+  cache : Cache.t;
+  mutable filters : Rewrite.Filter.t list;
+  origin : origin;
+  origin_latency : string -> Simnet.Engine.time; (* per-class WAN latency *)
+  origin_bandwidth_bps : int;
+  signer : Dsig.Sign.key option;
+  audit : Monitor.Audit.t option;
+  (* Parsed working state per in-flight request: buffers for the raw
+     bytes, the decoded image and the output. *)
+  working_set_factor : int;
+  mutable requests : int;
+  mutable rejections : int;
+  mutable bytes_served : int;
+  mutable origin_fetches : int;
+  mutable cpu_us : int64; (* total pipeline + cache-service CPU *)
+}
+
+let create ?(cache_capacity = 48 * 1024 * 1024)
+    ?(mem_capacity = 64 * 1024 * 1024) ?signer ?audit
+    ?(origin_bandwidth_bps = 100_000_000) ?(working_set_factor = 12)
+    ?(cpu_factor = 1.0) engine ~origin ~origin_latency ~filters () =
+  {
+    engine;
+    host =
+      Simnet.Host.create ~cpu_factor ~mem_capacity engine ~name:"proxy";
+    cache = Cache.create ~capacity:cache_capacity;
+    filters;
+    origin;
+    origin_latency;
+    origin_bandwidth_bps;
+    signer;
+    audit;
+    working_set_factor;
+    requests = 0;
+    rejections = 0;
+    bytes_served = 0;
+    origin_fetches = 0;
+    cpu_us = 0L;
+  }
+
+let log t kind detail =
+  match t.audit with
+  | None -> ()
+  | Some a ->
+    Monitor.Audit.append a ~time:(Simnet.Engine.now t.engine) ~session:0 ~kind
+      ~detail
+
+(* Process fetched bytes through the pipeline on the proxy CPU, then
+   deliver. *)
+let transform_and_reply t ~cls bytes k =
+  let ws = t.working_set_factor * String.length bytes in
+  Simnet.Host.allocate t.host ws;
+  (* The pipeline itself runs synchronously (it is pure CPU work); its
+     cost occupies the host CPU in simulated time. *)
+  let outcome = Pipeline.run ?signer:t.signer t.filters bytes in
+  let cost =
+    Int64.add (Pipeline.total_cost outcome)
+      (match t.signer with
+      | None -> 0L
+      | Some _ ->
+        Int64.of_int
+          (Dsig.Sign.sign_cost_us ~bytes:(String.length outcome.Pipeline.out_bytes)))
+  in
+  t.cpu_us <- Int64.add t.cpu_us cost;
+  Simnet.Host.compute t.host ~cost_us:cost (fun () ->
+      Simnet.Host.release t.host ws;
+      (match outcome.Pipeline.rejected with
+      | Some (filter, reason) ->
+        t.rejections <- t.rejections + 1;
+        log t "proxy.reject" (Printf.sprintf "%s: %s (%s)" cls reason filter)
+      | None -> log t "proxy.serve" cls);
+      let out = outcome.Pipeline.out_bytes in
+      Cache.store t.cache cls out;
+      t.bytes_served <- t.bytes_served + String.length out;
+      k (Bytes out))
+
+(* Handle one client request for a class. The callback fires, in
+   simulated time, when the proxy has the response ready to put on the
+   client's wire (the caller models the client-side link). *)
+let request t ~cls k =
+  t.requests <- t.requests + 1;
+  match Cache.find t.cache cls with
+  | Some bytes ->
+    t.bytes_served <- t.bytes_served + String.length bytes;
+    log t "proxy.cache_hit" cls;
+    (* A small fixed cost to look up and stream from the disk cache. *)
+    t.cpu_us <- Int64.add t.cpu_us 2000L;
+    Simnet.Host.compute t.host ~cost_us:2000L (fun () -> k (Bytes bytes))
+  | None -> (
+    match t.origin cls with
+    | None ->
+      log t "proxy.not_found" cls;
+      Simnet.Host.compute t.host ~cost_us:500L (fun () -> k Not_found)
+    | Some bytes ->
+      t.origin_fetches <- t.origin_fetches + 1;
+      let latency = t.origin_latency cls in
+      let tx =
+        Int64.of_float
+          (Float.of_int (String.length bytes)
+          *. 8.0 *. 1_000_000.0
+          /. Float.of_int t.origin_bandwidth_bps)
+      in
+      Simnet.Engine.schedule t.engine ~delay:(Int64.add latency tx) (fun () ->
+          transform_and_reply t ~cls bytes k))
+
+(* Synchronous variant for non-simulated use (unit tests, CLI): runs
+   the pipeline immediately and returns the bytes. *)
+let request_sync t ~cls =
+  t.requests <- t.requests + 1;
+  match Cache.find t.cache cls with
+  | Some bytes ->
+    t.cpu_us <- Int64.add t.cpu_us 2000L;
+    t.bytes_served <- t.bytes_served + String.length bytes;
+    Bytes bytes
+  | None -> (
+    match t.origin cls with
+    | None -> Not_found
+    | Some bytes ->
+      t.origin_fetches <- t.origin_fetches + 1;
+      let outcome = Pipeline.run ?signer:t.signer t.filters bytes in
+      t.cpu_us <- Int64.add t.cpu_us (Pipeline.total_cost outcome);
+      (match outcome.Pipeline.rejected with
+      | Some _ -> t.rejections <- t.rejections + 1
+      | None -> ());
+      Cache.store t.cache cls outcome.Pipeline.out_bytes;
+      t.bytes_served <- t.bytes_served + String.length outcome.Pipeline.out_bytes;
+      Bytes outcome.Pipeline.out_bytes)
+
+(* A classloading provider backed by the synchronous path — what a DVM
+   client plugs into its registry. *)
+let provider t : Jvm.Classreg.provider =
+ fun cls -> match request_sync t ~cls with Bytes b -> Some b | Not_found -> None

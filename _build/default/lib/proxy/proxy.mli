@@ -1,0 +1,62 @@
+(** The transparent network proxy hosting the static service
+    components (§2–§3).
+
+    Intercepts class requests from clients, fetches from the origin,
+    runs the filter pipeline once per class, signs the result, caches
+    it, and leaves an audit trail. The proxy CPU serializes pipeline
+    work and its memory holds per-request working state — the resource
+    model behind Figure 10. *)
+
+module Cache : module type of Cache
+module Pipeline : module type of Pipeline
+module Httpwire : module type of Httpwire
+
+type reply = Bytes of string | Not_found
+
+type origin = string -> string option
+
+type t = {
+  engine : Simnet.Engine.t;
+  host : Simnet.Host.t;
+  cache : Cache.t;
+  mutable filters : Rewrite.Filter.t list;
+  origin : origin;
+  origin_latency : string -> Simnet.Engine.time;
+  origin_bandwidth_bps : int;
+  signer : Dsig.Sign.key option;
+  audit : Monitor.Audit.t option;
+  working_set_factor : int;
+  mutable requests : int;
+  mutable rejections : int;
+  mutable bytes_served : int;
+  mutable origin_fetches : int;
+  mutable cpu_us : int64;  (** total pipeline + cache-service CPU *)
+}
+
+val create :
+  ?cache_capacity:int ->
+  ?mem_capacity:int ->
+  ?signer:Dsig.Sign.key ->
+  ?audit:Monitor.Audit.t ->
+  ?origin_bandwidth_bps:int ->
+  ?working_set_factor:int ->
+  ?cpu_factor:float ->
+  Simnet.Engine.t ->
+  origin:origin ->
+  origin_latency:(string -> Simnet.Engine.time) ->
+  filters:Rewrite.Filter.t list ->
+  unit ->
+  t
+(** Defaults: 48 MB cache, 64 MB memory (the paper's proxy), 100 Mb/s
+    uplink. [cache_capacity:0] disables caching. *)
+
+val request : t -> cls:string -> (reply -> unit) -> unit
+(** Simulated-time request; the callback fires when the response is
+    ready for the client's wire. *)
+
+val request_sync : t -> cls:string -> reply
+(** Synchronous variant for unit tests and the CLI. *)
+
+val provider : t -> Jvm.Classreg.provider
+(** A classloading provider backed by the synchronous path — what a
+    DVM client plugs into its registry. *)

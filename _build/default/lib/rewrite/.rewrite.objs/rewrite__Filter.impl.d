@@ -1,0 +1,1 @@
+lib/rewrite/filter.ml: Bytecode Fun List

@@ -1,0 +1,1 @@
+lib/rewrite/filter.mli: Bytecode

@@ -1,0 +1,1 @@
+lib/rewrite/patch.ml: Array Bytecode List

@@ -1,0 +1,1 @@
+lib/rewrite/patch.mli: Bytecode

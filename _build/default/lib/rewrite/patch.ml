@@ -1,0 +1,127 @@
+(* Instruction-stream patching: the core mechanic of every static
+   service component. Services insert instruction blocks before
+   existing instructions; branch targets, exception tables and stack
+   bounds are fixed up so the result is again a well-formed method.
+
+   Inserted blocks may contain internal branches; their targets are
+   interpreted *relative to the block* (0 = first inserted
+   instruction). Falling off the end of a block continues into the
+   instruction the block was inserted before, so straight-line
+   instrumentation needs no explicit jump. *)
+
+module I = Bytecode.Instr
+module CF = Bytecode.Classfile
+
+type insertion = {
+  at : int; (* insert before the instruction currently at this index *)
+  block : I.t list; (* targets are block-relative *)
+}
+
+(* [n] (the code length) is a valid insertion point meaning "append at
+   the very end" — used when instrumenting past the last instruction
+   is needed (rare; returns are usually the anchor). *)
+let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
+  let n = Array.length code.CF.instrs in
+  List.iter
+    (fun { at; _ } ->
+      if at < 0 || at > n then invalid_arg "Patch.apply_insertions: bad index")
+    insertions;
+  (* Group blocks by insertion point, preserving order of same-point
+     insertions. *)
+  let by_point = Array.make (n + 1) [] in
+  List.iter (fun ins -> by_point.(ins.at) <- by_point.(ins.at) @ [ ins.block ])
+    insertions;
+  let block_len_at i =
+    List.fold_left (fun acc b -> acc + List.length b) 0 by_point.(i)
+  in
+  (* start.(i): new index of the first instruction of the insertion
+     block(s) at old index i; the old instruction i itself lands at
+     start.(i) + block_len_at i. *)
+  let start = Array.make (n + 1) 0 in
+  for i = 1 to n do
+    start.(i) <- start.(i - 1) + block_len_at (i - 1) + 1
+  done;
+  (* Old branch target t is redirected to start.(t): instrumentation
+     guarding an instruction runs no matter how control reaches it. *)
+  let out = ref [] in
+  let emit i = out := i :: !out in
+  let emit_blocks i =
+    let base = ref start.(i) in
+    List.iter
+      (fun block ->
+        let b = !base in
+        List.iter (fun ins -> emit (I.map_targets (fun j -> b + j) ins)) block;
+        base := b + List.length block)
+      by_point.(i)
+  in
+  for i = 0 to n - 1 do
+    emit_blocks i;
+    emit (I.map_targets (fun t -> start.(t)) code.CF.instrs.(i))
+  done;
+  (* Trailing block at index n, if any. *)
+  emit_blocks n;
+  let instrs = Array.of_list (List.rev !out) in
+  let handlers =
+    List.map
+      (fun h ->
+        {
+          CF.h_start = start.(h.CF.h_start);
+          h_end = start.(h.CF.h_end);
+          h_target = start.(h.CF.h_target);
+          h_catch = h.CF.h_catch;
+        })
+      code.CF.handlers
+  in
+  { code with CF.instrs; handlers }
+
+(* Recompute stack/locals bounds after patching. The estimate walks the
+   new CFG; we keep at least the original bounds, so instrumentation
+   can only widen. *)
+let refit_bounds pool ~params ~is_static (code : CF.code) : CF.code =
+  let handler_targets = List.map (fun h -> h.CF.h_target) code.CF.handlers in
+  let max_stack =
+    max code.CF.max_stack
+      (Bytecode.Builder.estimate_max_stack ~handler_targets pool code.CF.instrs)
+  in
+  let max_locals =
+    max code.CF.max_locals
+      (Bytecode.Builder.estimate_max_locals ~params ~is_static code.CF.instrs)
+  in
+  { code with CF.max_stack; max_locals }
+
+let is_return = function
+  | I.Ireturn | I.Areturn | I.Return -> true
+  | _ -> false
+
+let return_sites (code : CF.code) =
+  let sites = ref [] in
+  Array.iteri
+    (fun i ins -> if is_return ins then sites := i :: !sites)
+    code.CF.instrs;
+  List.rev !sites
+
+(* Instrument a method body: [entry] runs before the first instruction,
+   [before_return] runs before every return. Both blocks must preserve
+   the operand stack. *)
+let instrument_method pool (m : CF.meth) ~entry ~before_return : CF.meth =
+  match m.CF.m_code with
+  | None -> m
+  | Some code ->
+    let insertions =
+      (if entry = [] then [] else [ { at = 0; block = entry } ])
+      @
+      if before_return = [] then []
+      else
+        List.map (fun at -> { at; block = before_return }) (return_sites code)
+    in
+    if insertions = [] then m
+    else
+      let code = apply_insertions code insertions in
+      let sg = Bytecode.Descriptor.method_sig_of_string m.CF.m_desc in
+      let code =
+        refit_bounds pool
+          ~params:(Bytecode.Descriptor.param_slots sg)
+          ~is_static:(CF.has_flag m.CF.m_flags CF.Static)
+          code
+      in
+      { m with CF.m_code = Some code }

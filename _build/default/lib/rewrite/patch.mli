@@ -1,0 +1,41 @@
+(** Instruction-stream patching: the core mechanic of every static
+    service component.
+
+    Services insert instruction blocks before existing instructions;
+    branch targets, exception tables and stack bounds are fixed up so
+    the result is again a well-formed method. Branch targets {e inside}
+    an inserted block are block-relative (0 = first inserted
+    instruction); falling off the end of a block continues into the
+    instruction it was inserted before. Old branch targets are
+    redirected to the inserted block, so instrumentation guarding an
+    instruction runs no matter how control reaches it. *)
+
+type insertion = {
+  at : int;  (** insert before the instruction currently at this index;
+                 the code length itself is a valid point (append) *)
+  block : Bytecode.Instr.t list;  (** targets are block-relative *)
+}
+
+val apply_insertions :
+  Bytecode.Classfile.code -> insertion list -> Bytecode.Classfile.code
+(** @raise Invalid_argument on an out-of-range insertion point. *)
+
+val refit_bounds :
+  Bytecode.Cp.t ->
+  params:int ->
+  is_static:bool ->
+  Bytecode.Classfile.code ->
+  Bytecode.Classfile.code
+(** Recompute [max_stack]/[max_locals] after patching (never below the
+    original bounds). *)
+
+val return_sites : Bytecode.Classfile.code -> int list
+
+val instrument_method :
+  Bytecode.Cp.t ->
+  Bytecode.Classfile.meth ->
+  entry:Bytecode.Instr.t list ->
+  before_return:Bytecode.Instr.t list ->
+  Bytecode.Classfile.meth
+(** Run [entry] before the first instruction and [before_return] before
+    every return. Both blocks must preserve the operand stack. *)

@@ -1,0 +1,1 @@
+lib/security/enforcement.ml: Bytecode Hashtbl Jvm List Policy Server

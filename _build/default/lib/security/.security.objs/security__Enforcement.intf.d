@@ -1,0 +1,1 @@
+lib/security/enforcement.mli: Bytecode Hashtbl Jvm Policy Server

@@ -1,0 +1,1 @@
+lib/security/policy.ml: Format List Option String

@@ -1,0 +1,1 @@
+lib/security/policy_xml.ml: Buffer Format List Policy String

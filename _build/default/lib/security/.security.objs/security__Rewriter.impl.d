@@ -1,0 +1,1 @@
+lib/security/rewriter.ml: Array Bytecode Enforcement List Policy Rewrite

@@ -1,0 +1,1 @@
+lib/security/rewriter.mli: Bytecode Policy Rewrite

@@ -1,0 +1,1 @@
+lib/security/server.ml: List Policy

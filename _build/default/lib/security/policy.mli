@@ -1,0 +1,55 @@
+(** The organization-wide security policy (§3.2), derived from DTOS.
+
+    Security identifiers (protection domains) relate to permissions
+    through an access matrix; named resources map to identifiers; and
+    an operation map relates security operations to the application
+    code points where access checks are inserted. *)
+
+type sid = string
+type permission = string
+
+type operation = {
+  op_permission : permission;
+  op_class : string;
+  op_method : string;  (** ["*"] matches any method *)
+  op_resource_arg : bool;
+      (** the call's last [String] argument names the resource; the
+          check resolves the resource's domain (DTOS object SIDs) *)
+}
+
+type rule = { rule_sid : sid; rule_permission : permission; rule_allow : bool }
+
+type t = {
+  version : int;
+  default_allow : bool;
+  rules : rule list;
+  resources : (string * sid) list;  (** resource-name prefix → domain *)
+  operations : operation list;
+  principals : (string * sid) list;  (** class-name prefix → domain *)
+}
+
+val empty : t
+
+val decide : t -> sid:sid -> permission:permission -> bool
+(** Access-matrix lookup; first matching rule wins, else the default. *)
+
+val prefix_match : string -> string -> bool
+val domain_of_resource : t -> string -> sid option
+
+val resource_permission :
+  t -> permission:permission -> resource:string -> permission
+(** The permission required for an access to a named resource:
+    ["file.read@homedirs"] when the resource maps to a domain, the
+    plain permission otherwise. *)
+
+val domain_of_class : t -> string -> sid option
+val operations_for : t -> cls:string -> meth:string -> operation list
+
+val slice_for_domain : t -> sid -> rule list
+(** What an enforcement manager downloads on its first check. *)
+
+val with_rule : t -> sid:sid -> permission:permission -> allow:bool -> t
+(** Functional update; bumps the policy version (triggers cache
+    invalidation). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+(* The static component of the security service (§3.2): rewrites
+   incoming applications so that every security-relevant operation
+   named by the policy's operation map is preceded by a call to the
+   client's enforcement manager. Because insertion happens at the
+   bytecode level on the proxy, checks can guard operations the
+   original system designers never anticipated — file read being the
+   paper's example. *)
+
+module CF = Bytecode.Classfile
+module CP = Bytecode.Cp
+module I = Bytecode.Instr
+
+type counters = {
+  mutable checks_inserted : int;
+  mutable methods_instrumented : int;
+  mutable classes_processed : int;
+}
+
+let fresh_counters () =
+  { checks_inserted = 0; methods_instrumented = 0; classes_processed = 0 }
+
+(* A resource-aware check is only possible when the protected call's
+   last parameter is a String sitting on top of the stack at the call
+   site. *)
+let last_param_is_string desc =
+  match Bytecode.Descriptor.method_sig_of_string desc with
+  | { Bytecode.Descriptor.params; _ } -> (
+    match List.rev params with
+    | Bytecode.Descriptor.Obj "java/lang/String" :: _ -> true
+    | _ -> false)
+  | exception Bytecode.Descriptor.Bad_descriptor _ -> false
+
+(* Find the call sites in a method that the operation map covers, with
+   the permission each requires and whether the resource name is
+   available on the stack. *)
+let protected_sites policy pool (code : CF.code) =
+  let sites = ref [] in
+  Array.iteri
+    (fun idx insn ->
+      match insn with
+      | I.Invokevirtual k | I.Invokestatic k | I.Invokespecial k
+      | I.Invokeinterface k -> (
+        match CP.get_methodref pool k with
+        | mr ->
+          List.iter
+            (fun op ->
+              let with_resource =
+                op.Policy.op_resource_arg
+                && last_param_is_string mr.CP.ref_desc
+              in
+              sites := (idx, op.Policy.op_permission, with_resource) :: !sites)
+            (Policy.operations_for policy ~cls:mr.CP.ref_class
+               ~meth:mr.CP.ref_name)
+        | exception (CP.Invalid_index _ | CP.Wrong_kind _) -> ())
+      | _ -> ())
+    code.CF.instrs;
+  List.rev !sites
+
+let check_block pool permission ~with_resource =
+  if with_resource then
+    (* stack: [.., resource] -> dup the resource name and pass it with
+       the permission: checkResource(resource, permission) *)
+    [
+      I.Dup;
+      I.Ldc_str (CP.Builder.string pool permission);
+      I.Invokestatic
+        (CP.Builder.methodref pool ~cls:Enforcement.class_name
+           ~name:"checkResource" ~desc:Enforcement.desc_check_resource);
+    ]
+  else
+    [
+      I.Ldc_str (CP.Builder.string pool permission);
+      I.Invokestatic
+        (CP.Builder.methodref pool ~cls:Enforcement.class_name ~name:"check"
+           ~desc:Enforcement.desc_check);
+    ]
+
+let rewrite_class ?(counters = fresh_counters ()) policy (cf : CF.t) : CF.t =
+  counters.classes_processed <- counters.classes_processed + 1;
+  let pool = CP.Builder.of_pool cf.CF.pool in
+  let methods =
+    List.map
+      (fun m ->
+        match m.CF.m_code with
+        | None -> m
+        | Some code ->
+          let sites = protected_sites policy (CP.Builder.to_pool pool) code in
+          if sites = [] then m
+          else begin
+            counters.methods_instrumented <- counters.methods_instrumented + 1;
+            counters.checks_inserted <-
+              counters.checks_inserted + List.length sites;
+            let insertions =
+              List.map
+                (fun (at, permission, with_resource) ->
+                  {
+                    Rewrite.Patch.at;
+                    block = check_block pool permission ~with_resource;
+                  })
+                sites
+            in
+            let code = Rewrite.Patch.apply_insertions code insertions in
+            let sg = Bytecode.Descriptor.method_sig_of_string m.CF.m_desc in
+            let code =
+              Rewrite.Patch.refit_bounds (CP.Builder.to_pool pool)
+                ~params:(Bytecode.Descriptor.param_slots sg)
+                ~is_static:(CF.has_flag m.CF.m_flags CF.Static)
+                code
+            in
+            { m with CF.m_code = Some code }
+          end)
+      cf.CF.methods
+  in
+  { cf with CF.methods; pool = CP.Builder.to_pool pool }
+
+let filter ?counters policy =
+  Rewrite.Filter.make ~name:"security" (rewrite_class ?counters policy)

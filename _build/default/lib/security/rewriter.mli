@@ -1,0 +1,20 @@
+(** The static component of the security service (§3.2).
+
+    Rewrites incoming applications so every security-relevant operation
+    named by the policy's operation map is preceded by a call to the
+    client's enforcement manager. Insertion at the bytecode level means
+    checks can guard operations the original system designers never
+    anticipated — file read being the paper's example. *)
+
+type counters = {
+  mutable checks_inserted : int;
+  mutable methods_instrumented : int;
+  mutable classes_processed : int;
+}
+
+val fresh_counters : unit -> counters
+
+val rewrite_class :
+  ?counters:counters -> Policy.t -> Bytecode.Classfile.t -> Bytecode.Classfile.t
+
+val filter : ?counters:counters -> Policy.t -> Rewrite.Filter.t

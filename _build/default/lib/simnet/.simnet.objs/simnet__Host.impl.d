@@ -1,0 +1,1 @@
+lib/simnet/host.ml: Engine Float Int64

@@ -1,0 +1,104 @@
+(* Discrete-event simulation engine. Time is in integer microseconds.
+   Events fire in (time, insertion order) — ties break FIFO so models
+   are deterministic. *)
+
+type time = int64
+
+type event = { at : time; seq : int; fn : unit -> unit }
+
+(* Binary min-heap on (at, seq). *)
+module Heap = struct
+  type t = { mutable data : event array; mutable size : int }
+
+  let dummy = { at = 0L; seq = 0; fn = ignore }
+  let create () = { data = Array.make 256 dummy; size = 0 }
+
+  let less a b = if Int64.equal a.at b.at then a.seq < b.seq else Int64.compare a.at b.at < 0
+
+  let swap h i j =
+    let t = h.data.(i) in
+    h.data.(i) <- h.data.(j);
+    h.data.(j) <- t
+
+  let push h e =
+    if h.size >= Array.length h.data then begin
+      let bigger = Array.make (2 * Array.length h.data) dummy in
+      Array.blit h.data 0 bigger 0 h.size;
+      h.data <- bigger
+    end;
+    h.data.(h.size) <- e;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && less h.data.(!i) h.data.((!i - 1) / 2) do
+      swap h !i ((!i - 1) / 2);
+      i := (!i - 1) / 2
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && less h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && less h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          swap h !i !smallest;
+          i := !smallest
+        end
+        else continue := false
+      done;
+      Some top
+    end
+end
+
+type t = {
+  mutable now : time;
+  heap : Heap.t;
+  mutable next_seq : int;
+  mutable events_processed : int;
+}
+
+let create () =
+  { now = 0L; heap = Heap.create (); next_seq = 0; events_processed = 0 }
+
+let now t = t.now
+
+let schedule_at t at fn =
+  let at = if Int64.compare at t.now < 0 then t.now else at in
+  Heap.push t.heap { at; seq = t.next_seq; fn };
+  t.next_seq <- t.next_seq + 1
+
+let schedule t ~delay fn = schedule_at t (Int64.add t.now delay) fn
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match Heap.pop t.heap with
+    | None -> continue := false
+    | Some e -> (
+      match until with
+      | Some stop when Int64.compare e.at stop > 0 ->
+        (* Past the horizon: put it back and stop. *)
+        Heap.push t.heap e;
+        t.now <- stop;
+        continue := false
+      | Some _ | None ->
+        t.now <- e.at;
+        t.events_processed <- t.events_processed + 1;
+        e.fn ())
+  done
+
+let us n = Int64.of_int n
+let ms n = Int64.of_int (n * 1000)
+let sec n = Int64.of_int (n * 1_000_000)
+let to_ms t = Int64.to_float t /. 1000.
+let to_sec t = Int64.to_float t /. 1_000_000.
+
+let events_processed t = t.events_processed

@@ -1,0 +1,28 @@
+(** Discrete-event simulation engine.
+
+    Time is in integer microseconds. Events fire in
+    (time, insertion-order): ties break FIFO, so models are
+    deterministic. *)
+
+type time = int64
+type t
+
+val create : unit -> t
+val now : t -> time
+val events_processed : t -> int
+
+val schedule_at : t -> time -> (unit -> unit) -> unit
+(** Times in the past are clamped to now. *)
+
+val schedule : t -> delay:time -> (unit -> unit) -> unit
+
+val run : ?until:time -> t -> unit
+(** Process events until the queue drains (or past the horizon). *)
+
+(** Time constructors and conversions. *)
+
+val us : int -> time
+val ms : int -> time
+val sec : int -> time
+val to_ms : time -> float
+val to_sec : time -> float

@@ -1,0 +1,66 @@
+(* Simulated hosts: a single serializing CPU with a speed factor
+   relative to the paper's 200 MHz PentiumPro reference machines, and a
+   memory budget. Memory pressure does not fail allocations — it makes
+   work slower (the paging behaviour behind Figure 10's saturation
+   knee). *)
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  cpu_factor : float; (* 1.0 = reference machine *)
+  mem_capacity : int; (* bytes *)
+  mutable mem_used : int;
+  mutable busy_until : Engine.time;
+  mutable cpu_busy : Engine.time; (* total busy µs, for utilization *)
+  mutable jobs : int;
+  (* Penalty multiplier applied to work while memory is
+     over-committed. *)
+  thrash_factor : float;
+}
+
+let create ?(cpu_factor = 1.0) ?(mem_capacity = 64 * 1024 * 1024)
+    ?(thrash_factor = 14.0) engine ~name =
+  {
+    engine;
+    name;
+    cpu_factor;
+    mem_capacity;
+    mem_used = 0;
+    busy_until = 0L;
+    cpu_busy = 0L;
+    jobs = 0;
+    thrash_factor;
+  }
+
+let mem_pressure t =
+  if t.mem_capacity <= 0 then 0.0
+  else Float.of_int t.mem_used /. Float.of_int t.mem_capacity
+
+let effective_cost t ~cost_us =
+  let base = Float.of_int (Int64.to_int cost_us) /. t.cpu_factor in
+  let pressure = mem_pressure t in
+  let slowdown =
+    if pressure <= 1.0 then 1.0
+    else 1.0 +. ((pressure -. 1.0) *. t.thrash_factor)
+  in
+  Int64.of_float (base *. slowdown)
+
+(* Run [cost_us] of work on the host's CPU; [k] fires at completion.
+   Work serializes behind whatever the CPU is already committed to. *)
+let compute t ~cost_us k =
+  let now = Engine.now t.engine in
+  let start = if Int64.compare t.busy_until now > 0 then t.busy_until else now in
+  let cost = effective_cost t ~cost_us in
+  let finish = Int64.add start cost in
+  t.busy_until <- finish;
+  t.cpu_busy <- Int64.add t.cpu_busy cost;
+  t.jobs <- t.jobs + 1;
+  Engine.schedule_at t.engine finish k
+
+let allocate t bytes = t.mem_used <- t.mem_used + bytes
+let release t bytes = t.mem_used <- max 0 (t.mem_used - bytes)
+
+let utilization t =
+  let now = Engine.now t.engine in
+  if Int64.equal now 0L then 0.0
+  else Int64.to_float t.cpu_busy /. Int64.to_float now

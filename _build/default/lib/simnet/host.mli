@@ -1,0 +1,34 @@
+(** Simulated hosts.
+
+    A single serializing CPU with a speed factor relative to the
+    paper's 200 MHz PentiumPro reference machines, and a memory budget.
+    Memory pressure does not fail allocations — it slows work down (the
+    paging behaviour behind Figure 10's saturation knee). *)
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  cpu_factor : float;
+  mem_capacity : int;
+  mutable mem_used : int;
+  mutable busy_until : Engine.time;
+  mutable cpu_busy : Engine.time;
+  mutable jobs : int;
+  thrash_factor : float;
+}
+
+val create :
+  ?cpu_factor:float ->
+  ?mem_capacity:int ->
+  ?thrash_factor:float ->
+  Engine.t ->
+  name:string ->
+  t
+(** Defaults: reference CPU, 64 MB memory (the paper's proxy). *)
+
+val mem_pressure : t -> float
+val effective_cost : t -> cost_us:Engine.time -> Engine.time
+val compute : t -> cost_us:Engine.time -> (unit -> unit) -> unit
+val allocate : t -> int -> unit
+val release : t -> int -> unit
+val utilization : t -> float

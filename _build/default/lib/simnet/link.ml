@@ -1,0 +1,55 @@
+(* Network links with bandwidth and latency. A link is a serializing
+   resource: transmissions queue behind one another (the shared-medium
+   behaviour of the paper's 10 Mb/s Ethernet), then propagate with the
+   link latency. *)
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  bandwidth_bps : int; (* bits per second *)
+  latency : Engine.time;
+  mutable busy_until : Engine.time;
+  mutable bytes_carried : int;
+  mutable transfers : int;
+}
+
+let create engine ~name ~bandwidth_bps ~latency =
+  {
+    engine;
+    name;
+    bandwidth_bps;
+    latency;
+    busy_until = 0L;
+    bytes_carried = 0;
+    transfers = 0;
+  }
+
+(* Transmission time for [bytes] at the link rate, in µs. *)
+let tx_time t ~bytes =
+  Int64.of_float (Float.of_int bytes *. 8.0 *. 1_000_000.0
+                  /. Float.of_int t.bandwidth_bps)
+
+(* Start (or queue) a transfer; [k] runs when the last byte arrives. *)
+let transfer t ~bytes k =
+  let now = Engine.now t.engine in
+  let start = if Int64.compare t.busy_until now > 0 then t.busy_until else now in
+  let done_tx = Int64.add start (tx_time t ~bytes) in
+  t.busy_until <- done_tx;
+  t.bytes_carried <- t.bytes_carried + bytes;
+  t.transfers <- t.transfers + 1;
+  Engine.schedule_at t.engine (Int64.add done_tx t.latency) k
+
+(* The pure-math variant used by closed-form startup models. *)
+let transfer_time_us ~bandwidth_bps ~latency_us ~bytes =
+  latency_us + int_of_float (Float.of_int bytes *. 8.0 *. 1_000_000.0 /. Float.of_int bandwidth_bps)
+
+(* Common link presets from the paper's evaluation. *)
+let ethernet_10mb engine = create engine ~name:"ethernet" ~bandwidth_bps:10_000_000 ~latency:(Engine.us 500)
+let modem_28_8k engine = create engine ~name:"modem" ~bandwidth_bps:28_800 ~latency:(Engine.ms 100)
+
+let utilization t =
+  let now = Engine.now t.engine in
+  if Int64.equal now 0L then 0.0
+  else
+    Float.of_int t.bytes_carried *. 8.0
+    /. (Float.of_int t.bandwidth_bps *. Engine.to_sec now)

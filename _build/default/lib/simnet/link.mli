@@ -1,0 +1,28 @@
+(** Network links with bandwidth and latency.
+
+    A link is a serializing resource: transmissions queue behind one
+    another (the shared-medium behaviour of the paper's 10 Mb/s
+    Ethernet), then propagate with the link latency. *)
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  bandwidth_bps : int;
+  latency : Engine.time;
+  mutable busy_until : Engine.time;
+  mutable bytes_carried : int;
+  mutable transfers : int;
+}
+
+val create :
+  Engine.t -> name:string -> bandwidth_bps:int -> latency:Engine.time -> t
+
+val tx_time : t -> bytes:int -> Engine.time
+val transfer : t -> bytes:int -> (unit -> unit) -> unit
+
+val transfer_time_us : bandwidth_bps:int -> latency_us:int -> bytes:int -> int
+(** Closed-form single-transfer time for analytic startup models. *)
+
+val ethernet_10mb : Engine.t -> t
+val modem_28_8k : Engine.t -> t
+val utilization : t -> float

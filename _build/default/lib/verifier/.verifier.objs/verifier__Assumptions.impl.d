@@ -1,0 +1,1 @@
+lib/verifier/assumptions.ml: Format Hashtbl List String

@@ -1,0 +1,1 @@
+lib/verifier/assumptions.mli: Format

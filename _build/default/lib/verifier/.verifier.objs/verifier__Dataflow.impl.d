@@ -1,0 +1,1 @@
+lib/verifier/dataflow.ml: Array Assumptions Bytecode Format Hashtbl List Option Oracle Printf Queue String Verror Vtype

@@ -1,0 +1,1 @@
+lib/verifier/dataflow.mli: Assumptions Bytecode Oracle Verror Vtype

@@ -1,0 +1,1 @@
+lib/verifier/error_class.mli: Bytecode Verror

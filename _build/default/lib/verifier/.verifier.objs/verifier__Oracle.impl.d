@@ -1,0 +1,1 @@
+lib/verifier/oracle.ml: Bytecode Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/verifier/oracle.mli: Bytecode

@@ -1,0 +1,1 @@
+lib/verifier/reflect.ml: Bytecode Hashtbl List Oracle Printf Rewrite

@@ -1,0 +1,1 @@
+lib/verifier/reflect.mli: Bytecode Oracle Rewrite

@@ -1,0 +1,1 @@
+lib/verifier/rt_verifier.ml: Bytecode Format Int32 Jvm List String

@@ -1,0 +1,1 @@
+lib/verifier/rt_verifier.mli: Bytecode Jvm

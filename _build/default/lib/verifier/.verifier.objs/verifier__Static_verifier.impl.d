@@ -1,0 +1,1 @@
+lib/verifier/static_verifier.ml: Array Assumptions Bytecode Dataflow Hashtbl List Oracle Printf Rewrite Rt_verifier String Structural Verror

@@ -1,0 +1,1 @@
+lib/verifier/static_verifier.mli: Bytecode Oracle Rewrite Verror

@@ -1,0 +1,1 @@
+lib/verifier/structural.ml: Array Bytecode Format Hashtbl List String Verror

@@ -1,0 +1,1 @@
+lib/verifier/structural.mli: Bytecode Verror

@@ -1,0 +1,1 @@
+lib/verifier/verror.ml: Format

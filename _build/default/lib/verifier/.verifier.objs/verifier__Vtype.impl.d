@@ -1,0 +1,1 @@
+lib/verifier/vtype.ml: Assumptions Bytecode Format Oracle String

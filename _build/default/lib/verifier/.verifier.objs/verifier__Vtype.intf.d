@@ -1,0 +1,1 @@
+lib/verifier/vtype.mli: Assumptions Bytecode Format Oracle

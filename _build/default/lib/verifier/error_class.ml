@@ -1,0 +1,35 @@
+(* Error propagation (§3.1): when static verification rejects a class,
+   the service forwards a replacement class of the same name that
+   raises a VerifyError during its initialization, so the failure
+   reaches the client through the regular exception mechanisms. *)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+
+let build ~name ~message =
+  B.class_ name
+    [
+      B.meth
+        ~flags:[ CF.Public; CF.Static ]
+        "<clinit>" "()V"
+        [
+          B.New "java/lang/VerifyError";
+          B.Dup;
+          B.Push_str message;
+          B.Invokespecial
+            ("java/lang/VerifyError", "<init>", "(Ljava/lang/String;)V");
+          B.Athrow;
+        ];
+      B.default_init "java/lang/Object";
+    ]
+
+let of_errors ~name errors =
+  let message =
+    match errors with
+    | [] -> "verification failed"
+    | e :: _ ->
+      Printf.sprintf "%s (%d error%s)" (Verror.to_string e)
+        (List.length errors)
+        (if List.length errors = 1 then "" else "s")
+  in
+  build ~name ~message

@@ -1,0 +1,7 @@
+(** Error propagation (§3.1): a replacement class of the same name that
+    raises a [VerifyError] during initialization, so a static
+    verification failure reaches the client through the regular Java
+    exception mechanisms. *)
+
+val build : name:string -> message:string -> Bytecode.Classfile.t
+val of_errors : name:string -> Verror.t list -> Bytecode.Classfile.t

@@ -1,0 +1,124 @@
+(* The reflection service of §4.3.
+
+   The paper recounts replacing a slow reflection path with a service
+   that "adds self-describing attributes to classes": the proxy
+   attaches a compact binary member table so that later services (and
+   other proxies) can learn a class's exported interface without
+   re-parsing its code — the anecdote's point being that binary
+   rewriting can compensate for limitations in client performance and
+   functionality.
+
+   The attribute encodes exactly what the verifier's oracle needs:
+   superclass, interfaces, flags, and the field/method tables. *)
+
+module CF = Bytecode.Classfile
+
+let attribute_name = "dvm.reflect"
+
+exception Malformed of string
+
+(* --- Binary encoding of a member table. --- *)
+
+let encode_info (i : Oracle.class_info) : string =
+  let w = Bytecode.Io.Writer.create () in
+  Bytecode.Io.Writer.str w i.Oracle.ci_name;
+  (match i.Oracle.ci_super with
+  | None -> Bytecode.Io.Writer.u1 w 0
+  | Some s ->
+    Bytecode.Io.Writer.u1 w 1;
+    Bytecode.Io.Writer.str w s);
+  Bytecode.Io.Writer.u1 w (if i.Oracle.ci_final then 1 else 0);
+  Bytecode.Io.Writer.u2 w (List.length i.Oracle.ci_interfaces);
+  List.iter (Bytecode.Io.Writer.str w) i.Oracle.ci_interfaces;
+  let member (name, desc, static, private_) =
+    Bytecode.Io.Writer.str w name;
+    Bytecode.Io.Writer.str w desc;
+    Bytecode.Io.Writer.u1 w ((if static then 1 else 0) lor (if private_ then 2 else 0))
+  in
+  Bytecode.Io.Writer.u2 w (List.length i.Oracle.ci_fields);
+  List.iter member i.Oracle.ci_fields;
+  Bytecode.Io.Writer.u2 w (List.length i.Oracle.ci_methods);
+  List.iter member i.Oracle.ci_methods;
+  Bytecode.Io.Writer.contents w
+
+let decode_info (data : string) : Oracle.class_info =
+  let r = Bytecode.Io.Reader.of_string data in
+  try
+    let ci_name = Bytecode.Io.Reader.str r in
+    let ci_super =
+      match Bytecode.Io.Reader.u1 r with
+      | 0 -> None
+      | 1 -> Some (Bytecode.Io.Reader.str r)
+      | k -> raise (Malformed (Printf.sprintf "bad super flag %d" k))
+    in
+    let ci_final = Bytecode.Io.Reader.u1 r = 1 in
+    let rec read_n n f acc =
+      if n = 0 then List.rev acc else read_n (n - 1) f (f () :: acc)
+    in
+    let member () =
+      let name = Bytecode.Io.Reader.str r in
+      let desc = Bytecode.Io.Reader.str r in
+      let bits = Bytecode.Io.Reader.u1 r in
+      (name, desc, bits land 1 <> 0, bits land 2 <> 0)
+    in
+    let ci_interfaces =
+      read_n (Bytecode.Io.Reader.u2 r) (fun () -> Bytecode.Io.Reader.str r) []
+    in
+    let ci_fields = read_n (Bytecode.Io.Reader.u2 r) member [] in
+    let ci_methods = read_n (Bytecode.Io.Reader.u2 r) member [] in
+    if not (Bytecode.Io.Reader.at_end r) then
+      raise (Malformed "trailing bytes in reflect attribute");
+    { Oracle.ci_name; ci_super; ci_interfaces; ci_final; ci_fields; ci_methods }
+  with Bytecode.Io.Truncated msg -> raise (Malformed msg)
+
+(* --- Service surface. --- *)
+
+(* Attach the self-describing attribute. Idempotent: re-running the
+   filter refreshes the table (e.g. after other services add guard
+   fields). *)
+let annotate (cf : CF.t) : CF.t =
+  CF.with_attribute cf attribute_name
+    (encode_info (Oracle.info_of_classfile cf))
+
+let read (cf : CF.t) : Oracle.class_info option =
+  match CF.find_attribute cf attribute_name with
+  | None -> None
+  | Some data -> (
+    match decode_info data with
+    | info -> Some info
+    | exception Malformed _ -> None)
+
+(* The service as a proxy filter; placed last in the stack so the
+   attribute describes the fully transformed class. *)
+let filter () = Rewrite.Filter.make ~name:"reflect" annotate
+
+(* An oracle over annotated class bytes: the fast path the §4.3
+   anecdote describes. For annotated classes, only the attribute is
+   decoded; unannotated classes fall back to a full parse. *)
+let oracle_of_bytes (fetch : string -> string option) : Oracle.t =
+  let cache = Hashtbl.create 64 in
+  fun name ->
+    match Hashtbl.find_opt cache name with
+    | Some v -> v
+    | None ->
+      let v =
+        match fetch name with
+        | None -> None
+        | Some bytes -> (
+          (* fast path: pull only the attributes, skipping code *)
+          match
+            List.assoc_opt attribute_name
+              (Bytecode.Decode.class_attributes_of_bytes bytes)
+          with
+          | Some data -> (
+            match decode_info data with
+            | info -> Some info
+            | exception Malformed _ -> None)
+          | None -> (
+            match Bytecode.Decode.class_of_bytes bytes with
+            | cf -> Some (Oracle.info_of_classfile cf)
+            | exception Bytecode.Decode.Format_error _ -> None)
+          | exception Bytecode.Decode.Format_error _ -> None)
+      in
+      Hashtbl.replace cache name v;
+      v

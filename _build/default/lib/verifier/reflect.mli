@@ -1,0 +1,28 @@
+(** The reflection service of §4.3.
+
+    Attaches a compact, self-describing binary member table to classes
+    so later services (and other proxies) can learn a class's exported
+    interface without re-parsing its code — the paper's example of
+    binary rewriting compensating for slow client interfaces. *)
+
+val attribute_name : string
+
+exception Malformed of string
+
+val encode_info : Oracle.class_info -> string
+val decode_info : string -> Oracle.class_info
+
+val annotate : Bytecode.Classfile.t -> Bytecode.Classfile.t
+(** Attach (or refresh) the self-describing attribute. *)
+
+val read : Bytecode.Classfile.t -> Oracle.class_info option
+(** [None] when the attribute is absent or malformed. *)
+
+val filter : unit -> Rewrite.Filter.t
+(** Place last in the stack so the attribute describes the fully
+    transformed class. *)
+
+val oracle_of_bytes : (string -> string option) -> Oracle.t
+(** An oracle over annotated class bytes; annotated classes decode only
+    the attribute's table, others fall back to a full parse. Results
+    are memoized. *)

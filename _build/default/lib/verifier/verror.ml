@@ -1,0 +1,22 @@
+(* Verification errors, located by method and instruction where
+   applicable. *)
+
+type t = {
+  e_class : string;
+  e_method : string option; (* name ^ descriptor *)
+  e_idx : int option; (* instruction index *)
+  e_msg : string;
+}
+
+let make ?meth ?idx ~cls msg =
+  { e_class = cls; e_method = meth; e_idx = idx; e_msg = msg }
+
+let pp ppf e =
+  Format.fprintf ppf "%s" e.e_class;
+  (match e.e_method with
+  | Some m -> Format.fprintf ppf ".%s" m
+  | None -> ());
+  (match e.e_idx with Some i -> Format.fprintf ppf "@@%d" i | None -> ());
+  Format.fprintf ppf ": %s" e.e_msg
+
+let to_string e = Format.asprintf "%a" pp e

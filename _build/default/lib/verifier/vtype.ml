@@ -1,0 +1,116 @@
+(* The verification type lattice for the phase-3 dataflow analysis.
+
+   Reference types are class (or array) names; Null is below every
+   reference; Top is the unusable join of incompatible slots.
+   Uninitialized object types track the allocating instruction so a
+   constructor call initializes exactly the right values. Return
+   addresses carry their subroutine entry point. *)
+
+module D = Bytecode.Descriptor
+
+type t =
+  | Top
+  | VInt
+  | Null
+  | Ref of string
+  | Uninit of { pc : int; cls : string }
+  | Uninit_this of string
+  | Retaddr of int (* subroutine entry index *)
+
+let equal a b =
+  match (a, b) with
+  | Top, Top | VInt, VInt | Null, Null -> true
+  | Ref x, Ref y -> String.equal x y
+  | Uninit x, Uninit y -> x.pc = y.pc && String.equal x.cls y.cls
+  | Uninit_this x, Uninit_this y -> String.equal x y
+  | Retaddr x, Retaddr y -> x = y
+  | (Top | VInt | Null | Ref _ | Uninit _ | Uninit_this _ | Retaddr _), _ ->
+    false
+
+let pp ppf = function
+  | Top -> Format.pp_print_string ppf "top"
+  | VInt -> Format.pp_print_string ppf "int"
+  | Null -> Format.pp_print_string ppf "null"
+  | Ref c -> Format.fprintf ppf "ref(%s)" c
+  | Uninit { pc; cls } -> Format.fprintf ppf "uninit(%s@%d)" cls pc
+  | Uninit_this c -> Format.fprintf ppf "uninitThis(%s)" c
+  | Retaddr e -> Format.fprintf ppf "retaddr(%d)" e
+
+let to_string v = Format.asprintf "%a" pp v
+
+(* Internal name of a descriptor type, as used in Ref: classes keep
+   their name, arrays get the "[..." form, ints are not references. *)
+let rec name_of_desc_ty = function
+  | D.Int -> "I"
+  | D.Obj c -> c
+  | D.Arr e -> "[" ^ desc_string_of e
+
+and desc_string_of = function
+  | D.Int -> "I"
+  | D.Obj c -> "L" ^ c ^ ";"
+  | D.Arr e -> "[" ^ desc_string_of e
+
+let of_desc_ty = function
+  | D.Int -> VInt
+  | (D.Obj _ | D.Arr _) as ty -> Ref (name_of_desc_ty ty)
+
+let of_desc_string s = of_desc_ty (D.ty_of_string s)
+
+let is_reference = function
+  | Null | Ref _ -> true
+  | Top | VInt | Uninit _ | Uninit_this _ | Retaddr _ -> false
+
+(* Decide [sub <: super] over names, recording an assumption and
+   answering optimistically when the hierarchy is not fully known to
+   the oracle. This is exactly the deferral mechanism of §3.1. *)
+let name_assignable oracle assumptions ~scope ~sub ~super =
+  match Oracle.is_subclass oracle ~sub ~super with
+  | `Yes -> true
+  | `No -> false
+  | `Unknown ->
+    Assumptions.add assumptions ~scope (Assumptions.Subclass_of { sub; super });
+    true
+
+(* Is a value of verification type [v] assignable where a reference of
+   class [target] is expected? *)
+let assignable_to_class oracle assumptions ~scope v ~target =
+  match v with
+  | Null -> true
+  | Ref c -> name_assignable oracle assumptions ~scope ~sub:c ~super:target
+  | Top | VInt | Uninit _ | Uninit_this _ | Retaddr _ -> false
+
+(* Is [v] assignable where a value of descriptor type [ty] is
+   expected? *)
+let assignable_to_desc oracle assumptions ~scope v ty =
+  match ty with
+  | D.Int -> ( match v with VInt -> true | _ -> false)
+  | D.Obj c -> assignable_to_class oracle assumptions ~scope v ~target:c
+  | D.Arr _ ->
+    assignable_to_class oracle assumptions ~scope v
+      ~target:(name_of_desc_ty ty)
+
+(* Least specific common supertype of two reference names. When the
+   walk escapes the oracle, Object is the sound answer. *)
+let common_super oracle a b =
+  if String.equal a b then a
+  else
+    let rec walk name =
+      match Oracle.is_subclass oracle ~sub:b ~super:name with
+      | `Yes -> name
+      | `No | `Unknown -> (
+        match oracle name with
+        | Some { Oracle.ci_super = Some s; _ } -> walk s
+        | Some { Oracle.ci_super = None; _ } | None ->
+          Bytecode.Classfile.java_lang_object)
+    in
+    walk a
+
+(* Join (least upper bound) in the lattice. *)
+let merge oracle a b =
+  if equal a b then a
+  else
+    match (a, b) with
+    | Top, _ | _, Top -> Top
+    | Null, (Ref _ as r) | (Ref _ as r), Null -> r
+    | Ref x, Ref y -> Ref (common_super oracle x y)
+    | (VInt | Null | Ref _ | Uninit _ | Uninit_this _ | Retaddr _), _ -> Top

@@ -1,0 +1,1 @@
+lib/workloads/appgen.ml: Array Bytecode Float Hashtbl List Printf

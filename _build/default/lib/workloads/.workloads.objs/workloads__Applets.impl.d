@@ -1,0 +1,1 @@
+lib/workloads/applets.ml: Appgen Bytecode Float Hashtbl List Opt Printf

@@ -1,0 +1,1 @@
+lib/workloads/applets.mli: Bytecode Opt

@@ -1,0 +1,35 @@
+(** Parameterized synthetic application generator.
+
+    Regenerates stand-ins for the paper's Figure-5 benchmarks matching
+    their externally visible parameters — class count, code volume, a
+    kernel whose instruction mix resembles the original, and a real
+    never-invoked (cold) code fraction — because the DVM services
+    operate on class files and execution traces, not application
+    semantics (DESIGN.md). Deterministic in the seed; all generated
+    classes pass the verifier; every app prints a final checksum. *)
+
+type kernel = Lexer | Parser | Compiler | Database | Solver
+
+type spec = {
+  name : string;
+  prefix : string;  (** class-name prefix, e.g. ["jlex/"] *)
+  classes : int;
+  target_bytes : int;  (** total encoded size to approximate (Fig. 5) *)
+  work_iters : int;  (** driver loop count: controls run length *)
+  kernel : kernel;
+  cold_fraction : float;  (** share of padding code never invoked *)
+  seed : int;
+}
+
+type app = {
+  spec : spec;
+  entry : string;  (** class whose [main()] runs the workload *)
+  classes : Bytecode.Classfile.t list;
+  total_bytes : int;
+}
+
+val build : spec -> app
+
+val class_bytes : app -> (string * string) list
+val origin : app -> string -> string option
+(** Serve the app's classes as a web server would. *)

@@ -1,0 +1,22 @@
+(** The Internet applet population of §4.1.2 / Figure 10 and the six
+    startup applications of §5 (Figures 11–12). See DESIGN.md for the
+    calibration targets. *)
+
+type applet = {
+  ap_name : string;
+  ap_bytes : int;
+  ap_wan_latency_us : int;
+}
+
+val population : ?n:int -> ?seed:int -> unit -> applet list
+val mean_latency_ms : applet list -> float
+val mean_bytes : applet list -> int
+
+val realize : applet -> Bytecode.Classfile.t
+(** A real class of roughly the applet's size, so the pipeline does
+    real parse/verify/rewrite work on it. *)
+
+val startup_apps : Opt.Startup.app_model list
+(** Analytic models of the six §5 GUI applications, back-fitted from
+    Figure 11's low-bandwidth intercepts; cold fractions sit in the
+    paper's 10–30 %% never-invoked band. *)

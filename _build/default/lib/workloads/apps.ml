@@ -1,0 +1,91 @@
+(* The five benchmark applications of Figure 5, with the paper's size
+   and class-count parameters. Iteration counts are calibrated so the
+   simulated run times land in the magnitude range of Figure 6 under
+   the cost model in lib/dvm/costs.ml. *)
+
+let jlex =
+  {
+    Appgen.name = "jlex";
+    prefix = "jlex/";
+    classes = 20;
+    target_bytes = 91 * 1024;
+    work_iters = 51;
+    kernel = Appgen.Lexer;
+    cold_fraction = 0.25;
+    seed = 101;
+  }
+
+let javacup =
+  {
+    Appgen.name = "javacup";
+    prefix = "javacup/";
+    classes = 35;
+    target_bytes = 130 * 1024;
+    work_iters = 69;
+    kernel = Appgen.Parser;
+    cold_fraction = 0.25;
+    seed = 202;
+  }
+
+let pizza =
+  {
+    Appgen.name = "pizza";
+    prefix = "pizza/";
+    classes = 241;
+    target_bytes = 825 * 1024;
+    work_iters = 69;
+    kernel = Appgen.Compiler;
+    cold_fraction = 0.25;
+    seed = 303;
+  }
+
+let instantdb =
+  {
+    Appgen.name = "instantdb";
+    prefix = "instantdb/";
+    classes = 70;
+    target_bytes = 312 * 1024;
+    work_iters = 135;
+    kernel = Appgen.Database;
+    cold_fraction = 0.25;
+    seed = 404;
+  }
+
+let cassowary =
+  {
+    Appgen.name = "cassowary";
+    prefix = "cassowary/";
+    classes = 34;
+    target_bytes = 85 * 1024;
+    work_iters = 22;
+    kernel = Appgen.Solver;
+    cold_fraction = 0.25;
+    seed = 505;
+  }
+
+let all_specs = [ jlex; javacup; pizza; instantdb; cassowary ]
+
+let descriptions =
+  [
+    ("jlex", "Lexical analyzer generator");
+    ("javacup", "LALR parser compiler");
+    ("pizza", "Bytecode to native compiler");
+    ("instantdb", "Relational database with a TPC-A like workload");
+    ("cassowary", "Constraint satisfier");
+  ]
+
+(* Builds are deterministic; memoize so tests and benches share them. *)
+let cache : (string, Appgen.app) Hashtbl.t = Hashtbl.create 8
+
+let build spec =
+  match Hashtbl.find_opt cache spec.Appgen.name with
+  | Some app -> app
+  | None ->
+    let app = Appgen.build spec in
+    Hashtbl.replace cache spec.Appgen.name app;
+    app
+
+(* A reduced variant for unit tests: same structure, shorter run. *)
+let build_small spec =
+  Appgen.build
+    { spec with Appgen.work_iters = max 1 (spec.Appgen.work_iters / 20) }

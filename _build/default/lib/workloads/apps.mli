@@ -1,0 +1,17 @@
+(** The five benchmark applications of Figure 5, with the paper's size
+    and class-count parameters; iteration counts calibrated so
+    simulated run times land in Figure 6's magnitude range. *)
+
+val jlex : Appgen.spec
+val javacup : Appgen.spec
+val pizza : Appgen.spec
+val instantdb : Appgen.spec
+val cassowary : Appgen.spec
+val all_specs : Appgen.spec list
+val descriptions : (string * string) list
+
+val build : Appgen.spec -> Appgen.app
+(** Memoized: benches and tests share one deterministic build. *)
+
+val build_small : Appgen.spec -> Appgen.app
+(** Same structure, ~20x shorter run; for unit tests. *)

@@ -1,0 +1,1 @@
+test/test_bytecode.ml: Alcotest Array Bytecode Bytes List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dsig.ml: Alcotest Bytecode Bytes Char Dsig List Printf QCheck QCheck_alcotest String

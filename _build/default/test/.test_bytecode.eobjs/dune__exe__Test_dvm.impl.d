@@ -1,0 +1,1 @@
+test/test_dvm.ml: Alcotest Bytecode Bytes Dvm Int64 Jvm Lazy List Monitor Proxy Security Simnet String Verifier Workloads

@@ -1,0 +1,1 @@
+test/test_jit.ml: Alcotest Array Bytecode Float Int32 Jit Jvm List Monitor Option Printf QCheck QCheck_alcotest String

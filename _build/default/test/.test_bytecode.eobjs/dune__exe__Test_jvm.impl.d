@@ -1,0 +1,1 @@
+test/test_jvm.ml: Alcotest Array Bytecode Char Hashtbl Int32 Int64 Jvm List Printf String Workloads

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Bytecode Bytes Char Int64 Jvm List Monitor Printf String

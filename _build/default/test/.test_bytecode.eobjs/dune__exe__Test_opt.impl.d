@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Array Bytecode Float Hashtbl Jvm List Monitor Opt Option Printf QCheck QCheck_alcotest String Verifier Workloads

@@ -1,0 +1,1 @@
+test/test_proxy.ml: Alcotest Bytecode Dsig Hashtbl Int64 Jvm List Monitor Proxy Simnet String Verifier

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Array Bytecode Int32 Jvm List Option Printf QCheck QCheck_alcotest Rewrite

@@ -1,0 +1,1 @@
+test/test_security.ml: Alcotest Array Bytecode Char Hashtbl Int32 Jvm List QCheck QCheck_alcotest Security String

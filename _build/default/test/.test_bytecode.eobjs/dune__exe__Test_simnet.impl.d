@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Int64 List QCheck QCheck_alcotest Simnet

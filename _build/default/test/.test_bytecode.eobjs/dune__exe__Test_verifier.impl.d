@@ -1,0 +1,1 @@
+test/test_verifier.ml: Alcotest Bytecode Bytes Int32 Jvm List Printf QCheck QCheck_alcotest Rewrite String Verifier

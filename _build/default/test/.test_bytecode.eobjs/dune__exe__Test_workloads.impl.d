@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Bytecode Dvm Float Jvm Lazy List Opt Printf Security String Verifier Workloads

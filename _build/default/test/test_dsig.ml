@@ -1,0 +1,133 @@
+(* Tests for MD5 and the code-signing service. *)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* RFC 1321 appendix A.5 test vectors. *)
+let rfc_vectors =
+  [
+    ("", "d41d8cd98f00b204e9800998ecf8427e");
+    ("a", "0cc175b9c0f1b6a831c399e269772661");
+    ("abc", "900150983cd24fb0d6963f7d28e17f72");
+    ("message digest", "f96b697d7cb7938d525a2f31aaf161d0");
+    ("abcdefghijklmnopqrstuvwxyz", "c3fcd3d76192e4007dfb496cca67e13b");
+    ( "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+      "d174ab98d277d9f5a5611c2c9f419d9f" );
+    ( "12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+      "57edf4a22be3c955ac49da2e2107b67a" );
+  ]
+
+let test_rfc_vectors () =
+  List.iter
+    (fun (input, expect) ->
+      check Alcotest.string
+        (Printf.sprintf "md5(%S)" input)
+        expect (Dsig.Md5.hex_digest input))
+    rfc_vectors
+
+let test_block_boundaries () =
+  (* Lengths around the 55/56/64-byte padding boundaries must not
+     crash and must be distinct. *)
+  let digests =
+    List.map
+      (fun n -> Dsig.Md5.hex_digest (String.make n 'x'))
+      [ 54; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+  in
+  check Alcotest.int "all distinct" (List.length digests)
+    (List.length (List.sort_uniq String.compare digests))
+
+let prop_md5_deterministic =
+  QCheck.Test.make ~name:"md5 deterministic, avalanche on 1 byte" ~count:200
+    QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 200)) small_nat)
+    (fun (s, i) ->
+      let d1 = Dsig.Md5.digest s in
+      let d2 = Dsig.Md5.digest s in
+      let b = Bytes.of_string s in
+      let pos = i mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 1));
+      let d3 = Dsig.Md5.digest (Bytes.to_string b) in
+      String.equal d1 d2 && not (String.equal d1 d3))
+
+(* --- Signing. --- *)
+
+let key = Dsig.Sign.make_key ~key_id:"org" ~secret:"s3cret-org-key"
+let other_key = Dsig.Sign.make_key ~key_id:"org" ~secret:"different"
+
+let sample =
+  B.class_ "Signed"
+    [ B.meth ~flags:[ CF.Public; CF.Static ] "f" "()I" [ B.Const 7; B.Ireturn ] ]
+
+let test_sign_verify () =
+  let signed = Dsig.Sign.sign key sample in
+  check Alcotest.bool "valid" true (Dsig.Sign.verify [ key ] signed = Dsig.Sign.Valid);
+  check Alcotest.bool "unsigned detected" true
+    (Dsig.Sign.verify [ key ] sample = Dsig.Sign.Unsigned)
+
+let test_tamper_detected () =
+  let signed = Dsig.Sign.sign key sample in
+  (* Change the method body after signing. *)
+  let tampered =
+    CF.map_methods
+      (fun m ->
+        match m.CF.m_code with
+        | Some c ->
+          {
+            m with
+            CF.m_code =
+              Some { c with CF.instrs = [| Bytecode.Instr.Iconst 666l; Bytecode.Instr.Ireturn |] };
+          }
+        | None -> m)
+      signed
+  in
+  check Alcotest.bool "tamper detected" true
+    (Dsig.Sign.verify [ key ] tampered = Dsig.Sign.Bad_signature)
+
+let test_wrong_key () =
+  let signed = Dsig.Sign.sign key sample in
+  check Alcotest.bool "wrong secret rejected" true
+    (Dsig.Sign.verify [ other_key ] signed = Dsig.Sign.Bad_signature);
+  let unknown = Dsig.Sign.make_key ~key_id:"elsewhere" ~secret:"x" in
+  match Dsig.Sign.verify [ unknown ] signed with
+  | Dsig.Sign.Unknown_key "org" -> ()
+  | _ -> fail "unknown key not reported"
+
+let test_sign_survives_roundtrip () =
+  let signed = Dsig.Sign.sign key sample in
+  let bytes = Bytecode.Encode.class_to_bytes signed in
+  let back = Bytecode.Decode.class_of_bytes bytes in
+  check Alcotest.bool "valid after encode/decode" true
+    (Dsig.Sign.verify [ key ] back = Dsig.Sign.Valid)
+
+let test_resign_replaces () =
+  let signed = Dsig.Sign.sign key (Dsig.Sign.sign key sample) in
+  (* double signing must not stack attributes *)
+  check Alcotest.int "one signature attribute" 1
+    (List.length
+       (List.filter
+          (fun (n, _) -> String.equal n Dsig.Sign.signature_attribute)
+          signed.CF.attributes));
+  check Alcotest.bool "still valid" true
+    (Dsig.Sign.verify [ key ] signed = Dsig.Sign.Valid)
+
+let () =
+  Alcotest.run "dsig"
+    [
+      ( "md5",
+        [
+          Alcotest.test_case "rfc vectors" `Quick test_rfc_vectors;
+          Alcotest.test_case "block boundaries" `Quick test_block_boundaries;
+          QCheck_alcotest.to_alcotest prop_md5_deterministic;
+        ] );
+      ( "sign",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+          Alcotest.test_case "tamper detected" `Quick test_tamper_detected;
+          Alcotest.test_case "wrong key" `Quick test_wrong_key;
+          Alcotest.test_case "survives roundtrip" `Quick
+            test_sign_survives_roundtrip;
+          Alcotest.test_case "re-sign replaces" `Quick test_resign_replaces;
+        ] );
+    ]

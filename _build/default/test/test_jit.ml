@@ -1,0 +1,293 @@
+(* Tests for the network compilation service: stack-to-register
+   translation, register allocation validity, kernel execution
+   equivalence against the interpreter, and the per-architecture
+   service cache. *)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let static = [ CF.Public; CF.Static ]
+
+let gcd_cls =
+  B.class_ "K"
+    [
+      B.meth ~flags:static "gcd" "(II)I"
+        [
+          B.Label "top";
+          B.Iload 1;
+          B.If_z (Bytecode.Instr.Eq, "done");
+          B.Iload 0;
+          B.Iload 1;
+          B.Rem;
+          B.Iload 1;
+          B.Istore 0;
+          B.Istore 1;
+          B.Goto "top";
+          B.Label "done";
+          B.Iload 0;
+          B.Ireturn;
+        ];
+      B.meth ~flags:static "sumsq" "(I)I"
+        [
+          B.Const 0;
+          B.Istore 1;
+          B.Label "loop";
+          B.Iload 0;
+          B.If_z (Bytecode.Instr.Le, "done");
+          B.Iload 1;
+          B.Iload 0;
+          B.Iload 0;
+          B.Mul;
+          B.Add;
+          B.Istore 1;
+          B.Inc (0, -1);
+          B.Goto "loop";
+          B.Label "done";
+          B.Iload 1;
+          B.Ireturn;
+        ];
+      B.meth ~flags:static "arr" "(I)I"
+        [
+          B.Iload 0;
+          B.Newarray;
+          B.Astore 1;
+          B.Aload 1;
+          B.Const 0;
+          B.Const 5;
+          B.Iastore;
+          B.Aload 1;
+          B.Const 0;
+          B.Iaload;
+          B.Aload 1;
+          B.Arraylength;
+          B.Add;
+          B.Ireturn;
+        ];
+      B.meth ~flags:static "deep" "(I)I"
+        (* stresses dup/swap translation *)
+        [ B.Iload 0; B.Dup; B.Dup; B.Mul; B.Swap; B.Sub; B.Ireturn ];
+    ]
+
+let translate name desc =
+  match CF.find_method gcd_cls name desc with
+  | Some m -> Jit.Translate.translate_method gcd_cls.CF.pool m
+  | None -> fail "method not found"
+
+let interp_result name desc args =
+  let vm = Jvm.Bootlib.fresh_vm () in
+  Jvm.Classreg.register vm.Jvm.Vmstate.reg gcd_cls;
+  match
+    Jvm.Interp.invoke vm ~cls:"K" ~name ~desc
+      (List.map (fun n -> Jvm.Value.Int (Int32.of_int n)) args)
+  with
+  | Some (Jvm.Value.Int r) -> Int32.to_int r
+  | _ -> fail "interp: no result"
+
+let kernel_result ir args =
+  match
+    Jit.Exec.run ir (List.map (fun n -> Jit.Exec.Vint (Int32.of_int n)) args)
+  with
+  | Some (Jit.Exec.Vint r) -> Int32.to_int r
+  | _ -> fail "kernel: no result"
+
+let test_translation_equivalence () =
+  let cases =
+    [
+      ("gcd", "(II)I", [ [ 252; 105 ]; [ 7; 13 ]; [ 13; 0 ]; [ 1; 1 ] ]);
+      ("sumsq", "(I)I", [ [ 0 ]; [ 1 ]; [ 10 ]; [ 100 ] ]);
+      ("arr", "(I)I", [ [ 3 ]; [ 10 ] ]);
+      ("deep", "(I)I", [ [ 4 ]; [ 9 ]; [ -3 ] ]);
+    ]
+  in
+  List.iter
+    (fun (name, desc, argss) ->
+      let ir = translate name desc in
+      check Alcotest.bool (name ^ " kernel-executable") true
+        (Jit.Exec.supported ir);
+      List.iter
+        (fun args ->
+          check Alcotest.int
+            (Printf.sprintf "%s%s" name
+               (String.concat "," (List.map string_of_int args)))
+            (interp_result name desc args)
+            (kernel_result ir args))
+        argss)
+    cases
+
+let test_unsupported_stays_interpreted () =
+  let handlers =
+    B.class_ "H"
+      [
+        B.meth ~flags:static "f" "()I"
+          ~handlers:[ ("a", "b", "c", None) ]
+          [
+            B.Label "a";
+            B.Const 1;
+            B.Label "b";
+            B.Ireturn;
+            B.Label "c";
+            B.Pop;
+            B.Const 2;
+            B.Ireturn;
+          ];
+      ]
+  in
+  (match
+     Jit.Translate.translate_method handlers.CF.pool
+       (Option.get (CF.find_method handlers "f" "()I"))
+   with
+  | _ -> fail "handlers should be unsupported"
+  | exception Jit.Translate.Unsupported _ -> ());
+  let jsr =
+    B.class_ "J"
+      [
+        B.meth ~flags:static "f" "()I"
+          [ B.Jsr "s"; B.Const 1; B.Ireturn; B.Label "s"; B.Astore 0; B.Ret 0 ];
+      ]
+  in
+  match
+    Jit.Translate.translate_method jsr.CF.pool
+      (Option.get (CF.find_method jsr "f" "()I"))
+  with
+  | _ -> fail "jsr should be unsupported"
+  | exception Jit.Translate.Unsupported _ -> ()
+
+let test_regalloc_valid () =
+  List.iter
+    (fun arch ->
+      List.iter
+        (fun (name, desc) ->
+          let ir = translate name desc in
+          let r = Jit.Regalloc.allocate arch ir in
+          check Alcotest.bool
+            (Printf.sprintf "%s on %s valid" name arch.Jit.Arch.name)
+            true
+            (Jit.Regalloc.valid ir r);
+          check Alcotest.bool "register bound respected" true
+            (r.Jit.Regalloc.registers_used <= arch.Jit.Arch.registers))
+        [ ("gcd", "(II)I"); ("sumsq", "(I)I"); ("arr", "(I)I"); ("deep", "(I)I") ])
+    Jit.Arch.all
+
+let test_regalloc_spills_under_pressure () =
+  (* Many simultaneously live values on a tiny register file. *)
+  let wide =
+    B.class_ "W"
+      [
+        B.meth ~flags:static "f" "()I"
+          (List.concat
+             (List.init 12 (fun i -> [ B.Const i; B.Istore i ]))
+          @ List.concat (List.init 12 (fun i -> [ B.Iload i ]))
+          @ List.init 11 (fun _ -> B.Add)
+          @ [ B.Ireturn ]);
+      ]
+  in
+  let ir =
+    Jit.Translate.translate_method wide.CF.pool
+      (Option.get (CF.find_method wide "f" "()I"))
+  in
+  let tiny = { Jit.Arch.x86 with Jit.Arch.registers = 4; name = "tiny" } in
+  let r = Jit.Regalloc.allocate tiny ir in
+  check Alcotest.bool "spills happened" true (r.Jit.Regalloc.spills > 0);
+  check Alcotest.bool "still valid" true (Jit.Regalloc.valid ir r)
+
+let test_service_cache_per_arch () =
+  let svc = Jit.Service.create () in
+  let r1 = Jit.Service.compile_class svc Jit.Arch.x86 gcd_cls in
+  check Alcotest.int "all methods handled" 4 (List.length r1);
+  let misses1 = svc.Jit.Service.cache_misses in
+  (* Same class, same arch: all hits. *)
+  let _ = Jit.Service.compile_class svc Jit.Arch.x86 gcd_cls in
+  check Alcotest.int "no new misses" misses1 svc.Jit.Service.cache_misses;
+  check Alcotest.bool "hits recorded" true (svc.Jit.Service.cache_hits >= 4);
+  (* Different arch: separate cache entries. *)
+  let _ = Jit.Service.compile_class svc Jit.Arch.alpha gcd_cls in
+  check Alcotest.bool "alpha misses" true
+    (svc.Jit.Service.cache_misses > misses1)
+
+let test_compile_for_fleet () =
+  let console = Monitor.Console.create () in
+  ignore
+    (Monitor.Console.handshake console ~user:"a" ~hardware:"h1"
+       ~native_format:"x86" ~vm_version:"1" ~time:0L);
+  ignore
+    (Monitor.Console.handshake console ~user:"b" ~hardware:"h2"
+       ~native_format:"alpha" ~vm_version:"1" ~time:0L);
+  let svc = Jit.Service.create () in
+  let results = Jit.Service.compile_for_fleet svc console gcd_cls in
+  (* 4 methods x 2 architectures *)
+  check Alcotest.int "both ISAs compiled" 8 (List.length results)
+
+let test_static_cost_below_interpretation () =
+  let ir = translate "sumsq" "(I)I" in
+  let cost = Jit.Ir.static_cost Jit.Arch.x86 ir.Jit.Ir.code in
+  (* interpretation of the same stream costs ~1 unit per instruction *)
+  check Alcotest.bool "compiled estimate cheaper" true
+    (cost < Float.of_int (Array.length ir.Jit.Ir.code))
+
+let prop_translation_equiv_random_arith =
+  QCheck.Test.make ~name:"random arith kernels: compiled = interpreted"
+    ~count:150
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 1 15) (int_bound 5)) (int_range (-50) 50))
+    (fun (ops, seed) ->
+      let body =
+        [ B.Iload 0 ]
+        @ List.concat_map
+            (fun k ->
+              [
+                B.Const ((k * 7) + 1);
+                (match k with
+                | 0 -> B.Add
+                | 1 -> B.Sub
+                | 2 -> B.Mul
+                | 3 -> B.Xor
+                | 4 -> B.Or
+                | _ -> B.And);
+              ])
+            ops
+        @ [ B.Ireturn ]
+      in
+      let cls = B.class_ "R" [ B.meth ~flags:static "f" "(I)I" body ] in
+      let ir =
+        Jit.Translate.translate_method cls.CF.pool
+          (Option.get (CF.find_method cls "f" "(I)I"))
+      in
+      let vm = Jvm.Bootlib.fresh_vm () in
+      Jvm.Classreg.register vm.Jvm.Vmstate.reg cls;
+      let interp =
+        match
+          Jvm.Interp.invoke vm ~cls:"R" ~name:"f" ~desc:"(I)I"
+            [ Jvm.Value.Int (Int32.of_int seed) ]
+        with
+        | Some (Jvm.Value.Int r) -> r
+        | _ -> fail "no interp result"
+      in
+      match Jit.Exec.run ir [ Jit.Exec.Vint (Int32.of_int seed) ] with
+      | Some (Jit.Exec.Vint r) -> Int32.equal r interp
+      | _ -> false)
+
+let () =
+  Alcotest.run "jit"
+    [
+      ( "translate",
+        [
+          Alcotest.test_case "equivalence" `Quick test_translation_equivalence;
+          Alcotest.test_case "unsupported -> interpreter" `Quick
+            test_unsupported_stays_interpreted;
+          QCheck_alcotest.to_alcotest prop_translation_equiv_random_arith;
+        ] );
+      ( "regalloc",
+        [
+          Alcotest.test_case "valid allocations" `Quick test_regalloc_valid;
+          Alcotest.test_case "spills under pressure" `Quick
+            test_regalloc_spills_under_pressure;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "per-arch cache" `Quick test_service_cache_per_arch;
+          Alcotest.test_case "fleet compile" `Quick test_compile_for_fleet;
+          Alcotest.test_case "static cost" `Quick
+            test_static_cost_below_interpretation;
+        ] );
+    ]

@@ -1,0 +1,282 @@
+(* Tests for the §5 repartitioning optimizer: first-use analysis, class
+   splitting with behaviour preservation, lazy satellite loading, and
+   the startup-time model behind Figures 11–12. *)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let static = [ CF.Public; CF.Static ]
+
+(* A class with hot and cold methods, both static and instance. *)
+let subject =
+  B.class_ "app/Widget"
+    ~fields:[ B.field "state" "I" ]
+    [
+      B.default_init "java/lang/Object";
+      B.meth ~flags:static "hotEntry" "(I)I"
+        [ B.Iload 0; B.Const 2; B.Mul; B.Ireturn ];
+      B.meth "hotMethod" "()I"
+        [ B.Aload 0; B.Getfield ("app/Widget", "state", "I"); B.Ireturn ];
+      B.meth ~flags:static "coldStatic" "(I)I"
+        ((* bulky enough that factoring it out actually shrinks the
+            class *)
+         List.concat (List.init 30 (fun k -> [ B.Iload 0; B.Const k; B.Add; B.Istore 0 ]))
+        @ [ B.Iload 0; B.Const 100; B.Add; B.Ireturn ]);
+      B.meth "coldInstance" "(I)I"
+        [
+          B.Aload 0;
+          B.Getfield ("app/Widget", "state", "I");
+          B.Iload 1;
+          B.Add;
+          B.Ireturn;
+        ];
+    ]
+
+let profile =
+  Opt.First_use.of_order
+    [ "app/Widget.hotEntry(I)I"; "app/Widget.hotMethod()I" ]
+
+let test_partition () =
+  let hot, cold = Opt.First_use.partition profile subject in
+  let names ms = List.map (fun m -> m.CF.m_name) ms in
+  check Alcotest.bool "init unmovable" true (List.mem "<init>" (names hot));
+  check Alcotest.bool "hotEntry hot" true (List.mem "hotEntry" (names hot));
+  check Alcotest.bool "coldStatic cold" true (List.mem "coldStatic" (names cold));
+  check Alcotest.bool "coldInstance cold" true
+    (List.mem "coldInstance" (names cold));
+  let frac = Opt.First_use.cold_fraction profile subject in
+  check Alcotest.bool "cold fraction in (0,1)" true (frac > 0.0 && frac < 1.0)
+
+let test_split_structure () =
+  let r = Opt.Repartition.split profile subject in
+  check Alcotest.int "two cold methods moved" 2 r.Opt.Repartition.moved;
+  (match r.Opt.Repartition.cold with
+  | None -> fail "no satellite"
+  | Some sat ->
+    check Alcotest.string "satellite name" "app/Widget$cold" sat.CF.name;
+    check Alcotest.bool "impl present" true
+      (CF.find_method sat "coldStatic$impl" "(I)I" <> None);
+    (* the instance method's impl gains an explicit receiver *)
+    check Alcotest.bool "receiver made explicit" true
+      (CF.find_method sat "coldInstance$impl" "(Lapp/Widget;I)I" <> None));
+  check Alcotest.bool "hot class smaller" true
+    (r.Opt.Repartition.hot_bytes < Bytecode.Encode.class_size subject);
+  (* stubs keep the public interface *)
+  check Alcotest.bool "stub remains" true
+    (CF.find_method r.Opt.Repartition.hot "coldInstance" "(I)I" <> None)
+
+let run_widget classes =
+  let vm = Jvm.Bootlib.fresh_vm () in
+  List.iter (Jvm.Classreg.register vm.Jvm.Vmstate.reg) classes;
+  let mk () =
+    let fields = Jvm.Classreg.all_instance_fields vm.Jvm.Vmstate.reg "app/Widget" in
+    let o = Jvm.Heap.alloc_obj vm.Jvm.Vmstate.heap ~cls:"app/Widget" ~field_descs:fields in
+    Hashtbl.replace o.Jvm.Value.fields "state" (Jvm.Value.Int 7l);
+    Jvm.Value.Obj o
+  in
+  let s = Jvm.Interp.invoke vm ~cls:"app/Widget" ~name:"coldStatic" ~desc:"(I)I" [ Jvm.Value.Int 5l ] in
+  let i =
+    Jvm.Interp.invoke vm ~cls:"app/Widget" ~name:"coldInstance" ~desc:"(I)I"
+      [ mk (); Jvm.Value.Int 3l ]
+  in
+  let h = Jvm.Interp.invoke vm ~cls:"app/Widget" ~name:"hotMethod" ~desc:"()I" [ mk () ] in
+  (s, i, h)
+
+let test_split_preserves_behaviour () =
+  let r = Opt.Repartition.split profile subject in
+  let sat = Option.get r.Opt.Repartition.cold in
+  let original = run_widget [ subject ] in
+  let split = run_widget [ r.Opt.Repartition.hot; sat ] in
+  check Alcotest.bool "identical results" true (original = split)
+
+let test_satellite_loaded_lazily () =
+  let r = Opt.Repartition.split profile subject in
+  let sat = Option.get r.Opt.Repartition.cold in
+  let sat_bytes = Bytecode.Encode.class_to_bytes sat in
+  let fetched = ref [] in
+  let provider name =
+    fetched := name :: !fetched;
+    if name = sat.CF.name then Some sat_bytes else None
+  in
+  let vm = Jvm.Bootlib.fresh_vm ~provider () in
+  Jvm.Classreg.register vm.Jvm.Vmstate.reg r.Opt.Repartition.hot;
+  (* Hot path: the satellite must not be fetched. *)
+  (match
+     Jvm.Interp.invoke vm ~cls:"app/Widget" ~name:"hotEntry" ~desc:"(I)I"
+       [ Jvm.Value.Int 4l ]
+   with
+  | Some (Jvm.Value.Int 8l) -> ()
+  | _ -> fail "hot path broken");
+  check (Alcotest.list Alcotest.string) "no fetch yet" [] !fetched;
+  (* First cold call pulls the satellite. *)
+  (match
+     Jvm.Interp.invoke vm ~cls:"app/Widget" ~name:"coldStatic" ~desc:"(I)I"
+       [ Jvm.Value.Int 1l ]
+   with
+  | Some (Jvm.Value.Int _) -> ()
+  | _ -> fail "cold path broken");
+  check Alcotest.bool "satellite fetched on demand" true
+    (List.mem sat.CF.name !fetched)
+
+let test_split_nothing_when_all_hot () =
+  let all_hot =
+    Opt.First_use.of_order
+      [
+        "app/Widget.hotEntry(I)I";
+        "app/Widget.hotMethod()I";
+        "app/Widget.coldStatic(I)I";
+        "app/Widget.coldInstance(I)I";
+      ]
+  in
+  let r = Opt.Repartition.split all_hot subject in
+  check Alcotest.int "nothing moved" 0 r.Opt.Repartition.moved;
+  check Alcotest.bool "no satellite" true (r.Opt.Repartition.cold = None)
+
+let test_split_verifies () =
+  (* Both halves must pass the verifier (given each other). *)
+  let r = Opt.Repartition.split profile subject in
+  let sat = Option.get r.Opt.Repartition.cold in
+  let oracle =
+    Verifier.Oracle.of_classes
+      (Jvm.Bootlib.boot_classes () @ [ r.Opt.Repartition.hot; sat ])
+  in
+  List.iter
+    (fun cf ->
+      match Verifier.Static_verifier.verify ~oracle cf with
+      | Verifier.Static_verifier.Verified _ -> ()
+      | Verifier.Static_verifier.Rejected (errors, _) ->
+        fail
+          (cf.CF.name ^ ": "
+          ^ String.concat "; " (List.map Verifier.Verror.to_string errors)))
+    [ r.Opt.Repartition.hot; sat ]
+
+(* --- Transport modes. --- *)
+
+let test_transport_modes_ordered () =
+  let app = Workloads.Apps.build_small Workloads.Apps.jlex in
+  let instrumented =
+    List.map
+      (Monitor.Instrument.instrument_class
+         ~runtime_class:Monitor.Profiler.profiler_class)
+      app.Workloads.Appgen.classes
+  in
+  let vm = Jvm.Bootlib.fresh_vm () in
+  let prof = Monitor.Profiler.install vm () in
+  List.iter (Jvm.Classreg.register vm.Jvm.Vmstate.reg) instrumented;
+  (match Jvm.Interp.run_main vm app.Workloads.Appgen.entry with
+  | Ok () -> ()
+  | Error e -> fail (Jvm.Interp.describe_throwable e));
+  let profile = Opt.First_use.of_profiler prof in
+  let classes = app.Workloads.Appgen.classes in
+  let b mode = Opt.Transport.bytes_transferred mode profile classes in
+  check Alcotest.bool "archive >= lazy >= repartitioned" true
+    (b Opt.Transport.Whole_archive >= b Opt.Transport.Lazy_class
+    && b Opt.Transport.Lazy_class > b Opt.Transport.Repartitioned);
+  let dead = Opt.Transport.never_invoked_fraction profile classes in
+  check Alcotest.bool
+    (Printf.sprintf "never-invoked share in the paper's 10-30%% band (%.2f)" dead)
+    true
+    (dead >= 0.10 && dead <= 0.35)
+
+(* --- Startup model (Figures 11/12). --- *)
+
+let model =
+  {
+    Opt.Startup.app_name = "test";
+    startup_bytes = 1_000_000;
+    requests = 50;
+    cold_fraction = 0.25;
+    client_startup_us = 1_000_000;
+  }
+
+let test_startup_decreases_with_bandwidth () =
+  let t bw =
+    Opt.Startup.startup_time_us model ~bandwidth_bps:bw ~latency_us:100_000
+      ~repartitioned:false
+  in
+  check Alcotest.bool "monotone" true
+    (t 28_800 > t 128_000 && t 128_000 > t 1_000_000 && t 1_000_000 > t 8_000_000)
+
+let test_improvement_fades_with_bandwidth () =
+  let imp bw =
+    Opt.Startup.improvement_percent model ~bandwidth_bps:bw ~latency_us:100_000
+  in
+  let slow = imp 28_800 and fast = imp 8_000_000 in
+  check Alcotest.bool "positive at modem speed" true (slow > 15.0);
+  check Alcotest.bool "bounded by cold fraction" true (slow <= 25.0 +. 1e-9);
+  check Alcotest.bool "fades with bandwidth" true (fast < slow /. 3.0)
+
+let test_model_of_classes_matches_split () =
+  let m =
+    Opt.Startup.model_of_classes ~name:"widget" ~profile
+      ~startup_classes:[ "app/Widget" ] ~client_startup_us:0 ~requests:1
+      [ subject ]
+  in
+  let r = Opt.Repartition.split profile subject in
+  let expect =
+    Float.of_int (Bytecode.Encode.class_size subject - r.Opt.Repartition.hot_bytes)
+    /. Float.of_int (Bytecode.Encode.class_size subject)
+  in
+  check (Alcotest.float 0.001) "measured cold fraction" expect
+    m.Opt.Startup.cold_fraction
+
+(* Property: splitting under a random hot subset always preserves the
+   three probe results. *)
+let prop_split_preserves =
+  QCheck.Test.make ~name:"random profiles: split preserves results" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 4) (int_bound 3))
+    (fun hot_picks ->
+      let all =
+        [|
+          "app/Widget.hotEntry(I)I";
+          "app/Widget.hotMethod()I";
+          "app/Widget.coldStatic(I)I";
+          "app/Widget.coldInstance(I)I";
+        |]
+      in
+      let profile =
+        Opt.First_use.of_order (List.map (fun i -> all.(i)) hot_picks)
+      in
+      let r = Opt.Repartition.split profile subject in
+      let classes =
+        r.Opt.Repartition.hot
+        :: (match r.Opt.Repartition.cold with Some c -> [ c ] | None -> [])
+      in
+      run_widget classes = run_widget [ subject ])
+
+let () =
+  Alcotest.run "opt"
+    [
+      ( "first_use",
+        [
+          Alcotest.test_case "partition" `Quick test_partition;
+        ] );
+      ( "repartition",
+        [
+          Alcotest.test_case "split structure" `Quick test_split_structure;
+          Alcotest.test_case "behaviour preserved" `Quick
+            test_split_preserves_behaviour;
+          Alcotest.test_case "satellite lazy" `Quick
+            test_satellite_loaded_lazily;
+          Alcotest.test_case "all hot -> no-op" `Quick
+            test_split_nothing_when_all_hot;
+          Alcotest.test_case "both halves verify" `Quick test_split_verifies;
+          QCheck_alcotest.to_alcotest prop_split_preserves;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "mode ordering + dead-code band" `Quick
+            test_transport_modes_ordered;
+        ] );
+      ( "startup",
+        [
+          Alcotest.test_case "monotone in bandwidth" `Quick
+            test_startup_decreases_with_bandwidth;
+          Alcotest.test_case "improvement fades" `Quick
+            test_improvement_fades_with_bandwidth;
+          Alcotest.test_case "measured model" `Quick
+            test_model_of_classes_matches_split;
+        ] );
+    ]

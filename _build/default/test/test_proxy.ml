@@ -1,0 +1,270 @@
+(* Tests for the proxy infrastructure: the LRU cache, the
+   parse-once pipeline (including the parse-per-service ablation and
+   rejection handling), the simulated-time request path, and signing
+   integration. *)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let static = [ CF.Public; CF.Static ]
+
+(* --- Cache. --- *)
+
+let test_cache_lru_eviction () =
+  let c = Proxy.Cache.create ~capacity:100 in
+  Proxy.Cache.store c "a" (String.make 40 'a');
+  Proxy.Cache.store c "b" (String.make 40 'b');
+  check Alcotest.bool "a hit" true (Proxy.Cache.find c "a" <> None);
+  (* c displaces the least recently used, which is now b *)
+  Proxy.Cache.store c "c" (String.make 40 'c');
+  check Alcotest.bool "b evicted" true (Proxy.Cache.find c "b" = None);
+  check Alcotest.bool "a survives" true (Proxy.Cache.find c "a" <> None);
+  check Alcotest.bool "evictions counted" true (c.Proxy.Cache.evictions >= 1)
+
+let test_cache_disabled () =
+  let c = Proxy.Cache.create ~capacity:0 in
+  Proxy.Cache.store c "a" "xxx";
+  check Alcotest.bool "nothing stored" true (Proxy.Cache.find c "a" = None)
+
+let test_cache_oversized_not_stored () =
+  let c = Proxy.Cache.create ~capacity:10 in
+  Proxy.Cache.store c "big" (String.make 100 'x');
+  check Alcotest.bool "not stored" true (Proxy.Cache.find c "big" = None)
+
+(* --- Pipeline. --- *)
+
+let hello =
+  B.class_ "Hello"
+    [
+      B.meth ~flags:static "main" "()V"
+        [
+          B.Getstatic ("java/lang/System", "out", "Ljava/io/OutputStream;");
+          B.Push_str "hi";
+          B.Invokevirtual
+            ("java/io/OutputStream", "println", "(Ljava/lang/String;)V");
+          B.Return;
+        ];
+    ]
+
+let boot_oracle = Verifier.Oracle.of_classes (Jvm.Bootlib.boot_classes ())
+
+let filters () =
+  [
+    Verifier.Static_verifier.filter ~oracle:boot_oracle ();
+    Monitor.Instrument.audit_filter ();
+  ]
+
+let test_pipeline_transforms () =
+  let bytes = Bytecode.Encode.class_to_bytes hello in
+  let out = Proxy.Pipeline.run (filters ()) bytes in
+  check Alcotest.bool "accepted" true (out.Proxy.Pipeline.rejected = None);
+  check Alcotest.int "parsed once" 1 out.Proxy.Pipeline.parses;
+  let cf = Bytecode.Decode.class_of_bytes out.Proxy.Pipeline.out_bytes in
+  check Alcotest.string "same class" "Hello" cf.CF.name;
+  (* audit instrumentation grew the code *)
+  check Alcotest.bool "instrumented" true
+    (Bytecode.Classfile.instruction_count cf
+    > Bytecode.Classfile.instruction_count hello)
+
+let test_pipeline_rejects_into_error_class () =
+  let bad =
+    B.class_ "Bad" [ B.meth ~flags:static "f" "()I" [ B.Add; B.Ireturn ] ]
+  in
+  let out = Proxy.Pipeline.run (filters ()) (Bytecode.Encode.class_to_bytes bad) in
+  (match out.Proxy.Pipeline.rejected with
+  | Some ("verifier", _) -> ()
+  | Some (f, _) -> fail ("rejected by unexpected filter " ^ f)
+  | None -> fail "bad class accepted");
+  (* The replacement class loads and raises VerifyError at init. *)
+  let repl = Bytecode.Decode.class_of_bytes out.Proxy.Pipeline.out_bytes in
+  check Alcotest.string "replacement keeps name" "Bad" repl.CF.name;
+  let vm = Jvm.Bootlib.fresh_vm () in
+  Jvm.Classreg.register vm.Jvm.Vmstate.reg repl;
+  match Jvm.Interp.ensure_initialized vm "Bad" with
+  | _ -> fail "expected VerifyError"
+  | exception Jvm.Vmstate.Throw v ->
+    check Alcotest.string "VerifyError" "java/lang/VerifyError"
+      (Jvm.Value.class_of v)
+
+let test_pipeline_malformed_input () =
+  let out = Proxy.Pipeline.run (filters ()) "garbage not a class" in
+  match out.Proxy.Pipeline.rejected with
+  | Some ("decode", _) -> ()
+  | _ -> fail "malformed input not rejected at decode"
+
+let test_parse_per_service_ablation () =
+  let bytes = Bytecode.Encode.class_to_bytes hello in
+  let shared = Proxy.Pipeline.run (filters ()) bytes in
+  let naive = Proxy.Pipeline.run_parse_per_service (filters ()) bytes in
+  check Alcotest.bool "same accepted output" true
+    (naive.Proxy.Pipeline.rejected = None
+    && String.equal shared.Proxy.Pipeline.out_bytes naive.Proxy.Pipeline.out_bytes);
+  check Alcotest.int "one parse per service" 2 naive.Proxy.Pipeline.parses;
+  check Alcotest.bool "naive costs more" true
+    (Proxy.Pipeline.total_cost naive > Proxy.Pipeline.total_cost shared)
+
+let test_pipeline_signs () =
+  let key = Dsig.Sign.make_key ~key_id:"org" ~secret:"k" in
+  let bytes = Bytecode.Encode.class_to_bytes hello in
+  let out = Proxy.Pipeline.run ~signer:key (filters ()) bytes in
+  let cf = Bytecode.Decode.class_of_bytes out.Proxy.Pipeline.out_bytes in
+  check Alcotest.bool "signature valid" true
+    (Dsig.Sign.verify [ key ] cf = Dsig.Sign.Valid)
+
+(* --- Wire protocol. --- *)
+
+let test_http_roundtrip () =
+  let req = Proxy.Httpwire.encode_request ~cls:"jlex/Main" in
+  check Alcotest.string "request decodes" "jlex/Main"
+    (Proxy.Httpwire.decode_request req);
+  let body = "\x00\x01binary body \xff" in
+  let resp = Proxy.Httpwire.encode_response ~status:Proxy.Httpwire.Ok_200 ~body in
+  let status, body' = Proxy.Httpwire.decode_response resp in
+  check Alcotest.bool "status 200" true (status = Proxy.Httpwire.Ok_200);
+  check Alcotest.string "body preserved" body body'
+
+let test_http_serve () =
+  let lookup = function "A" -> Some "aaa" | _ -> None in
+  let ok = Proxy.Httpwire.serve lookup (Proxy.Httpwire.encode_request ~cls:"A") in
+  (match Proxy.Httpwire.decode_response ok with
+  | Proxy.Httpwire.Ok_200, "aaa" -> ()
+  | _ -> fail "expected 200 aaa");
+  let missing =
+    Proxy.Httpwire.serve lookup (Proxy.Httpwire.encode_request ~cls:"B")
+  in
+  (match Proxy.Httpwire.decode_response missing with
+  | Proxy.Httpwire.Not_found_404, _ -> ()
+  | _ -> fail "expected 404");
+  match Proxy.Httpwire.decode_response (Proxy.Httpwire.serve lookup "junk") with
+  | Proxy.Httpwire.Bad_request_400, _ -> ()
+  | _ -> fail "expected 400"
+
+let test_http_malformed () =
+  List.iter
+    (fun bad ->
+      match Proxy.Httpwire.decode_response bad with
+      | _ -> fail ("accepted: " ^ String.escaped bad)
+      | exception Proxy.Httpwire.Bad_message _ -> ())
+    [
+      "";
+      "DVM/1.0 200\r\n\r\n";
+      "DVM/1.0 999\r\nContent-Length: 0\r\n\r\n";
+      "DVM/1.0 200\r\nContent-Length: 5\r\n\r\nab";
+      "HTTP/1.1 200\r\nContent-Length: 0\r\n\r\n";
+    ]
+
+(* --- Proxy request paths. --- *)
+
+let origin_for classes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun cf -> Hashtbl.replace tbl cf.CF.name (Bytecode.Encode.class_to_bytes cf))
+    classes;
+  fun name -> Hashtbl.find_opt tbl name
+
+let test_request_sync_and_cache () =
+  let engine = Simnet.Engine.create () in
+  let proxy =
+    Proxy.create engine ~origin:(origin_for [ hello ])
+      ~origin_latency:(fun _ -> 0L)
+      ~filters:(filters ()) ()
+  in
+  (match Proxy.request_sync proxy ~cls:"Hello" with
+  | Proxy.Bytes _ -> ()
+  | Proxy.Not_found -> fail "not served");
+  check Alcotest.int "one origin fetch" 1 proxy.Proxy.origin_fetches;
+  (match Proxy.request_sync proxy ~cls:"Hello" with
+  | Proxy.Bytes _ -> ()
+  | Proxy.Not_found -> fail "not served from cache");
+  check Alcotest.int "cache hit, no refetch" 1 proxy.Proxy.origin_fetches;
+  match Proxy.request_sync proxy ~cls:"Nowhere" with
+  | Proxy.Not_found -> ()
+  | Proxy.Bytes _ -> fail "phantom class"
+
+let test_request_async_timing () =
+  let engine = Simnet.Engine.create () in
+  let proxy =
+    Proxy.create engine
+      ~origin:(origin_for [ hello ])
+      ~origin_latency:(fun _ -> Simnet.Engine.ms 100)
+      ~filters:(filters ()) ()
+  in
+  let served_at = ref (-1L) in
+  Proxy.request proxy ~cls:"Hello" (fun reply ->
+      match reply with
+      | Proxy.Bytes _ -> served_at := Simnet.Engine.now engine
+      | Proxy.Not_found -> fail "not served");
+  Simnet.Engine.run engine;
+  (* must include WAN latency plus pipeline compute *)
+  check Alcotest.bool "after WAN latency" true (!served_at >= 100_000L);
+  check Alcotest.bool "pipeline time accounted" true
+    (Int64.to_int !served_at > 100_000)
+
+let test_provider_feeds_client () =
+  let engine = Simnet.Engine.create () in
+  let proxy =
+    Proxy.create engine ~origin:(origin_for [ hello ])
+      ~origin_latency:(fun _ -> 0L)
+      ~filters:(filters ()) ()
+  in
+  let vm = Jvm.Bootlib.fresh_vm ~provider:(Proxy.provider proxy) () in
+  ignore (Verifier.Rt_verifier.install vm);
+  ignore (Monitor.Profiler.install vm ());
+  (match Jvm.Interp.run_main vm "Hello" with
+  | Ok () -> ()
+  | Error e -> fail (Jvm.Interp.describe_throwable e));
+  check Alcotest.string "output through full path" "hi\n" (Jvm.Vmstate.output vm)
+
+let test_audit_trail () =
+  let engine = Simnet.Engine.create () in
+  let audit = Monitor.Audit.create () in
+  let proxy =
+    Proxy.create engine ~audit ~origin:(origin_for [ hello ])
+      ~origin_latency:(fun _ -> 0L)
+      ~filters:(filters ()) ()
+  in
+  let done_ = ref false in
+  Proxy.request proxy ~cls:"Hello" (fun _ -> done_ := true);
+  Simnet.Engine.run engine;
+  check Alcotest.bool "served" true !done_;
+  check Alcotest.bool "audited" true
+    (List.length (Monitor.Audit.filter_kind audit "proxy.serve") = 1);
+  check Alcotest.bool "chain ok" true (Monitor.Audit.verify_chain audit)
+
+let () =
+  Alcotest.run "proxy"
+    [
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "disabled" `Quick test_cache_disabled;
+          Alcotest.test_case "oversized" `Quick test_cache_oversized_not_stored;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "transforms" `Quick test_pipeline_transforms;
+          Alcotest.test_case "rejects to error class" `Quick
+            test_pipeline_rejects_into_error_class;
+          Alcotest.test_case "malformed input" `Quick
+            test_pipeline_malformed_input;
+          Alcotest.test_case "parse-per-service ablation" `Quick
+            test_parse_per_service_ablation;
+          Alcotest.test_case "signing" `Quick test_pipeline_signs;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_http_roundtrip;
+          Alcotest.test_case "serve" `Quick test_http_serve;
+          Alcotest.test_case "malformed" `Quick test_http_malformed;
+        ] );
+      ( "requests",
+        [
+          Alcotest.test_case "sync + cache" `Quick test_request_sync_and_cache;
+          Alcotest.test_case "async timing" `Quick test_request_async_timing;
+          Alcotest.test_case "provider feeds client" `Quick
+            test_provider_feeds_client;
+          Alcotest.test_case "audit trail" `Quick test_audit_trail;
+        ] );
+    ]

@@ -1,0 +1,293 @@
+(* Tests for the binary-rewriting engine: insertion semantics, target
+   remapping, handler adjustment, bound refitting — and the property
+   that patching preserves program behaviour. *)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+module I = Bytecode.Instr
+module P = Rewrite.Patch
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let static = [ CF.Public; CF.Static ]
+
+let code_of cls name desc =
+  match CF.find_method cls name desc with
+  | Some { CF.m_code = Some c; _ } -> c
+  | _ -> fail "method not found"
+
+let run_static classes cls name desc args =
+  let vm = Jvm.Bootlib.fresh_vm () in
+  List.iter (Jvm.Classreg.register vm.Jvm.Vmstate.reg) classes;
+  Jvm.Interp.invoke vm ~cls ~name ~desc args
+
+(* A branchy method: f(n) = if n < 10 then n*2 else n-10, via a loop. *)
+let subject =
+  B.class_ "Subject"
+    [
+      B.meth ~flags:static "f" "(I)I"
+        [
+          B.Iload 0;
+          B.Const 10;
+          B.If_icmp (I.Lt, "small");
+          B.Iload 0;
+          B.Const 10;
+          B.Sub;
+          B.Ireturn;
+          B.Label "small";
+          B.Iload 0;
+          B.Const 2;
+          B.Mul;
+          B.Ireturn;
+        ];
+    ]
+
+let expect_f classes n =
+  match
+    run_static classes "Subject" "f" "(I)I" [ Jvm.Value.Int (Int32.of_int n) ]
+  with
+  | Some (Jvm.Value.Int r) -> Int32.to_int r
+  | _ -> fail "no result"
+
+let test_insert_preserves_semantics () =
+  let code = code_of subject "f" "(I)I" in
+  (* Insert stack-neutral no-ops before every instruction. *)
+  let insertions =
+    List.init (Array.length code.CF.instrs) (fun at ->
+        { P.at; block = [ I.Nop; I.Iconst 7l; I.Pop ] })
+  in
+  let code' = P.apply_insertions code insertions in
+  let code' = P.refit_bounds subject.CF.pool ~params:1 ~is_static:true code' in
+  let patched =
+    CF.map_methods
+      (fun m ->
+        if m.CF.m_name = "f" then { m with CF.m_code = Some code' } else m)
+      subject
+  in
+  List.iter
+    (fun n ->
+      check Alcotest.int
+        (Printf.sprintf "f(%d) unchanged" n)
+        (expect_f [ subject ] n)
+        (expect_f [ patched ] n))
+    [ 0; 5; 9; 10; 25 ]
+
+let test_branch_targets_hit_inserted_code () =
+  (* Instrument the "small" branch target with a counter bump; both the
+     fallthrough path and the branch path must execute it. *)
+  let counter =
+    B.class_ "Ctr"
+      ~fields:[ B.field ~flags:static "n" "I" ]
+      [
+        B.meth ~flags:static "bump" "()V"
+          [
+            B.Getstatic ("Ctr", "n", "I");
+            B.Const 1;
+            B.Add;
+            B.Putstatic ("Ctr", "n", "I");
+            B.Return;
+          ];
+        B.meth ~flags:static "get" "()I"
+          [ B.Getstatic ("Ctr", "n", "I"); B.Ireturn ];
+      ]
+  in
+  let code = code_of subject "f" "(I)I" in
+  (* Find the index the Lt branch targets (the "small" label). *)
+  let target =
+    Array.to_list code.CF.instrs
+    |> List.find_map (function I.If_icmp (I.Lt, t) -> Some t | _ -> None)
+    |> Option.get
+  in
+  let pool = Bytecode.Cp.Builder.of_pool subject.CF.pool in
+  let bump =
+    I.Invokestatic
+      (Bytecode.Cp.Builder.methodref pool ~cls:"Ctr" ~name:"bump" ~desc:"()V")
+  in
+  let code' = P.apply_insertions code [ { P.at = target; block = [ bump ] } ] in
+  let patched =
+    {
+      (CF.map_methods
+         (fun m ->
+           if m.CF.m_name = "f" then { m with CF.m_code = Some code' } else m)
+         subject)
+      with
+      CF.pool = Bytecode.Cp.Builder.to_pool pool;
+    }
+  in
+  let vm = Jvm.Bootlib.fresh_vm () in
+  List.iter (Jvm.Classreg.register vm.Jvm.Vmstate.reg) [ patched; counter ];
+  (* n=5 takes the branch to "small"; the inserted bump must run. *)
+  ignore (Jvm.Interp.invoke vm ~cls:"Subject" ~name:"f" ~desc:"(I)I" [ Jvm.Value.Int 5l ]);
+  (match Jvm.Interp.invoke vm ~cls:"Ctr" ~name:"get" ~desc:"()I" [] with
+  | Some (Jvm.Value.Int 1l) -> ()
+  | Some v -> fail ("count after branch: " ^ Jvm.Value.to_string v)
+  | None -> fail "no result");
+  (* n=50 does not reach "small": count unchanged. *)
+  ignore (Jvm.Interp.invoke vm ~cls:"Subject" ~name:"f" ~desc:"(I)I" [ Jvm.Value.Int 50l ]);
+  match Jvm.Interp.invoke vm ~cls:"Ctr" ~name:"get" ~desc:"()I" [] with
+  | Some (Jvm.Value.Int 1l) -> ()
+  | _ -> fail "branch-not-taken ran inserted code"
+
+let test_block_relative_targets () =
+  (* An inserted block with an internal branch that skips to the end of
+     the block (target = block length). *)
+  let code = code_of subject "f" "(I)I" in
+  let block =
+    [ I.Iconst 1l; I.If_z (I.Ne, 4); I.Iconst 9l; I.Pop ]
+    (* target 4 = one past block end - 0? block length is 4; jumping to
+       4 lands on the original instruction *)
+  in
+  let code' = P.apply_insertions code [ { P.at = 0; block } ] in
+  let code' = P.refit_bounds subject.CF.pool ~params:1 ~is_static:true code' in
+  let patched =
+    CF.map_methods
+      (fun m ->
+        if m.CF.m_name = "f" then { m with CF.m_code = Some code' } else m)
+      subject
+  in
+  check Alcotest.int "semantics preserved" 10 (expect_f [ patched ] 5)
+
+let test_handlers_remapped () =
+  let cls =
+    B.class_ "H"
+      [
+        B.meth ~flags:static "f" "()I"
+          ~handlers:[ ("try", "end", "catch", None) ]
+          [
+            B.Label "try";
+            B.Const 1;
+            B.Const 0;
+            B.Div;
+            B.Ireturn;
+            B.Label "end";
+            B.Label "catch";
+            B.Pop;
+            B.Const 42;
+            B.Ireturn;
+          ];
+      ]
+  in
+  let code = code_of cls "f" "()I" in
+  let insertions =
+    List.init (Array.length code.CF.instrs) (fun at ->
+        { P.at; block = [ I.Nop ] })
+  in
+  let code' = P.apply_insertions code insertions in
+  let patched =
+    CF.map_methods
+      (fun m ->
+        if m.CF.m_name = "f" then { m with CF.m_code = Some code' } else m)
+      cls
+  in
+  match run_static [ patched ] "H" "f" "()I" [] with
+  | Some (Jvm.Value.Int 42l) -> ()
+  | _ -> fail "handler did not survive patching"
+
+let test_instrument_method_entry_exit () =
+  let cls = subject in
+  let pool = Bytecode.Cp.Builder.of_pool cls.CF.pool in
+  let probe name =
+    [
+      I.Ldc_str (Bytecode.Cp.Builder.string pool name);
+      I.Invokestatic
+        (Bytecode.Cp.Builder.methodref pool ~cls:"Probe" ~name:"hit"
+           ~desc:"(Ljava/lang/String;)V");
+    ]
+  in
+  let m = Option.get (CF.find_method cls "f" "(I)I") in
+  let m' =
+    P.instrument_method
+      (Bytecode.Cp.Builder.to_pool pool)
+      m ~entry:(probe "enter") ~before_return:(probe "exit")
+  in
+  let patched =
+    {
+      cls with
+      CF.methods = [ m' ];
+      pool = Bytecode.Cp.Builder.to_pool pool;
+    }
+  in
+  let hits = ref [] in
+  let vm = Jvm.Bootlib.fresh_vm () in
+  let probe_cls =
+    B.class_ "Probe" [ B.native_meth ~flags:(CF.Native :: static) "hit" "(Ljava/lang/String;)V" ]
+  in
+  Jvm.Classreg.register vm.Jvm.Vmstate.reg probe_cls;
+  Jvm.Classreg.register vm.Jvm.Vmstate.reg patched;
+  Jvm.Vmstate.register_native vm ~cls:"Probe" ~name:"hit"
+    ~desc:"(Ljava/lang/String;)V" (fun _ args ->
+      (match args with
+      | [ Jvm.Value.Str s ] -> hits := s :: !hits
+      | _ -> ());
+      None);
+  (match
+     Jvm.Interp.invoke vm ~cls:"Subject" ~name:"f" ~desc:"(I)I"
+       [ Jvm.Value.Int 3l ]
+   with
+  | Some (Jvm.Value.Int 6l) -> ()
+  | _ -> fail "wrong result");
+  check (Alcotest.list Alcotest.string) "enter/exit seen" [ "enter"; "exit" ]
+    (List.rev !hits)
+
+let test_filter_stacking () =
+  let tag name =
+    Rewrite.Filter.make ~name (fun cf ->
+        Bytecode.Classfile.with_attribute cf ("tag." ^ name) "1")
+  in
+  let out =
+    Rewrite.Filter.run_stack [ tag "a"; tag "b"; tag "c" ] subject
+  in
+  List.iter
+    (fun n ->
+      check Alcotest.bool ("tag " ^ n) true
+        (CF.find_attribute out ("tag." ^ n) <> None))
+    [ "a"; "b"; "c" ];
+  (* A stacked filter behaves like the composition. *)
+  let stacked = Rewrite.Filter.stack ~name:"all" [ tag "a"; tag "b" ] in
+  let out2 = Rewrite.Filter.apply stacked subject in
+  check Alcotest.bool "stacked = composed" true
+    (CF.find_attribute out2 "tag.a" <> None
+    && CF.find_attribute out2 "tag.b" <> None)
+
+(* Property: random straight-line insertions into a verified method
+   leave it verifiable and semantics-preserving. *)
+let prop_random_insertions =
+  QCheck.Test.make ~name:"random insertions preserve behaviour" ~count:200
+    QCheck.(pair (list (int_bound 11)) (int_bound 100))
+    (fun (points, n) ->
+      let code = code_of subject "f" "(I)I" in
+      let len = Array.length code.CF.instrs in
+      let insertions =
+        List.map
+          (fun p -> { P.at = p mod (len + 1); block = [ I.Iconst 3l; I.Pop ] })
+          points
+      in
+      let code' = P.apply_insertions code insertions in
+      let code' = P.refit_bounds subject.CF.pool ~params:1 ~is_static:true code' in
+      let patched =
+        CF.map_methods
+          (fun m ->
+            if m.CF.m_name = "f" then { m with CF.m_code = Some code' } else m)
+          subject
+      in
+      expect_f [ patched ] n = expect_f [ subject ] n)
+
+let () =
+  Alcotest.run "rewrite"
+    [
+      ( "patch",
+        [
+          Alcotest.test_case "insert preserves semantics" `Quick
+            test_insert_preserves_semantics;
+          Alcotest.test_case "branch targets hit inserted code" `Quick
+            test_branch_targets_hit_inserted_code;
+          Alcotest.test_case "block-relative targets" `Quick
+            test_block_relative_targets;
+          Alcotest.test_case "handlers remapped" `Quick test_handlers_remapped;
+          Alcotest.test_case "entry/exit instrumentation" `Quick
+            test_instrument_method_entry_exit;
+        ] );
+      ("filter", [ Alcotest.test_case "stacking" `Quick test_filter_stacking ]);
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest prop_random_insertions ] );
+    ]

@@ -1,0 +1,148 @@
+(* Tests for the discrete-event engine, links and hosts. *)
+
+let check = Alcotest.check
+
+let test_event_order () =
+  let e = Simnet.Engine.create () in
+  let order = ref [] in
+  let at t tag = Simnet.Engine.schedule_at e t (fun () -> order := tag :: !order) in
+  at 30L "c";
+  at 10L "a";
+  at 20L "b";
+  at 10L "a2" (* FIFO tie-break *);
+  Simnet.Engine.run e;
+  check (Alcotest.list Alcotest.string) "order" [ "a"; "a2"; "b"; "c" ]
+    (List.rev !order)
+
+let test_clock_advances () =
+  let e = Simnet.Engine.create () in
+  let seen = ref [] in
+  Simnet.Engine.schedule e ~delay:(Simnet.Engine.ms 5) (fun () ->
+      seen := Simnet.Engine.now e :: !seen;
+      Simnet.Engine.schedule e ~delay:(Simnet.Engine.ms 7) (fun () ->
+          seen := Simnet.Engine.now e :: !seen));
+  Simnet.Engine.run e;
+  check (Alcotest.list Alcotest.int64) "times" [ 5000L; 12000L ] (List.rev !seen)
+
+let test_run_until () =
+  let e = Simnet.Engine.create () in
+  let fired = ref 0 in
+  Simnet.Engine.schedule_at e 100L (fun () -> incr fired);
+  Simnet.Engine.schedule_at e 200L (fun () -> incr fired);
+  Simnet.Engine.run ~until:150L e;
+  check Alcotest.int "only first" 1 !fired;
+  check Alcotest.int64 "clock at horizon" 150L (Simnet.Engine.now e);
+  Simnet.Engine.run e;
+  check Alcotest.int "rest runs" 2 !fired
+
+let test_past_events_clamped () =
+  let e = Simnet.Engine.create () in
+  let t = ref (-1L) in
+  Simnet.Engine.schedule_at e 100L (fun () ->
+      (* scheduling in the past runs "now" *)
+      Simnet.Engine.schedule_at e 5L (fun () -> t := Simnet.Engine.now e));
+  Simnet.Engine.run e;
+  check Alcotest.int64 "clamped to now" 100L !t
+
+let test_link_bandwidth_math () =
+  (* 10 Mb/s: 1250 bytes take 1 ms on the wire. *)
+  let e = Simnet.Engine.create () in
+  let link = Simnet.Link.ethernet_10mb e in
+  check Alcotest.int64 "tx time" 1000L (Simnet.Link.tx_time link ~bytes:1250);
+  let done_at = ref 0L in
+  Simnet.Link.transfer link ~bytes:1250 (fun () -> done_at := Simnet.Engine.now e);
+  Simnet.Engine.run e;
+  (* tx 1000 + latency 500 *)
+  check Alcotest.int64 "arrival" 1500L !done_at
+
+let test_link_serializes () =
+  let e = Simnet.Engine.create () in
+  let link = Simnet.Link.ethernet_10mb e in
+  let arrivals = ref [] in
+  Simnet.Link.transfer link ~bytes:1250 (fun () ->
+      arrivals := Simnet.Engine.now e :: !arrivals);
+  Simnet.Link.transfer link ~bytes:1250 (fun () ->
+      arrivals := Simnet.Engine.now e :: !arrivals);
+  Simnet.Engine.run e;
+  (* Second transmission queues behind the first: 2000 + 500. *)
+  check (Alcotest.list Alcotest.int64) "arrivals" [ 1500L; 2500L ]
+    (List.rev !arrivals)
+
+let test_closed_form_matches () =
+  check Alcotest.int "closed form" 1500
+    (Simnet.Link.transfer_time_us ~bandwidth_bps:10_000_000 ~latency_us:500
+       ~bytes:1250)
+
+let test_host_compute_serializes () =
+  let e = Simnet.Engine.create () in
+  let h = Simnet.Host.create e ~name:"h" in
+  let arrivals = ref [] in
+  Simnet.Host.compute h ~cost_us:100L (fun () ->
+      arrivals := Simnet.Engine.now e :: !arrivals);
+  Simnet.Host.compute h ~cost_us:50L (fun () ->
+      arrivals := Simnet.Engine.now e :: !arrivals);
+  Simnet.Engine.run e;
+  check (Alcotest.list Alcotest.int64) "fifo cpu" [ 100L; 150L ]
+    (List.rev !arrivals)
+
+let test_host_cpu_factor () =
+  let e = Simnet.Engine.create () in
+  let fast = Simnet.Host.create ~cpu_factor:2.0 e ~name:"fast" in
+  check Alcotest.int64 "half cost" 50L
+    (Simnet.Host.effective_cost fast ~cost_us:100L)
+
+let test_memory_pressure_slows () =
+  let e = Simnet.Engine.create () in
+  let h = Simnet.Host.create ~mem_capacity:1000 ~thrash_factor:10.0 e ~name:"h" in
+  let base = Simnet.Host.effective_cost h ~cost_us:100L in
+  Simnet.Host.allocate h 2000;
+  (* 2x over-committed *)
+  let slowed = Simnet.Host.effective_cost h ~cost_us:100L in
+  check Alcotest.bool "slower under pressure" true (slowed > base);
+  Simnet.Host.release h 2000;
+  check Alcotest.int64 "recovers" base (Simnet.Host.effective_cost h ~cost_us:100L)
+
+let prop_heap_orders_events =
+  QCheck.Test.make ~name:"events fire in time order" ~count:100
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let e = Simnet.Engine.create () in
+      let fired = ref [] in
+      List.iter
+        (fun t ->
+          Simnet.Engine.schedule_at e (Int64.of_int t) (fun () ->
+              fired := Simnet.Engine.now e :: !fired))
+        times;
+      Simnet.Engine.run e;
+      let fired = List.rev !fired in
+      (* fired times are sorted and a permutation of the input *)
+      List.sort compare fired = fired
+      && List.sort compare (List.map Int64.of_int times) = List.sort compare fired)
+
+let () =
+  Alcotest.run "simnet"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "event order" `Quick test_event_order;
+          Alcotest.test_case "clock advances" `Quick test_clock_advances;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "past events clamped" `Quick
+            test_past_events_clamped;
+          QCheck_alcotest.to_alcotest prop_heap_orders_events;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "bandwidth math" `Quick test_link_bandwidth_math;
+          Alcotest.test_case "serializes" `Quick test_link_serializes;
+          Alcotest.test_case "closed form" `Quick test_closed_form_matches;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "cpu serializes" `Quick
+            test_host_compute_serializes;
+          Alcotest.test_case "cpu factor" `Quick test_host_cpu_factor;
+          Alcotest.test_case "memory pressure" `Quick
+            test_memory_pressure_slows;
+        ] );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for the workload generators: the Figure 5 applications match
+   their published parameters, verify cleanly, run deterministically,
+   and survive the full service pipeline; the applet population matches
+   its calibration targets. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let small_apps =
+  lazy (List.map Workloads.Apps.build_small Workloads.Apps.all_specs)
+
+let test_fig5_parameters () =
+  List.iter
+    (fun spec ->
+      let app = Workloads.Apps.build_small spec in
+      check Alcotest.int
+        (spec.Workloads.Appgen.name ^ " class count")
+        spec.Workloads.Appgen.classes
+        (List.length
+           (List.filter
+              (fun c ->
+                (* count only the app's own package, excluding shared
+                   helpers like wl/Account *)
+                Security.Policy.prefix_match spec.Workloads.Appgen.prefix
+                  c.Bytecode.Classfile.name)
+              app.Workloads.Appgen.classes));
+      let ratio =
+        Float.of_int app.Workloads.Appgen.total_bytes
+        /. Float.of_int spec.Workloads.Appgen.target_bytes
+      in
+      check Alcotest.bool
+        (Printf.sprintf "%s size within 25%% of Fig.5 (%0.2f)"
+           spec.Workloads.Appgen.name ratio)
+        true
+        (ratio > 0.75 && ratio < 1.25))
+    Workloads.Apps.all_specs
+
+let test_apps_verify () =
+  List.iter
+    (fun app ->
+      let oracle =
+        Verifier.Oracle.of_classes
+          (Jvm.Bootlib.boot_classes () @ app.Workloads.Appgen.classes)
+      in
+      List.iter
+        (fun cf ->
+          match Verifier.Static_verifier.verify ~oracle cf with
+          | Verifier.Static_verifier.Verified _ -> ()
+          | Verifier.Static_verifier.Rejected (errors, _) ->
+            fail
+              (cf.Bytecode.Classfile.name ^ ": "
+              ^ String.concat ";"
+                  (List.map Verifier.Verror.to_string errors)))
+        app.Workloads.Appgen.classes)
+    (Lazy.force small_apps)
+
+let run_app app =
+  let vm = Jvm.Bootlib.fresh_vm () in
+  List.iter (Jvm.Classreg.register vm.Jvm.Vmstate.reg)
+    app.Workloads.Appgen.classes;
+  match Jvm.Interp.run_main vm app.Workloads.Appgen.entry with
+  | Ok () -> Jvm.Vmstate.output vm
+  | Error e -> fail (Jvm.Interp.describe_throwable e)
+
+let test_apps_run_deterministically () =
+  List.iter
+    (fun spec ->
+      let a = run_app (Workloads.Apps.build_small spec) in
+      let b = run_app (Workloads.Apps.build_small spec) in
+      check Alcotest.string
+        (spec.Workloads.Appgen.name ^ " deterministic")
+        a b;
+      check Alcotest.bool "produced a checksum" true (String.length a > 0))
+    Workloads.Apps.all_specs
+
+let test_apps_survive_pipeline () =
+  (* Every class of every app passes the full service pipeline and the
+     transformed app produces identical output. *)
+  List.iter
+    (fun spec ->
+      let app = Workloads.Apps.build_small spec in
+      let reference = run_app app in
+      let r =
+        Dvm.Experiment.run ~arch:(Dvm.Experiment.Dvm { cached = false }) app
+      in
+      check Alcotest.string
+        (spec.Workloads.Appgen.name ^ " output preserved")
+        reference r.Dvm.Experiment.r_output)
+    [ Workloads.Apps.jlex; Workloads.Apps.cassowary ]
+
+let test_applet_population () =
+  let pop = Workloads.Applets.population () in
+  check Alcotest.int "100 applets" 100 (List.length pop);
+  let mean = Workloads.Applets.mean_bytes pop in
+  check Alcotest.bool
+    (Printf.sprintf "mean size ~2-4KB (%d)" mean)
+    true
+    (mean > 1_500 && mean < 5_000);
+  let lat = Workloads.Applets.mean_latency_ms pop in
+  check Alcotest.bool
+    (Printf.sprintf "mean latency ~2-3s (%0.0f)" lat)
+    true
+    (lat > 1_800.0 && lat < 3_200.0);
+  (* deterministic *)
+  let pop2 = Workloads.Applets.population () in
+  check Alcotest.bool "deterministic" true (pop = pop2)
+
+let test_applets_realizable () =
+  let pop = Workloads.Applets.population ~n:10 () in
+  List.iter
+    (fun ap ->
+      let cf = Workloads.Applets.realize ap in
+      let bytes = Bytecode.Encode.class_to_bytes cf in
+      (* decodable and at least vaguely the right size *)
+      let cf2 = Bytecode.Decode.class_of_bytes bytes in
+      check Alcotest.bool "roundtrips" true (cf = cf2))
+    pop
+
+let test_startup_apps_cover_band () =
+  (* Cold fractions sit in the paper's 10-30% never-invoked band. *)
+  List.iter
+    (fun m ->
+      check Alcotest.bool
+        (m.Opt.Startup.app_name ^ " cold fraction in band")
+        true
+        (m.Opt.Startup.cold_fraction >= 0.10
+        && m.Opt.Startup.cold_fraction <= 0.30))
+    Workloads.Applets.startup_apps;
+  check Alcotest.int "six apps" 6 (List.length Workloads.Applets.startup_apps)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "fig5 apps",
+        [
+          Alcotest.test_case "parameters" `Quick test_fig5_parameters;
+          Alcotest.test_case "verify" `Quick test_apps_verify;
+          Alcotest.test_case "deterministic" `Quick
+            test_apps_run_deterministically;
+          Alcotest.test_case "survive pipeline" `Slow
+            test_apps_survive_pipeline;
+        ] );
+      ( "applets",
+        [
+          Alcotest.test_case "population" `Quick test_applet_population;
+          Alcotest.test_case "realizable" `Quick test_applets_realizable;
+          Alcotest.test_case "startup apps" `Quick test_startup_apps_cover_band;
+        ] );
+    ]
