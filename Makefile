@@ -1,0 +1,23 @@
+.PHONY: all build test check clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# The gate a PR must pass: everything builds, every test is green, and
+# no build artifacts are tracked or dirtying the tree.
+check:
+	dune build @all
+	dune runtest
+	@if git ls-files | grep -q '^_build/'; then \
+	  echo "check: _build/ files are tracked in git" >&2; exit 1; fi
+	@if git status --porcelain | grep -q '_build'; then \
+	  echo "check: _build/ appears in git status (gitignore broken?)" >&2; exit 1; fi
+	@echo "check: OK"
+
+clean:
+	dune clean

@@ -16,6 +16,30 @@ let subsection title = Printf.printf "\n--- %s ---\n" title
 
 let s_of_us us = Int64.to_float us /. 1_000_000.0
 
+(* Each benchmark phase runs with telemetry enabled and emits a metrics
+   snapshot next to its results, so a figure's numbers come with the
+   counters and latency distributions that produced them. Set
+   DVM_TELEMETRY=0 to opt out (e.g. when shaving wall-clock noise).
+   [micro] is exempt: its Bechamel loops are wall-clock-sensitive and
+   run with telemetry disabled, the default. *)
+let telemetry_wanted =
+  match Sys.getenv_opt "DVM_TELEMETRY" with
+  | Some ("0" | "false" | "off") -> false
+  | _ -> true
+
+let with_phase name f =
+  if not telemetry_wanted then f ()
+  else begin
+    Telemetry.reset Telemetry.default;
+    Telemetry.enable Telemetry.default;
+    Fun.protect
+      ~finally:(fun () ->
+        Printf.printf "\n--- %s: telemetry ---\n%s" name
+          (Telemetry.metrics_snapshot Telemetry.default);
+        Telemetry.disable Telemetry.default)
+      f
+  end
+
 (* --- Figure 5: benchmark description table. --- *)
 
 let fig5 () =
@@ -696,31 +720,31 @@ let micro () =
     results
 
 let all () =
-  fig5 ();
-  fig6 ();
-  fig7 ();
-  fig8 ();
-  fig9 ();
-  applets ();
-  fig10 ();
-  fig11 ();
-  fig12 ();
-  ablations ();
+  with_phase "fig5" fig5;
+  with_phase "fig6" fig6;
+  with_phase "fig7" fig7;
+  with_phase "fig8" fig8;
+  with_phase "fig9" fig9;
+  with_phase "applets" applets;
+  with_phase "fig10" fig10;
+  with_phase "fig11" fig11;
+  with_phase "fig12" fig12;
+  with_phase "ablations" ablations;
   micro ()
 
 let () =
   let target = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
   match target with
-  | "fig5" -> fig5 ()
-  | "fig6" -> fig6 ()
-  | "fig7" -> fig7 ()
-  | "fig8" -> fig8 ()
-  | "fig9" -> fig9 ()
-  | "applets" -> applets ()
-  | "fig10" -> fig10 ()
-  | "fig11" -> fig11 ()
-  | "fig12" -> fig12 ()
-  | "ablations" -> ablations ()
+  | "fig5" -> with_phase "fig5" fig5
+  | "fig6" -> with_phase "fig6" fig6
+  | "fig7" -> with_phase "fig7" fig7
+  | "fig8" -> with_phase "fig8" fig8
+  | "fig9" -> with_phase "fig9" fig9
+  | "applets" -> with_phase "applets" applets
+  | "fig10" -> with_phase "fig10" fig10
+  | "fig11" -> with_phase "fig11" fig11
+  | "fig12" -> with_phase "fig12" fig12
+  | "ablations" -> with_phase "ablations" ablations
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->

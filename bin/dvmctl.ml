@@ -188,6 +188,99 @@ let split entry paths out_dir =
     (List.length split_classes) out_dir;
   0
 
+(* --- trace / metrics: run an instrumented workload and export
+   telemetry (spans in Chrome trace_event form for Perfetto, or a
+   plain-text metrics snapshot). --- *)
+
+let find_spec app_name =
+  match
+    List.find_opt
+      (fun s -> String.equal s.Workloads.Appgen.name app_name)
+      Workloads.Apps.all_specs
+  with
+  | Some spec -> spec
+  | None ->
+    Printf.eprintf "unknown app %S (expected: %s)\n" app_name
+      (String.concat ", "
+         (List.map (fun s -> s.Workloads.Appgen.name) Workloads.Apps.all_specs));
+    exit 2
+
+(* The telemetry workload: fetch every class of the app through a
+   proxy over a simulated WAN (simnet events, pipeline filters, cache
+   misses), then run the app on a DVM client against the warmed proxy
+   (cache hits, client fetches, deferred link checks). Touches every
+   instrumented subsystem in one pass. *)
+let run_traced_workload app_name =
+  let spec = find_spec app_name in
+  let app = Workloads.Apps.build_small spec in
+  let oracle =
+    Verifier.Oracle.of_classes
+      (Jvm.Bootlib.boot_classes () @ app.Workloads.Appgen.classes)
+  in
+  let engine = Simnet.Engine.create () in
+  (* Console and audit trail share the simulation clock, so audit
+     events and telemetry spans agree on timestamps. *)
+  let console =
+    Monitor.Console.create ~clock:(fun () -> Simnet.Engine.now engine) ()
+  in
+  let services = Dvm.Experiment.standard_services ~oracle () in
+  let proxy =
+    Proxy.create engine
+      ~audit:(Monitor.Console.audit console)
+      ~origin:(Workloads.Appgen.origin app)
+      ~origin_latency:(fun _ -> Simnet.Engine.ms 40)
+      ~filters:services.Dvm.Experiment.filters ()
+  in
+  List.iter
+    (fun (cls, _) -> Proxy.request proxy ~cls (fun _ -> ()))
+    (Workloads.Appgen.class_bytes app);
+  Simnet.Engine.run engine;
+  let cclient =
+    Monitor.Console.handshake console ~user:"operator"
+      ~hardware:"x86-200MHz-64MB" ~native_format:"x86" ~vm_version:"dvm-1.0"
+  in
+  let server = Security.Server.create Dvm.Experiment.standard_policy in
+  let client =
+    Dvm.Client.create_dvm ~console ~session:cclient.Monitor.Console.session
+      ~security_server:server ~sid:"apps" ~provider:(Proxy.provider proxy) ()
+  in
+  Monitor.Console.record_app_start console cclient
+    ~app:app.Workloads.Appgen.entry;
+  (match Dvm.Client.run_main client app.Workloads.Appgen.entry with
+  | Ok () -> ()
+  | Error e ->
+    Printf.eprintf "workload failed: %s\n" (Jvm.Interp.describe_throwable e))
+
+let with_telemetry f =
+  let reg = Telemetry.default in
+  Telemetry.reset reg;
+  Telemetry.enable reg;
+  Fun.protect ~finally:(fun () -> Telemetry.disable reg) f;
+  reg
+
+let trace app_name out_path =
+  let reg = with_telemetry (fun () -> run_traced_workload app_name) in
+  (try write_file out_path (Telemetry.chrome_trace reg)
+   with Sys_error msg ->
+     Printf.eprintf "cannot write trace: %s\n" msg;
+     exit 2);
+  let cats =
+    List.sort_uniq String.compare
+      (List.map (fun sp -> sp.Telemetry.sp_cat) (Telemetry.spans reg))
+  in
+  Printf.printf
+    "wrote %s: %d spans across subsystems [%s], %d counters\n\
+     (open in https://ui.perfetto.dev or chrome://tracing)\n"
+    out_path (Telemetry.span_count reg)
+    (String.concat ", " cats)
+    (List.length (Telemetry.counters reg));
+  0
+
+let metrics app_name =
+  let reg = with_telemetry (fun () -> run_traced_workload app_name) in
+  print_string (Telemetry.metrics_snapshot reg);
+  0
+
 (* --- Cmdliner plumbing. --- *)
 
 let gen_cmd =
@@ -260,10 +353,42 @@ let split_cmd =
          "Profile a first execution and repartition the application at           method granularity (section 5)")
     Term.(const split $ entry $ paths $ out)
 
+let trace_cmd =
+  let app_arg =
+    Arg.(value & pos 0 string "jlex" & info [] ~docv:"APP"
+           ~doc:"workload application (a Figure-5 benchmark name)")
+  in
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"output path for the Chrome trace_event JSON")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a workload with telemetry enabled and export a Chrome \
+          trace_event JSON (loadable in Perfetto) with spans from the \
+          simulator, proxy pipeline, cache and client VM")
+    Term.(const trace $ app_arg $ out)
+
+let metrics_cmd =
+  let app_arg =
+    Arg.(value & pos 0 string "jlex" & info [] ~docv:"APP"
+           ~doc:"workload application (a Figure-5 benchmark name)")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Run a workload with telemetry enabled and print the metrics \
+          snapshot (counters, gauges, latency histograms)")
+    Term.(const metrics $ app_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dvmctl" ~version:"1.0"
        ~doc:"Distributed virtual machine control tool")
-    [ gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd ]
+    [
+      gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd;
+      trace_cmd; metrics_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

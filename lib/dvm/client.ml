@@ -21,6 +21,25 @@ type t = {
   mutable local_verify_errors : int;
 }
 
+(* Telemetry around the client's window onto the network: each class
+   fetch is a span (and a round-trip latency observation) in the
+   "client" subsystem, nested inside the registry's jvm.class_load
+   span and containing the proxy/pipeline spans it triggers. *)
+let traced_provider (provider : Jvm.Classreg.provider) : Jvm.Classreg.provider
+    =
+ fun name ->
+  if not (Telemetry.Global.on ()) then provider name
+  else
+    Telemetry.Global.with_span ~cat:"client" ~args:[ ("class", name) ]
+      ~observe_hist:"client.fetch_us" "client.fetch" (fun () ->
+        Telemetry.Global.incr "client.fetches";
+        match provider name with
+        | Some b as r ->
+          Telemetry.Global.add "client.bytes_fetched"
+            (Int64.of_int (String.length b));
+          r
+        | None -> None)
+
 (* The monolithic client verifies everything it loads, locally, at
    load time: full static verification against an oracle that can see
    whatever the provider can serve. The cost lands on the client. *)
@@ -90,7 +109,7 @@ let jdk_security_hook vm (policy : Security.Policy.t) ~sid op =
 
 let create_monolithic ?(policy = Security.Policy.empty)
     ?(sid = "default") ?(verify = true) ?oracle_provider ~provider () =
-  let vm = Jvm.Bootlib.fresh_vm ~provider () in
+  let vm = Jvm.Bootlib.fresh_vm ~provider:(traced_provider provider) () in
   let client =
     {
       vm;
@@ -114,7 +133,7 @@ let create_monolithic ?(policy = Security.Policy.empty)
 
 let create_dvm ?console ?(session = 0) ?security_server ?(sid = "default")
     ~provider () =
-  let vm = Jvm.Bootlib.fresh_vm ~provider () in
+  let vm = Jvm.Bootlib.fresh_vm ~provider:(traced_provider provider) () in
   let rt = Verifier.Rt_verifier.install vm in
   let enforcement =
     Option.map (fun server -> Security.Enforcement.install vm ~server ~sid)
@@ -131,6 +150,18 @@ let create_dvm ?console ?(session = 0) ?security_server ?(sid = "default")
     local_verify_errors = 0;
   }
 
-let run_main client entry = Jvm.Interp.run_main client.vm entry
+let run_main client entry =
+  if not (Telemetry.Global.on ()) then Jvm.Interp.run_main client.vm entry
+  else
+    Telemetry.Global.with_span ~cat:"client" ~args:[ ("entry", entry) ]
+      "client.run" (fun () ->
+        let invocations0 = client.vm.Jvm.Vmstate.invocations in
+        let instrs0 = client.vm.Jvm.Vmstate.instr_count in
+        let r = Jvm.Interp.run_main client.vm entry in
+        Telemetry.Global.add "jvm.methods_invoked"
+          (Int64.sub client.vm.Jvm.Vmstate.invocations invocations0);
+        Telemetry.Global.add "jvm.bytecodes_executed"
+          (Int64.sub client.vm.Jvm.Vmstate.instr_count instrs0);
+        r)
 
 let client_time_us client = Costs.client_us_of_vm client.vm

@@ -90,8 +90,7 @@ let metered_provider inner ~transfer_us ~bytes =
     bytes := !bytes + String.length b;
     Some b
 
-let run ?(policy = standard_policy) ~arch (app : Workloads.Appgen.app) : result
-    =
+let run_arch ~policy ~arch (app : Workloads.Appgen.app) : result =
   let origin = Workloads.Appgen.origin app in
   let transfer_us = ref 0 in
   let bytes = ref 0 in
@@ -181,10 +180,14 @@ let run ?(policy = standard_policy) ~arch (app : Workloads.Appgen.app) : result
       | Proxy.Not_found -> None
       | Proxy.Bytes b -> Some b
     in
-    let console = Monitor.Console.create () in
+    (* The console shares the simulation's clock, so its audit trail
+       lines up with telemetry spans captured during the run. *)
+    let console =
+      Monitor.Console.create ~clock:(fun () -> Simnet.Engine.now engine) ()
+    in
     let cclient =
       Monitor.Console.handshake console ~user:"egs" ~hardware:"x86-200MHz-64MB"
-        ~native_format:"x86" ~vm_version:"dvm-1.0" ~time:0L
+        ~native_format:"x86" ~vm_version:"dvm-1.0"
     in
     let security_server = Security.Server.create policy in
     let provider = metered_provider provider ~transfer_us ~bytes in
@@ -193,7 +196,7 @@ let run ?(policy = standard_policy) ~arch (app : Workloads.Appgen.app) : result
         ~security_server ~sid:"apps" ~provider ()
     in
     Monitor.Console.record_app_start console cclient
-      ~app:app.Workloads.Appgen.entry ~time:0L;
+      ~app:app.Workloads.Appgen.entry;
     let outcome = Client.run_main client app.Workloads.Appgen.entry in
     let output =
       match outcome with
@@ -234,3 +237,13 @@ let run ?(policy = standard_policy) ~arch (app : Workloads.Appgen.app) : result
       r_audit_events = Monitor.Audit.count (Monitor.Console.audit console);
       r_output = output;
     }
+
+let run ?(policy = standard_policy) ~arch app =
+  Telemetry.Global.with_span ~cat:"experiment"
+    ~args:
+      [
+        ("app", app.Workloads.Appgen.spec.Workloads.Appgen.name);
+        ("arch", architecture_name arch);
+      ]
+    "experiment.run"
+    (fun () -> run_arch ~policy ~arch app)

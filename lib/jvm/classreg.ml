@@ -57,7 +57,11 @@ let lookup t name =
   match Hashtbl.find_opt t.classes name with
   | Some l -> l
   | None -> (
-    match t.provider name with
+    match
+      Telemetry.Global.with_span ~cat:"jvm" ~args:[ ("class", name) ]
+        ~observe_hist:"jvm.class_load_us" "jvm.class_load" (fun () ->
+          t.provider name)
+    with
     | None -> raise (Class_not_found name)
     | Some bytes ->
       let cf =
@@ -80,6 +84,11 @@ let lookup t name =
       t.classes_fetched <- t.classes_fetched + 1;
       t.bytes_fetched <- t.bytes_fetched + String.length bytes;
       t.load_order <- name :: t.load_order;
+      if Telemetry.Global.on () then begin
+        Telemetry.Global.incr "jvm.classes_loaded";
+        Telemetry.Global.add "jvm.bytes_fetched"
+          (Int64.of_int (String.length bytes))
+      end;
       l)
 
 let is_loaded t name = Hashtbl.mem t.classes name

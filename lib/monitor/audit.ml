@@ -17,15 +17,21 @@ type t = {
   mutable events : event list; (* newest first *)
   mutable last_chain : string;
   mutable count : int;
+  clock : unit -> int64;
+      (* supplies ev_time when the caller does not; inject the simulation
+         clock here so audit events and telemetry spans agree on
+         timestamps *)
 }
 
-let create () = { events = []; last_chain = "genesis"; count = 0 }
+let create ?(clock = fun () -> 0L) () =
+  { events = []; last_chain = "genesis"; count = 0; clock }
 
 let seal ~prev ~seq ~time ~session ~kind ~detail =
   Dsig.Md5.hex_digest
     (Printf.sprintf "%s|%d|%Ld|%d|%s|%s" prev seq time session kind detail)
 
-let append t ~time ~session ~kind ~detail =
+let append ?time t ~session ~kind ~detail =
+  let time = match time with Some t -> t | None -> t.clock () in
   let ev =
     {
       ev_seq = t.count;

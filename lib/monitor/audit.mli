@@ -15,8 +15,12 @@ type event = {
 
 type t
 
-val create : unit -> t
-val append : t -> time:int64 -> session:int -> kind:string -> detail:string -> unit
+val create : ?clock:(unit -> int64) -> unit -> t
+(** [clock] supplies event times when [append] is not given one —
+    inject the simulation's virtual clock so audit events and
+    telemetry spans agree on timestamps. Defaults to a constant 0. *)
+
+val append : ?time:int64 -> t -> session:int -> kind:string -> detail:string -> unit
 val events : t -> event list
 val verify_chain : t -> bool
 val count : t -> int

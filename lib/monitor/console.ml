@@ -16,14 +16,19 @@ type client = {
 
 type t = {
   audit : Audit.t;
+  clock : unit -> int64;
   mutable clients : client list;
   mutable next_session : int;
   banned : (string, string) Hashtbl.t; (* app class -> reason *)
 }
 
-let create () =
+(* [clock] supplies event times when callers omit them; inject the
+   simulation's virtual clock so console records, audit events and
+   telemetry spans all share one timeline. *)
+let create ?(clock = fun () -> 0L) () =
   {
-    audit = Audit.create ();
+    audit = Audit.create ~clock ();
+    clock;
     clients = [];
     next_session = 1;
     banned = Hashtbl.create 8;
@@ -32,7 +37,8 @@ let create () =
 let audit t = t.audit
 
 (* The handshake protocol: credentials in, session identifier out. *)
-let handshake t ~user ~hardware ~native_format ~vm_version ~time =
+let handshake ?time t ~user ~hardware ~native_format ~vm_version =
+  let time = match time with Some x -> x | None -> t.clock () in
   let session = t.next_session in
   t.next_session <- session + 1;
   let c =
@@ -52,19 +58,22 @@ let handshake t ~user ~hardware ~native_format ~vm_version ~time =
                native_format vm_version);
   c
 
-let record_app_start t client ~app ~time =
+let record_app_start ?time t client ~app =
+  let time = match time with Some x -> x | None -> t.clock () in
   client.apps_started <- app :: client.apps_started;
   client.last_seen <- time;
   Audit.append t.audit ~time ~session:client.session ~kind:"app.start"
     ~detail:app
 
-let record_event t client ~kind ~detail ~time =
+let record_event ?time t client ~kind ~detail =
+  let time = match time with Some x -> x | None -> t.clock () in
   client.last_seen <- time;
   Audit.append t.audit ~time ~session:client.session ~kind ~detail
 
 (* Pruning rogue applications: a banned class is refused by every
    DVM client loader from then on. *)
-let ban_app t ~app ~reason ~time =
+let ban_app ?time t ~app ~reason =
+  let time = match time with Some x -> x | None -> t.clock () in
   Hashtbl.replace t.banned app reason;
   Audit.append t.audit ~time ~session:0 ~kind:"admin.ban" ~detail:app
 

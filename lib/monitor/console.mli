@@ -17,22 +17,28 @@ type client = {
 
 type t
 
-val create : unit -> t
+val create : ?clock:(unit -> int64) -> unit -> t
+(** [clock] supplies event times when callers omit them — inject the
+    simulation's virtual clock so console records, audit events and
+    telemetry spans share one timeline. Defaults to a constant 0. *)
+
 val audit : t -> Audit.t
 
 val handshake :
+  ?time:int64 ->
   t ->
   user:string ->
   hardware:string ->
   native_format:string ->
   vm_version:string ->
-  time:int64 ->
   client
+(** [time] defaults to the injected clock's current value (likewise
+    for the other record calls below). *)
 
-val record_app_start : t -> client -> app:string -> time:int64 -> unit
-val record_event : t -> client -> kind:string -> detail:string -> time:int64 -> unit
+val record_app_start : ?time:int64 -> t -> client -> app:string -> unit
+val record_event : ?time:int64 -> t -> client -> kind:string -> detail:string -> unit
 
-val ban_app : t -> app:string -> reason:string -> time:int64 -> unit
+val ban_app : ?time:int64 -> t -> app:string -> reason:string -> unit
 val is_banned : t -> string -> string option
 
 val clients : t -> client list

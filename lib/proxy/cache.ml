@@ -27,18 +27,30 @@ let create ~capacity =
 
 let enabled t = t.capacity > 0
 
+let find_raw t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+    t.clock <- t.clock + 1;
+    e.last_used <- t.clock;
+    t.hits <- t.hits + 1;
+    Some e.bytes
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
 let find t key =
   if not (enabled t) then None
+  else if not (Telemetry.Global.on ()) then find_raw t key
   else
-    match Hashtbl.find_opt t.tbl key with
-    | Some e ->
-      t.clock <- t.clock + 1;
-      e.last_used <- t.clock;
-      t.hits <- t.hits + 1;
-      Some e.bytes
-    | None ->
-      t.misses <- t.misses + 1;
-      None
+    Telemetry.Global.with_span ~cat:"cache" ~args:[ ("class", key) ]
+      ~observe_hist:"cache.find_us" "cache.find" (fun () ->
+        match find_raw t key with
+        | Some _ as hit ->
+          Telemetry.Global.incr "cache.hits";
+          hit
+        | None ->
+          Telemetry.Global.incr "cache.misses";
+          None)
 
 let evict_one t =
   let victim =
@@ -54,7 +66,8 @@ let evict_one t =
   | Some (k, e) ->
     Hashtbl.remove t.tbl k;
     t.used <- t.used - String.length e.bytes;
-    t.evictions <- t.evictions + 1
+    t.evictions <- t.evictions + 1;
+    Telemetry.Global.incr "cache.evictions"
 
 let store t key bytes =
   if enabled t && String.length bytes <= t.capacity then begin
@@ -68,7 +81,13 @@ let store t key bytes =
     done;
     t.clock <- t.clock + 1;
     Hashtbl.replace t.tbl key { bytes; last_used = t.clock };
-    t.used <- t.used + String.length bytes
+    t.used <- t.used + String.length bytes;
+    if Telemetry.Global.on () then begin
+      Telemetry.Global.incr "cache.stores";
+      Telemetry.Global.set_gauge "cache.bytes_used" (Int64.of_int t.used);
+      Telemetry.Global.set_gauge "cache.entries"
+        (Int64.of_int (Hashtbl.length t.tbl))
+    end
   end
 
 let size t = Hashtbl.length t.tbl

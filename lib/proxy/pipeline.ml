@@ -33,60 +33,114 @@ let transform_cost_of cf =
   Int64.of_float
     (transform_us_per_instr *. Float.of_int (Bytecode.Classfile.instruction_count cf))
 
+(* Telemetry around the pipeline: the parse, each filter and code
+   generation get wall-clock spans; the simulated cost model feeds the
+   *_us histograms the metrics snapshot reports. All of it is behind
+   the registry's enabled flag. *)
+
+let record_outcome (o : outcome) =
+  if Telemetry.Global.on () then begin
+    Telemetry.Global.incr "pipeline.classes";
+    Telemetry.Global.observe "pipeline.parse_us" o.parse_cost;
+    Telemetry.Global.observe "pipeline.transform_us" o.transform_cost;
+    Telemetry.Global.observe "pipeline.generate_us" o.generate_cost;
+    match o.rejected with
+    | Some (filter, _) ->
+      Telemetry.Global.incr "pipeline.rejections";
+      Telemetry.Global.incr ("pipeline.reject." ^ filter)
+    | None -> ()
+  end
+
+let apply_filter f cf =
+  if not (Telemetry.Global.on ()) then Rewrite.Filter.apply f cf
+  else
+    let name = f.Rewrite.Filter.name in
+    Telemetry.Global.with_span ~cat:"pipeline"
+      ~args:[ ("class", cf.Bytecode.Classfile.name) ]
+      ~observe_hist:("pipeline.filter_us." ^ name)
+      ("pipeline.filter:" ^ name)
+      (fun () ->
+        Telemetry.Global.observe
+          ("pipeline.filter_model_us." ^ name)
+          (transform_cost_of cf);
+        Rewrite.Filter.apply f cf)
+
+let parse_traced bytes =
+  Telemetry.Global.with_span ~cat:"pipeline" "pipeline.parse" (fun () ->
+      Bytecode.Decode.class_of_bytes bytes)
+
+let generate_traced cf =
+  Telemetry.Global.with_span ~cat:"pipeline" "pipeline.generate" (fun () ->
+      Bytecode.Encode.class_to_bytes cf)
+
 let run ?signer filters (bytes : string) : outcome =
   let parse_cost = parse_cost_of bytes in
-  match Bytecode.Decode.class_of_bytes bytes with
+  match parse_traced bytes with
   | exception Bytecode.Decode.Format_error reason ->
     (* Undecodable input: substitute the error class outright. *)
     let name = "malformed/Input" in
     let repl = Verifier.Error_class.build ~name ~message:reason in
     let out = Bytecode.Encode.class_to_bytes repl in
-    {
-      out_bytes = out;
-      rejected = Some ("decode", reason);
-      parse_cost;
-      transform_cost = 0L;
-      generate_cost = generate_cost_of out;
-      parses = 1;
-    }
+    let o =
+      {
+        out_bytes = out;
+        rejected = Some ("decode", reason);
+        parse_cost;
+        transform_cost = 0L;
+        generate_cost = generate_cost_of out;
+        parses = 1;
+      }
+    in
+    record_outcome o;
+    o
   | cf -> (
     let transform_cost = ref 0L in
     match
       List.fold_left
         (fun acc f ->
           transform_cost := Int64.add !transform_cost (transform_cost_of acc);
-          Rewrite.Filter.apply f acc)
+          apply_filter f acc)
         cf filters
     with
     | transformed ->
       let transformed =
         match signer with
         | None -> transformed
-        | Some key -> Dsig.Sign.sign key transformed
+        | Some key ->
+          Telemetry.Global.with_span ~cat:"pipeline" "pipeline.sign"
+            (fun () -> Dsig.Sign.sign key transformed)
       in
-      let out = Bytecode.Encode.class_to_bytes transformed in
-      {
-        out_bytes = out;
-        rejected = None;
-        parse_cost;
-        transform_cost = !transform_cost;
-        generate_cost = generate_cost_of out;
-        parses = 1;
-      }
+      let out = generate_traced transformed in
+      let o =
+        {
+          out_bytes = out;
+          rejected = None;
+          parse_cost;
+          transform_cost = !transform_cost;
+          generate_cost = generate_cost_of out;
+          parses = 1;
+        }
+      in
+      record_outcome o;
+      o
     | exception Rewrite.Filter.Rejected { filter; cls; reason } ->
       let repl = Verifier.Error_class.build ~name:cls ~message:reason in
       let repl =
         match signer with None -> repl | Some key -> Dsig.Sign.sign key repl
       in
       let out = Bytecode.Encode.class_to_bytes repl in
-      {
-        out_bytes = out;
-        rejected = Some (filter, reason);
-        parse_cost;
-        transform_cost = !transform_cost;
-        generate_cost = generate_cost_of out;
-        parses = 1;
-      })
+      let o =
+        {
+          out_bytes = out;
+          rejected = Some (filter, reason);
+          parse_cost;
+          transform_cost = !transform_cost;
+          generate_cost = generate_cost_of out;
+          parses = 1;
+        }
+      in
+      record_outcome o;
+      o)
 
 (* Ablation: the naive structure that re-parses and re-generates
    between every pair of services, as if each were an independent

@@ -74,15 +74,20 @@ let transform_and_reply t ~cls bytes k =
   Simnet.Host.allocate t.host ws;
   (* The pipeline itself runs synchronously (it is pure CPU work); its
      cost occupies the host CPU in simulated time. *)
-  let outcome = Pipeline.run ?signer:t.signer t.filters bytes in
-  let cost =
-    Int64.add (Pipeline.total_cost outcome)
-      (match t.signer with
-      | None -> 0L
-      | Some _ ->
-        Int64.of_int
-          (Dsig.Sign.sign_cost_us ~bytes:(String.length outcome.Pipeline.out_bytes)))
+  let outcome =
+    Telemetry.Global.with_span ~cat:"proxy" ~args:[ ("class", cls) ]
+      "proxy.transform" (fun () -> Pipeline.run ?signer:t.signer t.filters bytes)
   in
+  let sign_cost =
+    match t.signer with
+    | None -> 0L
+    | Some _ ->
+      Int64.of_int
+        (Dsig.Sign.sign_cost_us ~bytes:(String.length outcome.Pipeline.out_bytes))
+  in
+  if Int64.compare sign_cost 0L > 0 then
+    Telemetry.Global.observe "pipeline.sign_us" sign_cost;
+  let cost = Int64.add (Pipeline.total_cost outcome) sign_cost in
   t.cpu_us <- Int64.add t.cpu_us cost;
   Simnet.Host.compute t.host ~cost_us:cost (fun () ->
       Simnet.Host.release t.host ws;
@@ -101,6 +106,11 @@ let transform_and_reply t ~cls bytes k =
    client's wire (the caller models the client-side link). *)
 let request t ~cls k =
   t.requests <- t.requests + 1;
+  if Telemetry.Global.on () then begin
+    Telemetry.Global.incr "proxy.requests";
+    Telemetry.Global.set_gauge "proxy.mem_pressure_x1000"
+      (Int64.of_float (1000.0 *. Simnet.Host.mem_pressure t.host))
+  end;
   match Cache.find t.cache cls with
   | Some bytes ->
     t.bytes_served <- t.bytes_served + String.length bytes;
@@ -115,6 +125,7 @@ let request t ~cls k =
       Simnet.Host.compute t.host ~cost_us:500L (fun () -> k Not_found)
     | Some bytes ->
       t.origin_fetches <- t.origin_fetches + 1;
+      Telemetry.Global.incr "proxy.origin_fetches";
       let latency = t.origin_latency cls in
       let tx =
         Int64.of_float
@@ -127,7 +138,7 @@ let request t ~cls k =
 
 (* Synchronous variant for non-simulated use (unit tests, CLI): runs
    the pipeline immediately and returns the bytes. *)
-let request_sync t ~cls =
+let request_sync_raw t ~cls =
   t.requests <- t.requests + 1;
   match Cache.find t.cache cls with
   | Some bytes ->
@@ -139,6 +150,7 @@ let request_sync t ~cls =
     | None -> Not_found
     | Some bytes ->
       t.origin_fetches <- t.origin_fetches + 1;
+      Telemetry.Global.incr "proxy.origin_fetches";
       let outcome = Pipeline.run ?signer:t.signer t.filters bytes in
       t.cpu_us <- Int64.add t.cpu_us (Pipeline.total_cost outcome);
       (match outcome.Pipeline.rejected with
@@ -147,6 +159,19 @@ let request_sync t ~cls =
       Cache.store t.cache cls outcome.Pipeline.out_bytes;
       t.bytes_served <- t.bytes_served + String.length outcome.Pipeline.out_bytes;
       Bytes outcome.Pipeline.out_bytes)
+
+let request_sync t ~cls =
+  if not (Telemetry.Global.on ()) then request_sync_raw t ~cls
+  else
+    Telemetry.Global.with_span ~cat:"proxy" ~args:[ ("class", cls) ]
+      ~observe_hist:"proxy.request_us" "proxy.request" (fun () ->
+        Telemetry.Global.incr "proxy.requests";
+        let reply = request_sync_raw t ~cls in
+        (match reply with
+        | Bytes b ->
+          Telemetry.Global.add "proxy.bytes_served" (Int64.of_int (String.length b))
+        | Not_found -> Telemetry.Global.incr "proxy.not_found");
+        reply)
 
 (* A classloading provider backed by the synchronous path — what a DVM
    client plugs into its registry. *)

@@ -73,11 +73,16 @@ let now t = t.now
 let schedule_at t at fn =
   let at = if Int64.compare at t.now < 0 then t.now else at in
   Heap.push t.heap { at; seq = t.next_seq; fn };
-  t.next_seq <- t.next_seq + 1
+  t.next_seq <- t.next_seq + 1;
+  if Telemetry.Global.on () then begin
+    Telemetry.Global.incr "simnet.events.scheduled";
+    Telemetry.Global.set_gauge "simnet.queue.depth"
+      (Int64.of_int t.heap.Heap.size)
+  end
 
 let schedule t ~delay fn = schedule_at t (Int64.add t.now delay) fn
 
-let run ?until t =
+let run_loop ?until t =
   let continue = ref true in
   while !continue do
     match Heap.pop t.heap with
@@ -92,8 +97,45 @@ let run ?until t =
       | Some _ | None ->
         t.now <- e.at;
         t.events_processed <- t.events_processed + 1;
+        if Telemetry.Global.on () then begin
+          Telemetry.Global.incr "simnet.events.processed";
+          Telemetry.Global.set_gauge "simnet.queue.depth"
+            (Int64.of_int t.heap.Heap.size)
+        end;
         e.fn ())
   done
+
+let run ?until t =
+  if not (Telemetry.Global.on ()) then run_loop ?until t
+  else begin
+    (* Expose the virtual clock to telemetry for the duration of the
+       run, so spans opened inside event handlers carry simulated
+       timestamps alongside wall-clock ones. *)
+    let reg = Telemetry.default in
+    let prev_sim = Telemetry.sim_clock reg in
+    Telemetry.set_sim_clock reg (Some (fun () -> t.now));
+    let sim0 = t.now in
+    let wall0 = Int64.of_float (Unix.gettimeofday () *. 1e6) in
+    let finish () =
+      let sim_elapsed = Int64.sub t.now sim0 in
+      let wall_elapsed =
+        Int64.sub (Int64.of_float (Unix.gettimeofday () *. 1e6)) wall0
+      in
+      Telemetry.Global.add "simnet.virtual_us" sim_elapsed;
+      if Int64.compare wall_elapsed 0L > 0 then
+        Telemetry.Global.set_gauge "simnet.virtual_wall_ratio_x1000"
+          (Int64.div (Int64.mul sim_elapsed 1000L) wall_elapsed);
+      Telemetry.set_sim_clock reg prev_sim
+    in
+    match
+      Telemetry.Global.with_span ~cat:"simnet" "simnet.run" (fun () ->
+          run_loop ?until t)
+    with
+    | () -> finish ()
+    | exception e ->
+      finish ();
+      raise e
+  end
 
 let us n = Int64.of_int n
 let ms n = Int64.of_int (n * 1000)

@@ -308,6 +308,28 @@ let test_block_tracing () =
     check Alcotest.int "hottest count" 11 n
   | [] -> fail "empty block profile"
 
+(* An injected clock stamps events when callers omit ~time, so audit
+   records can share the simulation's virtual timeline. *)
+let test_injected_clock () =
+  let now = ref 100L in
+  let console = Monitor.Console.create ~clock:(fun () -> !now) () in
+  let c =
+    Monitor.Console.handshake console ~user:"u" ~hardware:"hw"
+      ~native_format:"x86" ~vm_version:"1"
+  in
+  now := 250L;
+  Monitor.Console.record_app_start console c ~app:"App";
+  now := 400L;
+  Monitor.Console.record_event console c ~time:999L ~kind:"k" ~detail:"d";
+  let times =
+    List.map
+      (fun e -> e.Monitor.Audit.ev_time)
+      (Monitor.Audit.events (Monitor.Console.audit console))
+  in
+  check (Alcotest.list Alcotest.int64) "clock vs explicit times"
+    [ 100L; 250L; 999L ] times;
+  check Alcotest.int64 "last_seen from explicit time" 999L c.Monitor.Console.last_seen
+
 let () =
   Alcotest.run "monitor"
     [
@@ -322,6 +344,7 @@ let () =
         [
           Alcotest.test_case "handshake" `Quick test_handshake_assigns_sessions;
           Alcotest.test_case "ban list" `Quick test_ban_list;
+          Alcotest.test_case "injected clock" `Quick test_injected_clock;
         ] );
       ( "profiling",
         [

@@ -1,0 +1,206 @@
+(* Tests for the telemetry registry: span nesting and ordering, counter
+   and histogram arithmetic, the Chrome trace exporter's JSON escaping,
+   and the disabled-mode no-op contract. *)
+
+let check = Alcotest.check
+
+(* A deterministic wall clock: each registry under test gets its own
+   counter that advances a fixed step per reading. *)
+let fake_clock ?(step = 10L) () =
+  let now = ref 0L in
+  fun () ->
+    let t = !now in
+    now := Int64.add !now step;
+    t
+
+let fresh () =
+  let t = Telemetry.create () in
+  Telemetry.set_wall_clock t (fake_clock ());
+  Telemetry.enable t;
+  t
+
+let test_counters () =
+  let t = fresh () in
+  Telemetry.incr t "a";
+  Telemetry.incr t "a";
+  Telemetry.add t "a" 40L;
+  Telemetry.incr t "b";
+  check Alcotest.int64 "a" 42L (Telemetry.counter_value t "a");
+  check Alcotest.int64 "b" 1L (Telemetry.counter_value t "b");
+  check Alcotest.int64 "absent" 0L (Telemetry.counter_value t "zzz");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int64))
+    "sorted"
+    [ ("a", 42L); ("b", 1L) ]
+    (Telemetry.counters t);
+  Telemetry.set_gauge t "g" 7L;
+  Telemetry.set_gauge t "g" 3L;
+  check Alcotest.int64 "gauge keeps last" 3L (Telemetry.gauge_value t "g");
+  Telemetry.reset t;
+  check Alcotest.int64 "reset" 0L (Telemetry.counter_value t "a")
+
+let test_histogram () =
+  let t = fresh () in
+  List.iter (Telemetry.observe t "h") [ 1L; 2L; 4L; 100L ];
+  match Telemetry.histogram_stats t "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some s ->
+    check Alcotest.int "count" 4 s.Telemetry.count;
+    check Alcotest.int64 "sum" 107L s.Telemetry.sum_us;
+    check Alcotest.int64 "min" 1L s.Telemetry.min_us;
+    check Alcotest.int64 "max" 100L s.Telemetry.max_us;
+    (* p50/p95 are bucket upper bounds: 2 falls in bucket [2,4), 100 in
+       [64,128). *)
+    check Alcotest.bool "p50 bounds 2" true
+      (s.Telemetry.p50_us >= 2L && s.Telemetry.p50_us <= 4L);
+    check Alcotest.bool "p95 bounds 100" true
+      (s.Telemetry.p95_us >= 100L && s.Telemetry.p95_us <= 128L)
+
+let test_span_nesting () =
+  let t = fresh () in
+  let r =
+    Telemetry.with_span t "outer" (fun () ->
+        Telemetry.with_span t ~cat:"sub" "inner" (fun () -> ());
+        17)
+  in
+  check Alcotest.int "thunk value" 17 r;
+  (* Completion order: inner closes first. *)
+  match Telemetry.spans t with
+  | [ inner; outer ] ->
+    check Alcotest.string "inner name" "inner" inner.Telemetry.sp_name;
+    check Alcotest.string "outer name" "outer" outer.Telemetry.sp_name;
+    check Alcotest.string "inner cat" "sub" inner.Telemetry.sp_cat;
+    check Alcotest.int "inner depth" 1 inner.Telemetry.sp_depth;
+    check Alcotest.int "outer depth" 0 outer.Telemetry.sp_depth;
+    check Alcotest.bool "inner within outer" true
+      (inner.Telemetry.sp_wall_start >= outer.Telemetry.sp_wall_start
+      && inner.Telemetry.sp_wall_end <= outer.Telemetry.sp_wall_end)
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_span_on_exception () =
+  let t = fresh () in
+  (try
+     Telemetry.with_span t "boom" (fun () -> failwith "no")
+   with Failure _ -> ());
+  check Alcotest.int "span recorded despite raise" 1 (Telemetry.span_count t);
+  (* Depth must unwind so later spans are top-level again. *)
+  Telemetry.with_span t "after" (fun () -> ());
+  match List.rev (Telemetry.spans t) with
+  | after :: _ -> check Alcotest.int "depth unwound" 0 after.Telemetry.sp_depth
+  | [] -> Alcotest.fail "no spans"
+
+let test_span_observe_hist () =
+  let t = fresh () in
+  Telemetry.with_span t ~observe_hist:"lat" "work" (fun () -> ());
+  match Telemetry.histogram_stats t "lat" with
+  | Some s -> check Alcotest.int "one observation" 1 s.Telemetry.count
+  | None -> Alcotest.fail "observe_hist did not record"
+
+let test_sim_clock () =
+  let t = fresh () in
+  let sim = ref 1000L in
+  Telemetry.set_sim_clock t (Some (fun () -> !sim));
+  Telemetry.with_span t "simmed" (fun () -> sim := 2500L);
+  Telemetry.set_sim_clock t None;
+  Telemetry.with_span t "unsimmed" (fun () -> ());
+  match Telemetry.spans t with
+  | [ simmed; unsimmed ] ->
+    check
+      (Alcotest.option Alcotest.int64)
+      "sim start" (Some 1000L) simmed.Telemetry.sp_sim_start;
+    check
+      (Alcotest.option Alcotest.int64)
+      "sim end" (Some 2500L) simmed.Telemetry.sp_sim_end;
+    check
+      (Alcotest.option Alcotest.int64)
+      "detached" None unsimmed.Telemetry.sp_sim_start
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_json_escape () =
+  check Alcotest.string "quotes" {|a\"b|} (Telemetry.json_escape {|a"b|});
+  check Alcotest.string "backslash" {|a\\b|} (Telemetry.json_escape {|a\b|});
+  check Alcotest.string "newline" {|a\nb|} (Telemetry.json_escape "a\nb");
+  check Alcotest.string "control" {|\u0001|} (Telemetry.json_escape "\x01")
+
+let test_chrome_trace_valid () =
+  let t = fresh () in
+  Telemetry.with_span t ~cat:"c1" ~args:[ ("k", "v\"with\nnasties") ]
+    "sp\"an" (fun () -> ());
+  Telemetry.incr t "hits";
+  let s = Telemetry.chrome_trace t in
+  (* Structurally valid JSON array: balanced brackets/braces and every
+     quote escaped. A tiny tokenizer beats trusting eyeballs. *)
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  String.iter
+    (fun c ->
+      if !esc then esc := false
+      else if !in_str then begin
+        if c = '\\' then esc := true else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '[' | '{' -> incr depth
+        | ']' | '}' -> decr depth
+        | '\n' | ',' | ':' | ' ' -> ()
+        | _ -> ())
+    s;
+  check Alcotest.int "balanced" 0 !depth;
+  check Alcotest.bool "string closed" false !in_str;
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "has X event" true (contains {|"ph":"X"|});
+  check Alcotest.bool "escaped name survives" true (contains {|sp\"an|})
+
+let test_disabled_noop () =
+  let t = Telemetry.create () in
+  check Alcotest.bool "disabled by default" false (Telemetry.enabled t);
+  Telemetry.incr t "c";
+  Telemetry.observe t "h" 5L;
+  Telemetry.set_gauge t "g" 5L;
+  let r = Telemetry.with_span t "s" (fun () -> 99) in
+  check Alcotest.int "thunk still runs" 99 r;
+  check Alcotest.int "no spans" 0 (Telemetry.span_count t);
+  check Alcotest.int64 "no counters" 0L (Telemetry.counter_value t "c");
+  check (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int64)) "no gauges"
+    [] (Telemetry.gauges t);
+  check Alcotest.bool "no histograms" true (Telemetry.histograms t = [])
+
+let test_span_cap () =
+  let t = Telemetry.create ~max_spans:3 () in
+  Telemetry.enable t;
+  for i = 1 to 5 do
+    Telemetry.with_span t (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  check Alcotest.int "capped" 3 (Telemetry.span_count t);
+  check Alcotest.int "dropped counted" 2 (Telemetry.dropped_spans t)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counters;
+          Alcotest.test_case "histogram stats" `Quick test_histogram;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
+          Alcotest.test_case "recorded on exception" `Quick
+            test_span_on_exception;
+          Alcotest.test_case "observe_hist" `Quick test_span_observe_hist;
+          Alcotest.test_case "dual timeline" `Quick test_sim_clock;
+          Alcotest.test_case "max_spans cap" `Quick test_span_cap;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "json escaping" `Quick test_json_escape;
+          Alcotest.test_case "chrome trace well-formed" `Quick
+            test_chrome_trace_valid;
+        ] );
+      ( "disabled",
+        [ Alcotest.test_case "everything is a no-op" `Quick test_disabled_noop ] );
+    ]
