@@ -6,7 +6,8 @@
 
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe fig6       runs one experiment
-     (fig5 fig6 fig7 fig8 fig9 applets fig10 fig11 fig12 ablations micro)
+     (fig5 fig6 fig7 fig8 fig9 applets fig10 fig11 fig12 ablations faults
+      micro)
 *)
 
 let section title =
@@ -719,6 +720,54 @@ let micro () =
         tbl)
     results
 
+(* --- Faults: availability under injected faults. ---
+
+   The experiment §5's replication argument calls for but the paper
+   never runs: startup latency through the proxy as the client's LAN
+   loses packets, and the cost of a primary crash with and without a
+   second replica to fail over to. Deterministic for the scenario
+   seed: rerunning prints byte-identical tables. *)
+
+let faults () =
+  section "Faults: availability vs loss rate (jlex startup, seeded faults)";
+  Printf.printf
+    "Per-attempt timeout %.0f ms, %d attempts, backoff %.0f..%.0f ms, seed %d\n"
+    (float_of_int Dvm.Availability.default_scenario.Dvm.Availability.sc_timeout_us
+    /. 1e3)
+    Dvm.Availability.default_scenario.Dvm.Availability.sc_max_attempts
+    (float_of_int
+       Dvm.Availability.default_scenario.Dvm.Availability.sc_base_backoff_us
+    /. 1e3)
+    (float_of_int
+       Dvm.Availability.default_scenario.Dvm.Availability.sc_max_backoff_us
+    /. 1e3)
+    Dvm.Availability.default_scenario.Dvm.Availability.sc_seed;
+  subsection "loss sweep";
+  Dvm.Availability.(
+    print_table
+      (sweep ~loss_pcts:[ 0.0; 1.0; 5.0; 10.0 ] ~replica_counts:[ 1; 2 ] ()));
+  subsection "primary crash at t=400ms (down 2.5s, cache-cold restart)";
+  let crash =
+    Dvm.Availability.(
+      sweep ~scenario:crash_scenario ~loss_pcts:[ 1.0 ]
+        ~replica_counts:[ 1; 2 ] ())
+  in
+  Dvm.Availability.print_table crash;
+  List.iter
+    (fun p ->
+      if p.Dvm.Availability.av_degraded > 0 then
+        Printf.printf
+          "  %d replica(s): %d classes degraded to the error-propagation \
+           replacement\n"
+          p.Dvm.Availability.av_replicas p.Dvm.Availability.av_degraded
+      else
+        Printf.printf "  %d replica(s): all classes served (%d failovers)\n"
+          p.Dvm.Availability.av_replicas p.Dvm.Availability.av_failovers)
+    crash;
+  subsection "injected-fault trace (crash scenario, 2 replicas)";
+  List.iter (Printf.printf "  %s\n")
+    (List.nth crash 1).Dvm.Availability.av_trace
+
 let all () =
   with_phase "fig5" fig5;
   with_phase "fig6" fig6;
@@ -730,6 +779,7 @@ let all () =
   with_phase "fig11" fig11;
   with_phase "fig12" fig12;
   with_phase "ablations" ablations;
+  with_phase "faults" faults;
   micro ()
 
 let () =
@@ -745,10 +795,12 @@ let () =
   | "fig11" -> with_phase "fig11" fig11
   | "fig12" -> with_phase "fig12" fig12
   | "ablations" -> with_phase "ablations" ablations
+  | "faults" -> with_phase "faults" faults
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown target %S (expected fig5..fig12, applets, ablations, micro, all)\n"
+      "unknown target %S (expected fig5..fig12, applets, ablations, faults, \
+       micro, all)\n"
       other;
     exit 1

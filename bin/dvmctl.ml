@@ -281,6 +281,32 @@ let metrics app_name =
   print_string (Telemetry.metrics_snapshot reg);
   0
 
+let faults seed crash losses replicas trace =
+  let scenario =
+    let base =
+      if crash then Dvm.Availability.crash_scenario
+      else Dvm.Availability.default_scenario
+    in
+    { base with Dvm.Availability.sc_seed = seed }
+  in
+  let points =
+    Dvm.Availability.sweep ~scenario ~loss_pcts:losses
+      ~replica_counts:replicas ()
+  in
+  Dvm.Availability.print_table points;
+  if trace then begin
+    print_newline ();
+    List.iter
+      (fun p ->
+        Printf.printf "fault trace (loss %.1f%%, %d replica(s)):\n"
+          p.Dvm.Availability.av_loss_pct p.Dvm.Availability.av_replicas;
+        match p.Dvm.Availability.av_trace with
+        | [] -> print_endline "  (no faults injected)"
+        | lines -> List.iter (Printf.printf "  %s\n") lines)
+      points
+  end;
+  0
+
 (* --- Cmdliner plumbing. --- *)
 
 let gen_cmd =
@@ -382,13 +408,48 @@ let metrics_cmd =
           snapshot (counters, gauges, latency histograms)")
     Term.(const metrics $ app_arg)
 
+let faults_cmd =
+  let seed =
+    Arg.(value & opt int Dvm.Availability.default_scenario.Dvm.Availability.sc_seed
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"fault-plan seed; the run is a pure function of it")
+  in
+  let crash =
+    Arg.(value & flag
+         & info [ "crash" ]
+             ~doc:"crash the primary proxy at t=400ms for 2.5s (cache-cold \
+                   restart)")
+  in
+  let losses =
+    Arg.(value & opt (list float) [ 0.0; 1.0; 5.0; 10.0 ]
+         & info [ "loss" ] ~docv:"PCTS"
+             ~doc:"comma-separated packet-loss percentages for the client LAN")
+  in
+  let replicas =
+    Arg.(value & opt (list int) [ 1; 2 ]
+         & info [ "replicas" ] ~docv:"NS"
+             ~doc:"comma-separated proxy replica counts")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"print each run's injected-fault trace")
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Inject deterministic faults (link loss, latency jitter, proxy \
+          crash) into a simulated jlex startup and print availability: \
+          startup latency, retries, failovers, and degraded classes per \
+          loss rate and replica count")
+    Term.(const faults $ seed $ crash $ losses $ replicas $ trace)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dvmctl" ~version:"1.0"
        ~doc:"Distributed virtual machine control tool")
     [
       gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd;
-      trace_cmd; metrics_cmd;
+      trace_cmd; metrics_cmd; faults_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

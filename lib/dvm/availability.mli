@@ -1,0 +1,51 @@
+(** Availability under injected faults (§5's replication argument,
+    evaluated): application startup through 1..N replicated proxies
+    with link loss, latency jitter, and an optional primary crash
+    mid-startup. Fully deterministic for a fixed scenario seed. *)
+
+type scenario = {
+  sc_seed : int;
+  sc_spec : Workloads.Appgen.spec;
+  sc_timeout_us : int;  (** per-attempt timeout *)
+  sc_max_attempts : int;
+  sc_base_backoff_us : int;
+  sc_max_backoff_us : int;
+  sc_jitter_max_us : int;
+  sc_crash_primary : (Simnet.Engine.time * Simnet.Engine.time) option;
+      (** crash the primary at [fst] for [snd] µs *)
+  sc_cache_retained : float;
+      (** fraction of the crashed proxy's cache surviving restart *)
+  sc_wan_latency : Simnet.Engine.time;
+}
+
+val default_scenario : scenario
+(** jlex (small build), 500 ms timeout, 4 attempts, 100 ms base
+    backoff, 5 ms jitter, no crash. *)
+
+val crash_scenario : scenario
+(** [default_scenario] plus a primary crash at t=400 ms lasting
+    2.5 s with a cold-cache restart. *)
+
+type point = {
+  av_loss_pct : float;
+  av_replicas : int;
+  av_classes : int;
+  av_startup_us : int64;  (** virtual time to fetch every class *)
+  av_requests : int;  (** attempts issued *)
+  av_retries : int;
+  av_drops : int;  (** transfers lost on the client LAN *)
+  av_failovers : int;  (** requests served by a non-primary *)
+  av_degraded : int;  (** classes that exhausted the retry budget *)
+  av_trace : string list;  (** the fault plan's injected-fault trace *)
+}
+
+val run : ?scenario:scenario -> loss_pct:float -> replicas:int -> unit -> point
+
+val sweep :
+  ?scenario:scenario ->
+  loss_pcts:float list ->
+  replica_counts:int list ->
+  unit ->
+  point list
+
+val print_table : point list -> unit

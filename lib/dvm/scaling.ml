@@ -95,7 +95,7 @@ let run ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
     let proxy = pool.(id mod proxies) in
     Proxy.request proxy ~cls:name (fun reply ->
         match reply with
-        | Proxy.Not_found -> ()
+        | Proxy.Not_found | Proxy.Unavailable -> ()
         | Proxy.Bytes b ->
           Simnet.Link.transfer lan ~bytes:(String.length b) (fun () ->
               let now = Simnet.Engine.now engine in

@@ -1,14 +1,23 @@
 (* The proxy's class cache (§3): rewritten classes are cached so code
-   shared between clients is transformed once. LRU over a byte
-   budget. *)
+   shared between clients is transformed once. LRU over a byte budget,
+   kept as an intrusive doubly-linked recency list over the hash
+   table's entries: find, store and evict are all O(1), so eviction
+   storms stay linear instead of the O(n²) a scan-per-eviction
+   degrades to. *)
 
-type entry = { bytes : string; mutable last_used : int }
+type entry = {
+  e_key : string;
+  e_bytes : string;
+  mutable e_prev : entry option; (* toward the MRU end *)
+  mutable e_next : entry option; (* toward the LRU end *)
+}
 
 type t = {
   capacity : int; (* bytes; 0 disables caching *)
   tbl : (string, entry) Hashtbl.t;
+  mutable mru : entry option;
+  mutable lru : entry option;
   mutable used : int;
-  mutable clock : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
@@ -18,8 +27,9 @@ let create ~capacity =
   {
     capacity;
     tbl = Hashtbl.create 256;
+    mru = None;
+    lru = None;
     used = 0;
-    clock = 0;
     hits = 0;
     misses = 0;
     evictions = 0;
@@ -27,13 +37,34 @@ let create ~capacity =
 
 let enabled t = t.capacity > 0
 
+let unlink t e =
+  (match e.e_prev with Some p -> p.e_next <- e.e_next | None -> t.mru <- e.e_next);
+  (match e.e_next with Some n -> n.e_prev <- e.e_prev | None -> t.lru <- e.e_prev);
+  e.e_prev <- None;
+  e.e_next <- None
+
+let push_mru t e =
+  e.e_prev <- None;
+  e.e_next <- t.mru;
+  (match t.mru with Some m -> m.e_prev <- Some e | None -> t.lru <- Some e);
+  t.mru <- Some e
+
+(* Refresh the occupancy gauges wherever the population changes —
+   stores, evictions and clears alike. *)
+let publish_gauges t =
+  if Telemetry.Global.on () then begin
+    Telemetry.Global.set_gauge "cache.bytes_used" (Int64.of_int t.used);
+    Telemetry.Global.set_gauge "cache.entries"
+      (Int64.of_int (Hashtbl.length t.tbl))
+  end
+
 let find_raw t key =
   match Hashtbl.find_opt t.tbl key with
   | Some e ->
-    t.clock <- t.clock + 1;
-    e.last_used <- t.clock;
+    unlink t e;
+    push_mru t e;
     t.hits <- t.hits + 1;
-    Some e.bytes
+    Some e.e_bytes
   | None ->
     t.misses <- t.misses + 1;
     None
@@ -53,41 +84,53 @@ let find t key =
           None)
 
 let evict_one t =
-  let victim =
-    Hashtbl.fold
-      (fun k e acc ->
-        match acc with
-        | Some (_, best) when best.last_used <= e.last_used -> acc
-        | _ -> Some (k, e))
-      t.tbl None
-  in
-  match victim with
+  match t.lru with
   | None -> ()
-  | Some (k, e) ->
-    Hashtbl.remove t.tbl k;
-    t.used <- t.used - String.length e.bytes;
+  | Some e ->
+    unlink t e;
+    Hashtbl.remove t.tbl e.e_key;
+    t.used <- t.used - String.length e.e_bytes;
     t.evictions <- t.evictions + 1;
-    Telemetry.Global.incr "cache.evictions"
+    Telemetry.Global.incr "cache.evictions";
+    publish_gauges t
 
 let store t key bytes =
   if enabled t && String.length bytes <= t.capacity then begin
     (match Hashtbl.find_opt t.tbl key with
     | Some old ->
+      unlink t old;
       Hashtbl.remove t.tbl key;
-      t.used <- t.used - String.length old.bytes
+      t.used <- t.used - String.length old.e_bytes
     | None -> ());
     while t.used + String.length bytes > t.capacity && Hashtbl.length t.tbl > 0 do
       evict_one t
     done;
-    t.clock <- t.clock + 1;
-    Hashtbl.replace t.tbl key { bytes; last_used = t.clock };
+    let e = { e_key = key; e_bytes = bytes; e_prev = None; e_next = None } in
+    Hashtbl.replace t.tbl key e;
+    push_mru t e;
     t.used <- t.used + String.length bytes;
-    if Telemetry.Global.on () then begin
-      Telemetry.Global.incr "cache.stores";
-      Telemetry.Global.set_gauge "cache.bytes_used" (Int64.of_int t.used);
-      Telemetry.Global.set_gauge "cache.entries"
-        (Int64.of_int (Hashtbl.length t.tbl))
-    end
+    if Telemetry.Global.on () then Telemetry.Global.incr "cache.stores";
+    publish_gauges t
   end
 
 let size t = Hashtbl.length t.tbl
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.mru <- None;
+  t.lru <- None;
+  t.used <- 0;
+  publish_gauges t
+
+(* Drop the coldest [fraction] of entries — what survives a host
+   restart that retains only part of its warm state. *)
+let drop_fraction t ~fraction =
+  if fraction >= 1.0 then clear t
+  else begin
+    let n =
+      int_of_float (ceil (fraction *. Float.of_int (Hashtbl.length t.tbl)))
+    in
+    for _ = 1 to n do
+      evict_one t
+    done
+  end

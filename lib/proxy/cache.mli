@@ -1,21 +1,30 @@
 (** The proxy's class cache (§3): rewritten classes are cached so code
     shared between clients is transformed once. LRU over a byte
-    budget; capacity 0 disables caching. *)
+    budget, kept as an intrusive recency list so find/store/evict are
+    all O(1); capacity 0 disables caching. *)
+
+type entry
 
 type t = {
   capacity : int;
   tbl : (string, entry) Hashtbl.t;
+  mutable mru : entry option;
+  mutable lru : entry option;
   mutable used : int;
-  mutable clock : int;
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
 }
-
-and entry = { bytes : string; mutable last_used : int }
 
 val create : capacity:int -> t
 val enabled : t -> bool
 val find : t -> string -> string option
 val store : t -> string -> string -> unit
 val size : t -> int
+
+val clear : t -> unit
+(** Drop everything — a cold restart. *)
+
+val drop_fraction : t -> fraction:float -> unit
+(** Evict the coldest [fraction] of entries (1.0 = {!clear}), as after
+    a crash that lost part of the warm state. *)

@@ -77,6 +77,14 @@ let decode_response (data : string) : status * string =
       | Some _ | None -> fail "bad content length %S" v)
     | _ -> fail "missing Content-Length"
   in
+  (* The header block must end with the blank-line separator
+     ("\r\n\r\n") right here — anything else between the header and
+     the body is garbage framing, not body bytes. *)
+  if
+    eol2 + 4 > String.length data
+    || data.[eol2 + 2] <> '\r'
+    || data.[eol2 + 3] <> '\n'
+  then fail "missing blank-line separator after headers";
   let body_start = eol2 + 4 in
   if String.length data <> body_start + len then
     fail "body length mismatch (declared %d, present %d)" len

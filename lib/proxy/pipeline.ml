@@ -146,6 +146,11 @@ let run ?signer filters (bytes : string) : outcome =
    between every pair of services, as if each were an independent
    proxy. Same output, multiplied parse/generate cost. *)
 let run_parse_per_service ?signer filters bytes : outcome =
+  (* A rejection carries the name the replacement class must take —
+     the rejected class's own name (so the client's load of it raises
+     the error), or the fixed "malformed/Input" when the input never
+     decoded. [run] follows the same rule; the ablation must produce
+     the same output, only at multiplied cost. *)
   let rec go bytes acc_parse acc_transform acc_generate parses = function
     | [] -> (bytes, acc_parse, acc_transform, acc_generate, parses, None)
     | f :: rest -> (
@@ -153,7 +158,7 @@ let run_parse_per_service ?signer filters bytes : outcome =
       match Bytecode.Decode.class_of_bytes bytes with
       | exception Bytecode.Decode.Format_error reason ->
         (bytes, Int64.add acc_parse parse, acc_transform, acc_generate, parses + 1,
-         Some ("decode", reason))
+         Some ("decode", reason, "malformed/Input"))
       | cf -> (
         let tc = transform_cost_of cf in
         match Rewrite.Filter.apply f cf with
@@ -162,19 +167,22 @@ let run_parse_per_service ?signer filters bytes : outcome =
           go out (Int64.add acc_parse parse) (Int64.add acc_transform tc)
             (Int64.add acc_generate (generate_cost_of out))
             (parses + 1) rest
-        | exception Rewrite.Filter.Rejected { filter; reason; _ } ->
+        | exception Rewrite.Filter.Rejected { filter; cls; reason } ->
           (bytes, Int64.add acc_parse parse, Int64.add acc_transform tc,
-           acc_generate, parses + 1, Some (filter, reason))))
+           acc_generate, parses + 1, Some (filter, reason, cls))))
   in
   let out, parse_cost, transform_cost, generate_cost, parses, rejected =
     go bytes 0L 0L 0L 0 filters
   in
-  let out_bytes, rejected =
+  let out_bytes, rejected, generate_cost =
     match rejected with
-    | None -> (out, None)
-    | Some (filter, reason) ->
-      let repl = Verifier.Error_class.build ~name:"rejected/Input" ~message:reason in
-      (Bytecode.Encode.class_to_bytes repl, Some (filter, reason))
+    | None -> (out, None, generate_cost)
+    | Some (filter, reason, repl_name) ->
+      let repl = Verifier.Error_class.build ~name:repl_name ~message:reason in
+      let out = Bytecode.Encode.class_to_bytes repl in
+      (* Generating the replacement is proxy work too, exactly as in
+         [run]. *)
+      (out, Some (filter, reason), Int64.add generate_cost (generate_cost_of out))
   in
   let out_bytes =
     match signer with

@@ -13,7 +13,7 @@ module Cache = Cache
 module Pipeline = Pipeline
 module Httpwire = Httpwire
 
-type reply = Bytes of string | Not_found
+type reply = Bytes of string | Not_found | Unavailable
 
 type origin = string -> string option
 
@@ -69,9 +69,12 @@ let log t kind detail =
 
 (* Process fetched bytes through the pipeline on the proxy CPU, then
    deliver. *)
-let transform_and_reply t ~cls bytes k =
+let transform_and_reply ?on_fail t ~cls bytes k =
   let ws = t.working_set_factor * String.length bytes in
   Simnet.Host.allocate t.host ws;
+  let on_fail =
+    Option.map (fun f () -> Simnet.Host.release t.host ws; f ()) on_fail
+  in
   (* The pipeline itself runs synchronously (it is pure CPU work); its
      cost occupies the host CPU in simulated time. *)
   let outcome =
@@ -89,7 +92,7 @@ let transform_and_reply t ~cls bytes k =
     Telemetry.Global.observe "pipeline.sign_us" sign_cost;
   let cost = Int64.add (Pipeline.total_cost outcome) sign_cost in
   t.cpu_us <- Int64.add t.cpu_us cost;
-  Simnet.Host.compute t.host ~cost_us:cost (fun () ->
+  Simnet.Host.compute t.host ?on_fail ~cost_us:cost (fun () ->
       Simnet.Host.release t.host ws;
       (match outcome.Pipeline.rejected with
       | Some (filter, reason) ->
@@ -103,38 +106,51 @@ let transform_and_reply t ~cls bytes k =
 
 (* Handle one client request for a class. The callback fires, in
    simulated time, when the proxy has the response ready to put on the
-   client's wire (the caller models the client-side link). *)
-let request t ~cls k =
+   client's wire (the caller models the client-side link). [on_fail]
+   fires instead if the proxy host is down or crashes while the
+   request is in flight — the hook the replica facade fails over on. *)
+let request ?on_fail t ~cls k =
   t.requests <- t.requests + 1;
   if Telemetry.Global.on () then begin
     Telemetry.Global.incr "proxy.requests";
     Telemetry.Global.set_gauge "proxy.mem_pressure_x1000"
       (Int64.of_float (1000.0 *. Simnet.Host.mem_pressure t.host))
   end;
-  match Cache.find t.cache cls with
-  | Some bytes ->
-    t.bytes_served <- t.bytes_served + String.length bytes;
-    log t "proxy.cache_hit" cls;
-    (* A small fixed cost to look up and stream from the disk cache. *)
-    t.cpu_us <- Int64.add t.cpu_us 2000L;
-    Simnet.Host.compute t.host ~cost_us:2000L (fun () -> k (Bytes bytes))
-  | None -> (
-    match t.origin cls with
-    | None ->
-      log t "proxy.not_found" cls;
-      Simnet.Host.compute t.host ~cost_us:500L (fun () -> k Not_found)
+  if not (Simnet.Host.is_up t.host) then
+    match on_fail with
+    | Some f -> Simnet.Engine.schedule t.engine ~delay:0L f
+    | None -> ()
+  else
+    match Cache.find t.cache cls with
     | Some bytes ->
-      t.origin_fetches <- t.origin_fetches + 1;
-      Telemetry.Global.incr "proxy.origin_fetches";
-      let latency = t.origin_latency cls in
-      let tx =
-        Int64.of_float
-          (Float.of_int (String.length bytes)
-          *. 8.0 *. 1_000_000.0
-          /. Float.of_int t.origin_bandwidth_bps)
-      in
-      Simnet.Engine.schedule t.engine ~delay:(Int64.add latency tx) (fun () ->
-          transform_and_reply t ~cls bytes k))
+      (* A small fixed cost to look up and stream from the disk cache.
+         Stats and the audit record land in the completion callback:
+         at schedule time the response hasn't been served yet, and the
+         audit timestamp must not lead the virtual clock (the miss
+         path logs at pipeline completion). *)
+      t.cpu_us <- Int64.add t.cpu_us 2000L;
+      Simnet.Host.compute t.host ?on_fail ~cost_us:2000L (fun () ->
+          t.bytes_served <- t.bytes_served + String.length bytes;
+          log t "proxy.cache_hit" cls;
+          k (Bytes bytes))
+    | None -> (
+      match t.origin cls with
+      | None ->
+        Simnet.Host.compute t.host ?on_fail ~cost_us:500L (fun () ->
+            log t "proxy.not_found" cls;
+            k Not_found)
+      | Some bytes ->
+        t.origin_fetches <- t.origin_fetches + 1;
+        Telemetry.Global.incr "proxy.origin_fetches";
+        let latency = t.origin_latency cls in
+        let tx =
+          Int64.of_float
+            (Float.of_int (String.length bytes)
+            *. 8.0 *. 1_000_000.0
+            /. Float.of_int t.origin_bandwidth_bps)
+        in
+        Simnet.Engine.schedule t.engine ~delay:(Int64.add latency tx) (fun () ->
+            transform_and_reply ?on_fail t ~cls bytes k))
 
 (* Synchronous variant for non-simulated use (unit tests, CLI): runs
    the pipeline immediately and returns the bytes. *)
@@ -170,10 +186,86 @@ let request_sync t ~cls =
         (match reply with
         | Bytes b ->
           Telemetry.Global.add "proxy.bytes_served" (Int64.of_int (String.length b))
-        | Not_found -> Telemetry.Global.incr "proxy.not_found");
+        | Not_found -> Telemetry.Global.incr "proxy.not_found"
+        | Unavailable -> Telemetry.Global.incr "proxy.unavailable");
         reply)
 
 (* A classloading provider backed by the synchronous path — what a DVM
    client plugs into its registry. *)
 let provider t : Jvm.Classreg.provider =
- fun cls -> match request_sync t ~cls with Bytes b -> Some b | Not_found -> None
+ fun cls ->
+  match request_sync t ~cls with
+  | Bytes b -> Some b
+  | Not_found | Unavailable -> None
+
+type proxy = t
+
+(* Replicated proxies behind one facade (§5's availability answer to
+   the single-point-of-failure critique): requests prefer the primary
+   (replica 0) and fail over, in order, to the first live secondary
+   when the preferred replica is down at dispatch or crashes with the
+   request in flight. Health is probed against the replica host at
+   every dispatch, so a restarted primary takes traffic back
+   immediately — but cache-cold, which is the measurable price of
+   failover the paper's §5 argument predicts. *)
+module Replica = struct
+  type t = {
+    engine : Simnet.Engine.t;
+    pool : proxy array;
+    health : bool array; (* last observed state, for the console *)
+    mutable requests : int;
+    mutable failovers : int; (* requests served by a non-primary *)
+    mutable unavailable : int; (* requests no replica could serve *)
+  }
+
+  let create engine pool =
+    if Array.length pool = 0 then invalid_arg "Replica.create: empty pool";
+    {
+      engine;
+      pool;
+      health = Array.map (fun p -> Simnet.Host.is_up p.host) pool;
+      requests = 0;
+      failovers = 0;
+      unavailable = 0;
+    }
+
+  let size t = Array.length t.pool
+  let replica t i = t.pool.(i)
+
+  let health t =
+    Array.iteri (fun i p -> t.health.(i) <- Simnet.Host.is_up p.host) t.pool;
+    Array.copy t.health
+
+  let request t ~cls k =
+    t.requests <- t.requests + 1;
+    let n = Array.length t.pool in
+    (* Try replicas starting from the primary; [idx] is the next
+       candidate. A failed candidate is marked unhealthy and the next
+       one pays the failover. *)
+    let rec dispatch idx =
+      if idx >= n then begin
+        t.unavailable <- t.unavailable + 1;
+        Telemetry.Global.incr "proxy.unavailable";
+        Simnet.Engine.schedule t.engine ~delay:0L (fun () -> k Unavailable)
+      end
+      else begin
+        let p = t.pool.(idx) in
+        if not (Simnet.Host.is_up p.host) then begin
+          t.health.(idx) <- false;
+          dispatch (idx + 1)
+        end
+        else begin
+          t.health.(idx) <- true;
+          if idx > 0 then begin
+            t.failovers <- t.failovers + 1;
+            Telemetry.Global.incr "proxy.failovers"
+          end;
+          request p ~cls k ~on_fail:(fun () ->
+              (* Crashed with the request in flight: fail over. *)
+              t.health.(idx) <- false;
+              dispatch (idx + 1))
+        end
+      end
+    in
+    dispatch 0
+end

@@ -11,7 +11,7 @@ module Cache : module type of Cache
 module Pipeline : module type of Pipeline
 module Httpwire : module type of Httpwire
 
-type reply = Bytes of string | Not_found
+type reply = Bytes of string | Not_found | Unavailable
 
 type origin = string -> string option
 
@@ -50,9 +50,12 @@ val create :
 (** Defaults: 48 MB cache, 64 MB memory (the paper's proxy), 100 Mb/s
     uplink. [cache_capacity:0] disables caching. *)
 
-val request : t -> cls:string -> (reply -> unit) -> unit
+val request : ?on_fail:(unit -> unit) -> t -> cls:string -> (reply -> unit) -> unit
 (** Simulated-time request; the callback fires when the response is
-    ready for the client's wire. *)
+    ready for the client's wire. [on_fail] fires instead if the proxy
+    host is down at dispatch or crashes while the request is in
+    flight (without it, a failed request simply never completes — the
+    caller's timeout problem). *)
 
 val request_sync : t -> cls:string -> reply
 (** Synchronous variant for unit tests and the CLI. *)
@@ -60,3 +63,36 @@ val request_sync : t -> cls:string -> reply
 val provider : t -> Jvm.Classreg.provider
 (** A classloading provider backed by the synchronous path — what a
     DVM client plugs into its registry. *)
+
+type proxy = t
+
+(** Replicated proxies behind one facade (§5's availability answer to
+    the single-point-of-failure critique). Requests prefer the
+    primary (replica 0) and fail over in order to the first live
+    secondary when the preferred replica is down at dispatch or
+    crashes mid-request; health is probed at every dispatch, so a
+    restarted primary takes traffic back immediately — cache-cold.
+    Counters: [proxy.failovers], [proxy.unavailable]. *)
+module Replica : sig
+  type t = {
+    engine : Simnet.Engine.t;
+    pool : proxy array;
+    health : bool array;  (** last observed per-replica state *)
+    mutable requests : int;
+    mutable failovers : int;  (** requests served by a non-primary *)
+    mutable unavailable : int;  (** requests no replica could serve *)
+  }
+
+  val create : Simnet.Engine.t -> proxy array -> t
+  (** The pool must be non-empty; replica 0 is the primary. *)
+
+  val size : t -> int
+  val replica : t -> int -> proxy
+
+  val health : t -> bool array
+  (** Probe every replica host and return the refreshed view. *)
+
+  val request : t -> cls:string -> (reply -> unit) -> unit
+  (** Dispatch with failover; replies [Unavailable] (after one
+      simulated-time hop) when every replica is down. *)
+end

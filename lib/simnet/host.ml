@@ -16,6 +16,12 @@ type t = {
   (* Penalty multiplier applied to work while memory is
      over-committed. *)
   thrash_factor : float;
+  (* Availability: a crashed host refuses new work and abandons work
+     in flight. The epoch ticks on every crash so completions
+     scheduled before it can tell they were lost. *)
+  mutable up : bool;
+  mutable epoch : int;
+  mutable crashes : int;
 }
 
 let create ?(cpu_factor = 1.0) ?(mem_capacity = 64 * 1024 * 1024)
@@ -30,7 +36,31 @@ let create ?(cpu_factor = 1.0) ?(mem_capacity = 64 * 1024 * 1024)
     cpu_busy = 0L;
     jobs = 0;
     thrash_factor;
+    up = true;
+    epoch = 0;
+    crashes = 0;
   }
+
+let is_up t = t.up
+
+let crash t =
+  if t.up then begin
+    t.up <- false;
+    t.epoch <- t.epoch + 1;
+    t.crashes <- t.crashes + 1
+  end
+
+(* Restart after a crash: queued work is gone (the epoch already
+   ticked), the CPU comes back idle, and only [mem_retained] of the
+   working memory survives — 0.0 models a cold start whose caches and
+   per-request state must be rebuilt. *)
+let restart ?(mem_retained = 1.0) t =
+  if not t.up then begin
+    t.up <- true;
+    t.busy_until <- Engine.now t.engine;
+    t.mem_used <-
+      max 0 (int_of_float (Float.of_int t.mem_used *. mem_retained))
+  end
 
 let mem_pressure t =
   if t.mem_capacity <= 0 then 0.0
@@ -46,16 +76,27 @@ let effective_cost t ~cost_us =
   Int64.of_float (base *. slowdown)
 
 (* Run [cost_us] of work on the host's CPU; [k] fires at completion.
-   Work serializes behind whatever the CPU is already committed to. *)
-let compute t ~cost_us k =
+   Work serializes behind whatever the CPU is already committed to.
+   On a down host — or if the host crashes before the work completes —
+   [on_fail] fires instead (nothing at all happens without one). *)
+let compute t ?on_fail ~cost_us k =
   let now = Engine.now t.engine in
-  let start = if Int64.compare t.busy_until now > 0 then t.busy_until else now in
-  let cost = effective_cost t ~cost_us in
-  let finish = Int64.add start cost in
-  t.busy_until <- finish;
-  t.cpu_busy <- Int64.add t.cpu_busy cost;
-  t.jobs <- t.jobs + 1;
-  Engine.schedule_at t.engine finish k
+  if not t.up then
+    match on_fail with
+    | Some f -> Engine.schedule_at t.engine now f
+    | None -> ()
+  else begin
+    let epoch = t.epoch in
+    let start = if Int64.compare t.busy_until now > 0 then t.busy_until else now in
+    let cost = effective_cost t ~cost_us in
+    let finish = Int64.add start cost in
+    t.busy_until <- finish;
+    t.cpu_busy <- Int64.add t.cpu_busy cost;
+    t.jobs <- t.jobs + 1;
+    Engine.schedule_at t.engine finish (fun () ->
+        if t.up && t.epoch = epoch then k ()
+        else match on_fail with Some f -> f () | None -> ())
+  end
 
 let allocate t bytes = t.mem_used <- t.mem_used + bytes
 let release t bytes = t.mem_used <- max 0 (t.mem_used - bytes)

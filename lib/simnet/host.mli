@@ -15,6 +15,9 @@ type t = {
   mutable cpu_busy : Engine.time;
   mutable jobs : int;
   thrash_factor : float;
+  mutable up : bool;
+  mutable epoch : int;  (** ticks on every crash *)
+  mutable crashes : int;
 }
 
 val create :
@@ -28,7 +31,26 @@ val create :
 
 val mem_pressure : t -> float
 val effective_cost : t -> cost_us:Engine.time -> Engine.time
-val compute : t -> cost_us:Engine.time -> (unit -> unit) -> unit
+
+val compute :
+  t -> ?on_fail:(unit -> unit) -> cost_us:Engine.time -> (unit -> unit) -> unit
+(** Serialize [cost_us] of work behind the CPU's queue; the
+    continuation fires at completion. If the host is down at submit
+    time, or crashes before the work completes, [on_fail] fires
+    instead (and nothing at all happens without one). *)
+
 val allocate : t -> int -> unit
 val release : t -> int -> unit
 val utilization : t -> float
+
+(** {1 Availability} *)
+
+val is_up : t -> bool
+
+val crash : t -> unit
+(** Take the host down: new work fails, in-flight work is abandoned
+    (the epoch ticks). Idempotent while down. *)
+
+val restart : ?mem_retained:float -> t -> unit
+(** Bring a crashed host back with an idle CPU, keeping [mem_retained]
+    (default 1.0) of its working memory — 0.0 is a cold start. *)

@@ -4,6 +4,12 @@
     another (the shared-medium behaviour of the paper's 10 Mb/s
     Ethernet), then propagate with the link latency. *)
 
+type faults = {
+  plan : Fault.t;
+  drop_prob : float;
+  jitter_max_us : int;
+}
+
 type t = {
   engine : Engine.t;
   name : string;
@@ -12,13 +18,29 @@ type t = {
   mutable busy_until : Engine.time;
   mutable bytes_carried : int;
   mutable transfers : int;
+  mutable faults : faults option;
+  mutable drops : int;
 }
 
 val create :
   Engine.t -> name:string -> bandwidth_bps:int -> latency:Engine.time -> t
 
+val set_faults :
+  t -> plan:Fault.t -> ?drop_prob:float -> ?jitter_max_us:int -> unit -> unit
+(** Attach a fault profile: each transfer draws a loss decision at
+    [drop_prob] and, when delivered, a propagation jitter uniform in
+    [\[0, jitter_max_us)] — both from [plan]'s deterministic stream. *)
+
+val clear_faults : t -> unit
+
 val tx_time : t -> bytes:int -> Engine.time
-val transfer : t -> bytes:int -> (unit -> unit) -> unit
+
+val transfer : t -> ?on_drop:(unit -> unit) -> bytes:int -> (unit -> unit) -> unit
+(** Queue [bytes] on the wire; the continuation runs when the last
+    byte arrives. A transfer lost to the fault profile still occupies
+    the wire but the continuation never runs; [on_drop], if given,
+    fires when the last byte would have arrived. Counter:
+    [simnet.drops]. *)
 
 val transfer_time_us : bandwidth_bps:int -> latency_us:int -> bytes:int -> int
 (** Closed-form single-transfer time for analytic startup models. *)

@@ -1,0 +1,367 @@
+(* Tests for the fault-injection subsystem: deterministic fault
+   plans, link loss and jitter, host crash/restart semantics, proxy
+   replica failover, the client's resilient provider, and the
+   availability experiment built from all of them. *)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let static = [ CF.Public; CF.Static ]
+
+(* --- Fault plans. --- *)
+
+let test_plan_determinism () =
+  let a = Simnet.Fault.create ~seed:7 in
+  let b = Simnet.Fault.create ~seed:7 in
+  for i = 1 to 200 do
+    check Alcotest.bool
+      (Printf.sprintf "flip %d agrees" i)
+      (Simnet.Fault.flip a ~p:0.3) (Simnet.Fault.flip b ~p:0.3);
+    check Alcotest.int64
+      (Printf.sprintf "jitter %d agrees" i)
+      (Simnet.Fault.jitter_us a ~max_us:1000)
+      (Simnet.Fault.jitter_us b ~max_us:1000)
+  done;
+  let draws seed =
+    let p = Simnet.Fault.create ~seed in
+    Array.init 64 (fun _ -> Simnet.Fault.flip p ~p:0.5)
+  in
+  check Alcotest.bool "different seeds draw different streams" false
+    (draws 7 = draws 8)
+
+let test_threshold_monotone () =
+  (* The threshold draw: any drop at 5% is also a drop at 25% while
+     the streams stay aligned, so loss-rate sweeps are monotone. *)
+  let lo = Simnet.Fault.create ~seed:3 in
+  let hi = Simnet.Fault.create ~seed:3 in
+  let lo_drops = ref 0 in
+  for _ = 1 to 400 do
+    let l = Simnet.Fault.flip lo ~p:0.05 in
+    let h = Simnet.Fault.flip hi ~p:0.25 in
+    if l then incr lo_drops;
+    if l && not h then fail "a 5% drop was not a 25% drop"
+  done;
+  check Alcotest.bool "low-rate stream drew some drops" true (!lo_drops > 0)
+
+(* --- Link loss and jitter. --- *)
+
+let run_lossy_workload seed =
+  let e = Simnet.Engine.create () in
+  let link = Simnet.Link.ethernet_10mb e in
+  let plan = Simnet.Fault.create ~seed in
+  Simnet.Link.set_faults link ~plan ~drop_prob:0.3 ~jitter_max_us:2_000 ();
+  let log = ref [] in
+  for i = 1 to 40 do
+    Simnet.Link.transfer link ~bytes:(500 * i)
+      ~on_drop:(fun () ->
+        log :=
+          Printf.sprintf "%Ld drop %d" (Simnet.Engine.now e) i :: !log)
+      (fun () ->
+        log := Printf.sprintf "%Ld ok %d" (Simnet.Engine.now e) i :: !log)
+  done;
+  Simnet.Engine.run e;
+  (List.rev !log, Simnet.Fault.trace plan, link.Simnet.Link.drops)
+
+let test_link_fault_determinism () =
+  (* The ISSUE's acceptance test: the same fault seed produces an
+     identical simnet trace — delivery times, drop decisions and the
+     fault plan's own record all repeat exactly. *)
+  let a = run_lossy_workload 42 in
+  let b = run_lossy_workload 42 in
+  check Alcotest.bool "identical traces for identical seeds" true (a = b);
+  let _, trace, drops = a in
+  check Alcotest.bool "the profile dropped something" true (drops > 0);
+  check Alcotest.int "every drop is in the fault trace" drops
+    (List.length trace);
+  let _, _, drops' = run_lossy_workload 43 in
+  check Alcotest.bool "another seed draws a different loss pattern" true
+    (drops <> drops' || a <> run_lossy_workload 43)
+
+let test_drop_occupies_wire () =
+  let e = Simnet.Engine.create () in
+  let link = Simnet.Link.ethernet_10mb e in
+  let plan = Simnet.Fault.create ~seed:1 in
+  Simnet.Link.set_faults link ~plan ~drop_prob:1.0 ();
+  let dropped_at = ref (-1L) in
+  Simnet.Link.transfer link ~bytes:1250
+    ~on_drop:(fun () -> dropped_at := Simnet.Engine.now e)
+    (fun () -> fail "delivered despite drop_prob 1.0");
+  (* The loss decision is drawn at submit time, so clearing the
+     profile now leaves the first transfer doomed and the second
+     clean — but the second still queues behind the lost bytes. *)
+  Simnet.Link.clear_faults link;
+  let ok_at = ref (-1L) in
+  Simnet.Link.transfer link ~bytes:1250 (fun () ->
+      ok_at := Simnet.Engine.now e);
+  Simnet.Engine.run e;
+  (* 1250 B at 10 Mb/s = 1 ms tx + 500 µs latency *)
+  check Alcotest.int64 "on_drop at the would-be arrival" 1500L !dropped_at;
+  check Alcotest.int64 "lost transfer still occupied the wire" 2500L !ok_at;
+  check Alcotest.int "drop counted" 1 link.Simnet.Link.drops
+
+(* --- Host crash/restart. --- *)
+
+let test_host_crash_semantics () =
+  let e = Simnet.Engine.create () in
+  let h = Simnet.Host.create e ~name:"h" in
+  Simnet.Host.allocate h 1000;
+  let ok = ref 0 in
+  let failed = ref 0 in
+  Simnet.Host.compute h
+    ~on_fail:(fun () -> incr failed)
+    ~cost_us:1000L
+    (fun () -> incr ok);
+  (* crash mid-flight: the queued completion is abandoned *)
+  Simnet.Engine.schedule_at e 500L (fun () -> Simnet.Host.crash h);
+  Simnet.Engine.run e;
+  check Alcotest.int "in-flight work abandoned" 0 !ok;
+  check Alcotest.int "on_fail fired for in-flight work" 1 !failed;
+  (* a down host refuses new work *)
+  Simnet.Host.compute h
+    ~on_fail:(fun () -> incr failed)
+    ~cost_us:10L
+    (fun () -> incr ok);
+  Simnet.Engine.run e;
+  check Alcotest.int "down host refuses work" 2 !failed;
+  check Alcotest.bool "host reports down" false (Simnet.Host.is_up h);
+  (* restart: partial memory retention, idle CPU, work completes *)
+  Simnet.Host.restart ~mem_retained:0.25 h;
+  check Alcotest.bool "host reports up" true (Simnet.Host.is_up h);
+  check Alcotest.int "only retained memory survives" 250
+    h.Simnet.Host.mem_used;
+  Simnet.Host.compute h ~cost_us:10L (fun () -> incr ok);
+  Simnet.Engine.run e;
+  check Alcotest.int "restarted host computes" 1 !ok
+
+let test_fault_schedule () =
+  let e = Simnet.Engine.create () in
+  let h = Simnet.Host.create e ~name:"p" in
+  let plan = Simnet.Fault.create ~seed:5 in
+  let restarted = ref false in
+  Simnet.Fault.schedule_host_faults plan h ~mem_retained:0.0
+    ~on_restart:(fun () -> restarted := true)
+    ~schedule:[ (1000L, 500L) ]
+    ();
+  let during = ref true in
+  let after = ref false in
+  Simnet.Engine.schedule_at e 1200L (fun () -> during := Simnet.Host.is_up h);
+  Simnet.Engine.schedule_at e 1600L (fun () -> after := Simnet.Host.is_up h);
+  Simnet.Engine.run e;
+  check Alcotest.bool "down during the outage" false !during;
+  check Alcotest.bool "up after the restart" true !after;
+  check Alcotest.bool "on_restart ran" true !restarted;
+  check Alcotest.int "crash recorded" 1 (Simnet.Fault.crashes plan);
+  check Alcotest.int "restart recorded" 1 (Simnet.Fault.restarts plan);
+  check Alcotest.int "both faults in the trace" 2
+    (List.length (Simnet.Fault.trace plan))
+
+(* --- Replica failover. --- *)
+
+let hello =
+  B.class_ "Hello" [ B.meth ~flags:static "main" "()V" [ B.Return ] ]
+
+let boot_oracle = Verifier.Oracle.of_classes (Jvm.Bootlib.boot_classes ())
+
+let origin_for classes =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun cf ->
+      Hashtbl.replace tbl cf.CF.name (Bytecode.Encode.class_to_bytes cf))
+    classes;
+  fun name -> Hashtbl.find_opt tbl name
+
+let mk_pool engine ~latency n =
+  Array.init n (fun _ ->
+      Proxy.create engine
+        ~origin:(origin_for [ hello ])
+        ~origin_latency:(fun _ -> latency)
+        ~filters:[ Verifier.Static_verifier.filter ~oracle:boot_oracle () ]
+        ())
+
+let test_replica_failover_and_exhaustion () =
+  let e = Simnet.Engine.create () in
+  let pool = mk_pool e ~latency:0L 2 in
+  let r = Proxy.Replica.create e pool in
+  Simnet.Host.crash pool.(0).Proxy.host;
+  let reply = ref None in
+  Proxy.Replica.request r ~cls:"Hello" (fun x -> reply := Some x);
+  Simnet.Engine.run e;
+  (match !reply with
+  | Some (Proxy.Bytes _) -> ()
+  | _ -> fail "secondary did not serve");
+  check Alcotest.int "failover counted" 1 r.Proxy.Replica.failovers;
+  check Alcotest.bool "primary marked unhealthy" false
+    r.Proxy.Replica.health.(0);
+  (* every replica down: Unavailable, after a simulated hop *)
+  Simnet.Host.crash pool.(1).Proxy.host;
+  let reply2 = ref None in
+  Proxy.Replica.request r ~cls:"Hello" (fun x -> reply2 := Some x);
+  Simnet.Engine.run e;
+  (match !reply2 with
+  | Some Proxy.Unavailable -> ()
+  | _ -> fail "expected Unavailable with every replica down");
+  check Alcotest.int "unavailable counted" 1 r.Proxy.Replica.unavailable;
+  (* a restarted primary takes traffic back: no new failover *)
+  Simnet.Host.restart pool.(0).Proxy.host;
+  let reply3 = ref None in
+  Proxy.Replica.request r ~cls:"Hello" (fun x -> reply3 := Some x);
+  Simnet.Engine.run e;
+  (match !reply3 with
+  | Some (Proxy.Bytes _) -> ()
+  | _ -> fail "restarted primary did not serve");
+  check Alcotest.int "fail-back: no new failover" 1 r.Proxy.Replica.failovers
+
+let test_replica_failover_inflight () =
+  (* The primary crashes while a request is in flight; the facade's
+     on_fail hook re-dispatches it to the live secondary. *)
+  let e = Simnet.Engine.create () in
+  let pool = mk_pool e ~latency:(Simnet.Engine.ms 100) 2 in
+  let r = Proxy.Replica.create e pool in
+  let served = ref None in
+  Proxy.Replica.request r ~cls:"Hello" (fun reply -> served := Some reply);
+  Simnet.Engine.schedule_at e (Simnet.Engine.ms 50) (fun () ->
+      Simnet.Host.crash pool.(0).Proxy.host);
+  Simnet.Engine.run e;
+  (match !served with
+  | Some (Proxy.Bytes _) -> ()
+  | _ -> fail "in-flight crash not failed over");
+  check Alcotest.int "failover counted" 1 r.Proxy.Replica.failovers;
+  check Alcotest.int "secondary fetched from origin" 1
+    pool.(1).Proxy.origin_fetches
+
+(* --- The client's resilient provider. --- *)
+
+let test_resilient_provider_retries () =
+  let tries = ref 0 in
+  let fetch _cls =
+    incr tries;
+    if !tries < 3 then Dvm.Client.Fetch_unavailable
+    else Dvm.Client.Fetched "bytes"
+  in
+  let p = Dvm.Client.resilient_provider fetch in
+  check Alcotest.(option string) "served after transient failures"
+    (Some "bytes") (p "A");
+  check Alcotest.int "retried until it worked" 3 !tries;
+  let p_absent = Dvm.Client.resilient_provider (fun _ -> Dvm.Client.Fetch_absent) in
+  check Alcotest.(option string) "absence is not retried" None
+    (p_absent "Nowhere")
+
+let test_resilient_provider_degrades () =
+  let backoffs = ref [] in
+  let p =
+    Dvm.Client.resilient_provider
+      ~on_backoff:(fun b -> backoffs := b :: !backoffs)
+      (fun _ -> Dvm.Client.Fetch_unavailable)
+  in
+  match p "pkg/Gone" with
+  | None -> fail "exhausted retries must degrade, not vanish"
+  | Some bytes ->
+    (* bounded exponential backoff between the 4 default attempts *)
+    check
+      Alcotest.(list int64)
+      "bounded exponential backoffs"
+      [ 50_000L; 100_000L; 200_000L ]
+      (List.rev !backoffs);
+    (* the degraded bytes are the error-propagation replacement class:
+       same name, raises at initialization *)
+    let cf = Bytecode.Decode.class_of_bytes bytes in
+    check Alcotest.string "replacement keeps the class name" "pkg/Gone"
+      cf.CF.name;
+    let vm = Jvm.Bootlib.fresh_vm () in
+    Jvm.Classreg.register vm.Jvm.Vmstate.reg cf;
+    (match Jvm.Interp.ensure_initialized vm "pkg/Gone" with
+    | _ -> fail "degraded class must raise at initialization"
+    | exception Jvm.Vmstate.Throw _ -> ())
+
+(* --- The availability experiment. --- *)
+
+let test_availability_deterministic () =
+  let a = Dvm.Availability.run ~loss_pct:5.0 ~replicas:1 () in
+  let b = Dvm.Availability.run ~loss_pct:5.0 ~replicas:1 () in
+  check Alcotest.bool "identical runs for identical seeds" true (a = b);
+  check Alcotest.bool "losses were injected" true
+    (a.Dvm.Availability.av_drops > 0);
+  check Alcotest.bool "losses forced retries" true
+    (a.Dvm.Availability.av_retries > 0)
+
+let test_availability_loss_slows_startup () =
+  let at loss =
+    (Dvm.Availability.run ~loss_pct:loss ~replicas:1 ())
+      .Dvm.Availability.av_startup_us
+  in
+  let s0 = at 0.0 and s5 = at 5.0 and s10 = at 10.0 in
+  check Alcotest.bool "5% loss slower than lossless" true (s5 > s0);
+  check Alcotest.bool "10% loss no faster than 5%" true (s10 >= s5)
+
+let test_availability_crash_recovery () =
+  let scenario = Dvm.Availability.crash_scenario in
+  let one = Dvm.Availability.run ~scenario ~loss_pct:0.0 ~replicas:1 () in
+  let two = Dvm.Availability.run ~scenario ~loss_pct:0.0 ~replicas:2 () in
+  check Alcotest.bool "a lone crashed proxy degrades classes" true
+    (one.Dvm.Availability.av_degraded > 0);
+  check Alcotest.int "a second replica recovers every class" 0
+    two.Dvm.Availability.av_degraded;
+  check Alcotest.bool "recovery happened via failover" true
+    (two.Dvm.Availability.av_failovers > 0);
+  check Alcotest.bool "failover beats waiting out the outage" true
+    (two.Dvm.Availability.av_startup_us < one.Dvm.Availability.av_startup_us);
+  let has_fault kind =
+    List.exists
+      (fun line ->
+        match String.index_opt line ' ' with
+        | Some i ->
+          String.sub line (i + 1) (String.length line - i - 1)
+          = kind ^ " proxy"
+        | None -> false)
+      one.Dvm.Availability.av_trace
+  in
+  check Alcotest.bool "crash in the fault trace" true (has_fault "crash");
+  check Alcotest.bool "restart in the fault trace" true (has_fault "restart")
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "determinism" `Quick test_plan_determinism;
+          Alcotest.test_case "threshold monotone" `Quick
+            test_threshold_monotone;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "seeded trace determinism" `Quick
+            test_link_fault_determinism;
+          Alcotest.test_case "drop occupies wire" `Quick
+            test_drop_occupies_wire;
+        ] );
+      ( "host",
+        [
+          Alcotest.test_case "crash semantics" `Quick
+            test_host_crash_semantics;
+          Alcotest.test_case "fault schedule" `Quick test_fault_schedule;
+        ] );
+      ( "replica",
+        [
+          Alcotest.test_case "failover + exhaustion" `Quick
+            test_replica_failover_and_exhaustion;
+          Alcotest.test_case "in-flight crash" `Quick
+            test_replica_failover_inflight;
+        ] );
+      ( "client",
+        [
+          Alcotest.test_case "retries" `Quick test_resilient_provider_retries;
+          Alcotest.test_case "graceful degradation" `Quick
+            test_resilient_provider_degrades;
+        ] );
+      ( "availability",
+        [
+          Alcotest.test_case "deterministic" `Quick
+            test_availability_deterministic;
+          Alcotest.test_case "loss slows startup" `Quick
+            test_availability_loss_slows_startup;
+          Alcotest.test_case "crash recovery" `Quick
+            test_availability_crash_recovery;
+        ] );
+    ]

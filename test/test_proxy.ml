@@ -94,6 +94,37 @@ let test_pipeline_malformed_input () =
   | Some ("decode", _) -> ()
   | _ -> fail "malformed input not rejected at decode"
 
+let test_parse_per_service_rejection_parity () =
+  (* Regression: the ablation used to name the replacement class after
+     the *filter* and to omit the replacement's code-generation cost,
+     so a rejection produced different bytes and cheaper totals than
+     [run]. Both structures must degrade identically. *)
+  let bad =
+    B.class_ "Bad" [ B.meth ~flags:static "f" "()I" [ B.Add; B.Ireturn ] ]
+  in
+  let bytes = Bytecode.Encode.class_to_bytes bad in
+  let shared = Proxy.Pipeline.run (filters ()) bytes in
+  let naive = Proxy.Pipeline.run_parse_per_service (filters ()) bytes in
+  (match (shared.Proxy.Pipeline.rejected, naive.Proxy.Pipeline.rejected) with
+  | Some ("verifier", _), Some ("verifier", _) -> ()
+  | _ -> fail "both structures must reject via the verifier");
+  check Alcotest.string "identical replacement bytes"
+    shared.Proxy.Pipeline.out_bytes naive.Proxy.Pipeline.out_bytes;
+  check Alcotest.string "replacement keeps the rejected class's name" "Bad"
+    (Bytecode.Decode.class_of_bytes naive.Proxy.Pipeline.out_bytes).CF.name;
+  (* The verifier is the first filter, so parse/transform/generate work
+     is identical — including generating the replacement. *)
+  check Alcotest.int64 "replacement generate cost charged in both"
+    (Proxy.Pipeline.total_cost shared)
+    (Proxy.Pipeline.total_cost naive);
+  (* Undecodable input degrades identically too. *)
+  let s2 = Proxy.Pipeline.run (filters ()) "garbage not a class" in
+  let n2 = Proxy.Pipeline.run_parse_per_service (filters ()) "garbage not a class" in
+  check Alcotest.string "malformed: identical replacement bytes"
+    s2.Proxy.Pipeline.out_bytes n2.Proxy.Pipeline.out_bytes;
+  check Alcotest.int64 "malformed: identical total cost"
+    (Proxy.Pipeline.total_cost s2) (Proxy.Pipeline.total_cost n2)
+
 let test_parse_per_service_ablation () =
   let bytes = Bytecode.Encode.class_to_bytes hello in
   let shared = Proxy.Pipeline.run (filters ()) bytes in
@@ -155,6 +186,41 @@ let test_http_malformed () =
       "HTTP/1.1 200\r\nContent-Length: 0\r\n\r\n";
     ]
 
+let test_http_separator_enforced () =
+  (* Regression: the decoder used to take the body as "4 bytes past
+     the last header CRLF" without checking that those bytes were the
+     blank-line separator, silently swallowing garbage framing. *)
+  List.iter
+    (fun bad ->
+      match Proxy.Httpwire.decode_response bad with
+      | _ -> fail ("accepted garbage framing: " ^ String.escaped bad)
+      | exception Proxy.Httpwire.Bad_message _ -> ())
+    [
+      (* garbage where the blank line belongs; body length matches *)
+      "DVM/1.0 200\r\nContent-Length: 2\r\nXXab";
+      (* duplicate header instead of the separator *)
+      "DVM/1.0 200\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nab";
+      (* unknown header in place of Content-Length *)
+      "DVM/1.0 200\r\nX-Frame: 1\r\n\r\n";
+      (* LF-only separator *)
+      "DVM/1.0 200\r\nContent-Length: 2\r\n\nab";
+    ]
+
+let test_http_truncation_boundaries () =
+  let full =
+    Proxy.Httpwire.encode_response ~status:Proxy.Httpwire.Ok_200 ~body:"body"
+  in
+  (match Proxy.Httpwire.decode_response full with
+  | Proxy.Httpwire.Ok_200, "body" -> ()
+  | _ -> fail "full response must parse");
+  (* every proper prefix — cut in the status line, the header, the
+     separator or the body — must be rejected, never misparsed *)
+  for len = 0 to String.length full - 1 do
+    match Proxy.Httpwire.decode_response (String.sub full 0 len) with
+    | _ -> fail (Printf.sprintf "accepted truncation at byte %d" len)
+    | exception Proxy.Httpwire.Bad_message _ -> ()
+  done
+
 (* --- Proxy request paths. --- *)
 
 let origin_for classes =
@@ -173,15 +239,15 @@ let test_request_sync_and_cache () =
   in
   (match Proxy.request_sync proxy ~cls:"Hello" with
   | Proxy.Bytes _ -> ()
-  | Proxy.Not_found -> fail "not served");
+  | Proxy.Not_found | Proxy.Unavailable -> fail "not served");
   check Alcotest.int "one origin fetch" 1 proxy.Proxy.origin_fetches;
   (match Proxy.request_sync proxy ~cls:"Hello" with
   | Proxy.Bytes _ -> ()
-  | Proxy.Not_found -> fail "not served from cache");
+  | Proxy.Not_found | Proxy.Unavailable -> fail "not served from cache");
   check Alcotest.int "cache hit, no refetch" 1 proxy.Proxy.origin_fetches;
   match Proxy.request_sync proxy ~cls:"Nowhere" with
   | Proxy.Not_found -> ()
-  | Proxy.Bytes _ -> fail "phantom class"
+  | Proxy.Bytes _ | Proxy.Unavailable -> fail "phantom class"
 
 let test_request_async_timing () =
   let engine = Simnet.Engine.create () in
@@ -195,7 +261,7 @@ let test_request_async_timing () =
   Proxy.request proxy ~cls:"Hello" (fun reply ->
       match reply with
       | Proxy.Bytes _ -> served_at := Simnet.Engine.now engine
-      | Proxy.Not_found -> fail "not served");
+      | Proxy.Not_found | Proxy.Unavailable -> fail "not served");
   Simnet.Engine.run engine;
   (* must include WAN latency plus pipeline compute *)
   check Alcotest.bool "after WAN latency" true (!served_at >= 100_000L);
@@ -216,6 +282,62 @@ let test_provider_feeds_client () =
   | Ok () -> ()
   | Error e -> fail (Jvm.Interp.describe_throwable e));
   check Alcotest.string "output through full path" "hi\n" (Jvm.Vmstate.output vm)
+
+let test_cache_hit_audit_timing () =
+  (* Regression: the cache-hit path used to count bytes_served and
+     write the audit record at dispatch time, before the cache-service
+     CPU work ran — so audit timestamps led the virtual clock. *)
+  let engine = Simnet.Engine.create () in
+  let audit = Monitor.Audit.create () in
+  let proxy =
+    Proxy.create engine ~audit ~origin:(origin_for [ hello ])
+      ~origin_latency:(fun _ -> 0L)
+      ~filters:(filters ()) ()
+  in
+  Proxy.request proxy ~cls:"Hello" (fun _ -> ());
+  Simnet.Engine.run engine;
+  let dispatched_at = Simnet.Engine.now engine in
+  let served_before = proxy.Proxy.bytes_served in
+  let replied_at = ref (-1L) in
+  Proxy.request proxy ~cls:"Hello" (fun reply ->
+      (match reply with
+      | Proxy.Bytes _ -> ()
+      | Proxy.Not_found | Proxy.Unavailable -> fail "cache hit not served");
+      replied_at := Simnet.Engine.now engine;
+      check Alcotest.bool "bytes_served counted by completion" true
+        (proxy.Proxy.bytes_served > served_before));
+  check Alcotest.int "bytes_served not counted at dispatch" served_before
+    proxy.Proxy.bytes_served;
+  Simnet.Engine.run engine;
+  check Alcotest.bool "cache service occupies the CPU" true
+    (!replied_at > dispatched_at);
+  match Monitor.Audit.filter_kind audit "proxy.cache_hit" with
+  | [ ev ] ->
+    check Alcotest.int64 "audit record stamped at completion" !replied_at
+      ev.Monitor.Audit.ev_time
+  | evs ->
+    fail
+      (Printf.sprintf "expected one cache-hit audit record, got %d"
+         (List.length evs))
+
+let test_cache_gauges_refresh_on_evict () =
+  let reg = Telemetry.default in
+  Telemetry.reset reg;
+  Telemetry.enable reg;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.disable reg)
+    (fun () ->
+      let c = Proxy.Cache.create ~capacity:100 in
+      Proxy.Cache.store c "a" (String.make 40 'a');
+      Proxy.Cache.store c "b" (String.make 40 'b');
+      (* storing c evicts the LRU entry; the occupancy gauges must
+         reflect the post-eviction state, not the last store *)
+      Proxy.Cache.store c "c" (String.make 40 'c');
+      check Alcotest.int "two entries" 2 (Proxy.Cache.size c);
+      check Alcotest.int64 "bytes gauge tracks eviction" 80L
+        (Telemetry.gauge_value reg "cache.bytes_used");
+      check Alcotest.int64 "entries gauge tracks eviction" 2L
+        (Telemetry.gauge_value reg "cache.entries"))
 
 let test_audit_trail () =
   let engine = Simnet.Engine.create () in
@@ -241,6 +363,8 @@ let () =
           Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
           Alcotest.test_case "disabled" `Quick test_cache_disabled;
           Alcotest.test_case "oversized" `Quick test_cache_oversized_not_stored;
+          Alcotest.test_case "gauges refresh on evict" `Quick
+            test_cache_gauges_refresh_on_evict;
         ] );
       ( "pipeline",
         [
@@ -251,6 +375,8 @@ let () =
             test_pipeline_malformed_input;
           Alcotest.test_case "parse-per-service ablation" `Quick
             test_parse_per_service_ablation;
+          Alcotest.test_case "parse-per-service rejection parity" `Quick
+            test_parse_per_service_rejection_parity;
           Alcotest.test_case "signing" `Quick test_pipeline_signs;
         ] );
       ( "wire",
@@ -258,6 +384,10 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_http_roundtrip;
           Alcotest.test_case "serve" `Quick test_http_serve;
           Alcotest.test_case "malformed" `Quick test_http_malformed;
+          Alcotest.test_case "separator enforced" `Quick
+            test_http_separator_enforced;
+          Alcotest.test_case "truncation boundaries" `Quick
+            test_http_truncation_boundaries;
         ] );
       ( "requests",
         [
@@ -266,5 +396,7 @@ let () =
           Alcotest.test_case "provider feeds client" `Quick
             test_provider_feeds_client;
           Alcotest.test_case "audit trail" `Quick test_audit_trail;
+          Alcotest.test_case "cache-hit audit timing" `Quick
+            test_cache_hit_audit_timing;
         ] );
     ]
