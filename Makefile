@@ -1,4 +1,4 @@
-.PHONY: all build test check clean
+.PHONY: all build test lint check clean
 
 all: build
 
@@ -8,11 +8,18 @@ build:
 test:
 	dune runtest
 
+# Static-analysis self-check: run the dataflow analyzer over every
+# bundled workload class. Fails on solver non-convergence or a CFG
+# that changes across an encode/decode round trip.
+lint:
+	dune exec bin/dvmctl.exe -- lint
+
 # The gate a PR must pass: everything builds, every test is green, and
 # no build artifacts are tracked or dirtying the tree.
 check:
 	dune build @all
 	dune runtest
+	dune exec bin/dvmctl.exe -- lint
 	@if git ls-files | grep -q '^_build/'; then \
 	  echo "check: _build/ files are tracked in git" >&2; exit 1; fi
 	@if git status --porcelain | grep -q '_build'; then \

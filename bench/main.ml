@@ -6,8 +6,8 @@
 
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe fig6       runs one experiment
-     (fig5 fig6 fig7 fig8 fig9 applets fig10 fig11 fig12 ablations faults
-      micro)
+     (fig5 fig6 fig7 fig8 fig9 applets fig10 fig11 fig12 ablations elide
+      faults micro)
 *)
 
 let section title =
@@ -720,6 +720,86 @@ let micro () =
         tbl)
     results
 
+(* --- Elision: redundant-check elision via proxy-side dataflow. ---
+
+   A workload-covering policy maps every worker class (method="*") to
+   one per-app permission, so the driver's loop body holds dozens of
+   sites for the same check. The availability analysis keeps the first
+   and elides the rest; loop-invariant hoisting then lifts the survivor
+   out of the loop. The same run compares JIT null/bounds guards with
+   and without nullness/range facts. Program output must be
+   byte-identical either way. *)
+
+let elide_policy (app : Workloads.Appgen.app) =
+  let perm = "work." ^ app.Workloads.Appgen.spec.Workloads.Appgen.name in
+  let workers =
+    List.filter
+      (fun (c : Bytecode.Classfile.t) ->
+        List.exists
+          (fun (m : Bytecode.Classfile.meth) ->
+            String.equal m.Bytecode.Classfile.m_name "hot")
+          c.Bytecode.Classfile.methods)
+      app.Workloads.Appgen.classes
+  in
+  let ops =
+    List.map
+      (fun (c : Bytecode.Classfile.t) ->
+        Printf.sprintf {|<operation permission="%s" class="%s" method="*"/>|}
+          perm c.Bytecode.Classfile.name)
+      workers
+  in
+  Security.Policy_xml.parse
+    (Printf.sprintf
+       {|<policy default="allow">
+           <domain name="apps"><grant permission="%s"/></domain>
+           %s
+           <principal classprefix="" domain="apps"/>
+         </policy>|}
+       perm
+       (String.concat "\n" ops))
+
+let elide () =
+  section "Redundant-check elision (proxy-side dataflow analysis)";
+  Printf.printf
+    "(dynamic enforcement calls during the run, and null/bounds guards in\n\
+    \ the compiled IR, with elision off vs on; output must be identical)\n\n";
+  Printf.printf "%-11s %12s %12s %12s %12s %9s\n" "App" "checks off"
+    "checks on" "guards off" "guards on" "output=";
+  let improved = ref 0 in
+  List.iter
+    (fun spec ->
+      let app = Workloads.Apps.build_small spec in
+      let policy = elide_policy app in
+      let arch = Dvm.Experiment.Dvm { cached = false } in
+      let off = Dvm.Experiment.run ~policy ~elide:false ~arch app in
+      Analysis.Pass.clear ();
+      let on = Dvm.Experiment.run ~policy ~elide:true ~arch app in
+      let guards mode =
+        let svc = Jit.Service.create () in
+        List.iter
+          (fun cf ->
+            ignore (Jit.Service.compile_class ~elide:mode svc Jit.Arch.x86 cf))
+          app.Workloads.Appgen.classes;
+        svc.Jit.Service.guards_emitted
+      in
+      let g_off = guards false and g_on = guards true in
+      let same_output =
+        String.equal off.Dvm.Experiment.r_output on.Dvm.Experiment.r_output
+      in
+      if
+        on.Dvm.Experiment.r_enforcement_checks
+        < off.Dvm.Experiment.r_enforcement_checks
+        && g_on < g_off && same_output
+      then incr improved;
+      Printf.printf "%-11s %12d %12d %12d %12d %9b\n"
+        spec.Workloads.Appgen.name off.Dvm.Experiment.r_enforcement_checks
+        on.Dvm.Experiment.r_enforcement_checks g_off g_on same_output)
+    Workloads.Apps.all_specs;
+  Printf.printf
+    "\n%d of 5 workloads run strictly fewer checks and carry strictly fewer\n\
+     guards with elision on (bar: >= 3), outputs byte-identical.\n"
+    !improved
+
 (* --- Faults: availability under injected faults. ---
 
    The experiment §5's replication argument calls for but the paper
@@ -779,6 +859,7 @@ let all () =
   with_phase "fig11" fig11;
   with_phase "fig12" fig12;
   with_phase "ablations" ablations;
+  with_phase "elide" elide;
   with_phase "faults" faults;
   micro ()
 
@@ -795,12 +876,13 @@ let () =
   | "fig11" -> with_phase "fig11" fig11
   | "fig12" -> with_phase "fig12" fig12
   | "ablations" -> with_phase "ablations" ablations
+  | "elide" -> with_phase "elide" elide
   | "faults" -> with_phase "faults" faults
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
-      "unknown target %S (expected fig5..fig12, applets, ablations, faults, \
-       micro, all)\n"
+      "unknown target %S (expected fig5..fig12, applets, ablations, elide, \
+       faults, micro, all)\n"
       other;
     exit 1

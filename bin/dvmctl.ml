@@ -7,6 +7,8 @@
                                   files serve as the oracle environment)
      dvmctl rewrite [opts] <file> run a class through the service pipeline
      dvmctl run <entry> <file>... execute an application on a DVM client
+     dvmctl analyze [--dot] <file> dump CFG, dominators and dataflow facts
+     dvmctl lint                  analyzer self-check over bundled workloads
      dvmctl bench <target>        shortcut for bench/main.exe targets
 *)
 
@@ -187,6 +189,144 @@ let split entry paths out_dir =
     (100.0 *. Float.of_int (orig - hot) /. Float.of_int orig)
     (List.length split_classes) out_dir;
   0
+
+(* --- analyze: dump the proxy-side dataflow view of a class. --- *)
+
+let analyze path dot =
+  let cf = load_class path in
+  let pool = cf.Bytecode.Classfile.pool in
+  List.iter
+    (fun (m : Bytecode.Classfile.meth) ->
+      match Analysis.Pass.for_method pool ~cls:cf.Bytecode.Classfile.name m with
+      | None -> ()
+      | Some f ->
+        let cfg = f.Analysis.Pass.cfg in
+        let label =
+          cf.Bytecode.Classfile.name ^ "." ^ m.Bytecode.Classfile.m_name
+          ^ m.Bytecode.Classfile.m_desc
+        in
+        if dot then print_string (Analysis.Cfg.to_dot ~name:label cfg)
+        else begin
+          Printf.printf "%s\n" label;
+          Format.printf "%a" Analysis.Cfg.pp cfg;
+          let dom = Lazy.force f.Analysis.Pass.dom in
+          Array.iter
+            (fun (b : Analysis.Cfg.block) ->
+              match Analysis.Dom.idom dom b.Analysis.Cfg.id with
+              | Some i -> Printf.printf "  idom(b%d) = b%d\n" b.Analysis.Cfg.id i
+              | None -> ())
+            cfg.Analysis.Cfg.blocks;
+          List.iter
+            (fun (l : Analysis.Dom.loop) ->
+              Printf.printf "  loop: header b%d, latches [%s], %d blocks\n"
+                l.Analysis.Dom.header
+                (String.concat "; "
+                   (List.map string_of_int l.Analysis.Dom.latches))
+                (Hashtbl.length l.Analysis.Dom.body))
+            (Analysis.Dom.loops dom);
+          let nn = Lazy.force f.Analysis.Pass.nullness in
+          let rg = Lazy.force f.Analysis.Pass.ranges in
+          Array.iter
+            (fun (b : Analysis.Cfg.block) ->
+              let at = b.Analysis.Cfg.first in
+              (match nn.Analysis.Nullness.before.(at) with
+              | Some st ->
+                Format.printf "  b%d null: %a@." b.Analysis.Cfg.id
+                  Analysis.Nullness.pp_state st
+              | None -> ());
+              match rg.Analysis.Intrange.before.(at) with
+              | Some st ->
+                Format.printf "  b%d rng:  %a@." b.Analysis.Cfg.id
+                  Analysis.Intrange.pp_state st
+              | None -> ())
+            cfg.Analysis.Cfg.blocks;
+          Printf.printf "  solver iterations: nullness %d, ranges %d\n\n"
+            nn.Analysis.Nullness.iterations rg.Analysis.Intrange.iterations
+        end)
+    cf.Bytecode.Classfile.methods;
+  0
+
+(* --- lint: run the analyzer over every bundled workload class.
+   Fails on solver non-convergence and on any CFG that differs between
+   the in-memory class and its encode/decode round trip. --- *)
+
+let lint () =
+  let failures = ref 0 in
+  let classes = ref 0 and methods = ref 0 and blocks = ref 0 in
+  let boundaries (cfg : Analysis.Cfg.t) =
+    Array.map
+      (fun (b : Analysis.Cfg.block) ->
+        (b.Analysis.Cfg.first, b.Analysis.Cfg.last))
+      cfg.Analysis.Cfg.blocks
+  in
+  let fail_with cls (m : Bytecode.Classfile.meth) msg =
+    incr failures;
+    Printf.eprintf "lint: %s.%s%s: %s\n" cls m.Bytecode.Classfile.m_name
+      m.Bytecode.Classfile.m_desc msg
+  in
+  List.iter
+    (fun spec ->
+      let app = Workloads.Apps.build spec in
+      List.iter
+        (fun (cf : Bytecode.Classfile.t) ->
+          incr classes;
+          let decoded =
+            Bytecode.Decode.class_of_bytes (Bytecode.Encode.class_to_bytes cf)
+          in
+          List.iter
+            (fun (m : Bytecode.Classfile.meth) ->
+              match m.Bytecode.Classfile.m_code with
+              | None -> ()
+              | Some code -> (
+                incr methods;
+                match Analysis.Cfg.of_code code with
+                | exception Analysis.Cfg.Malformed msg ->
+                  fail_with cf.Bytecode.Classfile.name m ("malformed: " ^ msg)
+                | cfg -> (
+                  blocks := !blocks + Analysis.Cfg.block_count cfg;
+                  (match
+                     Bytecode.Classfile.find_method decoded
+                       m.Bytecode.Classfile.m_name m.Bytecode.Classfile.m_desc
+                   with
+                  | Some { Bytecode.Classfile.m_code = Some code'; _ } -> (
+                    match Analysis.Cfg.of_code code' with
+                    | exception Analysis.Cfg.Malformed msg ->
+                      fail_with cf.Bytecode.Classfile.name m
+                        ("decoded copy malformed: " ^ msg)
+                    | cfg' ->
+                      if boundaries cfg <> boundaries cfg' then
+                        fail_with cf.Bytecode.Classfile.name m
+                          "CFG decode mismatch")
+                  | _ ->
+                    fail_with cf.Bytecode.Classfile.name m
+                      "method lost in encode/decode round trip");
+                  let sg =
+                    Bytecode.Descriptor.method_sig_of_string
+                      m.Bytecode.Classfile.m_desc
+                  in
+                  let param_slots = Bytecode.Descriptor.param_slots sg in
+                  let is_static =
+                    Bytecode.Classfile.has_flag m.Bytecode.Classfile.m_flags
+                      Bytecode.Classfile.Static
+                  in
+                  try
+                    ignore
+                      (Analysis.Nullness.analyze cf.Bytecode.Classfile.pool
+                         ~max_locals:code.Bytecode.Classfile.max_locals
+                         ~param_slots ~is_static cfg);
+                    ignore
+                      (Analysis.Intrange.analyze cf.Bytecode.Classfile.pool
+                         ~max_locals:code.Bytecode.Classfile.max_locals
+                         ~param_slots ~is_static cfg)
+                  with Analysis.Solver.Diverged msg ->
+                    fail_with cf.Bytecode.Classfile.name m
+                      ("solver diverged: " ^ msg))))
+            cf.Bytecode.Classfile.methods)
+        app.Workloads.Appgen.classes)
+    Workloads.Apps.all_specs;
+  Printf.printf "lint: %d classes, %d methods, %d blocks analyzed, %d failure(s)\n"
+    !classes !methods !blocks !failures;
+  if !failures > 0 then 1 else 0
 
 (* --- trace / metrics: run an instrumented workload and export
    telemetry (spans in Chrome trace_event form for Perfetto, or a
@@ -379,6 +519,29 @@ let split_cmd =
          "Profile a first execution and repartition the application at           method granularity (section 5)")
     Term.(const split $ entry $ paths $ out)
 
+let analyze_cmd =
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let dot =
+    Arg.(value & flag
+         & info [ "dot" ] ~doc:"emit Graphviz dot instead of a text dump")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Dump the proxy-side dataflow view of a class: basic blocks, \
+          edges, dominators, loops, and the per-block nullness and \
+          integer-range facts the elision passes consume")
+    Term.(const analyze $ path $ dot)
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the dataflow analyzer over every bundled workload class; \
+          fails on solver non-convergence or on a CFG that changes across \
+          an encode/decode round trip")
+    Term.(const lint $ const ())
+
 let trace_cmd =
   let app_arg =
     Arg.(value & pos 0 string "jlex" & info [] ~docv:"APP"
@@ -449,7 +612,7 @@ let main_cmd =
        ~doc:"Distributed virtual machine control tool")
     [
       gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd;
-      trace_cmd; metrics_cmd; faults_cmd;
+      analyze_cmd; lint_cmd; trace_cmd; metrics_cmd; faults_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

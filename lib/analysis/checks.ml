@@ -1,0 +1,44 @@
+(* Available-facts must-analysis: which named facts (security checks,
+   in practice) have executed on *every* path reaching each
+   instruction, with no intervening invalidation point?
+
+   The lattice is sets of fact names under intersection; "not yet
+   reached" is the top element (the solver's [None]), so loops
+   converge to the facts available around the back edge as well.
+
+   The security rewriter instantiates this with one fact per
+   permission: a site generates its permission, and monitor
+   entry/exit kills everything — those are the synchronization points
+   at which a concurrent policy push becomes visible, so a check
+   surviving across one could observe a stale decision (see DESIGN.md,
+   "Static analysis at the proxy"). *)
+
+module I = Bytecode.Instr
+module SS = Set.Make (String)
+
+module L = struct
+  type t = SS.t
+
+  let equal = SS.equal
+  let join = SS.inter
+end
+
+module S = Solver.Make (L)
+
+type result = { before : SS.t option array; iterations : int }
+
+let default_kill = function
+  | I.Monitorenter | I.Monitorexit -> true
+  | _ -> false
+
+let analyze ?(kill = default_kill) (cfg : Cfg.t) ~(gen : int -> string list) :
+    result =
+  let transfer ~at ~instr facts =
+    let facts = if kill instr then SS.empty else facts in
+    List.fold_left (fun acc f -> SS.add f acc) facts (gen at)
+  in
+  let r = S.solve cfg ~init:SS.empty ~transfer in
+  { before = r.S.before; iterations = r.S.iterations }
+
+let available (r : result) ~at ~fact =
+  match r.before.(at) with None -> false | Some s -> SS.mem fact s

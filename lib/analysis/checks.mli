@@ -1,0 +1,27 @@
+(** Available-facts must-analysis (forward, intersection join).
+
+    Instantiated by the security rewriter with one fact per checked
+    permission; [kill] defaults to the monitor instructions — the
+    invalidation points at which a concurrent policy update becomes
+    visible. *)
+
+module SS : Set.S with type elt = string
+
+type result = {
+  before : SS.t option array;
+      (** facts available at each instruction's entry; [None] =
+          unreachable *)
+  iterations : int;
+}
+
+val default_kill : Bytecode.Instr.t -> bool
+
+val analyze :
+  ?kill:(Bytecode.Instr.t -> bool) ->
+  Cfg.t ->
+  gen:(int -> string list) ->
+  result
+(** [gen at] — the facts instruction [at] establishes (available
+    immediately after it). *)
+
+val available : result -> at:int -> fact:string -> bool

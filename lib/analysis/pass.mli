@@ -1,0 +1,26 @@
+(** Pass manager: memoized per-method analysis results for rewrite
+    filters and the JIT.
+
+    Results are keyed by (class, method, descriptor) and invalidated
+    when the method's code record is physically replaced. Forcing a
+    domain reports `analysis.*` counters through the global telemetry
+    registry. *)
+
+type facts = {
+  cls : string;
+  meth : string;
+  desc : string;
+  code : Bytecode.Classfile.code;
+  cfg : Cfg.t;
+  dom : Dom.t Lazy.t;
+  nullness : Nullness.result Lazy.t;
+  ranges : Intrange.result Lazy.t;
+}
+
+val for_method :
+  Bytecode.Cp.t -> cls:string -> Bytecode.Classfile.meth -> facts option
+(** [None] for bodyless methods and for code the CFG builder rejects
+    as malformed. *)
+
+val clear : unit -> unit
+(** Drop all memoized results. *)

@@ -1,0 +1,92 @@
+(* Method-level call-graph reachability over a closed set of classes.
+
+   Conservative virtual dispatch: an `invokevirtual`/`invokeinterface`
+   of (name, desc) marks every class in the set that defines a
+   matching method — overriding without class-hierarchy analysis.
+   Referencing a class (`new`, a static member access) reaches its
+   `<clinit>`. `opt/repartition` uses the complement to classify
+   statically-dead methods as cold without a first-use profile. *)
+
+module I = Bytecode.Instr
+module CF = Bytecode.Classfile
+module CP = Bytecode.Cp
+
+type key = string * string * string (* class, method, descriptor *)
+
+type result = {
+  reachable : (key, unit) Hashtbl.t;
+  methods : int; (* total methods with code across the class set *)
+}
+
+let is_reachable r ~cls ~meth ~desc = Hashtbl.mem r.reachable (cls, meth, desc)
+
+let analyze (classes : CF.t list) ~(entries : key list) : result =
+  let by_class = Hashtbl.create 32 in
+  List.iter (fun cf -> Hashtbl.replace by_class cf.CF.name cf) classes;
+  (* (name, desc) -> classes defining it, for conservative dispatch. *)
+  let by_sig = Hashtbl.create 64 in
+  let methods = ref 0 in
+  List.iter
+    (fun cf ->
+      List.iter
+        (fun m ->
+          if m.CF.m_code <> None then incr methods;
+          let k = (m.CF.m_name, m.CF.m_desc) in
+          let cur = Option.value ~default:[] (Hashtbl.find_opt by_sig k) in
+          Hashtbl.replace by_sig k (cf.CF.name :: cur))
+        cf.CF.methods)
+    classes;
+  let reachable = Hashtbl.create 64 in
+  let work = Queue.create () in
+  let mark (cls, meth, desc) =
+    if not (Hashtbl.mem reachable (cls, meth, desc)) then begin
+      Hashtbl.replace reachable (cls, meth, desc) ();
+      Queue.add (cls, meth, desc) work
+    end
+  in
+  let mark_clinit cls =
+    match Hashtbl.find_opt by_class cls with
+    | Some cf when CF.find_method cf "<clinit>" "()V" <> None ->
+      mark (cls, "<clinit>", "()V")
+    | _ -> ()
+  in
+  List.iter mark entries;
+  while not (Queue.is_empty work) do
+    let cls, meth, desc = Queue.take work in
+    match Hashtbl.find_opt by_class cls with
+    | None -> ()
+    | Some cf -> (
+      match CF.find_method cf meth desc with
+      | None | Some { CF.m_code = None; _ } -> ()
+      | Some { CF.m_code = Some code; _ } ->
+        Array.iter
+          (fun ins ->
+            match ins with
+            | I.Invokestatic k | I.Invokespecial k -> (
+              match CP.get_methodref cf.CF.pool k with
+              | mr ->
+                mark_clinit mr.CP.ref_class;
+                mark (mr.CP.ref_class, mr.CP.ref_name, mr.CP.ref_desc)
+              | exception (CP.Invalid_index _ | CP.Wrong_kind _) -> ())
+            | I.Invokevirtual k | I.Invokeinterface k -> (
+              match CP.get_methodref cf.CF.pool k with
+              | mr ->
+                let sig_key = (mr.CP.ref_name, mr.CP.ref_desc) in
+                mark (mr.CP.ref_class, mr.CP.ref_name, mr.CP.ref_desc);
+                List.iter
+                  (fun c -> mark (c, mr.CP.ref_name, mr.CP.ref_desc))
+                  (Option.value ~default:[]
+                     (Hashtbl.find_opt by_sig sig_key))
+              | exception (CP.Invalid_index _ | CP.Wrong_kind _) -> ())
+            | I.New k | I.Anewarray k | I.Checkcast k | I.Instanceof k -> (
+              match CP.get_class_name cf.CF.pool k with
+              | c -> mark_clinit c
+              | exception (CP.Invalid_index _ | CP.Wrong_kind _) -> ())
+            | I.Getstatic k | I.Putstatic k -> (
+              match CP.get_fieldref cf.CF.pool k with
+              | fr -> mark_clinit fr.CP.ref_class
+              | exception (CP.Invalid_index _ | CP.Wrong_kind _) -> ())
+            | _ -> ())
+          code.CF.instrs)
+  done;
+  { reachable; methods = !methods }

@@ -1,0 +1,13 @@
+(** Method-level call-graph reachability over a closed class set, with
+    conservative virtual dispatch (any class defining a matching
+    (name, descriptor) is a dispatch candidate). *)
+
+type key = string * string * string  (** class, method, descriptor *)
+
+type result = {
+  reachable : (key, unit) Hashtbl.t;
+  methods : int;  (** total methods with code across the class set *)
+}
+
+val analyze : Bytecode.Classfile.t list -> entries:key list -> result
+val is_reachable : result -> cls:string -> meth:string -> desc:string -> bool

@@ -1,0 +1,146 @@
+(* Generic worklist fixed-point solver, functorized over a
+   join-semilattice. Forward, instruction-granular: facts propagate
+   block-at-a-time, and per-instruction entry facts are materialized
+   once the block facts stabilize.
+
+   The design mirrors `Verifier.Dataflow`'s worklist (that module is
+   the type-inference instance of the same scheme) but is generic in
+   the lattice, supports optional widening at retreating-edge targets,
+   and lets a domain refine the fact flowing along a specific branch
+   edge — how nullness learns from `ifnull` and ranges learn from
+   `if_icmp`. *)
+
+module I = Bytecode.Instr
+module CF = Bytecode.Classfile
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+exception Diverged of string
+
+module Make (L : LATTICE) = struct
+  type result = {
+    before : L.t option array;
+        (* entry fact per instruction; [None] = solver never reached it *)
+    iterations : int; (* block processings until fixpoint *)
+  }
+
+  let solve ?widen
+      ?(refine =
+        fun ~at:_ ~instr:_ ~target:_ ~pre:_ post -> post)
+      ?(exn_adjust = fun f -> f) (cfg : Cfg.t) ~(init : L.t)
+      ~(transfer : at:int -> instr:I.t -> L.t -> L.t) : result =
+    let nblocks = Cfg.block_count cfg in
+    let code = cfg.Cfg.code in
+    let rpo_num = Array.make nblocks max_int in
+    Array.iteri (fun i b -> rpo_num.(b) <- i) cfg.Cfg.rpo;
+    (* Widening points: targets of retreating edges in the rpo
+       numbering (a superset of natural-loop headers). *)
+    let widen_point = Array.make nblocks false in
+    Array.iter
+      (fun b ->
+        List.iter
+          (fun (v, _) -> if rpo_num.(v) <= rpo_num.(b.Cfg.id) then widen_point.(v) <- true)
+          b.Cfg.succs)
+      cfg.Cfg.blocks;
+    (* Handlers covering each block, as handler-target block ids. *)
+    let handlers_of = Array.make nblocks [] in
+    List.iter
+      (fun h ->
+        Array.iter
+          (fun b ->
+            if b.Cfg.first < h.CF.h_end && b.Cfg.last >= h.CF.h_start then
+              handlers_of.(b.Cfg.id) <-
+                (h.CF.h_start, h.CF.h_end, cfg.Cfg.block_of.(h.CF.h_target))
+                :: handlers_of.(b.Cfg.id))
+          cfg.Cfg.blocks)
+      code.CF.handlers;
+    let block_in : L.t option array = Array.make nblocks None in
+    let in_queue = Array.make nblocks false in
+    let queue = Queue.create () in
+    let enqueue b =
+      if not in_queue.(b) then begin
+        in_queue.(b) <- true;
+        Queue.add b queue
+      end
+    in
+    let join_into b fact =
+      match block_in.(b) with
+      | None ->
+        block_in.(b) <- Some fact;
+        enqueue b
+      | Some old ->
+        let j = L.join old fact in
+        let j =
+          match widen with
+          | Some w when widen_point.(b) -> w old j
+          | _ -> j
+        in
+        if not (L.equal old j) then begin
+          block_in.(b) <- Some j;
+          enqueue b
+        end
+    in
+    block_in.(0) <- Some init;
+    enqueue 0;
+    let iterations = ref 0 in
+    let limit = (nblocks * 256) + 1024 in
+    while not (Queue.is_empty queue) do
+      let bid = Queue.take queue in
+      in_queue.(bid) <- false;
+      incr iterations;
+      if !iterations > limit then
+        raise
+          (Diverged
+             (Printf.sprintf "no fixpoint after %d block visits (%d blocks)"
+                !iterations nblocks));
+      let b = Cfg.block cfg bid in
+      let cur = ref (Option.get block_in.(bid)) in
+      for idx = b.Cfg.first to b.Cfg.last do
+        (* Exception edge: the handler can observe the state at any
+           covered instruction's entry. *)
+        List.iter
+          (fun (hs, he, target) ->
+            if idx >= hs && idx < he then join_into target (exn_adjust !cur))
+          handlers_of.(bid);
+        if idx < b.Cfg.last then
+          cur := transfer ~at:idx ~instr:code.CF.instrs.(idx) !cur
+      done;
+      let last = b.Cfg.last in
+      let instr = code.CF.instrs.(last) in
+      let pre = !cur in
+      let post = transfer ~at:last ~instr pre in
+      List.iter
+        (fun (v, kind) ->
+          match kind with
+          | Cfg.Exn -> ()
+          | Cfg.Fall ->
+            join_into v (refine ~at:last ~instr ~target:(last + 1) ~pre post)
+          | Cfg.Branch ->
+            List.iter
+              (fun t ->
+                if cfg.Cfg.block_of.(t) = v then
+                  join_into v (refine ~at:last ~instr ~target:t ~pre post))
+              (I.targets instr))
+        b.Cfg.succs
+    done;
+    (* Materialize per-instruction entry facts. *)
+    let before = Array.make (Array.length code.CF.instrs) None in
+    Array.iter
+      (fun b ->
+        match block_in.(b.Cfg.id) with
+        | None -> ()
+        | Some fact ->
+          let cur = ref fact in
+          for idx = b.Cfg.first to b.Cfg.last do
+            before.(idx) <- Some !cur;
+            if idx < b.Cfg.last then
+              cur := transfer ~at:idx ~instr:code.CF.instrs.(idx) !cur
+          done)
+      cfg.Cfg.blocks;
+    { before; iterations = !iterations }
+end

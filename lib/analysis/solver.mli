@@ -1,0 +1,41 @@
+(** Worklist fixed-point solver functorized over a join-semilattice.
+
+    Forward, instruction-granular. Optional widening is applied at
+    retreating-edge targets; an optional [refine] hook adjusts the
+    fact flowing along a specific branch edge (conditional-branch
+    refinement); [exn_adjust] maps the in-state of a covered
+    instruction to the state observed by its exception handler. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+exception Diverged of string
+
+module Make (L : LATTICE) : sig
+  type result = {
+    before : L.t option array;
+        (** entry fact per instruction; [None] = unreachable *)
+    iterations : int;  (** block processings until fixpoint *)
+  }
+
+  val solve :
+    ?widen:(L.t -> L.t -> L.t) ->
+    ?refine:
+      (at:int ->
+      instr:Bytecode.Instr.t ->
+      target:int ->
+      pre:L.t ->
+      L.t ->
+      L.t) ->
+    ?exn_adjust:(L.t -> L.t) ->
+    Cfg.t ->
+    init:L.t ->
+    transfer:(at:int -> instr:Bytecode.Instr.t -> L.t -> L.t) ->
+    result
+  (** @raise Diverged if no fixpoint is reached within the visit
+      budget (a widening or monotonicity bug in the domain). *)
+end

@@ -1,0 +1,15 @@
+(** Exact stack effects and dataflow-exact code bounds.
+
+    Backs [Rewrite.Patch.recompute]: unlike the builder's estimator,
+    unreachable instructions contribute nothing to the bounds. *)
+
+val effect : Bytecode.Cp.t -> Bytecode.Instr.t -> int * int
+(** [(pops, pushes)] of one instruction. Raises the constant-pool or
+    descriptor exceptions on a malformed invoke site. *)
+
+val max_stack : Bytecode.Cp.t -> Cfg.t -> int
+(** Exact maximum operand-stack height over reachable paths. *)
+
+val max_locals : params:int -> is_static:bool -> Cfg.t -> int
+(** Exact locals requirement over reachable instructions (at least the
+    parameter slots). *)

@@ -30,6 +30,8 @@ type result = {
   r_enforcement_checks : int;
   r_audit_events : int;
   r_output : string;
+  r_decisions : (string * bool) list;
+      (* enforcement (permission, verdict) sequence, in order *)
 }
 
 let wall r = r.r_wall_us
@@ -60,7 +62,7 @@ type services = {
   filters : Rewrite.Filter.t list;
 }
 
-let standard_services ?(policy = standard_policy) ~oracle () =
+let standard_services ?(policy = standard_policy) ?elide ~oracle () =
   let verifier_counters = Verifier.Static_verifier.fresh_counters () in
   let security_counters = Security.Rewriter.fresh_counters () in
   let audit_counters = Monitor.Instrument.fresh_counters () in
@@ -71,7 +73,7 @@ let standard_services ?(policy = standard_policy) ~oracle () =
     filters =
       [
         Verifier.Static_verifier.filter ~counters:verifier_counters ~oracle ();
-        Security.Rewriter.filter ~counters:security_counters policy;
+        Security.Rewriter.filter ~counters:security_counters ?elide policy;
         Monitor.Instrument.audit_filter ~counters:audit_counters ();
         (* §4.3: the self-describing attribute goes on last so it
            reflects the fully transformed class *)
@@ -90,7 +92,7 @@ let metered_provider inner ~transfer_us ~bytes =
     bytes := !bytes + String.length b;
     Some b
 
-let run_arch ~policy ~arch (app : Workloads.Appgen.app) : result =
+let run_arch ?elide ~policy ~arch (app : Workloads.Appgen.app) : result =
   let origin = Workloads.Appgen.origin app in
   let transfer_us = ref 0 in
   let bytes = ref 0 in
@@ -132,6 +134,7 @@ let run_arch ~policy ~arch (app : Workloads.Appgen.app) : result =
       r_enforcement_checks = 0;
       r_audit_events = Int64.to_int client.Client.vm.Jvm.Vmstate.invocations;
       r_output = output;
+      r_decisions = [];
     }
   | Dvm { cached } ->
     let engine = Simnet.Engine.create () in
@@ -150,7 +153,7 @@ let run_arch ~policy ~arch (app : Workloads.Appgen.app) : result =
       | Some i -> Some i
       | None -> Hashtbl.find_opt seen name
     in
-    let services = standard_services ~policy ~oracle () in
+    let services = standard_services ~policy ?elide ~oracle () in
     let record_filter =
       Rewrite.Filter.make ~name:"record-seen" (fun cf ->
           Hashtbl.replace seen cf.Bytecode.Classfile.name
@@ -236,9 +239,13 @@ let run_arch ~policy ~arch (app : Workloads.Appgen.app) : result =
       r_enforcement_checks = enforcement_checks;
       r_audit_events = Monitor.Audit.count (Monitor.Console.audit console);
       r_output = output;
+      r_decisions =
+        (match client.Client.enforcement with
+        | Some e -> Security.Enforcement.decisions e
+        | None -> []);
     }
 
-let run ?(policy = standard_policy) ~arch app =
+let run ?(policy = standard_policy) ?elide ~arch app =
   Telemetry.Global.with_span ~cat:"experiment"
     ~args:
       [
@@ -246,4 +253,4 @@ let run ?(policy = standard_policy) ~arch app =
         ("arch", architecture_name arch);
       ]
     "experiment.run"
-    (fun () -> run_arch ~policy ~arch app)
+    (fun () -> run_arch ?elide ~policy ~arch app)

@@ -23,6 +23,9 @@ type result = {
   r_enforcement_checks : int;
   r_audit_events : int;
   r_output : string;
+  r_decisions : (string * bool) list;
+      (** enforcement (permission, verdict) sequence, in order; empty
+          under the monolithic architecture *)
 }
 
 val wall : result -> int64
@@ -39,6 +42,17 @@ type services = {
 }
 
 val standard_services :
-  ?policy:Security.Policy.t -> oracle:Verifier.Oracle.t -> unit -> services
+  ?policy:Security.Policy.t ->
+  ?elide:bool ->
+  oracle:Verifier.Oracle.t ->
+  unit ->
+  services
+(** [elide] (default true) lets the security rewriter drop checks the
+    proxy-side dataflow analysis proves redundant. *)
 
-val run : ?policy:Security.Policy.t -> arch:architecture -> Workloads.Appgen.app -> result
+val run :
+  ?policy:Security.Policy.t ->
+  ?elide:bool ->
+  arch:architecture ->
+  Workloads.Appgen.app ->
+  result

@@ -13,7 +13,7 @@ let supported_instr = function
   | Ir.Arrlen _
   | Ir.Arrload (_, _, _, `Int)
   | Ir.Arrstore (_, _, _, `Int)
-  | Ir.Nop ->
+  | Ir.Guard _ | Ir.Nop ->
     true
   | Ir.Call _ | Ir.Getfield _ | Ir.Putfield _ | Ir.Getstatic _
   | Ir.Putstatic _ | Ir.New _ | Ir.Anewarr _ | Ir.Throw _ | Ir.Cast _
@@ -116,6 +116,18 @@ let run (m : Ir.meth) (args : value list) : value option =
         if k < 0 || k >= Array.length arr then raise (Kernel_fault "bounds")
         else arr.(k) <- geti srcr
       | _ -> raise (Kernel_fault "arrstore of non-array"))
+    | Ir.Guard (`Null r) -> (
+      match regs.(r) with
+      | Vnull -> raise (Kernel_fault "null guard")
+      | _ -> ())
+    | Ir.Guard (`Bounds (a, i)) -> (
+      match regs.(a) with
+      | Varr arr ->
+        let k = Int32.to_int (geti i) in
+        if k < 0 || k >= Array.length arr then
+          raise (Kernel_fault "bounds guard")
+      | Vnull -> raise (Kernel_fault "null guard")
+      | _ -> raise (Kernel_fault "bounds guard of non-array"))
     | Ir.Nop -> ()
     | insn ->
       raise (Unsupported (Format.asprintf "%a" Ir.pp_instr insn)));

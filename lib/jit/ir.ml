@@ -42,6 +42,10 @@ type instr =
   | Cast of reg * reg * string
   | Instof of reg * reg * string
   | Monitor of reg * bool (* enter? *)
+  | Guard of [ `Null of reg | `Bounds of reg * reg ]
+    (* runtime safety check: trap unless reg non-null / idx within
+       array bounds. Emitted before dereference sites; the translator
+       elides one when proxy-side dataflow facts prove it redundant. *)
   | Nop
 
 type meth = {
@@ -67,7 +71,8 @@ let defs = function
   | Call { dst = Some d; _ } -> [ d ]
   | Call { dst = None; _ }
   | Jump _ | Branch _ | Switch _ | Ret _
-  | Putfield _ | Putstatic _ | Arrstore _ | Throw _ | Monitor _ | Nop ->
+  | Putfield _ | Putstatic _ | Arrstore _ | Throw _ | Monitor _ | Guard _
+  | Nop ->
     []
 
 let uses = function
@@ -89,6 +94,8 @@ let uses = function
   | Arrload (_, a, i, _) -> [ a; i ]
   | Arrstore (a, i, s, _) -> [ a; i; s ]
   | Throw r | Cast (_, r, _) | Instof (_, r, _) | Monitor (r, _) -> [ r ]
+  | Guard (`Null r) -> [ r ]
+  | Guard (`Bounds (a, i)) -> [ a; i ]
 
 let targets = function
   | Jump t | Branch (_, _, _, t) -> [ t ]
@@ -137,6 +144,9 @@ let pp_instr ppf i =
   | Instof (d, s, c) -> Format.fprintf ppf "%s <- %s instanceof %s" (r d) (r s) c
   | Monitor (x, e) ->
     Format.fprintf ppf "monitor%s %s" (if e then "enter" else "exit") (r x)
+  | Guard (`Null x) -> Format.fprintf ppf "guard nonnull %s" (r x)
+  | Guard (`Bounds (a, i)) ->
+    Format.fprintf ppf "guard bounds %s[%s]" (r a) (r i)
   | Nop -> Format.pp_print_string ppf "nop"
 
 (* Static cost of a method body on an architecture (cost units):
@@ -151,7 +161,7 @@ let static_cost (arch : Arch.t) code =
       | Const _ | Str _ | Null _ | Move _ | Bin _ | Neg _ | Cast _ | Instof _
       | Nop ->
         arch.Arch.cost_alu
-      | Jump _ | Branch _ | Switch _ | Ret _ -> arch.Arch.cost_branch
+      | Jump _ | Branch _ | Switch _ | Ret _ | Guard _ -> arch.Arch.cost_branch
       | Call _ | New _ | Newarr _ | Anewarr _ | Throw _ | Monitor _ ->
         arch.Arch.cost_call
       | Getfield _ | Putfield _ | Getstatic _ | Putstatic _ | Arrlen _

@@ -40,6 +40,9 @@ type instr =
   | Cast of reg * reg * string
   | Instof of reg * reg * string
   | Monitor of reg * bool
+  | Guard of [ `Null of reg | `Bounds of reg * reg ]
+      (** runtime safety check before a dereference; elided by the
+          translator when proxy-side dataflow facts prove it redundant *)
   | Nop
 
 type meth = { ir_name : string; ir_desc : string; code : instr array; nregs : int }

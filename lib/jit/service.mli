@@ -23,15 +23,31 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable compile_cost_us : int64;
+  mutable guards_emitted : int;
+  mutable guards_elided : int;
+      (** guards proven redundant by proxy-side dataflow facts *)
 }
 
 val create : unit -> t
 val key : cls:string -> name:string -> desc:string -> arch:string -> string
+
 val compile_method :
-  t -> Arch.t -> Bytecode.Classfile.t -> Bytecode.Classfile.meth -> entry
+  ?elide:bool ->
+  t ->
+  Arch.t ->
+  Bytecode.Classfile.t ->
+  Bytecode.Classfile.meth ->
+  entry
+(** [elide] (default true) consults the {!Analysis} pass manager so
+    guards proven redundant are dropped from the emitted IR. *)
+
 val compile_class :
-  t -> Arch.t -> Bytecode.Classfile.t -> (string * entry) list
+  ?elide:bool -> t -> Arch.t -> Bytecode.Classfile.t -> (string * entry) list
 
 val compile_for_fleet :
-  t -> Monitor.Console.t -> Bytecode.Classfile.t -> (string * entry) list
+  ?elide:bool ->
+  t ->
+  Monitor.Console.t ->
+  Bytecode.Classfile.t ->
+  (string * entry) list
 (** Compile for every native format registered at the console. *)

@@ -16,6 +16,10 @@ module D = Bytecode.Descriptor
 
 exception Unsupported of string
 
+type guard_stats = { mutable emitted : int; mutable elided : int }
+
+let fresh_guard_stats () = { emitted = 0; elided = 0 }
+
 let cond_of_icmp = function
   | I.Eq -> Ir.Eq
   | I.Ne -> Ir.Ne
@@ -24,7 +28,8 @@ let cond_of_icmp = function
   | I.Gt -> Ir.Gt
   | I.Le -> Ir.Le
 
-let translate_method pool (m : CF.meth) : Ir.meth =
+let translate_method ?facts ?(stats = fresh_guard_stats ()) pool
+    (m : CF.meth) : Ir.meth =
   match m.CF.m_code with
   | None -> raise (Unsupported "no code")
   | Some code ->
@@ -90,6 +95,45 @@ let translate_method pool (m : CF.meth) : Ir.meth =
       incr count
     in
     let start = Array.make (n + 1) 0 in
+    (* Proxy-side dataflow facts, when supplied, prove some guards
+       redundant; a guard only reaches the stream when unproven. *)
+    let null_fact idx =
+      match facts with
+      | None -> None
+      | Some f ->
+        (Lazy.force f.Analysis.Pass.nullness).Analysis.Nullness.before.(idx)
+    in
+    let range_fact idx =
+      match facts with
+      | None -> None
+      | Some f ->
+        (Lazy.force f.Analysis.Pass.ranges).Analysis.Intrange.before.(idx)
+    in
+    let guard_null idx d ~dft =
+      let proven =
+        match null_fact idx with
+        | Some st -> Analysis.Nullness.stack_nonnull st ~depth:dft
+        | None -> false
+      in
+      if proven then stats.elided <- stats.elided + 1
+      else begin
+        stats.emitted <- stats.emitted + 1;
+        emit (Ir.Guard (`Null (s (d - 1 - dft))))
+      end
+    in
+    let guard_bounds idx d ~arr_dft ~idx_dft =
+      let proven =
+        match range_fact idx with
+        | Some st ->
+          Analysis.Intrange.in_bounds st ~idx_depth:idx_dft ~arr_depth:arr_dft
+        | None -> false
+      in
+      if proven then stats.elided <- stats.elided + 1
+      else begin
+        stats.emitted <- stats.emitted + 1;
+        emit (Ir.Guard (`Bounds (s (d - 1 - arr_dft), s (d - 1 - idx_dft))))
+      end
+    in
     for idx = 0 to n - 1 do
       start.(idx) <- !count;
       let d = depth.(idx) in
@@ -155,11 +199,13 @@ let translate_method pool (m : CF.meth) : Ir.meth =
           emit
             (Ir.Putstatic (s (d - 1), fr.CP.ref_class, fr.CP.ref_name, fr.CP.ref_desc))
         | I.Getfield k ->
+          guard_null idx d ~dft:0;
           let fr = fieldref k in
           emit
             (Ir.Getfield
                (s (d - 1), s (d - 1), fr.CP.ref_class, fr.CP.ref_name, fr.CP.ref_desc))
         | I.Putfield k ->
+          guard_null idx d ~dft:1;
           let fr = fieldref k in
           emit
             (Ir.Putfield
@@ -177,6 +223,7 @@ let translate_method pool (m : CF.meth) : Ir.meth =
           let nargs =
             List.length sg.D.params + (match kind with `Static -> 0 | _ -> 1)
           in
+          if kind <> `Static then guard_null idx d ~dft:(nargs - 1);
           let args = List.init nargs (fun i -> s (d - nargs + i)) in
           let dst =
             match sg.D.ret with None -> None | Some _ -> Some (s (d - nargs))
@@ -195,20 +242,36 @@ let translate_method pool (m : CF.meth) : Ir.meth =
         | I.Newarray -> emit (Ir.Newarr (s (d - 1), s (d - 1)))
         | I.Anewarray k ->
           emit (Ir.Anewarr (s (d - 1), s (d - 1), CP.get_class_name pool k))
-        | I.Arraylength -> emit (Ir.Arrlen (s (d - 1), s (d - 1)))
-        | I.Iaload -> emit (Ir.Arrload (s (d - 2), s (d - 2), s (d - 1), `Int))
-        | I.Aaload -> emit (Ir.Arrload (s (d - 2), s (d - 2), s (d - 1), `Ref))
+        | I.Arraylength ->
+          guard_null idx d ~dft:0;
+          emit (Ir.Arrlen (s (d - 1), s (d - 1)))
+        | I.Iaload ->
+          guard_null idx d ~dft:1;
+          guard_bounds idx d ~arr_dft:1 ~idx_dft:0;
+          emit (Ir.Arrload (s (d - 2), s (d - 2), s (d - 1), `Int))
+        | I.Aaload ->
+          guard_null idx d ~dft:1;
+          guard_bounds idx d ~arr_dft:1 ~idx_dft:0;
+          emit (Ir.Arrload (s (d - 2), s (d - 2), s (d - 1), `Ref))
         | I.Iastore ->
+          guard_null idx d ~dft:2;
+          guard_bounds idx d ~arr_dft:2 ~idx_dft:1;
           emit (Ir.Arrstore (s (d - 3), s (d - 2), s (d - 1), `Int))
         | I.Aastore ->
+          guard_null idx d ~dft:2;
+          guard_bounds idx d ~arr_dft:2 ~idx_dft:1;
           emit (Ir.Arrstore (s (d - 3), s (d - 2), s (d - 1), `Ref))
         | I.Athrow -> emit (Ir.Throw (s (d - 1)))
         | I.Checkcast k ->
           emit (Ir.Cast (s (d - 1), s (d - 1), CP.get_class_name pool k))
         | I.Instanceof k ->
           emit (Ir.Instof (s (d - 1), s (d - 1), CP.get_class_name pool k))
-        | I.Monitorenter -> emit (Ir.Monitor (s (d - 1), true))
-        | I.Monitorexit -> emit (Ir.Monitor (s (d - 1), false))
+        | I.Monitorenter ->
+          guard_null idx d ~dft:0;
+          emit (Ir.Monitor (s (d - 1), true))
+        | I.Monitorexit ->
+          guard_null idx d ~dft:0;
+          emit (Ir.Monitor (s (d - 1), false))
       end
     done;
     start.(n) <- !count;

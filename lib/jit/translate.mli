@@ -11,5 +11,18 @@
 
 exception Unsupported of string
 
-val translate_method : Bytecode.Cp.t -> Bytecode.Classfile.meth -> Ir.meth
-(** @raise Unsupported for abstract/native bodies, jsr/ret, handlers. *)
+type guard_stats = { mutable emitted : int; mutable elided : int }
+(** Null/bounds guards emitted before dereference sites, and guards
+    proven redundant by proxy-side dataflow facts and dropped. *)
+
+val fresh_guard_stats : unit -> guard_stats
+
+val translate_method :
+  ?facts:Analysis.Pass.facts ->
+  ?stats:guard_stats ->
+  Bytecode.Cp.t ->
+  Bytecode.Classfile.meth ->
+  Ir.meth
+(** Without [facts] every dereference site gets a guard; with them,
+    guards the nullness/range analyses prove redundant are elided.
+    @raise Unsupported for abstract/native bodies, jsr/ret, handlers. *)

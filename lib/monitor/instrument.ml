@@ -71,7 +71,7 @@ let instrument_class ?(counters = fresh_counters ()) ~runtime_class
                 in
                 let code =
                   Rewrite.Patch.apply_insertions code
-                    (List.map (fun at -> { Rewrite.Patch.at; block }) sites)
+                    (List.map (fun at -> Rewrite.Patch.before at block) sites)
                 in
                 let sg = Bytecode.Descriptor.method_sig_of_string m.CF.m_desc in
                 let code =
@@ -130,16 +130,13 @@ let trace_blocks ?(counters = fresh_counters ()) (cf : CF.t) : CF.t =
           let insertions =
             List.map
               (fun at ->
-                {
-                  Rewrite.Patch.at;
-                  block =
-                    [
-                      I.Ldc_str (CP.Builder.string pool (label_of at));
-                      I.Invokestatic
-                        (CP.Builder.methodref pool ~cls:Profiler.tracer_class
-                           ~name:"block" ~desc:Profiler.desc_s);
-                    ];
-                })
+                Rewrite.Patch.before at
+                  [
+                    I.Ldc_str (CP.Builder.string pool (label_of at));
+                    I.Invokestatic
+                      (CP.Builder.methodref pool ~cls:Profiler.tracer_class
+                         ~name:"block" ~desc:Profiler.desc_s);
+                  ])
               leaders
           in
           let code = Rewrite.Patch.apply_insertions code insertions in

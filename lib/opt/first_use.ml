@@ -17,6 +17,31 @@ let of_order order =
 
 let of_profiler p = of_order (Monitor.Profiler.first_use_order p)
 
+(* A pseudo-profile from static call-graph reachability: methods no
+   entry point can reach are cold without ever running the program.
+   First-use order falls back to declaration order over the reachable
+   set — the proxy refines it once a runtime profile arrives. *)
+let of_static classes ~entries =
+  let r = Analysis.Reach.analyze classes ~entries in
+  let order =
+    List.concat_map
+      (fun (cf : Bytecode.Classfile.t) ->
+        List.filter_map
+          (fun (m : Bytecode.Classfile.meth) ->
+            if
+              Analysis.Reach.is_reachable r ~cls:cf.Bytecode.Classfile.name
+                ~meth:m.Bytecode.Classfile.m_name
+                ~desc:m.Bytecode.Classfile.m_desc
+            then
+              Some
+                (method_key cf.Bytecode.Classfile.name
+                   m.Bytecode.Classfile.m_name m.Bytecode.Classfile.m_desc)
+            else None)
+          cf.Bytecode.Classfile.methods)
+      classes
+  in
+  of_order order
+
 let is_used t label = Hashtbl.mem t.used label
 
 (* Partition one class's methods into hot (used, or structurally

@@ -10,6 +10,14 @@ type profile
 val method_key : string -> string -> string -> string
 val of_order : string list -> profile
 val of_profiler : Monitor.Profiler.t -> profile
+
+(** Pseudo-profile from static call-graph reachability
+    ({!Analysis.Reach}): methods no entry point reaches are classified
+    cold without a runtime profile. *)
+val of_static :
+  Bytecode.Classfile.t list ->
+  entries:(string * string * string) list ->
+  profile
 val is_used : profile -> string -> bool
 
 val partition :

@@ -7,7 +7,22 @@
    interpreted *relative to the block* (0 = first inserted
    instruction). Falling off the end of a block continues into the
    instruction the block was inserted before, so straight-line
-   instrumentation needs no explicit jump. *)
+   instrumentation needs no explicit jump.
+
+   Each insertion chooses how existing branches interact with it:
+
+   - [redirect = true] (the common case): old branch targets pointing
+     at the insertion point are redirected to the block, so the
+     instrumentation runs no matter how control reaches the guarded
+     instruction.
+   - [redirect = false]: branches keep pointing at the original
+     instruction; the block runs only when control *falls through*
+     into the insertion point. This is how a loop-invariant check is
+     hoisted to a loop header — the back edge must skip it.
+
+   At a shared insertion point, fall-through-only blocks are laid out
+   first, then redirected blocks, then the original instruction, so
+   both semantics hold simultaneously. *)
 
 module I = Bytecode.Instr
 module CF = Bytecode.Classfile
@@ -15,7 +30,10 @@ module CF = Bytecode.Classfile
 type insertion = {
   at : int; (* insert before the instruction currently at this index *)
   block : I.t list; (* targets are block-relative *)
+  redirect : bool;
 }
+
+let before ?(redirect = true) at block = { at; block; redirect }
 
 (* [n] (the code length) is a valid insertion point meaning "append at
    the very end" — used when instrumenting past the last instruction
@@ -27,22 +45,27 @@ let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
       if at < 0 || at > n then invalid_arg "Patch.apply_insertions: bad index")
     insertions;
   (* Group blocks by insertion point, preserving order of same-point
-     insertions. *)
-  let by_point = Array.make (n + 1) [] in
-  List.iter (fun ins -> by_point.(ins.at) <- by_point.(ins.at) @ [ ins.block ])
+     insertions within each redirect class. *)
+  let fall_only = Array.make (n + 1) [] in
+  let redirected = Array.make (n + 1) [] in
+  List.iter
+    (fun ins ->
+      let arr = if ins.redirect then redirected else fall_only in
+      arr.(ins.at) <- arr.(ins.at) @ [ ins.block ])
     insertions;
-  let block_len_at i =
-    List.fold_left (fun acc b -> acc + List.length b) 0 by_point.(i)
-  in
-  (* start.(i): new index of the first instruction of the insertion
-     block(s) at old index i; the old instruction i itself lands at
-     start.(i) + block_len_at i. *)
+  let len_of blocks = List.fold_left (fun acc b -> acc + List.length b) 0 blocks in
+  let fall_len_at i = len_of fall_only.(i) in
+  let block_len_at i = fall_len_at i + len_of redirected.(i) in
+  (* start.(i): new index of the first inserted instruction at old
+     index i (fall-through-only blocks first); the old instruction i
+     itself lands at start.(i) + block_len_at i. *)
   let start = Array.make (n + 1) 0 in
   for i = 1 to n do
     start.(i) <- start.(i - 1) + block_len_at (i - 1) + 1
   done;
-  (* Old branch target t is redirected to start.(t): instrumentation
-     guarding an instruction runs no matter how control reaches it. *)
+  (* Old branch target t skips any fall-through-only blocks but runs
+     the redirected ones. *)
+  let retarget t = start.(t) + fall_len_at t in
   let out = ref [] in
   let emit i = out := i :: !out in
   let emit_blocks i =
@@ -52,11 +75,11 @@ let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
         let b = !base in
         List.iter (fun ins -> emit (I.map_targets (fun j -> b + j) ins)) block;
         base := b + List.length block)
-      by_point.(i)
+      (fall_only.(i) @ redirected.(i))
   in
   for i = 0 to n - 1 do
     emit_blocks i;
-    emit (I.map_targets (fun t -> start.(t)) code.CF.instrs.(i))
+    emit (I.map_targets retarget code.CF.instrs.(i))
   done;
   (* Trailing block at index n, if any. *)
   emit_blocks n;
@@ -67,7 +90,7 @@ let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
         {
           CF.h_start = start.(h.CF.h_start);
           h_end = start.(h.CF.h_end);
-          h_target = start.(h.CF.h_target);
+          h_target = retarget h.CF.h_target;
           h_catch = h.CF.h_catch;
         })
       code.CF.handlers
@@ -89,6 +112,23 @@ let refit_bounds pool ~params ~is_static (code : CF.code) : CF.code =
   in
   { code with CF.max_stack; max_locals }
 
+(* Dataflow-exact bounds over *reachable* code. Unlike [refit_bounds],
+   dead instructions — e.g. left stranded after an unconditional
+   branch by an eliding pass — contribute nothing, and the original
+   bounds are not a floor: a method whose deepest-stack path was
+   removed gets smaller bounds back. Falls back to [refit_bounds]
+   when the code is outside the CFG builder's model. *)
+let recompute pool ~params ~is_static (code : CF.code) : CF.code =
+  match Analysis.Cfg.of_code code with
+  | cfg ->
+    let max_stack = Analysis.Stackeff.max_stack pool cfg in
+    let max_locals = Analysis.Stackeff.max_locals ~params ~is_static cfg in
+    { code with CF.max_stack; max_locals }
+  | exception
+      ( Analysis.Cfg.Malformed _ | Bytecode.Cp.Invalid_index _
+      | Bytecode.Cp.Wrong_kind _ | Bytecode.Descriptor.Bad_descriptor _ ) ->
+    refit_bounds pool ~params ~is_static code
+
 let is_return = function
   | I.Ireturn | I.Areturn | I.Return -> true
   | _ -> false
@@ -108,11 +148,10 @@ let instrument_method pool (m : CF.meth) ~entry ~before_return : CF.meth =
   | None -> m
   | Some code ->
     let insertions =
-      (if entry = [] then [] else [ { at = 0; block = entry } ])
+      (if entry = [] then [] else [ before 0 entry ])
       @
       if before_return = [] then []
-      else
-        List.map (fun at -> { at; block = before_return }) (return_sites code)
+      else List.map (fun at -> before at before_return) (return_sites code)
     in
     if insertions = [] then m
     else

@@ -6,15 +6,24 @@
     the result is again a well-formed method. Branch targets {e inside}
     an inserted block are block-relative (0 = first inserted
     instruction); falling off the end of a block continues into the
-    instruction it was inserted before. Old branch targets are
-    redirected to the inserted block, so instrumentation guarding an
-    instruction runs no matter how control reaches it. *)
+    instruction it was inserted before.
+
+    With [redirect = true] old branch targets are redirected to the
+    inserted block, so instrumentation guarding an instruction runs no
+    matter how control reaches it. With [redirect = false] branches
+    keep their original target and the block runs only on fall-through
+    — how a hoisted loop-invariant check is kept off the back edge. *)
 
 type insertion = {
   at : int;  (** insert before the instruction currently at this index;
                  the code length itself is a valid point (append) *)
   block : Bytecode.Instr.t list;  (** targets are block-relative *)
+  redirect : bool;
 }
+
+val before : ?redirect:bool -> int -> Bytecode.Instr.t list -> insertion
+(** [before at block] — an insertion before [at]; [redirect] defaults
+    to [true]. *)
 
 val apply_insertions :
   Bytecode.Classfile.code -> insertion list -> Bytecode.Classfile.code
@@ -28,6 +37,17 @@ val refit_bounds :
   Bytecode.Classfile.code
 (** Recompute [max_stack]/[max_locals] after patching (never below the
     original bounds). *)
+
+val recompute :
+  Bytecode.Cp.t ->
+  params:int ->
+  is_static:bool ->
+  Bytecode.Classfile.code ->
+  Bytecode.Classfile.code
+(** Dataflow-exact bounds over reachable code: unreachable
+    instructions contribute nothing and the original bounds are not a
+    floor. Falls back to {!refit_bounds} on code outside the CFG
+    builder's model. *)
 
 val return_sites : Bytecode.Classfile.code -> int list
 

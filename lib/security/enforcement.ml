@@ -41,7 +41,12 @@ type t = {
   mutable downloads : int;
   mutable denials : int;
   mutable invalidations : int;
+  mutable decisions_rev : (Policy.permission * bool) list;
+      (* every (permission, verdict) in reverse order — the
+         observational record elision must preserve a subsequence of *)
 }
+
+let decisions t = List.rev t.decisions_rev
 
 let set_domain t sid =
   t.sid <- sid;
@@ -76,15 +81,19 @@ let allowed ?vm t permission =
     | Some vm -> Jvm.Vmstate.add_cost vm cost_cached_check
     | None -> ()
   end;
-  match Hashtbl.find_opt t.cache permission with
-  | Some v ->
-    t.cache_hits <- t.cache_hits + 1;
-    v
-  | None ->
-    (* Permission not in the domain slice: the policy default governs;
-       remember it locally. *)
-    Hashtbl.replace t.cache permission t.default_allow;
-    t.default_allow
+  let verdict =
+    match Hashtbl.find_opt t.cache permission with
+    | Some v ->
+      t.cache_hits <- t.cache_hits + 1;
+      v
+    | None ->
+      (* Permission not in the domain slice: the policy default governs;
+         remember it locally. *)
+      Hashtbl.replace t.cache permission t.default_allow;
+      t.default_allow
+  in
+  t.decisions_rev <- (permission, verdict) :: t.decisions_rev;
+  verdict
 
 (* Resource-qualified decision: the named resource's domain (DTOS
    object SID) qualifies the permission, e.g. "file.read@homedirs". *)
@@ -113,6 +122,7 @@ let install vm ~server ~sid =
       downloads = 0;
       denials = 0;
       invalidations = 0;
+      decisions_rev = [];
     }
   in
   Server.subscribe server (fun () -> invalidate t);

@@ -27,7 +27,13 @@ type t = {
   mutable downloads : int;
   mutable denials : int;
   mutable invalidations : int;
+  mutable decisions_rev : (Policy.permission * bool) list;
 }
+
+val decisions : t -> (Policy.permission * bool) list
+(** Every (permission, verdict) decided, in order. The elided program's
+    sequence must be a subsequence of the unelided one with identical
+    per-permission verdicts. *)
 
 val set_domain : t -> Policy.sid -> unit
 val invalidate : t -> unit

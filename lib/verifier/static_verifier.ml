@@ -128,7 +128,7 @@ let rewrite_with_assumptions (cf : CF.t) (asms : Assumptions.t) :
             in
             let code =
               Rewrite.Patch.apply_insertions code
-                [ { Rewrite.Patch.at = 0; block } ]
+                [ Rewrite.Patch.before 0 block ]
             in
             let sg = D.method_sig_of_string m.CF.m_desc in
             let code =

@@ -54,7 +54,7 @@ let test_insert_preserves_semantics () =
   (* Insert stack-neutral no-ops before every instruction. *)
   let insertions =
     List.init (Array.length code.CF.instrs) (fun at ->
-        { P.at; block = [ I.Nop; I.Iconst 7l; I.Pop ] })
+        P.before at [ I.Nop; I.Iconst 7l; I.Pop ])
   in
   let code' = P.apply_insertions code insertions in
   let code' = P.refit_bounds subject.CF.pool ~params:1 ~is_static:true code' in
@@ -103,7 +103,7 @@ let test_branch_targets_hit_inserted_code () =
     I.Invokestatic
       (Bytecode.Cp.Builder.methodref pool ~cls:"Ctr" ~name:"bump" ~desc:"()V")
   in
-  let code' = P.apply_insertions code [ { P.at = target; block = [ bump ] } ] in
+  let code' = P.apply_insertions code [ P.before target [ bump ] ] in
   let patched =
     {
       (CF.map_methods
@@ -137,7 +137,7 @@ let test_block_relative_targets () =
     (* target 4 = one past block end - 0? block length is 4; jumping to
        4 lands on the original instruction *)
   in
-  let code' = P.apply_insertions code [ { P.at = 0; block } ] in
+  let code' = P.apply_insertions code [ P.before 0 block ] in
   let code' = P.refit_bounds subject.CF.pool ~params:1 ~is_static:true code' in
   let patched =
     CF.map_methods
@@ -170,7 +170,7 @@ let test_handlers_remapped () =
   let code = code_of cls "f" "()I" in
   let insertions =
     List.init (Array.length code.CF.instrs) (fun at ->
-        { P.at; block = [ I.Nop ] })
+        P.before at [ I.Nop ])
   in
   let code' = P.apply_insertions code insertions in
   let patched =
@@ -259,7 +259,7 @@ let prop_random_insertions =
       let len = Array.length code.CF.instrs in
       let insertions =
         List.map
-          (fun p -> { P.at = p mod (len + 1); block = [ I.Iconst 3l; I.Pop ] })
+          (fun p -> P.before (p mod (len + 1)) [ I.Iconst 3l; I.Pop ])
           points
       in
       let code' = P.apply_insertions code insertions in
