@@ -205,6 +205,18 @@ let popn n st =
 
 let push x = function Some s -> Some (x :: s) | None -> None
 
+(* A write to local [n] (store or iinc) makes every remaining stack
+   slot that recorded [n] as its origin stale: the slot still holds the
+   *old* value, so constraining local [n] through it at a branch would
+   narrow the wrong value. Sever the link; the slot's interval stays. *)
+let clear_origin n = function
+  | None -> None
+  | Some s ->
+    Some
+      (List.map
+         (fun a -> if a.origin = Some n then { a with origin = None } else a)
+         s)
+
 let set_local locals n x =
   if n < Array.length locals then begin
     let locals = Array.copy locals in
@@ -233,13 +245,16 @@ let transfer pool ~at:_ ~instr (st : state) : state =
     { st with stack = push av stack }
   | I.Istore n | I.Astore n ->
     let x, stack = pop stack in
-    { locals = set_local locals n { x with origin = Some n }; stack }
+    {
+      locals = set_local locals n { x with origin = Some n };
+      stack = clear_origin n stack;
+    }
   | I.Iinc (n, d) ->
     if n < Array.length locals then
       let x = locals.(n) in
       {
-        st with
         locals = set_local locals n { x with iv = add_iv x.iv (const_iv d) };
+        stack = clear_origin n stack;
       }
     else st
   | I.Iadd | I.Isub | I.Imul | I.Irem | I.Iand | I.Idiv | I.Ishl | I.Ishr
@@ -354,21 +369,23 @@ let negate_cmp = function
   | I.Gt -> I.Le
   | I.Le -> I.Gt
 
+(* When the branch target *is* the fall-through (degenerate but
+   decodable bytecode), both runtime outcomes reach the same successor,
+   so neither the comparison nor its negation holds there — refine
+   nothing. *)
 let refine ~at ~instr ~target ~pre post =
   let apply cmp v1 v2 =
     let b1, b2 = bounds_of_cmp cmp v1.iv v2.iv in
     constrain (constrain post v1 b1) v2 b2
   in
   match instr with
-  | I.If_icmp (cmp, t) -> (
-    let taken = target = t && target <> at + 1 in
-    let cmp = if taken then cmp else negate_cmp cmp in
+  | I.If_icmp (cmp, t) when t <> at + 1 -> (
+    let cmp = if target = t then cmp else negate_cmp cmp in
     match pre.stack with
     | Some (v2 :: v1 :: _) -> apply cmp v1 v2
     | _ -> post)
-  | I.If_z (cmp, t) -> (
-    let taken = target = t && target <> at + 1 in
-    let cmp = if taken then cmp else negate_cmp cmp in
+  | I.If_z (cmp, t) when t <> at + 1 -> (
+    let cmp = if target = t then cmp else negate_cmp cmp in
     match pre.stack with
     | Some (v1 :: _) -> apply cmp v1 (int_av (const_iv 0))
     | _ -> post)

@@ -87,6 +87,19 @@ let settle_nonnull locals av =
     locals
   | _ -> locals
 
+(* A write to local [n] makes every remaining stack slot that recorded
+   [n] as its origin stale: the slot still holds the *old* value, so
+   settling or refining local [n] through it would be unsound
+   (e.g. `aload 1; aconst_null; astore 1; getfield` must not mark
+   local 1 Nonnull). Sever the link; the slot's own verdict stays. *)
+let clear_origin n = function
+  | None -> None
+  | Some s ->
+    Some
+      (List.map
+         (fun a -> if a.origin = Some n then { a with origin = None } else a)
+         s)
+
 let set_local locals n x =
   if n < Array.length locals then begin
     let locals = Array.copy locals in
@@ -101,7 +114,8 @@ let degrade st =
 let transfer pool ~at:_ ~instr (st : state) : state =
   let { locals; stack } = st in
   match instr with
-  | I.Nop | I.Iinc _ | I.Goto _ | I.Ret _ | I.Return -> st
+  | I.Nop | I.Goto _ | I.Ret _ | I.Return -> st
+  | I.Iinc (n, _) -> { st with stack = clear_origin n stack }
   | I.Iconst _ -> { st with stack = push nonnull stack }
   | I.Ldc_str _ | I.New _ -> { st with stack = push nonnull stack }
   | I.Aconst_null -> { st with stack = push null_v stack }
@@ -113,7 +127,10 @@ let transfer pool ~at:_ ~instr (st : state) : state =
     { st with stack = push av stack }
   | I.Istore n | I.Astore n ->
     let x, stack = pop stack in
-    { locals = set_local locals n { x with origin = Some n }; stack }
+    {
+      locals = set_local locals n { x with origin = Some n };
+      stack = clear_origin n stack;
+    }
   | I.Iadd | I.Isub | I.Imul | I.Idiv | I.Irem | I.Ishl | I.Ishr | I.Iand
   | I.Ior | I.Ixor ->
     { st with stack = push nonnull (popn 2 stack) }
@@ -192,11 +209,13 @@ let transfer pool ~at:_ ~instr (st : state) : state =
 
 (* Branch refinement: `ifnull` / `ifnonnull` tell us the popped
    value's nullness on each outgoing edge; propagate to its origin
-   local. *)
+   local. When the branch target *is* the fall-through (degenerate but
+   decodable bytecode), both runtime outcomes reach the same successor
+   and neither verdict holds there — refine nothing. *)
 let refine ~at ~instr ~target ~pre post =
   match instr with
-  | I.If_null (when_null, t) -> (
-    let taken = target = t && target <> at + 1 in
+  | I.If_null (when_null, t) when t <> at + 1 -> (
+    let taken = target = t in
     let verdict =
       if taken = when_null then Null else Nonnull
     in

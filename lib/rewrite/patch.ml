@@ -117,16 +117,22 @@ let refit_bounds pool ~params ~is_static (code : CF.code) : CF.code =
    branch by an eliding pass — contribute nothing, and the original
    bounds are not a floor: a method whose deepest-stack path was
    removed gets smaller bounds back. Falls back to [refit_bounds]
-   when the code is outside the CFG builder's model. *)
+   when the code is outside the CFG builder's model — including
+   [Solver.Diverged]: the depth lattice has no widening, so a
+   net-stack-increasing loop (unverifiable, but decodable) never
+   reaches a fixpoint. *)
 let recompute pool ~params ~is_static (code : CF.code) : CF.code =
-  match Analysis.Cfg.of_code code with
-  | cfg ->
+  match
+    let cfg = Analysis.Cfg.of_code code in
     let max_stack = Analysis.Stackeff.max_stack pool cfg in
     let max_locals = Analysis.Stackeff.max_locals ~params ~is_static cfg in
     { code with CF.max_stack; max_locals }
+  with
+  | code -> code
   | exception
-      ( Analysis.Cfg.Malformed _ | Bytecode.Cp.Invalid_index _
-      | Bytecode.Cp.Wrong_kind _ | Bytecode.Descriptor.Bad_descriptor _ ) ->
+      ( Analysis.Cfg.Malformed _ | Analysis.Solver.Diverged _
+      | Bytecode.Cp.Invalid_index _ | Bytecode.Cp.Wrong_kind _
+      | Bytecode.Descriptor.Bad_descriptor _ ) ->
     refit_bounds pool ~params ~is_static code
 
 let is_return = function

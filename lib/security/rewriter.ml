@@ -100,7 +100,11 @@ let check_block pool permission ~with_resource =
    they cannot throw, write shared state, allocate, or perform I/O, so
    executing a hoisted check before them instead of after is
    indistinguishable (the check itself either passes silently or
-   throws before anything visible happened). *)
+   throws before anything visible happened). Local writes count as
+   unobservable only because [elision_plan] refuses to hoist out of a
+   loop covered by an exception handler — a same-method handler
+   catching the denial could otherwise observe locals written before
+   an in-loop check but not before a hoisted one. *)
 let hoist_transparent = function
   | I.Nop | I.Iconst _ | I.Ldc_str _ | I.Aconst_null | I.Iload _ | I.Istore _
   | I.Aload _ | I.Astore _ | I.Iinc _ | I.Iadd | I.Isub | I.Imul | I.Ineg
@@ -231,6 +235,24 @@ let elision_plan (code : CF.code) sites : decision =
           !ok)
         body true
     in
+    (* A handler covering any part of the loop body can catch the
+       denial exception and observe locals; an in-loop check throws
+       after the iteration's local writes, a hoisted one before them,
+       so the handler would see different state. Never hoist out of a
+       handler-covered loop. *)
+    let handler_free body =
+      Hashtbl.fold
+        (fun b () acc ->
+          acc
+          &&
+          let blk = Analysis.Cfg.block cfg b in
+          List.for_all
+            (fun h ->
+              blk.Analysis.Cfg.last < h.CF.h_start
+              || blk.Analysis.Cfg.first >= h.CF.h_end)
+            code.CF.handlers)
+        body true
+    in
     let hoists = ref [] in
     let hoisted_sites = ref [] in
     List.iter
@@ -243,6 +265,7 @@ let elision_plan (code : CF.code) sites : decision =
               (fun l ->
                 Hashtbl.mem l.Analysis.Dom.body b
                 && kill_free l.Analysis.Dom.body
+                && handler_free l.Analysis.Dom.body
                 &&
                 let header = Analysis.Cfg.block cfg l.Analysis.Dom.header in
                 (* The site must run on every iteration… *)

@@ -249,6 +249,140 @@ let test_intrange () =
   check Alcotest.bool "index = length is not in bounds" false
     (in_bounds_at range_cls "ob")
 
+(* Regression: a store to a local must sever the origin link held by
+   stale stack slots. Here local 1 is overwritten with null while its
+   *old* (non-null) value is still on the stack; the dereference of
+   that old value must not settle the overwritten local as non-null. *)
+let test_nullness_stale_origin () =
+  let cls =
+    B.class_ "NStale"
+      [
+        B.meth ~flags:static "s" "()I"
+          [
+            B.Const 8;
+            B.Newarray;
+            B.Astore 1;
+            B.Aload 1;
+            B.Null;
+            B.Astore 1;
+            (* deref of the stale stack value: must not refine local 1 *)
+            B.Arraylength;
+            B.Pop;
+            B.Aload 1;
+            B.Arraylength;
+            B.Ireturn;
+          ];
+      ]
+  in
+  let f = facts_of cls "s" "()I" in
+  let last = ref (-1) in
+  Array.iteri
+    (fun i ins -> if ins = I.Arraylength then last := i)
+    f.A.Pass.code.CF.instrs;
+  match (Lazy.force f.A.Pass.nullness).A.Nullness.before.(!last) with
+  | Some st ->
+    check Alcotest.bool
+      "null local is not marked non-null through a stale stack slot" false
+      (A.Nullness.stack_nonnull st ~depth:0)
+  | None -> fail "final arraylength unreachable?"
+
+(* Regression: `ifnull` whose target *is* the fall-through reaches the
+   same successor whether the value is null or not, so neither edge may
+   refine the origin local. *)
+let test_nullness_degenerate_branch () =
+  let cls =
+    B.class_ "NDegen"
+      [
+        B.meth ~flags:static "d" "(Ljava/lang/Object;)I"
+          [
+            B.Aload 0;
+            B.If_null (true, "next");
+            B.Label "next";
+            B.Aload 0;
+            B.Arraylength;
+            B.Ireturn;
+          ];
+      ]
+  in
+  let f = facts_of cls "d" "(Ljava/lang/Object;)I" in
+  let at = idx_of f.A.Pass.code (fun i -> i = I.Arraylength) in
+  match (Lazy.force f.A.Pass.nullness).A.Nullness.before.(at) with
+  | Some st ->
+    check Alcotest.bool
+      "self-targeting ifnull proves nothing about its operand" false
+      (A.Nullness.stack_nonnull st ~depth:0)
+  | None -> fail "arraylength unreachable?"
+
+(* Regression (intrange flavour of the stale-origin bug): local 0 is
+   overwritten with an unbounded value while its old value is compared
+   on the stack; the branch must not narrow the *new* local through
+   the stale origin link. *)
+let test_intrange_stale_origin () =
+  let cls =
+    B.class_ "RStale"
+      [
+        B.meth ~flags:static "s" "(II)I"
+          [
+            B.Iload 0;
+            B.Iload 1;
+            B.Istore 0;
+            B.Const 8;
+            (* compares the OLD local 0; the new one is unbounded *)
+            B.If_icmp (I.Ge, "exit");
+            B.Iload 0;
+            B.Ireturn;
+            B.Label "exit";
+            B.Const 0;
+            B.Ireturn;
+          ];
+      ]
+  in
+  let f = facts_of cls "s" "(II)I" in
+  let at = idx_of f.A.Pass.code (fun i -> i = I.Ireturn) in
+  match (Lazy.force f.A.Pass.ranges).A.Intrange.before.(at) with
+  | Some st -> (
+    match A.Intrange.stack_at st ~depth:0 with
+    | Some av ->
+      check
+        Alcotest.(option int)
+        "overwritten local is not narrowed through a stale stack slot" None
+        av.A.Intrange.iv.A.Intrange.hi
+    | None -> fail "empty stack at return?")
+  | None -> fail "return unreachable?"
+
+(* Regression: an integer branch whose target is the fall-through
+   proves nothing on either edge. *)
+let test_intrange_degenerate_branch () =
+  let cls =
+    B.class_ "RDegen"
+      [
+        B.meth ~flags:static "d" "(I)I"
+          [
+            B.Iload 0;
+            B.If_z (I.Ge, "next");
+            B.Label "next";
+            B.Iload 0;
+            B.Ireturn;
+          ];
+      ]
+  in
+  let f = facts_of cls "d" "(I)I" in
+  let at = idx_of f.A.Pass.code (fun i -> i = I.Ireturn) in
+  match (Lazy.force f.A.Pass.ranges).A.Intrange.before.(at) with
+  | Some st -> (
+    match A.Intrange.stack_at st ~depth:0 with
+    | Some av ->
+      check
+        Alcotest.(option int)
+        "self-targeting ifge does not bound the operand below" None
+        av.A.Intrange.iv.A.Intrange.lo;
+      check
+        Alcotest.(option int)
+        "self-targeting ifge does not bound the operand above" None
+        av.A.Intrange.iv.A.Intrange.hi
+    | None -> fail "empty stack at return?")
+  | None -> fail "return unreachable?"
+
 let test_checks_available () =
   let body tail = (B.Const 1 :: tail) @ [ B.Const 0; B.Ireturn ] in
   let cls =
@@ -358,6 +492,24 @@ let test_recompute_dead_code () =
   check Alcotest.bool "regression: recompute below refit" true
     (exact.CF.max_stack < refit.CF.max_stack);
   check Alcotest.int "locals unchanged" 1 exact.CF.max_locals
+
+(* Regression: a net-stack-increasing loop has no depth fixpoint (the
+   depth lattice joins by max, unwidened); recompute must fall back to
+   the conservative estimate instead of leaking Solver.Diverged. *)
+let test_recompute_divergent_loop () =
+  let code =
+    {
+      CF.max_stack = 1;
+      max_locals = 1;
+      instrs = [| I.Iconst 1l; I.Goto 0 |];
+      handlers = [];
+    }
+  in
+  let r =
+    Rewrite.Patch.recompute diamond_cls.CF.pool ~params:0 ~is_static:true code
+  in
+  check Alcotest.bool "divergent code keeps a conservative bound" true
+    (r.CF.max_stack >= 1)
 
 (* ------------------------------------------------------------------ *)
 (* JIT guard elision                                                   *)
@@ -592,7 +744,15 @@ let () =
       ( "domains",
         [
           Alcotest.test_case "nullness" `Quick test_nullness;
+          Alcotest.test_case "nullness: stale origin severed" `Quick
+            test_nullness_stale_origin;
+          Alcotest.test_case "nullness: degenerate branch" `Quick
+            test_nullness_degenerate_branch;
           Alcotest.test_case "integer ranges" `Quick test_intrange;
+          Alcotest.test_case "ranges: stale origin severed" `Quick
+            test_intrange_stale_origin;
+          Alcotest.test_case "ranges: degenerate branch" `Quick
+            test_intrange_degenerate_branch;
           Alcotest.test_case "available checks" `Quick test_checks_available;
         ] );
       ( "reach",
@@ -604,6 +764,8 @@ let () =
         [
           Alcotest.test_case "dead code after unconditional branch" `Quick
             test_recompute_dead_code;
+          Alcotest.test_case "divergent stack loop falls back" `Quick
+            test_recompute_divergent_loop;
         ] );
       ( "guards",
         [

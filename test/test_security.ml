@@ -325,6 +325,62 @@ let test_resource_check_preserves_stack () =
     check Alcotest.int32 "read the right byte" (Int32.of_int (Char.code 'Q')) n
   | _ -> fail "resource check corrupted the call"
 
+(* --- Loop-invariant hoisting vs exception handlers. --- *)
+
+let hoist_policy =
+  Security.Policy_xml.parse
+    {|<policy default="allow">
+        <operation permission="op.use" class="util/Op" method="use"/>
+      </policy>|}
+
+(* The builder's counted-loop idiom with a protected call in the body:
+   eligible for preheader hoisting when nothing else interferes. *)
+let counted_loop_body =
+  [
+    B.Const 3;
+    B.Istore 1;
+    B.Label "head";
+    B.Iload 1;
+    B.If_z (Bytecode.Instr.Le, "exit");
+    B.Invokestatic ("util/Op", "use", "()V");
+    B.Inc (1, -1);
+    B.Goto "head";
+    B.Label "exit";
+    B.Const 0;
+    B.Ireturn;
+  ]
+
+let test_hoist_plain_loop () =
+  let cls =
+    B.class_ "loop/Plain" [ B.meth ~flags:static "f" "()I" counted_loop_body ]
+  in
+  let counters = Security.Rewriter.fresh_counters () in
+  let _ = Security.Rewriter.rewrite_class ~counters hoist_policy cls in
+  check Alcotest.int "uncovered loop hoists its invariant check" 1
+    counters.Security.Rewriter.checks_hoisted
+
+(* Regression: a handler covering the loop body can catch the denial
+   and observe locals, so the in-loop check (which throws *after* the
+   iteration's stores) is not equivalent to a hoisted one (which
+   throws before them). Hoisting must be refused. *)
+let test_hoist_blocked_by_handler () =
+  let cls =
+    B.class_ "loop/Covered"
+      [
+        B.meth ~flags:static
+          ~handlers:[ ("head", "exit", "h", None) ]
+          "f" "()I"
+          (counted_loop_body
+          @ [ B.Label "h"; B.Pop; B.Const 1; B.Ireturn ]);
+      ]
+  in
+  let counters = Security.Rewriter.fresh_counters () in
+  let _ = Security.Rewriter.rewrite_class ~counters hoist_policy cls in
+  check Alcotest.int "handler-covered loop refuses hoisting" 0
+    counters.Security.Rewriter.checks_hoisted;
+  check Alcotest.int "the in-loop check stays" 1
+    counters.Security.Rewriter.checks_inserted
+
 (* Property: the enforcement decision always equals the central policy
    decision, before and after arbitrary rule flips. *)
 let prop_enforcement_agrees_with_policy =
@@ -389,5 +445,12 @@ let () =
           Alcotest.test_case "resource check preserves stack" `Quick
             test_resource_check_preserves_stack;
           QCheck_alcotest.to_alcotest prop_enforcement_agrees_with_policy;
+        ] );
+      ( "hoisting",
+        [
+          Alcotest.test_case "uncovered loop hoists" `Quick
+            test_hoist_plain_loop;
+          Alcotest.test_case "handler-covered loop refuses" `Quick
+            test_hoist_blocked_by_handler;
         ] );
     ]
