@@ -1,4 +1,4 @@
-.PHONY: all build test lint check clean
+.PHONY: all build test lint farm-smoke check clean
 
 all: build
 
@@ -14,12 +14,20 @@ test:
 lint:
 	dune exec bin/dvmctl.exe -- lint
 
+# Smoke-scale run of the proxy-farm experiment: a quick shard sweep
+# with caching off (the scaling curve) and one cached run exercising
+# single-flight coalescing and the shared L2.
+farm-smoke:
+	dune exec bin/dvmctl.exe -- farm --clients 24 --shards 1,2 --duration 5 --applets 8
+	dune exec bin/dvmctl.exe -- farm --clients 24 --shards 2 --duration 5 --applets 4 --cache 16 --l2 32
+
 # The gate a PR must pass: everything builds, every test is green, and
 # no build artifacts are tracked or dirtying the tree.
 check:
 	dune build @all
 	dune runtest
 	dune exec bin/dvmctl.exe -- lint
+	$(MAKE) farm-smoke
 	@if git ls-files | grep -q '^_build/'; then \
 	  echo "check: _build/ files are tracked in git" >&2; exit 1; fi
 	@if git status --porcelain | grep -q '_build'; then \

@@ -848,6 +848,45 @@ let faults () =
   List.iter (Printf.printf "  %s\n")
     (List.nth crash 1).Dvm.Availability.av_trace
 
+(* --- Farm: the sharded-proxy scaling experiment. --- *)
+
+let farm () =
+  section "Proxy farm: consistent-hash sharding, single-flight, shared L2";
+  subsection "aggregate throughput vs shard count (caching off, 400 clients)";
+  Printf.printf
+    "(per-client state spreads over the shards; one proxy at 400 clients\n\
+    \ is far past its 64 MB knee, four are comfortably under theirs)\n\n";
+  Printf.printf "%7s %16s %12s %10s %9s\n" "Shards" "Throughput(B/s)"
+    "Latency(ms)" "Completed" "CPU util";
+  let worst =
+    Dvm.Scaling.farm_sweep ~duration_s:20 ~clients:400 [ 1; 2; 4; 8 ]
+  in
+  List.iter
+    (fun p ->
+      Printf.printf "%7d %16.0f %12.0f %10d %9.2f\n" p.Dvm.Scaling.f_shards
+        p.Dvm.Scaling.f_throughput_bytes_per_s
+        (p.Dvm.Scaling.f_mean_latency_us /. 1000.0)
+        p.Dvm.Scaling.f_requests_completed p.Dvm.Scaling.f_utilization)
+    worst;
+  (match worst with
+  | one :: _ ->
+    let four = List.nth worst 2 in
+    Printf.printf "\n1 -> 4 shards: %.1fx aggregate throughput\n"
+      (four.Dvm.Scaling.f_throughput_bytes_per_s
+      /. one.Dvm.Scaling.f_throughput_bytes_per_s)
+  | [] -> ());
+  subsection "single-flight coalescing (shared popular set, caches on)";
+  let cached =
+    Dvm.Scaling.run_farm ~duration_s:20 ~clients:200 ~applet_count:8
+      ~cache_capacity:(16 * 1024 * 1024) ~l2_capacity:(32 * 1024 * 1024)
+      ~shards:4 ()
+  in
+  Printf.printf
+    "4 shards, 200 clients, 8 popular applets: %d completions from %d\n\
+     pipeline runs (%d requests coalesced into in-flight runs, %d L2 hits)\n"
+    cached.Dvm.Scaling.f_requests_completed cached.Dvm.Scaling.f_pipeline_runs
+    cached.Dvm.Scaling.f_coalesced cached.Dvm.Scaling.f_l2_hits
+
 let all () =
   with_phase "fig5" fig5;
   with_phase "fig6" fig6;
@@ -861,6 +900,7 @@ let all () =
   with_phase "ablations" ablations;
   with_phase "elide" elide;
   with_phase "faults" faults;
+  with_phase "farm" farm;
   micro ()
 
 let () =
@@ -878,11 +918,12 @@ let () =
   | "ablations" -> with_phase "ablations" ablations
   | "elide" -> with_phase "elide" elide
   | "faults" -> with_phase "faults" faults
+  | "farm" -> with_phase "farm" farm
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown target %S (expected fig5..fig12, applets, ablations, elide, \
-       faults, micro, all)\n"
+       faults, farm, micro, all)\n"
       other;
     exit 1

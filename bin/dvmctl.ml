@@ -10,6 +10,8 @@
      dvmctl analyze [--dot] <file> dump CFG, dominators and dataflow facts
      dvmctl lint                  analyzer self-check over bundled workloads
      dvmctl bench <target>        shortcut for bench/main.exe targets
+     dvmctl farm [opts]           sweep the sharded proxy farm over shard
+                                  counts (Figure-10-style scaling curve)
 *)
 
 open Cmdliner
@@ -447,6 +449,57 @@ let faults seed crash losses replicas trace =
   end;
   0
 
+(* --- farm: the sharded-proxy scaling experiment. --- *)
+
+let farm clients shard_counts duration applets cache_mb l2_mb seed =
+  let cache_capacity = cache_mb * 1024 * 1024 in
+  let l2_capacity = l2_mb * 1024 * 1024 in
+  Printf.printf
+    "proxy farm: %d clients, %ds, %d applets, L1 %d MB/shard, shared L2 %d MB\n%s\n"
+    clients duration applets cache_mb l2_mb
+    (if cache_capacity = 0 && l2_capacity = 0 then
+       "(caching off: every request unique, the Figure-10 worst case)\n"
+     else "(caches on: clients share the popular applet set)\n");
+  Printf.printf "%7s %16s %12s %10s %10s %10s %8s %9s\n" "Shards"
+    "Throughput(B/s)" "Latency(ms)" "Completed" "Pipeline" "Coalesced"
+    "L2 hits" "CPU util";
+  let points =
+    Dvm.Scaling.farm_sweep ~duration_s:duration ~seed ~applet_count:applets
+      ~cache_capacity ~l2_capacity ~clients shard_counts
+  in
+  List.iter
+    (fun p ->
+      Printf.printf "%7d %16.0f %12.0f %10d %10d %10d %8d %9.2f\n"
+        p.Dvm.Scaling.f_shards p.Dvm.Scaling.f_throughput_bytes_per_s
+        (p.Dvm.Scaling.f_mean_latency_us /. 1000.0)
+        p.Dvm.Scaling.f_requests_completed p.Dvm.Scaling.f_pipeline_runs
+        p.Dvm.Scaling.f_coalesced p.Dvm.Scaling.f_l2_hits
+        p.Dvm.Scaling.f_utilization)
+    points;
+  (* The served bytes must not depend on who did the work: check the
+     per-applet digests agree wherever two shard counts served the
+     same applet. *)
+  (match points with
+  | [] | [ _ ] -> ()
+  | base :: rest ->
+    let mismatches = ref 0 and compared = ref 0 in
+    List.iter
+      (fun p ->
+        List.iter
+          (fun (k, d) ->
+            match List.assoc_opt k base.Dvm.Scaling.f_served with
+            | Some d0 ->
+              incr compared;
+              if not (String.equal d d0) then incr mismatches
+            | None -> ())
+          p.Dvm.Scaling.f_served)
+      rest;
+    Printf.printf
+      "\nserved-bytes invariance: %d applet digests compared across shard \
+       counts, %d mismatches\n"
+      !compared !mismatches);
+  0
+
 (* --- Cmdliner plumbing. --- *)
 
 let gen_cmd =
@@ -606,13 +659,57 @@ let faults_cmd =
           loss rate and replica count")
     Term.(const faults $ seed $ crash $ losses $ replicas $ trace)
 
+let farm_cmd =
+  let clients =
+    Arg.(value & opt int 400
+         & info [ "clients" ] ~docv:"N" ~doc:"concurrent browsing clients")
+  in
+  let shards =
+    Arg.(value & opt (list int) [ 1; 2; 4; 8 ]
+         & info [ "shards" ] ~docv:"NS"
+             ~doc:"comma-separated shard counts to sweep")
+  in
+  let duration =
+    Arg.(value & opt int 20
+         & info [ "duration" ] ~docv:"S" ~doc:"simulated seconds per point")
+  in
+  let applets =
+    Arg.(value & opt int 64
+         & info [ "applets" ] ~docv:"N" ~doc:"distinct applets in the workload")
+  in
+  let cache =
+    Arg.(value & opt int 0
+         & info [ "cache" ] ~docv:"MB"
+             ~doc:"per-shard L1 cache size in MB (0 disables: every request \
+                   unique)")
+  in
+  let l2 =
+    Arg.(value & opt int 0
+         & info [ "l2" ] ~docv:"MB"
+             ~doc:"shared L2 cache size in MB (0 disables)")
+  in
+  let seed =
+    Arg.(value & opt int 7
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"workload seed; the run is a pure function of it")
+  in
+  Cmd.v
+    (Cmd.info "farm"
+       ~doc:
+         "Sweep the consistent-hash proxy farm over shard counts and print \
+          a Figure-10-style table: aggregate throughput, latency, pipeline \
+          runs, single-flight coalescing, shared-L2 hits, and a served-bytes \
+          invariance check across shard counts")
+    Term.(const farm $ clients $ shards $ duration $ applets $ cache $ l2
+          $ seed)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dvmctl" ~version:"1.0"
        ~doc:"Distributed virtual machine control tool")
     [
       gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd;
-      analyze_cmd; lint_cmd; trace_cmd; metrics_cmd; faults_cmd;
+      analyze_cmd; lint_cmd; trace_cmd; metrics_cmd; faults_cmd; farm_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

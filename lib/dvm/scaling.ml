@@ -27,21 +27,19 @@ let per_client_state_bytes = 256 * 1024
    request applets back to back. *)
 let think_time = Simnet.Engine.sec 9
 
-let run ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
-    ?(mem_capacity = 64 * 1024 * 1024) ?(proxies = 1)
-    ?(cache_capacity = 0) ~clients () : point =
-  let engine = Simnet.Engine.create () in
+(* Workload plumbing shared by the single-proxy and farm experiments:
+   realized applet bodies (real class bytes the pipeline can decode,
+   verify and rewrite), the origin serving them and the per-class WAN
+   latency. Request names are "a<k>/<uniq>": serve body k. *)
+let applet_workload ~applet_count ~seed =
   let pop = Workloads.Applets.population ~n:applet_count ~seed () in
   let applets = Array.of_list pop in
-  (* Realize one served body per applet (real class bytes the pipeline
-     can decode, verify and rewrite). *)
   let bodies =
     Array.map
       (fun ap -> Bytecode.Encode.class_to_bytes (Workloads.Applets.realize ap))
       applets
   in
   let origin name =
-    (* name = "a<k>/<uniq>": serve body k *)
     match String.index_opt name '/' with
     | Some i ->
       let k = int_of_string (String.sub name 1 (i - 1)) in
@@ -55,14 +53,22 @@ let run ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
       Int64.of_int applets.(k mod Array.length applets).Workloads.Applets.ap_wan_latency_us
     | None -> Simnet.Engine.ms 2000
   in
+  (origin, origin_latency)
+
+let standard_filters () =
   let oracle = Verifier.Oracle.of_classes (Jvm.Bootlib.boot_classes ()) in
-  let filters =
-    [
-      Verifier.Static_verifier.filter ~oracle ();
-      Security.Rewriter.filter Experiment.standard_policy;
-      Monitor.Instrument.audit_filter ();
-    ]
-  in
+  [
+    Verifier.Static_verifier.filter ~oracle ();
+    Security.Rewriter.filter Experiment.standard_policy;
+    Monitor.Instrument.audit_filter ();
+  ]
+
+let run ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
+    ?(mem_capacity = 64 * 1024 * 1024) ?(proxies = 1)
+    ?(cache_capacity = 0) ~clients () : point =
+  let engine = Simnet.Engine.create () in
+  let origin, origin_latency = applet_workload ~applet_count ~seed in
+  let filters = standard_filters () in
   (* Replicated server implementations (§2): clients spread round-robin
      over the proxy pool, each proxy holding its own share of
      per-client state. *)
@@ -144,3 +150,153 @@ let sweep ?duration_s ?seed ?applet_count ?mem_capacity ?proxies
       run ?duration_s ?seed ?applet_count ?mem_capacity ?proxies
         ?cache_capacity ~clients ())
     counts
+
+(* --- The farm experiment ---------------------------------------------
+
+   Same workload and client model as [run], but the pool is a
+   consistent-hash farm rather than round-robin replicas: each shard
+   owns a stable slice of the key space, holds its share of the
+   per-client state, and misses coalesce per shard. The sweep
+   regenerates the Figure-10-style curve once per shard count — the
+   knee moves right as shards divide the memory load, which is where
+   the ≥3× aggregate throughput from 1→4 shards comes from once a
+   single proxy is past its knee.
+
+   Every run also produces two fingerprints:
+   - [f_served]: per-applet MD5 of the served bytes (sorted assoc).
+     The pipeline is pure, so these must be identical across shard
+     counts — the farm changes who does the work, never the work.
+   - [f_trace_digest]: MD5 of the engine's (time, label) event trace.
+     Same seed ⇒ same digest; two runs of the same configuration must
+     match exactly. *)
+
+type farm_point = {
+  f_shards : int;
+  f_clients : int;
+  f_throughput_bytes_per_s : float;
+  f_mean_latency_us : float;
+  f_requests_completed : int;
+  f_pipeline_runs : int;
+  f_coalesced : int;
+  f_l2_hits : int;
+  f_failovers : int;
+  f_utilization : float; (* mean shard CPU utilization *)
+  f_served : (string * string) list; (* applet key -> MD5 of served bytes *)
+  f_trace_digest : string;
+}
+
+let run_farm ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
+    ?(mem_capacity = 64 * 1024 * 1024) ?(cache_capacity = 0)
+    ?(l2_capacity = 0) ?(vnodes = Proxy.Farm.default_vnodes) ~shards ~clients
+    () : farm_point =
+  if shards <= 0 then invalid_arg "run_farm: shards must be positive";
+  let engine = Simnet.Engine.create () in
+  Simnet.Engine.set_tracing engine true;
+  let origin, origin_latency = applet_workload ~applet_count ~seed in
+  let filters = standard_filters () in
+  let l2 =
+    if l2_capacity > 0 then Some (Proxy.Cache.create ~capacity:l2_capacity)
+    else None
+  in
+  let pool =
+    Array.init shards (fun i ->
+        Proxy.create engine ~cache_capacity ~mem_capacity ?l2
+          ~host_name:(Printf.sprintf "shard%d" i)
+          ~origin ~origin_latency ~filters ())
+  in
+  let farm = Proxy.Farm.create ~vnodes engine pool in
+  (* Connected-client service state spreads evenly over the shard
+     hosts — the whole point of sharding for Figure 10. *)
+  Array.iteri
+    (fun i p ->
+      let share = (clients / shards) + (if i < clients mod shards then 1 else 0) in
+      Simnet.Host.allocate p.Proxy.host (share * per_client_state_bytes))
+    pool;
+  let lan = Simnet.Link.ethernet_10mb engine in
+  let horizon = Simnet.Engine.sec duration_s in
+  let completed = ref 0 in
+  let bytes_delivered = ref 0 in
+  let latency_sum = ref 0L in
+  (* applet key ("a<k>") -> digest of the rewritten bytes served for
+     it. Within one run, any divergence is a single-flight or cache
+     corruption bug, so it is fatal rather than recorded. *)
+  let served : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let rec client_loop id iter =
+    let k = (id + (iter * 37)) mod applet_count in
+    let applet_key = Printf.sprintf "a%d" k in
+    (* Cache off: every request unique (the worst case). Any cache
+       tier on: clients share the popular set so hits and coalescing
+       can happen. *)
+    let name =
+      if cache_capacity > 0 || l2_capacity > 0 then applet_key ^ "/pop"
+      else Printf.sprintf "%s/c%d-i%d" applet_key id iter
+    in
+    let started = Simnet.Engine.now engine in
+    Proxy.Farm.request farm ~cls:name (fun reply ->
+        match reply with
+        | Proxy.Not_found | Proxy.Unavailable -> ()
+        | Proxy.Bytes b ->
+          Simnet.Link.transfer lan ~bytes:(String.length b) (fun () ->
+              let now = Simnet.Engine.now engine in
+              if Int64.compare now horizon <= 0 then begin
+                incr completed;
+                Simnet.Engine.record engine
+                  (Printf.sprintf "serve %s -> c%d" name id);
+                let digest = Dsig.Md5.digest b in
+                (match Hashtbl.find_opt served applet_key with
+                | Some d when not (String.equal d digest) ->
+                  failwith ("run_farm: divergent bytes for " ^ applet_key)
+                | _ -> Hashtbl.replace served applet_key digest);
+                bytes_delivered := !bytes_delivered + String.length b;
+                latency_sum := Int64.add !latency_sum (Int64.sub now started);
+                Simnet.Engine.schedule engine ~delay:think_time (fun () ->
+                    client_loop id (iter + 1))
+              end))
+  in
+  for id = 0 to clients - 1 do
+    Simnet.Engine.schedule_at engine
+      (Int64.of_int (id * 1_000_000 / max 1 clients))
+      (fun () -> client_loop id 0)
+  done;
+  Simnet.Engine.run ~until:horizon engine;
+  let dur = Simnet.Engine.to_sec horizon in
+  let f_served =
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold (fun k d acc -> (k, d) :: acc) served [])
+  in
+  let f_trace_digest =
+    Dsig.Md5.digest
+      (String.concat "\n"
+         (List.map
+            (fun (at, label) -> Printf.sprintf "%Ld %s" at label)
+            (Simnet.Engine.trace engine)))
+  in
+  {
+    f_shards = shards;
+    f_clients = clients;
+    f_throughput_bytes_per_s = Float.of_int !bytes_delivered /. dur;
+    f_mean_latency_us =
+      (if !completed = 0 then 0.0
+       else Int64.to_float !latency_sum /. Float.of_int !completed);
+    f_requests_completed = !completed;
+    f_pipeline_runs = Proxy.Farm.pipeline_runs farm;
+    f_coalesced = Proxy.Farm.coalesced farm;
+    f_l2_hits = Proxy.Farm.l2_hits farm;
+    f_failovers = farm.Proxy.Farm.failovers;
+    f_utilization =
+      Array.fold_left
+        (fun a p -> a +. Simnet.Host.utilization p.Proxy.host)
+        0.0 pool
+      /. Float.of_int shards;
+    f_served;
+    f_trace_digest;
+  }
+
+let farm_sweep ?duration_s ?seed ?applet_count ?mem_capacity ?cache_capacity
+    ?l2_capacity ?vnodes ~clients shard_counts =
+  List.map
+    (fun shards ->
+      run_farm ?duration_s ?seed ?applet_count ?mem_capacity ?cache_capacity
+        ?l2_capacity ?vnodes ~shards ~clients ())
+    shard_counts

@@ -39,3 +39,63 @@ val sweep :
   ?cache_capacity:int ->
   int list ->
   point list
+
+(** {1 The farm experiment}
+
+    Same workload and client model, but the pool is a consistent-hash
+    {!Proxy.Farm} rather than round-robin replicas: each shard owns a
+    stable slice of the key space and its share of the per-client
+    memory load, so the Figure-10 knee moves right with shard
+    count. *)
+
+type farm_point = {
+  f_shards : int;
+  f_clients : int;
+  f_throughput_bytes_per_s : float;
+  f_mean_latency_us : float;
+  f_requests_completed : int;
+  f_pipeline_runs : int;
+  f_coalesced : int;
+  f_l2_hits : int;
+  f_failovers : int;
+  f_utilization : float;  (** mean shard CPU utilization *)
+  f_served : (string * string) list;
+      (** applet key → MD5 of the served rewritten bytes, sorted by
+          key. Identical across shard counts: the farm changes who
+          does the work, never the work. *)
+  f_trace_digest : string;
+      (** MD5 of the engine's (time, label) event trace — same seed
+          and configuration ⇒ same digest. *)
+}
+
+val run_farm :
+  ?duration_s:int ->
+  ?seed:int ->
+  ?applet_count:int ->
+  ?mem_capacity:int ->
+  ?cache_capacity:int ->
+  ?l2_capacity:int ->
+  ?vnodes:int ->
+  shards:int ->
+  clients:int ->
+  unit ->
+  farm_point
+(** [cache_capacity] sizes each shard's own L1 (0 disables it, every
+    request unique — the worst case); [l2_capacity] > 0 adds one
+    shared L2 instance across all shards. With any cache tier on,
+    clients share the popular applet set so hits and single-flight
+    coalescing can happen. *)
+
+val farm_sweep :
+  ?duration_s:int ->
+  ?seed:int ->
+  ?applet_count:int ->
+  ?mem_capacity:int ->
+  ?cache_capacity:int ->
+  ?l2_capacity:int ->
+  ?vnodes:int ->
+  clients:int ->
+  int list ->
+  farm_point list
+(** One {!run_farm} per shard count — a Figure-10-style curve over
+    shards instead of clients. *)

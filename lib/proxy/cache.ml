@@ -20,7 +20,9 @@ type t = {
   mutable used : int;
   mutable hits : int;
   mutable misses : int;
-  mutable evictions : int;
+  mutable evictions : int; (* capacity-pressure evictions only *)
+  mutable restart_drops : int; (* warm state lost to simulated restarts *)
+  mutable oversize_skips : int; (* stores skipped: entry larger than capacity *)
 }
 
 let create ~capacity =
@@ -33,6 +35,8 @@ let create ~capacity =
     hits = 0;
     misses = 0;
     evictions = 0;
+    restart_drops = 0;
+    oversize_skips = 0;
   }
 
 let enabled t = t.capacity > 0
@@ -70,7 +74,14 @@ let find_raw t key =
     None
 
 let find t key =
-  if not (enabled t) then None
+  if not (enabled t) then begin
+    (* A disabled cache still reports the miss: every lookup that would
+       have gone to a real cache is one, and counting it keeps hit-ratio
+       lines comparable between cache-off and cache-on bench runs. *)
+    t.misses <- t.misses + 1;
+    if Telemetry.Global.on () then Telemetry.Global.incr "cache.misses";
+    None
+  end
   else if not (Telemetry.Global.on ()) then find_raw t key
   else
     Telemetry.Global.with_span ~cat:"cache" ~args:[ ("class", key) ]
@@ -83,19 +94,35 @@ let find t key =
           Telemetry.Global.incr "cache.misses";
           None)
 
-let evict_one t =
+(* Detach the LRU entry from the table, without deciding what the
+   removal *was* — a capacity eviction and a restart drop are counted
+   by their callers. Callers publish gauges when they are done, not
+   once per removed entry. *)
+let remove_lru t =
   match t.lru with
-  | None -> ()
+  | None -> false
   | Some e ->
     unlink t e;
     Hashtbl.remove t.tbl e.e_key;
     t.used <- t.used - String.length e.e_bytes;
+    true
+
+let evict_one t =
+  if remove_lru t then begin
     t.evictions <- t.evictions + 1;
-    Telemetry.Global.incr "cache.evictions";
-    publish_gauges t
+    Telemetry.Global.incr "cache.evictions"
+  end
 
 let store t key bytes =
-  if enabled t && String.length bytes <= t.capacity then begin
+  if not (enabled t) then ()
+  else if String.length bytes > t.capacity then begin
+    (* An entry bigger than the whole budget can never be cached;
+       count the skip so bench output can tell "cache too small for
+       this class" apart from ordinary churn. *)
+    t.oversize_skips <- t.oversize_skips + 1;
+    if Telemetry.Global.on () then Telemetry.Global.incr "cache.oversize_skips"
+  end
+  else begin
     (match Hashtbl.find_opt t.tbl key with
     | Some old ->
       unlink t old;
@@ -123,14 +150,24 @@ let clear t =
   publish_gauges t
 
 (* Drop the coldest [fraction] of entries — what survives a host
-   restart that retains only part of its warm state. *)
+   restart that retains only part of its warm state. A restart loss is
+   not capacity pressure: it is counted in [restart_drops] (and the
+   [cache.restart_drops] counter), never in [evictions], and the
+   occupancy gauges are published once at the end rather than once per
+   dropped entry. *)
 let drop_fraction t ~fraction =
-  if fraction >= 1.0 then clear t
-  else begin
-    let n =
-      int_of_float (ceil (fraction *. Float.of_int (Hashtbl.length t.tbl)))
-    in
-    for _ = 1 to n do
-      evict_one t
-    done
-  end
+  let total = Hashtbl.length t.tbl in
+  let n =
+    if fraction >= 1.0 then total
+    else int_of_float (ceil (fraction *. Float.of_int total))
+  in
+  let dropped = ref 0 in
+  for _ = 1 to n do
+    if remove_lru t then incr dropped
+  done;
+  if !dropped > 0 then begin
+    t.restart_drops <- t.restart_drops + !dropped;
+    if Telemetry.Global.on () then
+      Telemetry.Global.add "cache.restart_drops" (Int64.of_int !dropped)
+  end;
+  publish_gauges t

@@ -12,8 +12,13 @@ type t = {
   mutable lru : entry option;
   mutable used : int;
   mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  mutable misses : int;  (** counted on disabled caches too, so hit-ratio
+      lines stay comparable between cache-off and cache-on runs *)
+  mutable evictions : int;  (** capacity-pressure evictions only *)
+  mutable restart_drops : int;  (** entries lost to simulated restarts
+      ({!drop_fraction}) — never conflated with [evictions] *)
+  mutable oversize_skips : int;  (** stores skipped because the entry
+      exceeds the whole capacity *)
 }
 
 val create : capacity:int -> t
@@ -26,5 +31,7 @@ val clear : t -> unit
 (** Drop everything — a cold restart. *)
 
 val drop_fraction : t -> fraction:float -> unit
-(** Evict the coldest [fraction] of entries (1.0 = {!clear}), as after
-    a crash that lost part of the warm state. *)
+(** Drop the coldest [fraction] of entries (1.0 = everything), as after
+    a crash that lost part of the warm state. Counted in
+    [restart_drops] / [cache.restart_drops], not [evictions]; occupancy
+    gauges are republished once, at the end. *)

@@ -1,0 +1,141 @@
+(* A sharded proxy farm: N independent proxy nodes behind one facade,
+   with class keys spread across the shards by consistent hashing.
+
+   Each shard is a full [Node.t] — its own host, CPU accounting and L1
+   cache — so adding shards multiplies pipeline capacity and, more
+   importantly for Figure 10, divides the per-client memory load that
+   pushes a single proxy past its thrashing knee. The ring uses
+   virtual nodes so key ownership stays balanced at small shard
+   counts, and failover walks the ring clockwise to the next distinct
+   live shard — exactly the preference order consistent hashing gives
+   for free — reusing the per-request [on_fail] health machinery the
+   replica facade introduced.
+
+   Determinism: ownership is a pure function of (key, shard count,
+   vnodes), dispatch does no random choice and touches no hash-table
+   iteration order, so the same seed yields the same event trace; and
+   because the pipeline is pure, the bytes a class rewrites to are
+   identical no matter which shard served it. *)
+
+type t = {
+  engine : Simnet.Engine.t;
+  shards : Node.t array;
+  ring : (int * int) array; (* (point, shard index), sorted by point *)
+  health : bool array; (* last observed per-shard state, for the console *)
+  mutable requests : int;
+  mutable failovers : int; (* requests served by a non-owner shard *)
+  mutable unavailable : int; (* requests no shard could serve *)
+}
+
+(* FNV-1a, 64-bit. Cheap, seedless, and stable across runs — unlike
+   [Hashtbl.hash] no randomization flag can perturb it. *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let hash_key (s : string) : int =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c -> h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  (* Keep it a nonnegative OCaml int: drop the top two bits. *)
+  Int64.to_int (Int64.shift_right_logical !h 2)
+
+let default_vnodes = 64
+
+let create ?(vnodes = default_vnodes) engine shards =
+  if Array.length shards = 0 then invalid_arg "Farm.create: empty shard pool";
+  if vnodes <= 0 then invalid_arg "Farm.create: vnodes must be positive";
+  let n = Array.length shards in
+  let ring =
+    Array.init (n * vnodes) (fun i ->
+        let shard = i / vnodes and v = i mod vnodes in
+        (hash_key (Printf.sprintf "shard-%d#%d" shard v), shard))
+  in
+  Array.sort compare ring;
+  {
+    engine;
+    shards;
+    ring;
+    health = Array.map (fun s -> Simnet.Host.is_up s.Node.host) shards;
+    requests = 0;
+    failovers = 0;
+    unavailable = 0;
+  }
+
+let size t = Array.length t.shards
+let shard t i = t.shards.(i)
+
+(* Index of the first ring slot at or clockwise-after the key's point. *)
+let ring_position t key =
+  let h = hash_key key in
+  let n = Array.length t.ring in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if fst t.ring.(mid) < h then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let owner t key = snd t.ring.(ring_position t key)
+
+(* Distinct shards in ring order starting at the key's owner — the
+   failover preference order for that key. *)
+let preference_order t key =
+  let n = Array.length t.ring in
+  let start = ring_position t key in
+  let seen = Array.make (Array.length t.shards) false in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    let s = snd t.ring.((start + i) mod n) in
+    if not seen.(s) then begin
+      seen.(s) <- true;
+      order := s :: !order
+    end
+  done;
+  List.rev !order
+
+let health t =
+  Array.iteri
+    (fun i s -> t.health.(i) <- Simnet.Host.is_up s.Node.host)
+    t.shards;
+  Array.copy t.health
+
+(* Farm-wide aggregates over the per-shard counters. *)
+let sum f t = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
+let pipeline_runs t = sum (fun s -> s.Node.pipeline_runs) t
+let coalesced t = sum (fun s -> s.Node.coalesced) t
+let l2_hits t = sum (fun s -> s.Node.l2_hits) t
+let origin_fetches t = sum (fun s -> s.Node.origin_fetches) t
+let bytes_served t = sum (fun s -> s.Node.bytes_served) t
+
+let cpu_us t =
+  Array.fold_left (fun acc s -> Int64.add acc s.Node.cpu_us) 0L t.shards
+
+let request t ~cls k =
+  t.requests <- t.requests + 1;
+  (* Walk the key's preference order; a shard down at dispatch (or
+     crashing with the request in flight, via [on_fail]) hands the
+     request to the next distinct live shard on the ring. *)
+  let rec dispatch ~first = function
+    | [] ->
+      t.unavailable <- t.unavailable + 1;
+      Telemetry.Global.incr "farm.unavailable";
+      Simnet.Engine.schedule t.engine ~delay:0L (fun () -> k Node.Unavailable)
+    | s :: rest ->
+      let p = t.shards.(s) in
+      if not (Simnet.Host.is_up p.Node.host) then begin
+        t.health.(s) <- false;
+        dispatch ~first:false rest
+      end
+      else begin
+        t.health.(s) <- true;
+        if not first then begin
+          t.failovers <- t.failovers + 1;
+          Telemetry.Global.incr "farm.failovers"
+        end;
+        Node.request p ~cls k ~on_fail:(fun () ->
+            t.health.(s) <- false;
+            dispatch ~first:false rest)
+      end
+  in
+  dispatch ~first:true (preference_order t cls)

@@ -1,0 +1,54 @@
+(** A sharded proxy farm behind one facade.
+
+    Class keys are spread across N independent proxy shards by
+    consistent hashing (FNV-1a over a ring with virtual nodes). Each
+    shard is a full {!Node.t} with its own host, CPU accounting and L1
+    cache; an optional shared L2 is wired per-shard at
+    {!Node.create}. Failover walks the ring to the next distinct live
+    shard. Counters: [farm.failovers], [farm.unavailable]. *)
+
+type t = {
+  engine : Simnet.Engine.t;
+  shards : Node.t array;
+  ring : (int * int) array;  (** (point, shard index), sorted *)
+  health : bool array;  (** last observed per-shard state *)
+  mutable requests : int;
+  mutable failovers : int;  (** requests served by a non-owner shard *)
+  mutable unavailable : int;  (** requests no shard could serve *)
+}
+
+val hash_key : string -> int
+(** FNV-1a 64-bit, truncated to a nonnegative OCaml int. Stable
+    across runs (no randomization), so ownership is reproducible. *)
+
+val default_vnodes : int
+
+val create : ?vnodes:int -> Simnet.Engine.t -> Node.t array -> t
+(** The shard pool must be non-empty. [vnodes] (default 64) virtual
+    ring points per shard keep ownership balanced at small counts. *)
+
+val size : t -> int
+val shard : t -> int -> Node.t
+
+val owner : t -> string -> int
+(** The shard index owning a key — a pure function of
+    (key, shard count, vnodes), independent of health. *)
+
+val preference_order : t -> string -> int list
+(** Distinct shards in ring order starting at the key's owner: the
+    failover order {!request} walks. *)
+
+val health : t -> bool array
+(** Probe every shard host and return the refreshed view. *)
+
+val pipeline_runs : t -> int
+val coalesced : t -> int
+val l2_hits : t -> int
+val origin_fetches : t -> int
+val bytes_served : t -> int
+val cpu_us : t -> int64
+
+val request : t -> cls:string -> (Node.reply -> unit) -> unit
+(** Route to the key's owner with ring-order failover; replies
+    [Unavailable] (after one simulated-time hop) when every shard is
+    down. *)

@@ -22,6 +22,19 @@ let decode_request (data : string) : string =
   match String.index_opt data '\r' with
   | None -> fail "no request line terminator"
   | Some eol -> (
+    (* The request line must be terminated by the full blank-line
+       separator ("\r\n\r\n"), exactly as [decode_response] demands of
+       the header block — a lone "\r" is truncated framing. Anything
+       after the separator is garbage, not a second request. *)
+    if
+      eol + 4 > String.length data
+      || data.[eol + 1] <> '\n'
+      || data.[eol + 2] <> '\r'
+      || data.[eol + 3] <> '\n'
+    then fail "missing blank-line terminator after request line";
+    if String.length data <> eol + 4 then
+      fail "trailing garbage after request (%d extra bytes)"
+        (String.length data - eol - 4);
     let line = String.sub data 0 eol in
     match String.split_on_char ' ' line with
     | [ "GET"; path; "DVM/1.0" ] ->

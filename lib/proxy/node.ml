@@ -1,0 +1,384 @@
+(* The transparent network proxy hosting the static service components
+   (§2–§3): it intercepts class requests from clients, fetches from the
+   origin (an Internet web server or an intranet file store), runs the
+   filter pipeline once per class, signs the result, caches it, and
+   leaves an audit trail for the administration console.
+
+   Placement mirrors the paper: the proxy sits at the organization's
+   trust boundary on a physically secure host. Its CPU serializes
+   pipeline work and its memory holds per-request working state — the
+   resource model behind the Figure 10 scaling experiment.
+
+   This module is the single-node implementation; [Proxy] re-exports it
+   and [Farm] composes several nodes behind a consistent-hash ring. *)
+
+type reply = Bytes of string | Not_found | Unavailable
+
+type origin = string -> string option
+
+(* A request that joined an in-flight single-flight run: its own
+   completion callback and failure hook, fired when the leader's
+   pipeline run settles. *)
+type waiter = (reply -> unit) * (unit -> unit) option
+
+type t = {
+  engine : Simnet.Engine.t;
+  host : Simnet.Host.t;
+  cache : Cache.t; (* the shard's own L1 *)
+  l2 : Cache.t option; (* optional shared tier, one instance per farm *)
+  l2_lookup_us : int;
+  l2_bandwidth_bps : int; (* peer-to-peer transfer rate for L2 hits *)
+  mutable filters : Rewrite.Filter.t list;
+  origin : origin;
+  origin_latency : string -> Simnet.Engine.time; (* per-class WAN latency *)
+  origin_bandwidth_bps : int;
+  signer : Dsig.Sign.key option;
+  audit : Monitor.Audit.t option;
+  (* Parsed working state per in-flight request: buffers for the raw
+     bytes, the decoded image and the output. *)
+  working_set_factor : int;
+  (* Single-flight: concurrent misses for the same key join the run
+     already in flight instead of re-parsing. The table maps keys with
+     a pipeline run in flight to the requests that joined it. *)
+  inflight : (string, waiter list ref) Hashtbl.t;
+  mutable requests : int;
+  mutable rejections : int;
+  mutable bytes_served : int;
+  mutable origin_fetches : int;
+  mutable pipeline_runs : int; (* full parse/rewrite/generate passes *)
+  mutable coalesced : int; (* requests that joined an in-flight run *)
+  mutable l2_hits : int; (* misses served by the shared tier *)
+  mutable cpu_us : int64; (* total pipeline + cache-service CPU *)
+}
+
+let create ?(cache_capacity = 48 * 1024 * 1024)
+    ?(mem_capacity = 64 * 1024 * 1024) ?signer ?audit
+    ?(origin_bandwidth_bps = 100_000_000) ?(working_set_factor = 12)
+    ?(cpu_factor = 1.0) ?(host_name = "proxy") ?l2 ?(l2_lookup_us = 1500)
+    ?(l2_bandwidth_bps = 100_000_000) engine ~origin ~origin_latency ~filters
+    () =
+  {
+    engine;
+    host =
+      Simnet.Host.create ~cpu_factor ~mem_capacity engine ~name:host_name;
+    cache = Cache.create ~capacity:cache_capacity;
+    l2;
+    l2_lookup_us;
+    l2_bandwidth_bps;
+    filters;
+    origin;
+    origin_latency;
+    origin_bandwidth_bps;
+    signer;
+    audit;
+    working_set_factor;
+    inflight = Hashtbl.create 32;
+    requests = 0;
+    rejections = 0;
+    bytes_served = 0;
+    origin_fetches = 0;
+    pipeline_runs = 0;
+    coalesced = 0;
+    l2_hits = 0;
+    cpu_us = 0L;
+  }
+
+let log t kind detail =
+  match t.audit with
+  | None -> ()
+  | Some a ->
+    Monitor.Audit.append a ~time:(Simnet.Engine.now t.engine) ~session:0 ~kind
+      ~detail
+
+(* Process fetched bytes through the pipeline on the proxy CPU, then
+   deliver. *)
+let transform_and_reply ?on_fail t ~cls bytes k =
+  let ws = t.working_set_factor * String.length bytes in
+  Simnet.Host.allocate t.host ws;
+  let on_fail =
+    Option.map (fun f () -> Simnet.Host.release t.host ws; f ()) on_fail
+  in
+  (* The pipeline itself runs synchronously (it is pure CPU work); its
+     cost occupies the host CPU in simulated time. *)
+  t.pipeline_runs <- t.pipeline_runs + 1;
+  let outcome =
+    Telemetry.Global.with_span ~cat:"proxy" ~args:[ ("class", cls) ]
+      "proxy.transform" (fun () -> Pipeline.run ?signer:t.signer t.filters bytes)
+  in
+  let sign_cost =
+    match t.signer with
+    | None -> 0L
+    | Some _ ->
+      Int64.of_int
+        (Dsig.Sign.sign_cost_us ~bytes:(String.length outcome.Pipeline.out_bytes))
+  in
+  if Int64.compare sign_cost 0L > 0 then
+    Telemetry.Global.observe "pipeline.sign_us" sign_cost;
+  let cost = Int64.add (Pipeline.total_cost outcome) sign_cost in
+  t.cpu_us <- Int64.add t.cpu_us cost;
+  Simnet.Host.compute t.host ?on_fail ~cost_us:cost (fun () ->
+      Simnet.Host.release t.host ws;
+      (match outcome.Pipeline.rejected with
+      | Some (filter, reason) ->
+        t.rejections <- t.rejections + 1;
+        log t "proxy.reject" (Printf.sprintf "%s: %s (%s)" cls reason filter)
+      | None -> log t "proxy.serve" cls);
+      let out = outcome.Pipeline.out_bytes in
+      Cache.store t.cache cls out;
+      (* The shared tier keeps the rewritten class even if this shard
+         later restarts cache-cold: peers (and the restarted shard)
+         rewarm from it at transfer cost instead of re-running the
+         pipeline. *)
+      (match t.l2 with None -> () | Some l2 -> Cache.store l2 cls out);
+      t.bytes_served <- t.bytes_served + String.length out;
+      k (Bytes out))
+
+(* Cost of serving a miss from the shared L2 tier: a fixed lookup plus
+   the peer-to-peer transfer of the rewritten bytes — far cheaper than
+   the pipeline, slightly dearer than the local disk cache. *)
+let l2_transfer_cost t ~bytes =
+  Int64.add
+    (Int64.of_int t.l2_lookup_us)
+    (Int64.of_float
+       (Float.of_int bytes *. 8.0 *. 1_000_000.0
+       /. Float.of_int t.l2_bandwidth_bps))
+
+(* Handle one client request for a class. The callback fires, in
+   simulated time, when the proxy has the response ready to put on the
+   client's wire (the caller models the client-side link). [on_fail]
+   fires instead if the proxy host is down or crashes while the
+   request is in flight — the hook the replica facade fails over on.
+
+   Misses are single-flight: the first request for a key becomes the
+   leader and runs the pipeline; concurrent requests for the same key
+   join it and are settled — success or failure — when the leader's
+   run settles. A crash mid-flight therefore fails every joined
+   request at once (each through its own [on_fail]), and the in-flight
+   entry is dropped so a retry after restart starts a fresh run. *)
+let request ?on_fail t ~cls k =
+  t.requests <- t.requests + 1;
+  if Telemetry.Global.on () then begin
+    Telemetry.Global.incr "proxy.requests";
+    Telemetry.Global.set_gauge "proxy.mem_pressure_x1000"
+      (Int64.of_float (1000.0 *. Simnet.Host.mem_pressure t.host))
+  end;
+  if not (Simnet.Host.is_up t.host) then
+    match on_fail with
+    | Some f -> Simnet.Engine.schedule t.engine ~delay:0L f
+    | None -> ()
+  else
+    match Cache.find t.cache cls with
+    | Some bytes ->
+      (* A small fixed cost to look up and stream from the disk cache.
+         Stats and the audit record land in the completion callback:
+         at schedule time the response hasn't been served yet, and the
+         audit timestamp must not lead the virtual clock (the miss
+         path logs at pipeline completion). *)
+      t.cpu_us <- Int64.add t.cpu_us 2000L;
+      Simnet.Host.compute t.host ?on_fail ~cost_us:2000L (fun () ->
+          t.bytes_served <- t.bytes_served + String.length bytes;
+          log t "proxy.cache_hit" cls;
+          k (Bytes bytes))
+    | None -> (
+      match Hashtbl.find_opt t.inflight cls with
+      | Some waiters ->
+        (* Join the pipeline run already in flight for this key. *)
+        t.coalesced <- t.coalesced + 1;
+        if Telemetry.Global.on () then Telemetry.Global.incr "proxy.coalesced";
+        waiters := (k, on_fail) :: !waiters
+      | None -> (
+        match
+          match t.l2 with None -> None | Some l2 -> Cache.find l2 cls
+        with
+        | Some bytes ->
+          (* Shared-tier hit: pay the peer transfer, rewarm the L1. *)
+          t.l2_hits <- t.l2_hits + 1;
+          if Telemetry.Global.on () then Telemetry.Global.incr "proxy.l2_hits";
+          let cost = l2_transfer_cost t ~bytes:(String.length bytes) in
+          t.cpu_us <- Int64.add t.cpu_us cost;
+          Simnet.Host.compute t.host ?on_fail ~cost_us:cost (fun () ->
+              Cache.store t.cache cls bytes;
+              t.bytes_served <- t.bytes_served + String.length bytes;
+              log t "proxy.l2_hit" cls;
+              k (Bytes bytes))
+        | None -> (
+          match t.origin cls with
+          | None ->
+            Simnet.Host.compute t.host ?on_fail ~cost_us:500L (fun () ->
+                log t "proxy.not_found" cls;
+                k Not_found)
+          | Some bytes ->
+            (* Become the leader of a single-flight run. *)
+            let waiters : waiter list ref = ref [] in
+            Hashtbl.replace t.inflight cls waiters;
+            let settle reply =
+              Hashtbl.remove t.inflight cls;
+              let joined = List.rev !waiters in
+              let deliver () =
+                k reply;
+                List.iter (fun ((kw, _) : waiter) -> kw reply) joined
+              in
+              if joined = [] || not (Telemetry.Global.on ()) then deliver ()
+              else
+                Telemetry.Global.with_span ~cat:"proxy"
+                  ~args:
+                    [
+                      ("class", cls);
+                      ("waiters", string_of_int (List.length joined));
+                    ]
+                  "proxy.coalesce.fanout" deliver
+            in
+            let settle_fail () =
+              Hashtbl.remove t.inflight cls;
+              let joined = List.rev !waiters in
+              (match on_fail with Some f -> f () | None -> ());
+              List.iter
+                (fun ((_, of_) : waiter) ->
+                  match of_ with Some f -> f () | None -> ())
+                joined
+            in
+            t.origin_fetches <- t.origin_fetches + 1;
+            Telemetry.Global.incr "proxy.origin_fetches";
+            let latency = t.origin_latency cls in
+            let tx =
+              Int64.of_float
+                (Float.of_int (String.length bytes)
+                *. 8.0 *. 1_000_000.0
+                /. Float.of_int t.origin_bandwidth_bps)
+            in
+            Simnet.Engine.schedule t.engine ~delay:(Int64.add latency tx)
+              (fun () ->
+                transform_and_reply ~on_fail:settle_fail t ~cls bytes settle))))
+
+(* Synchronous variant for non-simulated use (unit tests, CLI): runs
+   the pipeline immediately and returns the bytes. *)
+let request_sync_raw t ~cls =
+  t.requests <- t.requests + 1;
+  match Cache.find t.cache cls with
+  | Some bytes ->
+    t.cpu_us <- Int64.add t.cpu_us 2000L;
+    t.bytes_served <- t.bytes_served + String.length bytes;
+    Bytes bytes
+  | None -> (
+    match match t.l2 with None -> None | Some l2 -> Cache.find l2 cls with
+    | Some bytes ->
+      t.l2_hits <- t.l2_hits + 1;
+      if Telemetry.Global.on () then Telemetry.Global.incr "proxy.l2_hits";
+      t.cpu_us <-
+        Int64.add t.cpu_us (l2_transfer_cost t ~bytes:(String.length bytes));
+      Cache.store t.cache cls bytes;
+      t.bytes_served <- t.bytes_served + String.length bytes;
+      Bytes bytes
+    | None -> (
+      match t.origin cls with
+      | None -> Not_found
+      | Some bytes ->
+        t.origin_fetches <- t.origin_fetches + 1;
+        Telemetry.Global.incr "proxy.origin_fetches";
+        t.pipeline_runs <- t.pipeline_runs + 1;
+        let outcome = Pipeline.run ?signer:t.signer t.filters bytes in
+        t.cpu_us <- Int64.add t.cpu_us (Pipeline.total_cost outcome);
+        (match outcome.Pipeline.rejected with
+        | Some _ -> t.rejections <- t.rejections + 1
+        | None -> ());
+        Cache.store t.cache cls outcome.Pipeline.out_bytes;
+        (match t.l2 with
+        | None -> ()
+        | Some l2 -> Cache.store l2 cls outcome.Pipeline.out_bytes);
+        t.bytes_served <-
+          t.bytes_served + String.length outcome.Pipeline.out_bytes;
+        Bytes outcome.Pipeline.out_bytes))
+
+let request_sync t ~cls =
+  if not (Telemetry.Global.on ()) then request_sync_raw t ~cls
+  else
+    Telemetry.Global.with_span ~cat:"proxy" ~args:[ ("class", cls) ]
+      ~observe_hist:"proxy.request_us" "proxy.request" (fun () ->
+        Telemetry.Global.incr "proxy.requests";
+        let reply = request_sync_raw t ~cls in
+        (match reply with
+        | Bytes b ->
+          Telemetry.Global.add "proxy.bytes_served" (Int64.of_int (String.length b))
+        | Not_found -> Telemetry.Global.incr "proxy.not_found"
+        | Unavailable -> Telemetry.Global.incr "proxy.unavailable");
+        reply)
+
+(* A classloading provider backed by the synchronous path — what a DVM
+   client plugs into its registry. *)
+let provider t : Jvm.Classreg.provider =
+ fun cls ->
+  match request_sync t ~cls with
+  | Bytes b -> Some b
+  | Not_found | Unavailable -> None
+
+type proxy = t
+
+(* Replicated proxies behind one facade (§5's availability answer to
+   the single-point-of-failure critique): requests prefer the primary
+   (replica 0) and fail over, in order, to the first live secondary
+   when the preferred replica is down at dispatch or crashes with the
+   request in flight. Health is probed against the replica host at
+   every dispatch, so a restarted primary takes traffic back
+   immediately — but cache-cold, which is the measurable price of
+   failover the paper's §5 argument predicts. *)
+module Replica = struct
+  type t = {
+    engine : Simnet.Engine.t;
+    pool : proxy array;
+    health : bool array; (* last observed state, for the console *)
+    mutable requests : int;
+    mutable failovers : int; (* requests served by a non-primary *)
+    mutable unavailable : int; (* requests no replica could serve *)
+  }
+
+  let create engine pool =
+    if Array.length pool = 0 then invalid_arg "Replica.create: empty pool";
+    {
+      engine;
+      pool;
+      health = Array.map (fun p -> Simnet.Host.is_up p.host) pool;
+      requests = 0;
+      failovers = 0;
+      unavailable = 0;
+    }
+
+  let size t = Array.length t.pool
+  let replica t i = t.pool.(i)
+
+  let health t =
+    Array.iteri (fun i p -> t.health.(i) <- Simnet.Host.is_up p.host) t.pool;
+    Array.copy t.health
+
+  let request t ~cls k =
+    t.requests <- t.requests + 1;
+    let n = Array.length t.pool in
+    (* Try replicas starting from the primary; [idx] is the next
+       candidate. A failed candidate is marked unhealthy and the next
+       one pays the failover. *)
+    let rec dispatch idx =
+      if idx >= n then begin
+        t.unavailable <- t.unavailable + 1;
+        Telemetry.Global.incr "proxy.unavailable";
+        Simnet.Engine.schedule t.engine ~delay:0L (fun () -> k Unavailable)
+      end
+      else begin
+        let p = t.pool.(idx) in
+        if not (Simnet.Host.is_up p.host) then begin
+          t.health.(idx) <- false;
+          dispatch (idx + 1)
+        end
+        else begin
+          t.health.(idx) <- true;
+          if idx > 0 then begin
+            t.failovers <- t.failovers + 1;
+            Telemetry.Global.incr "proxy.failovers"
+          end;
+          request p ~cls k ~on_fail:(fun () ->
+              (* Crashed with the request in flight: fail over. *)
+              t.health.(idx) <- false;
+              dispatch (idx + 1))
+        end
+      end
+    in
+    dispatch 0
+end

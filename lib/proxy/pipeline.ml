@@ -16,6 +16,12 @@ type outcome = {
 
 let total_cost o = Int64.add o.parse_cost (Int64.add o.transform_cost o.generate_cost)
 
+(* Fingerprint of the rewritten bytes — what the farm's determinism
+   checks compare across shard counts: the pipeline is a pure function
+   of its input, so the same class must digest identically no matter
+   which shard ran it. *)
+let digest o = Dsig.Md5.digest o.out_bytes
+
 (* Proxy cost model, in µs on the reference CPU. Calibrated against
    §4.1.2: parsing + instrumenting an average Internet applet costs
    ~265 ms. *)

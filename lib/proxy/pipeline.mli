@@ -16,6 +16,10 @@ type outcome = {
 
 val total_cost : outcome -> int64
 
+val digest : outcome -> string
+(** MD5 of [out_bytes] — the pipeline is pure, so the same input class
+    digests identically no matter which proxy shard ran it. *)
+
 val parse_us_per_byte : float
 val generate_us_per_byte : float
 val transform_us_per_instr : float

@@ -5,20 +5,33 @@
     runs the filter pipeline once per class, signs the result, caches
     it, and leaves an audit trail. The proxy CPU serializes pipeline
     work and its memory holds per-request working state — the resource
-    model behind Figure 10. *)
+    model behind Figure 10.
+
+    The single-node implementation lives in [Node] and is re-exported
+    here; {!Farm} shards class keys across several nodes by consistent
+    hashing, and {!Replica} runs identical nodes behind a primary /
+    failover facade. *)
 
 module Cache : module type of Cache
 module Pipeline : module type of Pipeline
 module Httpwire : module type of Httpwire
 
-type reply = Bytes of string | Not_found | Unavailable
+type reply = Node.reply = Bytes of string | Not_found | Unavailable
 
 type origin = string -> string option
 
-type t = {
+type waiter = Node.waiter
+(** A request that joined an in-flight single-flight run: its
+    completion callback and failure hook, fired when the leader's
+    pipeline run settles. *)
+
+type t = Node.t = {
   engine : Simnet.Engine.t;
   host : Simnet.Host.t;
-  cache : Cache.t;
+  cache : Cache.t;  (** the shard's own L1 *)
+  l2 : Cache.t option;  (** optional shared tier, one instance per farm *)
+  l2_lookup_us : int;
+  l2_bandwidth_bps : int;  (** peer-to-peer transfer rate for L2 hits *)
   mutable filters : Rewrite.Filter.t list;
   origin : origin;
   origin_latency : string -> Simnet.Engine.time;
@@ -26,10 +39,15 @@ type t = {
   signer : Dsig.Sign.key option;
   audit : Monitor.Audit.t option;
   working_set_factor : int;
+  inflight : (string, waiter list ref) Hashtbl.t;
+      (** keys with a pipeline run in flight → requests that joined it *)
   mutable requests : int;
   mutable rejections : int;
   mutable bytes_served : int;
   mutable origin_fetches : int;
+  mutable pipeline_runs : int;  (** full parse/rewrite/generate passes *)
+  mutable coalesced : int;  (** requests that joined an in-flight run *)
+  mutable l2_hits : int;  (** misses served by the shared tier *)
   mutable cpu_us : int64;  (** total pipeline + cache-service CPU *)
 }
 
@@ -41,6 +59,10 @@ val create :
   ?origin_bandwidth_bps:int ->
   ?working_set_factor:int ->
   ?cpu_factor:float ->
+  ?host_name:string ->
+  ?l2:Cache.t ->
+  ?l2_lookup_us:int ->
+  ?l2_bandwidth_bps:int ->
   Simnet.Engine.t ->
   origin:origin ->
   origin_latency:(string -> Simnet.Engine.time) ->
@@ -48,14 +70,25 @@ val create :
   unit ->
   t
 (** Defaults: 48 MB cache, 64 MB memory (the paper's proxy), 100 Mb/s
-    uplink. [cache_capacity:0] disables caching. *)
+    uplink. [cache_capacity:0] disables caching. Passing the same
+    [l2] cache instance to every shard of a farm gives them a shared
+    second tier: a miss found there costs [l2_lookup_us] (default
+    1500) plus the transfer at [l2_bandwidth_bps] (default 100 Mb/s)
+    instead of a pipeline run, and a cache-cold restarted shard
+    rewarms from its peers' work. *)
 
 val request : ?on_fail:(unit -> unit) -> t -> cls:string -> (reply -> unit) -> unit
 (** Simulated-time request; the callback fires when the response is
     ready for the client's wire. [on_fail] fires instead if the proxy
     host is down at dispatch or crashes while the request is in
     flight (without it, a failed request simply never completes — the
-    caller's timeout problem). *)
+    caller's timeout problem).
+
+    Misses are single-flight: the first request for a key leads and
+    runs the pipeline; concurrent requests for the same key join it
+    (counter [coalesced]) and settle — success or failure — with the
+    leader. A crash mid-flight fails every joined request at once,
+    each through its own [on_fail]. *)
 
 val request_sync : t -> cls:string -> reply
 (** Synchronous variant for unit tests and the CLI. *)
@@ -96,3 +129,7 @@ module Replica : sig
   (** Dispatch with failover; replies [Unavailable] (after one
       simulated-time hop) when every replica is down. *)
 end
+
+module Farm : module type of Farm
+(** Sharded proxy farm: consistent-hash routing over independent
+    shards, ring-order failover, farm-wide counter aggregation. *)

@@ -63,12 +63,32 @@ type t = {
   heap : Heap.t;
   mutable next_seq : int;
   mutable events_processed : int;
+  (* Optional deterministic event trace: models call [record] at the
+     points they consider observable (a request served, a shard chosen)
+     and tests compare whole traces across runs. Newest first. *)
+  mutable tracing : bool;
+  mutable trace_buf : (time * string) list;
 }
 
 let create () =
-  { now = 0L; heap = Heap.create (); next_seq = 0; events_processed = 0 }
+  {
+    now = 0L;
+    heap = Heap.create ();
+    next_seq = 0;
+    events_processed = 0;
+    tracing = false;
+    trace_buf = [];
+  }
 
 let now t = t.now
+
+let set_tracing t on =
+  t.tracing <- on;
+  t.trace_buf <- []
+
+let record t label = if t.tracing then t.trace_buf <- (t.now, label) :: t.trace_buf
+
+let trace t = List.rev t.trace_buf
 
 let schedule_at t at fn =
   let at = if Int64.compare at t.now < 0 then t.now else at in

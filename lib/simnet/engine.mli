@@ -19,6 +19,22 @@ val schedule : t -> delay:time -> (unit -> unit) -> unit
 val run : ?until:time -> t -> unit
 (** Process events until the queue drains (or past the horizon). *)
 
+(** {1 Deterministic event traces}
+
+    Models call {!record} at the points they consider observable (a
+    request served, a shard chosen); determinism tests compare whole
+    traces across runs. Recording is off by default and free when
+    off. *)
+
+val set_tracing : t -> bool -> unit
+(** Enable or disable recording; either way the buffer is cleared. *)
+
+val record : t -> string -> unit
+(** Append [(now, label)] to the trace when tracing is on. *)
+
+val trace : t -> (time * string) list
+(** The recorded trace, in chronological (firing) order. *)
+
 (** Time constructors and conversions. *)
 
 val us : int -> time

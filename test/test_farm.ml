@@ -1,0 +1,257 @@
+(* Tests for the sharded proxy farm: consistent-hash routing,
+   ring-order failover, the shard-count-invariance and determinism
+   guarantees, and the farm scaling experiment. *)
+
+module B = Bytecode.Builder
+module CF = Bytecode.Classfile
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+let static = [ CF.Public; CF.Static ]
+
+let hello =
+  B.class_ "Hello"
+    [
+      B.meth ~flags:static "main" "()V"
+        [
+          B.Getstatic ("java/lang/System", "out", "Ljava/io/OutputStream;");
+          B.Push_str "hi";
+          B.Invokevirtual
+            ("java/io/OutputStream", "println", "(Ljava/lang/String;)V");
+          B.Return;
+        ];
+    ]
+
+let hello_bytes = Bytecode.Encode.class_to_bytes hello
+
+(* A farm whose origin serves the same class body under any name —
+   routing tests care about who serves, not what. *)
+let make_farm ?(shards = 4) ?(origin_latency_ms = 0) engine =
+  let pool =
+    Array.init shards (fun i ->
+        Proxy.create engine
+          ~host_name:(Printf.sprintf "shard%d" i)
+          ~origin:(fun _ -> Some hello_bytes)
+          ~origin_latency:(fun _ -> Simnet.Engine.ms origin_latency_ms)
+          ~filters:[] ())
+  in
+  (Proxy.Farm.create engine pool, pool)
+
+(* --- Routing. --- *)
+
+let test_ring_routing () =
+  let engine = Simnet.Engine.create () in
+  let farm, _ = make_farm ~shards:4 engine in
+  for i = 0 to 99 do
+    let key = Printf.sprintf "a%d/c%d" i (i * 31) in
+    let o = Proxy.Farm.owner farm key in
+    check Alcotest.bool "owner in range" true (o >= 0 && o < 4);
+    check Alcotest.int "owner stable" o (Proxy.Farm.owner farm key);
+    match Proxy.Farm.preference_order farm key with
+    | first :: _ as order ->
+      check Alcotest.int "owner heads the preference order" o first;
+      check
+        (Alcotest.list Alcotest.int)
+        "order is a permutation of the shards" [ 0; 1; 2; 3 ]
+        (List.sort compare order)
+    | [] -> fail "empty preference order"
+  done;
+  (* vnodes keep ownership balanced: no shard starves over 400 keys *)
+  let counts = Array.make 4 0 in
+  for i = 0 to 399 do
+    let o = Proxy.Farm.owner farm (Printf.sprintf "b%d/x" i) in
+    counts.(o) <- counts.(o) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      check Alcotest.bool
+        (Printf.sprintf "shard %d owns a fair share (%d/400)" i c)
+        true (c > 40))
+    counts
+
+let test_request_routes_to_owner () =
+  let engine = Simnet.Engine.create () in
+  let farm, pool = make_farm ~shards:4 engine in
+  let cls = "some/Applet" in
+  let o = Proxy.Farm.owner farm cls in
+  let got = ref None in
+  Proxy.Farm.request farm ~cls (fun r -> got := Some r);
+  Simnet.Engine.run engine;
+  (match !got with
+  | Some (Proxy.Bytes _) -> ()
+  | _ -> fail "owner did not serve");
+  Array.iteri
+    (fun i p ->
+      check Alcotest.int
+        (Printf.sprintf "shard %d request count" i)
+        (if i = o then 1 else 0)
+        p.Proxy.requests)
+    pool;
+  check Alcotest.int "no failover on the happy path" 0
+    farm.Proxy.Farm.failovers
+
+(* --- Failover. --- *)
+
+let test_failover_walks_ring_and_returns () =
+  let engine = Simnet.Engine.create () in
+  let farm, pool = make_farm ~shards:4 engine in
+  let cls = "some/Applet" in
+  let order = Proxy.Farm.preference_order farm cls in
+  let owner = List.nth order 0 and second = List.nth order 1 in
+  Simnet.Host.crash pool.(owner).Proxy.host;
+  let got = ref None in
+  Proxy.Farm.request farm ~cls (fun r -> got := Some r);
+  Simnet.Engine.run engine;
+  (match !got with
+  | Some (Proxy.Bytes _) -> ()
+  | _ -> fail "secondary did not serve");
+  check Alcotest.int "served by the next shard on the ring" 1
+    pool.(second).Proxy.requests;
+  check Alcotest.int "down owner untouched" 0 pool.(owner).Proxy.requests;
+  check Alcotest.int "failover counted" 1 farm.Proxy.Farm.failovers;
+  check Alcotest.bool "health view marks the owner down" false
+    (Proxy.Farm.health farm).(owner);
+  (* a restarted owner takes its keys back immediately *)
+  Simnet.Host.restart pool.(owner).Proxy.host;
+  Proxy.Farm.request farm ~cls (fun _ -> ());
+  Simnet.Engine.run engine;
+  check Alcotest.int "owner serves again after restart" 1
+    pool.(owner).Proxy.requests;
+  check Alcotest.int "no new failover" 1 farm.Proxy.Farm.failovers
+
+let test_mid_flight_crash_fails_over () =
+  let engine = Simnet.Engine.create () in
+  let farm, pool = make_farm ~shards:3 ~origin_latency_ms:100 engine in
+  let cls = "some/Applet" in
+  let order = Proxy.Farm.preference_order farm cls in
+  let owner = List.nth order 0 and second = List.nth order 1 in
+  let got = ref None in
+  Proxy.Farm.request farm ~cls (fun r -> got := Some r);
+  (* crash the owner while its pipeline run occupies the CPU *)
+  Simnet.Engine.schedule engine ~delay:100_200L (fun () ->
+      Simnet.Host.crash pool.(owner).Proxy.host);
+  Simnet.Engine.run engine;
+  (match !got with
+  | Some (Proxy.Bytes _) -> ()
+  | _ -> fail "request lost in mid-flight crash");
+  check Alcotest.int "handed to the next shard" 1 pool.(second).Proxy.requests;
+  check Alcotest.int "failover counted" 1 farm.Proxy.Farm.failovers
+
+let test_all_down_unavailable () =
+  let engine = Simnet.Engine.create () in
+  let farm, pool = make_farm ~shards:3 engine in
+  Array.iter (fun p -> Simnet.Host.crash p.Proxy.host) pool;
+  let got = ref None in
+  Proxy.Farm.request farm ~cls:"some/Applet" (fun r -> got := Some r);
+  Simnet.Engine.run engine;
+  (match !got with
+  | Some Proxy.Unavailable -> ()
+  | _ -> fail "expected Unavailable with every shard down");
+  check Alcotest.int "unavailable counted" 1 farm.Proxy.Farm.unavailable
+
+(* --- Determinism and shard-count invariance. --- *)
+
+let test_same_seed_same_trace () =
+  let go () =
+    Dvm.Scaling.run_farm ~duration_s:8 ~seed:11 ~clients:10 ~applet_count:5
+      ~cache_capacity:(8 * 1024 * 1024) ~shards:3 ()
+  in
+  let p1 = go () and p2 = go () in
+  check Alcotest.bool "trace digest nonempty" true
+    (String.length p1.Dvm.Scaling.f_trace_digest > 0);
+  check Alcotest.string "identical event traces under a fixed seed"
+    p1.Dvm.Scaling.f_trace_digest p2.Dvm.Scaling.f_trace_digest;
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "identical served digests" p1.Dvm.Scaling.f_served
+    p2.Dvm.Scaling.f_served;
+  check Alcotest.int "identical completion counts"
+    p1.Dvm.Scaling.f_requests_completed p2.Dvm.Scaling.f_requests_completed
+
+let test_shard_count_invariant_bytes () =
+  (* The farm changes who does the work, never the work: the rewritten
+     bytes served for each applet are identical whatever the shard
+     count. (Shared popular workload so both configurations serve the
+     same name set.) *)
+  let go shards =
+    Dvm.Scaling.run_farm ~duration_s:10 ~seed:5 ~clients:12 ~applet_count:6
+      ~cache_capacity:(16 * 1024 * 1024) ~shards ()
+  in
+  let one = go 1 and three = go 3 in
+  check Alcotest.bool "all applets served" true
+    (List.length one.Dvm.Scaling.f_served = 6
+    && List.length three.Dvm.Scaling.f_served = 6);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+    "served bytes identical across shard counts" one.Dvm.Scaling.f_served
+    three.Dvm.Scaling.f_served
+
+(* --- The scaling experiment. --- *)
+
+let test_farm_scaling_past_the_knee () =
+  (* Past a single proxy's memory knee, sharding divides the
+     per-client state: aggregate throughput from 1 -> 4 shards must
+     grow at least 3x (a small memory budget keeps the test quick;
+     the regime is the same as 400 clients against 64 MB). *)
+  let go shards =
+    Dvm.Scaling.run_farm ~duration_s:8 ~seed:7 ~clients:48 ~applet_count:8
+      ~mem_capacity:(4 * 1024 * 1024) ~shards ()
+  in
+  let one = go 1 and four = go 4 in
+  check Alcotest.bool "one shard is thrashing" true
+    (one.Dvm.Scaling.f_throughput_bytes_per_s > 0.0);
+  let ratio =
+    four.Dvm.Scaling.f_throughput_bytes_per_s
+    /. one.Dvm.Scaling.f_throughput_bytes_per_s
+  in
+  check Alcotest.bool
+    (Printf.sprintf "1 -> 4 shards scales >= 3x (got %.1fx)" ratio)
+    true (ratio >= 3.0)
+
+let test_coalescing_under_shared_load () =
+  (* Shared popular workload: concurrent misses for the same class
+     must coalesce (counter > 0) and the pipeline must run far fewer
+     times than there are completions. Byte-identity of coalesced
+     replies is enforced inside run_farm (divergence is fatal). *)
+  let p =
+    Dvm.Scaling.run_farm ~duration_s:8 ~seed:7 ~clients:40 ~applet_count:4
+      ~cache_capacity:(16 * 1024 * 1024) ~shards:2 ()
+  in
+  check Alcotest.bool "requests coalesced" true (p.Dvm.Scaling.f_coalesced > 0);
+  check Alcotest.bool "pipeline ran once per class" true
+    (p.Dvm.Scaling.f_pipeline_runs <= 4);
+  check Alcotest.bool "completions exceed pipeline runs" true
+    (p.Dvm.Scaling.f_requests_completed > p.Dvm.Scaling.f_pipeline_runs)
+
+let () =
+  Alcotest.run "farm"
+    [
+      ( "routing",
+        [
+          Alcotest.test_case "ring ownership" `Quick test_ring_routing;
+          Alcotest.test_case "routes to owner" `Quick
+            test_request_routes_to_owner;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "walks ring and returns" `Quick
+            test_failover_walks_ring_and_returns;
+          Alcotest.test_case "mid-flight crash" `Quick
+            test_mid_flight_crash_fails_over;
+          Alcotest.test_case "all shards down" `Quick test_all_down_unavailable;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same trace" `Quick
+            test_same_seed_same_trace;
+          Alcotest.test_case "shard-count-invariant bytes" `Quick
+            test_shard_count_invariant_bytes;
+        ] );
+      ( "scaling",
+        [
+          Alcotest.test_case "3x past the knee" `Quick
+            test_farm_scaling_past_the_knee;
+          Alcotest.test_case "coalescing under shared load" `Quick
+            test_coalescing_under_shared_load;
+        ] );
+    ]

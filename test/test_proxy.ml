@@ -33,6 +33,63 @@ let test_cache_oversized_not_stored () =
   Proxy.Cache.store c "big" (String.make 100 'x');
   check Alcotest.bool "not stored" true (Proxy.Cache.find c "big" = None)
 
+let test_cache_restart_drops_not_evictions () =
+  (* Regression: [drop_fraction] used to funnel through [evict_one],
+     so a restart's cold-cache drop inflated the capacity-eviction
+     statistic (and republished the occupancy gauges once per dropped
+     entry). Restart drops are their own counter. *)
+  let reg = Telemetry.default in
+  Telemetry.reset reg;
+  Telemetry.enable reg;
+  Fun.protect
+    ~finally:(fun () -> Telemetry.disable reg)
+    (fun () ->
+      let c = Proxy.Cache.create ~capacity:1000 in
+      Proxy.Cache.store c "a" (String.make 100 'a');
+      Proxy.Cache.store c "b" (String.make 100 'b');
+      Proxy.Cache.store c "c" (String.make 100 'c');
+      Proxy.Cache.store c "d" (String.make 100 'd');
+      Proxy.Cache.drop_fraction c ~fraction:0.5;
+      check Alcotest.int "half dropped" 2 (Proxy.Cache.size c);
+      check Alcotest.int "restart drops counted" 2 c.Proxy.Cache.restart_drops;
+      check Alcotest.int "evictions not conflated" 0 c.Proxy.Cache.evictions;
+      check Alcotest.int64 "restart_drops counter" 2L
+        (Telemetry.counter_value reg "cache.restart_drops");
+      check Alcotest.int64 "no eviction counter noise" 0L
+        (Telemetry.counter_value reg "cache.evictions");
+      check Alcotest.int64 "occupancy gauge refreshed" 200L
+        (Telemetry.gauge_value reg "cache.bytes_used");
+      (* LRU entries go first: the oldest two are gone *)
+      check Alcotest.bool "lru dropped first" true
+        (Proxy.Cache.find c "a" = None
+        && Proxy.Cache.find c "b" = None
+        && Proxy.Cache.find c "c" <> None
+        && Proxy.Cache.find c "d" <> None);
+      Proxy.Cache.drop_fraction c ~fraction:1.0;
+      check Alcotest.int "full drop empties" 0 (Proxy.Cache.size c);
+      check Alcotest.int "full drop counted" 4 c.Proxy.Cache.restart_drops)
+
+let test_cache_disabled_counts_miss () =
+  (* Regression: [find] on a disabled cache (capacity 0) used to
+     return early without counting, so cache-off runs reported a 0/0
+     hit ratio instead of all-miss. *)
+  let c = Proxy.Cache.create ~capacity:0 in
+  check Alcotest.bool "no hit" true (Proxy.Cache.find c "a" = None);
+  check Alcotest.bool "still no hit" true (Proxy.Cache.find c "b" = None);
+  check Alcotest.int "misses counted" 2 c.Proxy.Cache.misses
+
+let test_cache_oversize_skip_counter () =
+  (* An entry bigger than the whole cache can never fit: it must be
+     skipped and counted — not silently dropped after evicting every
+     resident entry in a futile attempt to make room. *)
+  let c = Proxy.Cache.create ~capacity:100 in
+  Proxy.Cache.store c "small" (String.make 40 's');
+  Proxy.Cache.store c "big" (String.make 200 'x');
+  check Alcotest.bool "big skipped" true (Proxy.Cache.find c "big" = None);
+  check Alcotest.bool "small survives" true (Proxy.Cache.find c "small" <> None);
+  check Alcotest.int "skip counted" 1 c.Proxy.Cache.oversize_skips;
+  check Alcotest.int "no eviction churn" 0 c.Proxy.Cache.evictions
+
 (* --- Pipeline. --- *)
 
 let hello =
@@ -221,6 +278,120 @@ let test_http_truncation_boundaries () =
     | exception Proxy.Httpwire.Bad_message _ -> ()
   done
 
+let test_http_request_framing_enforced () =
+  (* Regression: the request decoder used to take everything up to the
+     first "\r" as the request line and ignore the rest, accepting
+     truncated framing and trailing garbage that the response decoder
+     rejects. Both directions must demand the full "\r\n\r\n". *)
+  List.iter
+    (fun bad ->
+      match Proxy.Httpwire.decode_request bad with
+      | _ -> fail ("accepted bad request framing: " ^ String.escaped bad)
+      | exception Proxy.Httpwire.Bad_message _ -> ())
+    [
+      (* truncated after the request line CRLF *)
+      "GET /A DVM/1.0\r\n";
+      (* a lone CR where the separator belongs *)
+      "GET /A DVM/1.0\rxx\n";
+      (* LF-only separator *)
+      "GET /A DVM/1.0\n\n";
+      (* trailing garbage after a well-formed request *)
+      "GET /A DVM/1.0\r\n\r\nGET /B DVM/1.0\r\n\r\n";
+      "GET /A DVM/1.0\r\n\r\nx";
+    ]
+
+(* --- Wire protocol: property tests. --- *)
+
+(* Class names as they appear on the wire: resource-path characters,
+   no whitespace or CR/LF (those are framing, not payload). *)
+let arbitrary_cls =
+  let open QCheck.Gen in
+  let cls_char =
+    oneof
+      [
+        char_range 'a' 'z';
+        char_range 'A' 'Z';
+        char_range '0' '9';
+        oneofl [ '/'; '$'; '_'; '-'; '.' ];
+      ]
+  in
+  QCheck.make
+    ~print:(fun s -> s)
+    (string_size ~gen:cls_char (int_range 1 40))
+
+(* Bodies are arbitrary bytes — rewritten class files are binary. *)
+let arbitrary_body =
+  QCheck.make
+    ~print:String.escaped
+    QCheck.Gen.(string_size ~gen:char (int_range 0 80))
+
+let arbitrary_status =
+  QCheck.make
+    (QCheck.Gen.oneofl
+       [ Proxy.Httpwire.Ok_200; Proxy.Httpwire.Not_found_404;
+         Proxy.Httpwire.Bad_request_400 ])
+
+let request_rejected data =
+  match Proxy.Httpwire.decode_request data with
+  | _ -> false
+  | exception Proxy.Httpwire.Bad_message _ -> true
+
+let response_rejected data =
+  match Proxy.Httpwire.decode_response data with
+  | _ -> false
+  | exception Proxy.Httpwire.Bad_message _ -> true
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request roundtrip" ~count:300 arbitrary_cls
+    (fun cls ->
+      String.equal cls
+        (Proxy.Httpwire.decode_request (Proxy.Httpwire.encode_request ~cls)))
+
+let prop_request_truncation =
+  QCheck.Test.make ~name:"request rejects every truncation" ~count:100
+    arbitrary_cls (fun cls ->
+      let full = Proxy.Httpwire.encode_request ~cls in
+      let ok = ref true in
+      for len = 0 to String.length full - 1 do
+        if not (request_rejected (String.sub full 0 len)) then ok := false
+      done;
+      !ok)
+
+let prop_request_trailing_garbage =
+  QCheck.Test.make ~name:"request rejects trailing garbage" ~count:100
+    QCheck.(pair arbitrary_cls (string_gen_of_size Gen.(int_range 1 20) Gen.char))
+    (fun (cls, junk) ->
+      request_rejected (Proxy.Httpwire.encode_request ~cls ^ junk))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response roundtrip" ~count:300
+    QCheck.(pair arbitrary_status arbitrary_body)
+    (fun (status, body) ->
+      let status', body' =
+        Proxy.Httpwire.decode_response
+          (Proxy.Httpwire.encode_response ~status ~body)
+      in
+      status = status' && String.equal body body')
+
+let prop_response_truncation =
+  QCheck.Test.make ~name:"response rejects every truncation" ~count:100
+    QCheck.(pair arbitrary_status arbitrary_body)
+    (fun (status, body) ->
+      let full = Proxy.Httpwire.encode_response ~status ~body in
+      let ok = ref true in
+      for len = 0 to String.length full - 1 do
+        if not (response_rejected (String.sub full 0 len)) then ok := false
+      done;
+      !ok)
+
+let prop_response_trailing_garbage =
+  QCheck.Test.make ~name:"response rejects trailing garbage" ~count:100
+    QCheck.(
+      triple arbitrary_status arbitrary_body
+        (string_gen_of_size Gen.(int_range 1 20) Gen.char))
+    (fun (status, body, junk) ->
+      response_rejected (Proxy.Httpwire.encode_response ~status ~body ^ junk))
+
 (* --- Proxy request paths. --- *)
 
 let origin_for classes =
@@ -339,6 +510,103 @@ let test_cache_gauges_refresh_on_evict () =
       check Alcotest.int64 "entries gauge tracks eviction" 2L
         (Telemetry.gauge_value reg "cache.entries"))
 
+let test_single_flight_coalesces () =
+  let engine = Simnet.Engine.create () in
+  let proxy =
+    Proxy.create engine
+      ~origin:(origin_for [ hello ])
+      ~origin_latency:(fun _ -> Simnet.Engine.ms 100)
+      ~filters:(filters ()) ()
+  in
+  let replies = ref [] in
+  for _ = 1 to 3 do
+    Proxy.request proxy ~cls:"Hello" (fun r -> replies := r :: !replies)
+  done;
+  Simnet.Engine.run engine;
+  (match !replies with
+  | [ Proxy.Bytes a; Proxy.Bytes b; Proxy.Bytes c ] ->
+    check Alcotest.string "identical bytes (1=2)" a b;
+    check Alcotest.string "identical bytes (2=3)" b c
+  | rs -> fail (Printf.sprintf "expected 3 served replies, got %d" (List.length rs)));
+  check Alcotest.int "one pipeline run" 1 proxy.Proxy.pipeline_runs;
+  check Alcotest.int "one origin fetch" 1 proxy.Proxy.origin_fetches;
+  check Alcotest.int "two joined the leader" 2 proxy.Proxy.coalesced;
+  check Alcotest.int "inflight table drained" 0
+    (Hashtbl.length proxy.Proxy.inflight);
+  (* a later request is an ordinary cache hit, not a new flight *)
+  Proxy.request proxy ~cls:"Hello" (fun _ -> ());
+  Simnet.Engine.run engine;
+  check Alcotest.int "still one pipeline run" 1 proxy.Proxy.pipeline_runs
+
+let test_single_flight_crash_fails_all_waiters () =
+  (* A crash mid-flight settles the whole flight as failed: the leader
+     and every joined waiter fail through their own [on_fail], and the
+     in-flight entry is dropped so a post-restart retry starts fresh. *)
+  let engine = Simnet.Engine.create () in
+  let proxy =
+    Proxy.create engine
+      ~origin:(origin_for [ hello ])
+      ~origin_latency:(fun _ -> Simnet.Engine.ms 100)
+      ~filters:(filters ()) ()
+  in
+  let served = ref 0 and failed = ref 0 in
+  let issue () =
+    Proxy.request proxy ~cls:"Hello"
+      ~on_fail:(fun () -> incr failed)
+      (fun _ -> incr served)
+  in
+  issue ();
+  issue ();
+  (* crash while the leader's pipeline run occupies the CPU: origin
+     latency is 100 ms and the pipeline needs >1 ms of compute *)
+  Simnet.Engine.schedule engine ~delay:100_500L (fun () ->
+      Simnet.Host.crash proxy.Proxy.host);
+  Simnet.Engine.run engine;
+  check Alcotest.int "nothing served" 0 !served;
+  check Alcotest.int "leader and waiter both failed" 2 !failed;
+  check Alcotest.int "inflight entry dropped" 0
+    (Hashtbl.length proxy.Proxy.inflight);
+  (* after restart, a retry is a fresh flight and succeeds *)
+  Simnet.Host.restart proxy.Proxy.host;
+  let ok = ref false in
+  Proxy.request proxy ~cls:"Hello" (fun r ->
+      match r with Proxy.Bytes _ -> ok := true | _ -> ());
+  Simnet.Engine.run engine;
+  check Alcotest.bool "retry after restart served" true !ok
+
+let test_shared_l2_rewarm () =
+  (* Two shards share one L2: the second shard serves the class from
+     its peer's pipeline output (no pipeline run, no origin fetch),
+     and a shard that loses its L1 to a restart rewarms from the L2. *)
+  let engine = Simnet.Engine.create () in
+  let l2 = Proxy.Cache.create ~capacity:(1024 * 1024) in
+  let mk name =
+    Proxy.create engine ~host_name:name ~l2
+      ~origin:(origin_for [ hello ])
+      ~origin_latency:(fun _ -> 0L)
+      ~filters:(filters ()) ()
+  in
+  let a = mk "shard-a" and b = mk "shard-b" in
+  let bytes_a =
+    match Proxy.request_sync a ~cls:"Hello" with
+    | Proxy.Bytes x -> x
+    | _ -> fail "shard a did not serve"
+  in
+  check Alcotest.int "a ran the pipeline" 1 a.Proxy.pipeline_runs;
+  (match Proxy.request_sync b ~cls:"Hello" with
+  | Proxy.Bytes x -> check Alcotest.string "identical bytes from L2" bytes_a x
+  | _ -> fail "shard b did not serve");
+  check Alcotest.int "b skipped the pipeline" 0 b.Proxy.pipeline_runs;
+  check Alcotest.int "b never touched the origin" 0 b.Proxy.origin_fetches;
+  check Alcotest.int "b hit the shared tier" 1 b.Proxy.l2_hits;
+  (* cold restart: b's L1 is gone, the shared tier still has the class *)
+  Proxy.Cache.drop_fraction b.Proxy.cache ~fraction:1.0;
+  (match Proxy.request_sync b ~cls:"Hello" with
+  | Proxy.Bytes x -> check Alcotest.string "rewarmed bytes identical" bytes_a x
+  | _ -> fail "shard b did not rewarm");
+  check Alcotest.int "rewarm came from the L2" 2 b.Proxy.l2_hits;
+  check Alcotest.int "still no pipeline run on b" 0 b.Proxy.pipeline_runs
+
 let test_audit_trail () =
   let engine = Simnet.Engine.create () in
   let audit = Monitor.Audit.create () in
@@ -365,6 +633,12 @@ let () =
           Alcotest.test_case "oversized" `Quick test_cache_oversized_not_stored;
           Alcotest.test_case "gauges refresh on evict" `Quick
             test_cache_gauges_refresh_on_evict;
+          Alcotest.test_case "restart drops not evictions" `Quick
+            test_cache_restart_drops_not_evictions;
+          Alcotest.test_case "disabled cache counts misses" `Quick
+            test_cache_disabled_counts_miss;
+          Alcotest.test_case "oversize skip counter" `Quick
+            test_cache_oversize_skip_counter;
         ] );
       ( "pipeline",
         [
@@ -388,7 +662,19 @@ let () =
             test_http_separator_enforced;
           Alcotest.test_case "truncation boundaries" `Quick
             test_http_truncation_boundaries;
+          Alcotest.test_case "request framing enforced" `Quick
+            test_http_request_framing_enforced;
         ] );
+      ( "wire-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_request_roundtrip;
+            prop_request_truncation;
+            prop_request_trailing_garbage;
+            prop_response_roundtrip;
+            prop_response_truncation;
+            prop_response_trailing_garbage;
+          ] );
       ( "requests",
         [
           Alcotest.test_case "sync + cache" `Quick test_request_sync_and_cache;
@@ -398,5 +684,13 @@ let () =
           Alcotest.test_case "audit trail" `Quick test_audit_trail;
           Alcotest.test_case "cache-hit audit timing" `Quick
             test_cache_hit_audit_timing;
+        ] );
+      ( "single-flight",
+        [
+          Alcotest.test_case "coalesces concurrent misses" `Quick
+            test_single_flight_coalesces;
+          Alcotest.test_case "crash fails all waiters" `Quick
+            test_single_flight_crash_fails_all_waiters;
+          Alcotest.test_case "shared L2 rewarm" `Quick test_shared_l2_rewarm;
         ] );
     ]
