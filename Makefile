@@ -1,4 +1,4 @@
-.PHONY: all build test lint farm-smoke check clean
+.PHONY: all build test lint farm-smoke chaos-smoke check clean
 
 all: build
 
@@ -21,6 +21,14 @@ farm-smoke:
 	dune exec bin/dvmctl.exe -- farm --clients 24 --shards 1,2 --duration 5 --applets 8
 	dune exec bin/dvmctl.exe -- farm --clients 24 --shards 2 --duration 5 --applets 4 --cache 16 --l2 32
 
+# Smoke-scale chaos run: a short seeded schedule (one crash window,
+# LAN loss, a flash-crowd spike) against the overload controls.
+# dvmctl exits nonzero if any of the three invariants — digest
+# integrity, zero late serves, post-fault recovery — fails.
+chaos-smoke:
+	dune exec bin/dvmctl.exe -- chaos --clients 12 --duration 12 \
+	  --spike-start 3 --spike-len 5 --crashes 1 --loss 1.0 --trace
+
 # The gate a PR must pass: everything builds, every test is green, and
 # no build artifacts are tracked or dirtying the tree.
 check:
@@ -28,6 +36,7 @@ check:
 	dune runtest
 	dune exec bin/dvmctl.exe -- lint
 	$(MAKE) farm-smoke
+	$(MAKE) chaos-smoke
 	@if git ls-files | grep -q '^_build/'; then \
 	  echo "check: _build/ files are tracked in git" >&2; exit 1; fi
 	@if git status --porcelain | grep -q '_build'; then \

@@ -7,7 +7,7 @@
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe fig6       runs one experiment
      (fig5 fig6 fig7 fig8 fig9 applets fig10 fig11 fig12 ablations elide
-      faults micro)
+      faults farm chaos micro)
 *)
 
 let section title =
@@ -28,7 +28,10 @@ let telemetry_wanted =
   | Some ("0" | "false" | "off") -> false
   | _ -> true
 
-let with_phase name f =
+(* [json] additionally emits the phase's latency histograms as one
+   JSON line (name, count, p50/p95/p99, ...) for machine consumers —
+   the load/fault phases where tail latency is the result. *)
+let with_phase ?(json = false) name f =
   if not telemetry_wanted then f ()
   else begin
     Telemetry.reset Telemetry.default;
@@ -37,6 +40,9 @@ let with_phase name f =
       ~finally:(fun () ->
         Printf.printf "\n--- %s: telemetry ---\n%s" name
           (Telemetry.metrics_snapshot Telemetry.default);
+        if json then
+          Printf.printf "\n--- %s: histograms (json) ---\n%s\n" name
+            (Telemetry.histograms_json Telemetry.default);
         Telemetry.disable Telemetry.default)
       f
   end
@@ -887,6 +893,43 @@ let farm () =
     cached.Dvm.Scaling.f_requests_completed cached.Dvm.Scaling.f_pipeline_runs
     cached.Dvm.Scaling.f_coalesced cached.Dvm.Scaling.f_l2_hits
 
+(* --- Chaos: overload control under a scripted load spike. --- *)
+
+let chaos () =
+  section "Chaos: overload control under faults and a 3x load spike";
+  let cfg = Dvm.Chaos.default_config in
+  Printf.printf
+    "%d shards, %d clients (x%d flash crowd at %d..%ds), %d crash windows,\n\
+     %.1f%% LAN loss, %.0f ms deadline budget, seed %d\n\n"
+    cfg.Dvm.Chaos.ch_shards cfg.Dvm.Chaos.ch_clients
+    cfg.Dvm.Chaos.ch_spike_factor cfg.Dvm.Chaos.ch_spike_start_s
+    (cfg.Dvm.Chaos.ch_spike_start_s + cfg.Dvm.Chaos.ch_spike_len_s)
+    cfg.Dvm.Chaos.ch_crashes cfg.Dvm.Chaos.ch_loss_pct
+    (Int64.to_float cfg.Dvm.Chaos.ch_budget_us /. 1e3)
+    cfg.Dvm.Chaos.ch_seed;
+  subsection "overload control on vs off (same spike, same seed)";
+  let cmp = Dvm.Chaos.spike_comparison cfg in
+  Dvm.Chaos.print_outcome ~label:"control" cmp.Dvm.Chaos.cmp_control;
+  Dvm.Chaos.print_outcome ~label:"baseline" cmp.Dvm.Chaos.cmp_baseline;
+  Printf.printf
+    "\ngoodput (in-deadline bytes/s) with control = %.2fx baseline (bar: \
+     >= 2x)\n"
+    cmp.Dvm.Chaos.cmp_goodput_ratio;
+  subsection "invariants vs the fault-free reference run";
+  let v = Dvm.Chaos.verify cfg in
+  Dvm.Chaos.print_outcome ~label:"reference" v.Dvm.Chaos.v_reference;
+  Dvm.Chaos.print_outcome ~label:"chaotic" v.Dvm.Chaos.v_chaotic;
+  Printf.printf
+    "\nserved bytes digest-identical: %b\n\
+     zero serves past deadline:     %b\n\
+     steady-state recovery:         %b (tail serves %d vs reference %d)\n"
+    v.Dvm.Chaos.v_digests_ok v.Dvm.Chaos.v_no_late_serves
+    v.Dvm.Chaos.v_recovered v.Dvm.Chaos.v_chaotic.Dvm.Chaos.co_tail_served
+    v.Dvm.Chaos.v_reference.Dvm.Chaos.co_tail_served;
+  subsection "injected-fault trace (replayable from the seed)";
+  List.iter (Printf.printf "  %s\n")
+    v.Dvm.Chaos.v_chaotic.Dvm.Chaos.co_fault_trace
+
 let all () =
   with_phase "fig5" fig5;
   with_phase "fig6" fig6;
@@ -899,8 +942,9 @@ let all () =
   with_phase "fig12" fig12;
   with_phase "ablations" ablations;
   with_phase "elide" elide;
-  with_phase "faults" faults;
-  with_phase "farm" farm;
+  with_phase ~json:true "faults" faults;
+  with_phase ~json:true "farm" farm;
+  with_phase ~json:true "chaos" chaos;
   micro ()
 
 let () =
@@ -917,13 +961,14 @@ let () =
   | "fig12" -> with_phase "fig12" fig12
   | "ablations" -> with_phase "ablations" ablations
   | "elide" -> with_phase "elide" elide
-  | "faults" -> with_phase "faults" faults
-  | "farm" -> with_phase "farm" farm
+  | "faults" -> with_phase ~json:true "faults" faults
+  | "farm" -> with_phase ~json:true "farm" farm
+  | "chaos" -> with_phase ~json:true "chaos" chaos
   | "micro" -> micro ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown target %S (expected fig5..fig12, applets, ablations, elide, \
-       faults, farm, micro, all)\n"
+       faults, farm, chaos, micro, all)\n"
       other;
     exit 1

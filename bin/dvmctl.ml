@@ -12,6 +12,10 @@
      dvmctl bench <target>        shortcut for bench/main.exe targets
      dvmctl farm [opts]           sweep the sharded proxy farm over shard
                                   counts (Figure-10-style scaling curve)
+     dvmctl chaos [opts]          seeded chaos run against the farm's
+                                  overload controls: crash windows, LAN
+                                  loss, a flash-crowd spike; checks the
+                                  integrity/deadline/recovery invariants
 *)
 
 open Cmdliner
@@ -500,6 +504,62 @@ let farm clients shard_counts duration applets cache_mb l2_mb seed =
       !compared !mismatches);
   0
 
+(* --- chaos: the overload-control chaos harness. --- *)
+
+let chaos seed shards clients duration spike spike_start spike_len crashes
+    loss budget_ms no_control compare trace =
+  let cfg =
+    {
+      Dvm.Chaos.default_config with
+      Dvm.Chaos.ch_seed = seed;
+      ch_shards = shards;
+      ch_clients = clients;
+      ch_duration_s = duration;
+      ch_spike_factor = spike;
+      ch_spike_start_s = spike_start;
+      ch_spike_len_s = spike_len;
+      ch_crashes = crashes;
+      ch_loss_pct = loss;
+      ch_budget_us = Int64.of_int (budget_ms * 1000);
+      ch_control = not no_control;
+    }
+  in
+  Printf.printf
+    "chaos: %d shards, %d clients (x%d flash crowd at %d..%ds), %d crash \
+     windows,\n\
+     %.1f%% LAN loss, %d ms deadline budget, overload control %s, seed %d\n\n"
+    cfg.Dvm.Chaos.ch_shards cfg.Dvm.Chaos.ch_clients
+    cfg.Dvm.Chaos.ch_spike_factor cfg.Dvm.Chaos.ch_spike_start_s
+    (cfg.Dvm.Chaos.ch_spike_start_s + cfg.Dvm.Chaos.ch_spike_len_s)
+    cfg.Dvm.Chaos.ch_crashes cfg.Dvm.Chaos.ch_loss_pct budget_ms
+    (if cfg.Dvm.Chaos.ch_control then "on" else "OFF")
+    cfg.Dvm.Chaos.ch_seed;
+  if compare then begin
+    let cmp = Dvm.Chaos.spike_comparison cfg in
+    Dvm.Chaos.print_outcome ~label:"control" cmp.Dvm.Chaos.cmp_control;
+    Dvm.Chaos.print_outcome ~label:"baseline" cmp.Dvm.Chaos.cmp_baseline;
+    Printf.printf "\ngoodput with control = %.2fx baseline\n"
+      cmp.Dvm.Chaos.cmp_goodput_ratio
+  end;
+  let v = Dvm.Chaos.verify cfg in
+  if compare then print_newline ();
+  Dvm.Chaos.print_outcome ~label:"reference" v.Dvm.Chaos.v_reference;
+  Dvm.Chaos.print_outcome ~label:"chaotic" v.Dvm.Chaos.v_chaotic;
+  Printf.printf
+    "\nserved bytes digest-identical: %b\n\
+     zero serves past deadline:     %b\n\
+     steady-state recovery:         %b (tail serves %d vs reference %d)\n"
+    v.Dvm.Chaos.v_digests_ok v.Dvm.Chaos.v_no_late_serves
+    v.Dvm.Chaos.v_recovered v.Dvm.Chaos.v_chaotic.Dvm.Chaos.co_tail_served
+    v.Dvm.Chaos.v_reference.Dvm.Chaos.co_tail_served;
+  if trace then begin
+    Printf.printf "\ninjected-fault trace (replayable from seed %d):\n" seed;
+    match v.Dvm.Chaos.v_chaotic.Dvm.Chaos.co_fault_trace with
+    | [] -> print_endline "  (no faults injected)"
+    | lines -> List.iter (Printf.printf "  %s\n") lines
+  end;
+  if Dvm.Chaos.ok v then 0 else 1
+
 (* --- Cmdliner plumbing. --- *)
 
 let gen_cmd =
@@ -703,6 +763,82 @@ let farm_cmd =
     Term.(const farm $ clients $ shards $ duration $ applets $ cache $ l2
           $ seed)
 
+let chaos_cmd =
+  let d = Dvm.Chaos.default_config in
+  let seed =
+    Arg.(value & opt int d.Dvm.Chaos.ch_seed
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"chaos-schedule seed; the run is a pure function of it")
+  in
+  let shards =
+    Arg.(value & opt int d.Dvm.Chaos.ch_shards
+         & info [ "shards" ] ~docv:"N" ~doc:"farm shard count")
+  in
+  let clients =
+    Arg.(value & opt int d.Dvm.Chaos.ch_clients
+         & info [ "clients" ] ~docv:"N" ~doc:"steady-state browsing clients")
+  in
+  let duration =
+    Arg.(value & opt int d.Dvm.Chaos.ch_duration_s
+         & info [ "duration" ] ~docv:"S" ~doc:"simulated seconds")
+  in
+  let spike =
+    Arg.(value & opt int d.Dvm.Chaos.ch_spike_factor
+         & info [ "spike" ] ~docv:"X"
+             ~doc:"flash crowd: total offered clients during the spike \
+                   window, as a multiple of the steady-state count")
+  in
+  let spike_start =
+    Arg.(value & opt int d.Dvm.Chaos.ch_spike_start_s
+         & info [ "spike-start" ] ~docv:"S" ~doc:"spike window start")
+  in
+  let spike_len =
+    Arg.(value & opt int d.Dvm.Chaos.ch_spike_len_s
+         & info [ "spike-len" ] ~docv:"S"
+             ~doc:"spike window length (0 disables the spike)")
+  in
+  let crashes =
+    Arg.(value & opt int d.Dvm.Chaos.ch_crashes
+         & info [ "crashes" ] ~docv:"N"
+             ~doc:"shard crash/restart windows drawn from the seed")
+  in
+  let loss =
+    Arg.(value & opt float d.Dvm.Chaos.ch_loss_pct
+         & info [ "loss" ] ~docv:"PCT" ~doc:"client-LAN packet loss")
+  in
+  let budget =
+    Arg.(value & opt int (Int64.to_int d.Dvm.Chaos.ch_budget_us / 1000)
+         & info [ "budget" ] ~docv:"MS" ~doc:"per-fetch deadline budget (ms)")
+  in
+  let no_control =
+    Arg.(value & flag
+         & info [ "no-control" ]
+             ~doc:"disable the overload controls (deadline kept client-side \
+                   only, no shedding, no hedging, no retry budget)")
+  in
+  let compare =
+    Arg.(value & flag
+         & info [ "compare" ]
+             ~doc:"also run the control-on vs control-off spike comparison \
+                   and print the goodput ratio")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"print the injected-fault trace")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded chaos schedule (shard crash/restart windows, LAN \
+          loss and jitter, a flash-crowd load spike) against the farm's \
+          overload controls and check the three invariants: served bytes \
+          digest-identical to a fault-free run, zero serves past their \
+          deadline, and recovery to steady-state throughput once faults \
+          clear. Exits nonzero if any invariant fails")
+    Term.(const chaos $ seed $ shards $ clients $ duration $ spike
+          $ spike_start $ spike_len $ crashes $ loss $ budget $ no_control
+          $ compare $ trace)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dvmctl" ~version:"1.0"
@@ -710,6 +846,7 @@ let main_cmd =
     [
       gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd;
       analyze_cmd; lint_cmd; trace_cmd; metrics_cmd; faults_cmd; farm_cmd;
+      chaos_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

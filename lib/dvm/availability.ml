@@ -105,6 +105,7 @@ let run ?(scenario = default_scenario) ~loss_pct ~replicas () =
     | cls :: rest ->
       let rec attempt n =
         incr requests;
+        let started = Simnet.Engine.now engine in
         let settled = ref false in
         (* One failure path for timeout, loss and Unavailable; the
            [settled] flag makes late replies and stale timeouts
@@ -136,9 +137,12 @@ let run ?(scenario = default_scenario) ~loss_pct ~replicas () =
               Simnet.Link.transfer lan ~bytes:(String.length b) (fun () ->
                   if not !settled then begin
                     settled := true;
+                    Telemetry.Global.observe "client.request_us"
+                      (Int64.sub (Simnet.Engine.now engine) started);
                     fetch_next rest
                   end)
-            | Proxy.Not_found | Proxy.Unavailable -> fail_attempt ());
+            | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded ->
+              fail_attempt ());
         Simnet.Engine.schedule engine ~delay:(Int64.of_int sc.sc_timeout_us)
           fail_attempt
       in

@@ -1,0 +1,342 @@
+(* Seeded chaos harness for the proxy farm's overload-control layer.
+
+   One [run] drives a 4-shard-style farm with overload-aware client
+   sessions while a seeded schedule composes the failure modes the
+   overload layer exists for: shard crash/restart windows, client-LAN
+   loss and jitter, and a scripted load spike — a flash crowd of burst
+   clients that triples the offered client population for the spike
+   window. Every random choice — crash victims, crash times, loss
+   decisions — comes from one [Simnet.Fault] splitmix64 stream, so a
+   run is replayable bit-for-bit from its seed.
+
+   [verify] runs the same configuration fault-free and checks the
+   three invariants the ISSUE pins:
+
+   1. integrity — every applet digest served under chaos equals the
+      fault-free run's digest for that applet (faults may lose
+      requests, never corrupt them);
+   2. deadlines — no session served a response past its deadline
+      (the sessions' [deadline_violations] tripwires stay 0);
+   3. recovery — once faults clear, throughput in the tail window
+      returns to at least [recovery_frac] of the fault-free run's.
+
+   [spike_comparison] is the acceptance experiment: the same spiked
+   run with the overload controls on (deadlines on the wire, admission
+   shedding, breakers, hedging, retry budget) and off (deadline kept
+   client-side only, so the farm works on doomed requests), compared
+   by goodput — bytes served inside their deadlines per second. *)
+
+type config = {
+  ch_seed : int;
+  ch_shards : int;
+  ch_clients : int;
+  ch_duration_s : int;
+  ch_applets : int;
+  ch_think_us : int64; (* per-client gap between fetches off-spike *)
+  ch_budget_us : int64; (* per-fetch deadline budget *)
+  ch_hedge_after_us : int64 option;
+  ch_retry_budget : int; (* per-session retry+hedge token pool *)
+  ch_spike_factor : int; (* total offered clients ×this inside the window *)
+  ch_spike_start_s : int;
+  ch_spike_len_s : int; (* 0 = no spike *)
+  ch_crashes : int; (* crash/restart windows drawn from the seed *)
+  ch_loss_pct : float; (* client-LAN loss, whole run *)
+  ch_jitter_us : int; (* client-LAN propagation jitter bound *)
+  ch_control : bool; (* overload controls on? *)
+}
+
+(* Sized so the fault-free run is healthy (p95 well inside the
+   deadline budget at ~70% utilization) while the 3× flash crowd
+   offers more than the farm's pipeline capacity for the whole spike:
+   without admission control, queueing delay blows through every
+   deadline and the shards burn their CPU on doomed requests; with it,
+   shedding keeps admitted requests inside budget. *)
+let default_config =
+  {
+    ch_seed = 42;
+    ch_shards = 4;
+    ch_clients = 40;
+    ch_duration_s = 40;
+    ch_applets = 12;
+    ch_think_us = 1_000_000L;
+    ch_budget_us = 800_000L;
+    ch_hedge_after_us = Some 300_000L;
+    ch_retry_budget = 8;
+    ch_spike_factor = 3;
+    ch_spike_start_s = 6;
+    ch_spike_len_s = 22;
+    ch_crashes = 2;
+    ch_loss_pct = 0.5;
+    ch_jitter_us = 2_000;
+    ch_control = true;
+  }
+
+type outcome = {
+  co_seed : int;
+  co_fetches : int;
+  co_served : int; (* fresh, in-deadline serves *)
+  co_bytes : int; (* bytes of those serves *)
+  co_goodput_bps : float; (* in-deadline bytes/s over the whole run *)
+  co_stale_served : int;
+  co_failed : int;
+  co_hedges : int;
+  co_hedge_wins : int;
+  co_retries : int;
+  co_shed : int; (* Overloaded replies clients saw *)
+  co_breaker_trips : int;
+  co_deadline_violations : int; (* must be 0 *)
+  co_tail_served : int; (* fresh serves in the final quarter *)
+  co_digests : (string * string) list; (* applet key -> MD5, sorted *)
+  co_fault_trace : string list;
+  co_trace_digest : string; (* MD5 over the engine event trace *)
+  co_p50_us : int64; (* exact quantiles over fresh-serve latencies *)
+  co_p95_us : int64;
+  co_p99_us : int64;
+}
+
+(* Exact quantile over the collected latencies (unlike the log₂
+   histogram's bucket bounds): sort and index. *)
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0L
+  else
+    let i = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) i))
+
+let stale_key cls =
+  match String.index_opt cls '/' with
+  | Some i -> String.sub cls 0 i
+  | None -> cls
+
+let run (cfg : config) : outcome =
+  if cfg.ch_shards <= 0 then invalid_arg "Chaos.run: shards must be positive";
+  let engine = Simnet.Engine.create () in
+  Simnet.Engine.set_tracing engine true;
+  let plan = Simnet.Fault.create ~seed:cfg.ch_seed in
+  let origin, _wan = Scaling.applet_workload ~applet_count:cfg.ch_applets ~seed:cfg.ch_seed in
+  (* Intranet deployment: the origin is the organization's file store a
+     few ms away, so request latency is dominated by farm queueing and
+     pipeline work — the regime overload control governs. The WAN
+     applet latencies would put most fetches past any reasonable
+     deadline before the farm even saw them. *)
+  let origin_latency _ = Simnet.Engine.ms 10 in
+  let filters = Scaling.standard_filters () in
+  let pool =
+    Array.init cfg.ch_shards (fun i ->
+        Proxy.create engine ~cache_capacity:0
+          ~host_name:(Printf.sprintf "shard%d" i)
+          ~origin ~origin_latency ~filters ())
+  in
+  let farm = Proxy.Farm.create engine pool in
+  Array.iteri
+    (fun i p ->
+      let share =
+        (cfg.ch_clients / cfg.ch_shards)
+        + (if i < cfg.ch_clients mod cfg.ch_shards then 1 else 0)
+      in
+      Simnet.Host.allocate p.Proxy.host (share * Scaling.per_client_state_bytes))
+    pool;
+  let lan = Simnet.Link.ethernet_10mb engine in
+  if cfg.ch_loss_pct > 0.0 || cfg.ch_jitter_us > 0 then
+    Simnet.Link.set_faults lan ~plan ~drop_prob:(cfg.ch_loss_pct /. 100.0)
+      ~jitter_max_us:cfg.ch_jitter_us ();
+  let horizon = Simnet.Engine.sec cfg.ch_duration_s in
+  (* Crash windows: [ch_crashes] victims and times drawn from the
+     seed, confined to the middle half of the run so the tail window
+     is fault-free and recovery is measurable. *)
+  let mid_start = Int64.div horizon 4L and mid_len = Int64.div horizon 2L in
+  for _ = 1 to cfg.ch_crashes do
+    let victim = Simnet.Fault.range plan ~max:cfg.ch_shards in
+    let crash_at =
+      Int64.add mid_start
+        (Int64.of_int (Simnet.Fault.range plan ~max:(Int64.to_int mid_len)))
+    in
+    let down_for =
+      Int64.of_int (1_000_000 + Simnet.Fault.range plan ~max:2_000_000)
+    in
+    Simnet.Fault.schedule_host_faults plan pool.(victim).Proxy.host
+      ~schedule:[ (crash_at, down_for) ]
+      ()
+  done;
+  let spike_start = Simnet.Engine.sec cfg.ch_spike_start_s in
+  let spike_end =
+    Int64.add spike_start (Simnet.Engine.sec cfg.ch_spike_len_s)
+  in
+  let in_spike now =
+    cfg.ch_spike_len_s > 0 && cfg.ch_spike_factor > 1
+    && Int64.compare now spike_start >= 0
+    && Int64.compare now spike_end < 0
+  in
+  (* The flash crowd: (spike_factor - 1) × clients extra burst
+     sessions that fetch only inside the spike window, so offered
+     client population is spike_factor × the base during the spike. *)
+  let burst =
+    if cfg.ch_spike_len_s > 0 && cfg.ch_spike_factor > 1 then
+      (cfg.ch_spike_factor - 1) * cfg.ch_clients
+    else 0
+  in
+  let sessions =
+    Array.init (cfg.ch_clients + burst) (fun _ ->
+        Client.Session.create ~budget_us:cfg.ch_budget_us
+          ?hedge_after_us:(if cfg.ch_control then cfg.ch_hedge_after_us else None)
+          ~advertise_deadline:cfg.ch_control
+          ~retry_budget:(if cfg.ch_control then cfg.ch_retry_budget else 0)
+          ~deliver:(fun ~bytes k -> Simnet.Link.transfer lan ~bytes k)
+          ~stale_key engine farm)
+  in
+  (* Per-applet digest of fresh serves; divergence inside one run is a
+     single-flight/caching bug and fatal. *)
+  let served : (string, string) Hashtbl.t = Hashtbl.create 64 in
+  let latencies = ref [] in
+  let tail_start = Int64.sub horizon (Int64.div horizon 4L) in
+  let tail_served = ref 0 in
+  let rec client_loop ~burst:is_burst id iter =
+    (* Burst clients live only inside the spike window. *)
+    if (not is_burst) || in_spike (Simnet.Engine.now engine) then begin
+      let k = (id + (iter * 37)) mod cfg.ch_applets in
+      let applet_key = Printf.sprintf "a%d" k in
+      (* Unique names: caching off, every fetch is real pipeline work. *)
+      let name = Printf.sprintf "%s/c%d-i%d" applet_key id iter in
+      let started = Simnet.Engine.now engine in
+      Client.Session.fetch sessions.(id) ~cls:name (fun outcome ->
+          let now = Simnet.Engine.now engine in
+          (match outcome with
+          | Client.Session.Fresh b ->
+            Simnet.Engine.record engine
+              (Printf.sprintf "serve %s -> c%d" name id);
+            let digest = Dsig.Md5.digest b in
+            (match Hashtbl.find_opt served applet_key with
+            | Some d when not (String.equal d digest) ->
+              failwith ("Chaos.run: divergent bytes for " ^ applet_key)
+            | _ -> Hashtbl.replace served applet_key digest);
+            latencies := Int64.sub now started :: !latencies;
+            if Int64.compare now tail_start >= 0 then incr tail_served
+          | Client.Session.Stale _ | Client.Session.Failed -> ());
+          Simnet.Engine.schedule engine ~delay:cfg.ch_think_us (fun () ->
+              client_loop ~burst:is_burst id (iter + 1)))
+    end
+  in
+  for id = 0 to cfg.ch_clients - 1 do
+    (* Stagger arrivals over the first second. *)
+    Simnet.Engine.schedule_at engine
+      (Int64.of_int (id * 1_000_000 / max 1 cfg.ch_clients))
+      (fun () -> client_loop ~burst:false id 0)
+  done;
+  for b = 0 to burst - 1 do
+    (* The flash crowd floods in over the spike's first second. *)
+    Simnet.Engine.schedule_at engine
+      (Int64.add spike_start (Int64.of_int (b * 1_000_000 / max 1 burst)))
+      (fun () -> client_loop ~burst:true (cfg.ch_clients + b) 0)
+  done;
+  Simnet.Engine.run ~until:horizon engine;
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 sessions in
+  let bytes = sum (fun s -> s.Client.Session.bytes_served) in
+  let lat = Array.of_list !latencies in
+  Array.sort Int64.compare lat;
+  {
+    co_seed = cfg.ch_seed;
+    co_fetches = sum (fun s -> s.Client.Session.fetches);
+    co_served = sum (fun s -> s.Client.Session.served);
+    co_bytes = bytes;
+    co_goodput_bps =
+      Float.of_int bytes /. Float.max 1e-9 (Simnet.Engine.to_sec horizon);
+    co_stale_served = sum (fun s -> s.Client.Session.stale_served);
+    co_failed = sum (fun s -> s.Client.Session.failed);
+    co_hedges = sum (fun s -> s.Client.Session.hedges);
+    co_hedge_wins = sum (fun s -> s.Client.Session.hedge_wins);
+    co_retries = sum (fun s -> s.Client.Session.retries);
+    co_shed = sum (fun s -> s.Client.Session.overloaded_seen);
+    co_breaker_trips =
+      (let n = ref 0 in
+       for i = 0 to cfg.ch_shards - 1 do
+         n := !n + Proxy.Breaker.trips (Proxy.Farm.breaker farm i)
+       done;
+       !n);
+    co_deadline_violations =
+      sum (fun s -> s.Client.Session.deadline_violations);
+    co_tail_served = !tail_served;
+    co_digests =
+      List.sort
+        (fun (a, _) (b, _) -> String.compare a b)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) served []);
+    co_fault_trace = Simnet.Fault.trace plan;
+    co_trace_digest =
+      Dsig.Md5.digest
+        (String.concat "\n"
+           (List.map
+              (fun (t, l) -> Printf.sprintf "%Ld %s" t l)
+              (Simnet.Engine.trace engine)));
+    co_p50_us = exact_quantile lat 0.50;
+    co_p95_us = exact_quantile lat 0.95;
+    co_p99_us = exact_quantile lat 0.99;
+  }
+
+(* --- The three invariants. --- *)
+
+type verdict = {
+  v_reference : outcome; (* fault-free, spike-free *)
+  v_chaotic : outcome;
+  v_digests_ok : bool;
+  v_no_late_serves : bool;
+  v_recovered : bool;
+}
+
+let ok v = v.v_digests_ok && v.v_no_late_serves && v.v_recovered
+
+let fault_free cfg =
+  { cfg with ch_crashes = 0; ch_loss_pct = 0.0; ch_jitter_us = 0; ch_spike_len_s = 0 }
+
+let verify ?(recovery_frac = 0.5) (cfg : config) : verdict =
+  let reference = run (fault_free cfg) in
+  let chaotic = run cfg in
+  (* Integrity: compare on the applet keys both runs served — the
+     bytes are a pure function of the applet, so any mismatch is
+     corruption, not coverage. *)
+  let digests_ok =
+    List.for_all
+      (fun (key, digest) ->
+        match List.assoc_opt key reference.co_digests with
+        | Some d -> String.equal d digest
+        | None -> true)
+      chaotic.co_digests
+  in
+  {
+    v_reference = reference;
+    v_chaotic = chaotic;
+    v_digests_ok = digests_ok;
+    v_no_late_serves =
+      chaotic.co_deadline_violations = 0
+      && reference.co_deadline_violations = 0;
+    v_recovered =
+      Float.of_int chaotic.co_tail_served
+      >= recovery_frac *. Float.of_int reference.co_tail_served;
+  }
+
+(* --- The acceptance experiment: overload control on vs off under the
+   same spike. --- *)
+
+type comparison = {
+  cmp_control : outcome;
+  cmp_baseline : outcome;
+  cmp_goodput_ratio : float; (* control / baseline *)
+}
+
+let spike_comparison (cfg : config) : comparison =
+  let control = run { cfg with ch_control = true } in
+  let baseline = run { cfg with ch_control = false } in
+  {
+    cmp_control = control;
+    cmp_baseline = baseline;
+    cmp_goodput_ratio =
+      control.co_goodput_bps /. Float.max 1e-9 baseline.co_goodput_bps;
+  }
+
+let print_outcome ?(label = "chaos") o =
+  Printf.printf
+    "%-10s seed=%d fetches=%d served=%d stale=%d failed=%d shed=%d \
+     retries=%d hedges=%d/%d trips=%d late=%d tail=%d goodput=%.0f B/s \
+     p50=%Ldus p95=%Ldus p99=%Ldus\n"
+    label o.co_seed o.co_fetches o.co_served o.co_stale_served o.co_failed
+    o.co_shed o.co_retries o.co_hedge_wins o.co_hedges o.co_breaker_trips
+    o.co_deadline_violations o.co_tail_served o.co_goodput_bps o.co_p50_us
+    o.co_p95_us o.co_p99_us

@@ -1,0 +1,104 @@
+(** Seeded chaos harness for the overload-control layer.
+
+    A chaos run drives a sharded farm with overload-aware client
+    sessions while a seeded schedule composes shard crash/restart
+    windows, client-LAN loss and jitter, and a scripted load spike — a
+    flash crowd of burst clients that multiplies the offered client
+    population by [ch_spike_factor] for the spike window.
+    Every random choice comes from one {!Simnet.Fault} stream, so a
+    run replays bit-for-bit from its seed — [co_fault_trace] and
+    [co_trace_digest] make that checkable. *)
+
+type config = {
+  ch_seed : int;
+  ch_shards : int;
+  ch_clients : int;
+  ch_duration_s : int;
+  ch_applets : int;
+  ch_think_us : int64;  (** per-client gap between fetches off-spike *)
+  ch_budget_us : int64;  (** per-fetch deadline budget *)
+  ch_hedge_after_us : int64 option;
+  ch_retry_budget : int;  (** per-session retry+hedge token pool *)
+  ch_spike_factor : int;
+      (** flash crowd: total offered clients ×this inside the window *)
+  ch_spike_start_s : int;
+  ch_spike_len_s : int;  (** 0 = no spike *)
+  ch_crashes : int;  (** crash/restart windows drawn from the seed *)
+  ch_loss_pct : float;  (** client-LAN loss percentage, whole run *)
+  ch_jitter_us : int;  (** client-LAN propagation jitter bound *)
+  ch_control : bool;  (** overload controls on? *)
+}
+
+val default_config : config
+(** 4 shards, 40 clients, 40 s, a 3× flash crowd in the middle, 2
+    crash windows, 0.5% LAN loss — the bench and [dvmctl chaos]
+    defaults. *)
+
+type outcome = {
+  co_seed : int;
+  co_fetches : int;
+  co_served : int;  (** fresh, in-deadline serves *)
+  co_bytes : int;
+  co_goodput_bps : float;  (** in-deadline bytes/s over the whole run *)
+  co_stale_served : int;
+  co_failed : int;
+  co_hedges : int;
+  co_hedge_wins : int;
+  co_retries : int;
+  co_shed : int;  (** [Overloaded] replies clients saw *)
+  co_breaker_trips : int;
+  co_deadline_violations : int;  (** must be 0 *)
+  co_tail_served : int;  (** fresh serves in the final quarter *)
+  co_digests : (string * string) list;
+      (** applet key → MD5 of served bytes, sorted; intra-run
+          divergence is fatal *)
+  co_fault_trace : string list;
+  co_trace_digest : string;  (** MD5 over the engine event trace *)
+  co_p50_us : int64;  (** exact quantiles over fresh-serve latencies *)
+  co_p95_us : int64;
+  co_p99_us : int64;
+}
+
+val stale_key : string -> string
+(** Applet prefix of a request name ([a3/c7-i12] → [a3]): the
+    stale-archive key chaos sessions brown out against. *)
+
+val run : config -> outcome
+(** One seeded chaos run in simulated time. *)
+
+val fault_free : config -> config
+(** The same configuration with crashes, loss, jitter and the spike
+    removed — the reference run invariants compare against. *)
+
+(** The three chaos invariants, checked by {!verify}. *)
+type verdict = {
+  v_reference : outcome;  (** fault-free, spike-free *)
+  v_chaotic : outcome;
+  v_digests_ok : bool;
+      (** every applet served under chaos is byte-identical (by MD5)
+          to the fault-free run's serve *)
+  v_no_late_serves : bool;  (** zero deadline violations in both runs *)
+  v_recovered : bool;
+      (** tail-window serves reach [recovery_frac] of the reference *)
+}
+
+val ok : verdict -> bool
+
+val verify : ?recovery_frac:float -> config -> verdict
+(** Run [fault_free config] and [config], check the invariants.
+    [recovery_frac] defaults to 0.5. *)
+
+type comparison = {
+  cmp_control : outcome;
+  cmp_baseline : outcome;
+  cmp_goodput_ratio : float;  (** control / baseline *)
+}
+
+val spike_comparison : config -> comparison
+(** The acceptance experiment: the same spiked run with overload
+    controls on ([ch_control = true]: deadlines on the wire, admission
+    shedding, breakers, hedging, retry budget) and off (deadline kept
+    client-side only, so shards burn CPU on doomed requests), compared
+    by goodput. *)
+
+val print_outcome : ?label:string -> outcome -> unit

@@ -73,7 +73,7 @@ let degraded_class_bytes ~cls ~attempts =
        ~message:
          (Printf.sprintf "service unavailable after %d attempts" attempts))
 
-let resilient_provider ?(policy = default_retry_policy) ?on_backoff
+let resilient_provider ?(policy = default_retry_policy) ?budget ?on_backoff
     (fetch : string -> fetch) : Jvm.Classreg.provider =
  fun cls ->
   let rec attempt n =
@@ -81,11 +81,21 @@ let resilient_provider ?(policy = default_retry_policy) ?on_backoff
     | Fetched b -> Some b
     | Fetch_absent -> None
     | Fetch_unavailable ->
-      if n >= policy.rp_attempts then begin
+      (* Per-class attempts are bounded by the policy; the optional
+         [budget] bounds retries across the whole session, so N
+         classes failing at once cannot multiply into N × attempts of
+         extra load on an already-sick service — retry amplification
+         is exactly how overload feeds itself. An exhausted budget
+         degrades immediately. *)
+      let budget_spent =
+        match budget with Some b -> !b <= 0 | None -> false
+      in
+      if n >= policy.rp_attempts || budget_spent then begin
         Telemetry.Global.incr "client.degraded";
         Some (degraded_class_bytes ~cls ~attempts:n)
       end
       else begin
+        (match budget with Some b -> decr b | None -> ());
         let backoff = backoff_us policy ~attempt:n in
         Telemetry.Global.incr "client.retries";
         Telemetry.Global.observe "client.retry_backoff_us"
@@ -97,6 +107,216 @@ let resilient_provider ?(policy = default_retry_policy) ?on_backoff
       end
   in
   attempt 1
+
+(* --- Overload-aware farm sessions. ---
+
+   The simulated-time client side of the overload-control story. Every
+   fetch carries an absolute deadline (now + budget), propagated to
+   the farm through the Httpwire Deadline-Us header so shard admission
+   control can shed against it; the session enforces the same deadline
+   on its own side — a response that lands late is dropped, never
+   delivered, so "no successful response outlives its deadline" holds
+   by construction (a counter records any would-be violation).
+
+   Retries and hedges draw from one session-wide token pool: a hedge
+   is a speculative retry against the next shard in ring order, taken
+   when the first attempt is slow rather than failed, and the pool
+   caps the total extra load one session can push onto a struggling
+   farm. First response wins; the loser's delivery is discarded by the
+   settled flag. When the whole farm is unavailable (every shard down
+   or breaker-barred) the session browns out: it serves the stale
+   bytes it last saw for the class's archive key, counted apart from
+   fresh serves. *)
+
+module Session = struct
+  type served = Fresh of string | Stale of string | Failed
+
+  type t = {
+    engine : Simnet.Engine.t;
+    farm : Proxy.Farm.t;
+    budget_us : int64; (* per-fetch deadline budget *)
+    hedge_after_us : int64 option; (* hedge delay; None disables hedging *)
+    advertise_deadline : bool; (* carry Deadline-Us on the wire? *)
+    retry_backoff_us : int64;
+    tokens : int ref; (* session-wide retry+hedge pool *)
+    deliver : bytes:int -> (unit -> unit) -> unit; (* client-side wire *)
+    stale_key : string -> string;
+    stale : (string, string) Hashtbl.t; (* archive key -> last fresh bytes *)
+    mutable fetches : int;
+    mutable served : int;
+    mutable bytes_served : int;
+    mutable stale_served : int;
+    mutable hedges : int;
+    mutable hedge_wins : int; (* fetches the hedged request won *)
+    mutable retries : int;
+    mutable overloaded_seen : int; (* Overloaded replies observed *)
+    mutable failed : int;
+    mutable deadline_violations : int; (* must stay 0: late serves *)
+  }
+
+  let create ?(budget_us = 2_000_000L) ?hedge_after_us
+      ?(advertise_deadline = true) ?(retry_backoff_us = 50_000L)
+      ?(retry_budget = max_int) ?(deliver = fun ~bytes:_ k -> k ())
+      ?(stale_key = fun cls -> cls) engine farm =
+    {
+      engine;
+      farm;
+      budget_us;
+      hedge_after_us;
+      advertise_deadline;
+      retry_backoff_us;
+      tokens = ref retry_budget;
+      deliver;
+      stale_key;
+      stale = Hashtbl.create 64;
+      fetches = 0;
+      served = 0;
+      bytes_served = 0;
+      stale_served = 0;
+      hedges = 0;
+      hedge_wins = 0;
+      retries = 0;
+      overloaded_seen = 0;
+      failed = 0;
+      deadline_violations = 0;
+    }
+
+  (* Spend one token from the session pool; [false] means the pool is
+     dry and the caller must not add load. *)
+  let take_token t =
+    if !(t.tokens) > 0 then begin
+      decr t.tokens;
+      true
+    end
+    else false
+
+  let fetch t ~cls k =
+    t.fetches <- t.fetches + 1;
+    let deadline = Int64.add (Simnet.Engine.now t.engine) t.budget_us in
+    let settled = ref false in
+    let finish outcome =
+      if not !settled then begin
+        settled := true;
+        (match outcome with
+        | Fresh b ->
+          t.served <- t.served + 1;
+          t.bytes_served <- t.bytes_served + String.length b;
+          Telemetry.Global.observe "client.request_us"
+            (Int64.sub (Simnet.Engine.now t.engine)
+               (Int64.sub deadline t.budget_us))
+        | Stale _ ->
+          t.stale_served <- t.stale_served + 1;
+          Telemetry.Global.incr "client.stale_served"
+        | Failed -> t.failed <- t.failed + 1);
+        k outcome
+      end
+    in
+    let brownout_or k_miss =
+      match Hashtbl.find_opt t.stale (t.stale_key cls) with
+      | Some b -> finish (Stale b)
+      | None -> k_miss ()
+    in
+    (* Attempts still in flight (primary, hedge, scheduled retries).
+       A failed racer settles the fetch only when it was the last one
+       standing — otherwise the other racer keeps its chance. *)
+    let pending = ref 0 in
+    let one_down () =
+      pending := !pending - 1;
+      if !pending = 0 then brownout_or (fun () -> finish Failed)
+    in
+    let rec attempt ~hedged () =
+      if !settled then ()
+      else begin
+        incr pending;
+        (* The deadline rides the wire: encode the request with its
+           Deadline-Us header and decode it back at the farm edge —
+           what a real proxy would parse off the socket. A session
+           that does not advertise it still enforces the deadline on
+           its own side, but the shards cannot shed for it — the
+           no-overload-control baseline. *)
+        let raw =
+          Proxy.Httpwire.encode_request
+            ?deadline_us:(if t.advertise_deadline then Some deadline else None)
+            ~cls ()
+        in
+        let cls, deadline = Proxy.Httpwire.decode_request_deadline raw in
+        let offset = if hedged then 1 else 0 in
+        Proxy.Farm.request ?deadline ~offset t.farm ~cls (fun reply ->
+            if !settled then ()
+            else
+              match reply with
+              | Proxy.Bytes b ->
+                t.deliver ~bytes:(String.length b) (fun () ->
+                    if not !settled then begin
+                      let now = Simnet.Engine.now t.engine in
+                      match deadline with
+                      | Some d when Int64.compare now d > 0 ->
+                        (* Late: never delivered. The deadline timer
+                           settles the fetch; this records that a
+                           serve would have violated the deadline had
+                           the drop been missing. *)
+                        t.deadline_violations <- t.deadline_violations + 1;
+                        pending := !pending - 1
+                      | _ ->
+                        if hedged then t.hedge_wins <- t.hedge_wins + 1;
+                        Hashtbl.replace t.stale (t.stale_key cls) b;
+                        finish (Fresh b)
+                    end)
+              | Proxy.Not_found ->
+                (* Definitive: the class does not exist anywhere, so
+                   the racers would only confirm it. *)
+                finish Failed
+              | Proxy.Overloaded ->
+                (* The shard shed us: retry after a backoff iff the
+                   session still has tokens and the deadline can still
+                   be met. Never failover sideways — that amplifies. *)
+                t.overloaded_seen <- t.overloaded_seen + 1;
+                let retry_at =
+                  Int64.add (Simnet.Engine.now t.engine) t.retry_backoff_us
+                in
+                let in_budget =
+                  match deadline with
+                  | Some d -> Int64.compare retry_at d < 0
+                  | None -> true
+                in
+                if in_budget && take_token t then begin
+                  t.retries <- t.retries + 1;
+                  pending := !pending - 1;
+                  Simnet.Engine.schedule t.engine ~delay:t.retry_backoff_us
+                    (fun () ->
+                      if !settled then ()
+                      else if !pending > 0 then
+                        (* The other racer is still live; don't stack
+                           a third copy of the work on the farm. *)
+                        ()
+                      else attempt ~hedged:false ())
+                end
+                else one_down ()
+              | Proxy.Unavailable ->
+                (* Every candidate down or breaker-barred. *)
+                one_down ())
+      end
+    in
+    (* Deadline enforcement, client side: at expiry the fetch settles
+       (browning out if it can) and any response still in flight is
+       dropped on arrival by the settled flag. *)
+    Simnet.Engine.schedule t.engine ~delay:t.budget_us (fun () ->
+        if not !settled then brownout_or (fun () -> finish Failed));
+    (* Tail-latency hedge: if the first attempt has neither settled
+       nor failed after the hedge delay, race a second request against
+       the next shard in ring order — spending a token, so hedging
+       cannot amplify an overload either. *)
+    (match t.hedge_after_us with
+    | None -> ()
+    | Some h ->
+      Simnet.Engine.schedule t.engine ~delay:h (fun () ->
+          if (not !settled) && take_token t then begin
+            t.hedges <- t.hedges + 1;
+            Telemetry.Global.incr "client.hedges";
+            attempt ~hedged:true ()
+          end));
+    attempt ~hedged:false ()
+end
 
 (* The monolithic client verifies everything it loads, locally, at
    load time: full static verification against an oracle that can see

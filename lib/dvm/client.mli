@@ -42,15 +42,94 @@ val degraded_class_bytes : cls:string -> attempts:int -> string
 
 val resilient_provider :
   ?policy:retry_policy ->
+  ?budget:int ref ->
   ?on_backoff:(int64 -> unit) ->
   (string -> fetch) ->
   Jvm.Classreg.provider
 (** Wrap a flaky fetch in bounded exponential-backoff retry; when the
     budget is exhausted the provider degrades gracefully to
     {!degraded_class_bytes} instead of hanging or failing the load.
-    [on_backoff] is called with each backoff (µs) so callers can
-    charge the wait to a clock. Counters: [client.retries],
-    [client.degraded]; histogram [client.retry_backoff_us]. *)
+    [budget] is a {e session-wide} retry-token pool shared by every
+    class this provider loads (each retry decrements it; empty ⇒
+    degrade immediately), so a burst of failing classes cannot
+    multiply retries into an overload amplifier. [on_backoff] is
+    called with each backoff (µs) so callers can charge the wait to a
+    clock. Counters: [client.retries], [client.degraded]; histogram
+    [client.retry_backoff_us]. *)
+
+(** {1 Overload-aware farm sessions}
+
+    The simulated-time client side of overload control: deadlines on
+    the wire, session-wide retry/hedge token budgets, tail-latency
+    hedging against the next shard in ring order, and serve-stale
+    brownout when the farm is unavailable. *)
+module Session : sig
+  type served =
+    | Fresh of string  (** served inside its deadline *)
+    | Stale of string
+        (** brownout: the archive's last fresh bytes for this key,
+            counted apart from fresh serves *)
+    | Failed
+
+  type t = {
+    engine : Simnet.Engine.t;
+    farm : Proxy.Farm.t;
+    budget_us : int64;  (** per-fetch deadline budget *)
+    hedge_after_us : int64 option;  (** hedge delay; [None] disables *)
+    advertise_deadline : bool;  (** carry [Deadline-Us] on the wire? *)
+    retry_backoff_us : int64;
+    tokens : int ref;  (** session-wide retry+hedge pool *)
+    deliver : bytes:int -> (unit -> unit) -> unit;  (** client-side wire *)
+    stale_key : string -> string;
+    stale : (string, string) Hashtbl.t;
+    mutable fetches : int;
+    mutable served : int;
+    mutable bytes_served : int;
+    mutable stale_served : int;
+    mutable hedges : int;
+    mutable hedge_wins : int;  (** fetches the hedged request won *)
+    mutable retries : int;
+    mutable overloaded_seen : int;  (** [Overloaded] replies observed *)
+    mutable failed : int;
+    mutable deadline_violations : int;
+        (** late responses that would have been served had the client
+            not dropped them — 0 by construction; nonzero means the
+            deadline machinery broke *)
+  }
+
+  val create :
+    ?budget_us:int64 ->
+    ?hedge_after_us:int64 ->
+    ?advertise_deadline:bool ->
+    ?retry_backoff_us:int64 ->
+    ?retry_budget:int ->
+    ?deliver:(bytes:int -> (unit -> unit) -> unit) ->
+    ?stale_key:(string -> string) ->
+    Simnet.Engine.t ->
+    Proxy.Farm.t ->
+    t
+  (** Defaults: 2 s deadline budget, no hedging, deadline advertised
+      on the wire, 50 ms retry backoff, unbounded token pool,
+      immediate delivery, identity archive key. [advertise_deadline:
+      false] keeps client-side deadline enforcement but hides the
+      deadline from the shards (so admission cannot shed) — the
+      no-overload-control baseline. [stale_key] maps a class name to
+      its stale-archive key (e.g. the applet prefix), so unique
+      per-request names still brown out to the applet's last good
+      bytes. *)
+
+  val fetch : t -> cls:string -> (served -> unit) -> unit
+  (** One deadline-bound fetch. The deadline (now + budget) is encoded
+      into the request's [Deadline-Us] header and decoded at the farm
+      edge; shard admission sheds against it, and the client drops any
+      response that lands past it. [Overloaded] replies are retried
+      (with backoff) only while the token pool and the remaining
+      budget allow; [Unavailable] — every shard down or
+      breaker-barred — browns out to the stale archive, as does
+      deadline expiry. The hedge, when enabled, races a second request
+      at ring offset 1 after [hedge_after_us]; first response wins and
+      the loser is discarded on arrival. *)
+end
 
 val jdk_security_hook :
   Jvm.Vmstate.t -> Security.Policy.t -> sid:Security.Policy.sid -> string -> unit

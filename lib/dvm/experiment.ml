@@ -180,7 +180,7 @@ let run_arch ?elide ~policy ~arch (app : Workloads.Appgen.app) : result =
     let proxy_cpu_before = proxy.Proxy.cpu_us in
     let provider name =
       match Proxy.request_sync proxy ~cls:name with
-      | Proxy.Not_found | Proxy.Unavailable -> None
+      | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded -> None
       | Proxy.Bytes b -> Some b
     in
     (* The console shares the simulation's clock, so its audit trail

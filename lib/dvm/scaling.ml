@@ -101,7 +101,7 @@ let run ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
     let proxy = pool.(id mod proxies) in
     Proxy.request proxy ~cls:name (fun reply ->
         match reply with
-        | Proxy.Not_found | Proxy.Unavailable -> ()
+        | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded -> ()
         | Proxy.Bytes b ->
           Simnet.Link.transfer lan ~bytes:(String.length b) (fun () ->
               let now = Simnet.Engine.now engine in
@@ -109,6 +109,7 @@ let run ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
                 incr completed;
                 bytes_delivered := !bytes_delivered + String.length b;
                 let lat = Int64.sub now started in
+                Telemetry.Global.observe "client.request_us" lat;
                 latency_sum := Int64.add !latency_sum lat;
                 latency_weighted_kb :=
                   !latency_weighted_kb
@@ -234,12 +235,14 @@ let run_farm ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
     let started = Simnet.Engine.now engine in
     Proxy.Farm.request farm ~cls:name (fun reply ->
         match reply with
-        | Proxy.Not_found | Proxy.Unavailable -> ()
+        | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded -> ()
         | Proxy.Bytes b ->
           Simnet.Link.transfer lan ~bytes:(String.length b) (fun () ->
               let now = Simnet.Engine.now engine in
               if Int64.compare now horizon <= 0 then begin
                 incr completed;
+                Telemetry.Global.observe "client.request_us"
+                  (Int64.sub now started);
                 Simnet.Engine.record engine
                   (Printf.sprintf "serve %s -> c%d" name id);
                 let digest = Dsig.Md5.digest b in

@@ -15,6 +15,18 @@ type point = {
 val per_client_state_bytes : int
 val think_time : Simnet.Engine.time
 
+val applet_workload :
+  applet_count:int ->
+  seed:int ->
+  (string -> string option) * (string -> Simnet.Engine.time)
+(** The workload plumbing shared with the farm and chaos experiments:
+    [(origin, origin_latency)] over realized applet bodies. Request
+    names are ["a<k>/<uniq>"]: serve body [k]. *)
+
+val standard_filters : unit -> Rewrite.Filter.t list
+(** The proxy pipeline every experiment runs: static verification,
+    security rewriting, audit instrumentation. *)
+
 val run :
   ?duration_s:int ->
   ?seed:int ->

@@ -140,6 +140,11 @@ let store t key bytes =
     publish_gauges t
   end
 
+(* Peek without touching recency order or hit/miss stats — what
+   admission control uses to estimate service cost without polluting
+   the numbers the real lookup will record. *)
+let mem t key = enabled t && Hashtbl.mem t.tbl key
+
 let size t = Hashtbl.length t.tbl
 
 let clear t =

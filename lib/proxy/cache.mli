@@ -25,6 +25,12 @@ val create : capacity:int -> t
 val enabled : t -> bool
 val find : t -> string -> string option
 val store : t -> string -> string -> unit
+
+val mem : t -> string -> bool
+(** Peek: present in an enabled cache? Touches neither the recency
+    order nor the hit/miss stats — admission control's cost estimate
+    must not perturb what the real lookup then records. *)
+
 val size : t -> int
 
 val clear : t -> unit

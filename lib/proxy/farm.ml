@@ -22,9 +22,12 @@ type t = {
   shards : Node.t array;
   ring : (int * int) array; (* (point, shard index), sorted by point *)
   health : bool array; (* last observed per-shard state, for the console *)
+  breakers : Breaker.t array; (* per-shard circuit breaker, ruling routing *)
   mutable requests : int;
   mutable failovers : int; (* requests served by a non-owner shard *)
   mutable unavailable : int; (* requests no shard could serve *)
+  mutable overloaded : int; (* requests a shard shed at admission *)
+  mutable breaker_skips : int; (* dispatch candidates skipped open-breaker *)
 }
 
 (* FNV-1a, 64-bit. Cheap, seedless, and stable across runs — unlike
@@ -42,7 +45,7 @@ let hash_key (s : string) : int =
 
 let default_vnodes = 64
 
-let create ?(vnodes = default_vnodes) engine shards =
+let create ?(vnodes = default_vnodes) ?breaker engine shards =
   if Array.length shards = 0 then invalid_arg "Farm.create: empty shard pool";
   if vnodes <= 0 then invalid_arg "Farm.create: vnodes must be positive";
   let n = Array.length shards in
@@ -52,14 +55,20 @@ let create ?(vnodes = default_vnodes) engine shards =
         (hash_key (Printf.sprintf "shard-%d#%d" shard v), shard))
   in
   Array.sort compare ring;
+  let mk_breaker =
+    match breaker with Some f -> f | None -> fun _ -> Breaker.create ()
+  in
   {
     engine;
     shards;
     ring;
     health = Array.map (fun s -> Simnet.Host.is_up s.Node.host) shards;
+    breakers = Array.init n mk_breaker;
     requests = 0;
     failovers = 0;
     unavailable = 0;
+    overloaded = 0;
+    breaker_skips = 0;
   }
 
 let size t = Array.length t.shards
@@ -100,6 +109,29 @@ let health t =
     t.shards;
   Array.copy t.health
 
+let breaker t i = t.breakers.(i)
+
+(* Health with hysteresis: each probe feeds the raw host state through
+   the shard's breaker and reports what routing will actually do. A
+   flapping host (up on one probe, down on the next) flips the raw
+   [health] view every time, but after enough windowed failures its
+   breaker opens and [probe] holds the shard out — steadily — until the
+   cooldown expires and probes prove it stable again. *)
+let probe t =
+  let now = Simnet.Engine.now t.engine in
+  Array.mapi
+    (fun i s ->
+      let b = t.breakers.(i) in
+      match Breaker.state b ~now with
+      | Breaker.Open -> false
+      | Breaker.Closed | Breaker.Half_open ->
+        let up = Simnet.Host.is_up s.Node.host in
+        if up then Breaker.record_success b ~now
+        else Breaker.record_failure b ~now;
+        t.health.(i) <- up;
+        up && Breaker.state b ~now <> Breaker.Open)
+    t.shards
+
 (* Farm-wide aggregates over the per-shard counters. *)
 let sum f t = Array.fold_left (fun acc s -> acc + f s) 0 t.shards
 let pipeline_runs t = sum (fun s -> s.Node.pipeline_runs) t
@@ -111,11 +143,24 @@ let bytes_served t = sum (fun s -> s.Node.bytes_served) t
 let cpu_us t =
   Array.fold_left (fun acc s -> Int64.add acc s.Node.cpu_us) 0L t.shards
 
-let request t ~cls k =
+(* Drop the first [n] elements (shorter than the list). *)
+let rec drop n = function
+  | rest when n <= 0 -> rest
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+let request ?deadline ?(offset = 0) t ~cls k =
   t.requests <- t.requests + 1;
-  (* Walk the key's preference order; a shard down at dispatch (or
-     crashing with the request in flight, via [on_fail]) hands the
-     request to the next distinct live shard on the ring. *)
+  (* Walk the key's preference order; a shard whose breaker is open is
+     skipped without even probing its host, a shard down at dispatch
+     (or crashing with the request in flight, via [on_fail]) feeds its
+     breaker a failure and hands the request to the next distinct live
+     shard on the ring. [offset] starts the walk [offset] places past
+     the owner — how a hedged request targets the next shard in ring
+     order without re-deriving the ring. An [Overloaded] reply
+     propagates to the caller with {e no} failover and no breaker
+     failure: shedding is the shard protecting itself, and bouncing
+     the same work to its neighbours would amplify the overload. *)
   let rec dispatch ~first = function
     | [] ->
       t.unavailable <- t.unavailable + 1;
@@ -123,8 +168,15 @@ let request t ~cls k =
       Simnet.Engine.schedule t.engine ~delay:0L (fun () -> k Node.Unavailable)
     | s :: rest ->
       let p = t.shards.(s) in
-      if not (Simnet.Host.is_up p.Node.host) then begin
+      let b = t.breakers.(s) in
+      if not (Breaker.allow b ~now:(Simnet.Engine.now t.engine)) then begin
+        t.breaker_skips <- t.breaker_skips + 1;
+        Telemetry.Global.incr "farm.breaker_skips";
+        dispatch ~first rest
+      end
+      else if not (Simnet.Host.is_up p.Node.host) then begin
         t.health.(s) <- false;
+        Breaker.record_failure b ~now:(Simnet.Engine.now t.engine);
         dispatch ~first:false rest
       end
       else begin
@@ -133,9 +185,18 @@ let request t ~cls k =
           t.failovers <- t.failovers + 1;
           Telemetry.Global.incr "farm.failovers"
         end;
-        Node.request p ~cls k ~on_fail:(fun () ->
+        Node.request p ?deadline ~cls
+          (fun reply ->
+            (match reply with
+            | Node.Bytes _ | Node.Not_found ->
+              Breaker.record_success b ~now:(Simnet.Engine.now t.engine)
+            | Node.Overloaded -> t.overloaded <- t.overloaded + 1
+            | Node.Unavailable -> ());
+            k reply)
+          ~on_fail:(fun () ->
             t.health.(s) <- false;
+            Breaker.record_failure b ~now:(Simnet.Engine.now t.engine);
             dispatch ~first:false rest)
       end
   in
-  dispatch ~first:true (preference_order t cls)
+  dispatch ~first:(offset = 0) (drop offset (preference_order t cls))

@@ -12,9 +12,12 @@ type t = {
   shards : Node.t array;
   ring : (int * int) array;  (** (point, shard index), sorted *)
   health : bool array;  (** last observed per-shard state *)
+  breakers : Breaker.t array;  (** per-shard circuit breaker, ruling routing *)
   mutable requests : int;
   mutable failovers : int;  (** requests served by a non-owner shard *)
   mutable unavailable : int;  (** requests no shard could serve *)
+  mutable overloaded : int;  (** requests a shard shed at admission *)
+  mutable breaker_skips : int;  (** dispatch candidates skipped open-breaker *)
 }
 
 val hash_key : string -> int
@@ -23,9 +26,13 @@ val hash_key : string -> int
 
 val default_vnodes : int
 
-val create : ?vnodes:int -> Simnet.Engine.t -> Node.t array -> t
+val create :
+  ?vnodes:int -> ?breaker:(int -> Breaker.t) -> Simnet.Engine.t ->
+  Node.t array -> t
 (** The shard pool must be non-empty. [vnodes] (default 64) virtual
-    ring points per shard keep ownership balanced at small counts. *)
+    ring points per shard keep ownership balanced at small counts.
+    [breaker] builds shard [i]'s circuit breaker (default
+    [Breaker.create ()] for every shard). *)
 
 val size : t -> int
 val shard : t -> int -> Node.t
@@ -39,7 +46,18 @@ val preference_order : t -> string -> int list
     failover order {!request} walks. *)
 
 val health : t -> bool array
-(** Probe every shard host and return the refreshed view. *)
+(** Probe every shard host and return the raw up/down view — no
+    hysteresis; a flapping host flips this every probe. Routing and
+    {!probe} go through the breakers instead. *)
+
+val breaker : t -> int -> Breaker.t
+
+val probe : t -> bool array
+(** Health with hysteresis: feed each shard's current host state
+    through its breaker and report whether routing would use it. A
+    flapping host stops flipping this view once its breaker's failure
+    window fills — it reads [false] until the cooldown expires and
+    probes prove it stable. *)
 
 val pipeline_runs : t -> int
 val coalesced : t -> int
@@ -48,7 +66,16 @@ val origin_fetches : t -> int
 val bytes_served : t -> int
 val cpu_us : t -> int64
 
-val request : t -> cls:string -> (Node.reply -> unit) -> unit
+val request :
+  ?deadline:int64 -> ?offset:int -> t -> cls:string ->
+  (Node.reply -> unit) -> unit
 (** Route to the key's owner with ring-order failover; replies
-    [Unavailable] (after one simulated-time hop) when every shard is
-    down. *)
+    [Unavailable] (after one simulated-time hop) when every candidate
+    is down or breaker-barred. Open-breaker shards are skipped without
+    probing; a dispatch-time-down or mid-flight crash feeds the
+    shard's breaker a failure. [deadline] (absolute virtual µs) is
+    handed to the shard's admission control; an [Overloaded] shed
+    propagates with no failover — bouncing shed work to neighbours
+    would amplify the overload. [offset] starts the walk [offset]
+    places past the owner in the key's preference order — how a hedged
+    request targets the next shard in ring order. *)

@@ -16,46 +16,84 @@ let crlf = "\r\n"
 
 (* --- Requests. --- *)
 
-let encode_request ~cls = Printf.sprintf "GET /%s DVM/1.0%s%s" cls crlf crlf
+let encode_request ?deadline_us ~cls () =
+  match deadline_us with
+  | None -> Printf.sprintf "GET /%s DVM/1.0%s%s" cls crlf crlf
+  | Some d -> Printf.sprintf "GET /%s DVM/1.0%sDeadline-Us: %Ld%s%s" cls crlf d crlf crlf
 
-let decode_request (data : string) : string =
+(* A request is the GET line, optionally one [Deadline-Us] header (the
+   client's absolute deadline on the virtual clock, which admission
+   control sheds against), and the blank-line terminator. Framing
+   stays strict: a lone "\r" is truncated, anything after the
+   terminator is garbage, and an unknown header is rejected rather
+   than skipped — there is exactly one wire dialect. *)
+let decode_request_deadline (data : string) : string * int64 option =
   match String.index_opt data '\r' with
   | None -> fail "no request line terminator"
-  | Some eol -> (
-    (* The request line must be terminated by the full blank-line
-       separator ("\r\n\r\n"), exactly as [decode_response] demands of
-       the header block — a lone "\r" is truncated framing. Anything
-       after the separator is garbage, not a second request. *)
+  | Some eol ->
+    if eol + 2 > String.length data || data.[eol + 1] <> '\n' then
+      fail "missing blank-line terminator after request line";
+    let cls =
+      let line = String.sub data 0 eol in
+      match String.split_on_char ' ' line with
+      | [ "GET"; path; "DVM/1.0" ] ->
+        if String.length path < 2 || path.[0] <> '/' then
+          fail "bad request path %S" path
+        else String.sub path 1 (String.length path - 1)
+      | _ -> fail "malformed request line %S" line
+    in
+    let rest_start = eol + 2 in
+    let expect_end ~from deadline =
+      if from + 2 > String.length data || data.[from] <> '\r' || data.[from + 1] <> '\n'
+      then fail "missing blank-line terminator after request line";
+      if String.length data <> from + 2 then
+        fail "trailing garbage after request (%d extra bytes)"
+          (String.length data - from - 2);
+      (cls, deadline)
+    in
     if
-      eol + 4 > String.length data
-      || data.[eol + 1] <> '\n'
-      || data.[eol + 2] <> '\r'
-      || data.[eol + 3] <> '\n'
-    then fail "missing blank-line terminator after request line";
-    if String.length data <> eol + 4 then
-      fail "trailing garbage after request (%d extra bytes)"
-        (String.length data - eol - 4);
-    let line = String.sub data 0 eol in
-    match String.split_on_char ' ' line with
-    | [ "GET"; path; "DVM/1.0" ] ->
-      if String.length path < 2 || path.[0] <> '/' then
-        fail "bad request path %S" path
-      else String.sub path 1 (String.length path - 1)
-    | _ -> fail "malformed request line %S" line)
+      rest_start + 2 <= String.length data
+      && data.[rest_start] = '\r'
+      && data.[rest_start + 1] = '\n'
+    then expect_end ~from:rest_start None
+    else begin
+      (* One header line, which must be Deadline-Us. *)
+      let heol =
+        let rec go i =
+          if i + 1 >= String.length data then
+            fail "missing blank-line terminator after request line"
+          else if data.[i] = '\r' && data.[i + 1] = '\n' then i
+          else go (i + 1)
+        in
+        go rest_start
+      in
+      let header = String.sub data rest_start (heol - rest_start) in
+      match String.index_opt header ':' with
+      | Some c when String.sub header 0 c = "Deadline-Us" -> (
+        let v = String.trim (String.sub header (c + 1) (String.length header - c - 1)) in
+        match Int64.of_string_opt v with
+        | Some d when Int64.compare d 0L >= 0 -> expect_end ~from:(heol + 2) (Some d)
+        | Some _ | None -> fail "bad deadline %S" v)
+      | _ -> fail "unknown request header %S" header
+    end
+
+let decode_request (data : string) : string = fst (decode_request_deadline data)
 
 (* --- Responses. --- *)
 
-type status = Ok_200 | Not_found_404 | Bad_request_400
+type status = Ok_200 | Not_found_404 | Bad_request_400 | Overloaded_503
 
 let status_code = function
   | Ok_200 -> 200
   | Not_found_404 -> 404
   | Bad_request_400 -> 400
+  | Overloaded_503 -> 503
 
 let status_of_code = function
   | 200 -> Ok_200
   | 404 -> Not_found_404
   | 400 -> Bad_request_400
+  | 503 -> Overloaded_503
   | c -> fail "unknown status %d" c
 
 let encode_response ~status ~body =

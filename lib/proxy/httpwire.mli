@@ -4,11 +4,21 @@
 
 exception Bad_message of string
 
-val encode_request : cls:string -> string
+val encode_request : ?deadline_us:int64 -> cls:string -> unit -> string
+(** [deadline_us] adds a [Deadline-Us] header: the client's absolute
+    deadline on the virtual clock, which proxy admission control sheds
+    against. *)
+
 val decode_request : string -> string
 (** @raise Bad_message on malformed input. *)
 
-type status = Ok_200 | Not_found_404 | Bad_request_400
+val decode_request_deadline : string -> string * int64 option
+(** Like {!decode_request}, also returning the carried deadline.
+    Framing stays strict: at most the one known header, no trailing
+    garbage.
+    @raise Bad_message on malformed input. *)
+
+type status = Ok_200 | Not_found_404 | Bad_request_400 | Overloaded_503
 
 val status_code : status -> int
 val encode_response : status:status -> body:string -> string

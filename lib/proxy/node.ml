@@ -12,7 +12,7 @@
    This module is the single-node implementation; [Proxy] re-exports it
    and [Farm] composes several nodes behind a consistent-hash ring. *)
 
-type reply = Bytes of string | Not_found | Unavailable
+type reply = Bytes of string | Not_found | Unavailable | Overloaded
 
 type origin = string -> string option
 
@@ -41,6 +41,7 @@ type t = {
      already in flight instead of re-parsing. The table maps keys with
      a pipeline run in flight to the requests that joined it. *)
   inflight : (string, waiter list ref) Hashtbl.t;
+  admission : Admission.t;
   mutable requests : int;
   mutable rejections : int;
   mutable bytes_served : int;
@@ -55,8 +56,8 @@ let create ?(cache_capacity = 48 * 1024 * 1024)
     ?(mem_capacity = 64 * 1024 * 1024) ?signer ?audit
     ?(origin_bandwidth_bps = 100_000_000) ?(working_set_factor = 12)
     ?(cpu_factor = 1.0) ?(host_name = "proxy") ?l2 ?(l2_lookup_us = 1500)
-    ?(l2_bandwidth_bps = 100_000_000) engine ~origin ~origin_latency ~filters
-    () =
+    ?(l2_bandwidth_bps = 100_000_000) ?admission engine ~origin ~origin_latency
+    ~filters () =
   {
     engine;
     host =
@@ -73,6 +74,8 @@ let create ?(cache_capacity = 48 * 1024 * 1024)
     audit;
     working_set_factor;
     inflight = Hashtbl.create 32;
+    admission =
+      (match admission with Some a -> a | None -> Admission.create ());
     requests = 0;
     rejections = 0;
     bytes_served = 0;
@@ -155,7 +158,7 @@ let l2_transfer_cost t ~bytes =
    run settles. A crash mid-flight therefore fails every joined
    request at once (each through its own [on_fail]), and the in-flight
    entry is dropped so a retry after restart starts a fresh run. *)
-let request ?on_fail t ~cls k =
+let rec request ?on_fail ?deadline t ~cls k =
   t.requests <- t.requests + 1;
   if Telemetry.Global.on () then begin
     Telemetry.Global.incr "proxy.requests";
@@ -166,8 +169,57 @@ let request ?on_fail t ~cls k =
     match on_fail with
     | Some f -> Simnet.Engine.schedule t.engine ~delay:0L f
     | None -> ()
-  else
-    match Cache.find t.cache cls with
+  else begin
+    (* Admission: can this request finish inside its deadline given
+       what the CPU is already committed to? The estimate peeks at the
+       cache (without perturbing it) to pick the hit or miss cost and
+       adds the CPU backlog the request would queue behind. Shedding
+       happens here, before any work is scheduled — an [Overloaded]
+       reply after one zero-delay hop, not a timeout downstream. *)
+    let admit_at = Simnet.Engine.now t.engine in
+    let backlog = Simnet.Host.backlog_us t.host in
+    let is_hit = Cache.mem t.cache cls in
+    let is_join = Hashtbl.mem t.inflight cls in
+    let est_us =
+      Int64.add backlog
+        (if is_hit then 2000L else Admission.estimate_us t.admission)
+    in
+    match Admission.admit t.admission ~now:admit_at ~deadline ~est_us with
+    | Shed_queue | Shed_deadline ->
+      if Telemetry.Global.on () then Telemetry.Global.incr "proxy.overloaded";
+      Simnet.Engine.schedule t.engine ~delay:0L (fun () -> k Overloaded)
+    | Admit ->
+      (* Balance the admit exactly once however the request settles.
+         Misses (but not single-flight joins, which ride the leader's
+         run) feed their service time — net of the backlog they merely
+         waited out — back to the cost EWMA. *)
+      let completed = ref false in
+      let complete () =
+        if not !completed then begin
+          completed := true;
+          let sample =
+            if is_hit || is_join then None
+            else
+              let elapsed = Int64.sub (Simnet.Engine.now t.engine) admit_at in
+              Some (Int64.max 0L (Int64.sub elapsed backlog))
+          in
+          Admission.complete ?sample t.admission
+        end
+      in
+      let k reply = complete (); k reply in
+      let on_fail =
+        Some
+          (fun () ->
+            complete ();
+            match on_fail with Some f -> f () | None -> ())
+      in
+      request_admitted ?on_fail t ~cls k
+  end
+
+(* The post-admission request path: cache lookup, single-flight join,
+   L2, origin fetch + pipeline. *)
+and request_admitted ?on_fail t ~cls k =
+  match Cache.find t.cache cls with
     | Some bytes ->
       (* A small fixed cost to look up and stream from the disk cache.
          Stats and the audit record land in the completion callback:
@@ -300,7 +352,8 @@ let request_sync t ~cls =
         | Bytes b ->
           Telemetry.Global.add "proxy.bytes_served" (Int64.of_int (String.length b))
         | Not_found -> Telemetry.Global.incr "proxy.not_found"
-        | Unavailable -> Telemetry.Global.incr "proxy.unavailable");
+        | Unavailable -> Telemetry.Global.incr "proxy.unavailable"
+        | Overloaded -> Telemetry.Global.incr "proxy.overloaded");
         reply)
 
 (* A classloading provider backed by the synchronous path — what a DVM
@@ -309,7 +362,7 @@ let provider t : Jvm.Classreg.provider =
  fun cls ->
   match request_sync t ~cls with
   | Bytes b -> Some b
-  | Not_found | Unavailable -> None
+  | Not_found | Unavailable | Overloaded -> None
 
 type proxy = t
 

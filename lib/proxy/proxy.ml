@@ -6,6 +6,8 @@
 module Cache = Cache
 module Pipeline = Pipeline
 module Httpwire = Httpwire
+module Breaker = Breaker
+module Admission = Admission
 
 include Node
 

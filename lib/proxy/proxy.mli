@@ -16,7 +16,23 @@ module Cache : module type of Cache
 module Pipeline : module type of Pipeline
 module Httpwire : module type of Httpwire
 
-type reply = Node.reply = Bytes of string | Not_found | Unavailable
+module Breaker : module type of Breaker
+(** Per-shard circuit breaker (closed/open/half-open with hysteresis)
+    consulted by {!Farm} before routing. *)
+
+module Admission : module type of Admission
+(** Deadline-aware admission control: each node sheds requests whose
+    remaining budget cannot cover estimated service cost. *)
+
+type reply = Node.reply =
+  | Bytes of string
+  | Not_found
+  | Unavailable
+  | Overloaded
+      (** Shed by admission control: the shard could not finish the
+          request inside its deadline (or its queue is full). Distinct
+          from [Unavailable] so clients retry-with-budget instead of
+          failing over. *)
 
 type origin = string -> string option
 
@@ -41,6 +57,7 @@ type t = Node.t = {
   working_set_factor : int;
   inflight : (string, waiter list ref) Hashtbl.t;
       (** keys with a pipeline run in flight → requests that joined it *)
+  admission : Admission.t;
   mutable requests : int;
   mutable rejections : int;
   mutable bytes_served : int;
@@ -63,6 +80,7 @@ val create :
   ?l2:Cache.t ->
   ?l2_lookup_us:int ->
   ?l2_bandwidth_bps:int ->
+  ?admission:Admission.t ->
   Simnet.Engine.t ->
   origin:origin ->
   origin_latency:(string -> Simnet.Engine.time) ->
@@ -77,12 +95,20 @@ val create :
     instead of a pipeline run, and a cache-cold restarted shard
     rewarms from its peers' work. *)
 
-val request : ?on_fail:(unit -> unit) -> t -> cls:string -> (reply -> unit) -> unit
+val request :
+  ?on_fail:(unit -> unit) -> ?deadline:int64 -> t -> cls:string ->
+  (reply -> unit) -> unit
 (** Simulated-time request; the callback fires when the response is
     ready for the client's wire. [on_fail] fires instead if the proxy
     host is down at dispatch or crashes while the request is in
     flight (without it, a failed request simply never completes — the
     caller's timeout problem).
+
+    [deadline] (absolute virtual µs) engages admission control: if the
+    CPU backlog plus the estimated hit/miss service cost cannot land
+    inside it, the request is shed with [Overloaded] after one
+    zero-delay hop, before any work is scheduled. Without a deadline,
+    admission is passive bookkeeping.
 
     Misses are single-flight: the first request for a key leads and
     runs the pipeline; concurrent requests for the same key join it

@@ -54,6 +54,10 @@ let flip t ~p = p > 0.0 && uniform t < p
 let jitter_us t ~max_us =
   if max_us <= 0 then 0L else Int64.of_float (uniform t *. Float.of_int max_us)
 
+(* Uniform int in [0, max): the draw chaos schedules use to place
+   crash windows, pick victim shards and stagger load spikes. *)
+let range t ~max = if max <= 0 then 0 else int_of_float (uniform t *. Float.of_int max)
+
 let record t ~at what =
   t.events <- Printf.sprintf "%Ld %s" at what :: t.events
 

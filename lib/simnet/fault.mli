@@ -21,6 +21,10 @@ val flip : t -> p:float -> bool
 val jitter_us : t -> max_us:int -> int64
 (** Uniform in [\[0, max_us)]; [0] when [max_us <= 0]. *)
 
+val range : t -> max:int -> int
+(** Uniform int in [\[0, max)]; [0] when [max <= 0]. Chaos schedules
+    draw crash times, victim shards and spike offsets from this. *)
+
 (** {1 Fault trace} *)
 
 val record : t -> at:Engine.time -> string -> unit

@@ -62,6 +62,13 @@ let restart ?(mem_retained = 1.0) t =
       max 0 (int_of_float (Float.of_int t.mem_used *. mem_retained))
   end
 
+(* How far the CPU's commitments already extend past the present — the
+   queueing delay a request admitted now would wait before its own work
+   starts. Admission control sheds on this. *)
+let backlog_us t =
+  let now = Engine.now t.engine in
+  if Int64.compare t.busy_until now > 0 then Int64.sub t.busy_until now else 0L
+
 let mem_pressure t =
   if t.mem_capacity <= 0 then 0.0
   else Float.of_int t.mem_used /. Float.of_int t.mem_capacity

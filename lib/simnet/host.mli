@@ -29,6 +29,10 @@ val create :
   t
 (** Defaults: reference CPU, 64 MB memory (the paper's proxy). *)
 
+val backlog_us : t -> Engine.time
+(** How far the CPU's commitments extend past the present: the queueing
+    delay work admitted now would wait before starting. 0 when idle. *)
+
 val mem_pressure : t -> float
 val effective_cost : t -> cost_us:Engine.time -> Engine.time
 

@@ -78,6 +78,7 @@ type hist_stats = {
   max_us : int64;
   p50_us : int64;
   p95_us : int64;
+  p99_us : int64;
 }
 
 (* --- Spans. --- *)
@@ -207,6 +208,7 @@ let histogram_stats t name =
         max_us = (if h.h_count = 0 then 0L else h.h_max);
         p50_us = hist_quantile h 0.5;
         p95_us = hist_quantile h 0.95;
+        p99_us = hist_quantile h 0.99;
       }
 
 let histograms t =
@@ -355,6 +357,22 @@ let chrome_trace t =
     (counters t);
   "[\n" ^ String.concat ",\n" (List.rev !events) ^ "\n]\n"
 
+(* JSON fragment of the latency histograms: [{"name":...,"count":...,
+   "p50_us":...,...}, ...]. Benches embed this in their JSON output so
+   tail latency is machine-readable alongside throughput. *)
+let histograms_json t =
+  let hs = histograms t in
+  "["
+  ^ String.concat ","
+      (List.map
+         (fun (k, s) ->
+           Printf.sprintf
+             "{\"name\":\"%s\",\"count\":%d,\"sum_us\":%Ld,\"min_us\":%Ld,\"p50_us\":%Ld,\"p95_us\":%Ld,\"p99_us\":%Ld,\"max_us\":%Ld}"
+             (json_escape k) s.count s.sum_us s.min_us s.p50_us s.p95_us
+             s.p99_us s.max_us)
+         hs)
+  ^ "]"
+
 (* --- Plain-text metrics snapshot. --- *)
 
 let metrics_snapshot t =
@@ -374,12 +392,12 @@ let metrics_snapshot t =
   let hs = histograms t in
   if hs <> [] then begin
     pf "histograms (µs):\n";
-    pf "  %-44s %8s %12s %8s %8s %8s %8s\n" "" "count" "sum" "min" "p50"
-      "p95" "max";
+    pf "  %-44s %8s %12s %8s %8s %8s %8s %8s\n" "" "count" "sum" "min" "p50"
+      "p95" "p99" "max";
     List.iter
       (fun (k, s) ->
-        pf "  %-44s %8d %12Ld %8Ld %8Ld %8Ld %8Ld\n" k s.count s.sum_us
-          s.min_us s.p50_us s.p95_us s.max_us)
+        pf "  %-44s %8d %12Ld %8Ld %8Ld %8Ld %8Ld %8Ld\n" k s.count s.sum_us
+          s.min_us s.p50_us s.p95_us s.p99_us s.max_us)
       hs
   end;
   pf "spans: %d recorded%s\n" t.span_count

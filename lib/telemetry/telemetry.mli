@@ -65,6 +65,7 @@ type hist_stats = {
   max_us : int64;
   p50_us : int64;  (** approximate: bucket upper bound *)
   p95_us : int64;
+  p99_us : int64;
 }
 
 val histogram_stats : t -> string -> hist_stats option
@@ -113,6 +114,12 @@ val chrome_trace : t -> string
 
 val metrics_snapshot : t -> string
 (** Human-readable table of counters, gauges and histograms. *)
+
+val histograms_json : t -> string
+(** The latency histograms as a JSON array of
+    [{"name", "count", "sum_us", "min_us", "p50_us", "p95_us",
+    "p99_us", "max_us"}] objects — what benches embed in their JSON
+    output. *)
 
 val json_escape : string -> string
 (** Exposed for tests. *)

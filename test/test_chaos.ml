@@ -1,0 +1,219 @@
+(* Acceptance tests for the overload-control layer, driven through
+   the chaos harness: the goodput bar under the scripted 3x spike, the
+   three chaos invariants, seed replayability, and the serve-stale
+   brownout and hedging behaviours the sessions implement.
+
+   The scenario is the pinned [default_config]: the simulation is
+   deterministic, so these are exact assertions, not statistical
+   ones. A smaller configuration is used where the full 40 s run is
+   not needed. *)
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* One shared run of the acceptance configuration: the spike
+   comparison and the invariant verdict both come from it. *)
+let acceptance = lazy (Dvm.Chaos.spike_comparison Dvm.Chaos.default_config)
+let verdict = lazy (Dvm.Chaos.verify Dvm.Chaos.default_config)
+
+let test_goodput_bar () =
+  let cmp = Lazy.force acceptance in
+  Printf.printf "goodput: control %.0f B/s, baseline %.0f B/s (%.2fx)\n"
+    cmp.Dvm.Chaos.cmp_control.Dvm.Chaos.co_goodput_bps
+    cmp.Dvm.Chaos.cmp_baseline.Dvm.Chaos.co_goodput_bps
+    cmp.Dvm.Chaos.cmp_goodput_ratio;
+  check Alcotest.bool "overload control doubles goodput under the spike" true
+    (cmp.Dvm.Chaos.cmp_goodput_ratio >= 2.0);
+  (* the controls actually engaged: shedding, retries and breaker
+     trips all fired during the spike *)
+  let c = cmp.Dvm.Chaos.cmp_control in
+  check Alcotest.bool "admission shed requests" true (c.Dvm.Chaos.co_shed > 0);
+  check Alcotest.bool "clients retried" true (c.Dvm.Chaos.co_retries > 0);
+  check Alcotest.bool "breakers tripped" true
+    (c.Dvm.Chaos.co_breaker_trips > 0);
+  check Alcotest.bool "hedges fired" true (c.Dvm.Chaos.co_hedges > 0);
+  (* and the baseline had none of them *)
+  let b = cmp.Dvm.Chaos.cmp_baseline in
+  check Alcotest.int "baseline saw no shedding" 0 b.Dvm.Chaos.co_shed;
+  check Alcotest.int "baseline never retried" 0 b.Dvm.Chaos.co_retries;
+  check Alcotest.int "baseline never hedged" 0 b.Dvm.Chaos.co_hedges
+
+let test_no_deadline_violations () =
+  let cmp = Lazy.force acceptance in
+  (* zero in BOTH arms: the client-side deadline drop is what makes
+     "zero late serves" hold by construction, control or not *)
+  check Alcotest.int "control never served past a deadline" 0
+    cmp.Dvm.Chaos.cmp_control.Dvm.Chaos.co_deadline_violations;
+  check Alcotest.int "baseline never served past a deadline" 0
+    cmp.Dvm.Chaos.cmp_baseline.Dvm.Chaos.co_deadline_violations
+
+let test_invariants_hold () =
+  let v = Lazy.force verdict in
+  check Alcotest.bool "served bytes digest-identical to fault-free run" true
+    v.Dvm.Chaos.v_digests_ok;
+  check Alcotest.bool "no serve outlived its deadline" true
+    v.Dvm.Chaos.v_no_late_serves;
+  check Alcotest.bool "throughput recovered after faults cleared" true
+    v.Dvm.Chaos.v_recovered;
+  check Alcotest.bool "verdict rolls up" true (Dvm.Chaos.ok v);
+  (* the chaotic run was actually chaotic *)
+  let c = v.Dvm.Chaos.v_chaotic in
+  check Alcotest.bool "faults were injected" true
+    (List.length c.Dvm.Chaos.co_fault_trace > 0);
+  check Alcotest.bool "every applet key matches the reference digests" true
+    (List.for_all
+       (fun (k, d) ->
+         match List.assoc_opt k v.Dvm.Chaos.v_reference.Dvm.Chaos.co_digests with
+         | Some d' -> String.equal d d'
+         | None -> true)
+       c.Dvm.Chaos.co_digests)
+
+(* A real class body for the session tests: the proxy pipeline parses
+   whatever the origin serves, so the origin must serve a well-formed
+   class. *)
+let body =
+  Bytecode.Encode.class_to_bytes
+    (Bytecode.Builder.class_ "Hello"
+       [
+         Bytecode.Builder.meth
+           ~flags:[ Bytecode.Classfile.Public; Bytecode.Classfile.Static ]
+           "main" "()V"
+           [ Bytecode.Builder.Return ];
+       ])
+
+let tiny_farm engine =
+  let pool =
+    Array.init 2 (fun i ->
+        Proxy.create engine
+          ~host_name:(Printf.sprintf "shard%d" i)
+          ~origin:(fun _ -> Some body)
+          ~origin_latency:(fun _ -> 0L)
+          ~filters:[] ())
+  in
+  (Proxy.Farm.create engine pool, pool)
+
+(* What the pipeline emits for [body]: fetch it once through a
+   healthy farm so the stale-vs-fresh comparisons are exact. *)
+let served_body =
+  lazy
+    (let engine = Simnet.Engine.create () in
+     let farm, _ = tiny_farm engine in
+     let got = ref None in
+     Proxy.Farm.request farm ~cls:"probe/Body" (fun r -> got := Some r);
+     Simnet.Engine.run engine;
+     match !got with
+     | Some (Proxy.Bytes b) -> b
+     | _ -> failwith "tiny farm did not serve the probe")
+
+(* A small configuration for the fast behavioural tests. *)
+let small =
+  {
+    Dvm.Chaos.default_config with
+    Dvm.Chaos.ch_clients = 12;
+    ch_duration_s = 12;
+    ch_spike_start_s = 3;
+    ch_spike_len_s = 5;
+    ch_crashes = 1;
+    ch_loss_pct = 1.0;
+  }
+
+let test_seed_replayable () =
+  let a = Dvm.Chaos.run small and b = Dvm.Chaos.run small in
+  check Alcotest.string "engine traces digest-identical"
+    a.Dvm.Chaos.co_trace_digest b.Dvm.Chaos.co_trace_digest;
+  check
+    (Alcotest.list Alcotest.string)
+    "fault traces identical" a.Dvm.Chaos.co_fault_trace
+    b.Dvm.Chaos.co_fault_trace;
+  check Alcotest.bool "whole outcomes identical" true (a = b);
+  let c = Dvm.Chaos.run { small with Dvm.Chaos.ch_seed = small.Dvm.Chaos.ch_seed + 1 } in
+  check Alcotest.bool "a different seed diverges" false
+    (String.equal a.Dvm.Chaos.co_trace_digest c.Dvm.Chaos.co_trace_digest)
+
+let test_brownout_serves_stale () =
+  (* All shards dead mid-run: sessions that have a fresh copy archived
+     brown out to it instead of failing, and stale serves are counted
+     apart from fresh ones. *)
+  let engine = Simnet.Engine.create () in
+  let farm, pool = tiny_farm engine in
+  let session =
+    Dvm.Client.Session.create ~budget_us:100_000L
+      ~stale_key:Dvm.Chaos.stale_key engine farm
+  in
+  let got = ref [] in
+  let fetch name at =
+    Simnet.Engine.schedule_at engine at (fun () ->
+        Dvm.Client.Session.fetch session ~cls:name (fun r ->
+            got := (name, r) :: !got))
+  in
+  fetch "a0/one" 0L;
+  Simnet.Engine.schedule_at engine 500_000L (fun () ->
+      Array.iter (fun p -> Simnet.Host.crash p.Proxy.host) pool);
+  fetch "a0/two" 1_000_000L;
+  fetch "a9/never-seen" 1_000_000L;
+  Simnet.Engine.run engine;
+  (match List.assoc "a0/one" !got with
+  | Dvm.Client.Session.Fresh b ->
+    check Alcotest.string "fresh bytes" (Lazy.force served_body) b
+  | _ -> fail "healthy farm did not serve fresh");
+  (match List.assoc "a0/two" !got with
+  | Dvm.Client.Session.Stale b ->
+    check Alcotest.string "stale bytes are the archived fresh ones"
+      (Lazy.force served_body) b
+  | _ -> fail "dead farm did not brown out to stale");
+  (match List.assoc "a9/never-seen" !got with
+  | Dvm.Client.Session.Failed -> ()
+  | _ -> fail "an applet never served fresh cannot brown out");
+  check Alcotest.int "one stale serve counted" 1
+    session.Dvm.Client.Session.stale_served;
+  check Alcotest.int "one fresh serve counted" 1
+    session.Dvm.Client.Session.served;
+  check Alcotest.int "one failure counted" 1
+    session.Dvm.Client.Session.failed
+
+let test_hedge_wins_on_slow_owner () =
+  (* The owner is alive but swamped; the hedge against the next shard
+     in ring order comes back first and wins the fetch. *)
+  let engine = Simnet.Engine.create () in
+  let farm, pool = tiny_farm engine in
+  let cls = "some/Applet" in
+  let owner = Proxy.Farm.owner farm cls in
+  (* swamp the owner with half a second of queued compute *)
+  Simnet.Host.compute pool.(owner).Proxy.host ~cost_us:500_000L (fun () -> ());
+  let session =
+    Dvm.Client.Session.create ~budget_us:1_000_000L
+      ~hedge_after_us:50_000L engine farm
+  in
+  let got = ref None in
+  Dvm.Client.Session.fetch session ~cls (fun r -> got := Some r);
+  Simnet.Engine.run engine;
+  (match !got with
+  | Some (Dvm.Client.Session.Fresh _) -> ()
+  | _ -> fail "hedged fetch did not serve");
+  check Alcotest.int "hedge fired" 1 session.Dvm.Client.Session.hedges;
+  check Alcotest.int "hedge won" 1 session.Dvm.Client.Session.hedge_wins;
+  check Alcotest.bool "fetch settled well before the swamped owner's queue"
+    true
+    (Int64.compare (Simnet.Engine.now engine) 500_000L < 0
+    || session.Dvm.Client.Session.served = 1)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "acceptance",
+        [
+          Alcotest.test_case "goodput bar (>= 2x)" `Quick test_goodput_bar;
+          Alcotest.test_case "zero deadline violations" `Quick
+            test_no_deadline_violations;
+          Alcotest.test_case "three invariants" `Quick test_invariants_hold;
+        ] );
+      ( "replay",
+        [ Alcotest.test_case "seed determinism" `Quick test_seed_replayable ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "serve-stale brownout" `Quick
+            test_brownout_serves_stale;
+          Alcotest.test_case "hedge wins on slow owner" `Quick
+            test_hedge_wins_on_slow_owner;
+        ] );
+    ]

@@ -223,6 +223,70 @@ let test_coalescing_under_shared_load () =
   check Alcotest.bool "completions exceed pipeline runs" true
     (p.Dvm.Scaling.f_requests_completed > p.Dvm.Scaling.f_pipeline_runs)
 
+(* --- Flapping: the probe/breaker hysteresis regression. ---
+
+   A shard that alternates up/down faster than the probe interval used
+   to flap the routing view on every probe: each crash marked it down,
+   each restart marked it up, and keys bounced between owner and
+   successor. The breaker's windowed failure count (successes reset
+   the consecutive counter but not the window) opens after enough
+   flaps, and [Farm.probe] then pins the shard out of rotation until a
+   cooldown's worth of stable probes closes the breaker again. *)
+
+let test_flapping_replica_stabilizes () =
+  let engine = Simnet.Engine.create () in
+  let farm, pool = make_farm ~shards:4 engine in
+  let cls = "some/Applet" in
+  let order = Proxy.Farm.preference_order farm cls in
+  let owner = List.nth order 0 and second = List.nth order 1 in
+  let flap_probe () =
+    Simnet.Host.crash pool.(owner).Proxy.host;
+    let down = Proxy.Farm.probe farm in
+    Simnet.Host.restart pool.(owner).Proxy.host;
+    let up = Proxy.Farm.probe farm in
+    (down.(owner), up.(owner))
+  in
+  (* first flaps: the probe view follows the host, i.e. it flaps too *)
+  let d1, u1 = flap_probe () in
+  check Alcotest.bool "first crash probes down" false d1;
+  check Alcotest.bool "first restart probes up" true u1;
+  (* keep flapping: the windowed failures open the breaker, and the
+     probe view stops following the flaps even while the host is up *)
+  let _ = flap_probe () in
+  let _ = flap_probe () in
+  let _, u4 = flap_probe () in
+  check Alcotest.bool "after repeated flaps the probe view pins down" false u4;
+  check Alcotest.bool "breaker tripped" true
+    (Proxy.Breaker.trips (Proxy.Farm.breaker farm owner) > 0);
+  (* routing honours the open breaker: the owner is skipped without
+     being touched, even though its host is up right now *)
+  let before = pool.(owner).Proxy.requests in
+  let got = ref None in
+  Proxy.Farm.request farm ~cls (fun r -> got := Some r);
+  Simnet.Engine.run engine;
+  (match !got with
+  | Some (Proxy.Bytes _) -> ()
+  | _ -> fail "successor did not serve");
+  check Alcotest.int "open breaker keeps traffic off the flapper" before
+    pool.(owner).Proxy.requests;
+  check Alcotest.bool "served by the successor" true
+    (pool.(second).Proxy.requests > 0);
+  check Alcotest.bool "breaker skip counted" true
+    (farm.Proxy.Farm.breaker_skips > 0);
+  (* after a cooldown of stable health, probes close the breaker and
+     the owner takes its keys back *)
+  Simnet.Engine.schedule engine ~delay:(Simnet.Engine.sec 10) (fun () -> ());
+  Simnet.Engine.run engine;
+  let p1 = Proxy.Farm.probe farm in
+  let p2 = Proxy.Farm.probe farm in
+  check Alcotest.bool "stable probes rehabilitate the shard" true
+    (p1.(owner) || p2.(owner));
+  let before = pool.(owner).Proxy.requests in
+  Proxy.Farm.request farm ~cls (fun _ -> ());
+  Simnet.Engine.run engine;
+  check Alcotest.int "owner serves again after rehabilitation" (before + 1)
+    pool.(owner).Proxy.requests
+
 let () =
   Alcotest.run "farm"
     [
@@ -239,6 +303,8 @@ let () =
           Alcotest.test_case "mid-flight crash" `Quick
             test_mid_flight_crash_fails_over;
           Alcotest.test_case "all shards down" `Quick test_all_down_unavailable;
+          Alcotest.test_case "flapping replica stabilizes" `Quick
+            test_flapping_replica_stabilizes;
         ] );
       ( "determinism",
         [

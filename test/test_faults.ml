@@ -277,6 +277,42 @@ let test_resilient_provider_degrades () =
 
 (* --- The availability experiment. --- *)
 
+(* --- Seed determinism as a property, not an example. ---
+
+   The replayability contract behind the chaos harness: every run is a
+   pure function of its seed. Checked over arbitrary seeds, not just
+   the ones the example tests happen to use. *)
+
+let prop_fault_trace_deterministic =
+  QCheck.Test.make ~name:"equal seeds draw equal fault traces" ~count:50
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let draw () =
+        let p = Simnet.Fault.create ~seed in
+        let e = Simnet.Engine.create () in
+        let link = Simnet.Link.ethernet_10mb e in
+        Simnet.Link.set_faults link ~plan:p ~drop_prob:0.2
+          ~jitter_max_us:1_000 ();
+        for i = 1 to 25 do
+          Simnet.Link.transfer link ~bytes:(400 * i) (fun () -> ())
+        done;
+        Simnet.Engine.run e;
+        ( Simnet.Fault.trace p,
+          Array.init 16 (fun _ -> Simnet.Fault.range p ~max:1000) )
+      in
+      draw () = draw ())
+
+let prop_availability_deterministic =
+  QCheck.Test.make ~name:"equal seeds give equal availability outcomes"
+    ~count:8
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let scenario =
+        { Dvm.Availability.default_scenario with Dvm.Availability.sc_seed = seed }
+      in
+      let run () = Dvm.Availability.run ~scenario ~loss_pct:5.0 ~replicas:2 () in
+      run () = run ())
+
 let test_availability_deterministic () =
   let a = Dvm.Availability.run ~loss_pct:5.0 ~replicas:1 () in
   let b = Dvm.Availability.run ~loss_pct:5.0 ~replicas:1 () in
@@ -364,4 +400,10 @@ let () =
           Alcotest.test_case "crash recovery" `Quick
             test_availability_crash_recovery;
         ] );
+      ( "seed-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_fault_trace_deterministic;
+            prop_availability_deterministic;
+          ] );
     ]

@@ -204,7 +204,7 @@ let test_pipeline_signs () =
 (* --- Wire protocol. --- *)
 
 let test_http_roundtrip () =
-  let req = Proxy.Httpwire.encode_request ~cls:"jlex/Main" in
+  let req = Proxy.Httpwire.encode_request ~cls:"jlex/Main" () in
   check Alcotest.string "request decodes" "jlex/Main"
     (Proxy.Httpwire.decode_request req);
   let body = "\x00\x01binary body \xff" in
@@ -215,12 +215,12 @@ let test_http_roundtrip () =
 
 let test_http_serve () =
   let lookup = function "A" -> Some "aaa" | _ -> None in
-  let ok = Proxy.Httpwire.serve lookup (Proxy.Httpwire.encode_request ~cls:"A") in
+  let ok = Proxy.Httpwire.serve lookup (Proxy.Httpwire.encode_request ~cls:"A" ()) in
   (match Proxy.Httpwire.decode_response ok with
   | Proxy.Httpwire.Ok_200, "aaa" -> ()
   | _ -> fail "expected 200 aaa");
   let missing =
-    Proxy.Httpwire.serve lookup (Proxy.Httpwire.encode_request ~cls:"B")
+    Proxy.Httpwire.serve lookup (Proxy.Httpwire.encode_request ~cls:"B" ())
   in
   (match Proxy.Httpwire.decode_response missing with
   | Proxy.Httpwire.Not_found_404, _ -> ()
@@ -329,7 +329,7 @@ let arbitrary_status =
   QCheck.make
     (QCheck.Gen.oneofl
        [ Proxy.Httpwire.Ok_200; Proxy.Httpwire.Not_found_404;
-         Proxy.Httpwire.Bad_request_400 ])
+         Proxy.Httpwire.Bad_request_400; Proxy.Httpwire.Overloaded_503 ])
 
 let request_rejected data =
   match Proxy.Httpwire.decode_request data with
@@ -345,12 +345,12 @@ let prop_request_roundtrip =
   QCheck.Test.make ~name:"request roundtrip" ~count:300 arbitrary_cls
     (fun cls ->
       String.equal cls
-        (Proxy.Httpwire.decode_request (Proxy.Httpwire.encode_request ~cls)))
+        (Proxy.Httpwire.decode_request (Proxy.Httpwire.encode_request ~cls ())))
 
 let prop_request_truncation =
   QCheck.Test.make ~name:"request rejects every truncation" ~count:100
     arbitrary_cls (fun cls ->
-      let full = Proxy.Httpwire.encode_request ~cls in
+      let full = Proxy.Httpwire.encode_request ~cls () in
       let ok = ref true in
       for len = 0 to String.length full - 1 do
         if not (request_rejected (String.sub full 0 len)) then ok := false
@@ -361,7 +361,7 @@ let prop_request_trailing_garbage =
   QCheck.Test.make ~name:"request rejects trailing garbage" ~count:100
     QCheck.(pair arbitrary_cls (string_gen_of_size Gen.(int_range 1 20) Gen.char))
     (fun (cls, junk) ->
-      request_rejected (Proxy.Httpwire.encode_request ~cls ^ junk))
+      request_rejected (Proxy.Httpwire.encode_request ~cls () ^ junk))
 
 let prop_response_roundtrip =
   QCheck.Test.make ~name:"response roundtrip" ~count:300
@@ -392,6 +392,189 @@ let prop_response_trailing_garbage =
     (fun (status, body, junk) ->
       response_rejected (Proxy.Httpwire.encode_response ~status ~body ^ junk))
 
+(* --- Wire protocol: deadline propagation. --- *)
+
+let test_http_deadline_roundtrip () =
+  let raw = Proxy.Httpwire.encode_request ~deadline_us:1_234_567L ~cls:"A/b" () in
+  let cls, deadline = Proxy.Httpwire.decode_request_deadline raw in
+  check Alcotest.string "class name survives" "A/b" cls;
+  check (Alcotest.option Alcotest.int64) "deadline survives" (Some 1_234_567L)
+    deadline;
+  (* plain decode still accepts the header and ignores it *)
+  check Alcotest.string "plain decode ignores the header" "A/b"
+    (Proxy.Httpwire.decode_request raw);
+  (* no header -> no deadline *)
+  let cls, deadline =
+    Proxy.Httpwire.decode_request_deadline
+      (Proxy.Httpwire.encode_request ~cls:"A/b" ())
+  in
+  check Alcotest.string "bare request decodes" "A/b" cls;
+  check (Alcotest.option Alcotest.int64) "bare request has no deadline" None
+    deadline
+
+let test_http_deadline_malformed () =
+  List.iter
+    (fun data ->
+      match Proxy.Httpwire.decode_request_deadline data with
+      | _ -> fail ("accepted: " ^ String.escaped data)
+      | exception Proxy.Httpwire.Bad_message _ -> ())
+    [
+      (* unknown header *)
+      "GET /A DVM/1.0\r\nX-Custom: 1\r\n\r\n";
+      (* duplicate deadline *)
+      "GET /A DVM/1.0\r\nDeadline-Us: 1\r\nDeadline-Us: 2\r\n\r\n";
+      (* non-numeric / negative *)
+      "GET /A DVM/1.0\r\nDeadline-Us: soon\r\n\r\n";
+      "GET /A DVM/1.0\r\nDeadline-Us: -5\r\n\r\n";
+      (* missing blank line *)
+      "GET /A DVM/1.0\r\nDeadline-Us: 1\r\n";
+    ]
+
+let prop_request_deadline_roundtrip =
+  QCheck.Test.make ~name:"request+deadline roundtrip" ~count:300
+    QCheck.(pair arbitrary_cls (option (int_bound 1_000_000_000)))
+    (fun (cls, deadline) ->
+      let deadline_us = Option.map Int64.of_int deadline in
+      let cls', deadline' =
+        Proxy.Httpwire.decode_request_deadline
+          (Proxy.Httpwire.encode_request ?deadline_us ~cls ())
+      in
+      String.equal cls cls' && deadline_us = deadline')
+
+(* --- Circuit breaker. --- *)
+
+let test_breaker_consecutive_trip () =
+  let b = Proxy.Breaker.create () in
+  check Alcotest.bool "starts closed" true (Proxy.Breaker.allow b ~now:0L);
+  Proxy.Breaker.record_failure b ~now:0L;
+  Proxy.Breaker.record_failure b ~now:1L;
+  check Alcotest.bool "two failures stay closed" true
+    (Proxy.Breaker.allow b ~now:2L);
+  Proxy.Breaker.record_failure b ~now:2L;
+  check Alcotest.bool "third consecutive failure opens" false
+    (Proxy.Breaker.allow b ~now:3L);
+  check Alcotest.int "trip counted" 1 (Proxy.Breaker.trips b)
+
+let test_breaker_half_open_cycle () =
+  let b = Proxy.Breaker.create ~cooldown_us:1000L () in
+  for i = 0 to 2 do
+    Proxy.Breaker.record_failure b ~now:(Int64.of_int i)
+  done;
+  check Alcotest.bool "open rejects" false (Proxy.Breaker.allow b ~now:500L);
+  (* cooldown expires -> half-open admits probes *)
+  check Alcotest.bool "half-open admits a probe" true
+    (Proxy.Breaker.allow b ~now:1500L);
+  Proxy.Breaker.record_success b ~now:1500L;
+  Proxy.Breaker.record_success b ~now:1501L;
+  check Alcotest.bool "two probe successes close" true
+    (Proxy.Breaker.state b ~now:1502L = Proxy.Breaker.Closed);
+  (* a probe failure instead re-opens with a doubled cooldown *)
+  let b = Proxy.Breaker.create ~cooldown_us:1000L () in
+  for i = 0 to 2 do
+    Proxy.Breaker.record_failure b ~now:(Int64.of_int i)
+  done;
+  ignore (Proxy.Breaker.allow b ~now:1500L);
+  Proxy.Breaker.record_failure b ~now:1500L;
+  check Alcotest.bool "probe failure re-opens" false
+    (Proxy.Breaker.allow b ~now:1600L);
+  check Alcotest.bool "cooldown doubled: still open after base interval" false
+    (Proxy.Breaker.allow b ~now:(Int64.add 1500L 1500L));
+  check Alcotest.bool "reopens after the doubled interval" true
+    (Proxy.Breaker.allow b ~now:(Int64.add 1500L 2500L))
+
+let test_breaker_flapping_window () =
+  (* A flapper: every failure is followed by a success, so the
+     consecutive counter never reaches 3 — but the windowed count
+     does, and the breaker opens anyway. *)
+  let b = Proxy.Breaker.create () in
+  let t = ref 0L in
+  for _ = 1 to 3 do
+    Proxy.Breaker.record_failure b ~now:!t;
+    t := Int64.add !t 100_000L;
+    Proxy.Breaker.record_success b ~now:!t;
+    t := Int64.add !t 100_000L;
+    check Alcotest.bool "still closed while under the window threshold" true
+      (Proxy.Breaker.allow b ~now:!t)
+  done;
+  Proxy.Breaker.record_failure b ~now:!t;
+  check Alcotest.bool "fourth windowed failure opens" false
+    (Proxy.Breaker.allow b ~now:!t);
+  (* the same four failures spread over more than the window stay closed *)
+  let b = Proxy.Breaker.create ~window_us:1_000_000L () in
+  let t = ref 0L in
+  for _ = 1 to 4 do
+    Proxy.Breaker.record_failure b ~now:!t;
+    Proxy.Breaker.record_success b ~now:!t;
+    t := Int64.add !t 2_000_000L
+  done;
+  check Alcotest.bool "slow failures age out of the window" true
+    (Proxy.Breaker.allow b ~now:!t)
+
+(* --- Admission control. --- *)
+
+let test_admission_deadline_shed () =
+  let a = Proxy.Admission.create () in
+  (* plenty of budget: admitted *)
+  (match
+     Proxy.Admission.admit a ~now:0L ~deadline:(Some 100_000L) ~est_us:50_000L
+   with
+  | Proxy.Admission.Admit -> ()
+  | _ -> fail "affordable request was shed");
+  check Alcotest.int "inflight tracks admission" 1 (Proxy.Admission.inflight a);
+  (* deadline closer than the estimate: shed *)
+  (match
+     Proxy.Admission.admit a ~now:0L ~deadline:(Some 40_000L) ~est_us:50_000L
+   with
+  | Proxy.Admission.Shed_deadline -> ()
+  | _ -> fail "doomed request was admitted");
+  (* no deadline carried: always admitted *)
+  (match Proxy.Admission.admit a ~now:0L ~deadline:None ~est_us:1_000_000L with
+  | Proxy.Admission.Admit -> ()
+  | _ -> fail "deadline-free request was shed");
+  Proxy.Admission.complete a;
+  Proxy.Admission.complete a;
+  check Alcotest.int "completions drain inflight" 0
+    (Proxy.Admission.inflight a);
+  check Alcotest.int "sheds counted" 1 (Proxy.Admission.shed_deadline a)
+
+let test_admission_queue_shed () =
+  let a = Proxy.Admission.create ~queue_limit:2 () in
+  let admit () =
+    Proxy.Admission.admit a ~now:0L ~deadline:None ~est_us:0L
+  in
+  (match (admit (), admit ()) with
+  | Proxy.Admission.Admit, Proxy.Admission.Admit -> ()
+  | _ -> fail "under-limit requests were shed");
+  (match admit () with
+  | Proxy.Admission.Shed_queue -> ()
+  | _ -> fail "over-limit request was admitted");
+  Proxy.Admission.complete a;
+  match admit () with
+  | Proxy.Admission.Admit -> ()
+  | _ -> fail "freed slot was not reusable"
+
+let test_admission_ewma_tracks_cost () =
+  let a = Proxy.Admission.create ~initial_cost_us:50_000 () in
+  check Alcotest.int64 "initial estimate" 50_000L
+    (Proxy.Admission.estimate_us a);
+  (* a run of slow misses pulls the estimate up *)
+  for _ = 1 to 30 do
+    (match Proxy.Admission.admit a ~now:0L ~deadline:None ~est_us:0L with
+    | Proxy.Admission.Admit -> ()
+    | _ -> fail "shed");
+    Proxy.Admission.complete ~sample:200_000L a
+  done;
+  check Alcotest.bool "estimate converged toward the samples" true
+    (Proxy.Admission.estimate_us a > 150_000L);
+  (* completions without a sample (hits, joins) leave it alone *)
+  let before = Proxy.Admission.estimate_us a in
+  (match Proxy.Admission.admit a ~now:0L ~deadline:None ~est_us:0L with
+  | Proxy.Admission.Admit -> ()
+  | _ -> fail "shed");
+  Proxy.Admission.complete a;
+  check Alcotest.int64 "sample-free completion leaves the estimate" before
+    (Proxy.Admission.estimate_us a)
+
 (* --- Proxy request paths. --- *)
 
 let origin_for classes =
@@ -400,6 +583,38 @@ let origin_for classes =
     (fun cf -> Hashtbl.replace tbl cf.CF.name (Bytecode.Encode.class_to_bytes cf))
     classes;
   fun name -> Hashtbl.find_opt tbl name
+
+(* The proxy sheds a deadline it cannot make, and replies Overloaded
+   rather than queueing: the distinct reply is what stops the client
+   from counting it as a failure against the breaker. *)
+let test_proxy_sheds_hopeless_deadline () =
+  let engine = Simnet.Engine.create () in
+  let proxy =
+    Proxy.create engine ~origin:(origin_for [ hello ])
+      ~origin_latency:(fun _ -> 0L)
+      ~filters:(filters ()) ()
+  in
+  (* a deadline in the past can never be met *)
+  let got = ref None in
+  Proxy.request proxy ~deadline:0L ~cls:"Hello" (fun r -> got := Some r);
+  Simnet.Engine.run engine;
+  (match !got with
+  | Some Proxy.Overloaded -> ()
+  | _ -> fail "hopeless deadline was not shed");
+  check Alcotest.int "shed counted" 1
+    (Proxy.Admission.shed_deadline proxy.Proxy.admission);
+  check Alcotest.int "no origin fetch for a shed request" 0
+    proxy.Proxy.origin_fetches;
+  (* an achievable deadline is served as usual *)
+  let got = ref None in
+  Proxy.request proxy ~deadline:10_000_000L ~cls:"Hello" (fun r ->
+      got := Some r);
+  Simnet.Engine.run engine;
+  (match !got with
+  | Some (Proxy.Bytes _) -> ()
+  | _ -> fail "achievable deadline was not served");
+  check Alcotest.int "no further shed" 1
+    (Proxy.Admission.shed_deadline proxy.Proxy.admission)
 
 let test_request_sync_and_cache () =
   let engine = Simnet.Engine.create () in
@@ -410,15 +625,15 @@ let test_request_sync_and_cache () =
   in
   (match Proxy.request_sync proxy ~cls:"Hello" with
   | Proxy.Bytes _ -> ()
-  | Proxy.Not_found | Proxy.Unavailable -> fail "not served");
+  | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded -> fail "not served");
   check Alcotest.int "one origin fetch" 1 proxy.Proxy.origin_fetches;
   (match Proxy.request_sync proxy ~cls:"Hello" with
   | Proxy.Bytes _ -> ()
-  | Proxy.Not_found | Proxy.Unavailable -> fail "not served from cache");
+  | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded -> fail "not served from cache");
   check Alcotest.int "cache hit, no refetch" 1 proxy.Proxy.origin_fetches;
   match Proxy.request_sync proxy ~cls:"Nowhere" with
   | Proxy.Not_found -> ()
-  | Proxy.Bytes _ | Proxy.Unavailable -> fail "phantom class"
+  | Proxy.Bytes _ | Proxy.Unavailable | Proxy.Overloaded -> fail "phantom class"
 
 let test_request_async_timing () =
   let engine = Simnet.Engine.create () in
@@ -432,7 +647,7 @@ let test_request_async_timing () =
   Proxy.request proxy ~cls:"Hello" (fun reply ->
       match reply with
       | Proxy.Bytes _ -> served_at := Simnet.Engine.now engine
-      | Proxy.Not_found | Proxy.Unavailable -> fail "not served");
+      | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded -> fail "not served");
   Simnet.Engine.run engine;
   (* must include WAN latency plus pipeline compute *)
   check Alcotest.bool "after WAN latency" true (!served_at >= 100_000L);
@@ -473,7 +688,7 @@ let test_cache_hit_audit_timing () =
   Proxy.request proxy ~cls:"Hello" (fun reply ->
       (match reply with
       | Proxy.Bytes _ -> ()
-      | Proxy.Not_found | Proxy.Unavailable -> fail "cache hit not served");
+      | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded -> fail "cache hit not served");
       replied_at := Simnet.Engine.now engine;
       check Alcotest.bool "bytes_served counted by completion" true
         (proxy.Proxy.bytes_served > served_before));
@@ -664,6 +879,10 @@ let () =
             test_http_truncation_boundaries;
           Alcotest.test_case "request framing enforced" `Quick
             test_http_request_framing_enforced;
+          Alcotest.test_case "deadline roundtrip" `Quick
+            test_http_deadline_roundtrip;
+          Alcotest.test_case "deadline malformed" `Quick
+            test_http_deadline_malformed;
         ] );
       ( "wire-properties",
         List.map QCheck_alcotest.to_alcotest
@@ -671,10 +890,29 @@ let () =
             prop_request_roundtrip;
             prop_request_truncation;
             prop_request_trailing_garbage;
+            prop_request_deadline_roundtrip;
             prop_response_roundtrip;
             prop_response_truncation;
             prop_response_trailing_garbage;
           ] );
+      ( "breaker",
+        [
+          Alcotest.test_case "consecutive trip" `Quick
+            test_breaker_consecutive_trip;
+          Alcotest.test_case "half-open cycle" `Quick
+            test_breaker_half_open_cycle;
+          Alcotest.test_case "flapping window" `Quick
+            test_breaker_flapping_window;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "deadline shed" `Quick test_admission_deadline_shed;
+          Alcotest.test_case "queue shed" `Quick test_admission_queue_shed;
+          Alcotest.test_case "ewma cost tracking" `Quick
+            test_admission_ewma_tracks_cost;
+          Alcotest.test_case "sheds hopeless deadline" `Quick
+            test_proxy_sheds_hopeless_deadline;
+        ] );
       ( "requests",
         [
           Alcotest.test_case "sync + cache" `Quick test_request_sync_and_cache;
