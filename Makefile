@@ -1,4 +1,4 @@
-.PHONY: all build test lint farm-smoke chaos-smoke check clean
+.PHONY: all build test lint farm-smoke chaos-smoke trace-smoke bench-pin check clean
 
 all: build
 
@@ -29,6 +29,28 @@ chaos-smoke:
 	dune exec bin/dvmctl.exe -- chaos --clients 12 --duration 12 \
 	  --spike-start 3 --spike-len 5 --crashes 1 --loss 1.0 --trace
 
+# Trace smoke: a seeded chaos run must yield, for at least one shed and
+# one serve-stale brownout request, a single cross-node trace with the
+# client span, the edge routing span and the explaining reason event.
+# dvmctl exits nonzero if either trace is missing; the exports (Chrome
+# trace + JSON + flight-recorder dump) land under _build/trace-smoke/.
+trace-smoke:
+	mkdir -p _build/trace-smoke
+	dune exec bin/dvmctl.exe -- flight --out _build/trace-smoke/flight
+	dune exec bin/dvmctl.exe -- slo --json
+
+# Perf trajectory pin: re-run the seeded bench phases that write
+# BENCH_<phase>.json and fail if the output drifts from the committed
+# baselines. Every number in those files is a function of the virtual
+# clock and the pinned seeds, so a diff is either a real behaviour
+# change (recommit the baseline, explain it in the PR) or
+# nondeterminism leaking in (a bug).
+bench-pin:
+	dune exec bench/main.exe -- faults
+	dune exec bench/main.exe -- farm
+	dune exec bench/main.exe -- chaos
+	git diff --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json
+
 # The gate a PR must pass: everything builds, every test is green, and
 # no build artifacts are tracked or dirtying the tree.
 check:
@@ -37,6 +59,8 @@ check:
 	dune exec bin/dvmctl.exe -- lint
 	$(MAKE) farm-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) trace-smoke
+	$(MAKE) bench-pin
 	@if git ls-files | grep -q '^_build/'; then \
 	  echo "check: _build/ files are tracked in git" >&2; exit 1; fi
 	@if git status --porcelain | grep -q '_build'; then \

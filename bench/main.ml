@@ -28,21 +28,59 @@ let telemetry_wanted =
   | Some ("0" | "false" | "off") -> false
   | _ -> true
 
+(* --- BENCH_<phase>.json: the committed perf trajectory. ---
+
+   The json phases push their headline numbers (throughput, tail
+   quantiles, goodput, digests, SLO reports) here as raw JSON values;
+   [with_phase ~json:true] writes them, together with the phase's
+   counters and histograms, to BENCH_<phase>.json in the working
+   directory. Every value is a function of the virtual clock and the
+   pinned seeds, so the file is byte-identical run to run — CI diffs
+   it against the committed baseline to pin the perf trajectory. *)
+let bench_summary : (string * string) list ref = ref []
+let bench_put k v = bench_summary := !bench_summary @ [ (k, v) ]
+let write_bench name =
+  (* The virtual/wall ratio gauge is the one wall-clock-derived metric;
+     zero it so the file stays byte-stable across runs. *)
+  Telemetry.set_gauge Telemetry.default "simnet.virtual_wall_ratio_x1000" 0L;
+  let summary =
+    String.concat ",\n    "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) !bench_summary)
+  in
+  let path = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"phase\": %S,\n\
+    \  \"summary\": {\n\
+    \    %s\n\
+    \  },\n\
+    \  \"metrics\": %s\n\
+     }\n"
+    name summary
+    (Telemetry.metrics_json Telemetry.default);
+  close_out oc;
+  Printf.printf "\n--- %s: wrote %s ---\n" name path
+
 (* [json] additionally emits the phase's latency histograms as one
-   JSON line (name, count, p50/p95/p99, ...) for machine consumers —
-   the load/fault phases where tail latency is the result. *)
+   JSON line (name, count, p50/p95/p99, ...) for machine consumers,
+   and writes the BENCH_<phase>.json baseline — the load/fault phases
+   where tail latency is the result. *)
 let with_phase ?(json = false) name f =
   if not telemetry_wanted then f ()
   else begin
     Telemetry.reset Telemetry.default;
     Telemetry.enable Telemetry.default;
+    bench_summary := [];
     Fun.protect
       ~finally:(fun () ->
         Printf.printf "\n--- %s: telemetry ---\n%s" name
           (Telemetry.metrics_snapshot Telemetry.default);
-        if json then
+        if json then begin
           Printf.printf "\n--- %s: histograms (json) ---\n%s\n" name
             (Telemetry.histograms_json Telemetry.default);
+          write_bench name
+        end;
         Telemetry.disable Telemetry.default)
       f
   end
@@ -829,9 +867,26 @@ let faults () =
     /. 1e3)
     Dvm.Availability.default_scenario.Dvm.Availability.sc_seed;
   subsection "loss sweep";
-  Dvm.Availability.(
-    print_table
-      (sweep ~loss_pcts:[ 0.0; 1.0; 5.0; 10.0 ] ~replica_counts:[ 1; 2 ] ()));
+  let av_points_json ps =
+    "["
+    ^ String.concat ","
+        (List.map
+           (fun p ->
+             Printf.sprintf
+               "{\"loss_pct\":%.1f,\"replicas\":%d,\"startup_us\":%Ld,\"requests\":%d,\"retries\":%d,\"drops\":%d,\"failovers\":%d,\"degraded\":%d}"
+               p.Dvm.Availability.av_loss_pct p.Dvm.Availability.av_replicas
+               p.Dvm.Availability.av_startup_us p.Dvm.Availability.av_requests
+               p.Dvm.Availability.av_retries p.Dvm.Availability.av_drops
+               p.Dvm.Availability.av_failovers p.Dvm.Availability.av_degraded)
+           ps)
+    ^ "]"
+  in
+  let loss =
+    Dvm.Availability.(
+      sweep ~loss_pcts:[ 0.0; 1.0; 5.0; 10.0 ] ~replica_counts:[ 1; 2 ] ())
+  in
+  Dvm.Availability.print_table loss;
+  bench_put "loss_sweep" (av_points_json loss);
   subsection "primary crash at t=400ms (down 2.5s, cache-cold restart)";
   let crash =
     Dvm.Availability.(
@@ -839,6 +894,7 @@ let faults () =
         ~replica_counts:[ 1; 2 ] ())
   in
   Dvm.Availability.print_table crash;
+  bench_put "crash_sweep" (av_points_json crash);
   List.iter
     (fun p ->
       if p.Dvm.Availability.av_degraded > 0 then
@@ -852,7 +908,16 @@ let faults () =
     crash;
   subsection "injected-fault trace (crash scenario, 2 replicas)";
   List.iter (Printf.printf "  %s\n")
-    (List.nth crash 1).Dvm.Availability.av_trace
+    (List.nth crash 1).Dvm.Availability.av_trace;
+  subsection "SLO monitor (crash scenario, 2 replicas, 1% loss)";
+  let slo = Telemetry.Slo.create ~window_s:60 ~objective:0.99 () in
+  let sp =
+    Dvm.Availability.(
+      run ~slo ~scenario:crash_scenario ~loss_pct:1.0 ~replicas:2 ())
+  in
+  let rep = Telemetry.Slo.report slo ~now_us:sp.Dvm.Availability.av_startup_us in
+  print_string (Telemetry.Slo.report_text rep);
+  bench_put "slo" (Telemetry.Slo.report_json rep)
 
 (* --- Farm: the sharded-proxy scaling experiment. --- *)
 
@@ -874,6 +939,19 @@ let farm () =
         (p.Dvm.Scaling.f_mean_latency_us /. 1000.0)
         p.Dvm.Scaling.f_requests_completed p.Dvm.Scaling.f_utilization)
     worst;
+  bench_put "shard_sweep"
+    ("["
+    ^ String.concat ","
+        (List.map
+           (fun p ->
+             Printf.sprintf
+               "{\"shards\":%d,\"throughput_bps\":%.1f,\"mean_latency_us\":%.1f,\"completed\":%d,\"utilization\":%.3f,\"trace_digest\":\"%s\"}"
+               p.Dvm.Scaling.f_shards p.Dvm.Scaling.f_throughput_bytes_per_s
+               p.Dvm.Scaling.f_mean_latency_us
+               p.Dvm.Scaling.f_requests_completed p.Dvm.Scaling.f_utilization
+               (Dsig.Md5.to_hex p.Dvm.Scaling.f_trace_digest))
+           worst)
+    ^ "]");
   (match worst with
   | one :: _ ->
     let four = List.nth worst 2 in
@@ -882,8 +960,9 @@ let farm () =
       /. one.Dvm.Scaling.f_throughput_bytes_per_s)
   | [] -> ());
   subsection "single-flight coalescing (shared popular set, caches on)";
+  let slo = Telemetry.Slo.create ~window_s:20 ~objective:0.99 () in
   let cached =
-    Dvm.Scaling.run_farm ~duration_s:20 ~clients:200 ~applet_count:8
+    Dvm.Scaling.run_farm ~slo ~duration_s:20 ~clients:200 ~applet_count:8
       ~cache_capacity:(16 * 1024 * 1024) ~l2_capacity:(32 * 1024 * 1024)
       ~shards:4 ()
   in
@@ -891,7 +970,24 @@ let farm () =
     "4 shards, 200 clients, 8 popular applets: %d completions from %d\n\
      pipeline runs (%d requests coalesced into in-flight runs, %d L2 hits)\n"
     cached.Dvm.Scaling.f_requests_completed cached.Dvm.Scaling.f_pipeline_runs
-    cached.Dvm.Scaling.f_coalesced cached.Dvm.Scaling.f_l2_hits
+    cached.Dvm.Scaling.f_coalesced cached.Dvm.Scaling.f_l2_hits;
+  bench_put "coalesce"
+    (Printf.sprintf
+       "{\"completed\":%d,\"pipeline_runs\":%d,\"coalesced\":%d,\"l2_hits\":%d,\"throughput_bps\":%.1f,\"trace_digest\":\"%s\",\"served\":{%s}}"
+       cached.Dvm.Scaling.f_requests_completed
+       cached.Dvm.Scaling.f_pipeline_runs cached.Dvm.Scaling.f_coalesced
+       cached.Dvm.Scaling.f_l2_hits
+       cached.Dvm.Scaling.f_throughput_bytes_per_s
+       (Dsig.Md5.to_hex cached.Dvm.Scaling.f_trace_digest)
+       (String.concat ","
+          (List.map
+             (fun (k, d) ->
+               Printf.sprintf "\"%s\":\"%s\"" k (Dsig.Md5.to_hex d))
+             cached.Dvm.Scaling.f_served)));
+  let rep = Telemetry.Slo.report slo ~now_us:(Simnet.Engine.sec 20) in
+  subsection "SLO monitor (coalescing run)";
+  print_string (Telemetry.Slo.report_text rep);
+  bench_put "slo" (Telemetry.Slo.report_json rep)
 
 (* --- Chaos: overload control under a scripted load spike. --- *)
 
@@ -908,6 +1004,18 @@ let chaos () =
     (Int64.to_float cfg.Dvm.Chaos.ch_budget_us /. 1e3)
     cfg.Dvm.Chaos.ch_seed;
   subsection "overload control on vs off (same spike, same seed)";
+  let outcome_json o =
+    Printf.sprintf
+      "{\"fetches\":%d,\"served\":%d,\"stale\":%d,\"failed\":%d,\"shed\":%d,\"hedges\":%d,\"hedge_wins\":%d,\"retries\":%d,\"breaker_trips\":%d,\"deadline_violations\":%d,\"goodput_bps\":%.1f,\"p50_us\":%Ld,\"p95_us\":%Ld,\"p99_us\":%Ld,\"trace_digest\":\"%s\",\"slo\":%s}"
+      o.Dvm.Chaos.co_fetches o.Dvm.Chaos.co_served o.Dvm.Chaos.co_stale_served
+      o.Dvm.Chaos.co_failed o.Dvm.Chaos.co_shed o.Dvm.Chaos.co_hedges
+      o.Dvm.Chaos.co_hedge_wins o.Dvm.Chaos.co_retries
+      o.Dvm.Chaos.co_breaker_trips o.Dvm.Chaos.co_deadline_violations
+      o.Dvm.Chaos.co_goodput_bps o.Dvm.Chaos.co_p50_us o.Dvm.Chaos.co_p95_us
+      o.Dvm.Chaos.co_p99_us
+      (Dsig.Md5.to_hex o.Dvm.Chaos.co_trace_digest)
+      (Telemetry.Slo.report_json o.Dvm.Chaos.co_slo)
+  in
   let cmp = Dvm.Chaos.spike_comparison cfg in
   Dvm.Chaos.print_outcome ~label:"control" cmp.Dvm.Chaos.cmp_control;
   Dvm.Chaos.print_outcome ~label:"baseline" cmp.Dvm.Chaos.cmp_baseline;
@@ -915,6 +1023,10 @@ let chaos () =
     "\ngoodput (in-deadline bytes/s) with control = %.2fx baseline (bar: \
      >= 2x)\n"
     cmp.Dvm.Chaos.cmp_goodput_ratio;
+  bench_put "control" (outcome_json cmp.Dvm.Chaos.cmp_control);
+  bench_put "baseline" (outcome_json cmp.Dvm.Chaos.cmp_baseline);
+  bench_put "goodput_ratio"
+    (Printf.sprintf "%.2f" cmp.Dvm.Chaos.cmp_goodput_ratio);
   subsection "invariants vs the fault-free reference run";
   let v = Dvm.Chaos.verify cfg in
   Dvm.Chaos.print_outcome ~label:"reference" v.Dvm.Chaos.v_reference;
@@ -926,6 +1038,13 @@ let chaos () =
     v.Dvm.Chaos.v_digests_ok v.Dvm.Chaos.v_no_late_serves
     v.Dvm.Chaos.v_recovered v.Dvm.Chaos.v_chaotic.Dvm.Chaos.co_tail_served
     v.Dvm.Chaos.v_reference.Dvm.Chaos.co_tail_served;
+  bench_put "reference" (outcome_json v.Dvm.Chaos.v_reference);
+  bench_put "chaotic" (outcome_json v.Dvm.Chaos.v_chaotic);
+  bench_put "invariants"
+    (Printf.sprintf
+       "{\"digests_ok\":%b,\"no_late_serves\":%b,\"recovered\":%b}"
+       v.Dvm.Chaos.v_digests_ok v.Dvm.Chaos.v_no_late_serves
+       v.Dvm.Chaos.v_recovered);
   subsection "injected-fault trace (replayable from the seed)";
   List.iter (Printf.printf "  %s\n")
     v.Dvm.Chaos.v_chaotic.Dvm.Chaos.co_fault_trace

@@ -9,7 +9,11 @@
      dvmctl run <entry> <file>... execute an application on a DVM client
      dvmctl analyze [--dot] <file> dump CFG, dominators and dataflow facts
      dvmctl lint                  analyzer self-check over bundled workloads
-     dvmctl bench <target>        shortcut for bench/main.exe targets
+     dvmctl flight [opts]         traced chaos run: export one shed and one
+                                  brownout request's cross-node trace and
+                                  the per-node flight-recorder rings
+     dvmctl slo [opts]            chaos run summarized by the SLO monitor
+                                  (goodput, violation rate, budget burn)
      dvmctl farm [opts]           sweep the sharded proxy farm over shard
                                   counts (Figure-10-style scaling curve)
      dvmctl chaos [opts]          seeded chaos run against the farm's
@@ -422,9 +426,82 @@ let trace app_name out_path =
     (List.length (Telemetry.counters reg));
   0
 
-let metrics app_name =
+let metrics app_name json =
   let reg = with_telemetry (fun () -> run_traced_workload app_name) in
-  print_string (Telemetry.metrics_snapshot reg);
+  if json then print_endline (Telemetry.metrics_json reg)
+  else print_string (Telemetry.metrics_snapshot reg);
+  0
+
+(* --- flight / slo: distributed tracing and the SLO monitor over a
+   seeded chaos run. --- *)
+
+let flight seed duration out =
+  let cfg =
+    {
+      Dvm.Chaos.default_config with
+      Dvm.Chaos.ch_seed = seed;
+      ch_duration_s = duration;
+      ch_trace = true;
+    }
+  in
+  let o = Dvm.Chaos.run cfg in
+  Printf.printf
+    "chaos run (seed %d, %ds): %d fetches, %d served, %d shed, %d stale\n\
+     collected %d spans and %d events across %d traces (%d dropped)\n\n"
+    seed duration o.Dvm.Chaos.co_fetches o.Dvm.Chaos.co_served
+    o.Dvm.Chaos.co_shed o.Dvm.Chaos.co_stale_served
+    (Telemetry.Trace.span_count ())
+    (Telemetry.Trace.event_count ())
+    (List.length (Telemetry.Trace.trace_ids ()))
+    (Telemetry.Trace.dropped ());
+  let export label tr =
+    Printf.printf "--- %s request (trace %016Lx) ---\n%s\n" label tr
+      (Telemetry.Trace.render tr);
+    let chrome = Printf.sprintf "%s-%s.trace.json" out label in
+    let json = Printf.sprintf "%s-%s.json" out label in
+    write_file chrome (Telemetry.Trace.export_chrome tr);
+    write_file json (Telemetry.Trace.export_json tr);
+    Printf.printf "wrote %s (Perfetto/chrome://tracing) and %s\n\n" chrome json
+  in
+  let missing = ref false in
+  (match
+     match Telemetry.Trace.find_trace_with ~kind:"admission.shed_deadline" with
+     | Some tr -> Some tr
+     | None -> Telemetry.Trace.find_trace_with ~kind:"admission.shed_queue"
+   with
+  | Some tr -> export "shed" tr
+  | None ->
+    missing := true;
+    print_endline "no shed request in this run (try another seed)");
+  (match Telemetry.Trace.find_trace_with ~kind:"client.serve_stale" with
+  | Some tr -> export "stale" tr
+  | None ->
+    missing := true;
+    print_endline "no serve-stale brownout in this run (try another seed)");
+  let fpath = out ^ "-flight.json" in
+  write_file fpath (Telemetry.Flight.dump_json ());
+  Printf.printf "wrote %s: flight-recorder rings for nodes [%s]\n" fpath
+    (String.concat ", " (Telemetry.Flight.nodes ()));
+  if !missing then 1 else 0
+
+let slo seed duration json =
+  let cfg =
+    {
+      Dvm.Chaos.default_config with
+      Dvm.Chaos.ch_seed = seed;
+      ch_duration_s = duration;
+    }
+  in
+  let o = Dvm.Chaos.run cfg in
+  if json then print_endline (Telemetry.Slo.report_json o.Dvm.Chaos.co_slo)
+  else begin
+    Printf.printf
+      "chaos run (seed %d, %ds): %d fetches, %d fresh, %d stale, %d failed, \
+       %d shed\n\n"
+      seed duration o.Dvm.Chaos.co_fetches o.Dvm.Chaos.co_served
+      o.Dvm.Chaos.co_stale_served o.Dvm.Chaos.co_failed o.Dvm.Chaos.co_shed;
+    print_string (Telemetry.Slo.report_text o.Dvm.Chaos.co_slo)
+  end;
   0
 
 let faults seed crash losses replicas trace =
@@ -522,6 +599,10 @@ let chaos seed shards clients duration spike spike_start spike_len crashes
       ch_loss_pct = loss;
       ch_budget_us = Int64.of_int (budget_ms * 1000);
       ch_control = not no_control;
+      (* Tracing on: every fetch leaves a cross-node trace and the
+         per-node flight recorders fill, so an invariant violation can
+         dump the moments before it. *)
+      ch_trace = true;
     }
   in
   Printf.printf
@@ -558,7 +639,16 @@ let chaos seed shards clients duration spike spike_start spike_len crashes
     | [] -> print_endline "  (no faults injected)"
     | lines -> List.iter (Printf.printf "  %s\n") lines
   end;
-  if Dvm.Chaos.ok v then 0 else 1
+  if Dvm.Chaos.ok v then 0
+  else begin
+    (* Invariant violation: dump the per-node flight recorders (the
+       last moments of the chaotic run) for the post-mortem. *)
+    let path = "chaos-flight.json" in
+    write_file path (Telemetry.Flight.dump_json ());
+    Printf.eprintf "invariant violated; flight-recorder dump written to %s\n"
+      path;
+    1
+  end
 
 (* --- Cmdliner plumbing. --- *)
 
@@ -677,12 +767,78 @@ let metrics_cmd =
     Arg.(value & pos 0 string "jlex" & info [] ~docv:"APP"
            ~doc:"workload application (a Figure-5 benchmark name)")
   in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "emit one JSON object (counters, gauges, histograms with \
+             p50/p95/p99) instead of the text snapshot")
+  in
   Cmd.v
     (Cmd.info "metrics"
        ~doc:
          "Run a workload with telemetry enabled and print the metrics \
           snapshot (counters, gauges, latency histograms)")
-    Term.(const metrics $ app_arg)
+    Term.(const metrics $ app_arg $ json)
+
+let flight_cmd =
+  let seed =
+    Arg.(
+      value
+      & opt int Dvm.Chaos.default_config.Dvm.Chaos.ch_seed
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"chaos-schedule seed; traces are a pure function of it")
+  in
+  let duration =
+    Arg.(
+      value & opt int 16
+      & info [ "duration" ] ~docv:"S"
+          ~doc:
+            "simulated seconds (long enough at the default seed for both a \
+             shed and a brownout to occur)")
+  in
+  let out =
+    Arg.(
+      value & opt string "flight"
+      & info [ "out"; "o" ] ~docv:"PREFIX"
+          ~doc:"output prefix for the exported trace/flight JSON files")
+  in
+  Cmd.v
+    (Cmd.info "flight"
+       ~doc:
+         "Run a traced seeded chaos run, then walk one shed request and one \
+          serve-stale brownout end to end: render each cross-node span tree \
+          (client fetch, farm edge routing, shard hops, reason events), \
+          export both as Chrome trace_event and plain JSON, and dump the \
+          per-node flight-recorder rings")
+    Term.(const flight $ seed $ duration $ out)
+
+let slo_cmd =
+  let seed =
+    Arg.(
+      value
+      & opt int Dvm.Chaos.default_config.Dvm.Chaos.ch_seed
+      & info [ "seed" ] ~docv:"N" ~doc:"chaos-schedule seed")
+  in
+  let duration =
+    Arg.(
+      value
+      & opt int Dvm.Chaos.default_config.Dvm.Chaos.ch_duration_s
+      & info [ "duration" ] ~docv:"S" ~doc:"simulated seconds")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"emit the report as one JSON object")
+  in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Run a seeded chaos run and print the SLO monitor's report: \
+          rolling goodput over the final window, deadline-violation rate \
+          against the 99% objective, and error-budget burn")
+    Term.(const slo $ seed $ duration $ json)
 
 let faults_cmd =
   let seed =
@@ -845,8 +1001,8 @@ let main_cmd =
        ~doc:"Distributed virtual machine control tool")
     [
       gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd;
-      analyze_cmd; lint_cmd; trace_cmd; metrics_cmd; faults_cmd; farm_cmd;
-      chaos_cmd;
+      analyze_cmd; lint_cmd; trace_cmd; metrics_cmd; flight_cmd; slo_cmd;
+      faults_cmd; farm_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -63,8 +63,13 @@ type point = {
 let backoff_us sc ~attempt =
   min (sc.sc_base_backoff_us * (1 lsl min 20 (attempt - 1))) sc.sc_max_backoff_us
 
-let run ?(scenario = default_scenario) ~loss_pct ~replicas () =
+let run ?slo ?(scenario = default_scenario) ~loss_pct ~replicas () =
   let sc = scenario in
+  let slo_record outcome now_us =
+    match slo with
+    | None -> ()
+    | Some s -> Telemetry.Slo.record s ~now_us outcome
+  in
   let app = Workloads.Apps.build_small sc.sc_spec in
   let engine = Simnet.Engine.create () in
   let plan = Simnet.Fault.create ~seed:sc.sc_seed in
@@ -116,6 +121,7 @@ let run ?(scenario = default_scenario) ~loss_pct ~replicas () =
             if n >= sc.sc_max_attempts then begin
               incr degraded;
               Telemetry.Global.incr "client.degraded";
+              slo_record Telemetry.Slo.Failed (Simnet.Engine.now engine);
               fetch_next rest
             end
             else begin
@@ -139,6 +145,9 @@ let run ?(scenario = default_scenario) ~loss_pct ~replicas () =
                     settled := true;
                     Telemetry.Global.observe "client.request_us"
                       (Int64.sub (Simnet.Engine.now engine) started);
+                    slo_record
+                      (Telemetry.Slo.Fresh (String.length b))
+                      (Simnet.Engine.now engine);
                     fetch_next rest
                   end)
             | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded ->
@@ -148,7 +157,11 @@ let run ?(scenario = default_scenario) ~loss_pct ~replicas () =
       in
       attempt 1
   in
-  fetch_next classes;
+  (* Kick off inside the event loop, not before it: spans opened during
+     the first fetch must see the virtual clock (a pre-run dispatch
+     would salt the latency histograms with wall-clock durations and
+     break run-to-run reproducibility). *)
+  Simnet.Engine.schedule_at engine 0L (fun () -> fetch_next classes);
   Simnet.Engine.run engine;
   {
     av_loss_pct = loss_pct;
@@ -163,11 +176,11 @@ let run ?(scenario = default_scenario) ~loss_pct ~replicas () =
     av_trace = Simnet.Fault.trace plan;
   }
 
-let sweep ?scenario ~loss_pcts ~replica_counts () =
+let sweep ?slo ?scenario ~loss_pcts ~replica_counts () =
   List.concat_map
     (fun replicas ->
       List.map
-        (fun loss_pct -> run ?scenario ~loss_pct ~replicas ())
+        (fun loss_pct -> run ?slo ?scenario ~loss_pct ~replicas ())
         loss_pcts)
     replica_counts
 

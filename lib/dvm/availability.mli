@@ -39,9 +39,19 @@ type point = {
   av_trace : string list;  (** the fault plan's injected-fault trace *)
 }
 
-val run : ?scenario:scenario -> loss_pct:float -> replicas:int -> unit -> point
+val run :
+  ?slo:Telemetry.Slo.t ->
+  ?scenario:scenario ->
+  loss_pct:float ->
+  replicas:int ->
+  unit ->
+  point
+(** [slo] receives one outcome per settled class fetch (served bytes
+    as fresh, retry-budget exhaustion as failed) on the run's virtual
+    clock, so a sweep can be summarized by the SLO monitor. *)
 
 val sweep :
+  ?slo:Telemetry.Slo.t ->
   ?scenario:scenario ->
   loss_pcts:float list ->
   replica_counts:int list ->

@@ -43,6 +43,7 @@ type config = {
   ch_loss_pct : float; (* client-LAN loss, whole run *)
   ch_jitter_us : int; (* client-LAN propagation jitter bound *)
   ch_control : bool; (* overload controls on? *)
+  ch_trace : bool; (* reset + enable distributed tracing for the run? *)
 }
 
 (* Sized so the fault-free run is healthy (p95 well inside the
@@ -69,6 +70,7 @@ let default_config =
     ch_loss_pct = 0.5;
     ch_jitter_us = 2_000;
     ch_control = true;
+    ch_trace = false;
   }
 
 type outcome = {
@@ -92,6 +94,7 @@ type outcome = {
   co_p50_us : int64; (* exact quantiles over fresh-serve latencies *)
   co_p95_us : int64;
   co_p99_us : int64;
+  co_slo : Telemetry.Slo.report; (* SLO monitor state at the horizon *)
 }
 
 (* Exact quantile over the collected latencies (unlike the log₂
@@ -110,6 +113,12 @@ let stale_key cls =
 
 let run (cfg : config) : outcome =
   if cfg.ch_shards <= 0 then invalid_arg "Chaos.run: shards must be positive";
+  if cfg.ch_trace then begin
+    (* Fresh collector per run so trace/span ids (and thus exports)
+       are a pure function of the seed. *)
+    Telemetry.Trace.reset ();
+    Telemetry.Trace.enable ()
+  end;
   let engine = Simnet.Engine.create () in
   Simnet.Engine.set_tracing engine true;
   let plan = Simnet.Fault.create ~seed:cfg.ch_seed in
@@ -175,6 +184,13 @@ let run (cfg : config) : outcome =
       (cfg.ch_spike_factor - 1) * cfg.ch_clients
     else 0
   in
+  (* One SLO monitor for the whole client population; its window is
+     the recovery tail, so the report shows steady-state health. *)
+  let slo =
+    Telemetry.Slo.create
+      ~window_s:(max 1 (cfg.ch_duration_s / 4))
+      ~objective:0.99 ()
+  in
   let sessions =
     Array.init (cfg.ch_clients + burst) (fun _ ->
         Client.Session.create ~budget_us:cfg.ch_budget_us
@@ -182,7 +198,7 @@ let run (cfg : config) : outcome =
           ~advertise_deadline:cfg.ch_control
           ~retry_budget:(if cfg.ch_control then cfg.ch_retry_budget else 0)
           ~deliver:(fun ~bytes k -> Simnet.Link.transfer lan ~bytes k)
-          ~stale_key engine farm)
+          ~slo ~stale_key engine farm)
   in
   (* Per-applet digest of fresh serves; divergence inside one run is a
      single-flight/caching bug and fatal. *)
@@ -269,6 +285,7 @@ let run (cfg : config) : outcome =
     co_p50_us = exact_quantile lat 0.50;
     co_p95_us = exact_quantile lat 0.95;
     co_p99_us = exact_quantile lat 0.99;
+    co_slo = Telemetry.Slo.report slo ~now_us:horizon;
   }
 
 (* --- The three invariants. --- *)

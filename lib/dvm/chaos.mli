@@ -27,6 +27,9 @@ type config = {
   ch_loss_pct : float;  (** client-LAN loss percentage, whole run *)
   ch_jitter_us : int;  (** client-LAN propagation jitter bound *)
   ch_control : bool;  (** overload controls on? *)
+  ch_trace : bool;
+      (** reset + enable {!Telemetry.Trace} for the run, so every
+          fetch yields a cross-node trace (off by default) *)
 }
 
 val default_config : config
@@ -57,6 +60,9 @@ type outcome = {
   co_p50_us : int64;  (** exact quantiles over fresh-serve latencies *)
   co_p95_us : int64;
   co_p99_us : int64;
+  co_slo : Telemetry.Slo.report;
+      (** SLO monitor at the horizon: rolling goodput over the final
+          quarter, violation rate, error-budget burn *)
 }
 
 val stale_key : string -> string

@@ -140,6 +140,7 @@ module Session = struct
     retry_backoff_us : int64;
     tokens : int ref; (* session-wide retry+hedge pool *)
     deliver : bytes:int -> (unit -> unit) -> unit; (* client-side wire *)
+    slo : Telemetry.Slo.t option; (* per-outcome SLO feed *)
     stale_key : string -> string;
     stale : (string, string) Hashtbl.t; (* archive key -> last fresh bytes *)
     mutable fetches : int;
@@ -156,7 +157,7 @@ module Session = struct
 
   let create ?(budget_us = 2_000_000L) ?hedge_after_us
       ?(advertise_deadline = true) ?(retry_backoff_us = 50_000L)
-      ?(retry_budget = max_int) ?(deliver = fun ~bytes:_ k -> k ())
+      ?(retry_budget = max_int) ?(deliver = fun ~bytes:_ k -> k ()) ?slo
       ?(stale_key = fun cls -> cls) engine farm =
     {
       engine;
@@ -167,6 +168,7 @@ module Session = struct
       retry_backoff_us;
       tokens = ref retry_budget;
       deliver;
+      slo;
       stale_key;
       stale = Hashtbl.create 64;
       fetches = 0;
@@ -193,6 +195,15 @@ module Session = struct
   let fetch t ~cls k =
     t.fetches <- t.fetches + 1;
     let deadline = Int64.add (Simnet.Engine.now t.engine) t.budget_us in
+    (* Mint the distributed trace here: the session is where a request
+       is born, so the client span is the root every hop nests under. *)
+    let root =
+      Telemetry.Trace.root ~node:"client"
+        ~args:
+          [ ("class", cls); ("deadline_us", Int64.to_string deadline) ]
+        "client.fetch"
+    in
+    let rctx = Telemetry.Trace.ctx_of root in
     let settled = ref false in
     let finish outcome =
       if not !settled then begin
@@ -206,8 +217,19 @@ module Session = struct
                (Int64.sub deadline t.budget_us))
         | Stale _ ->
           t.stale_served <- t.stale_served + 1;
-          Telemetry.Global.incr "client.stale_served"
+          Telemetry.Global.incr "client.stale_served";
+          Telemetry.Trace.event rctx ~node:"client" ~kind:"client.serve_stale"
+            (Printf.sprintf "class %s browned out to archived bytes" cls)
         | Failed -> t.failed <- t.failed + 1);
+        Telemetry.Trace.finish root;
+        (match t.slo with
+        | None -> ()
+        | Some s ->
+          Telemetry.Slo.record s ~now_us:(Simnet.Engine.now t.engine)
+            (match outcome with
+            | Fresh b -> Telemetry.Slo.Fresh (String.length b)
+            | Stale _ -> Telemetry.Slo.Stale
+            | Failed -> Telemetry.Slo.Failed));
         k outcome
       end
     in
@@ -237,11 +259,20 @@ module Session = struct
         let raw =
           Proxy.Httpwire.encode_request
             ?deadline_us:(if t.advertise_deadline then Some deadline else None)
-            ~cls ()
+            ?trace:(Telemetry.Trace.wire rctx) ~cls ()
         in
-        let cls, deadline = Proxy.Httpwire.decode_request_deadline raw in
+        let req = Proxy.Httpwire.decode_request_full raw in
+        let cls = req.Proxy.Httpwire.rq_cls in
+        let deadline = req.Proxy.Httpwire.rq_deadline_us in
+        (* The edge rebuilds the context from the decoded headers, not
+           from session state — the wire is the source of truth. *)
+        let wctx =
+          Telemetry.Trace.of_wire ~trace_id:req.Proxy.Httpwire.rq_trace_id
+            ~parent_span:req.Proxy.Httpwire.rq_parent_span
+        in
         let offset = if hedged then 1 else 0 in
-        Proxy.Farm.request ?deadline ~offset t.farm ~cls (fun reply ->
+        Proxy.Farm.request ?deadline ~offset ~trace:wctx t.farm ~cls
+          (fun reply ->
             if !settled then ()
             else
               match reply with
@@ -258,7 +289,14 @@ module Session = struct
                         t.deadline_violations <- t.deadline_violations + 1;
                         pending := !pending - 1
                       | _ ->
-                        if hedged then t.hedge_wins <- t.hedge_wins + 1;
+                        if hedged then begin
+                          t.hedge_wins <- t.hedge_wins + 1;
+                          Telemetry.Global.incr "client.hedge_wins";
+                          Telemetry.Trace.event rctx ~node:"client"
+                            ~kind:"client.hedge_win"
+                            (Printf.sprintf
+                               "class %s: hedged request beat the primary" cls)
+                        end;
                         Hashtbl.replace t.stale (t.stale_key cls) b;
                         finish (Fresh b)
                     end)
@@ -271,6 +309,11 @@ module Session = struct
                    session still has tokens and the deadline can still
                    be met. Never failover sideways — that amplifies. *)
                 t.overloaded_seen <- t.overloaded_seen + 1;
+                (match t.slo with
+                | Some s ->
+                  Telemetry.Slo.note_shed s
+                    ~now_us:(Simnet.Engine.now t.engine)
+                | None -> ());
                 let retry_at =
                   Int64.add (Simnet.Engine.now t.engine) t.retry_backoff_us
                 in
@@ -301,7 +344,12 @@ module Session = struct
        (browning out if it can) and any response still in flight is
        dropped on arrival by the settled flag. *)
     Simnet.Engine.schedule t.engine ~delay:t.budget_us (fun () ->
-        if not !settled then brownout_or (fun () -> finish Failed));
+        if not !settled then begin
+          Telemetry.Trace.event rctx ~node:"client"
+            ~kind:"client.deadline_expired"
+            (Printf.sprintf "class %s: budget %Ldus exhausted" cls t.budget_us);
+          brownout_or (fun () -> finish Failed)
+        end);
     (* Tail-latency hedge: if the first attempt has neither settled
        nor failed after the hedge delay, race a second request against
        the next shard in ring order — spending a token, so hedging
@@ -313,6 +361,9 @@ module Session = struct
           if (not !settled) && take_token t then begin
             t.hedges <- t.hedges + 1;
             Telemetry.Global.incr "client.hedges";
+            Telemetry.Trace.event rctx ~node:"client" ~kind:"client.hedge"
+              (Printf.sprintf "class %s: racing ring-offset 1 after %Ldus" cls
+                 h);
             attempt ~hedged:true ()
           end));
     attempt ~hedged:false ()

@@ -80,6 +80,7 @@ module Session : sig
     retry_backoff_us : int64;
     tokens : int ref;  (** session-wide retry+hedge pool *)
     deliver : bytes:int -> (unit -> unit) -> unit;  (** client-side wire *)
+    slo : Telemetry.Slo.t option;  (** per-outcome SLO feed *)
     stale_key : string -> string;
     stale : (string, string) Hashtbl.t;
     mutable fetches : int;
@@ -104,13 +105,16 @@ module Session : sig
     ?retry_backoff_us:int64 ->
     ?retry_budget:int ->
     ?deliver:(bytes:int -> (unit -> unit) -> unit) ->
+    ?slo:Telemetry.Slo.t ->
     ?stale_key:(string -> string) ->
     Simnet.Engine.t ->
     Proxy.Farm.t ->
     t
   (** Defaults: 2 s deadline budget, no hedging, deadline advertised
       on the wire, 50 ms retry backoff, unbounded token pool,
-      immediate delivery, identity archive key. [advertise_deadline:
+      immediate delivery, no SLO feed, identity archive key. [slo]
+      receives one outcome per settled fetch (fresh/stale/failed,
+      plus shed notes). [advertise_deadline:
       false] keeps client-side deadline enforcement but hides the
       deadline from the shards (so admission cannot shed) — the
       no-overload-control baseline. [stale_key] maps a class name to
@@ -119,7 +123,11 @@ module Session : sig
       bytes. *)
 
   val fetch : t -> cls:string -> (served -> unit) -> unit
-  (** One deadline-bound fetch. The deadline (now + budget) is encoded
+  (** One deadline-bound fetch. When {!Telemetry.Trace} is enabled the
+      fetch mints a distributed trace: the client span is the root,
+      the context rides the wire as [Trace-Id]/[Parent-Span-Id], and
+      hedges, hedge wins, serve-stale brownouts and deadline expiry
+      attach reason events. The deadline (now + budget) is encoded
       into the request's [Deadline-Us] header and decoded at the farm
       edge; shard admission sheds against it, and the client drops any
       response that lands past it. [Overloaded] replies are retried

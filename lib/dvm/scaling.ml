@@ -186,11 +186,16 @@ type farm_point = {
   f_trace_digest : string;
 }
 
-let run_farm ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
+let run_farm ?slo ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
     ?(mem_capacity = 64 * 1024 * 1024) ?(cache_capacity = 0)
     ?(l2_capacity = 0) ?(vnodes = Proxy.Farm.default_vnodes) ~shards ~clients
     () : farm_point =
   if shards <= 0 then invalid_arg "run_farm: shards must be positive";
+  let slo_record outcome now_us =
+    match slo with
+    | None -> ()
+    | Some s -> Telemetry.Slo.record s ~now_us outcome
+  in
   let engine = Simnet.Engine.create () in
   Simnet.Engine.set_tracing engine true;
   let origin, origin_latency = applet_workload ~applet_count ~seed in
@@ -235,12 +240,14 @@ let run_farm ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
     let started = Simnet.Engine.now engine in
     Proxy.Farm.request farm ~cls:name (fun reply ->
         match reply with
-        | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded -> ()
+        | Proxy.Not_found | Proxy.Unavailable | Proxy.Overloaded ->
+          slo_record Telemetry.Slo.Failed (Simnet.Engine.now engine)
         | Proxy.Bytes b ->
           Simnet.Link.transfer lan ~bytes:(String.length b) (fun () ->
               let now = Simnet.Engine.now engine in
               if Int64.compare now horizon <= 0 then begin
                 incr completed;
+                slo_record (Telemetry.Slo.Fresh (String.length b)) now;
                 Telemetry.Global.observe "client.request_us"
                   (Int64.sub now started);
                 Simnet.Engine.record engine
@@ -296,10 +303,10 @@ let run_farm ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
     f_trace_digest;
   }
 
-let farm_sweep ?duration_s ?seed ?applet_count ?mem_capacity ?cache_capacity
-    ?l2_capacity ?vnodes ~clients shard_counts =
+let farm_sweep ?slo ?duration_s ?seed ?applet_count ?mem_capacity
+    ?cache_capacity ?l2_capacity ?vnodes ~clients shard_counts =
   List.map
     (fun shards ->
-      run_farm ?duration_s ?seed ?applet_count ?mem_capacity ?cache_capacity
-        ?l2_capacity ?vnodes ~shards ~clients ())
+      run_farm ?slo ?duration_s ?seed ?applet_count ?mem_capacity
+        ?cache_capacity ?l2_capacity ?vnodes ~shards ~clients ())
     shard_counts

@@ -81,6 +81,7 @@ type farm_point = {
 }
 
 val run_farm :
+  ?slo:Telemetry.Slo.t ->
   ?duration_s:int ->
   ?seed:int ->
   ?applet_count:int ->
@@ -96,9 +97,12 @@ val run_farm :
     request unique — the worst case); [l2_capacity] > 0 adds one
     shared L2 instance across all shards. With any cache tier on,
     clients share the popular applet set so hits and single-flight
-    coalescing can happen. *)
+    coalescing can happen. [slo] receives one outcome per settled
+    request (in-horizon serves as fresh, farm refusals as failed) on
+    the run's virtual clock. *)
 
 val farm_sweep :
+  ?slo:Telemetry.Slo.t ->
   ?duration_s:int ->
   ?seed:int ->
   ?applet_count:int ->

@@ -149,8 +149,33 @@ let rec drop n = function
   | [] -> []
   | _ :: rest -> drop (n - 1) rest
 
-let request ?deadline ?(offset = 0) t ~cls k =
+(* The edge's name in distributed traces — the routing tier is one
+   logical hop in front of the shards. *)
+let edge = "edge"
+
+let request ?deadline ?(offset = 0) ?(trace = Telemetry.Trace.none) t ~cls k =
   t.requests <- t.requests + 1;
+  let sp =
+    Telemetry.Trace.start trace ~node:edge
+      ~args:
+        (("class", cls)
+        :: (if offset > 0 then [ ("hedge_offset", string_of_int offset) ] else []))
+      "farm.route"
+  in
+  let tctx = Telemetry.Trace.ctx_of sp in
+  let k reply =
+    Telemetry.Trace.finish sp;
+    k reply
+  in
+  (* A breaker trip is a routing decision worth explaining: attach it
+     to the request whose failure tipped the window. *)
+  let record_failure_traced ~shard b ~now ~why =
+    let before = Breaker.trips b in
+    Breaker.record_failure b ~now;
+    if Breaker.trips b > before then
+      Telemetry.Trace.event tctx ~node:edge ~kind:"breaker.trip"
+        (Printf.sprintf "shard %d breaker opened (%s)" shard why)
+  in
   (* Walk the key's preference order; a shard whose breaker is open is
      skipped without even probing its host, a shard down at dispatch
      (or crashing with the request in flight, via [on_fail]) feeds its
@@ -165,6 +190,8 @@ let request ?deadline ?(offset = 0) t ~cls k =
     | [] ->
       t.unavailable <- t.unavailable + 1;
       Telemetry.Global.incr "farm.unavailable";
+      Telemetry.Trace.event tctx ~node:edge ~kind:"farm.unavailable"
+        (Printf.sprintf "class %s: no live shard on the ring" cls);
       Simnet.Engine.schedule t.engine ~delay:0L (fun () -> k Node.Unavailable)
     | s :: rest ->
       let p = t.shards.(s) in
@@ -172,20 +199,26 @@ let request ?deadline ?(offset = 0) t ~cls k =
       if not (Breaker.allow b ~now:(Simnet.Engine.now t.engine)) then begin
         t.breaker_skips <- t.breaker_skips + 1;
         Telemetry.Global.incr "farm.breaker_skips";
+        Telemetry.Trace.event tctx ~node:edge ~kind:"farm.breaker_skip"
+          (Printf.sprintf "shard %d skipped: breaker open" s);
         dispatch ~first rest
       end
       else if not (Simnet.Host.is_up p.Node.host) then begin
         t.health.(s) <- false;
-        Breaker.record_failure b ~now:(Simnet.Engine.now t.engine);
+        record_failure_traced ~shard:s b
+          ~now:(Simnet.Engine.now t.engine)
+          ~why:"down at dispatch";
         dispatch ~first:false rest
       end
       else begin
         t.health.(s) <- true;
         if not first then begin
           t.failovers <- t.failovers + 1;
-          Telemetry.Global.incr "farm.failovers"
+          Telemetry.Global.incr "farm.failovers";
+          Telemetry.Trace.event tctx ~node:edge ~kind:"farm.failover"
+            (Printf.sprintf "class %s rerouted to shard %d" cls s)
         end;
-        Node.request p ?deadline ~cls
+        Node.request p ?deadline ~trace:tctx ~cls
           (fun reply ->
             (match reply with
             | Node.Bytes _ | Node.Not_found ->
@@ -195,7 +228,9 @@ let request ?deadline ?(offset = 0) t ~cls k =
             k reply)
           ~on_fail:(fun () ->
             t.health.(s) <- false;
-            Breaker.record_failure b ~now:(Simnet.Engine.now t.engine);
+            record_failure_traced ~shard:s b
+              ~now:(Simnet.Engine.now t.engine)
+              ~why:"crashed in flight";
             dispatch ~first:false rest)
       end
   in

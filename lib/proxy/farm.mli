@@ -67,9 +67,11 @@ val bytes_served : t -> int
 val cpu_us : t -> int64
 
 val request :
-  ?deadline:int64 -> ?offset:int -> t -> cls:string ->
-  (Node.reply -> unit) -> unit
-(** Route to the key's owner with ring-order failover; replies
+  ?deadline:int64 -> ?offset:int -> ?trace:Telemetry.Trace.ctx -> t ->
+  cls:string -> (Node.reply -> unit) -> unit
+(** [trace] nests the routing hop (an "edge" span, plus failover /
+    breaker / shed reason events) under the caller's distributed
+    trace. Route to the key's owner with ring-order failover; replies
     [Unavailable] (after one simulated-time hop) when every candidate
     is down or breaker-barred. Open-breaker shards are skipped without
     probing; a dispatch-time-down or mid-flight crash feeds the

@@ -16,18 +16,38 @@ let crlf = "\r\n"
 
 (* --- Requests. --- *)
 
-let encode_request ?deadline_us ~cls () =
-  match deadline_us with
-  | None -> Printf.sprintf "GET /%s DVM/1.0%s%s" cls crlf crlf
-  | Some d -> Printf.sprintf "GET /%s DVM/1.0%sDeadline-Us: %Ld%s%s" cls crlf d crlf crlf
+let encode_request ?deadline_us ?trace ~cls () =
+  let b = Buffer.create 64 in
+  Buffer.add_string b (Printf.sprintf "GET /%s DVM/1.0%s" cls crlf);
+  (match deadline_us with
+  | Some d -> Buffer.add_string b (Printf.sprintf "Deadline-Us: %Ld%s" d crlf)
+  | None -> ());
+  (match trace with
+  | Some (tid, parent) ->
+    Buffer.add_string b (Printf.sprintf "Trace-Id: %016Lx%s" tid crlf);
+    Buffer.add_string b (Printf.sprintf "Parent-Span-Id: %d%s" parent crlf)
+  | None -> ());
+  Buffer.add_string b crlf;
+  Buffer.contents b
 
-(* A request is the GET line, optionally one [Deadline-Us] header (the
-   client's absolute deadline on the virtual clock, which admission
-   control sheds against), and the blank-line terminator. Framing
-   stays strict: a lone "\r" is truncated, anything after the
-   terminator is garbage, and an unknown header is rejected rather
-   than skipped — there is exactly one wire dialect. *)
-let decode_request_deadline (data : string) : string * int64 option =
+type request = {
+  rq_cls : string;
+  rq_deadline_us : int64 option;
+  rq_trace_id : int64 option;
+  rq_parent_span : int option;
+}
+
+(* A request is the GET line, zero or more known headers —
+   [Deadline-Us] (the client's absolute deadline on the virtual clock,
+   which admission control sheds against), [Trace-Id] (16 hex digits
+   naming the distributed trace) and [Parent-Span-Id] (the span the
+   next hop nests under) — and the blank-line terminator. Old peers
+   that send none of them still decode. Framing stays strict: a lone
+   "\r" is truncated, anything after the terminator is garbage, a
+   repeated or unknown header is rejected rather than skipped, and
+   [Parent-Span-Id] without [Trace-Id] is an orphan — there is exactly
+   one wire dialect. *)
+let decode_request_full (data : string) : request =
   match String.index_opt data '\r' with
   | None -> fail "no request line terminator"
   | Some eol ->
@@ -42,42 +62,77 @@ let decode_request_deadline (data : string) : string * int64 option =
         else String.sub path 1 (String.length path - 1)
       | _ -> fail "malformed request line %S" line
     in
-    let rest_start = eol + 2 in
-    let expect_end ~from deadline =
-      if from + 2 > String.length data || data.[from] <> '\r' || data.[from + 1] <> '\n'
-      then fail "missing blank-line terminator after request line";
-      if String.length data <> from + 2 then
-        fail "trailing garbage after request (%d extra bytes)"
-          (String.length data - from - 2);
-      (cls, deadline)
+    let deadline = ref None and trace_id = ref None and parent = ref None in
+    let is_hex = function '0' .. '9' | 'a' .. 'f' -> true | _ -> false in
+    let set_once r name v =
+      match !r with
+      | Some _ -> fail "repeated header %s" name
+      | None -> r := Some v
     in
-    if
-      rest_start + 2 <= String.length data
-      && data.[rest_start] = '\r'
-      && data.[rest_start + 1] = '\n'
-    then expect_end ~from:rest_start None
-    else begin
-      (* One header line, which must be Deadline-Us. *)
-      let heol =
-        let rec go i =
-          if i + 1 >= String.length data then
-            fail "missing blank-line terminator after request line"
-          else if data.[i] = '\r' && data.[i + 1] = '\n' then i
-          else go (i + 1)
+    let header line =
+      match String.index_opt line ':' with
+      | None -> fail "malformed request header %S" line
+      | Some c -> (
+        let name = String.sub line 0 c in
+        let v = String.trim (String.sub line (c + 1) (String.length line - c - 1)) in
+        match name with
+        | "Deadline-Us" -> (
+          match Int64.of_string_opt v with
+          | Some d when Int64.compare d 0L >= 0 -> set_once deadline name d
+          | Some _ | None -> fail "bad deadline %S" v)
+        | "Trace-Id" ->
+          if String.length v <> 16 || not (String.for_all is_hex v) then
+            fail "bad trace id %S" v;
+          let id =
+            match Int64.of_string_opt ("0x" ^ v) with
+            | Some id -> id
+            | None -> fail "bad trace id %S" v
+          in
+          if Int64.equal id 0L then fail "bad trace id %S" v;
+          set_once trace_id name id
+        | "Parent-Span-Id" -> (
+          match int_of_string_opt v with
+          | Some p when p >= 0 -> set_once parent name p
+          | Some _ | None -> fail "bad parent span id %S" v)
+        | _ -> fail "unknown request header %S" line)
+    in
+    let rec headers from =
+      if from + 2 > String.length data then
+        fail "missing blank-line terminator after request line"
+      else if data.[from] = '\r' && data.[from + 1] = '\n' then begin
+        if String.length data <> from + 2 then
+          fail "trailing garbage after request (%d extra bytes)"
+            (String.length data - from - 2)
+      end
+      else begin
+        let heol =
+          let rec go i =
+            if i + 1 >= String.length data then
+              fail "missing blank-line terminator after request line"
+            else if data.[i] = '\r' && data.[i + 1] = '\n' then i
+            else go (i + 1)
+          in
+          go from
         in
-        go rest_start
-      in
-      let header = String.sub data rest_start (heol - rest_start) in
-      match String.index_opt header ':' with
-      | Some c when String.sub header 0 c = "Deadline-Us" -> (
-        let v = String.trim (String.sub header (c + 1) (String.length header - c - 1)) in
-        match Int64.of_string_opt v with
-        | Some d when Int64.compare d 0L >= 0 -> expect_end ~from:(heol + 2) (Some d)
-        | Some _ | None -> fail "bad deadline %S" v)
-      | _ -> fail "unknown request header %S" header
-    end
+        header (String.sub data from (heol - from));
+        headers (heol + 2)
+      end
+    in
+    headers (eol + 2);
+    if !parent <> None && !trace_id = None then
+      fail "Parent-Span-Id without Trace-Id";
+    {
+      rq_cls = cls;
+      rq_deadline_us = !deadline;
+      rq_trace_id = !trace_id;
+      rq_parent_span = !parent;
+    }
 
-let decode_request (data : string) : string = fst (decode_request_deadline data)
+let decode_request_deadline (data : string) : string * int64 option =
+  let r = decode_request_full data in
+  (r.rq_cls, r.rq_deadline_us)
+
+let decode_request (data : string) : string = (decode_request_full data).rq_cls
 
 (* --- Responses. --- *)
 

@@ -4,18 +4,32 @@
 
 exception Bad_message of string
 
-val encode_request : ?deadline_us:int64 -> cls:string -> unit -> string
+val encode_request :
+  ?deadline_us:int64 -> ?trace:int64 * int -> cls:string -> unit -> string
 (** [deadline_us] adds a [Deadline-Us] header: the client's absolute
     deadline on the virtual clock, which proxy admission control sheds
-    against. *)
+    against. [trace] adds [Trace-Id] (16 hex digits) and
+    [Parent-Span-Id] headers carrying the distributed-trace context. *)
+
+type request = {
+  rq_cls : string;
+  rq_deadline_us : int64 option;
+  rq_trace_id : int64 option;
+  rq_parent_span : int option;
+}
+
+val decode_request_full : string -> request
+(** Strict multi-header decode: the three known headers each at most
+    once, no unknown headers, no trailing garbage, [Parent-Span-Id]
+    only alongside [Trace-Id]. Requests from old peers carrying no
+    headers still decode.
+    @raise Bad_message on malformed input. *)
 
 val decode_request : string -> string
 (** @raise Bad_message on malformed input. *)
 
 val decode_request_deadline : string -> string * int64 option
 (** Like {!decode_request}, also returning the carried deadline.
-    Framing stays strict: at most the one known header, no trailing
-    garbage.
     @raise Bad_message on malformed input. *)
 
 type status = Ok_200 | Not_found_404 | Bad_request_400 | Overloaded_503

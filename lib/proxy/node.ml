@@ -95,18 +95,23 @@ let log t kind detail =
 
 (* Process fetched bytes through the pipeline on the proxy CPU, then
    deliver. *)
-let transform_and_reply ?on_fail t ~cls bytes k =
+let transform_and_reply ?on_fail ?(trace = Telemetry.Trace.none) t ~cls bytes k
+    =
   let ws = t.working_set_factor * String.length bytes in
   Simnet.Host.allocate t.host ws;
   let on_fail =
     Option.map (fun f () -> Simnet.Host.release t.host ws; f ()) on_fail
   in
   (* The pipeline itself runs synchronously (it is pure CPU work); its
-     cost occupies the host CPU in simulated time. *)
+     cost occupies the host CPU in simulated time. The trace scope
+     makes the pipeline's telemetry spans leaves of the request's
+     distributed trace. *)
   t.pipeline_runs <- t.pipeline_runs + 1;
   let outcome =
-    Telemetry.Global.with_span ~cat:"proxy" ~args:[ ("class", cls) ]
-      "proxy.transform" (fun () -> Pipeline.run ?signer:t.signer t.filters bytes)
+    Telemetry.Trace.scope trace ~node:t.host.Simnet.Host.name (fun () ->
+        Telemetry.Global.with_span ~cat:"proxy" ~args:[ ("class", cls) ]
+          "proxy.transform" (fun () ->
+            Pipeline.run ?signer:t.signer t.filters bytes))
   in
   let sign_cost =
     match t.signer with
@@ -158,13 +163,29 @@ let l2_transfer_cost t ~bytes =
    run settles. A crash mid-flight therefore fails every joined
    request at once (each through its own [on_fail]), and the in-flight
    entry is dropped so a retry after restart starts a fresh run. *)
-let rec request ?on_fail ?deadline t ~cls k =
+let rec request ?on_fail ?deadline ?(trace = Telemetry.Trace.none) t ~cls k =
   t.requests <- t.requests + 1;
   if Telemetry.Global.on () then begin
     Telemetry.Global.incr "proxy.requests";
     Telemetry.Global.set_gauge "proxy.mem_pressure_x1000"
       (Int64.of_float (1000.0 *. Simnet.Host.mem_pressure t.host))
   end;
+  let node = t.host.Simnet.Host.name in
+  let sp =
+    Telemetry.Trace.start trace ~node ~args:[ ("class", cls) ] "proxy.request"
+  in
+  let tctx = Telemetry.Trace.ctx_of sp in
+  let k reply =
+    Telemetry.Trace.finish sp;
+    k reply
+  in
+  let on_fail =
+    Option.map
+      (fun f () ->
+        Telemetry.Trace.finish sp;
+        f ())
+      on_fail
+  in
   if not (Simnet.Host.is_up t.host) then
     match on_fail with
     | Some f -> Simnet.Engine.schedule t.engine ~delay:0L f
@@ -185,8 +206,19 @@ let rec request ?on_fail ?deadline t ~cls k =
         (if is_hit then 2000L else Admission.estimate_us t.admission)
     in
     match Admission.admit t.admission ~now:admit_at ~deadline ~est_us with
-    | Shed_queue | Shed_deadline ->
+    | (Shed_queue | Shed_deadline) as verdict ->
       if Telemetry.Global.on () then Telemetry.Global.incr "proxy.overloaded";
+      (* The reason event carries the shed's arithmetic, so a trace
+         explains the 503 without correlating logs. *)
+      Telemetry.Trace.event tctx ~node
+        ~kind:
+          (match verdict with
+          | Admission.Shed_queue -> "admission.shed_queue"
+          | _ -> "admission.shed_deadline")
+        (Printf.sprintf "class %s: est %Ldus, deadline %s" cls est_us
+           (match deadline with
+           | Some d -> Printf.sprintf "%Ldus" d
+           | None -> "none"));
       Simnet.Engine.schedule t.engine ~delay:0L (fun () -> k Overloaded)
     | Admit ->
       (* Balance the admit exactly once however the request settles.
@@ -213,12 +245,13 @@ let rec request ?on_fail ?deadline t ~cls k =
             complete ();
             match on_fail with Some f -> f () | None -> ())
       in
-      request_admitted ?on_fail t ~cls k
+      request_admitted ?on_fail ~trace:tctx t ~cls k
   end
 
 (* The post-admission request path: cache lookup, single-flight join,
    L2, origin fetch + pipeline. *)
-and request_admitted ?on_fail t ~cls k =
+and request_admitted ?on_fail ~trace t ~cls k =
+  let node = t.host.Simnet.Host.name in
   match Cache.find t.cache cls with
     | Some bytes ->
       (* A small fixed cost to look up and stream from the disk cache.
@@ -237,6 +270,9 @@ and request_admitted ?on_fail t ~cls k =
         (* Join the pipeline run already in flight for this key. *)
         t.coalesced <- t.coalesced + 1;
         if Telemetry.Global.on () then Telemetry.Global.incr "proxy.coalesced";
+        Telemetry.Trace.event trace ~node ~kind:"proxy.coalesce.join"
+          (Printf.sprintf "class %s: joined %d in flight" cls
+             (List.length !waiters + 1));
         waiters := (k, on_fail) :: !waiters
       | None -> (
         match
@@ -246,6 +282,9 @@ and request_admitted ?on_fail t ~cls k =
           (* Shared-tier hit: pay the peer transfer, rewarm the L1. *)
           t.l2_hits <- t.l2_hits + 1;
           if Telemetry.Global.on () then Telemetry.Global.incr "proxy.l2_hits";
+          Telemetry.Trace.event trace ~node ~kind:"proxy.l2_hit"
+            (Printf.sprintf "class %s: %d bytes from shared tier" cls
+               (String.length bytes));
           let cost = l2_transfer_cost t ~bytes:(String.length bytes) in
           t.cpu_us <- Int64.add t.cpu_us cost;
           Simnet.Host.compute t.host ?on_fail ~cost_us:cost (fun () ->
@@ -300,7 +339,8 @@ and request_admitted ?on_fail t ~cls k =
             in
             Simnet.Engine.schedule t.engine ~delay:(Int64.add latency tx)
               (fun () ->
-                transform_and_reply ~on_fail:settle_fail t ~cls bytes settle))))
+                transform_and_reply ~on_fail:settle_fail ~trace t ~cls bytes
+                  settle))))
 
 (* Synchronous variant for non-simulated use (unit tests, CLI): runs
    the pipeline immediately and returns the bytes. *)

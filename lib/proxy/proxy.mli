@@ -96,13 +96,17 @@ val create :
     rewarms from its peers' work. *)
 
 val request :
-  ?on_fail:(unit -> unit) -> ?deadline:int64 -> t -> cls:string ->
-  (reply -> unit) -> unit
+  ?on_fail:(unit -> unit) -> ?deadline:int64 -> ?trace:Telemetry.Trace.ctx ->
+  t -> cls:string -> (reply -> unit) -> unit
 (** Simulated-time request; the callback fires when the response is
     ready for the client's wire. [on_fail] fires instead if the proxy
     host is down at dispatch or crashes while the request is in
     flight (without it, a failed request simply never completes — the
     caller's timeout problem).
+
+    [trace] nests this hop under the caller's distributed trace: a
+    per-shard span, reason events for sheds / coalesce joins / L2
+    hits, and the pipeline's telemetry spans as leaves.
 
     [deadline] (absolute virtual µs) engages admission control: if the
     CPU backlog plus the estimated hit/miss service cost cannot land

@@ -125,7 +125,7 @@ let run_loop ?until t =
         e.fn ())
   done
 
-let run ?until t =
+let run_inner ?until t =
   if not (Telemetry.Global.on ()) then run_loop ?until t
   else begin
     (* Expose the virtual clock to telemetry for the duration of the
@@ -156,6 +156,16 @@ let run ?until t =
       finish ();
       raise e
   end
+
+let run ?until t =
+  (* The distributed-trace collector reads time through its own clock;
+     point it at virtual time for the whole run (whether or not the
+     metrics registry is enabled — tracing can be on independently). *)
+  let prev_trace_clock = Telemetry.Trace.current_clock () in
+  Telemetry.Trace.set_clock (fun () -> t.now);
+  Fun.protect
+    ~finally:(fun () -> Telemetry.Trace.set_clock prev_trace_clock)
+    (fun () -> run_inner ?until t)
 
 let us n = Int64.of_int n
 let ms n = Int64.of_int (n * 1000)

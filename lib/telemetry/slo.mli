@@ -1,0 +1,45 @@
+(** SLO monitor: rolling goodput, deadline-violation rate and
+    error-budget burn.
+
+    Client sessions feed one outcome per settled request; the monitor
+    buckets them per simulated second into a ring covering the window.
+    "Good" = fresh reply within deadline; stale serves and failures
+    both count against the objective, sheds are tracked alongside.
+    Everything is integer arithmetic until the final rates, so seeded
+    runs report identical numbers. *)
+
+type t
+
+type outcome = Fresh of int  (** body bytes *) | Stale | Failed
+
+val create : ?window_s:int -> ?objective:float -> unit -> t
+(** [window_s] defaults to 10 simulated seconds; [objective] is the
+    target fresh fraction (default 0.99). *)
+
+val record : t -> now_us:int64 -> outcome -> unit
+val note_shed : t -> now_us:int64 -> unit
+(** An admission shed observed by the client (it may still retry and
+    settle fresh; sheds are accounted separately from outcomes). *)
+
+type report = {
+  r_window_s : int;
+  r_requests : int;  (** in window *)
+  r_fresh : int;
+  r_stale : int;
+  r_failed : int;
+  r_sheds : int;
+  r_goodput_bps : float;  (** fresh bytes per second over the window *)
+  r_violation_rate : float;  (** 1 - fresh/requests over the window *)
+  r_budget_burn : float;  (** violation rate / (1 - objective) *)
+  r_total_requests : int;
+  r_total_fresh : int;
+  r_total_stale : int;
+  r_total_failed : int;
+  r_total_sheds : int;
+  r_total_violation_rate : float;
+  r_total_budget_burn : float;
+}
+
+val report : t -> now_us:int64 -> report
+val report_json : report -> string
+val report_text : report -> string

@@ -251,9 +251,27 @@ let with_span ?(cat = "app") ?(args = []) ?observe_hist t name f =
           sp_sim_end = sim_end;
           sp_args = args;
         };
-      match observe_hist with
-      | Some hname -> observe t hname (Int64.sub wall_end wall_start)
+      (* When a sim clock is attached the histogram gets the simulated
+         duration: benches must never mix virtual and host time in one
+         distribution, or seeded runs stop being reproducible. *)
+      (match observe_hist with
+      | Some hname -> (
+        match (sim_start, sim_end) with
+        | Some s0, Some s1 -> observe t hname (Int64.sub s1 s0)
+        | _ -> observe t hname (Int64.sub wall_end wall_start))
+      | None -> ());
+      (* If a distributed-trace scope is ambient, the span doubles as a
+         leaf of that request's cross-node tree (sim timestamps when
+         available, so it lines up with the wire spans). *)
+      match Trace.current () with
       | None -> ()
+      | Some _ ->
+        let t0, t1 =
+          match (sim_start, sim_end) with
+          | Some s0, Some s1 -> (s0, s1)
+          | _ -> (wall_start, wall_end)
+        in
+        Trace.leaf ~args:(("cat", cat) :: args) ~name ~start_us:t0 ~end_us:t1 ()
     in
     match f () with
     | v ->
@@ -373,6 +391,21 @@ let histograms_json t =
          hs)
   ^ "]"
 
+(* Full machine-readable snapshot: counters, gauges and histograms as
+   one JSON object — `dvmctl metrics --json` and the BENCH_*.json
+   writer share this. *)
+let metrics_json t =
+  let b = Buffer.create 1024 in
+  let kv (k, v) = Printf.sprintf "\"%s\":%Ld" (json_escape k) v in
+  Buffer.add_string b "{\"counters\":{";
+  Buffer.add_string b (String.concat "," (List.map kv (counters t)));
+  Buffer.add_string b "},\"gauges\":{";
+  Buffer.add_string b (String.concat "," (List.map kv (gauges t)));
+  Buffer.add_string b "},\"histograms\":";
+  Buffer.add_string b (histograms_json t);
+  Buffer.add_string b "}";
+  Buffer.contents b
+
 (* --- Plain-text metrics snapshot. --- *)
 
 let metrics_snapshot t =
@@ -418,3 +451,9 @@ module Global = struct
   let with_span ?cat ?args ?observe_hist name f =
     with_span ?cat ?args ?observe_hist default name f
 end
+
+(* Sibling modules of the wrapped library, re-exported so users write
+   Telemetry.Trace / Telemetry.Flight / Telemetry.Slo. *)
+module Trace = Trace
+module Flight = Flight
+module Slo = Slo

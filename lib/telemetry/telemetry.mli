@@ -94,9 +94,12 @@ val with_span :
   (unit -> 'a) ->
   'a
 (** Run the thunk inside a span; the span is recorded even if the
-    thunk raises. [observe_hist] additionally records the wall
-    duration into that histogram. On a disabled registry this is
-    exactly [f ()]. *)
+    thunk raises. [observe_hist] additionally records the duration
+    into that histogram — the {e simulated} duration when a sim clock
+    is attached (so bench histograms never mix virtual and host time),
+    the wall duration otherwise. If a {!Trace} scope is ambient the
+    span is also attached as a leaf of that distributed trace. On a
+    disabled registry this is exactly [f ()]. *)
 
 val spans : t -> span list
 (** In completion order (inner spans precede the spans that contain
@@ -121,6 +124,12 @@ val histograms_json : t -> string
     "p99_us", "max_us"}] objects — what benches embed in their JSON
     output. *)
 
+val metrics_json : t -> string
+(** Counters, gauges and histograms as one JSON object
+    [{"counters":{...},"gauges":{...},"histograms":[...]}] — the
+    machine-readable twin of {!metrics_snapshot}, shared by
+    [dvmctl metrics --json] and the [BENCH_*.json] writer. *)
+
 val json_escape : string -> string
 (** Exposed for tests. *)
 
@@ -141,3 +150,9 @@ module Global : sig
     (unit -> 'a) ->
     'a
 end
+
+(** {1 Distributed observability} — sibling modules re-exported. *)
+
+module Trace : module type of Trace
+module Flight : module type of Flight
+module Slo : module type of Slo

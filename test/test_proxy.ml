@@ -441,6 +441,100 @@ let prop_request_deadline_roundtrip =
       in
       String.equal cls cls' && deadline_us = deadline')
 
+(* --- Wire protocol: distributed-trace headers. --- *)
+
+let test_http_trace_absent () =
+  (* Requests from peers that predate tracing carry no headers and
+     must keep decoding — with a null context, not an error. *)
+  let req =
+    Proxy.Httpwire.decode_request_full (Proxy.Httpwire.encode_request ~cls:"A/b" ())
+  in
+  check Alcotest.string "class survives" "A/b" req.Proxy.Httpwire.rq_cls;
+  check Alcotest.bool "no trace id" true (req.Proxy.Httpwire.rq_trace_id = None);
+  check
+    (Alcotest.option Alcotest.int)
+    "no parent span" None req.Proxy.Httpwire.rq_parent_span;
+  (* deadline-only requests keep working too *)
+  let req =
+    Proxy.Httpwire.decode_request_full
+      (Proxy.Httpwire.encode_request ~deadline_us:9L ~cls:"A/b" ())
+  in
+  check
+    (Alcotest.option Alcotest.int64)
+    "deadline still decodes" (Some 9L) req.Proxy.Httpwire.rq_deadline_us;
+  check Alcotest.bool "still no trace" true
+    (req.Proxy.Httpwire.rq_trace_id = None)
+
+let test_http_trace_malformed () =
+  List.iter
+    (fun data ->
+      match Proxy.Httpwire.decode_request_full data with
+      | _ -> fail ("accepted: " ^ String.escaped data)
+      | exception Proxy.Httpwire.Bad_message _ -> ())
+    [
+      (* wrong width (15 and 17 hex digits) *)
+      "GET /A DVM/1.0\r\nTrace-Id: 00000000000000f\r\n\r\n";
+      "GET /A DVM/1.0\r\nTrace-Id: 00000000000000f00\r\n\r\n";
+      (* non-hex, uppercase, and the reserved all-zero id *)
+      "GET /A DVM/1.0\r\nTrace-Id: 000000000000zzzz\r\n\r\n";
+      "GET /A DVM/1.0\r\nTrace-Id: 00000000000000FF\r\n\r\n";
+      "GET /A DVM/1.0\r\nTrace-Id: 0000000000000000\r\n\r\n";
+      (* duplicate header *)
+      "GET /A DVM/1.0\r\n\
+       Trace-Id: 00000000000000ff\r\n\
+       Trace-Id: 00000000000000ff\r\n\r\n";
+      (* parent span: non-numeric, negative, duplicate *)
+      "GET /A DVM/1.0\r\n\
+       Trace-Id: 00000000000000ff\r\nParent-Span-Id: x\r\n\r\n";
+      "GET /A DVM/1.0\r\n\
+       Trace-Id: 00000000000000ff\r\nParent-Span-Id: -1\r\n\r\n";
+      "GET /A DVM/1.0\r\n\
+       Trace-Id: 00000000000000ff\r\n\
+       Parent-Span-Id: 1\r\nParent-Span-Id: 2\r\n\r\n";
+      (* a parent span with no trace to hang it on *)
+      "GET /A DVM/1.0\r\nParent-Span-Id: 3\r\n\r\n";
+    ]
+
+let prop_request_trace_roundtrip =
+  QCheck.Test.make ~name:"request+trace roundtrip" ~count:300
+    QCheck.(
+      triple arbitrary_cls
+        (option (int_bound 1_000_000_000))
+        (option (pair (int_bound 1_000_000) (int_bound 100_000))))
+    (fun (cls, deadline, trace) ->
+      let deadline_us = Option.map Int64.of_int deadline in
+      (* ids as the client would mint them: nonzero trace, nonneg span *)
+      let trace =
+        Option.map (fun (tr, sp) -> (Int64.of_int (tr + 1), sp)) trace
+      in
+      let req =
+        Proxy.Httpwire.decode_request_full
+          (Proxy.Httpwire.encode_request ?deadline_us ?trace ~cls ())
+      in
+      String.equal cls req.Proxy.Httpwire.rq_cls
+      && deadline_us = req.Proxy.Httpwire.rq_deadline_us
+      && Option.map fst trace = req.Proxy.Httpwire.rq_trace_id
+      && Option.map snd trace = req.Proxy.Httpwire.rq_parent_span
+      (* the legacy decoder ignores the new headers *)
+      && String.equal cls
+           (Proxy.Httpwire.decode_request
+              (Proxy.Httpwire.encode_request ?deadline_us ?trace ~cls ())))
+
+let prop_request_trace_garbage =
+  (* Arbitrary bytes in header position never crash the decoder: it
+     either returns a request or raises Bad_message, nothing else. *)
+  QCheck.Test.make ~name:"trace headers reject garbage without crashing"
+    ~count:300
+    QCheck.(
+      pair arbitrary_cls (string_gen_of_size Gen.(int_range 0 30) Gen.char))
+    (fun (cls, junk) ->
+      let data =
+        Printf.sprintf "GET /%s DVM/1.0\r\nTrace-Id: %s\r\n\r\n" cls junk
+      in
+      match Proxy.Httpwire.decode_request_full data with
+      | req -> req.Proxy.Httpwire.rq_trace_id <> Some 0L
+      | exception Proxy.Httpwire.Bad_message _ -> true)
+
 (* --- Circuit breaker. --- *)
 
 let test_breaker_consecutive_trip () =
@@ -883,6 +977,10 @@ let () =
             test_http_deadline_roundtrip;
           Alcotest.test_case "deadline malformed" `Quick
             test_http_deadline_malformed;
+          Alcotest.test_case "trace headers absent" `Quick
+            test_http_trace_absent;
+          Alcotest.test_case "trace headers malformed" `Quick
+            test_http_trace_malformed;
         ] );
       ( "wire-properties",
         List.map QCheck_alcotest.to_alcotest
@@ -891,6 +989,8 @@ let () =
             prop_request_truncation;
             prop_request_trailing_garbage;
             prop_request_deadline_roundtrip;
+            prop_request_trace_roundtrip;
+            prop_request_trace_garbage;
             prop_response_roundtrip;
             prop_response_truncation;
             prop_response_trailing_garbage;

@@ -96,6 +96,27 @@ let test_span_observe_hist () =
   | Some s -> check Alcotest.int "one observation" 1 s.Telemetry.count
   | None -> Alcotest.fail "observe_hist did not record"
 
+let test_span_observe_hist_sim () =
+  (* Regression: with a sim clock attached, [observe_hist] must record
+     the simulated duration, not the (nondeterministic) wall one —
+     otherwise seeded benches stop being byte-reproducible. *)
+  let t = fresh () in
+  let sim = ref 1000L in
+  Telemetry.set_sim_clock t (Some (fun () -> !sim));
+  Telemetry.with_span t ~observe_hist:"lat" "work" (fun () -> sim := 4000L);
+  (match Telemetry.histogram_stats t "lat" with
+  | Some s ->
+    check Alcotest.int64 "sim duration observed" 3000L s.Telemetry.sum_us
+  | None -> Alcotest.fail "observe_hist did not record");
+  (* detached again: falls back to the wall clock (fake: 10us/reading) *)
+  Telemetry.set_sim_clock t None;
+  Telemetry.with_span t ~observe_hist:"wall_lat" "work" (fun () -> ());
+  match Telemetry.histogram_stats t "wall_lat" with
+  | Some s ->
+    check Alcotest.bool "wall fallback nonzero" true
+      (Int64.compare s.Telemetry.sum_us 0L > 0)
+  | None -> Alcotest.fail "wall fallback did not record"
+
 let test_sim_clock () =
   let t = fresh () in
   let sim = ref 1000L in
@@ -155,6 +176,42 @@ let test_chrome_trace_valid () =
   check Alcotest.bool "has X event" true (contains {|"ph":"X"|});
   check Alcotest.bool "escaped name survives" true (contains {|sp\"an|})
 
+let test_metrics_json_valid () =
+  let t = fresh () in
+  Telemetry.incr t "hits";
+  Telemetry.set_gauge t "depth" 7L;
+  List.iter (Telemetry.observe t "lat\"ency") [ 3L; 9L ];
+  let s = Telemetry.metrics_json t in
+  (* Same tokenizer as the Chrome-trace check: balanced structure,
+     every quote closed. *)
+  let depth = ref 0 and in_str = ref false and esc = ref false in
+  String.iter
+    (fun c ->
+      if !esc then esc := false
+      else if !in_str then begin
+        if c = '\\' then esc := true else if c = '"' then in_str := false
+      end
+      else
+        match c with
+        | '"' -> in_str := true
+        | '[' | '{' -> incr depth
+        | ']' | '}' -> decr depth
+        | _ -> ())
+    s;
+  check Alcotest.int "balanced" 0 !depth;
+  check Alcotest.bool "string closed" false !in_str;
+  let contains needle =
+    let n = String.length needle and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "counters object" true (contains {|"counters"|});
+  check Alcotest.bool "gauges object" true (contains {|"gauges"|});
+  check Alcotest.bool "histograms array" true (contains {|"histograms"|});
+  check Alcotest.bool "counter value present" true (contains {|"hits":1|});
+  check Alcotest.bool "gauge value present" true (contains {|"depth":7|});
+  check Alcotest.bool "histogram name escaped" true (contains {|lat\"ency|})
+
 let test_disabled_noop () =
   let t = Telemetry.create () in
   check Alcotest.bool "disabled by default" false (Telemetry.enabled t);
@@ -192,6 +249,8 @@ let () =
           Alcotest.test_case "recorded on exception" `Quick
             test_span_on_exception;
           Alcotest.test_case "observe_hist" `Quick test_span_observe_hist;
+          Alcotest.test_case "observe_hist uses sim duration" `Quick
+            test_span_observe_hist_sim;
           Alcotest.test_case "dual timeline" `Quick test_sim_clock;
           Alcotest.test_case "max_spans cap" `Quick test_span_cap;
         ] );
@@ -200,6 +259,8 @@ let () =
           Alcotest.test_case "json escaping" `Quick test_json_escape;
           Alcotest.test_case "chrome trace well-formed" `Quick
             test_chrome_trace_valid;
+          Alcotest.test_case "metrics json well-formed" `Quick
+            test_metrics_json_valid;
         ] );
       ( "disabled",
         [ Alcotest.test_case "everything is a no-op" `Quick test_disabled_noop ] );
