@@ -1,4 +1,4 @@
-.PHONY: all build test lint farm-smoke chaos-smoke trace-smoke bench-pin check clean
+.PHONY: all build test lint farm-smoke chaos-smoke trace-smoke bench-pin perf-compare check clean
 
 all: build
 
@@ -41,15 +41,27 @@ trace-smoke:
 
 # Perf trajectory pin: re-run the seeded bench phases that write
 # BENCH_<phase>.json and fail if the output drifts from the committed
-# baselines. Every number in those files is a function of the virtual
-# clock and the pinned seeds, so a diff is either a real behaviour
-# change (recommit the baseline, explain it in the PR) or
-# nondeterminism leaking in (a bug).
+# baselines. Every number in those files except wall_ms (host time,
+# ignored by the diff) is a function of the virtual clock and the
+# pinned seeds, so a diff is either a real behaviour change (recommit
+# the baseline, explain it in the PR) or nondeterminism leaking in (a
+# bug).
 bench-pin:
 	dune exec bench/main.exe -- faults
 	dune exec bench/main.exe -- farm
 	dune exec bench/main.exe -- chaos
-	git diff --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json
+	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json
+	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json
+
+# Perf compare: the bench perf phase re-runs the pinned phases, exits
+# non-zero if any served byte, digest or metric drifts from the
+# committed baselines, and prints baseline-vs-now wall-clock per phase
+# (the speed trajectory the wall_ms field records). The trailing git
+# diff is a second, independent net over the same files.
+perf-compare:
+	dune exec bench/main.exe -- perf
+	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json
+	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json
 
 # The gate a PR must pass: everything builds, every test is green, and
 # no build artifacts are tracked or dirtying the tree.
@@ -60,7 +72,7 @@ check:
 	$(MAKE) farm-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) trace-smoke
-	$(MAKE) bench-pin
+	$(MAKE) perf-compare
 	@if git ls-files | grep -q '^_build/'; then \
 	  echo "check: _build/ files are tracked in git" >&2; exit 1; fi
 	@if git status --porcelain | grep -q '_build'; then \

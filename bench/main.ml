@@ -7,7 +7,7 @@
      dune exec bench/main.exe            runs everything
      dune exec bench/main.exe fig6       runs one experiment
      (fig5 fig6 fig7 fig8 fig9 applets fig10 fig11 fig12 ablations elide
-      faults farm chaos micro)
+      faults farm chaos micro perf)
 *)
 
 let section title =
@@ -34,12 +34,14 @@ let telemetry_wanted =
    quantiles, goodput, digests, SLO reports) here as raw JSON values;
    [with_phase ~json:true] writes them, together with the phase's
    counters and histograms, to BENCH_<phase>.json in the working
-   directory. Every value is a function of the virtual clock and the
-   pinned seeds, so the file is byte-identical run to run — CI diffs
-   it against the committed baseline to pin the perf trajectory. *)
+   directory. Every value except the wall_ms line is a function of the
+   virtual clock and the pinned seeds, so the file is byte-identical
+   run to run modulo that line — CI diffs it against the committed
+   baseline (ignoring wall_ms) to pin the perf trajectory, and the
+   [perf] phase reports the wall_ms columns as the speed record. *)
 let bench_summary : (string * string) list ref = ref []
 let bench_put k v = bench_summary := !bench_summary @ [ (k, v) ]
-let write_bench name =
+let write_bench ~wall_ms name =
   (* The virtual/wall ratio gauge is the one wall-clock-derived metric;
      zero it so the file stays byte-stable across runs. *)
   Telemetry.set_gauge Telemetry.default "simnet.virtual_wall_ratio_x1000" 0L;
@@ -49,15 +51,20 @@ let write_bench name =
   in
   let path = Printf.sprintf "BENCH_%s.json" name in
   let oc = open_out path in
+  (* wall_ms is host time and varies run to run; every diff of these
+     files (make bench-pin / perf-compare, the perf phase itself)
+     ignores that one line, so the rest stays a byte-stable pin while
+     the trajectory still records speed. *)
   Printf.fprintf oc
     "{\n\
     \  \"phase\": %S,\n\
+    \  \"wall_ms\": %d,\n\
     \  \"summary\": {\n\
     \    %s\n\
     \  },\n\
     \  \"metrics\": %s\n\
      }\n"
-    name summary
+    name wall_ms summary
     (Telemetry.metrics_json Telemetry.default);
   close_out oc;
   Printf.printf "\n--- %s: wrote %s ---\n" name path
@@ -72,6 +79,7 @@ let with_phase ?(json = false) name f =
     Telemetry.reset Telemetry.default;
     Telemetry.enable Telemetry.default;
     bench_summary := [];
+    let t0 = Unix.gettimeofday () in
     Fun.protect
       ~finally:(fun () ->
         Printf.printf "\n--- %s: telemetry ---\n%s" name
@@ -79,7 +87,10 @@ let with_phase ?(json = false) name f =
         if json then begin
           Printf.printf "\n--- %s: histograms (json) ---\n%s\n" name
             (Telemetry.histograms_json Telemetry.default);
-          write_bench name
+          let wall_ms =
+            int_of_float ((Unix.gettimeofday () -. t0) *. 1000.0)
+          in
+          write_bench ~wall_ms name
         end;
         Telemetry.disable Telemetry.default)
       f
@@ -589,18 +600,18 @@ let ablations () =
   for _ = 1 to 1000 do
     ignore (Security.Enforcement.allowed ~vm enf "file.open")
   done;
-  let cached_cost = Int64.sub vm.Jvm.Vmstate.native_cost before in
+  let cached_cost = vm.Jvm.Vmstate.native_cost - before in
   let before = vm.Jvm.Vmstate.native_cost in
   for _ = 1 to 1000 do
     Security.Enforcement.invalidate enf;
     ignore (Security.Enforcement.allowed ~vm enf "file.open")
   done;
-  let uncached_cost = Int64.sub vm.Jvm.Vmstate.native_cost before in
+  let uncached_cost = vm.Jvm.Vmstate.native_cost - before in
   Printf.printf
     "1000 checks, cached: %.1fms   invalidated each time: %.1fms (%.0fx)\n"
-    (Int64.to_float cached_cost /. 1000.0)
-    (Int64.to_float uncached_cost /. 1000.0)
-    (Int64.to_float uncached_cost /. Int64.to_float cached_cost);
+    (float_of_int cached_cost /. 1000.0)
+    (float_of_int uncached_cost /. 1000.0)
+    (float_of_int uncached_cost /. float_of_int cached_cost);
   subsection "5. compilation service: per-architecture ahead-of-time cache";
   let svc = Jit.Service.create () in
   List.iter
@@ -1049,6 +1060,94 @@ let chaos () =
   List.iter (Printf.printf "  %s\n")
     v.Dvm.Chaos.v_chaotic.Dvm.Chaos.co_fault_trace
 
+(* --- Perf: wall-clock trajectory against the pinned baselines. ---
+
+   Re-runs the three phases that write BENCH_<phase>.json, then diffs
+   each fresh file against the baseline that was on disk (i.e. the
+   committed one, in a clean tree) — ignoring only the wall_ms line,
+   which is host time. Any other difference is digest/metric drift:
+   an optimization changed behaviour, and the phase exits non-zero.
+   When the pin holds, the wall_ms columns show the speed trajectory:
+   baseline milliseconds vs this run, per phase. *)
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    Some s
+  | exception Sys_error _ -> None
+
+let is_wall_ms_line l =
+  let key = "\"wall_ms\"" in
+  let n = String.length l and m = String.length key in
+  let rec go i = i + m <= n && (String.sub l i m = key || go (i + 1)) in
+  go 0
+
+let strip_wall_ms text =
+  String.split_on_char '\n' text
+  |> List.filter (fun l -> not (is_wall_ms_line l))
+  |> String.concat "\n"
+
+let wall_ms_of text =
+  String.split_on_char '\n' text
+  |> List.find_map (fun l ->
+         if is_wall_ms_line l then
+           (* the key has no digits, so the line's digits are the value *)
+           String.to_seq l
+           |> Seq.filter (fun c -> c >= '0' && c <= '9')
+           |> String.of_seq |> int_of_string_opt
+         else None)
+
+let perf () =
+  section "Perf: wall-clock vs pinned BENCH baselines";
+  let pinned = [ ("faults", faults); ("farm", farm); ("chaos", chaos) ] in
+  let baselines =
+    List.map
+      (fun (n, _) -> (n, read_file (Printf.sprintf "BENCH_%s.json" n)))
+      pinned
+  in
+  List.iter (fun (n, f) -> with_phase ~json:true n f) pinned;
+  Printf.printf "\n%-8s %9s %9s %8s  %s\n" "phase" "base(ms)" "now(ms)"
+    "speedup" "pin";
+  let drift = ref false in
+  List.iter
+    (fun (name, baseline) ->
+      let fresh = read_file (Printf.sprintf "BENCH_%s.json" name) in
+      match (baseline, fresh) with
+      | None, _ ->
+        Printf.printf "%-8s %9s %9s %8s  %s\n" name "-" "-" "-"
+          "no baseline on disk (first run? commit the file)"
+      | _, None ->
+        drift := true;
+        Printf.printf "%-8s %9s %9s %8s  %s\n" name "-" "-" "-"
+          "DRIFT (phase wrote no file)"
+      | Some base, Some now ->
+        let pinned_ok = String.equal (strip_wall_ms base) (strip_wall_ms now) in
+        if not pinned_ok then drift := true;
+        let fmt_ms = function Some ms -> string_of_int ms | None -> "-" in
+        let speedup =
+          match (wall_ms_of base, wall_ms_of now) with
+          | Some b, Some n when n > 0 ->
+            Printf.sprintf "%.2fx" (float_of_int b /. float_of_int n)
+          | _ -> "-"
+        in
+        Printf.printf "%-8s %9s %9s %8s  %s\n" name
+          (fmt_ms (wall_ms_of base))
+          (fmt_ms (wall_ms_of now))
+          speedup
+          (if pinned_ok then "ok" else "DRIFT"))
+    baselines;
+  if !drift then begin
+    Printf.eprintf
+      "\n\
+       perf: BENCH baseline drift — served bytes, digests or metrics \
+       changed.\n\
+       Inspect with: git diff -I '\"wall_ms\"' BENCH_faults.json \
+       BENCH_farm.json BENCH_chaos.json\n";
+    exit 1
+  end
+
 let all () =
   with_phase "fig5" fig5;
   with_phase "fig6" fig6;
@@ -1084,10 +1183,11 @@ let () =
   | "farm" -> with_phase ~json:true "farm" farm
   | "chaos" -> with_phase ~json:true "chaos" chaos
   | "micro" -> micro ()
+  | "perf" -> perf ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown target %S (expected fig5..fig12, applets, ablations, elide, \
-       faults, farm, chaos, micro, all)\n"
+       faults, farm, chaos, micro, perf, all)\n"
       other;
     exit 1

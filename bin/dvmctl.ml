@@ -148,7 +148,7 @@ let run entry paths =
   match Jvm.Interp.run_main vm entry with
   | Ok () ->
     print_string (Jvm.Vmstate.output vm);
-    Printf.eprintf "(%Ld bytecodes executed)\n" vm.Jvm.Vmstate.instr_count;
+    Printf.eprintf "(%d bytecodes executed)\n" vm.Jvm.Vmstate.instr_count;
     0
   | Error e ->
     print_string (Jvm.Vmstate.output vm);

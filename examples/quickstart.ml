@@ -69,7 +69,7 @@ let () =
     | Ok () -> print_string (Jvm.Vmstate.output client.Dvm.Client.vm)
     | Error e -> print_endline (Jvm.Interp.describe_throwable e));
     Printf.printf
-      "(client executed %Ld bytecodes; %d deferred link checks ran)\n"
+      "(client executed %d bytecodes; %d deferred link checks ran)\n"
       client.Dvm.Client.vm.Jvm.Vmstate.instr_count
       (match client.Dvm.Client.rt_verifier with
       | Some s -> s.Verifier.Rt_verifier.dynamic_checks

@@ -123,15 +123,17 @@ let decode_code r =
   let max_stack = Io.Reader.u2 r in
   let max_locals = Io.Reader.u2 r in
   let body_len = Io.Reader.u4 r in
-  let body = Io.Reader.raw r body_len in
-  let br = Io.Reader.of_string body in
+  (* A zero-copy view of the body: offsets inside [br] are body-relative
+     exactly as they were when the body was carved out with String.sub. *)
+  let br = Io.Reader.sub r body_len in
   (* First pass: decode instructions, remembering each one's byte
-     offset. *)
+     offset in a dense offset -> index map (-1 marks mid-instruction
+     bytes). *)
   let rev_instrs = ref [] in
-  let index_of_offset = Hashtbl.create 64 in
+  let index_of_offset = Array.make (body_len + 1) (-1) in
   let idx = ref 0 in
   while not (Io.Reader.at_end br) do
-    Hashtbl.add index_of_offset (Io.Reader.pos br) !idx;
+    index_of_offset.(Io.Reader.pos br) <- !idx;
     let i =
       try decode_instr br
       with Io.Truncated _ -> fail "truncated instruction at index %d" !idx
@@ -139,11 +141,11 @@ let decode_code r =
     rev_instrs := i :: !rev_instrs;
     incr idx
   done;
-  Hashtbl.add index_of_offset body_len !idx;
+  index_of_offset.(body_len) <- !idx;
   let to_index off =
-    match Hashtbl.find_opt index_of_offset off with
-    | Some i -> i
-    | None -> fail "branch target %d not on an instruction boundary" off
+    if off < 0 || off > body_len || index_of_offset.(off) < 0 then
+      fail "branch target %d not on an instruction boundary" off
+    else index_of_offset.(off)
   in
   let instrs =
     !rev_instrs |> List.rev_map (Instr.map_targets to_index) |> Array.of_list
@@ -269,7 +271,7 @@ let class_attributes_of_bytes data =
         ignore (Io.Reader.u2 r);
         ignore (Io.Reader.u2 r);
         let body_len = Io.Reader.u4 r in
-        ignore (Io.Reader.raw r body_len);
+        Io.Reader.skip r body_len;
         for _ = 1 to Io.Reader.u2 r do
           ignore (Io.Reader.u4 r);
           ignore (Io.Reader.u4 r);

@@ -51,12 +51,12 @@ let rec parse_ty s i =
       (Obj (String.sub s (i + 1) (j - i - 1)), j + 1))
   | c -> bad "unsupported type char %C in %S" c s
 
-let ty_of_string s =
+let ty_of_string_uncached s =
   let t, j = parse_ty s 0 in
   if j <> String.length s then bad "trailing junk in field descriptor %S" s;
   t
 
-let method_sig_of_string s =
+let method_sig_of_string_uncached s =
   if String.length s < 3 || s.[0] <> '(' then bad "not a method descriptor: %S" s;
   let rec params acc i =
     if i >= String.length s then bad "unterminated parameter list in %S" s
@@ -74,6 +74,36 @@ let method_sig_of_string s =
     let t, j = parse_ty s i in
     if j <> String.length s then bad "trailing junk in %S" s;
     { params = ps; ret = Some t }
+
+(* Descriptor strings recur constantly — every invoke site, every
+   verifier fixpoint iteration, every refit after a rewrite — and
+   parsing is pure, so successful parses are memoized. Only successes
+   are cached: a malformed descriptor re-raises on every parse, which
+   keeps the error path byte-for-byte identical and the tables free of
+   junk. The caches are reset when they grow past a bound so an
+   adversarial stream of distinct descriptors cannot pin memory. *)
+let memo_max = 65_536
+
+let sig_cache : (string, method_sig) Hashtbl.t = Hashtbl.create 256
+let ty_cache : (string, ty) Hashtbl.t = Hashtbl.create 256
+
+let method_sig_of_string s =
+  match Hashtbl.find_opt sig_cache s with
+  | Some sg -> sg
+  | None ->
+    let sg = method_sig_of_string_uncached s in
+    if Hashtbl.length sig_cache >= memo_max then Hashtbl.reset sig_cache;
+    Hashtbl.add sig_cache s sg;
+    sg
+
+let ty_of_string s =
+  match Hashtbl.find_opt ty_cache s with
+  | Some t -> t
+  | None ->
+    let t = ty_of_string_uncached s in
+    if Hashtbl.length ty_cache >= memo_max then Hashtbl.reset ty_cache;
+    Hashtbl.add ty_cache s t;
+    t
 
 let is_method_descriptor s = String.length s > 0 && s.[0] = '('
 

@@ -163,11 +163,10 @@ let encode_code w (code : Classfile.code) =
   let off = offsets code.instrs in
   Io.Writer.u2 w code.max_stack;
   Io.Writer.u2 w code.max_locals;
-  let body = Io.Writer.create () in
-  Array.iter (encode_instr body off) code.instrs;
-  let body = Io.Writer.contents body in
-  Io.Writer.u4 w (String.length body);
-  Io.Writer.raw w body;
+  (* [offsets] already knows the body size (its final slot), so the
+     body streams straight into [w] — no staging buffer, no copy. *)
+  Io.Writer.u4 w off.(Array.length code.instrs);
+  Array.iter (encode_instr w off) code.instrs;
   Io.Writer.u2 w (List.length code.handlers);
   List.iter
     (fun h ->

@@ -2,6 +2,7 @@
    encoder/decoder and by services that attach binary attributes. *)
 
 exception Truncated of string
+exception Overflow of string
 
 module Writer = struct
   type t = Buffer.t
@@ -9,8 +10,16 @@ module Writer = struct
   let create () = Buffer.create 256
   let u1 b v = Buffer.add_char b (Char.chr (v land 0xff))
 
+  (* Counts, indices and offsets are u2 on the wire: a value that does
+     not fit is a structural error in the class being emitted, and
+     silently masking it would produce a syntactically valid but
+     corrupt class file. Raise instead. *)
+  let overflow what v =
+    raise (Overflow (Printf.sprintf "%s: value %d exceeds 16 bits" what v))
+
   let u2 b v =
-    u1 b ((v lsr 8) land 0xff);
+    if v < 0 || v > 0xffff then overflow "u2" v;
+    u1 b (v lsr 8);
     u1 b (v land 0xff)
 
   let u4 b v =
@@ -23,9 +32,15 @@ module Writer = struct
 
   let i2 b v =
     (* two's-complement 16-bit *)
+    if v < -0x8000 || v > 0x7fff then overflow "i2" v;
     u2 b (v land 0xffff)
 
   let str b s =
+    if String.length s > 0xffff then
+      raise
+        (Overflow
+           (Printf.sprintf "str: string length %d exceeds 65535"
+              (String.length s)));
     u2 b (String.length s);
     Buffer.add_string b s
 
@@ -34,16 +49,23 @@ module Writer = struct
 end
 
 module Reader = struct
-  type t = { data : string; mutable pos : int }
+  (* A reader is a slice view [off, limit) of an underlying string;
+     [sub] carves nested slices without copying the bytes. [pos] is an
+     absolute index into [data], but every reported position (and
+     [pos]/[remaining]) is relative to the slice, so errors read the
+     same whether the bytes came from a whole string or a view. *)
+  type t = { data : string; off : int; limit : int; mutable pos : int }
 
-  let of_string data = { data; pos = 0 }
-  let pos r = r.pos
-  let remaining r = String.length r.data - r.pos
+  let of_string data = { data; off = 0; limit = String.length data; pos = 0 }
+  let pos r = r.pos - r.off
+  let remaining r = r.limit - r.pos
   let at_end r = remaining r = 0
 
   let need r n what =
     if remaining r < n then
-      raise (Truncated (Printf.sprintf "%s: need %d bytes at %d" what n r.pos))
+      raise
+        (Truncated
+           (Printf.sprintf "%s: need %d bytes at %d" what n (r.pos - r.off)))
 
   let u1 r =
     need r 1 "u1";
@@ -80,4 +102,14 @@ module Reader = struct
     let s = String.sub r.data r.pos n in
     r.pos <- r.pos + n;
     s
+
+  let sub r n =
+    need r n "sub";
+    let s = { data = r.data; off = r.pos; limit = r.pos + n; pos = r.pos } in
+    r.pos <- r.pos + n;
+    s
+
+  let skip r n =
+    need r n "skip";
+    r.pos <- r.pos + n
 end

@@ -49,7 +49,7 @@ let word_le data off =
        (Int32.shift_left (byte 1) 8)
        (Int32.logor (Int32.shift_left (byte 2) 16) (Int32.shift_left (byte 3) 24)))
 
-let digest (msg : string) : string =
+let digest_spec (msg : string) : string =
   let data = padded msg in
   let a0 = ref 0x67452301l
   and b0 = ref 0xefcdab89l
@@ -93,9 +93,23 @@ let digest (msg : string) : string =
     [ !a0; !b0; !c0; !d0 ];
   Buffer.contents out
 
+(* The digest sits on two hot paths — every served class is signed and
+   fingerprinted, and every audit event seals the hash chain — so
+   production calls go through the runtime's C MD5 ([Digest.string] is
+   RFC 1321 MD5, so its output is byte-identical to the reference
+   implementation above, which tests cross-check against it). *)
+let digest (msg : string) : string = Digest.string msg
+
+let hex_chars = "0123456789abcdef"
+
 let to_hex (d : string) =
-  let b = Buffer.create 32 in
-  String.iter (fun c -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code c))) d;
-  Buffer.contents b
+  let b = Bytes.create (2 * String.length d) in
+  String.iteri
+    (fun i c ->
+      let x = Char.code c in
+      Bytes.set b (2 * i) hex_chars.[x lsr 4];
+      Bytes.set b ((2 * i) + 1) hex_chars.[x land 15])
+    d;
+  Bytes.unsafe_to_string b
 
 let hex_digest msg = to_hex (digest msg)

@@ -3,5 +3,10 @@
 val digest : string -> string
 (** 16-byte raw digest. *)
 
+val digest_spec : string -> string
+(** The from-the-specification implementation; same output as
+    {!digest}, kept as the readable reference and cross-checked against
+    it in the test suite. *)
+
 val to_hex : string -> string
 val hex_digest : string -> string

@@ -121,6 +121,12 @@ let run (cfg : config) : outcome =
   end;
   let engine = Simnet.Engine.create () in
   Simnet.Engine.set_tracing engine true;
+  (* Chaos runs are long and every observable event lands in the trace;
+     bound the buffer so a runaway experiment degrades to a dropped-
+     records count instead of unbounded memory. The cap is far above
+     what any pinned seed produces — acceptance traces see every
+     record. *)
+  Simnet.Engine.set_trace_cap engine (Some 1_000_000);
   let plan = Simnet.Fault.create ~seed:cfg.ch_seed in
   let origin, _wan = Scaling.applet_workload ~applet_count:cfg.ch_applets ~seed:cfg.ch_seed in
   (* Intranet deployment: the origin is the organization's file store a
@@ -130,9 +136,16 @@ let run (cfg : config) : outcome =
      deadline before the farm even saw them. *)
   let origin_latency _ = Simnet.Engine.ms 10 in
   let filters = Scaling.standard_filters () in
+  (* Unique per-fetch class names keep the *simulated* cache out of the
+     picture — every fetch is real pipeline work in the cost model —
+     but the host CPU shares one outcome memo across the pool: the
+     standard stack is effect-free apart from telemetry, so identical
+     applet bytes replay the first run's tape instead of re-verifying.
+     Digests, costs and counters are byte-identical either way. *)
+  let memo = Proxy.Pipeline.Memo.create () in
   let pool =
     Array.init cfg.ch_shards (fun i ->
-        Proxy.create engine ~cache_capacity:0
+        Proxy.create engine ~cache_capacity:0 ~memo
           ~host_name:(Printf.sprintf "shard%d" i)
           ~origin ~origin_latency ~filters ())
   in

@@ -488,9 +488,9 @@ let run_main client entry =
         let instrs0 = client.vm.Jvm.Vmstate.instr_count in
         let r = Jvm.Interp.run_main client.vm entry in
         Telemetry.Global.add "jvm.methods_invoked"
-          (Int64.sub client.vm.Jvm.Vmstate.invocations invocations0);
+          (Int64.of_int (client.vm.Jvm.Vmstate.invocations - invocations0));
         Telemetry.Global.add "jvm.bytecodes_executed"
-          (Int64.sub client.vm.Jvm.Vmstate.instr_count instrs0);
+          (Int64.of_int (client.vm.Jvm.Vmstate.instr_count - instrs0));
         r)
 
 let client_time_us client = Costs.client_us_of_vm client.vm

@@ -45,7 +45,7 @@ let lan_transfer_us ~bytes =
    value. *)
 let client_us_of_vm (vm : Jvm.Vmstate.t) =
   Int64.of_float
-    (Int64.to_float vm.Jvm.Vmstate.instr_count *. client_us_per_bytecode)
-  |> Int64.add vm.Jvm.Vmstate.native_cost
+    (float_of_int vm.Jvm.Vmstate.instr_count *. client_us_per_bytecode)
+  |> Int64.add (Int64.of_int vm.Jvm.Vmstate.native_cost)
 
 let us_to_s us = Int64.to_float us /. 1_000_000.0

@@ -113,7 +113,7 @@ let run_arch ?elide ~policy ~arch (app : Workloads.Appgen.app) : result =
     let audit_equiv =
       Int64.of_float
         (Costs.monolithic_audit_us_per_invocation
-        *. Int64.to_float client.Client.vm.Jvm.Vmstate.invocations)
+        *. float_of_int client.Client.vm.Jvm.Vmstate.invocations)
     in
     let parse_us =
       Int64.of_float (Costs.client_parse_us_per_byte *. Float.of_int !bytes)
@@ -132,7 +132,7 @@ let run_arch ?elide ~policy ~arch (app : Workloads.Appgen.app) : result =
       r_static_checks = client.Client.local_verify_checks;
       r_dynamic_checks = 0;
       r_enforcement_checks = 0;
-      r_audit_events = Int64.to_int client.Client.vm.Jvm.Vmstate.invocations;
+      r_audit_events = client.Client.vm.Jvm.Vmstate.invocations;
       r_output = output;
       r_decisions = [];
     }

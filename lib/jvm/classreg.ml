@@ -23,6 +23,18 @@ type t = {
   mutable classes_fetched : int;
   mutable bytes_fetched : int;
   mutable load_order : string list; (* most recent first *)
+  (* Hierarchy-query memos. Interpretation hits [resolve_method],
+     [resolve_field], [is_subclass] and [all_instance_fields] on every
+     invoke / field access / checkcast / new, and each is a chain walk
+     over [classes]. A result is cached only when computing it touched
+     loaded classes exclusively — a walk that consulted the provider
+     (even unsuccessfully) is never cached, so lazy-load side effects
+     (fetches, telemetry, Class_not_found) replay exactly as uncached.
+     All four memos are flushed whenever [classes] changes. *)
+  method_cache : (string * string * string, (loaded * Bytecode.Classfile.meth) option) Hashtbl.t;
+  field_cache : (string * string, (loaded * Bytecode.Classfile.field) option) Hashtbl.t;
+  subtype_cache : (string * string, bool) Hashtbl.t;
+  fields_cache : (string, (string * string) list) Hashtbl.t;
 }
 
 let create ?(provider = fun _ -> None) () =
@@ -33,7 +45,17 @@ let create ?(provider = fun _ -> None) () =
     classes_fetched = 0;
     bytes_fetched = 0;
     load_order = [];
+    method_cache = Hashtbl.create 64;
+    field_cache = Hashtbl.create 64;
+    subtype_cache = Hashtbl.create 64;
+    fields_cache = Hashtbl.create 16;
   }
+
+let flush_query_caches t =
+  Hashtbl.reset t.method_cache;
+  Hashtbl.reset t.field_cache;
+  Hashtbl.reset t.subtype_cache;
+  Hashtbl.reset t.fields_cache
 
 let set_provider t p = t.provider <- p
 let set_on_load t f = t.on_load <- f
@@ -49,6 +71,7 @@ let make_loaded ?(wire_bytes = 0) cf =
   { cf; statics; init_state = Not_initialized; wire_bytes }
 
 let register t cf =
+  flush_query_caches t;
   Hashtbl.replace t.classes cf.Bytecode.Classfile.name (make_loaded cf)
 
 let find_loaded t name = Hashtbl.find_opt t.classes name
@@ -80,6 +103,7 @@ let lookup t name =
              });
       t.on_load cf;
       let l = make_loaded ~wire_bytes:(String.length bytes) cf in
+      flush_query_caches t;
       Hashtbl.replace t.classes name l;
       t.classes_fetched <- t.classes_fetched + 1;
       t.bytes_fetched <- t.bytes_fetched + String.length bytes;
@@ -93,39 +117,51 @@ let lookup t name =
 
 let is_loaded t name = Hashtbl.mem t.classes name
 
+let find_or_load t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some l -> Some l
+  | None -> ( try Some (lookup t name) with Class_not_found _ -> None)
+
+(* Like [find_or_load], but records in [missed] whether the provider
+   was consulted — a walk that set [missed] must not be memoized (its
+   side effects have to replay on the next query). *)
+let find_track t missed name =
+  match Hashtbl.find_opt t.classes name with
+  | Some l -> Some l
+  | None ->
+    missed := true;
+    find_or_load t name
+
 (* All (transitive) interfaces of a class, including those inherited
    through superclasses. *)
-let rec interfaces_of t name acc =
-  match find_or_load t name with
+let rec interfaces_walk t missed name acc =
+  match find_track t missed name with
   | None -> acc
   | Some l ->
     let cf = l.cf in
     let acc =
       List.fold_left
         (fun acc i ->
-          if List.mem i acc then acc else interfaces_of t i (i :: acc))
+          if List.mem i acc then acc else interfaces_walk t missed i (i :: acc))
         acc cf.Bytecode.Classfile.interfaces
     in
     (match cf.Bytecode.Classfile.super with
     | None -> acc
-    | Some s -> interfaces_of t s acc)
+    | Some s -> interfaces_walk t missed s acc)
 
-and find_or_load t name =
-  match Hashtbl.find_opt t.classes name with
-  | Some l -> Some l
-  | None -> ( try Some (lookup t name) with Class_not_found _ -> None)
-
-let rec superclass_chain t name acc =
-  match find_or_load t name with
+let rec superclass_walk t missed name acc =
+  match find_track t missed name with
   | None -> List.rev (name :: acc)
   | Some l -> (
     match l.cf.Bytecode.Classfile.super with
     | None -> List.rev (name :: acc)
-    | Some s -> superclass_chain t s (name :: acc))
+    | Some s -> superclass_walk t missed s (name :: acc))
+
+let superclass_chain t name acc = superclass_walk t (ref false) name acc
 
 (* Reflexive subtype test over class names, covering arrays.
    [java/lang/String] is a final class with superclass Object. *)
-let rec is_subclass t ~sub ~super =
+let rec subclass_walk t missed ~sub ~super =
   if String.equal sub super then true
   else if String.equal sub "<null>" then true (* null widens to any ref *)
   else if String.length sub > 0 && sub.[0] = '[' then
@@ -134,12 +170,12 @@ let rec is_subclass t ~sub ~super =
     ||
     if String.length super > 0 && super.[0] = '[' then
       match (array_elem sub, array_elem super) with
-      | Some a, Some b -> is_subclass t ~sub:a ~super:b
+      | Some a, Some b -> subclass_walk t missed ~sub:a ~super:b
       | _, _ -> false
     else false
   else
-    List.mem super (superclass_chain t sub [])
-    || List.mem super (interfaces_of t sub [])
+    List.mem super (superclass_walk t missed sub [])
+    || List.mem super (interfaces_walk t missed sub [])
 
 and array_elem name =
   if String.length name >= 2 && name.[0] = '[' then
@@ -149,57 +185,90 @@ and array_elem name =
     else None
   else None
 
+let is_subclass t ~sub ~super =
+  if String.equal sub super then true
+  else if String.equal sub "<null>" then true
+  else
+    let key = (sub, super) in
+    match Hashtbl.find_opt t.subtype_cache key with
+    | Some b -> b
+    | None ->
+      let missed = ref false in
+      let b = subclass_walk t missed ~sub ~super in
+      if not !missed then Hashtbl.replace t.subtype_cache key b;
+      b
+
 (* Walk the superclass chain looking for a concrete (or native)
    method. Returns the defining class's entry too, so the caller can
    find the right native implementation. *)
 let resolve_method t cls_name name desc =
-  let rec walk cname =
-    match find_or_load t cname with
-    | None -> None
-    | Some l -> (
-      match Bytecode.Classfile.find_method l.cf name desc with
-      | Some m -> Some (l, m)
-      | None -> (
-        match l.cf.Bytecode.Classfile.super with
-        | None -> None
-        | Some s -> walk s))
-  in
-  walk cls_name
+  let key = (cls_name, name, desc) in
+  match Hashtbl.find_opt t.method_cache key with
+  | Some r -> r
+  | None ->
+    let missed = ref false in
+    let rec walk cname =
+      match find_track t missed cname with
+      | None -> None
+      | Some l -> (
+        match Bytecode.Classfile.find_method l.cf name desc with
+        | Some m -> Some (l, m)
+        | None -> (
+          match l.cf.Bytecode.Classfile.super with
+          | None -> None
+          | Some s -> walk s))
+    in
+    let r = walk cls_name in
+    if not !missed then Hashtbl.replace t.method_cache key r;
+    r
 
 let resolve_field t cls_name name =
-  let rec walk cname =
-    match find_or_load t cname with
-    | None -> None
-    | Some l -> (
-      match Bytecode.Classfile.find_field l.cf name with
-      | Some f -> Some (l, f)
-      | None -> (
-        match l.cf.Bytecode.Classfile.super with
-        | None -> None
-        | Some s -> walk s))
-  in
-  walk cls_name
+  let key = (cls_name, name) in
+  match Hashtbl.find_opt t.field_cache key with
+  | Some r -> r
+  | None ->
+    let missed = ref false in
+    let rec walk cname =
+      match find_track t missed cname with
+      | None -> None
+      | Some l -> (
+        match Bytecode.Classfile.find_field l.cf name with
+        | Some f -> Some (l, f)
+        | None -> (
+          match l.cf.Bytecode.Classfile.super with
+          | None -> None
+          | Some s -> walk s))
+    in
+    let r = walk cls_name in
+    if not !missed then Hashtbl.replace t.field_cache key r;
+    r
 
 (* Instance fields of a class including inherited ones, as
    (name, descriptor) pairs for object allocation. *)
 let all_instance_fields t cls_name =
-  let rec walk cname acc =
-    match find_or_load t cname with
-    | None -> acc
-    | Some l ->
-      let acc =
-        List.fold_left
-          (fun acc f ->
-            if List.mem Bytecode.Classfile.Static f.Bytecode.Classfile.f_flags
-            then acc
-            else
-              (f.Bytecode.Classfile.f_name, f.Bytecode.Classfile.f_desc) :: acc)
-          acc l.cf.Bytecode.Classfile.fields
-      in
-      (match l.cf.Bytecode.Classfile.super with
+  match Hashtbl.find_opt t.fields_cache cls_name with
+  | Some fields -> fields
+  | None ->
+    let missed = ref false in
+    let rec walk cname acc =
+      match find_track t missed cname with
       | None -> acc
-      | Some s -> walk s acc)
-  in
-  walk cls_name []
+      | Some l ->
+        let acc =
+          List.fold_left
+            (fun acc f ->
+              if List.mem Bytecode.Classfile.Static f.Bytecode.Classfile.f_flags
+              then acc
+              else
+                (f.Bytecode.Classfile.f_name, f.Bytecode.Classfile.f_desc) :: acc)
+            acc l.cf.Bytecode.Classfile.fields
+        in
+        (match l.cf.Bytecode.Classfile.super with
+        | None -> acc
+        | Some s -> walk s acc)
+    in
+    let fields = walk cls_name [] in
+    if not !missed then Hashtbl.replace t.fields_cache cls_name fields;
+    fields
 
 let loaded_count t = Hashtbl.length t.classes

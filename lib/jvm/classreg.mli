@@ -24,6 +24,12 @@ type t = {
   mutable classes_fetched : int;
   mutable bytes_fetched : int;
   mutable load_order : string list;  (** most recently loaded first *)
+  method_cache :
+    (string * string * string, (loaded * Bytecode.Classfile.meth) option) Hashtbl.t;
+      (** memoized [resolve_method]; flushed whenever [classes] changes *)
+  field_cache : (string * string, (loaded * Bytecode.Classfile.field) option) Hashtbl.t;
+  subtype_cache : (string * string, bool) Hashtbl.t;
+  fields_cache : (string, (string * string) list) Hashtbl.t;
 }
 
 val create : ?provider:provider -> unit -> t

@@ -61,26 +61,34 @@ and invoke vm ~cls ~name ~desc args =
 
 and invoke_resolved vm l (m : CF.meth) args =
   let cls = l.Classreg.cf.CF.name in
-  vm.Vmstate.invocations <- Int64.add vm.Vmstate.invocations 1L;
+  vm.Vmstate.invocations <- vm.Vmstate.invocations + 1;
   vm.Vmstate.call_depth <- vm.Vmstate.call_depth + 1;
   if vm.Vmstate.call_depth > vm.Vmstate.max_call_depth then
     vm.Vmstate.max_call_depth <- vm.Vmstate.call_depth;
-  Fun.protect
-    ~finally:(fun () -> vm.Vmstate.call_depth <- vm.Vmstate.call_depth - 1)
-    (fun () ->
-      if vm.Vmstate.call_depth > max_call_depth then
-        Vmstate.throw vm ~cls:Vmstate.c_stack_overflow
-          ~message:(cls ^ "." ^ m.CF.m_name);
-      match m.CF.m_code with
-      | Some code -> exec_body vm l m code args
-      | None -> (
-        match
-          Vmstate.find_native vm ~cls ~name:m.CF.m_name ~desc:m.CF.m_desc
-        with
-        | Some impl -> impl vm args
-        | None ->
-          Vmstate.fault "no native implementation for %s.%s:%s" cls
-            m.CF.m_name m.CF.m_desc))
+  (* Manual unwind instead of [Fun.protect]: this runs once per method
+     invocation, and the depth decrement cannot itself raise. *)
+  let enter () =
+    if vm.Vmstate.call_depth > max_call_depth then
+      Vmstate.throw vm ~cls:Vmstate.c_stack_overflow
+        ~message:(cls ^ "." ^ m.CF.m_name);
+    match m.CF.m_code with
+    | Some code -> exec_body vm l m code args
+    | None -> (
+      match
+        Vmstate.find_native vm ~cls ~name:m.CF.m_name ~desc:m.CF.m_desc
+      with
+      | Some impl -> impl vm args
+      | None ->
+        Vmstate.fault "no native implementation for %s.%s:%s" cls
+          m.CF.m_name m.CF.m_desc)
+  in
+  match enter () with
+  | v ->
+    vm.Vmstate.call_depth <- vm.Vmstate.call_depth - 1;
+    v
+  | exception e ->
+    vm.Vmstate.call_depth <- vm.Vmstate.call_depth - 1;
+    raise e
 
 and exec_body vm l (m : CF.meth) (code : CF.code) args =
   let pool = l.Classreg.cf.CF.pool in
@@ -147,17 +155,25 @@ and exec_body vm l (m : CF.meth) (code : CF.code) args =
   let running = ref true in
   let pc = ref 0 in
   let ncode = Array.length code.CF.instrs in
-  while !running do
-    if !pc < 0 || !pc >= ncode then
-      Vmstate.fault "pc %d outside method %s.%s" !pc l.Classreg.cf.CF.name
-        m.CF.m_name;
-    let insn = code.CF.instrs.(!pc) in
-    vm.Vmstate.instr_count <- Int64.add vm.Vmstate.instr_count 1L;
-    if Int64.compare vm.Vmstate.instr_count vm.Vmstate.budget > 0 then
-      raise Vmstate.Budget_exhausted;
-    let next = ref (!pc + 1) in
-    (try
-       (match insn with
+  (* [next] lives outside the loop and the exception handler wraps the
+     whole loop rather than each instruction: the straight-line path
+     allocates nothing for control flow. On a [Throw], [!pc] still
+     names the faulting instruction (it only advances after a complete
+     dispatch), so handler lookup sees exactly what the per-instruction
+     handler saw; [loop] re-enters by tail call. *)
+  let next = ref 0 in
+  let rec loop () =
+    try
+      while !running do
+        if !pc < 0 || !pc >= ncode then
+          Vmstate.fault "pc %d outside method %s.%s" !pc l.Classreg.cf.CF.name
+            m.CF.m_name;
+        let insn = code.CF.instrs.(!pc) in
+        vm.Vmstate.instr_count <- vm.Vmstate.instr_count + 1;
+        if vm.Vmstate.instr_count > vm.Vmstate.budget then
+          raise Vmstate.Budget_exhausted;
+        next := !pc + 1;
+        (match insn with
        | I.Nop -> ()
        | I.Iconst n -> push (Value.Int n)
        | I.Ldc_str idx -> (
@@ -166,8 +182,16 @@ and exec_body vm l (m : CF.meth) (code : CF.code) args =
          | exception (CP.Invalid_index _ | CP.Wrong_kind _) ->
            Vmstate.fault "bad string index %d" idx)
        | I.Aconst_null -> push Value.Null
-       | I.Iload n -> push (Value.Int (as_int (local n)))
-       | I.Istore n -> set_local n (Value.Int (pop_int ()))
+       | I.Iload n -> (
+         (* Pushing the checked value as-is skips re-boxing the int32
+            [as_int] just unwrapped. *)
+         match local n with
+         | Value.Int _ as v -> push v
+         | v -> push (Value.Int (as_int v)))
+       | I.Istore n -> (
+         match pop () with
+         | Value.Int _ as v -> set_local n v
+         | v -> set_local n (Value.Int (as_int v)))
        | I.Aload n -> push (as_reference (local n))
        | I.Astore n ->
          (* astore also accepts return addresses (jsr/ret idiom) *)
@@ -451,29 +475,32 @@ and exec_body vm l (m : CF.meth) (code : CF.code) args =
                ~super:target
            in
            push (Value.Int (if yes then 1l else 0l)))
-       | I.Monitorenter | I.Monitorexit -> ignore (non_null (pop ())));
-       pc := !next
-     with Vmstate.Throw exn ->
-       (* Dispatch against this frame's exception table; first match
-          wins, otherwise unwind to the caller. *)
-       let cls_of_exn = Value.class_of exn in
-       let handler =
-         List.find_opt
-           (fun h ->
-             !pc >= h.CF.h_start && !pc < h.CF.h_end
-             &&
-             match h.CF.h_catch with
-             | None -> true
-             | Some c -> Classreg.is_subclass vm.Vmstate.reg ~sub:cls_of_exn ~super:c)
-           code.CF.handlers
-       in
-       (match handler with
-       | Some h ->
-         sp := 0;
-         push exn;
-         pc := h.CF.h_target
-       | None -> raise (Vmstate.Throw exn)))
-  done;
+        | I.Monitorenter | I.Monitorexit -> ignore (non_null (pop ())));
+        pc := !next
+      done
+    with Vmstate.Throw exn ->
+      (* Dispatch against this frame's exception table; first match
+         wins, otherwise unwind to the caller. *)
+      let cls_of_exn = Value.class_of exn in
+      let handler =
+        List.find_opt
+          (fun h ->
+            !pc >= h.CF.h_start && !pc < h.CF.h_end
+            &&
+            match h.CF.h_catch with
+            | None -> true
+            | Some c -> Classreg.is_subclass vm.Vmstate.reg ~sub:cls_of_exn ~super:c)
+          code.CF.handlers
+      in
+      (match handler with
+      | Some h ->
+        sp := 0;
+        push exn;
+        pc := h.CF.h_target;
+        loop ()
+      | None -> raise (Vmstate.Throw exn))
+  in
+  loop ();
   !result
 
 (* --- Entry points. --- *)

@@ -6,19 +6,24 @@
 type t = {
   heap : Heap.t;
   reg : Classreg.t;
-  natives : (string, native) Hashtbl.t; (* key: "cls.name:desc" *)
+  natives : (string * string * string, native) Hashtbl.t; (* key: (cls, name, desc) *)
   out : Buffer.t;
   props : (string, string) Hashtbl.t;
   files : (string, string) Hashtbl.t;
   mutable thread_priority : int;
-  mutable instr_count : int64;
-  mutable native_cost : int64; (* simulated cost units added by natives *)
-  mutable budget : int64; (* instruction budget; exceeded -> Budget_exhausted *)
+  (* Cost counters are plain [int]s: they are bumped on every executed
+     bytecode, and a boxed [int64] read-modify-write there costs an
+     allocation per instruction. 63 bits cannot overflow at simulated
+     instruction rates. The external API ([add_cost], [total_cost],
+     [create ?budget]) keeps its [int64] face. *)
+  mutable instr_count : int;
+  mutable native_cost : int; (* simulated cost units added by natives *)
+  mutable budget : int; (* instruction budget; exceeded -> Budget_exhausted *)
   mutable security_hook : (string -> unit) option;
       (* monolithic JDK-style stack-introspection hook; raises to deny *)
   mutable call_depth : int;
   mutable max_call_depth : int;
-  mutable invocations : int64; (* method invocations, incl. natives *)
+  mutable invocations : int; (* method invocations, incl. natives *)
 }
 
 and native = t -> Value.t list -> Value.t option
@@ -35,7 +40,13 @@ exception Budget_exhausted
 
 let fault fmt = Format.kasprintf (fun s -> raise (Runtime_fault s)) fmt
 
-let create ?(budget = Int64.max_int) ?provider () =
+let create ?budget ?provider () =
+  let budget =
+    match budget with
+    | None -> max_int
+    | Some b when Int64.compare b (Int64.of_int max_int) >= 0 -> max_int
+    | Some b -> Int64.to_int b
+  in
   {
     heap = Heap.create ();
     reg = Classreg.create ?provider ();
@@ -44,26 +55,24 @@ let create ?(budget = Int64.max_int) ?provider () =
     props = Hashtbl.create 16;
     files = Hashtbl.create 16;
     thread_priority = 5;
-    instr_count = 0L;
-    native_cost = 0L;
+    instr_count = 0;
+    native_cost = 0;
     budget;
     security_hook = None;
     call_depth = 0;
     max_call_depth = 0;
-    invocations = 0L;
+    invocations = 0;
   }
 
-let native_key ~cls ~name ~desc = cls ^ "." ^ name ^ ":" ^ desc
-
+(* Tuple keys avoid the "cls.name:desc" string concatenation the old
+   scheme paid on every native dispatch (two audit probes per
+   instrumented method call). *)
 let register_native t ~cls ~name ~desc impl =
-  Hashtbl.replace t.natives (native_key ~cls ~name ~desc) impl
+  Hashtbl.replace t.natives (cls, name, desc) impl
 
-let find_native t ~cls ~name ~desc =
-  Hashtbl.find_opt t.natives (native_key ~cls ~name ~desc)
-
-let add_cost t units = t.native_cost <- Int64.add t.native_cost units
-
-let total_cost t = Int64.add t.instr_count t.native_cost
+let find_native t ~cls ~name ~desc = Hashtbl.find_opt t.natives (cls, name, desc)
+let add_cost t units = t.native_cost <- t.native_cost + Int64.to_int units
+let total_cost t = Int64.of_int (t.instr_count + t.native_cost)
 
 let output t = Buffer.contents t.out
 

@@ -5,19 +5,19 @@
 type t = {
   heap : Heap.t;
   reg : Classreg.t;
-  natives : (string, native) Hashtbl.t;
+  natives : (string * string * string, native) Hashtbl.t;  (** key: (cls, name, desc) *)
   out : Buffer.t;  (** console output *)
   props : (string, string) Hashtbl.t;  (** system properties *)
   files : (string, string) Hashtbl.t;  (** simulated file store *)
   mutable thread_priority : int;
-  mutable instr_count : int64;  (** bytecodes executed *)
-  mutable native_cost : int64;  (** simulated cost units added by natives *)
-  mutable budget : int64;
+  mutable instr_count : int;  (** bytecodes executed *)
+  mutable native_cost : int;  (** simulated cost units added by natives *)
+  mutable budget : int;
   mutable security_hook : (string -> unit) option;
       (** monolithic JDK-style check hook; raises {!Throw} to deny *)
   mutable call_depth : int;
   mutable max_call_depth : int;
-  mutable invocations : int64;  (** method invocations, incl. natives *)
+  mutable invocations : int;  (** method invocations, incl. natives *)
 }
 
 and native = t -> Value.t list -> Value.t option

@@ -26,9 +26,27 @@ type t = {
 let create ?(clock = fun () -> 0L) () =
   { events = []; last_chain = "genesis"; count = 0; clock }
 
+(* One seal per audited method entry/exit makes this the hottest
+   string-building site in the monitor; a reused buffer assembles the
+   identical "prev|seq|time|session|kind|detail" image without the
+   printf machinery. *)
+let seal_buf = Buffer.create 256
+
 let seal ~prev ~seq ~time ~session ~kind ~detail =
-  Dsig.Md5.hex_digest
-    (Printf.sprintf "%s|%d|%Ld|%d|%s|%s" prev seq time session kind detail)
+  let b = seal_buf in
+  Buffer.clear b;
+  Buffer.add_string b prev;
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int seq);
+  Buffer.add_char b '|';
+  Buffer.add_string b (Int64.to_string time);
+  Buffer.add_char b '|';
+  Buffer.add_string b (string_of_int session);
+  Buffer.add_char b '|';
+  Buffer.add_string b kind;
+  Buffer.add_char b '|';
+  Buffer.add_string b detail;
+  Dsig.Md5.hex_digest (Buffer.contents b)
 
 let append ?time t ~session ~kind ~detail =
   let time = match time with Some t -> t | None -> t.clock () in

@@ -35,9 +35,57 @@ let sync_sites (code : CF.code) =
     code.CF.instrs;
   List.rev !sites
 
+(* Refit deferred until the pool stops growing: the builder is
+   append-only and interning, so bounds estimated against the final
+   snapshot are identical to per-method snapshots — without paying an
+   [Array.sub] of the whole pool for every method. *)
+let refit_with pool (m : CF.meth) code =
+  let sg = Bytecode.Descriptor.method_sig_of_string m.CF.m_desc in
+  let code =
+    Rewrite.Patch.refit_bounds pool
+      ~params:(Bytecode.Descriptor.param_slots sg)
+      ~is_static:(CF.has_flag m.CF.m_flags CF.Static)
+      code
+  in
+  { m with CF.m_code = Some code }
+
 let instrument_class ?(counters = fresh_counters ()) ~runtime_class
     ?(sync_trace = false) (cf : CF.t) : CF.t =
   let pool = CP.Builder.of_pool cf.CF.pool in
+  if not sync_trace then begin
+    let patched =
+      List.map
+        (fun m ->
+          match m.CF.m_code with
+          | None -> Either.Left m
+          | Some code ->
+            let label = method_label cf.CF.name m in
+            let entry = call pool ~runtime_class ~name:"enter" label in
+            let before_return = call pool ~runtime_class ~name:"exit" label in
+            counters.methods_instrumented <- counters.methods_instrumented + 1;
+            let returns = Rewrite.Patch.return_sites code in
+            counters.probes_inserted <-
+              counters.probes_inserted + 1 + List.length returns;
+            let insertions =
+              Rewrite.Patch.before 0 entry
+              :: List.map
+                   (fun at -> Rewrite.Patch.before at before_return)
+                   returns
+            in
+            Either.Right (m, Rewrite.Patch.apply_insertions code insertions))
+        cf.CF.methods
+    in
+    let final_pool = CP.Builder.to_pool pool in
+    let methods =
+      List.map
+        (function
+          | Either.Left m -> m
+          | Either.Right (m, code) -> refit_with final_pool m code)
+        patched
+    in
+    { cf with CF.methods; pool = final_pool }
+  end
+  else
   let methods =
     List.map
       (fun m ->
@@ -55,8 +103,7 @@ let instrument_class ?(counters = fresh_counters ()) ~runtime_class
             Rewrite.Patch.instrument_method (CP.Builder.to_pool pool) m ~entry
               ~before_return
           in
-          if not sync_trace then m
-          else begin
+          begin
             match m.CF.m_code with
             | None -> m
             | Some code ->
@@ -114,11 +161,11 @@ let block_leaders (code : CF.code) =
    granularity method probes cannot. *)
 let trace_blocks ?(counters = fresh_counters ()) (cf : CF.t) : CF.t =
   let pool = CP.Builder.of_pool cf.CF.pool in
-  let methods =
+  let patched =
     List.map
       (fun m ->
         match m.CF.m_code with
-        | None -> m
+        | None -> Either.Left m
         | Some code ->
           let label_of idx =
             Printf.sprintf "%s@%d" (method_label cf.CF.name m) idx
@@ -139,18 +186,18 @@ let trace_blocks ?(counters = fresh_counters ()) (cf : CF.t) : CF.t =
                   ])
               leaders
           in
-          let code = Rewrite.Patch.apply_insertions code insertions in
-          let sg = Bytecode.Descriptor.method_sig_of_string m.CF.m_desc in
-          let code =
-            Rewrite.Patch.refit_bounds (CP.Builder.to_pool pool)
-              ~params:(Bytecode.Descriptor.param_slots sg)
-              ~is_static:(CF.has_flag m.CF.m_flags CF.Static)
-              code
-          in
-          { m with CF.m_code = Some code })
+          Either.Right (m, Rewrite.Patch.apply_insertions code insertions))
       cf.CF.methods
   in
-  { cf with CF.methods; pool = CP.Builder.to_pool pool }
+  let final_pool = CP.Builder.to_pool pool in
+  let methods =
+    List.map
+      (function
+        | Either.Left m -> m
+        | Either.Right (m, code) -> refit_with final_pool m code)
+      patched
+  in
+  { cf with CF.methods; pool = final_pool }
 
 let audit_filter ?counters () =
   Rewrite.Filter.make ~name:"auditor"

@@ -14,6 +14,18 @@ let fail fmt = Format.kasprintf (fun s -> raise (Bad_message s)) fmt
 
 let crlf = "\r\n"
 
+(* Strict decimal parsing. The stdlib's [of_string] family accepts
+   radix prefixes ("0x10", "0b101") and '_' separators ("1_000") —
+   none of which are wire syntax. A numeric field is exactly one or
+   more ASCII digits; anything else is a malformed message, and
+   out-of-range digit strings fail the [of_string] overflow check. *)
+let is_decimal s =
+  String.length s > 0
+  && String.for_all (function '0' .. '9' -> true | _ -> false) s
+
+let decimal_int64_opt s = if is_decimal s then Int64.of_string_opt s else None
+let decimal_int_opt s = if is_decimal s then int_of_string_opt s else None
+
 (* --- Requests. --- *)
 
 let encode_request ?deadline_us ?trace ~cls () =
@@ -77,9 +89,9 @@ let decode_request_full (data : string) : request =
         let v = String.trim (String.sub line (c + 1) (String.length line - c - 1)) in
         match name with
         | "Deadline-Us" -> (
-          match Int64.of_string_opt v with
-          | Some d when Int64.compare d 0L >= 0 -> set_once deadline name d
-          | Some _ | None -> fail "bad deadline %S" v)
+          match decimal_int64_opt v with
+          | Some d -> set_once deadline name d
+          | None -> fail "bad deadline %S" v)
         | "Trace-Id" ->
           if String.length v <> 16 || not (String.for_all is_hex v) then
             fail "bad trace id %S" v;
@@ -91,9 +103,9 @@ let decode_request_full (data : string) : request =
           if Int64.equal id 0L then fail "bad trace id %S" v;
           set_once trace_id name id
         | "Parent-Span-Id" -> (
-          match int_of_string_opt v with
-          | Some p when p >= 0 -> set_once parent name p
-          | Some _ | None -> fail "bad parent span id %S" v)
+          match decimal_int_opt v with
+          | Some p -> set_once parent name p
+          | None -> fail "bad parent span id %S" v)
         | _ -> fail "unknown request header %S" line)
     in
     let rec headers from =
@@ -151,11 +163,32 @@ let status_of_code = function
   | 503 -> Overloaded_503
   | c -> fail "unknown status %d" c
 
-let encode_response ~status ~body =
-  Printf.sprintf "DVM/1.0 %d%sContent-Length: %d%s%s%s" (status_code status)
-    crlf (String.length body) crlf crlf body
+(* One buffer reused across encodes: the proxy re-frames every served
+   class, so the staging bytes are written once into [scratch] and
+   copied out exactly once by [Buffer.contents] — no sprintf
+   intermediates. Single-threaded (the simulator is), like every other
+   service-side scratch structure here. *)
+let scratch = Buffer.create 256
 
-let decode_response (data : string) : status * string =
+let encode_response_into b ~status ~body =
+  Buffer.add_string b "DVM/1.0 ";
+  Buffer.add_string b (string_of_int (status_code status));
+  Buffer.add_string b crlf;
+  Buffer.add_string b "Content-Length: ";
+  Buffer.add_string b (string_of_int (String.length body));
+  Buffer.add_string b crlf;
+  Buffer.add_string b crlf;
+  Buffer.add_string b body
+
+let encode_response ~status ~body =
+  Buffer.clear scratch;
+  encode_response_into scratch ~status ~body;
+  Buffer.contents scratch
+
+(* Decode to a body *view* — offset and length into the wire bytes —
+   so the body is not copied until (unless) someone actually needs it
+   as a standalone string. *)
+let decode_response_view (data : string) : status * (int * int) =
   let find_crlf from =
     let rec go i =
       if i + 1 >= String.length data then fail "truncated response"
@@ -168,7 +201,7 @@ let decode_response (data : string) : status * string =
   let status =
     match String.split_on_char ' ' (String.sub data 0 eol1) with
     | [ "DVM/1.0"; code ] -> (
-      match int_of_string_opt code with
+      match decimal_int_opt code with
       | Some c -> status_of_code c
       | None -> fail "bad status code %S" code)
     | _ -> fail "malformed status line"
@@ -178,9 +211,9 @@ let decode_response (data : string) : status * string =
   let len =
     match String.split_on_char ':' header with
     | [ "Content-Length"; v ] -> (
-      match int_of_string_opt (String.trim v) with
-      | Some n when n >= 0 -> n
-      | Some _ | None -> fail "bad content length %S" v)
+      match decimal_int_opt (String.trim v) with
+      | Some n -> n
+      | None -> fail "bad content length %S" v)
     | _ -> fail "missing Content-Length"
   in
   (* The header block must end with the blank-line separator
@@ -195,7 +228,11 @@ let decode_response (data : string) : status * string =
   if String.length data <> body_start + len then
     fail "body length mismatch (declared %d, present %d)" len
       (String.length data - body_start);
-  (status, String.sub data body_start len)
+  (status, (body_start, len))
+
+let decode_response (data : string) : status * string =
+  let status, (off, len) = decode_response_view data in
+  (status, String.sub data off len)
 
 (* Framing overhead in bytes for a response carrying [body_bytes] — the
    wire-volume correction network experiments can apply. *)

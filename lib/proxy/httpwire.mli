@@ -36,7 +36,19 @@ type status = Ok_200 | Not_found_404 | Bad_request_400 | Overloaded_503
 
 val status_code : status -> int
 val encode_response : status:status -> body:string -> string
+
+val encode_response_into : Buffer.t -> status:status -> body:string -> unit
+(** Append the framed response to [b] — the allocation-free form
+    {!encode_response} itself uses (with a reused staging buffer). *)
+
 val decode_response : string -> status * string
+
+val decode_response_view : string -> status * (int * int)
+(** Like {!decode_response}, but the body is returned as an
+    [(offset, length)] view into the input — no copy until a caller
+    actually materializes it.
+    @raise Bad_message on malformed input. *)
+
 val response_overhead : body_bytes:int -> int
 
 val serve : (string -> string option) -> string -> string

@@ -33,6 +33,7 @@ type t = {
   origin_latency : string -> Simnet.Engine.time; (* per-class WAN latency *)
   origin_bandwidth_bps : int;
   signer : Dsig.Sign.key option;
+  memo : Pipeline.Memo.t option; (* optional host-CPU outcome memo *)
   audit : Monitor.Audit.t option;
   (* Parsed working state per in-flight request: buffers for the raw
      bytes, the decoded image and the output. *)
@@ -55,9 +56,9 @@ type t = {
 let create ?(cache_capacity = 48 * 1024 * 1024)
     ?(mem_capacity = 64 * 1024 * 1024) ?signer ?audit
     ?(origin_bandwidth_bps = 100_000_000) ?(working_set_factor = 12)
-    ?(cpu_factor = 1.0) ?(host_name = "proxy") ?l2 ?(l2_lookup_us = 1500)
-    ?(l2_bandwidth_bps = 100_000_000) ?admission engine ~origin ~origin_latency
-    ~filters () =
+    ?(cpu_factor = 1.0) ?(host_name = "proxy") ?l2 ?memo
+    ?(l2_lookup_us = 1500) ?(l2_bandwidth_bps = 100_000_000) ?admission engine
+    ~origin ~origin_latency ~filters () =
   {
     engine;
     host =
@@ -71,6 +72,7 @@ let create ?(cache_capacity = 48 * 1024 * 1024)
     origin_latency;
     origin_bandwidth_bps;
     signer;
+    memo;
     audit;
     working_set_factor;
     inflight = Hashtbl.create 32;
@@ -111,7 +113,7 @@ let transform_and_reply ?on_fail ?(trace = Telemetry.Trace.none) t ~cls bytes k
     Telemetry.Trace.scope trace ~node:t.host.Simnet.Host.name (fun () ->
         Telemetry.Global.with_span ~cat:"proxy" ~args:[ ("class", cls) ]
           "proxy.transform" (fun () ->
-            Pipeline.run ?signer:t.signer t.filters bytes))
+            Pipeline.run ?memo:t.memo ?signer:t.signer t.filters bytes))
   in
   let sign_cost =
     match t.signer with
@@ -368,7 +370,7 @@ let request_sync_raw t ~cls =
         t.origin_fetches <- t.origin_fetches + 1;
         Telemetry.Global.incr "proxy.origin_fetches";
         t.pipeline_runs <- t.pipeline_runs + 1;
-        let outcome = Pipeline.run ?signer:t.signer t.filters bytes in
+        let outcome = Pipeline.run ?memo:t.memo ?signer:t.signer t.filters bytes in
         t.cpu_us <- Int64.add t.cpu_us (Pipeline.total_cost outcome);
         (match outcome.Pipeline.rejected with
         | Some _ -> t.rejections <- t.rejections + 1

@@ -79,7 +79,7 @@ let generate_traced cf =
   Telemetry.Global.with_span ~cat:"pipeline" "pipeline.generate" (fun () ->
       Bytecode.Encode.class_to_bytes cf)
 
-let run ?signer filters (bytes : string) : outcome =
+let run_uncached ?signer filters (bytes : string) : outcome =
   let parse_cost = parse_cost_of bytes in
   match parse_traced bytes with
   | exception Bytecode.Decode.Format_error reason ->
@@ -108,7 +108,7 @@ let run ?signer filters (bytes : string) : outcome =
           apply_filter f acc)
         cf filters
     with
-    | transformed ->
+    | transformed -> (
       let transformed =
         match signer with
         | None -> transformed
@@ -116,19 +116,46 @@ let run ?signer filters (bytes : string) : outcome =
           Telemetry.Global.with_span ~cat:"pipeline" "pipeline.sign"
             (fun () -> Dsig.Sign.sign key transformed)
       in
-      let out = generate_traced transformed in
-      let o =
-        {
-          out_bytes = out;
-          rejected = None;
-          parse_cost;
-          transform_cost = !transform_cost;
-          generate_cost = generate_cost_of out;
-          parses = 1;
-        }
-      in
-      record_outcome o;
-      o
+      match generate_traced transformed with
+      | out ->
+        let o =
+          {
+            out_bytes = out;
+            rejected = None;
+            parse_cost;
+            transform_cost = !transform_cost;
+            generate_cost = generate_cost_of out;
+            parses = 1;
+          }
+        in
+        record_outcome o;
+        o
+      | exception Bytecode.Io.Overflow reason ->
+        (* A filter inflated the class past a classfile encoding limit
+           (a 16-bit length or index field). That is a rejection like
+           any other (§3.1): the client gets an error-propagation
+           replacement class naming the oversized field, not a
+           truncated or silently-masked image. *)
+        let repl =
+          Verifier.Error_class.build
+            ~name:transformed.Bytecode.Classfile.name ~message:reason
+        in
+        let repl =
+          match signer with None -> repl | Some key -> Dsig.Sign.sign key repl
+        in
+        let out = Bytecode.Encode.class_to_bytes repl in
+        let o =
+          {
+            out_bytes = out;
+            rejected = Some ("encode", reason);
+            parse_cost;
+            transform_cost = !transform_cost;
+            generate_cost = generate_cost_of out;
+            parses = 1;
+          }
+        in
+        record_outcome o;
+        o)
     | exception Rewrite.Filter.Rejected { filter; cls; reason } ->
       let repl = Verifier.Error_class.build ~name:cls ~message:reason in
       let repl =
@@ -146,6 +173,106 @@ let run ?signer filters (bytes : string) : outcome =
         }
       in
       record_outcome o;
+      o)
+
+(* --- Host-CPU memoization. ---
+
+   The pipeline is a pure function of its input (that is what the
+   farm's determinism checks assert), so when an experiment pushes the
+   same class bytes through the same filter stack thousands of times —
+   chaos and scaling runs deliberately disable the simulated cache so
+   "every fetch is real pipeline work" in the *cost model* — the host
+   CPU need not redo the parse/verify/rewrite/generate work to produce
+   the identical outcome. A memo caches the outcome together with the
+   telemetry tape of the first run; a hit replays the tape (identical
+   counters, histogram observations and span structure, with live span
+   ids and the ambient trace scope) and returns the shared outcome.
+   Simulated costs, served bytes and every pinned digest are untouched:
+   only host wall-clock changes.
+
+   Memoization is opt-in per call site because filters are arbitrary
+   closures: a stack is memo-safe only when its filters are effect-free
+   apart from telemetry (no caller-visible counter records, no audit
+   appends). The standard chaos/scaling stacks qualify; experiment
+   stacks that thread mutable counter records do not. *)
+
+module Memo = struct
+  type entry = {
+    me_outcome : outcome;
+    me_tape : Telemetry.tape option;
+    me_telemetry : bool; (* registry enabled when captured *)
+  }
+
+  type t = {
+    tbl : (string, entry) Hashtbl.t; (* input bytes -> entry *)
+    cap : int; (* stop inserting past this many entries *)
+    mutable hits : int;
+    mutable misses : int;
+    (* The stack and signer the cached entries were computed under;
+       pinned on first use so accidental sharing across different
+       pipelines falls back to real runs instead of serving wrong
+       bytes. *)
+    mutable key_filters : Rewrite.Filter.t list option;
+    mutable key_signer : Dsig.Sign.key option option;
+  }
+
+  let create ?(cap = 1024) () =
+    {
+      tbl = Hashtbl.create 64;
+      cap;
+      hits = 0;
+      misses = 0;
+      key_filters = None;
+      key_signer = None;
+    }
+
+  let hits t = t.hits
+  let misses t = t.misses
+
+  (* Physical equality is the right notion for both: filter lists are
+     built once per experiment and shared across the pool, and a key is
+     a value the caller threads around, not something reconstructed per
+     request. *)
+  let matches t filters signer =
+    (match t.key_filters with None -> true | Some fs -> fs == filters)
+    && match t.key_signer with
+       | None -> true
+       | Some None -> signer = None
+       | Some (Some k) -> ( match signer with Some k' -> k == k' | None -> false)
+
+  let pin t filters signer =
+    if t.key_filters = None then begin
+      t.key_filters <- Some filters;
+      t.key_signer <- Some signer
+    end
+end
+
+let run ?memo ?signer filters (bytes : string) : outcome =
+  match memo with
+  | None -> run_uncached ?signer filters bytes
+  | Some m when not (Memo.matches m filters signer) ->
+    run_uncached ?signer filters bytes
+  | Some m -> (
+    Memo.pin m filters signer;
+    let live = Telemetry.Global.on () in
+    match Hashtbl.find_opt m.Memo.tbl bytes with
+    | Some e when e.Memo.me_telemetry = live ->
+      m.Memo.hits <- m.Memo.hits + 1;
+      (match e.Memo.me_tape with
+      | Some tape -> Telemetry.replay Telemetry.default tape
+      | None -> ());
+      e.Memo.me_outcome
+    | _ ->
+      m.Memo.misses <- m.Memo.misses + 1;
+      let o, tape =
+        Telemetry.capture Telemetry.default (fun () ->
+            run_uncached ?signer filters bytes)
+      in
+      (match tape with
+      | Some _ when Hashtbl.length m.Memo.tbl < m.Memo.cap ->
+        Hashtbl.replace m.Memo.tbl bytes
+          { Memo.me_outcome = o; me_tape = tape; me_telemetry = live }
+      | _ -> ());
       o)
 
 (* Ablation: the naive structure that re-parses and re-generates
@@ -168,11 +295,18 @@ let run_parse_per_service ?signer filters bytes : outcome =
       | cf -> (
         let tc = transform_cost_of cf in
         match Rewrite.Filter.apply f cf with
-        | cf' ->
-          let out = Bytecode.Encode.class_to_bytes cf' in
-          go out (Int64.add acc_parse parse) (Int64.add acc_transform tc)
-            (Int64.add acc_generate (generate_cost_of out))
-            (parses + 1) rest
+        | cf' -> (
+          (* Same §3.1 conversion as [run]: an encoding-limit overflow
+             is a rejection naming the oversized field. *)
+          match Bytecode.Encode.class_to_bytes cf' with
+          | out ->
+            go out (Int64.add acc_parse parse) (Int64.add acc_transform tc)
+              (Int64.add acc_generate (generate_cost_of out))
+              (parses + 1) rest
+          | exception Bytecode.Io.Overflow reason ->
+            (bytes, Int64.add acc_parse parse, Int64.add acc_transform tc,
+             acc_generate, parses + 1,
+             Some ("encode", reason, cf'.Bytecode.Classfile.name)))
         | exception Rewrite.Filter.Rejected { filter; cls; reason } ->
           (bytes, Int64.add acc_parse parse, Int64.add acc_transform tc,
            acc_generate, parses + 1, Some (filter, reason, cls))))

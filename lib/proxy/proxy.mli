@@ -53,6 +53,7 @@ type t = Node.t = {
   origin_latency : string -> Simnet.Engine.time;
   origin_bandwidth_bps : int;
   signer : Dsig.Sign.key option;
+  memo : Pipeline.Memo.t option;  (** optional host-CPU outcome memo *)
   audit : Monitor.Audit.t option;
   working_set_factor : int;
   inflight : (string, waiter list ref) Hashtbl.t;
@@ -78,6 +79,7 @@ val create :
   ?cpu_factor:float ->
   ?host_name:string ->
   ?l2:Cache.t ->
+  ?memo:Pipeline.Memo.t ->
   ?l2_lookup_us:int ->
   ?l2_bandwidth_bps:int ->
   ?admission:Admission.t ->
@@ -93,7 +95,10 @@ val create :
     second tier: a miss found there costs [l2_lookup_us] (default
     1500) plus the transfer at [l2_bandwidth_bps] (default 100 Mb/s)
     instead of a pipeline run, and a cache-cold restarted shard
-    rewarms from its peers' work. *)
+    rewarms from its peers' work. [memo] (also shareable pool-wide)
+    memoizes pipeline outcomes on the host CPU — see
+    {!Pipeline.Memo}; simulated costs and served bytes are unchanged,
+    the wall-clock work of re-running identical inputs is skipped. *)
 
 val request :
   ?on_fail:(unit -> unit) -> ?deadline:int64 -> ?trace:Telemetry.Trace.ctx ->

@@ -66,8 +66,16 @@ let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
   (* Old branch target t skips any fall-through-only blocks but runs
      the redirected ones. *)
   let retarget t = start.(t) + fall_len_at t in
-  let out = ref [] in
-  let emit i = out := i :: !out in
+  (* The new length is known up front (start already accounts for every
+     block), so the result is written straight into an exact-size array
+     instead of accumulating a list and reversing. *)
+  let total = start.(n) + block_len_at n in
+  let instrs = Array.make (max total 1) I.Nop in
+  let next = ref 0 in
+  let emit i =
+    instrs.(!next) <- i;
+    incr next
+  in
   let emit_blocks i =
     let base = ref start.(i) in
     List.iter
@@ -83,7 +91,7 @@ let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
   done;
   (* Trailing block at index n, if any. *)
   emit_blocks n;
-  let instrs = Array.of_list (List.rev !out) in
+  let instrs = if total = 0 then [||] else instrs in
   let handlers =
     List.map
       (fun h ->

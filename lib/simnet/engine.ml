@@ -56,6 +56,10 @@ module Heap = struct
       done;
       Some top
     end
+
+  (* The horizon check only needs to *look* at the earliest event; a
+     pop-then-push round trip costs two sift passes for nothing. *)
+  let peek h = if h.size = 0 then None else Some h.data.(0)
 end
 
 type t = {
@@ -63,11 +67,23 @@ type t = {
   heap : Heap.t;
   mutable next_seq : int;
   mutable events_processed : int;
+  (* During a run, per-event counter updates are batched into these and
+     flushed once when the loop exits — the totals (and the final
+     queue-depth gauge, which is the heap size at exit) are exactly
+     what the per-event writes produced, without two hashtable lookups
+     per event. *)
+  mutable in_run : bool;
+  mutable sched_batch : int;
   (* Optional deterministic event trace: models call [record] at the
      points they consider observable (a request served, a shard chosen)
-     and tests compare whole traces across runs. Newest first. *)
+     and tests compare whole traces across runs. Newest first. An
+     optional cap bounds the buffer; records past it are counted, not
+     kept. *)
   mutable tracing : bool;
   mutable trace_buf : (time * string) list;
+  mutable trace_len : int;
+  mutable trace_cap : int option;
+  mutable trace_dropped : int;
 }
 
 let create () =
@@ -76,54 +92,93 @@ let create () =
     heap = Heap.create ();
     next_seq = 0;
     events_processed = 0;
+    in_run = false;
+    sched_batch = 0;
     tracing = false;
     trace_buf = [];
+    trace_len = 0;
+    trace_cap = None;
+    trace_dropped = 0;
   }
 
 let now t = t.now
 
 let set_tracing t on =
   t.tracing <- on;
-  t.trace_buf <- []
+  t.trace_buf <- [];
+  t.trace_len <- 0;
+  t.trace_dropped <- 0
 
-let record t label = if t.tracing then t.trace_buf <- (t.now, label) :: t.trace_buf
+let set_trace_cap t cap =
+  (match cap with
+  | Some c when c < 0 -> invalid_arg "Engine.set_trace_cap: negative cap"
+  | Some _ | None -> ());
+  t.trace_cap <- cap
+
+let record t label =
+  if t.tracing then begin
+    match t.trace_cap with
+    | Some cap when t.trace_len >= cap ->
+      t.trace_dropped <- t.trace_dropped + 1
+    | Some _ | None ->
+      t.trace_buf <- (t.now, label) :: t.trace_buf;
+      t.trace_len <- t.trace_len + 1
+  end
 
 let trace t = List.rev t.trace_buf
+let trace_dropped t = t.trace_dropped
 
 let schedule_at t at fn =
   let at = if Int64.compare at t.now < 0 then t.now else at in
   Heap.push t.heap { at; seq = t.next_seq; fn };
   t.next_seq <- t.next_seq + 1;
-  if Telemetry.Global.on () then begin
-    Telemetry.Global.incr "simnet.events.scheduled";
-    Telemetry.Global.set_gauge "simnet.queue.depth"
-      (Int64.of_int t.heap.Heap.size)
-  end
+  if Telemetry.Global.on () then
+    if t.in_run then t.sched_batch <- t.sched_batch + 1
+    else begin
+      Telemetry.Global.incr "simnet.events.scheduled";
+      Telemetry.Global.set_gauge "simnet.queue.depth"
+        (Int64.of_int t.heap.Heap.size)
+    end
 
 let schedule t ~delay fn = schedule_at t (Int64.add t.now delay) fn
 
 let run_loop ?until t =
-  let continue = ref true in
-  while !continue do
-    match Heap.pop t.heap with
-    | None -> continue := false
-    | Some e -> (
-      match until with
-      | Some stop when Int64.compare e.at stop > 0 ->
-        (* Past the horizon: put it back and stop. *)
-        Heap.push t.heap e;
-        t.now <- stop;
-        continue := false
-      | Some _ | None ->
-        t.now <- e.at;
-        t.events_processed <- t.events_processed + 1;
-        if Telemetry.Global.on () then begin
-          Telemetry.Global.incr "simnet.events.processed";
-          Telemetry.Global.set_gauge "simnet.queue.depth"
-            (Int64.of_int t.heap.Heap.size)
-        end;
-        e.fn ())
-  done
+  let processed = ref 0 in
+  let flush () =
+    t.in_run <- false;
+    if (!processed > 0 || t.sched_batch > 0) && Telemetry.Global.on () then begin
+      if t.sched_batch > 0 then
+        Telemetry.Global.add "simnet.events.scheduled"
+          (Int64.of_int t.sched_batch);
+      if !processed > 0 then
+        Telemetry.Global.add "simnet.events.processed"
+          (Int64.of_int !processed);
+      (* The last per-event gauge write always reflected the heap as it
+         stood when the loop exited — one write says the same thing. *)
+      Telemetry.Global.set_gauge "simnet.queue.depth"
+        (Int64.of_int t.heap.Heap.size)
+    end;
+    t.sched_batch <- 0
+  in
+  t.in_run <- true;
+  Fun.protect ~finally:flush (fun () ->
+      let continue = ref true in
+      while !continue do
+        match Heap.peek t.heap with
+        | None -> continue := false
+        | Some e -> (
+          match until with
+          | Some stop when Int64.compare e.at stop > 0 ->
+            (* Past the horizon: leave it queued and stop. *)
+            t.now <- stop;
+            continue := false
+          | Some _ | None ->
+            ignore (Heap.pop t.heap);
+            t.now <- e.at;
+            t.events_processed <- t.events_processed + 1;
+            if Telemetry.Global.on () then incr processed;
+            e.fn ())
+      done)
 
 let run_inner ?until t =
   if not (Telemetry.Global.on ()) then run_loop ?until t

@@ -35,6 +35,16 @@ val record : t -> string -> unit
 val trace : t -> (time * string) list
 (** The recorded trace, in chronological (firing) order. *)
 
+val set_trace_cap : t -> int option -> unit
+(** Bound the trace buffer: once it holds that many records, further
+    {!record} calls count into {!trace_dropped} instead of growing the
+    buffer. [None] (the default) is unbounded. The cap applies from
+    now on — an already-larger buffer is left intact.
+    @raise Invalid_argument on a negative cap. *)
+
+val trace_dropped : t -> int
+(** Records dropped by the cap since tracing was last (re)enabled. *)
+
 (** Time constructors and conversions. *)
 
 val us : int -> time

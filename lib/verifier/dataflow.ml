@@ -27,20 +27,12 @@ exception Fail of string
 
 let failv fmt = Format.kasprintf (fun s -> raise (Fail s)) fmt
 
-let frame_equal a b =
-  List.length a.stack = List.length b.stack
-  && List.for_all2 V.equal a.stack b.stack
-  && Array.for_all2 V.equal a.locals b.locals
-
-let merge_frames oracle a b =
-  if List.length a.stack <> List.length b.stack then
-    failv "stack height mismatch at merge (%d vs %d)" (List.length a.stack)
-      (List.length b.stack)
-  else
-    {
-      locals = Array.map2 (V.merge oracle) a.locals b.locals;
-      stack = List.map2 (V.merge oracle) a.stack b.stack;
-    }
+(* Frames merge on every edge of every worklist step, and at a
+   fixpoint almost every merge leaves the stored frame unchanged — so
+   merging is copy-on-write: the stored locals array is duplicated only
+   when some slot actually widens, and the stored stack list is reused
+   when no stack slot changes. Merge order (locals first, then stack,
+   both left to right) matches the old Array.map2/List.map2 pass. *)
 
 let throwable = "java/lang/Throwable"
 
@@ -121,18 +113,23 @@ let entry_frame ctx (m : CF.meth) (code : CF.code) =
 
 (* Simulate one instruction on a mutable working frame. Returns the
    list of successor indices (exception edges handled by caller). *)
-let step ctx (m : CF.meth) (code : CF.code) ~jsr_sites idx frame =
+let step ctx ~method_sig (code : CF.code) ~jsr_sites idx frame =
   let max_stack = code.CF.max_stack in
   let locals = frame.locals in
   let stack = ref frame.stack in
+  (* Depth tracked incrementally: the overflow check was O(depth) per
+     push via List.length. *)
+  let depth = ref (List.length frame.stack) in
   let push v =
-    if List.length !stack >= max_stack then failv "operand stack overflow";
+    if !depth >= max_stack then failv "operand stack overflow";
+    incr depth;
     stack := v :: !stack
   in
   let pop () =
     match !stack with
     | [] -> failv "operand stack underflow"
     | v :: rest ->
+      decr depth;
       stack := rest;
       v
   in
@@ -171,7 +168,6 @@ let step ctx (m : CF.meth) (code : CF.code) ~jsr_sites idx frame =
   let push_ret sg =
     match sg.D.ret with None -> () | Some ty -> push (V.of_desc_ty ty)
   in
-  let method_sig = sig_of m.CF.m_desc in
   let insn = code.CF.instrs.(idx) in
   tick ctx;
   let fall = [ idx + 1 ] in
@@ -529,16 +525,42 @@ let verify_method oracle asms (cf : CF.t) (m : CF.meth) : result =
       code.CF.instrs;
     let frames : frame option array = Array.make n None in
     let queue = Queue.create () in
-    let merge_into idx fr =
+    (* [locals]/[stack] are NOT retained as-is: the first-visit branch
+       copies the array, and the merge branch writes into (a copy of)
+       the stored frame — so callers may pass a working array shared
+       between successors. *)
+    let merge_into idx locals stack =
       if idx < 0 || idx >= n then failv "flow to out-of-range index %d" idx;
       match frames.(idx) with
       | None ->
-        frames.(idx) <- Some fr;
+        frames.(idx) <- Some { locals = Array.copy locals; stack };
         Queue.add idx queue
       | Some old ->
-        let merged = merge_frames ctx.oracle old fr in
-        if not (frame_equal merged old) then begin
-          frames.(idx) <- Some merged;
+        if List.length old.stack <> List.length stack then
+          failv "stack height mismatch at merge (%d vs %d)"
+            (List.length old.stack) (List.length stack);
+        let merged_locals = ref old.locals in
+        let locals_changed = ref false in
+        Array.iteri
+          (fun i ov ->
+            let m = V.merge ctx.oracle ov locals.(i) in
+            if not (V.equal m ov) then begin
+              if not !locals_changed then begin
+                merged_locals := Array.copy old.locals;
+                locals_changed := true
+              end;
+              !merged_locals.(i) <- m
+            end)
+          old.locals;
+        let merged_stack = List.map2 (V.merge ctx.oracle) old.stack stack in
+        let stack_changed = not (List.for_all2 V.equal merged_stack old.stack) in
+        if !locals_changed || stack_changed then begin
+          frames.(idx) <-
+            Some
+              {
+                locals = !merged_locals;
+                stack = (if stack_changed then merged_stack else old.stack);
+              };
           Queue.add idx queue
         end
     in
@@ -551,13 +573,17 @@ let verify_method oracle asms (cf : CF.t) (m : CF.meth) : result =
                Assumptions.add ctx.asms ~scope:ctx.scope
                  (Assumptions.Class_exists catch));
             tick ctx;
-            merge_into h.CF.h_target
-              { locals = Array.copy entry_locals; stack = [ V.Ref catch ] }
+            merge_into h.CF.h_target entry_locals [ V.Ref catch ]
           end)
         code.CF.handlers
     in
     try
-      merge_into 0 (entry_frame ctx m code);
+      (* Parsed once per method, not once per worklist step; inside the
+         try so a bad descriptor still reports as a verification error
+         exactly as before (entry_frame parsed it first anyway). *)
+      let method_sig = D.method_sig_of_string m.CF.m_desc in
+      let entry = entry_frame ctx m code in
+      merge_into 0 entry.locals entry.stack;
       let rounds = ref 0 in
       while not (Queue.is_empty queue) do
         incr rounds;
@@ -570,11 +596,8 @@ let verify_method oracle asms (cf : CF.t) (m : CF.meth) : result =
              locals as they were when the covered instruction began. *)
           handler_edges idx fr.locals;
           let work = { locals = Array.copy fr.locals; stack = fr.stack } in
-          let out, succs = step ctx m code ~jsr_sites idx work in
-          List.iter
-            (fun s ->
-              merge_into s { locals = Array.copy out.locals; stack = out.stack })
-            succs
+          let out, succs = step ctx ~method_sig code ~jsr_sites idx work in
+          List.iter (fun s -> merge_into s out.locals out.stack) succs
       done;
       { r_errors = []; r_checks = ctx.checks }
     with

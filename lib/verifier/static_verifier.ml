@@ -96,17 +96,21 @@ let rewrite_with_assumptions (cf : CF.t) (asms : Assumptions.t) :
   let deferred = ref 0 in
   let guarded = ref 0 in
   let class_wide = Assumptions.class_wide asms in
-  let methods =
+  (* The pool builder is append-only and interning, so guard prologues
+     are patched in first and every refit runs against one final pool
+     snapshot — identical bounds, without an [Array.sub] of the whole
+     pool per guarded method. *)
+  let patched =
     List.map
       (fun m ->
         match m.CF.m_code with
-        | None -> m
+        | None -> Either.Left m
         | Some code ->
           let key = m.CF.m_name ^ m.CF.m_desc in
           let own = Assumptions.for_method asms key in
           let is_clinit = String.equal m.CF.m_name "<clinit>" in
           let checks = if is_clinit then own @ class_wide else own in
-          if checks = [] then m
+          if checks = [] then Either.Left m
           else begin
             deferred := !deferred + List.length checks;
             incr guarded;
@@ -130,27 +134,45 @@ let rewrite_with_assumptions (cf : CF.t) (asms : Assumptions.t) :
               Rewrite.Patch.apply_insertions code
                 [ Rewrite.Patch.before 0 block ]
             in
-            let sg = D.method_sig_of_string m.CF.m_desc in
-            let code =
-              Rewrite.Patch.refit_bounds (CP.Builder.to_pool pool)
-                ~params:(D.param_slots sg)
-                ~is_static:(CF.has_flag m.CF.m_flags CF.Static)
-                code
-            in
-            { m with CF.m_code = Some code }
+            Either.Right (m, code)
           end)
       cf.CF.methods
   in
   (* Class-wide assumptions need a <clinit>; synthesize one if the
      class has none. *)
-  let methods =
+  let synthesized_clinit =
     if
       class_wide <> []
-      && not (List.exists (fun m -> String.equal m.CF.m_name "<clinit>") methods)
+      && not
+           (List.exists
+              (fun (m : CF.meth) -> String.equal m.CF.m_name "<clinit>")
+              cf.CF.methods)
     then begin
       deferred := !deferred + List.length class_wide;
       let block = List.concat_map (check_call pool) class_wide in
-      let instrs = Array.of_list (block @ [ I.Return ]) in
+      Some (Array.of_list (block @ [ I.Return ]))
+    end
+    else None
+  in
+  let final_pool = CP.Builder.to_pool pool in
+  let methods =
+    List.map
+      (function
+        | Either.Left m -> m
+        | Either.Right (m, code) ->
+          let sg = D.method_sig_of_string m.CF.m_desc in
+          let code =
+            Rewrite.Patch.refit_bounds final_pool ~params:(D.param_slots sg)
+              ~is_static:(CF.has_flag m.CF.m_flags CF.Static)
+              code
+          in
+          { m with CF.m_code = Some code })
+      patched
+  in
+  let methods =
+    match synthesized_clinit with
+    | None -> methods
+    | Some instrs ->
       let clinit =
         {
           CF.m_name = "<clinit>";
@@ -160,8 +182,7 @@ let rewrite_with_assumptions (cf : CF.t) (asms : Assumptions.t) :
             Some
               {
                 CF.max_stack =
-                  Bytecode.Builder.estimate_max_stack
-                    (CP.Builder.to_pool pool) instrs;
+                  Bytecode.Builder.estimate_max_stack final_pool instrs;
                 max_locals = 1;
                 instrs;
                 handlers = [];
@@ -169,14 +190,12 @@ let rewrite_with_assumptions (cf : CF.t) (asms : Assumptions.t) :
         }
       in
       methods @ [ clinit ]
-    end
-    else methods
   in
   ( {
       cf with
       CF.methods;
       fields = cf.CF.fields @ List.rev !new_fields;
-      pool = CP.Builder.to_pool pool;
+      pool = final_pool;
     },
     !deferred,
     !guarded )

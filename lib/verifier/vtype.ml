@@ -18,6 +18,8 @@ type t =
   | Retaddr of int (* subroutine entry index *)
 
 let equal a b =
+  a == b
+  ||
   match (a, b) with
   | Top, Top | VInt, VInt | Null, Null -> true
   | Ref x, Ref y -> String.equal x y

@@ -313,6 +313,99 @@ let test_size_accounting () =
     (Enc.class_size cls);
   check Alcotest.bool "non-trivial" true (Enc.class_size cls > 100)
 
+(* --- Writer overflow (regression). ---
+
+   The u2/i2/str writers used to mask out-of-range values with [land
+   0xff] per byte, silently corrupting any class whose pool, table or
+   string outgrew a 16-bit field. They must raise [Overflow] instead. *)
+
+let expect_overflow what f =
+  match f () with
+  | () -> fail (what ^ ": expected Overflow")
+  | exception Bytecode.Io.Overflow _ -> ()
+
+let test_writer_overflow () =
+  let module W = Bytecode.Io.Writer in
+  expect_overflow "u2 65536" (fun () -> W.u2 (W.create ()) 65536);
+  expect_overflow "u2 negative" (fun () -> W.u2 (W.create ()) (-1));
+  expect_overflow "i2 32768" (fun () -> W.i2 (W.create ()) 32768);
+  expect_overflow "i2 -32769" (fun () -> W.i2 (W.create ()) (-32769));
+  (* a length-prefixed string over 64 KiB - 1 *)
+  expect_overflow "str 65536 bytes" (fun () ->
+      W.str (W.create ()) (String.make 65536 'x'));
+  (* boundary values still encode *)
+  let w = W.create () in
+  W.u2 w 65535;
+  W.i2 w (-32768);
+  W.i2 w 32767;
+  W.str w (String.make 65535 'x');
+  check Alcotest.int "boundary bytes" (2 + 2 + 2 + 2 + 65535)
+    (String.length (W.contents w))
+
+let test_encode_overwide_table () =
+  (* A method whose locals outgrow the u2 max_locals field: the encoder
+     must refuse the class rather than emit a truncated count. *)
+  let cls = sample_class () in
+  let cls =
+    {
+      cls with
+      CF.methods =
+        List.map
+          (fun m ->
+            match m.CF.m_code with
+            | None -> m
+            | Some c ->
+              { m with CF.m_code = Some { c with CF.max_locals = 70_000 } })
+          cls.CF.methods;
+    }
+  in
+  expect_overflow "max_locals 70000" (fun () ->
+      ignore (Enc.class_to_bytes cls))
+
+(* --- Reader slice boundaries. ---
+
+   [Reader.sub] readers share the parent's backing buffer; the
+   interesting cases are the edges: empty slices, slices ending exactly
+   at the parent's end, and slices of slices. *)
+
+let test_reader_slice_boundaries () =
+  let module R = Bytecode.Io.Reader in
+  let r = R.of_string "\x00\x01\x02\x03\x04\x05\x06\x07" in
+  (* empty slice: valid, immediately at end, parent not advanced past it *)
+  let empty = R.sub r 0 in
+  check Alcotest.bool "empty slice at_end" true (R.at_end empty);
+  check Alcotest.int "empty slice pos" 0 (R.pos empty);
+  (match R.u1 empty with
+  | _ -> fail "read past empty slice"
+  | exception Bytecode.Io.Truncated _ -> ());
+  check Alcotest.int "parent pos unchanged" 0 (R.pos r);
+  (* nested slices: positions are relative to each slice's start *)
+  check Alcotest.int "parent u2" 0x0001 (R.u2 r);
+  let outer = R.sub r 4 in
+  check Alcotest.int "outer pos" 0 (R.pos outer);
+  check Alcotest.int "outer u1" 2 (R.u1 outer);
+  let inner = R.sub outer 2 in
+  check Alcotest.int "inner pos" 0 (R.pos inner);
+  check Alcotest.int "inner u2" 0x0304 (R.u2 inner);
+  check Alcotest.bool "inner at_end" true (R.at_end inner);
+  (* the outer slice advanced past the inner's bytes *)
+  check Alcotest.int "outer u1 after inner" 5 (R.u1 outer);
+  check Alcotest.bool "outer at_end" true (R.at_end outer);
+  (match R.u1 outer with
+  | _ -> fail "read past outer slice"
+  | exception Bytecode.Io.Truncated _ -> ());
+  (* slice ending exactly at the parent's end *)
+  check Alcotest.int "parent resumes after slice" 6 (R.pos r);
+  let tail = R.sub r 2 in
+  check Alcotest.bool "parent at_end" true (R.at_end r);
+  check Alcotest.int "tail u2" 0x0607 (R.u2 tail);
+  check Alcotest.bool "tail at_end" true (R.at_end tail);
+  (* a slice cannot extend past its parent's remaining bytes *)
+  let r2 = R.of_string "ab" in
+  match R.sub r2 3 with
+  | _ -> fail "oversized slice accepted"
+  | exception Bytecode.Io.Truncated _ -> ()
+
 (* --- Disassembler smoke. --- *)
 
 let test_disasm () =
@@ -447,6 +540,14 @@ let () =
           Alcotest.test_case "misaligned branch" `Quick
             test_decode_misaligned_branch;
           Alcotest.test_case "size accounting" `Quick test_size_accounting;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "writer overflow" `Quick test_writer_overflow;
+          Alcotest.test_case "over-wide table" `Quick
+            test_encode_overwide_table;
+          Alcotest.test_case "reader slice boundaries" `Quick
+            test_reader_slice_boundaries;
         ] );
       ("disasm", [ Alcotest.test_case "smoke" `Quick test_disasm ]);
       ("properties", qt);

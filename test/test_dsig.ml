@@ -39,6 +39,14 @@ let test_block_boundaries () =
   check Alcotest.int "all distinct" (List.length digests)
     (List.length (List.sort_uniq String.compare digests))
 
+(* The production digest routes through the runtime's C MD5; the
+   from-the-spec implementation stays as the readable reference. They
+   must agree bit for bit on arbitrary input. *)
+let prop_md5_spec_agrees =
+  QCheck.Test.make ~name:"md5 spec implementation agrees with digest" ~count:300
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 300))
+    (fun s -> String.equal (Dsig.Md5.digest s) (Dsig.Md5.digest_spec s))
+
 let prop_md5_deterministic =
   QCheck.Test.make ~name:"md5 deterministic, avalanche on 1 byte" ~count:200
     QCheck.(pair (string_of_size (QCheck.Gen.int_range 1 200)) small_nat)
@@ -120,6 +128,7 @@ let () =
           Alcotest.test_case "rfc vectors" `Quick test_rfc_vectors;
           Alcotest.test_case "block boundaries" `Quick test_block_boundaries;
           QCheck_alcotest.to_alcotest prop_md5_deterministic;
+          QCheck_alcotest.to_alcotest prop_md5_spec_agrees;
         ] );
       ( "sign",
         [

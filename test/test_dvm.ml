@@ -135,10 +135,10 @@ let test_fig9_check_costs () =
   let cost_before = vm.Jvm.Vmstate.native_cost in
   check Alcotest.bool "allowed" true
     (Security.Enforcement.allowed ~vm enf "property.get");
-  let first = Int64.sub vm.Jvm.Vmstate.native_cost cost_before in
+  let first = Int64.of_int (vm.Jvm.Vmstate.native_cost - cost_before) in
   let cost_before = vm.Jvm.Vmstate.native_cost in
   ignore (Security.Enforcement.allowed ~vm enf "property.get");
-  let second = Int64.sub vm.Jvm.Vmstate.native_cost cost_before in
+  let second = Int64.of_int (vm.Jvm.Vmstate.native_cost - cost_before) in
   check Alcotest.int64 "download cost" Security.Enforcement.cost_policy_download first;
   check Alcotest.int64 "cached cost" Security.Enforcement.cost_cached_check second;
   (* The DVM cached check is far cheaper than the JDK's stack

@@ -201,6 +201,113 @@ let test_pipeline_signs () =
   check Alcotest.bool "signature valid" true
     (Dsig.Sign.verify [ key ] cf = Dsig.Sign.Valid)
 
+let test_pipeline_encode_overflow_rejects () =
+  (* Regression: an encoding-limit overflow inside code generation used
+     to escape the pipeline as a raw [Io.Overflow] exception (and
+     before that, to silently mask the oversized field). It must become
+     a §3.1 rejection: the client receives an error-propagation
+     replacement class naming the overflow. *)
+  let bytes = Bytecode.Encode.class_to_bytes hello in
+  (* a "service" that inflates a method body's locals past the u2 field *)
+  let inflate_locals =
+    Rewrite.Filter.make ~name:"inflate" (fun cf ->
+        {
+          cf with
+          CF.methods =
+            List.map
+              (fun m ->
+                match m.CF.m_code with
+                | None -> m
+                | Some c ->
+                  { m with CF.m_code = Some { c with CF.max_locals = 70_000 } })
+              cf.CF.methods;
+        })
+  in
+  let out = Proxy.Pipeline.run [ inflate_locals ] bytes in
+  (match out.Proxy.Pipeline.rejected with
+  | Some ("encode", reason) ->
+    check Alcotest.bool "reason names the field" true
+      (String.length reason > 0)
+  | Some (f, _) -> fail ("rejected by unexpected filter " ^ f)
+  | None -> fail "overflowing class accepted");
+  check Alcotest.string "replacement keeps name" "Hello"
+    (Bytecode.Decode.class_of_bytes out.Proxy.Pipeline.out_bytes).CF.name;
+  (* a string constant past the 64 KiB - 1 wire limit trips the same
+     conversion *)
+  let inflate_string =
+    Rewrite.Filter.make ~name:"inflate" (fun cf ->
+        let pool = Bytecode.Cp.Builder.of_pool cf.CF.pool in
+        ignore (Bytecode.Cp.Builder.utf8 pool (String.make 66_000 's'));
+        { cf with CF.pool = Bytecode.Cp.Builder.to_pool pool })
+  in
+  (match Proxy.Pipeline.run [ inflate_string ] bytes with
+  | { Proxy.Pipeline.rejected = Some ("encode", _); _ } -> ()
+  | _ -> fail "oversized string constant accepted");
+  (* the ablation structure degrades identically *)
+  let naive = Proxy.Pipeline.run_parse_per_service [ inflate_locals ] bytes in
+  match naive.Proxy.Pipeline.rejected with
+  | Some ("encode", _) ->
+    check Alcotest.string "ablation: replacement keeps name" "Hello"
+      (Bytecode.Decode.class_of_bytes naive.Proxy.Pipeline.out_bytes).CF.name
+  | _ -> fail "ablation accepted overflowing class"
+
+let test_pipeline_memo_transparent () =
+  (* A memoized pipeline must be observationally identical to an
+     unmemoized one: same outcome bytes and costs, and the same
+     telemetry (the hit replays the first run's tape). *)
+  let bytes = Bytecode.Encode.class_to_bytes hello in
+  let fs = filters () in
+  let reg = Telemetry.default in
+  let snapshot () =
+    ( Telemetry.counters reg,
+      List.map
+        (fun (k, (s : Telemetry.hist_stats)) -> (k, s.Telemetry.count, s.Telemetry.sum_us))
+        (Telemetry.histograms reg),
+      Telemetry.span_count reg )
+  in
+  Telemetry.reset reg;
+  Telemetry.enable reg;
+  (* Pin the duration histograms the way pinned benches do: with a sim
+     clock attached, span durations are simulated time (zero for
+     synchronous CPU work) rather than nondeterministic host time. *)
+  let saved_sim = Telemetry.sim_clock reg in
+  Telemetry.set_sim_clock reg (Some (fun () -> 0L));
+  let plain1 = Proxy.Pipeline.run fs bytes in
+  let plain2 = Proxy.Pipeline.run fs bytes in
+  let reference = snapshot () in
+  Telemetry.reset reg;
+  let memo = Proxy.Pipeline.Memo.create () in
+  let memo1 = Proxy.Pipeline.run ~memo fs bytes in
+  let memo2 = Proxy.Pipeline.run ~memo fs bytes in
+  let memoized = snapshot () in
+  Telemetry.set_sim_clock reg saved_sim;
+  Telemetry.disable reg;
+  check Alcotest.int "one miss" 1 (Proxy.Pipeline.Memo.misses memo);
+  check Alcotest.int "one hit" 1 (Proxy.Pipeline.Memo.hits memo);
+  check Alcotest.string "identical bytes (1st)" plain1.Proxy.Pipeline.out_bytes
+    memo1.Proxy.Pipeline.out_bytes;
+  check Alcotest.string "identical bytes (hit)" plain2.Proxy.Pipeline.out_bytes
+    memo2.Proxy.Pipeline.out_bytes;
+  check Alcotest.int64 "identical cost"
+    (Proxy.Pipeline.total_cost plain2)
+    (Proxy.Pipeline.total_cost memo2);
+  let rc, rh, rs = reference and mc, mh, ms = memoized in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int64))
+    "identical counters" rc mc;
+  check
+    (Alcotest.list
+       (Alcotest.triple Alcotest.string Alcotest.int Alcotest.int64))
+    "identical histograms" rh mh;
+  check Alcotest.int "identical span count" rs ms;
+  (* a different filter stack bypasses the pinned memo instead of
+     serving the wrong entry *)
+  let other = Proxy.Pipeline.run ~memo [ Rewrite.Filter.identity ] bytes in
+  check Alcotest.int "other stack misses the memo" 1
+    (Proxy.Pipeline.Memo.misses memo);
+  check Alcotest.bool "other stack really ran" true
+    (String.equal other.Proxy.Pipeline.out_bytes bytes)
+
 (* --- Wire protocol. --- *)
 
 let test_http_roundtrip () =
@@ -429,6 +536,85 @@ let test_http_deadline_malformed () =
       (* missing blank line *)
       "GET /A DVM/1.0\r\nDeadline-Us: 1\r\n";
     ]
+
+let test_http_strict_decimal_headers () =
+  (* Regression: numeric headers were parsed with [of_string_opt],
+     which accepts OCaml integer literal syntax — radix prefixes and
+     underscore separators. "Deadline-Us: 0x10" parsed as 16, so two
+     spellings of one request hashed and cached differently, and a
+     client could smuggle a surprising deadline past a log reviewer.
+     Wire numerics must be plain decimal digits, nothing else. *)
+  List.iter
+    (fun data ->
+      match Proxy.Httpwire.decode_request_full data with
+      | _ -> fail ("accepted: " ^ String.escaped data)
+      | exception Proxy.Httpwire.Bad_message _ -> ())
+    [
+      "GET /A DVM/1.0\r\nDeadline-Us: 0x10\r\n\r\n";
+      "GET /A DVM/1.0\r\nDeadline-Us: 1_000\r\n\r\n";
+      "GET /A DVM/1.0\r\nDeadline-Us: 0b101\r\n\r\n";
+      "GET /A DVM/1.0\r\nDeadline-Us: 0o17\r\n\r\n";
+      "GET /A DVM/1.0\r\nDeadline-Us: +5\r\n\r\n";
+      "GET /A DVM/1.0\r\nTrace-Id: 00000000000000ab\r\nParent-Span-Id: 0x7\r\n\r\n";
+      "GET /A DVM/1.0\r\nTrace-Id: 00000000000000ab\r\nParent-Span-Id: 1_0\r\n\r\n";
+      "GET /A DVM/1.0\r\nTrace-Id: 00000000000000ab\r\nParent-Span-Id: 0b101\r\n\r\n";
+    ];
+  List.iter
+    (fun data ->
+      match Proxy.Httpwire.decode_response data with
+      | _ -> fail ("accepted: " ^ String.escaped data)
+      | exception Proxy.Httpwire.Bad_message _ -> ())
+    [
+      "DVM/1.0 200\r\nContent-Length: 0x2\r\n\r\nab";
+      "DVM/1.0 200\r\nContent-Length: 1_000\r\n\r\n" ^ String.make 1000 'x';
+      "DVM/1.0 200\r\nContent-Length: 0b10\r\n\r\nab";
+    ];
+  (* plain decimals still parse on both sides *)
+  let req = "GET /A DVM/1.0\r\nDeadline-Us: 16\r\n\r\n" in
+  check (Alcotest.option Alcotest.int64) "plain decimal deadline" (Some 16L)
+    (snd (Proxy.Httpwire.decode_request_deadline req));
+  match Proxy.Httpwire.decode_response "DVM/1.0 200\r\nContent-Length: 2\r\n\r\nab" with
+  | Proxy.Httpwire.Ok_200, "ab" -> ()
+  | _ -> fail "plain decimal content-length must parse"
+
+(* Non-decimal renderings of a number that [Int64.of_string] would
+   happily accept: every one must bounce off the wire parsers. *)
+let arbitrary_nondecimal =
+  QCheck.make
+    ~print:(fun (s, _) -> s)
+    QCheck.Gen.(
+      let* n = int_range 0 0xFFFF in
+      let* render =
+        oneofl
+          [
+            (fun n -> Printf.sprintf "0x%x" n);
+            (fun n -> Printf.sprintf "0X%X" n);
+            (fun n -> Printf.sprintf "0o%o" n);
+            (fun n -> Printf.sprintf "0u%u" n);
+            (fun n ->
+              (* decimal with an underscore separator *)
+              let s = string_of_int n in
+              if String.length s < 2 then "0_" ^ s
+              else String.sub s 0 1 ^ "_" ^ String.sub s 1 (String.length s - 1));
+          ]
+      in
+      return (render n, n))
+
+let prop_numeric_headers_reject_nondecimal =
+  QCheck.Test.make ~name:"numeric headers reject non-decimal spellings"
+    ~count:200 arbitrary_nondecimal (fun (spelling, n) ->
+      (* sanity: the spelling really is the OCaml-literal form of n,
+         i.e. the old lenient parser would have accepted it *)
+      Int64.of_string_opt spelling = Some (Int64.of_int n)
+      && request_rejected
+           (Printf.sprintf "GET /A DVM/1.0\r\nDeadline-Us: %s\r\n\r\n" spelling)
+      && request_rejected
+           (Printf.sprintf
+              "GET /A DVM/1.0\r\nTrace-Id: 00000000000000ab\r\nParent-Span-Id: %s\r\n\r\n"
+              spelling)
+      && response_rejected
+           (Printf.sprintf "DVM/1.0 200\r\nContent-Length: %s\r\n\r\n%s" spelling
+              (String.make (min n 80) 'x')))
 
 let prop_request_deadline_roundtrip =
   QCheck.Test.make ~name:"request+deadline roundtrip" ~count:300
@@ -961,6 +1147,10 @@ let () =
           Alcotest.test_case "parse-per-service rejection parity" `Quick
             test_parse_per_service_rejection_parity;
           Alcotest.test_case "signing" `Quick test_pipeline_signs;
+          Alcotest.test_case "encode overflow rejects" `Quick
+            test_pipeline_encode_overflow_rejects;
+          Alcotest.test_case "memo transparent" `Quick
+            test_pipeline_memo_transparent;
         ] );
       ( "wire",
         [
@@ -977,6 +1167,8 @@ let () =
             test_http_deadline_roundtrip;
           Alcotest.test_case "deadline malformed" `Quick
             test_http_deadline_malformed;
+          Alcotest.test_case "strict decimal headers" `Quick
+            test_http_strict_decimal_headers;
           Alcotest.test_case "trace headers absent" `Quick
             test_http_trace_absent;
           Alcotest.test_case "trace headers malformed" `Quick
@@ -994,6 +1186,7 @@ let () =
             prop_response_roundtrip;
             prop_response_truncation;
             prop_response_trailing_garbage;
+            prop_numeric_headers_reject_nondecimal;
           ] );
       ( "breaker",
         [

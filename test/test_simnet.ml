@@ -35,6 +35,34 @@ let test_run_until () =
   Simnet.Engine.run e;
   check Alcotest.int "rest runs" 2 !fired
 
+let test_trace_cap () =
+  let e = Simnet.Engine.create () in
+  Simnet.Engine.set_tracing e true;
+  Simnet.Engine.set_trace_cap e (Some 3);
+  for i = 1 to 5 do
+    Simnet.Engine.record e (Printf.sprintf "r%d" i)
+  done;
+  check Alcotest.int "buffer capped" 3 (List.length (Simnet.Engine.trace e));
+  check Alcotest.int "overflow counted" 2 (Simnet.Engine.trace_dropped e);
+  check
+    (Alcotest.list Alcotest.string)
+    "oldest records kept" [ "r1"; "r2"; "r3" ]
+    (List.map snd (Simnet.Engine.trace e));
+  (* lifting the cap resumes recording; dropped stays as history *)
+  Simnet.Engine.set_trace_cap e None;
+  Simnet.Engine.record e "r6";
+  check Alcotest.int "uncapped grows" 4 (List.length (Simnet.Engine.trace e));
+  check Alcotest.int "dropped untouched" 2 (Simnet.Engine.trace_dropped e);
+  (* re-enabling tracing clears both the buffer and the counter *)
+  Simnet.Engine.set_tracing e true;
+  check Alcotest.int "cleared" 0 (List.length (Simnet.Engine.trace e));
+  check Alcotest.int "dropped reset" 0 (Simnet.Engine.trace_dropped e);
+  check Alcotest.bool "negative cap rejected" true
+    (try
+       Simnet.Engine.set_trace_cap e (Some (-1));
+       false
+     with Invalid_argument _ -> true)
+
 let test_past_events_clamped () =
   let e = Simnet.Engine.create () in
   let t = ref (-1L) in
@@ -129,6 +157,8 @@ let () =
           Alcotest.test_case "run until" `Quick test_run_until;
           Alcotest.test_case "past events clamped" `Quick
             test_past_events_clamped;
+          Alcotest.test_case "trace cap and dropped counter" `Quick
+            test_trace_cap;
           QCheck_alcotest.to_alcotest prop_heap_orders_events;
         ] );
       ( "link",

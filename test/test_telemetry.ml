@@ -235,6 +235,110 @@ let test_span_cap () =
   check Alcotest.int "capped" 3 (Telemetry.span_count t);
   check Alcotest.int "dropped counted" 2 (Telemetry.dropped_spans t)
 
+(* --- Quantile accuracy property. ---
+
+   The histograms are log₂-bucketed, so a reported quantile is the
+   upper bound of the bucket holding the exact rank-th observation:
+   never below the exact sorted-list quantile, never more than 2× above
+   it (and exactly 0 when the exact quantile is 0). The reported min
+   and max are exact. *)
+
+let exact_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+  sorted.(rank - 1)
+
+let arbitrary_samples =
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map Int64.to_string l))
+    QCheck.Gen.(
+      map
+        (List.map Int64.of_int)
+        (list_size (int_range 1 200)
+           (oneof [ int_bound 10; int_bound 1000; int_bound 1_000_000 ])))
+
+let prop_hist_quantile_bounds =
+  QCheck.Test.make ~name:"hist quantile within log2 bound of exact"
+    ~count:300 arbitrary_samples (fun vs ->
+      let t = fresh () in
+      List.iter (Telemetry.observe t "h") vs;
+      let sorted = Array.of_list vs in
+      Array.sort Int64.compare sorted;
+      match Telemetry.histogram_stats t "h" with
+      | None -> false
+      | Some s ->
+        let within q reported =
+          let exact = exact_quantile sorted q in
+          if Int64.equal exact 0L then Int64.equal reported 0L
+          else
+            Int64.compare exact reported <= 0
+            && Int64.compare reported (Int64.mul 2L exact) <= 0
+        in
+        within 0.5 s.Telemetry.p50_us
+        && within 0.95 s.Telemetry.p95_us
+        && within 0.99 s.Telemetry.p99_us
+        (* monotone in q *)
+        && Int64.compare s.Telemetry.p50_us s.Telemetry.p95_us <= 0
+        && Int64.compare s.Telemetry.p95_us s.Telemetry.p99_us <= 0
+        (* min and max are exact, and bracket every quantile *)
+        && Int64.equal s.Telemetry.min_us sorted.(0)
+        && Int64.equal s.Telemetry.max_us sorted.(Array.length sorted - 1)
+        && Int64.compare s.Telemetry.p99_us s.Telemetry.max_us <= 0)
+
+(* --- Capture/replay. --- *)
+
+let test_capture_replay () =
+  let t = fresh () in
+  Telemetry.set_sim_clock t (Some (fake_clock ~step:0L ()));
+  let work () =
+    Telemetry.incr t "work.count";
+    Telemetry.with_span ~cat:"test" ~observe_hist:"work.us" t "work"
+      (fun () ->
+        Telemetry.add t "work.inner" 5L;
+        Telemetry.observe t "work.len" 17L;
+        Telemetry.set_gauge t "work.gauge" 3L;
+        42)
+  in
+  let v, tape = Telemetry.capture t work in
+  check Alcotest.int "captured result" 42 v;
+  let tape = match tape with Some tp -> tp | None -> Alcotest.fail "no tape" in
+  let spans_before = Telemetry.span_count t in
+  Telemetry.replay t tape;
+  Telemetry.replay t tape;
+  (* three logical executions: counters, histograms and spans all agree *)
+  check Alcotest.int64 "counter x3" 3L (Telemetry.counter_value t "work.count");
+  check Alcotest.int64 "inner counter x3" 15L
+    (Telemetry.counter_value t "work.inner");
+  check Alcotest.int64 "gauge keeps value" 3L
+    (Telemetry.gauge_value t "work.gauge");
+  (match Telemetry.histogram_stats t "work.len" with
+  | Some s ->
+    check Alcotest.int "observations x3" 3 s.Telemetry.count;
+    check Alcotest.int64 "sum x3" 51L s.Telemetry.sum_us
+  | None -> Alcotest.fail "work.len histogram missing");
+  (match Telemetry.histogram_stats t "work.us" with
+  | Some s -> check Alcotest.int "span hist x3" 3 s.Telemetry.count
+  | None -> Alcotest.fail "work.us histogram missing");
+  check Alcotest.int "replay records spans" (spans_before + 2)
+    (Telemetry.span_count t);
+  (* replayed spans get fresh ids *)
+  let ids =
+    List.map (fun sp -> sp.Telemetry.sp_id) (Telemetry.spans t)
+  in
+  check Alcotest.int "ids distinct" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  (* a nested capture yields no tape (the outer capture owns the ops) *)
+  let _, inner =
+    fst (Telemetry.capture t (fun () -> Telemetry.capture t work))
+  in
+  check Alcotest.bool "nested capture refuses" true (inner = None);
+  (* replay on a disabled registry is a no-op *)
+  Telemetry.disable t;
+  Telemetry.replay t tape;
+  Telemetry.enable t;
+  check Alcotest.int64 "disabled replay no-op" 4L
+    (Telemetry.counter_value t "work.count")
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -242,7 +346,10 @@ let () =
         [
           Alcotest.test_case "counters and gauges" `Quick test_counters;
           Alcotest.test_case "histogram stats" `Quick test_histogram;
+          QCheck_alcotest.to_alcotest prop_hist_quantile_bounds;
         ] );
+      ( "replay",
+        [ Alcotest.test_case "capture/replay parity" `Quick test_capture_replay ] );
       ( "spans",
         [
           Alcotest.test_case "nesting and ordering" `Quick test_span_nesting;
