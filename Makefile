@@ -1,4 +1,4 @@
-.PHONY: all build test lint farm-smoke chaos-smoke trace-smoke bench-pin perf-compare check clean
+.PHONY: all build test lint certify-smoke farm-smoke chaos-smoke trace-smoke bench-pin perf-compare check clean
 
 all: build
 
@@ -13,6 +13,16 @@ test:
 # that changes across an encode/decode round trip.
 lint:
 	dune exec bin/dvmctl.exe -- lint
+	dune exec bin/dvmctl.exe -- certify --small
+
+# Certified-rewriting smoke: rewrite the full bundled workloads with
+# certificate emission on and translation-validate every class from its
+# wire image (must be 0 failures), then run the seeded mutation harness
+# over the small builds — corrupted rewriter output / tampered
+# certificates must be killed by the verifier or the certifier at a
+# kill rate of at least 0.9. dvmctl exits nonzero on either front.
+certify-smoke:
+	dune exec bin/dvmctl.exe -- certify --mutate --seed 20260808 --count 3 --min-kill 0.9
 
 # Smoke-scale run of the proxy-farm experiment: a quick shard sweep
 # with caching off (the scaling curve) and one cached run exercising
@@ -50,8 +60,10 @@ bench-pin:
 	dune exec bench/main.exe -- faults
 	dune exec bench/main.exe -- farm
 	dune exec bench/main.exe -- chaos
-	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json
-	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json
+	dune exec bench/main.exe -- elide
+	dune exec bench/main.exe -- certify
+	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_elide.json BENCH_certify.json
+	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_elide.json BENCH_certify.json
 
 # Perf compare: the bench perf phase re-runs the pinned phases, exits
 # non-zero if any served byte, digest or metric drifts from the
@@ -60,8 +72,8 @@ bench-pin:
 # diff is a second, independent net over the same files.
 perf-compare:
 	dune exec bench/main.exe -- perf
-	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json
-	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json
+	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_elide.json BENCH_certify.json
+	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_elide.json BENCH_certify.json
 
 # The gate a PR must pass: everything builds, every test is green, and
 # no build artifacts are tracked or dirtying the tree.
@@ -69,6 +81,7 @@ check:
 	dune build @all
 	dune runtest
 	dune exec bin/dvmctl.exe -- lint
+	$(MAKE) certify-smoke
 	$(MAKE) farm-smoke
 	$(MAKE) chaos-smoke
 	$(MAKE) trace-smoke

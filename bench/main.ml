@@ -41,7 +41,7 @@ let telemetry_wanted =
    [perf] phase reports the wall_ms columns as the speed record. *)
 let bench_summary : (string * string) list ref = ref []
 let bench_put k v = bench_summary := !bench_summary @ [ (k, v) ]
-let write_bench ~wall_ms name =
+let write_bench ?(hists = true) ~wall_ms name =
   (* The virtual/wall ratio gauge is the one wall-clock-derived metric;
      zero it so the file stays byte-stable across runs. *)
   Telemetry.set_gauge Telemetry.default "simnet.virtual_wall_ratio_x1000" 0L;
@@ -65,7 +65,18 @@ let write_bench ~wall_ms name =
     \  \"metrics\": %s\n\
      }\n"
     name wall_ms summary
-    (Telemetry.metrics_json Telemetry.default);
+    (if hists then Telemetry.metrics_json Telemetry.default
+     else begin
+       (* Phases that run on the host clock (no simnet engine) have
+          wall-time histograms that drift run to run; pin only the
+          deterministic counters and gauges for those. *)
+       let kv (k, v) =
+         Printf.sprintf "\"%s\":%Ld" (Telemetry.json_escape k) v
+       in
+       Printf.sprintf "{\"counters\":{%s},\"gauges\":{%s},\"histograms\":[]}"
+         (String.concat "," (List.map kv (Telemetry.counters Telemetry.default)))
+         (String.concat "," (List.map kv (Telemetry.gauges Telemetry.default)))
+     end);
   close_out oc;
   Printf.printf "\n--- %s: wrote %s ---\n" name path
 
@@ -73,7 +84,7 @@ let write_bench ~wall_ms name =
    JSON line (name, count, p50/p95/p99, ...) for machine consumers,
    and writes the BENCH_<phase>.json baseline — the load/fault phases
    where tail latency is the result. *)
-let with_phase ?(json = false) name f =
+let with_phase ?(json = false) ?(hists = true) name f =
   if not telemetry_wanted then f ()
   else begin
     Telemetry.reset Telemetry.default;
@@ -90,7 +101,7 @@ let with_phase ?(json = false) name f =
           let wall_ms =
             int_of_float ((Unix.gettimeofday () -. t0) *. 1000.0)
           in
-          write_bench ~wall_ms name
+          write_bench ~hists ~wall_ms name
         end;
         Telemetry.disable Telemetry.default)
       f
@@ -785,34 +796,6 @@ let micro () =
    and without nullness/range facts. Program output must be
    byte-identical either way. *)
 
-let elide_policy (app : Workloads.Appgen.app) =
-  let perm = "work." ^ app.Workloads.Appgen.spec.Workloads.Appgen.name in
-  let workers =
-    List.filter
-      (fun (c : Bytecode.Classfile.t) ->
-        List.exists
-          (fun (m : Bytecode.Classfile.meth) ->
-            String.equal m.Bytecode.Classfile.m_name "hot")
-          c.Bytecode.Classfile.methods)
-      app.Workloads.Appgen.classes
-  in
-  let ops =
-    List.map
-      (fun (c : Bytecode.Classfile.t) ->
-        Printf.sprintf {|<operation permission="%s" class="%s" method="*"/>|}
-          perm c.Bytecode.Classfile.name)
-      workers
-  in
-  Security.Policy_xml.parse
-    (Printf.sprintf
-       {|<policy default="allow">
-           <domain name="apps"><grant permission="%s"/></domain>
-           %s
-           <principal classprefix="" domain="apps"/>
-         </policy>|}
-       perm
-       (String.concat "\n" ops))
-
 let elide () =
   section "Redundant-check elision (proxy-side dataflow analysis)";
   Printf.printf
@@ -824,7 +807,7 @@ let elide () =
   List.iter
     (fun spec ->
       let app = Workloads.Apps.build_small spec in
-      let policy = elide_policy app in
+      let policy = Dvm.Certification.covering_policy app in
       let arch = Dvm.Experiment.Dvm { cached = false } in
       let off = Dvm.Experiment.run ~policy ~elide:false ~arch app in
       Analysis.Pass.clear ();
@@ -846,14 +829,97 @@ let elide () =
         < off.Dvm.Experiment.r_enforcement_checks
         && g_on < g_off && same_output
       then incr improved;
+      (* Pin the per-app elision effect and the program-output digest:
+         any rewriter or certifier change that alters served behavior
+         shows up as a baseline diff here. *)
+      bench_put spec.Workloads.Appgen.name
+        (Printf.sprintf
+           {|{"checks_off":%d,"checks_on":%d,"guards_off":%d,"guards_on":%d,"same_output":%b,"output_md5":"%s"}|}
+           off.Dvm.Experiment.r_enforcement_checks
+           on.Dvm.Experiment.r_enforcement_checks g_off g_on same_output
+           (Dsig.Md5.hex_digest on.Dvm.Experiment.r_output));
       Printf.printf "%-11s %12d %12d %12d %12d %9b\n"
         spec.Workloads.Appgen.name off.Dvm.Experiment.r_enforcement_checks
         on.Dvm.Experiment.r_enforcement_checks g_off g_on same_output)
     Workloads.Apps.all_specs;
+  bench_put "improved" (string_of_int !improved);
   Printf.printf
     "\n%d of 5 workloads run strictly fewer checks and carry strictly fewer\n\
      guards with elision on (bar: >= 3), outputs byte-identical.\n"
     !improved
+
+(* --- Certify: translation validation of the rewriter. ---
+
+   Every elided or hoisted check over the full 401-class workload set
+   must be backed by a certificate the validator independently
+   re-proves from the wire image; then the mutation harness corrupts
+   rewriter output at a pinned seed and the verifier or certifier must
+   kill (nearly) every mutant. Both halves are pure functions of the
+   workload builds and the seed, so the BENCH file pins the whole
+   certification surface: site counts, certificate counts, mutant
+   sample and kill rate. *)
+
+let certify_seed = 20260808L
+let certify_mutants_per_class = 40
+let certify_kill_bar = 0.9
+
+let certify () =
+  section "Certify: translation-validated rewriting + mutation kills";
+  let rep = Dvm.Certification.certify_workloads () in
+  let nfail = List.length rep.Dvm.Certification.rp_failures in
+  Printf.printf
+    "%d apps, %d classes, %d methods: %d protected sites\n\
+    \  %d guarded by live checks, %d certificate-backed (%d hoists), \
+     %d failure(s)\n"
+    rep.Dvm.Certification.rp_apps rep.Dvm.Certification.rp_classes
+    rep.Dvm.Certification.rp_methods rep.Dvm.Certification.rp_sites
+    rep.Dvm.Certification.rp_live rep.Dvm.Certification.rp_certified
+    rep.Dvm.Certification.rp_hoists nfail;
+  List.iter
+    (fun (cls, why) -> Printf.printf "  FAIL %s: %s\n" cls why)
+    rep.Dvm.Certification.rp_failures;
+  bench_put "certify"
+    (Printf.sprintf
+       {|{"classes":%d,"methods":%d,"sites":%d,"live":%d,"certified":%d,"hoists":%d,"cert_entries":%d,"elided":%d,"failures":%d}|}
+       rep.Dvm.Certification.rp_classes rep.Dvm.Certification.rp_methods
+       rep.Dvm.Certification.rp_sites rep.Dvm.Certification.rp_live
+       rep.Dvm.Certification.rp_certified rep.Dvm.Certification.rp_hoists
+       rep.Dvm.Certification.rp_cert_entries rep.Dvm.Certification.rp_elided
+       nfail);
+  let m =
+    Dvm.Certification.mutation_run ~small:true ~seed:certify_seed
+      ~count:certify_mutants_per_class ()
+  in
+  let rate = Dvm.Certification.kill_rate m in
+  Printf.printf
+    "\nmutation: seed %Ld, %d mutants: %d killed by verifier, %d by \
+     certifier,\n%d survived (kill rate %.1f%%, bar %.0f%%)\n"
+    m.Dvm.Certification.mt_seed m.Dvm.Certification.mt_mutants
+    m.Dvm.Certification.mt_killed_verifier
+    m.Dvm.Certification.mt_killed_certifier
+    (List.length m.Dvm.Certification.mt_survivors)
+    (100. *. rate) (100. *. certify_kill_bar);
+  List.iter
+    (fun (r : Dvm.Certification.mutation_result) ->
+      Printf.printf "  survivor: %s: %s\n" r.Dvm.Certification.mu_class
+        r.Dvm.Certification.mu_desc)
+    m.Dvm.Certification.mt_survivors;
+  bench_put "mutation"
+    (Printf.sprintf
+       {|{"seed":%Ld,"mutants":%d,"killed_verifier":%d,"killed_certifier":%d,"kill_rate":%.4f,"survivors":[%s]}|}
+       m.Dvm.Certification.mt_seed m.Dvm.Certification.mt_mutants
+       m.Dvm.Certification.mt_killed_verifier
+       m.Dvm.Certification.mt_killed_certifier rate
+       (String.concat ","
+          (List.map
+             (fun (r : Dvm.Certification.mutation_result) ->
+               Printf.sprintf {|"%s: %s"|} r.Dvm.Certification.mu_class
+                 r.Dvm.Certification.mu_desc)
+             m.Dvm.Certification.mt_survivors)));
+  if nfail > 0 || rate < certify_kill_bar then begin
+    Printf.eprintf "certify: FAILED (failures=%d, kill rate %.3f)\n" nfail rate;
+    exit 1
+  end
 
 (* --- Faults: availability under injected faults. ---
 
@@ -1101,13 +1167,20 @@ let wall_ms_of text =
 
 let perf () =
   section "Perf: wall-clock vs pinned BENCH baselines";
-  let pinned = [ ("faults", faults); ("farm", farm); ("chaos", chaos) ] in
+  (* elide runs on the host clock (no simnet engine), so its latency
+     histograms are wall time and not pinnable — hists:false. *)
+  let pinned =
+    [
+      ("faults", faults, true); ("farm", farm, true); ("chaos", chaos, true);
+      ("elide", elide, false); ("certify", certify, true);
+    ]
+  in
   let baselines =
     List.map
-      (fun (n, _) -> (n, read_file (Printf.sprintf "BENCH_%s.json" n)))
+      (fun (n, _, _) -> (n, read_file (Printf.sprintf "BENCH_%s.json" n)))
       pinned
   in
-  List.iter (fun (n, f) -> with_phase ~json:true n f) pinned;
+  List.iter (fun (n, f, hists) -> with_phase ~json:true ~hists n f) pinned;
   Printf.printf "\n%-8s %9s %9s %8s  %s\n" "phase" "base(ms)" "now(ms)"
     "speedup" "pin";
   let drift = ref false in
@@ -1159,7 +1232,8 @@ let all () =
   with_phase "fig11" fig11;
   with_phase "fig12" fig12;
   with_phase "ablations" ablations;
-  with_phase "elide" elide;
+  with_phase ~json:true ~hists:false "elide" elide;
+  with_phase ~json:true "certify" certify;
   with_phase ~json:true "faults" faults;
   with_phase ~json:true "farm" farm;
   with_phase ~json:true "chaos" chaos;
@@ -1178,7 +1252,8 @@ let () =
   | "fig11" -> with_phase "fig11" fig11
   | "fig12" -> with_phase "fig12" fig12
   | "ablations" -> with_phase "ablations" ablations
-  | "elide" -> with_phase "elide" elide
+  | "elide" -> with_phase ~json:true ~hists:false "elide" elide
+  | "certify" -> with_phase ~json:true "certify" certify
   | "faults" -> with_phase ~json:true "faults" faults
   | "farm" -> with_phase ~json:true "farm" farm
   | "chaos" -> with_phase ~json:true "chaos" chaos
@@ -1188,6 +1263,6 @@ let () =
   | other ->
     Printf.eprintf
       "unknown target %S (expected fig5..fig12, applets, ablations, elide, \
-       faults, farm, chaos, micro, perf, all)\n"
+       certify, faults, farm, chaos, micro, perf, all)\n"
       other;
     exit 1

@@ -260,8 +260,9 @@ let analyze path dot =
    Fails on solver non-convergence and on any CFG that differs between
    the in-memory class and its encode/decode round trip. --- *)
 
-let lint () =
+let lint json =
   let failures = ref 0 in
+  let failed = ref [] in
   let classes = ref 0 and methods = ref 0 and blocks = ref 0 in
   let boundaries (cfg : Analysis.Cfg.t) =
     Array.map
@@ -271,6 +272,10 @@ let lint () =
   in
   let fail_with cls (m : Bytecode.Classfile.meth) msg =
     incr failures;
+    failed :=
+      Printf.sprintf "%s.%s%s: %s" cls m.Bytecode.Classfile.m_name
+        m.Bytecode.Classfile.m_desc msg
+      :: !failed;
     Printf.eprintf "lint: %s.%s%s: %s\n" cls m.Bytecode.Classfile.m_name
       m.Bytecode.Classfile.m_desc msg
   in
@@ -334,9 +339,122 @@ let lint () =
             cf.Bytecode.Classfile.methods)
         app.Workloads.Appgen.classes)
     Workloads.Apps.all_specs;
-  Printf.printf "lint: %d classes, %d methods, %d blocks analyzed, %d failure(s)\n"
-    !classes !methods !blocks !failures;
+  (if json then
+     let escape s =
+       String.concat ""
+         (List.map
+            (function
+              | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+              | c -> String.make 1 c)
+            (List.init (String.length s) (String.get s)))
+     in
+     Printf.printf
+       {|{"classes":%d,"methods":%d,"blocks":%d,"failures":%d,"failed":[%s]}|}
+       !classes !methods !blocks !failures
+       (String.concat ","
+          (List.rev_map (fun f -> Printf.sprintf {|"%s"|} (escape f)) !failed));
+     print_newline ()
+   else
+     Printf.printf
+       "lint: %d classes, %d methods, %d blocks analyzed, %d failure(s)\n"
+       !classes !methods !blocks !failures);
   if !failures > 0 then 1 else 0
+
+(* --- certify: rewrite every bundled workload under the covering
+   policy with certificate emission on, round-trip the bytes, and make
+   the translation validator re-prove every elision and hoist. With
+   --mutate, also run the mutation harness and enforce a kill-rate
+   bar. --- *)
+
+let certify json mutate seed count min_kill small =
+  let escape s =
+    String.concat ""
+      (List.map
+         (function
+           | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let rep = Dvm.Certification.certify_workloads ~small () in
+  let mrep =
+    if mutate then
+      Some
+        (Dvm.Certification.mutation_run ~small:true ~seed:(Int64.of_int seed)
+           ~count ())
+    else None
+  in
+  let nfail = List.length rep.Dvm.Certification.rp_failures in
+  if json then begin
+    let mutation_json =
+      match mrep with
+      | None -> ""
+      | Some m ->
+        Printf.sprintf
+          {|,"mutation":{"seed":%Ld,"mutants":%d,"killed_verifier":%d,"killed_certifier":%d,"kill_rate":%.4f,"survivors":[%s]}|}
+          m.Dvm.Certification.mt_seed m.Dvm.Certification.mt_mutants
+          m.Dvm.Certification.mt_killed_verifier
+          m.Dvm.Certification.mt_killed_certifier
+          (Dvm.Certification.kill_rate m)
+          (String.concat ","
+             (List.map
+                (fun (r : Dvm.Certification.mutation_result) ->
+                  Printf.sprintf {|"%s: %s"|} (escape r.Dvm.Certification.mu_class)
+                    (escape r.Dvm.Certification.mu_desc))
+                m.Dvm.Certification.mt_survivors))
+    in
+    Printf.printf
+      {|{"apps":%d,"classes":%d,"methods":%d,"sites":%d,"live":%d,"certified":%d,"hoists":%d,"cert_entries":%d,"elided":%d,"failures":%d,"failed":[%s]%s}|}
+      rep.Dvm.Certification.rp_apps rep.Dvm.Certification.rp_classes
+      rep.Dvm.Certification.rp_methods rep.Dvm.Certification.rp_sites
+      rep.Dvm.Certification.rp_live rep.Dvm.Certification.rp_certified
+      rep.Dvm.Certification.rp_hoists rep.Dvm.Certification.rp_cert_entries
+      rep.Dvm.Certification.rp_elided nfail
+      (String.concat ","
+         (List.map
+            (fun (cls, why) ->
+              Printf.sprintf {|"%s: %s"|} (escape cls) (escape why))
+            rep.Dvm.Certification.rp_failures))
+      mutation_json;
+    print_newline ()
+  end
+  else begin
+    Printf.printf
+      "certify: %d apps, %d classes, %d methods\n\
+      \  %d protected sites: %d live checks, %d certificate-backed (%d hoists)\n\
+      \  %d certificate entries emitted, %d checks elided by the rewriter\n\
+      \  %d failure(s)\n"
+      rep.Dvm.Certification.rp_apps rep.Dvm.Certification.rp_classes
+      rep.Dvm.Certification.rp_methods rep.Dvm.Certification.rp_sites
+      rep.Dvm.Certification.rp_live rep.Dvm.Certification.rp_certified
+      rep.Dvm.Certification.rp_hoists rep.Dvm.Certification.rp_cert_entries
+      rep.Dvm.Certification.rp_elided nfail;
+    List.iter
+      (fun (cls, why) -> Printf.eprintf "certify: %s: %s\n" cls why)
+      rep.Dvm.Certification.rp_failures;
+    match mrep with
+    | None -> ()
+    | Some m ->
+      Printf.printf
+        "mutation: seed %Ld, %d mutants: %d killed by verifier, %d by \
+         certifier, %d survived (kill rate %.1f%%, bar %.0f%%)\n"
+        m.Dvm.Certification.mt_seed m.Dvm.Certification.mt_mutants
+        m.Dvm.Certification.mt_killed_verifier
+        m.Dvm.Certification.mt_killed_certifier
+        (List.length m.Dvm.Certification.mt_survivors)
+        (100. *. Dvm.Certification.kill_rate m)
+        (100. *. min_kill);
+      List.iter
+        (fun (r : Dvm.Certification.mutation_result) ->
+          Printf.printf "  survivor: %s: %s\n" r.Dvm.Certification.mu_class
+            r.Dvm.Certification.mu_desc)
+        m.Dvm.Certification.mt_survivors
+  end;
+  let kill_ok =
+    match mrep with
+    | None -> true
+    | Some m -> Dvm.Certification.kill_rate m >= min_kill
+  in
+  if nfail > 0 || not kill_ok then 1 else 0
 
 (* --- trace / metrics: run an instrumented workload and export
    telemetry (spans in Chrome trace_event form for Perfetto, or a
@@ -737,13 +855,57 @@ let analyze_cmd =
     Term.(const analyze $ path $ dot)
 
 let lint_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"emit a machine-readable summary on stdout instead of text")
+  in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the dataflow analyzer over every bundled workload class; \
           fails on solver non-convergence or on a CFG that changes across \
           an encode/decode round trip")
-    Term.(const lint $ const ())
+    Term.(const lint $ json)
+
+let certify_cmd =
+  let json =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"emit a machine-readable summary on stdout")
+  in
+  let mutate =
+    Arg.(value & flag
+         & info [ "mutate" ]
+             ~doc:"also run the mutation harness and enforce the kill-rate bar")
+  in
+  let seed =
+    Arg.(value & opt int 20260808
+         & info [ "seed" ] ~docv:"SEED" ~doc:"mutation sampling seed")
+  in
+  let count =
+    Arg.(value & opt int 3
+         & info [ "count" ] ~docv:"N" ~doc:"mutants sampled per class")
+  in
+  let min_kill =
+    Arg.(value & opt float 0.9
+         & info [ "min-kill" ] ~docv:"RATE"
+             ~doc:"minimum mutation kill rate (0..1) to exit successfully")
+  in
+  let small =
+    Arg.(value & flag
+         & info [ "small" ]
+             ~doc:"certify the small workload builds instead of the full \
+                   401-class set")
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Rewrite every bundled workload under the covering policy with \
+          elision-certificate emission on, round-trip the bytes, and make \
+          the translation validator independently re-prove every elided \
+          and hoisted check; with --mutate, seeded corruptions of rewriter \
+          output must be killed by the verifier or the certifier")
+    Term.(const certify $ json $ mutate $ seed $ count $ min_kill $ small)
 
 let trace_cmd =
   let app_arg =
@@ -1001,8 +1163,8 @@ let main_cmd =
        ~doc:"Distributed virtual machine control tool")
     [
       gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd;
-      analyze_cmd; lint_cmd; trace_cmd; metrics_cmd; flight_cmd; slo_cmd;
-      faults_cmd; farm_cmd; chaos_cmd;
+      analyze_cmd; lint_cmd; certify_cmd; trace_cmd; metrics_cmd; flight_cmd;
+      slo_cmd; faults_cmd; farm_cmd; chaos_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,463 @@
+(* Translation validation for the check-rewriting service: re-prove,
+   from nothing but the *rewritten* bytecode and the emitted
+   certificates, that every protected resource-use instruction is
+   still guarded. The rewriter's optimizer (elision + hoisting) is
+   deliberately not trusted — review has already caught soundness
+   holes in it — so this pass rebuilds a fresh CFG, dominator tree and
+   solver run of its own and rejects the class when:
+
+   - a protected instruction's permission is not *available* (checked
+     on every path, no intervening invalidation point) under a
+     from-scratch must-analysis whose only generators are the live
+     check invocations actually present in the code;
+   - a protected instruction with no adjacent live check has no
+     certificate (an unbacked elision — exactly what a buggy or
+     hostile optimizer would produce);
+   - a certificate's claims fail to re-prove: elision support that is
+     not a live check of the right permission, a hoist whose loop
+     structure, kill-freedom, first-trip guard or anticipability no
+     longer hold over the rewritten code, a nullness or int-range fact
+     the fresh solver cannot re-derive;
+   - a resource-aware check (whose verdict depends on the runtime
+     resource string) is not the literal adjacent guard block with no
+     branch into its middle.
+
+   The pass is parameterized over an {!env} of purely local
+   recognizers (what is a protected site, what is a check invocation)
+   so the analysis layer stays policy-agnostic; all global reasoning —
+   dataflow, dominance, loops — lives here. *)
+
+module CF = Bytecode.Classfile
+module I = Bytecode.Instr
+
+type env = {
+  protected_sites :
+    Bytecode.Cp.t -> CF.code -> (int * string * bool) list;
+      (* resource-use instructions the policy covers:
+         (index, permission, resource_aware) *)
+  check_at : Bytecode.Cp.t -> CF.code -> int -> string option;
+      (* [Some perm] iff the instruction at the index is a plain check
+         invocation of [perm] whose 2-instruction block ends there *)
+  resource_check_at : Bytecode.Cp.t -> CF.code -> int -> string option;
+      (* [Some perm] iff the instruction at the index is a
+         resource-aware check invocation whose 3-instruction block
+         ends there *)
+  kill : I.t -> bool;
+      (* invalidation points: availability must not survive these *)
+}
+
+type stats = {
+  mutable cs_methods : int;  (* methods with code examined *)
+  mutable cs_sites : int;  (* protected sites validated *)
+  mutable cs_live : int;  (* sites guarded by an adjacent live check *)
+  mutable cs_certified : int;  (* sites accepted via a certificate *)
+  mutable cs_hoists : int;  (* hoist certificates re-proved *)
+}
+
+let fresh_stats () =
+  { cs_methods = 0; cs_sites = 0; cs_live = 0; cs_certified = 0; cs_hoists = 0 }
+
+type reason = { r_meth : string; r_site : int; r_what : string }
+
+let reason_to_string r =
+  Printf.sprintf "%s @%d: %s" r.r_meth r.r_site r.r_what
+
+(* Instructions a hoisted check may be moved across: cannot throw,
+   write shared state, allocate or perform I/O. Kept deliberately
+   independent of the rewriter's copy — a bug there must not excuse
+   the same bug here. *)
+let transparent = function
+  | I.Nop | I.Iconst _ | I.Ldc_str _ | I.Aconst_null | I.Iload _ | I.Istore _
+  | I.Aload _ | I.Astore _ | I.Iinc _ | I.Iadd | I.Isub | I.Imul | I.Ineg
+  | I.Ishl | I.Ishr | I.Iand | I.Ior | I.Ixor | I.Dup | I.Dup_x1 | I.Pop
+  | I.Swap | I.Goto _ | I.If_icmp _ | I.If_z _ | I.If_acmp _ | I.If_null _
+  | I.Instanceof _ ->
+    true
+  | _ -> false
+
+(* Every intra-loop path from [from_idx] must reach [site] before any
+   non-transparent instruction, any loop exit, or any return to the
+   header. [guard], when set, is a conditional whose non-fall-through
+   edge is statically untaken on the first trip and is discounted.
+   [is_check] marks live permission-check invocations: a hoisted check
+   commutes with another check (neither writes state; both either pass
+   silently or throw a denial before anything visible happens), so
+   crossing one does not make the hoist observable. *)
+let anticipable (cfg : Cfg.t) ~(in_loop : int -> bool) ~(is_check : int -> bool)
+    ~from_idx ~guard ~site =
+  let code = cfg.Cfg.code in
+  let n = Array.length code.CF.instrs in
+  let visiting = Hashtbl.create 16 in
+  let rec walk idx =
+    if idx = site then true
+    else if idx < 0 || idx >= n then false
+    else if not (in_loop cfg.Cfg.block_of.(idx)) then false
+    else if idx = from_idx && Hashtbl.length visiting > 0 then false
+    else if Hashtbl.mem visiting idx then false
+    else begin
+      Hashtbl.replace visiting idx ();
+      let ins = code.CF.instrs.(idx) in
+      let ok =
+        if not (transparent ins || is_check idx) then false
+        else
+          let succs = I.successors idx ins in
+          let succs =
+            if guard = Some idx then List.filter (fun s -> s = idx + 1) succs
+            else succs
+          in
+          succs <> [] && List.for_all walk succs
+      in
+      Hashtbl.remove visiting idx;
+      ok
+    end
+  in
+  walk from_idx
+
+(* Evaluate the builder's counted-loop first-trip guard over the
+   rewritten code: the header opens `iload c; ifXX exit` and the
+   preheader — skipping any trailing hoisted check pairs — ends
+   `iconst n; istore c`. Returns [`Zero_trip] when the exit is
+   statically taken on the first trip (a hoist over such a loop runs a
+   check the original program never ran), [`Guard g] when provably
+   untaken, [`No_guard] when the idiom is absent. *)
+let first_trip_guard env pool (code : CF.code) ~header_first ~block_first =
+  let instrs = code.CF.instrs in
+  let n = Array.length instrs in
+  if header_first + 1 >= n then `No_guard
+  else
+    match (instrs.(header_first), instrs.(header_first + 1)) with
+    | I.Iload c, I.If_z (cmp, _) ->
+      (* Walk back over the hoisted check pairs sitting between the
+         preheader's tail and the loop header. *)
+      let j = ref (header_first - 1) in
+      while !j >= block_first + 1 && env.check_at pool code !j <> None do
+        j := !j - 2
+      done;
+      if !j < 1 then `No_guard
+      else (
+        match (instrs.(!j - 1), instrs.(!j)) with
+        | I.Iconst niv, I.Istore c' when c = c' ->
+          let niv = Int32.to_int niv in
+          let taken =
+            match cmp with
+            | I.Eq -> niv = 0
+            | I.Ne -> niv <> 0
+            | I.Lt -> niv < 0
+            | I.Ge -> niv >= 0
+            | I.Gt -> niv > 0
+            | I.Le -> niv <= 0
+          in
+          if taken then `Zero_trip else `Guard (header_first + 1)
+        | _ -> `No_guard)
+    | _ -> `No_guard
+
+let param_slots_of (m : CF.meth) =
+  match Bytecode.Descriptor.method_sig_of_string m.CF.m_desc with
+  | sg -> Bytecode.Descriptor.param_slots sg
+  | exception Bytecode.Descriptor.Bad_descriptor _ -> 0
+
+(* --- Per-method validation. --- *)
+
+let certify_method env pool (m : CF.meth) (code : CF.code)
+    (entries : Certificate.entry list) (stats : stats) (push : reason -> unit)
+    =
+  let meth_label = m.CF.m_name ^ m.CF.m_desc in
+  let fail site what = push { r_meth = meth_label; r_site = site; r_what = what } in
+  let instrs = code.CF.instrs in
+  let n = Array.length instrs in
+  stats.cs_methods <- stats.cs_methods + 1;
+  match Cfg.of_code code with
+  | exception Cfg.Malformed msg -> fail 0 ("malformed CFG: " ^ msg)
+  | cfg ->
+    let sites = env.protected_sites pool code in
+    (* Live plain checks actually present in the rewritten code — the
+       only generators the availability re-derivation believes in. *)
+    let check_perm = Array.init n (fun i -> env.check_at pool code i) in
+    let gen i = match check_perm.(i) with Some p -> [ p ] | None -> [] in
+    let avail =
+      lazy (Checks.analyze ~kill:env.kill cfg ~gen)
+    in
+    let dom = lazy (Dom.compute cfg) in
+    let loops = lazy (Dom.loops (Lazy.force dom)) in
+    let is_static = CF.has_flag m.CF.m_flags CF.Static in
+    let param_slots = param_slots_of m in
+    let nullness =
+      lazy
+        (Nullness.analyze pool ~max_locals:code.CF.max_locals ~param_slots
+           ~is_static cfg)
+    in
+    let ranges =
+      lazy
+        (Intrange.analyze pool ~max_locals:code.CF.max_locals ~param_slots
+           ~is_static cfg)
+    in
+    (* Branch (and handler) targets: nothing may jump into the middle
+       of a resource guard block. *)
+    let targeted = Array.make (max n 1) false in
+    Array.iteri
+      (fun _ ins ->
+        List.iter
+          (fun t -> if t >= 0 && t < n then targeted.(t) <- true)
+          (I.targets ins))
+      instrs;
+    List.iter
+      (fun h -> if h.CF.h_target < n then targeted.(h.CF.h_target) <- true)
+      code.CF.handlers;
+    let site_tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (idx, perm, res) -> Hashtbl.replace site_tbl idx (perm, res))
+      sites;
+    let kill_free body =
+      Hashtbl.fold
+        (fun b () acc ->
+          acc
+          &&
+          let blk = Cfg.block cfg b in
+          let ok = ref true in
+          for i = blk.Cfg.first to blk.Cfg.last do
+            if env.kill instrs.(i) then ok := false
+          done;
+          !ok)
+        body true
+    in
+    let handler_free body =
+      Hashtbl.fold
+        (fun b () acc ->
+          acc
+          &&
+          let blk = Cfg.block cfg b in
+          List.for_all
+            (fun h ->
+              blk.Cfg.last < h.CF.h_start || blk.Cfg.first >= h.CF.h_end)
+            code.CF.handlers)
+        body true
+    in
+    (* A hoist certificate must re-prove the whole hoisting argument
+       over the rewritten code: real check in the unique fall-through
+       preheader, site on every iteration, kill- and handler-free
+       body, and the first-trip guard (or anticipability) showing the
+       moved check is not observable. *)
+    let validate_hoist e perm ~check_site ~header =
+      let site = e.Certificate.ce_site in
+      if check_site < 0 || check_site >= n then (
+        fail site "hoist check site out of range";
+        false)
+      else if check_perm.(check_site) <> Some perm then (
+        fail site "hoist check site is not a live check of the permission";
+        false)
+      else if header < 0 || header >= n then (
+        fail site "hoist header out of range";
+        false)
+      else
+        let hb = cfg.Cfg.block_of.(header) in
+        let header_block = Cfg.block cfg hb in
+        if header_block.Cfg.first <> header then (
+          fail site "certified header is not a block leader";
+          false)
+        else
+          match
+            List.find_opt
+              (fun l -> l.Dom.header = hb)
+              (Lazy.force loops)
+          with
+          | None ->
+            fail site "no natural loop at the certified header";
+            false
+          | Some l ->
+            let sb = cfg.Cfg.block_of.(site) in
+            let d = Lazy.force dom in
+            if not (Hashtbl.mem l.Dom.body sb) then (
+              fail site "certified site is outside the hoisted loop";
+              false)
+            else if
+              not
+                (List.for_all
+                   (fun latch -> Dom.dominates d sb latch)
+                   l.Dom.latches)
+            then (
+              fail site "site does not run on every loop iteration";
+              false)
+            else if not (kill_free l.Dom.body) then (
+              fail site "hoisted loop body contains an invalidation point";
+              false)
+            else if not (handler_free l.Dom.body) then (
+              fail site "hoisted loop body is covered by a handler";
+              false)
+            else
+              let outside_preds, ok_shape =
+                List.fold_left
+                  (fun (outs, ok) (pb, kind) ->
+                    if kind = Cfg.Exn then (outs, false)
+                    else if Hashtbl.mem l.Dom.body pb then (outs, ok)
+                    else ((pb, kind) :: outs, ok))
+                  ([], true) header_block.Cfg.preds
+              in
+              if not ok_shape then (
+                fail site "loop header has an exception-edge predecessor";
+                false)
+              else (
+                match outside_preds with
+                | [ (pb, Cfg.Fall) ] when cfg.Cfg.block_of.(check_site) = pb ->
+                  let pre = Cfg.block cfg pb in
+                  let in_loop b = Hashtbl.mem l.Dom.body b in
+                  let is_check i = check_perm.(i) <> None in
+                  let antic guard =
+                    anticipable cfg ~in_loop ~is_check ~from_idx:header ~guard
+                      ~site
+                  in
+                  (* Redirected check insertions at the original header
+                     land before it in the rewritten code; skip those
+                     pairs so the counted-loop guard idiom is found
+                     where the builder put it. *)
+                  let hf = ref header in
+                  while !hf + 1 < n && check_perm.(!hf + 1) <> None do
+                    hf := !hf + 2
+                  done;
+                  let ok =
+                    match
+                      first_trip_guard env pool code ~header_first:!hf
+                        ~block_first:pre.Cfg.first
+                    with
+                    | `Zero_trip ->
+                      fail site "hoisted check guards a zero-trip loop";
+                      false
+                    | `Guard g ->
+                      antic (Some g)
+                      ||
+                      (fail site "hoisted check is not anticipable";
+                       false)
+                    | `No_guard ->
+                      antic None
+                      ||
+                      (fail site
+                         "hoisted check is not anticipable and the loop has \
+                          no first-trip guard";
+                       false)
+                  in
+                  if ok then stats.cs_hoists <- stats.cs_hoists + 1;
+                  ok
+                | _ ->
+                  fail site
+                    "hoist check does not sit in the loop's unique \
+                     fall-through preheader";
+                  false)
+    in
+    (* Validate the certificate entries, recording which protected
+       sites each validated available-check entry covers. *)
+    let covered = Hashtbl.create 8 in
+    List.iter
+      (fun (e : Certificate.entry) ->
+        let site = e.Certificate.ce_site in
+        if site < 0 || site >= n then fail site "certificate site out of range"
+        else
+          match e.Certificate.ce_fact with
+          | Certificate.Available_check perm -> (
+            match Hashtbl.find_opt site_tbl site with
+            | None -> fail site "certificate names a non-protected site"
+            | Some (_, true) ->
+              fail site "certificate for a resource-aware site"
+            | Some (sperm, false) when not (String.equal sperm perm) ->
+              fail site "certificate fact names the wrong permission"
+            | Some _ ->
+              let kind_ok =
+                match e.Certificate.ce_kind with
+                | Certificate.Elided { support } ->
+                  support <> []
+                  && List.for_all
+                       (fun s ->
+                         s >= 0 && s < n && check_perm.(s) = Some perm)
+                       support
+                  ||
+                  (fail site "elision support is not a live check of the \
+                              permission";
+                   false)
+                | Certificate.Hoisted { check_site; header } ->
+                  validate_hoist e perm ~check_site ~header
+              in
+              (* The certificate's audit trail holds; the fact itself
+                 is re-proved with the shared availability run below,
+                 as part of the per-site judgment. *)
+              if kind_ok then Hashtbl.replace covered site ())
+          | Certificate.Nonnull_stack depth -> (
+            match (Lazy.force nullness).Nullness.before.(site) with
+            | Some st when Nullness.stack_nonnull st ~depth -> ()
+            | Some _ -> fail site "nullness fact does not re-derive"
+            | None -> fail site "nullness fact at unreachable site")
+          | Certificate.Int_range { slot; lo; hi } -> (
+            match (Lazy.force ranges).Intrange.before.(site) with
+            | Some st when slot < Array.length st.Intrange.locals -> (
+              let iv = st.Intrange.locals.(slot).Intrange.iv in
+              match (iv.Intrange.lo, iv.Intrange.hi) with
+              | Some l, Some h when l >= lo && h <= hi -> ()
+              | _ -> fail site "int-range fact does not re-derive")
+            | Some _ -> fail site "int-range fact names a bad slot"
+            | None -> fail site "int-range fact at unreachable site"))
+      entries;
+    (* The per-site judgment: every protected instruction must be
+       guarded in the rewritten code, independently of anything the
+       rewriter believed. *)
+    List.iter
+      (fun (site, perm, resource_aware) ->
+        stats.cs_sites <- stats.cs_sites + 1;
+        if resource_aware then (
+          match env.resource_check_at pool code (site - 1) with
+          | Some p when String.equal p perm ->
+            (* Block spans [site-3 .. site-1]; a branch may enter only
+               at its head, so the dup'd resource string is the one
+               the protected call consumes. *)
+            if targeted.(site - 2) || targeted.(site - 1) || targeted.(site)
+            then fail site "branch into the middle of a resource guard"
+            else stats.cs_live <- stats.cs_live + 1
+          | Some _ ->
+            fail site "resource guard names the wrong permission"
+          | None ->
+            fail site "resource-use instruction without its adjacent guard")
+        else if not (Checks.available (Lazy.force avail) ~at:site ~fact:perm)
+        then
+          fail site
+            (Printf.sprintf
+               "permission %S not available at the resource use" perm)
+        else if site >= 1 && check_perm.(site - 1) = Some perm then
+          stats.cs_live <- stats.cs_live + 1
+        else if Hashtbl.mem covered site then
+          stats.cs_certified <- stats.cs_certified + 1
+        else fail site "elided check without certificate")
+      sites
+
+(* --- Whole-class validation. --- *)
+
+let certify_class env ?cert (cf : CF.t) :
+    (stats, reason list) result =
+  let reasons = ref [] in
+  let push r = reasons := r :: !reasons in
+  let stats = fresh_stats () in
+  let pool = cf.CF.pool in
+  (* A certificate naming a method the class does not have is stale or
+     forged. *)
+  (match cert with
+  | None -> ()
+  | Some cc ->
+    List.iter
+      (fun (mc : Certificate.method_cert) ->
+        match CF.find_method cf mc.Certificate.mc_name mc.Certificate.mc_desc with
+        | Some { CF.m_code = Some _; _ } -> ()
+        | Some { CF.m_code = None; _ } | None ->
+          if mc.Certificate.mc_entries <> [] then
+            push
+              {
+                r_meth = mc.Certificate.mc_name ^ mc.Certificate.mc_desc;
+                r_site = 0;
+                r_what = "certificate for a method without code";
+              })
+      cc.Certificate.cc_methods);
+  List.iter
+    (fun (m : CF.meth) ->
+      match m.CF.m_code with
+      | None -> ()
+      | Some code ->
+        let entries =
+          Certificate.entries_for cert ~meth:m.CF.m_name ~desc:m.CF.m_desc
+        in
+        certify_method env pool m code entries stats push)
+    cf.CF.methods;
+  if !reasons = [] then Ok stats else Error (List.rev !reasons)

@@ -1,0 +1,45 @@
+(** Translation validation for check-rewriting: re-prove, from the
+    {e rewritten} bytecode and the emitted {!Certificate}s alone, that
+    every protected resource-use instruction is still guarded. Builds
+    its own CFG, dominator tree and solver runs — no rewriter internal
+    state is trusted — and rejects the class when a protected site is
+    neither guarded by a live adjacent check (with the permission
+    proved available on every path) nor covered by a certificate whose
+    facts re-derive. *)
+
+type env = {
+  protected_sites :
+    Bytecode.Cp.t -> Bytecode.Classfile.code -> (int * string * bool) list;
+      (** resource-use instructions the policy covers:
+          [(index, permission, resource_aware)] *)
+  check_at : Bytecode.Cp.t -> Bytecode.Classfile.code -> int -> string option;
+      (** [Some perm] iff the instruction at the index is a plain check
+          invocation of [perm] (end of its 2-instruction block) *)
+  resource_check_at :
+    Bytecode.Cp.t -> Bytecode.Classfile.code -> int -> string option;
+      (** [Some perm] iff the instruction at the index is a
+          resource-aware check invocation (end of its 3-instruction
+          block) *)
+  kill : Bytecode.Instr.t -> bool;
+      (** invalidation points: availability must not survive these *)
+}
+
+type stats = {
+  mutable cs_methods : int;  (** methods with code examined *)
+  mutable cs_sites : int;  (** protected sites validated *)
+  mutable cs_live : int;  (** sites guarded by an adjacent live check *)
+  mutable cs_certified : int;  (** sites accepted via a certificate *)
+  mutable cs_hoists : int;  (** hoist certificates re-proved *)
+}
+
+type reason = { r_meth : string; r_site : int; r_what : string }
+
+val reason_to_string : reason -> string
+
+val certify_class :
+  env ->
+  ?cert:Certificate.class_cert ->
+  Bytecode.Classfile.t ->
+  (stats, reason list) result
+(** Validate every method body of the class against its certificate
+    (if any). [Error] carries one reason per failed obligation. *)

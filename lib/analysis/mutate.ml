@@ -1,0 +1,326 @@
+(* Mutation testing for the rewrite certifier: seeded corruptions of
+   rewriter output — the class after rewriting, plus its elision
+   certificate — that a sound gate must catch. Each operator models a
+   concrete failure mode of the optimizer or a tampered certificate:
+
+   - [Drop_check]: a live check invocation is overwritten with nops —
+     an elision the rewriter "forgot" to justify;
+   - [Swap_branch]: a conditional's sense is flipped — a first-trip
+     guard now exits when the loop used to run, making a hoisted check
+     observable (or a guarded region reachable unguarded);
+   - [Widen_bound]: an integer constant feeding a guard or loop bound
+     is perturbed — the zero-trip/guard arithmetic the certifier
+     re-evaluates no longer matches;
+   - [Retarget_entry]: a branch aimed at a check block is redirected
+     past it, straight to the protected instruction — the classic
+     bypass a redirect-aware patcher exists to prevent;
+   - [Forge_support]: a certificate's elision support is rewritten to
+     name instructions that are not checks;
+   - [Move_site]: a certificate entry is re-aimed at a different
+     index, detaching the evidence from the site it covers.
+
+   The harness only *generates* mutants; deciding whether the verifier
+   or certifier kills each one is the caller's business (the analysis
+   layer has no policy or verifier access). Selection is driven by a
+   splitmix64 stream so a pinned seed yields a reproducible mutant
+   set. *)
+
+module I = Bytecode.Instr
+module CF = Bytecode.Classfile
+
+type op =
+  | Drop_check
+  | Swap_branch
+  | Widen_bound
+  | Retarget_entry
+  | Forge_support
+  | Move_site
+
+let op_to_string = function
+  | Drop_check -> "drop-check"
+  | Swap_branch -> "swap-branch"
+  | Widen_bound -> "widen-bound"
+  | Retarget_entry -> "retarget-entry"
+  | Forge_support -> "forge-support"
+  | Move_site -> "move-site"
+
+type mutation = {
+  m_op : op;
+  m_meth : string;  (* name ^ descriptor *)
+  m_index : int;  (* instruction index (or certificate site) mutated *)
+  m_note : string;
+}
+
+let mutation_to_string m =
+  Printf.sprintf "%s %s @%d (%s)" (op_to_string m.m_op) m.m_meth m.m_index
+    m.m_note
+
+type mutant = {
+  mu_mutation : mutation;
+  mu_class : CF.t;
+  mu_cert : Certificate.class_cert option;
+}
+
+(* --- Deterministic stream (splitmix64, same construction as the
+   simnet fault injector — reimplemented here because the analysis
+   layer sits below simnet in the dependency order). --- *)
+
+type rng = { mutable state : int64 }
+
+let rng ~seed = { state = seed }
+
+let next_u64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let range t ~max =
+  if max <= 0 then 0
+  else Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 t) 1)
+                       (Int64.of_int max))
+
+(* --- Candidate enumeration. A candidate is a thunk producing the
+   mutated class/certificate pair; enumeration is deterministic
+   (source order) so seeded selection is reproducible. --- *)
+
+let negate = function
+  | I.Eq -> I.Ne
+  | I.Ne -> I.Eq
+  | I.Lt -> I.Ge
+  | I.Ge -> I.Lt
+  | I.Gt -> I.Le
+  | I.Le -> I.Gt
+
+(* Rebuild the class with method [mi]'s instruction at each (idx, ins)
+   pair replaced. *)
+let patch_class (cf : CF.t) ~mi (edits : (int * I.t) list) : CF.t =
+  let methods =
+    List.mapi
+      (fun i (m : CF.meth) ->
+        if i <> mi then m
+        else
+          match m.CF.m_code with
+          | None -> m
+          | Some code ->
+            let instrs = Array.copy code.CF.instrs in
+            List.iter (fun (idx, ins) -> instrs.(idx) <- ins) edits;
+            { m with CF.m_code = Some { code with CF.instrs } })
+      cf.CF.methods
+  in
+  { cf with CF.methods }
+
+(* Rebuild the certificate with entry [ei] of the method named
+   [label] replaced. *)
+let patch_cert (cc : Certificate.class_cert) ~label ~ei
+    (f : Certificate.entry -> Certificate.entry) : Certificate.class_cert =
+  let methods =
+    List.map
+      (fun (mc : Certificate.method_cert) ->
+        if not (String.equal (mc.Certificate.mc_name ^ mc.Certificate.mc_desc)
+                  label)
+        then mc
+        else
+          {
+            mc with
+            Certificate.mc_entries =
+              List.mapi
+                (fun i e -> if i = ei then f e else e)
+                mc.Certificate.mc_entries;
+          })
+      cc.Certificate.cc_methods
+  in
+  { cc with Certificate.cc_methods = methods }
+
+let candidates ~(env : Certify.env) (cf : CF.t)
+    (cert : Certificate.class_cert option) :
+    (mutation * (unit -> CF.t * Certificate.class_cert option)) list =
+  let pool = cf.CF.pool in
+  let out = ref [] in
+  let add m thunk = out := (m, thunk) :: !out in
+  List.iteri
+    (fun mi (m : CF.meth) ->
+      match m.CF.m_code with
+      | None -> ()
+      | Some code ->
+        let label = m.CF.m_name ^ m.CF.m_desc in
+        let instrs = code.CF.instrs in
+        let n = Array.length instrs in
+        let check_perm = Array.init n (fun i -> env.Certify.check_at pool code i) in
+        Array.iteri
+          (fun idx ins ->
+            (* Drop_check: nop out the [Ldc_str; Invokestatic] pair. *)
+            (match check_perm.(idx) with
+            | Some perm ->
+              add
+                {
+                  m_op = Drop_check;
+                  m_meth = label;
+                  m_index = idx;
+                  m_note = Printf.sprintf "drop check of %S" perm;
+                }
+                (fun () ->
+                  ( patch_class cf ~mi [ (idx - 1, I.Nop); (idx, I.Nop) ],
+                    cert ))
+            | None -> ());
+            (* Retarget_entry: a branch aimed at a check block's
+               [Ldc_str] leader is sent past the check. *)
+            List.iter
+              (fun t ->
+                if t + 1 < n && check_perm.(t + 1) <> None then
+                  add
+                    {
+                      m_op = Retarget_entry;
+                      m_meth = label;
+                      m_index = idx;
+                      m_note =
+                        Printf.sprintf "branch target %d -> %d (skips check)"
+                          t (t + 2);
+                    }
+                    (fun () ->
+                      ( patch_class cf ~mi
+                          [
+                            ( idx,
+                              I.map_targets
+                                (fun u -> if u = t then t + 2 else u)
+                                ins );
+                          ],
+                        cert )))
+              (I.targets ins))
+          instrs;
+        (* Guard-directed operators: the first-trip guard of each
+           certified hoist — the exact machinery whose re-evaluation
+           the certifier is trusted with. [Swap_branch] flips the
+           guard's sense (the exit the rewriter proved untaken becomes
+           taken: a hoisted check now runs before a loop that never
+           does); [Widen_bound] rewrites the counter's initial
+           constant toward the exit condition. *)
+        (match cert with
+        | None -> ()
+        | Some cc ->
+          List.iter
+            (fun (e : Certificate.entry) ->
+              match e.Certificate.ce_kind with
+              | Certificate.Hoisted { header; _ } ->
+                (* Skip any leading redirected check pairs, as the
+                   certifier does, to land on the guard idiom. *)
+                let hf = ref header in
+                while !hf + 1 < n && check_perm.(!hf + 1) <> None do
+                  hf := !hf + 2
+                done;
+                let hf = !hf in
+                if hf >= 0 && hf + 1 < n then (
+                  (match (instrs.(hf), instrs.(hf + 1)) with
+                  | I.Iload _, I.If_z (cmp, t) ->
+                    add
+                      {
+                        m_op = Swap_branch;
+                        m_meth = label;
+                        m_index = hf + 1;
+                        m_note = "flip first-trip guard sense";
+                      }
+                      (fun () ->
+                        ( patch_class cf ~mi
+                            [ (hf + 1, I.If_z (negate cmp, t)) ],
+                          cert ))
+                  | _ -> ());
+                  (* Walk back over trailing hoisted check pairs to the
+                     counter's initializing constant. *)
+                  let j = ref (hf - 1) in
+                  while !j >= 1 && check_perm.(!j) <> None do
+                    j := !j - 2
+                  done;
+                  if !j >= 1 then
+                    match (instrs.(!j - 1), instrs.(!j)) with
+                    | I.Iconst c, I.Istore _ ->
+                      let c' = if Int32.equal c 0l then 1l else 0l in
+                      add
+                        {
+                          m_op = Widen_bound;
+                          m_meth = label;
+                          m_index = !j - 1;
+                          m_note =
+                            Printf.sprintf "loop-counter init %ld -> %ld" c c';
+                        }
+                        (fun () ->
+                          ( patch_class cf ~mi [ (!j - 1, I.Iconst c') ],
+                            cert ))
+                    | _ -> ())
+              | Certificate.Elided _ -> ())
+            (Certificate.entries_for (Some cc) ~meth:m.CF.m_name
+               ~desc:m.CF.m_desc));
+        (* Certificate tampering for this method's entries. *)
+        match cert with
+        | None -> ()
+        | Some cc ->
+          List.iteri
+            (fun ei (e : Certificate.entry) ->
+              (match e.Certificate.ce_kind with
+              | Certificate.Elided { support } when support <> [] ->
+                let s = List.hd support in
+                add
+                  {
+                    m_op = Forge_support;
+                    m_meth = label;
+                    m_index = e.Certificate.ce_site;
+                    m_note =
+                      Printf.sprintf "support @%d -> @%d (not a check)" s
+                        (s + 1);
+                  }
+                  (fun () ->
+                    ( cf,
+                      Some
+                        (patch_cert cc ~label ~ei (fun e ->
+                             {
+                               e with
+                               Certificate.ce_kind =
+                                 Certificate.Elided { support = [ s + 1 ] };
+                             })) ))
+              | _ -> ());
+              add
+                {
+                  m_op = Move_site;
+                  m_meth = label;
+                  m_index = e.Certificate.ce_site;
+                  m_note =
+                    Printf.sprintf "site @%d -> @%d" e.Certificate.ce_site
+                      (e.Certificate.ce_site + 1);
+                }
+                (fun () ->
+                  ( cf,
+                    Some
+                      (patch_cert cc ~label ~ei (fun e ->
+                           {
+                             e with
+                             Certificate.ce_site = e.Certificate.ce_site + 1;
+                           })) )))
+            (Certificate.entries_for (Some cc) ~meth:m.CF.m_name
+               ~desc:m.CF.m_desc))
+    cf.CF.methods;
+  List.rev !out
+
+(* Draw [count] distinct candidates from the enumeration using the
+   seeded stream (all of them when fewer exist), in stream order. *)
+let mutants ~env ~seed ~count (cf : CF.t)
+    (cert : Certificate.class_cert option) : mutant list =
+  let cands = Array.of_list (candidates ~env cf cert) in
+  let n = Array.length cands in
+  let t = rng ~seed in
+  let take = min count n in
+  (* Partial Fisher–Yates: the first [take] slots are a uniform
+     sample without replacement. *)
+  for i = 0 to take - 1 do
+    let j = i + range t ~max:(n - i) in
+    let tmp = cands.(i) in
+    cands.(i) <- cands.(j);
+    cands.(j) <- tmp
+  done;
+  List.init take (fun i ->
+      let m, thunk = cands.(i) in
+      let cls, cert = thunk () in
+      { mu_mutation = m; mu_class = cls; mu_cert = cert })
+
+let candidate_count ~env cf cert = List.length (candidates ~env cf cert)

@@ -1,0 +1,43 @@
+(** Mutation testing for the rewrite certifier: seeded corruptions of
+    rewriter output (class + elision certificate) that a sound gate
+    must catch. The harness only generates mutants; the caller decides
+    whether the verifier or certifier kills each one. A pinned seed
+    yields a reproducible mutant set. *)
+
+type op =
+  | Drop_check  (** nop out a live check invocation pair *)
+  | Swap_branch  (** flip a conditional's sense *)
+  | Widen_bound  (** perturb an integer constant feeding a guard *)
+  | Retarget_entry  (** redirect a branch past a check block *)
+  | Forge_support  (** elision support that names non-checks *)
+  | Move_site  (** re-aim a certificate entry at another index *)
+
+val op_to_string : op -> string
+
+type mutation = {
+  m_op : op;
+  m_meth : string;  (** name ^ descriptor *)
+  m_index : int;  (** instruction index (or certificate site) mutated *)
+  m_note : string;
+}
+
+val mutation_to_string : mutation -> string
+
+type mutant = {
+  mu_mutation : mutation;
+  mu_class : Bytecode.Classfile.t;
+  mu_cert : Certificate.class_cert option;
+}
+
+val mutants :
+  env:Certify.env ->
+  seed:int64 ->
+  count:int ->
+  Bytecode.Classfile.t ->
+  Certificate.class_cert option ->
+  mutant list
+(** Up to [count] distinct mutants, sampled without replacement from
+    the deterministic candidate enumeration. *)
+
+val candidate_count :
+  env:Certify.env -> Bytecode.Classfile.t -> Certificate.class_cert option -> int

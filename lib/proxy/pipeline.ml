@@ -79,7 +79,27 @@ let generate_traced cf =
   Telemetry.Global.with_span ~cat:"pipeline" "pipeline.generate" (fun () ->
       Bytecode.Encode.class_to_bytes cf)
 
-let run_uncached ?signer filters (bytes : string) : outcome =
+(* Post-transform admission gate: runs over the fully transformed
+   class, [Some reason] rejects it exactly like a filter rejection
+   (§3.1 error-propagation replacement). The translation-validating
+   certifier plugs in here — the pipeline itself stays agnostic about
+   what the gate proves. *)
+type gate = Bytecode.Classfile.t -> string option
+
+let apply_gate g cf =
+  Telemetry.Global.with_span ~cat:"pipeline"
+    ~args:[ ("class", cf.Bytecode.Classfile.name) ]
+    "pipeline.certify"
+    (fun () ->
+      match g cf with
+      | None ->
+        Telemetry.Global.incr "certify.ok";
+        None
+      | Some reason ->
+        Telemetry.Global.incr "certify.fail";
+        Some reason)
+
+let run_uncached ?signer ?gate filters (bytes : string) : outcome =
   let parse_cost = parse_cost_of bytes in
   match parse_traced bytes with
   | exception Bytecode.Decode.Format_error reason ->
@@ -109,6 +129,36 @@ let run_uncached ?signer filters (bytes : string) : outcome =
         cf filters
     with
     | transformed -> (
+      let gate_rejection =
+        match gate with
+        | None -> None
+        | Some g ->
+          Option.map
+            (fun reason -> (transformed.Bytecode.Classfile.name, reason))
+            (apply_gate g transformed)
+      in
+      match gate_rejection with
+      | Some (cls, reason) ->
+        (* The certifier refused the transformed class: same §3.1
+           conversion as a filter rejection. *)
+        let repl = Verifier.Error_class.build ~name:cls ~message:reason in
+        let repl =
+          match signer with None -> repl | Some key -> Dsig.Sign.sign key repl
+        in
+        let out = Bytecode.Encode.class_to_bytes repl in
+        let o =
+          {
+            out_bytes = out;
+            rejected = Some ("certify", reason);
+            parse_cost;
+            transform_cost = !transform_cost;
+            generate_cost = generate_cost_of out;
+            parses = 1;
+          }
+        in
+        record_outcome o;
+        o
+      | None -> (
       let transformed =
         match signer with
         | None -> transformed
@@ -155,7 +205,7 @@ let run_uncached ?signer filters (bytes : string) : outcome =
           }
         in
         record_outcome o;
-        o)
+        o))
     | exception Rewrite.Filter.Rejected { filter; cls; reason } ->
       let repl = Verifier.Error_class.build ~name:cls ~message:reason in
       let repl =
@@ -214,6 +264,7 @@ module Memo = struct
        bytes. *)
     mutable key_filters : Rewrite.Filter.t list option;
     mutable key_signer : Dsig.Sign.key option option;
+    mutable key_gate : gate option option;
   }
 
   let create ?(cap = 1024) () =
@@ -224,36 +275,44 @@ module Memo = struct
       misses = 0;
       key_filters = None;
       key_signer = None;
+      key_gate = None;
     }
 
   let hits t = t.hits
   let misses t = t.misses
 
-  (* Physical equality is the right notion for both: filter lists are
-     built once per experiment and shared across the pool, and a key is
-     a value the caller threads around, not something reconstructed per
-     request. *)
-  let matches t filters signer =
+  (* Physical equality is the right notion for all three: filter lists
+     are built once per experiment and shared across the pool, and a
+     signer key or gate closure is a value the caller threads around,
+     not something reconstructed per request. *)
+  let matches t filters signer gate =
     (match t.key_filters with None -> true | Some fs -> fs == filters)
-    && match t.key_signer with
+    && (match t.key_signer with
        | None -> true
        | Some None -> signer = None
-       | Some (Some k) -> ( match signer with Some k' -> k == k' | None -> false)
+       | Some (Some k) -> (
+         match signer with Some k' -> k == k' | None -> false))
+    && match t.key_gate with
+       | None -> true
+       | Some None -> gate = None
+       | Some (Some g) -> (
+         match gate with Some g' -> g == g' | None -> false)
 
-  let pin t filters signer =
+  let pin t filters signer gate =
     if t.key_filters = None then begin
       t.key_filters <- Some filters;
-      t.key_signer <- Some signer
+      t.key_signer <- Some signer;
+      t.key_gate <- Some gate
     end
 end
 
-let run ?memo ?signer filters (bytes : string) : outcome =
+let run ?memo ?signer ?gate filters (bytes : string) : outcome =
   match memo with
-  | None -> run_uncached ?signer filters bytes
-  | Some m when not (Memo.matches m filters signer) ->
-    run_uncached ?signer filters bytes
+  | None -> run_uncached ?signer ?gate filters bytes
+  | Some m when not (Memo.matches m filters signer gate) ->
+    run_uncached ?signer ?gate filters bytes
   | Some m -> (
-    Memo.pin m filters signer;
+    Memo.pin m filters signer gate;
     let live = Telemetry.Global.on () in
     match Hashtbl.find_opt m.Memo.tbl bytes with
     | Some e when e.Memo.me_telemetry = live ->
@@ -266,7 +325,7 @@ let run ?memo ?signer filters (bytes : string) : outcome =
       m.Memo.misses <- m.Memo.misses + 1;
       let o, tape =
         Telemetry.capture Telemetry.default (fun () ->
-            run_uncached ?signer filters bytes)
+            run_uncached ?signer ?gate filters bytes)
       in
       (match tape with
       | Some _ when Hashtbl.length m.Memo.tbl < m.Memo.cap ->
@@ -278,7 +337,7 @@ let run ?memo ?signer filters (bytes : string) : outcome =
 (* Ablation: the naive structure that re-parses and re-generates
    between every pair of services, as if each were an independent
    proxy. Same output, multiplied parse/generate cost. *)
-let run_parse_per_service ?signer filters bytes : outcome =
+let run_parse_per_service ?signer ?gate filters bytes : outcome =
   (* A rejection carries the name the replacement class must take —
      the rejected class's own name (so the client's load of it raises
      the error), or the fixed "malformed/Input" when the input never
@@ -313,6 +372,23 @@ let run_parse_per_service ?signer filters bytes : outcome =
   in
   let out, parse_cost, transform_cost, generate_cost, parses, rejected =
     go bytes 0L 0L 0L 0 filters
+  in
+  (* The gate sees the final parsed image — the ablation re-parses for
+     it like it does between services (same output as [run], more
+     parse cost). *)
+  let parse_cost, rejected =
+    match (rejected, gate) with
+    | Some _, _ | None, None -> (parse_cost, rejected)
+    | None, Some g -> (
+      let parse_cost = Int64.add parse_cost (parse_cost_of out) in
+      match Bytecode.Decode.class_of_bytes out with
+      | exception Bytecode.Decode.Format_error reason ->
+        (parse_cost, Some ("decode", reason, "malformed/Input"))
+      | cf -> (
+        match apply_gate g cf with
+        | None -> (parse_cost, None)
+        | Some reason ->
+          (parse_cost, Some ("certify", reason, cf.Bytecode.Classfile.name))))
   in
   let out_bytes, rejected, generate_cost =
     match rejected with

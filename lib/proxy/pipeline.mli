@@ -28,6 +28,13 @@ val parse_cost_of : string -> int64
 val generate_cost_of : string -> int64
 val transform_cost_of : Bytecode.Classfile.t -> int64
 
+type gate = Bytecode.Classfile.t -> string option
+(** Post-transform admission gate: runs over the fully transformed
+    class; [Some reason] rejects it exactly like a filter rejection
+    (filter name ["certify"], §3.1 replacement class, counters
+    [certify.ok]/[certify.fail] and a [pipeline.certify] span). The
+    translation-validating certifier plugs in here. *)
+
 (** Host-CPU memoization of pipeline outcomes.
 
     The pipeline is a pure function of its input, so load experiments
@@ -59,11 +66,16 @@ end
 val run :
   ?memo:Memo.t ->
   ?signer:Dsig.Sign.key ->
+  ?gate:gate ->
   Rewrite.Filter.t list ->
   string ->
   outcome
+(** A memo pins itself to the first (filters, signer, gate) triple it
+    serves — all compared physically — and falls back to real runs for
+    any other. *)
 
 val run_parse_per_service :
-  ?signer:Dsig.Sign.key -> Rewrite.Filter.t list -> string -> outcome
+  ?signer:Dsig.Sign.key -> ?gate:gate -> Rewrite.Filter.t list -> string -> outcome
 (** Ablation: re-parse and re-generate between every pair of services
-    (same output, multiplied cost). *)
+    (same output, multiplied cost — including one more parse for the
+    gate, which in {!run} reuses the in-memory image). *)

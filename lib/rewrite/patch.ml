@@ -35,25 +35,47 @@ type insertion = {
 
 let before ?(redirect = true) at block = { at; block; redirect }
 
+(* The layout of a patched method: where every original instruction
+   landed, where branches into an old index now go, and where each
+   inserted block begins. Certificate emission needs exactly this —
+   the rewriter's elision facts are computed over the original code
+   but certificates must name positions in the rewritten code the
+   validator sees. *)
+type layout = {
+  l_instr : int array;
+      (* old instruction index -> its new index (length n+1; slot n is
+         the append point) *)
+  l_target : int array;
+      (* old branch target -> new target (skips fall-through-only
+         blocks, runs redirected ones) *)
+  l_starts : int array;
+      (* per input insertion, in list order: new index of the block's
+         first instruction *)
+}
+
 (* [n] (the code length) is a valid insertion point meaning "append at
    the very end" — used when instrumenting past the last instruction
    is needed (rare; returns are usually the anchor). *)
-let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
+let apply_insertions_layout (code : CF.code) (insertions : insertion list) :
+    CF.code * layout =
   let n = Array.length code.CF.instrs in
   List.iter
     (fun { at; _ } ->
       if at < 0 || at > n then invalid_arg "Patch.apply_insertions: bad index")
     insertions;
   (* Group blocks by insertion point, preserving order of same-point
-     insertions within each redirect class. *)
+     insertions within each redirect class. Each block keeps its input
+     position so the layout can report where it landed. *)
   let fall_only = Array.make (n + 1) [] in
   let redirected = Array.make (n + 1) [] in
-  List.iter
-    (fun ins ->
+  List.iteri
+    (fun pos ins ->
       let arr = if ins.redirect then redirected else fall_only in
-      arr.(ins.at) <- arr.(ins.at) @ [ ins.block ])
+      arr.(ins.at) <- arr.(ins.at) @ [ (pos, ins.block) ])
     insertions;
-  let len_of blocks = List.fold_left (fun acc b -> acc + List.length b) 0 blocks in
+  let len_of blocks =
+    List.fold_left (fun acc (_, b) -> acc + List.length b) 0 blocks
+  in
   let fall_len_at i = len_of fall_only.(i) in
   let block_len_at i = fall_len_at i + len_of redirected.(i) in
   (* start.(i): new index of the first inserted instruction at old
@@ -71,6 +93,7 @@ let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
      instead of accumulating a list and reversing. *)
   let total = start.(n) + block_len_at n in
   let instrs = Array.make (max total 1) I.Nop in
+  let starts = Array.make (List.length insertions) 0 in
   let next = ref 0 in
   let emit i =
     instrs.(!next) <- i;
@@ -79,8 +102,9 @@ let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
   let emit_blocks i =
     let base = ref start.(i) in
     List.iter
-      (fun block ->
+      (fun (pos, block) ->
         let b = !base in
+        starts.(pos) <- b;
         List.iter (fun ins -> emit (I.map_targets (fun j -> b + j) ins)) block;
         base := b + List.length block)
       (fall_only.(i) @ redirected.(i))
@@ -103,7 +127,12 @@ let apply_insertions (code : CF.code) (insertions : insertion list) : CF.code =
         })
       code.CF.handlers
   in
-  { code with CF.instrs; handlers }
+  let l_instr = Array.init (n + 1) (fun i -> start.(i) + block_len_at i) in
+  let l_target = Array.init (n + 1) retarget in
+  ({ code with CF.instrs; handlers }, { l_instr; l_target; l_starts = starts })
+
+let apply_insertions code insertions =
+  fst (apply_insertions_layout code insertions)
 
 (* Recompute stack/locals bounds after patching. The estimate walks the
    new CFG; we keep at least the original bounds, so instrumentation

@@ -29,6 +29,27 @@ val apply_insertions :
   Bytecode.Classfile.code -> insertion list -> Bytecode.Classfile.code
 (** @raise Invalid_argument on an out-of-range insertion point. *)
 
+(** Where everything landed after patching — what a service needs to
+    translate facts computed over the original code into positions in
+    the rewritten code (e.g. elision certificates). *)
+type layout = {
+  l_instr : int array;
+      (** old instruction index → its new index (length [n+1]; slot [n]
+          is the append point) *)
+  l_target : int array;
+      (** old branch target → new target (skips fall-through-only
+          blocks, runs redirected ones) *)
+  l_starts : int array;
+      (** per input insertion, in list order: new index of the block's
+          first instruction *)
+}
+
+val apply_insertions_layout :
+  Bytecode.Classfile.code ->
+  insertion list ->
+  Bytecode.Classfile.code * layout
+(** Like {!apply_insertions}, also reporting the layout. *)
+
 val refit_bounds :
   Bytecode.Cp.t ->
   params:int ->

@@ -1,0 +1,64 @@
+(* Policy instantiation of the translation-validating certifier: tells
+   {!Analysis.Certify} what a protected site and an enforcement-check
+   invocation look like, which is all the policy-specific knowledge
+   the validator needs. Everything global — CFG, dominators, the
+   availability solver — is re-derived inside the analysis layer from
+   the rewritten code alone. *)
+
+module CF = Bytecode.Classfile
+module CP = Bytecode.Cp
+module I = Bytecode.Instr
+
+(* Is the instruction an [Invokestatic] of the enforcement entry point
+   [name]/[desc]? *)
+let enforcement_invoke pool (code : CF.code) idx ~name ~desc =
+  if idx < 0 || idx >= Array.length code.CF.instrs then false
+  else
+    match code.CF.instrs.(idx) with
+    | I.Invokestatic k -> (
+      match CP.get_methodref pool k with
+      | mr ->
+        String.equal mr.CP.ref_class Enforcement.class_name
+        && String.equal mr.CP.ref_name name
+        && String.equal mr.CP.ref_desc desc
+      | exception (CP.Invalid_index _ | CP.Wrong_kind _) -> false)
+    | _ -> false
+
+let perm_literal pool (code : CF.code) idx =
+  if idx < 0 || idx >= Array.length code.CF.instrs then None
+  else
+    match code.CF.instrs.(idx) with
+    | I.Ldc_str k -> (
+      match CP.get_string pool k with
+      | s -> Some s
+      | exception (CP.Invalid_index _ | CP.Wrong_kind _) -> None)
+    | _ -> None
+
+(* A live plain check: [Ldc_str perm; Invokestatic check], recognized
+   at the invoke. *)
+let check_at pool code idx =
+  if enforcement_invoke pool code idx ~name:"check" ~desc:Enforcement.desc_check
+  then perm_literal pool code (idx - 1)
+  else None
+
+(* A live resource-aware check: [Dup; Ldc_str perm; Invokestatic
+   checkResource], recognized at the invoke. *)
+let resource_check_at pool (code : CF.code) idx =
+  if
+    enforcement_invoke pool code idx ~name:"checkResource"
+      ~desc:Enforcement.desc_check_resource
+    && idx >= 2
+    && code.CF.instrs.(idx - 2) = I.Dup
+  then perm_literal pool code (idx - 1)
+  else None
+
+let env policy : Analysis.Certify.env =
+  {
+    Analysis.Certify.protected_sites = Rewriter.protected_sites policy;
+    check_at;
+    resource_check_at;
+    kill = Analysis.Checks.default_kill;
+  }
+
+let certify policy ?cert cf =
+  Analysis.Certify.certify_class (env policy) ?cert cf

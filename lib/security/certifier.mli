@@ -1,0 +1,21 @@
+(** Policy instantiation of the translation-validating certifier
+    ({!Analysis.Certify}): recognizes protected sites and enforcement
+    checks for a given policy; all global reasoning is re-derived in
+    the analysis layer from the rewritten code alone. *)
+
+val check_at : Bytecode.Cp.t -> Bytecode.Classfile.code -> int -> string option
+(** [Some perm] iff the instruction is the invoke of a live plain
+    check block [Ldc_str perm; Invokestatic check]. Total in the
+    index. *)
+
+val resource_check_at :
+  Bytecode.Cp.t -> Bytecode.Classfile.code -> int -> string option
+(** Same for [Dup; Ldc_str perm; Invokestatic checkResource]. *)
+
+val env : Policy.t -> Analysis.Certify.env
+
+val certify :
+  Policy.t ->
+  ?cert:Analysis.Certificate.class_cert ->
+  Bytecode.Classfile.t ->
+  (Analysis.Certify.stats, Analysis.Certify.reason list) result

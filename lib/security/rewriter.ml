@@ -187,16 +187,30 @@ let anticipable (cfg : Analysis.Cfg.t) ~(in_loop : int -> bool) ~header_first
 type decision = {
   insert : (int * string * bool) list; (* surviving sites *)
   hoists : (int * string) list; (* header instruction index, permission *)
+  elided_sites : (int * string) list;
+      (* plain sites dropped because the permission is available *)
+  hoisted_sites : (int * string * int) list;
+      (* sites whose check moved to a preheader: site, permission,
+         header instruction index (all original coordinates) *)
   elided : int;
   hoisted : int;
 }
+
+let no_elision sites =
+  {
+    insert = sites;
+    hoists = [];
+    elided_sites = [];
+    hoisted_sites = [];
+    elided = 0;
+    hoisted = 0;
+  }
 
 (* Decide which of [sites] can be dropped. Pure analysis over the
    original code: the result feeds straight into the patcher. *)
 let elision_plan (code : CF.code) sites : decision =
   match Analysis.Cfg.of_code code with
-  | exception Analysis.Cfg.Malformed _ ->
-    { insert = sites; hoists = []; elided = 0; hoisted = 0 }
+  | exception Analysis.Cfg.Malformed _ -> no_elision sites
   | cfg ->
     (* Availability: every site generates its permission (for an
        elided site the dominating check it relies on already provides
@@ -255,6 +269,7 @@ let elision_plan (code : CF.code) sites : decision =
     in
     let hoists = ref [] in
     let hoisted_sites = ref [] in
+    let hoisted_certs = ref [] in
     List.iter
       (fun ((idx, p, with_resource) as site) ->
         (* resource-aware sites are never hoisted *)
@@ -309,7 +324,8 @@ let elision_plan (code : CF.code) sites : decision =
             let header = Analysis.Cfg.block cfg l.Analysis.Dom.header in
             if not (List.mem (header.Analysis.Cfg.first, p) !hoists) then
               hoists := (header.Analysis.Cfg.first, p) :: !hoists;
-            hoisted_sites := site :: !hoisted_sites
+            hoisted_sites := site :: !hoisted_sites;
+            hoisted_certs := (idx, p, header.Analysis.Cfg.first) :: !hoisted_certs
           | None -> ()
         end)
       rest;
@@ -319,14 +335,73 @@ let elision_plan (code : CF.code) sites : decision =
     {
       insert;
       hoists = List.rev !hoists;
+      elided_sites = List.map (fun (idx, p, _) -> (idx, p)) by_avail;
+      hoisted_sites = List.rev !hoisted_certs;
       elided = List.length by_avail + List.length !hoisted_sites;
       hoisted = List.length !hoists;
     }
 
-let rewrite_class ?(counters = fresh_counters ()) ?(elide = true) policy
+(* Certificate emission: the elision plan speaks original-code
+   coordinates, certificates must speak rewritten-code coordinates the
+   validator sees — the patch layout is the bridge. The support of an
+   availability elision is every surviving plain check of the same
+   permission (the solver, not the list, is the proof; the list is the
+   audit trail the validator cross-checks element-wise). *)
+let method_entries (plan : decision) (layout : Rewrite.Patch.layout) :
+    Analysis.Certificate.entry list =
+  let starts = layout.Rewrite.Patch.l_starts in
+  let n_insert = List.length plan.insert in
+  let support_of p =
+    let s = ref [] in
+    List.iteri
+      (fun i (_, perm, with_resource) ->
+        (* plain check blocks are [Ldc_str; Invokestatic]: the invoke
+           sits one past the block start *)
+        if (not with_resource) && String.equal perm p then
+          s := (starts.(i) + 1) :: !s)
+      plan.insert;
+    List.iteri
+      (fun j (_, perm) ->
+        if String.equal perm p then s := (starts.(n_insert + j) + 1) :: !s)
+      plan.hoists;
+    List.sort compare !s
+  in
+  let hoist_check_site p header_first =
+    let rec find j = function
+      | [] -> -1
+      | (h, perm) :: tl ->
+        if h = header_first && String.equal perm p then starts.(n_insert + j) + 1
+        else find (j + 1) tl
+    in
+    find 0 plan.hoists
+  in
+  List.map
+    (fun (idx, p) ->
+      {
+        Analysis.Certificate.ce_site = layout.Rewrite.Patch.l_instr.(idx);
+        ce_fact = Analysis.Certificate.Available_check p;
+        ce_kind = Analysis.Certificate.Elided { support = support_of p };
+      })
+    plan.elided_sites
+  @ List.map
+      (fun (idx, p, header_first) ->
+        {
+          Analysis.Certificate.ce_site = layout.Rewrite.Patch.l_instr.(idx);
+          ce_fact = Analysis.Certificate.Available_check p;
+          ce_kind =
+            Analysis.Certificate.Hoisted
+              {
+                check_site = hoist_check_site p header_first;
+                header = layout.Rewrite.Patch.l_target.(header_first);
+              };
+        })
+      plan.hoisted_sites
+
+let rewrite_class ?(counters = fresh_counters ()) ?(elide = true) ?certs policy
     (cf : CF.t) : CF.t =
   counters.classes_processed <- counters.classes_processed + 1;
   let pool = CP.Builder.of_pool cf.CF.pool in
+  let method_certs = ref [] in
   let methods =
     List.map
       (fun m ->
@@ -338,8 +413,7 @@ let rewrite_class ?(counters = fresh_counters ()) ?(elide = true) policy
           else begin
             counters.methods_instrumented <- counters.methods_instrumented + 1;
             let plan =
-              if elide then elision_plan code sites
-              else { insert = sites; hoists = []; elided = 0; hoisted = 0 }
+              if elide then elision_plan code sites else no_elision sites
             in
             counters.checks_elided <- counters.checks_elided + plan.elided;
             counters.checks_hoisted <- counters.checks_hoisted + plan.hoisted;
@@ -361,7 +435,20 @@ let rewrite_class ?(counters = fresh_counters ()) ?(elide = true) policy
               counters.checks_inserted + List.length insertions;
             if insertions = [] then m
             else begin
-              let code = Rewrite.Patch.apply_insertions code insertions in
+              let code, layout =
+                Rewrite.Patch.apply_insertions_layout code insertions
+              in
+              (if certs <> None then
+                 match method_entries plan layout with
+                 | [] -> ()
+                 | entries ->
+                   method_certs :=
+                     {
+                       Analysis.Certificate.mc_name = m.CF.m_name;
+                       mc_desc = m.CF.m_desc;
+                       mc_entries = entries;
+                     }
+                     :: !method_certs);
               let sg = Bytecode.Descriptor.method_sig_of_string m.CF.m_desc in
               let code =
                 Rewrite.Patch.recompute (CP.Builder.to_pool pool)
@@ -374,7 +461,18 @@ let rewrite_class ?(counters = fresh_counters ()) ?(elide = true) policy
           end)
       cf.CF.methods
   in
+  (match certs with
+  | None -> ()
+  | Some store ->
+    (* Recording an empty certificate clears any stale entry from a
+       previous rewrite of the same class name. *)
+    Analysis.Certificate.record store
+      {
+        Analysis.Certificate.cc_name = cf.CF.name;
+        cc_methods = List.rev !method_certs;
+      });
   { cf with CF.methods; pool = CP.Builder.to_pool pool }
 
-let filter ?counters ?elide policy =
-  Rewrite.Filter.make ~name:"security" (rewrite_class ?counters ?elide policy)
+let filter ?counters ?elide ?certs policy =
+  Rewrite.Filter.make ~name:"security"
+    (rewrite_class ?counters ?elide ?certs policy)

@@ -39,8 +39,17 @@ val check_block :
 val rewrite_class :
   ?counters:counters ->
   ?elide:bool ->
+  ?certs:Analysis.Certificate.store ->
   Policy.t ->
   Bytecode.Classfile.t ->
   Bytecode.Classfile.t
+(** With [certs], every elided or hoisted check deposits an elision
+    certificate (in rewritten-code coordinates) into the store, keyed
+    by class name, for the {!Certifier} gate to re-prove. *)
 
-val filter : ?counters:counters -> ?elide:bool -> Policy.t -> Rewrite.Filter.t
+val filter :
+  ?counters:counters ->
+  ?elide:bool ->
+  ?certs:Analysis.Certificate.store ->
+  Policy.t ->
+  Rewrite.Filter.t

@@ -175,6 +175,75 @@ let test_loops () =
       (Hashtbl.length loop.A.Dom.body)
   | ls -> fail (Printf.sprintf "expected 1 loop, found %d" (List.length ls))
 
+(* --- QCheck: [Dom.compute] (the RPO fixpoint) vs the textbook
+   definition — a dominates b iff every entry→b path passes through a,
+   i.e. iff b becomes unreachable once a is removed from the graph.
+   Random small CFGs of gotos, conditionals and early returns cover
+   joins, unreachable tails and irreducible shapes. --- *)
+
+let naive_dominates cfg a b =
+  let n = A.Cfg.block_count cfg in
+  let reach_avoiding skip =
+    let seen = Array.make n false in
+    let rec go u =
+      if u <> skip && not seen.(u) then begin
+        seen.(u) <- true;
+        List.iter (fun (v, _) -> go v) (A.Cfg.block cfg u).A.Cfg.succs
+      end
+    in
+    if skip <> 0 then go 0;
+    seen
+  in
+  if not (reach_avoiding (-1)).(b) then false
+  else if a = b then true
+  else not (reach_avoiding a).(b)
+
+let arbitrary_dom_code =
+  let gen =
+    QCheck.Gen.(
+      int_range 2 14 >>= fun n ->
+      let instr i =
+        if i = n - 1 then return I.Return
+        else
+          frequency
+            [
+              (4, return I.Nop);
+              (2, map (fun t -> I.Goto t) (int_range 0 (n - 1)));
+              (3, map (fun t -> I.If_z (I.Eq, t)) (int_range 0 (n - 1)));
+              (1, return I.Return);
+            ]
+      in
+      map
+        (fun instrs ->
+          {
+            CF.max_stack = 2;
+            max_locals = 1;
+            instrs = Array.of_list instrs;
+            handlers = [];
+          })
+        (flatten_l (List.init n instr)))
+  in
+  QCheck.make gen ~print:(fun code ->
+      String.concat "\n"
+        (List.mapi
+           (fun i ins -> Printf.sprintf "%2d: %s" i (I.to_string ins))
+           (Array.to_list code.CF.instrs)))
+
+let prop_dom_matches_naive =
+  QCheck.Test.make ~name:"dominators match the path-based definition"
+    ~count:300 arbitrary_dom_code (fun code ->
+      let cfg = A.Cfg.of_code code in
+      let dom = A.Dom.compute cfg in
+      let n = A.Cfg.block_count cfg in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        for b = 0 to n - 1 do
+          if A.Dom.dominates dom a b <> naive_dominates cfg a b then
+            ok := false
+        done
+      done;
+      !ok)
+
 (* ------------------------------------------------------------------ *)
 (* Abstract domains                                                    *)
 
@@ -740,6 +809,7 @@ let () =
         [
           Alcotest.test_case "dominators on a diamond" `Quick test_dominators;
           Alcotest.test_case "natural loop detection" `Quick test_loops;
+          QCheck_alcotest.to_alcotest prop_dom_matches_naive;
         ] );
       ( "domains",
         [
