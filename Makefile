@@ -1,4 +1,4 @@
-.PHONY: all build test lint certify-smoke farm-smoke chaos-smoke trace-smoke bench-pin perf-compare check clean
+.PHONY: all build test lint certify-smoke farm-smoke chaos-smoke control-smoke trace-smoke bench-pin perf-compare check clean
 
 all: build
 
@@ -39,6 +39,16 @@ chaos-smoke:
 	dune exec bin/dvmctl.exe -- chaos --clients 12 --duration 12 \
 	  --spike-start 3 --spike-len 5 --crashes 1 --loss 1.0 --trace
 
+# Control-plane smoke: a short seeded run replicating a policy bump
+# across the farm while control links partition (split brain) and one
+# shard crash/restarts. dvmctl exits nonzero if any control-plane
+# invariant fails: a client served under the revoked policy version,
+# a shard that never converges, or digest drift on applets the bump
+# does not touch.
+control-smoke:
+	dune exec bin/dvmctl.exe -- control --clients 12 --duration 18 \
+	  --applets 6 --bump-at 7 --partitions 1 --partition-len 2 --trace
+
 # Trace smoke: a seeded chaos run must yield, for at least one shed and
 # one serve-stale brownout request, a single cross-node trace with the
 # client span, the edge routing span and the explaining reason event.
@@ -60,10 +70,11 @@ bench-pin:
 	dune exec bench/main.exe -- faults
 	dune exec bench/main.exe -- farm
 	dune exec bench/main.exe -- chaos
+	dune exec bench/main.exe -- control
 	dune exec bench/main.exe -- elide
 	dune exec bench/main.exe -- certify
-	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_elide.json BENCH_certify.json
-	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_elide.json BENCH_certify.json
+	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_control.json BENCH_elide.json BENCH_certify.json
+	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_control.json BENCH_elide.json BENCH_certify.json
 
 # Perf compare: the bench perf phase re-runs the pinned phases, exits
 # non-zero if any served byte, digest or metric drifts from the
@@ -72,8 +83,8 @@ bench-pin:
 # diff is a second, independent net over the same files.
 perf-compare:
 	dune exec bench/main.exe -- perf
-	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_elide.json BENCH_certify.json
-	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_elide.json BENCH_certify.json
+	git diff -I '"wall_ms"' --exit-code BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_control.json BENCH_elide.json BENCH_certify.json
+	git checkout -- BENCH_faults.json BENCH_farm.json BENCH_chaos.json BENCH_control.json BENCH_elide.json BENCH_certify.json
 
 # The gate a PR must pass: everything builds, every test is green, and
 # no build artifacts are tracked or dirtying the tree.
@@ -84,6 +95,7 @@ check:
 	$(MAKE) certify-smoke
 	$(MAKE) farm-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) control-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) perf-compare
 	@if git ls-files | grep -q '^_build/'; then \

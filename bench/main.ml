@@ -1126,6 +1126,77 @@ let chaos () =
   List.iter (Printf.printf "  %s\n")
     v.Dvm.Chaos.v_chaotic.Dvm.Chaos.co_fault_trace
 
+(* --- Control: a replicated policy bump under partition and split
+   brain. --- *)
+
+let control () =
+  section "Control plane: policy bump under partition and split brain";
+  let cfg = Dvm.Chaos.default_control_config in
+  Printf.printf
+    "%d shards, %d clients, %d applets, bump at %ds, %d control-link \
+     partition\n\
+     windows of %ds (the first spans the bump), restart %s, %.0f ms lease, \
+     seed %d\n\n"
+    cfg.Dvm.Chaos.cc_shards cfg.Dvm.Chaos.cc_clients cfg.Dvm.Chaos.cc_applets
+    cfg.Dvm.Chaos.cc_bump_at_s cfg.Dvm.Chaos.cc_partitions
+    cfg.Dvm.Chaos.cc_partition_len_s
+    (if cfg.Dvm.Chaos.cc_restart_shard then "on" else "off")
+    (Int64.to_float cfg.Dvm.Chaos.cc_lease_us /. 1e3)
+    cfg.Dvm.Chaos.cc_seed;
+  let outcome_json o =
+    Printf.sprintf
+      "{\"fetches\":%d,\"served\":%d,\"stale\":%d,\"failed\":%d,\"shed\":%d,\"base_version\":%d,\"new_version\":%d,\"commit_us\":%Ld,\"revoked_serves\":%d,\"inflight_exempt\":%d,\"fence_rejects\":%d,\"resyncs\":%d,\"stale_drops\":%d,\"invalidations\":%d,\"heartbeats\":%d,\"commits\":%d,\"converged\":%b,\"changed_applets\":[%s],\"digests\":{%s},\"trace_digest\":\"%s\"}"
+      o.Dvm.Chaos.cn_fetches o.Dvm.Chaos.cn_served o.Dvm.Chaos.cn_stale_served
+      o.Dvm.Chaos.cn_failed o.Dvm.Chaos.cn_shed o.Dvm.Chaos.cn_base_version
+      o.Dvm.Chaos.cn_new_version o.Dvm.Chaos.cn_commit_us
+      o.Dvm.Chaos.cn_revoked_serves o.Dvm.Chaos.cn_inflight_exempt
+      o.Dvm.Chaos.cn_fence_rejects o.Dvm.Chaos.cn_resyncs
+      o.Dvm.Chaos.cn_stale_drops o.Dvm.Chaos.cn_invalidations
+      o.Dvm.Chaos.cn_heartbeats o.Dvm.Chaos.cn_commits
+      o.Dvm.Chaos.cn_converged
+      (String.concat ","
+         (List.map
+            (fun a -> Printf.sprintf "\"%s\"" a)
+            o.Dvm.Chaos.cn_changed_applets))
+      (String.concat ","
+         (List.map
+            (fun (k, ds) ->
+              Printf.sprintf "\"%s\":[%s]" k
+                (String.concat ","
+                   (List.map
+                      (fun d -> Printf.sprintf "\"%s\"" (Dsig.Md5.to_hex d))
+                      ds)))
+            o.Dvm.Chaos.cn_digests))
+      (Dsig.Md5.to_hex o.Dvm.Chaos.cn_trace_digest)
+  in
+  subsection "invariants vs the partition-free reference run";
+  let w = Dvm.Chaos.verify_control cfg in
+  Dvm.Chaos.print_control_outcome ~label:"reference" w.Dvm.Chaos.w_reference;
+  Dvm.Chaos.print_control_outcome ~label:"chaotic" w.Dvm.Chaos.w_chaotic;
+  let c = w.Dvm.Chaos.w_chaotic in
+  Printf.printf
+    "\nbump v%d -> v%d; %d applets change bytes\n\
+     no serves under revoked version: %b (in-flight exempt: %d)\n\
+     every shard converged:          %b\n\
+     unaffected digests identical:   %b\n"
+    c.Dvm.Chaos.cn_base_version c.Dvm.Chaos.cn_new_version
+    (List.length c.Dvm.Chaos.cn_changed_applets)
+    w.Dvm.Chaos.w_no_revoked_serves c.Dvm.Chaos.cn_inflight_exempt
+    w.Dvm.Chaos.w_converged w.Dvm.Chaos.w_digests_ok;
+  bench_put "reference" (outcome_json w.Dvm.Chaos.w_reference);
+  bench_put "chaotic" (outcome_json c);
+  bench_put "invariants"
+    (Printf.sprintf
+       "{\"no_revoked_serves\":%b,\"converged\":%b,\"digests_ok\":%b}"
+       w.Dvm.Chaos.w_no_revoked_serves w.Dvm.Chaos.w_converged
+       w.Dvm.Chaos.w_digests_ok);
+  subsection "injected-fault trace (replayable from the seed)";
+  List.iter (Printf.printf "  %s\n") c.Dvm.Chaos.cn_fault_trace;
+  if not (Dvm.Chaos.control_ok w) then begin
+    Printf.eprintf "control: control-plane invariant violated\n";
+    exit 1
+  end
+
 (* --- Perf: wall-clock trajectory against the pinned baselines. ---
 
    Re-runs the three phases that write BENCH_<phase>.json, then diffs
@@ -1168,11 +1239,14 @@ let wall_ms_of text =
 let perf () =
   section "Perf: wall-clock vs pinned BENCH baselines";
   (* elide runs on the host clock (no simnet engine), so its latency
-     histograms are wall time and not pinnable — hists:false. *)
+     histograms are wall time and not pinnable — hists:false. Same for
+     control: its offline digest cross-check replays the pipeline
+     outside the sim clock, so filter_us histograms carry wall time. *)
   let pinned =
     [
       ("faults", faults, true); ("farm", farm, true); ("chaos", chaos, true);
-      ("elide", elide, false); ("certify", certify, true);
+      ("control", control, false); ("elide", elide, false);
+      ("certify", certify, true);
     ]
   in
   let baselines =
@@ -1217,7 +1291,7 @@ let perf () =
        perf: BENCH baseline drift — served bytes, digests or metrics \
        changed.\n\
        Inspect with: git diff -I '\"wall_ms\"' BENCH_faults.json \
-       BENCH_farm.json BENCH_chaos.json\n";
+       BENCH_farm.json BENCH_chaos.json BENCH_control.json\n";
     exit 1
   end
 
@@ -1237,6 +1311,7 @@ let all () =
   with_phase ~json:true "faults" faults;
   with_phase ~json:true "farm" farm;
   with_phase ~json:true "chaos" chaos;
+  with_phase ~json:true ~hists:false "control" control;
   micro ()
 
 let () =
@@ -1257,12 +1332,13 @@ let () =
   | "faults" -> with_phase ~json:true "faults" faults
   | "farm" -> with_phase ~json:true "farm" farm
   | "chaos" -> with_phase ~json:true "chaos" chaos
+  | "control" -> with_phase ~json:true ~hists:false "control" control
   | "micro" -> micro ()
   | "perf" -> perf ()
   | "all" -> all ()
   | other ->
     Printf.eprintf
       "unknown target %S (expected fig5..fig12, applets, ablations, elide, \
-       certify, faults, farm, chaos, micro, perf, all)\n"
+       certify, faults, farm, chaos, control, micro, perf, all)\n"
       other;
     exit 1

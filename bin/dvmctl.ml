@@ -20,6 +20,10 @@
                                   overload controls: crash windows, LAN
                                   loss, a flash-crowd spike; checks the
                                   integrity/deadline/recovery invariants
+     dvmctl control [opts]        replicate a policy bump across the farm
+                                  under control-link partitions and a
+                                  shard restart; checks that no client is
+                                  served under the revoked policy version
 *)
 
 open Cmdliner
@@ -768,6 +772,64 @@ let chaos seed shards clients duration spike spike_start spike_len crashes
     1
   end
 
+let control seed shards clients duration applets partitions partition_len
+    bump_at no_restart lease_ms trace =
+  let cfg =
+    {
+      Dvm.Chaos.default_control_config with
+      Dvm.Chaos.cc_seed = seed;
+      cc_shards = shards;
+      cc_clients = clients;
+      cc_duration_s = duration;
+      cc_applets = applets;
+      cc_partitions = partitions;
+      cc_partition_len_s = partition_len;
+      cc_bump_at_s = bump_at;
+      cc_restart_shard = not no_restart;
+      cc_lease_us = Int64.of_int (lease_ms * 1000);
+    }
+  in
+  Printf.printf
+    "control: %d shards, %d clients, %d applets, policy bump at %ds,\n\
+     %d control-link partition windows of %ds (first spans the bump), \
+     restart %s,\n\
+     %d ms lease, seed %d\n\n"
+    cfg.Dvm.Chaos.cc_shards cfg.Dvm.Chaos.cc_clients cfg.Dvm.Chaos.cc_applets
+    cfg.Dvm.Chaos.cc_bump_at_s cfg.Dvm.Chaos.cc_partitions
+    cfg.Dvm.Chaos.cc_partition_len_s
+    (if cfg.Dvm.Chaos.cc_restart_shard then "on" else "off")
+    lease_ms cfg.Dvm.Chaos.cc_seed;
+  let w = Dvm.Chaos.verify_control cfg in
+  Dvm.Chaos.print_control_outcome ~label:"reference" w.Dvm.Chaos.w_reference;
+  Dvm.Chaos.print_control_outcome ~label:"chaotic" w.Dvm.Chaos.w_chaotic;
+  let c = w.Dvm.Chaos.w_chaotic in
+  Printf.printf
+    "\nbump v%d -> v%d committed at %Ld us; %d applets change bytes: %s\n"
+    c.Dvm.Chaos.cn_base_version c.Dvm.Chaos.cn_new_version
+    c.Dvm.Chaos.cn_commit_us
+    (List.length c.Dvm.Chaos.cn_changed_applets)
+    (String.concat ", " c.Dvm.Chaos.cn_changed_applets);
+  Printf.printf
+    "\nno serves under revoked version: %b (in-flight exempt: %d)\n\
+     every shard converged:          %b (versions %s)\n\
+     unaffected digests identical:   %b\n"
+    w.Dvm.Chaos.w_no_revoked_serves c.Dvm.Chaos.cn_inflight_exempt
+    w.Dvm.Chaos.w_converged
+    (String.concat " "
+       (List.map string_of_int c.Dvm.Chaos.cn_member_versions))
+    w.Dvm.Chaos.w_digests_ok;
+  if trace then begin
+    Printf.printf "\ninjected-fault trace (replayable from seed %d):\n" seed;
+    match c.Dvm.Chaos.cn_fault_trace with
+    | [] -> print_endline "  (no faults injected)"
+    | lines -> List.iter (Printf.printf "  %s\n") lines
+  end;
+  if Dvm.Chaos.control_ok w then 0
+  else begin
+    Printf.eprintf "control-plane invariant violated\n";
+    1
+  end
+
 (* --- Cmdliner plumbing. --- *)
 
 let gen_cmd =
@@ -1157,6 +1219,76 @@ let chaos_cmd =
           $ spike_start $ spike_len $ crashes $ loss $ budget $ no_control
           $ compare $ trace)
 
+let control_cmd =
+  let d = Dvm.Chaos.default_control_config in
+  let seed =
+    Arg.(value & opt int d.Dvm.Chaos.cc_seed
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"fault-schedule seed; the run is a pure function of it")
+  in
+  let shards =
+    Arg.(value & opt int d.Dvm.Chaos.cc_shards
+         & info [ "shards" ] ~docv:"N" ~doc:"farm shard count")
+  in
+  let clients =
+    Arg.(value & opt int d.Dvm.Chaos.cc_clients
+         & info [ "clients" ] ~docv:"N" ~doc:"browsing clients")
+  in
+  let duration =
+    Arg.(value & opt int d.Dvm.Chaos.cc_duration_s
+         & info [ "duration" ] ~docv:"S" ~doc:"simulated seconds")
+  in
+  let applets =
+    Arg.(value & opt int d.Dvm.Chaos.cc_applets
+         & info [ "applets" ] ~docv:"N" ~doc:"distinct cached applets")
+  in
+  let partitions =
+    Arg.(value & opt int d.Dvm.Chaos.cc_partitions
+         & info [ "partitions" ] ~docv:"N"
+             ~doc:"control-link partition windows; the first is pinned to \
+                   span the policy bump (split brain: the victim's data \
+                   path stays up)")
+  in
+  let partition_len =
+    Arg.(value & opt int d.Dvm.Chaos.cc_partition_len_s
+         & info [ "partition-len" ] ~docv:"S"
+             ~doc:"partition window length")
+  in
+  let bump_at =
+    Arg.(value & opt int d.Dvm.Chaos.cc_bump_at_s
+         & info [ "bump-at" ] ~docv:"S"
+             ~doc:"when the leader proposes the new policy version")
+  in
+  let no_restart =
+    Arg.(value & flag
+         & info [ "no-restart" ]
+             ~doc:"skip the shard crash/restart window (the restarted \
+                   shard must recover version and invalidations from \
+                   the log, not the stale shared L2)")
+  in
+  let lease =
+    Arg.(value & opt int (Int64.to_int d.Dvm.Chaos.cc_lease_us / 1000)
+         & info [ "lease" ] ~docv:"MS" ~doc:"member lease length (ms)")
+  in
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"print the injected-fault trace")
+  in
+  Cmd.v
+    (Cmd.info "control"
+       ~doc:
+         "Replicate a security-policy bump and its cache invalidations \
+          across the farm while a seeded schedule partitions control \
+          links (split brain) and crash/restarts a shard, then check the \
+          control-plane invariants: no client is ever served bytes \
+          rewritten under the revoked policy version once the bump \
+          commits, every shard converges to the new version, and applets \
+          the bump does not affect serve byte-identical digests to a \
+          partition-free run. Exits nonzero on violation")
+    Term.(const control $ seed $ shards $ clients $ duration $ applets
+          $ partitions $ partition_len $ bump_at $ no_restart $ lease
+          $ trace)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "dvmctl" ~version:"1.0"
@@ -1164,7 +1296,7 @@ let main_cmd =
     [
       gen_cmd; disasm_cmd; verify_cmd; rewrite_cmd; run_cmd; split_cmd;
       analyze_cmd; lint_cmd; certify_cmd; trace_cmd; metrics_cmd; flight_cmd;
-      slo_cmd; faults_cmd; farm_cmd; chaos_cmd;
+      slo_cmd; faults_cmd; farm_cmd; chaos_cmd; control_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -361,6 +361,431 @@ let spike_comparison (cfg : config) : comparison =
       control.co_goodput_bps /. Float.max 1e-9 baseline.co_goodput_bps;
   }
 
+(* --- The control-plane scenario: policy bumps under partition and
+   split brain. ---
+
+   A farm with warm caches (per-shard L1 plus the shared L2) serves a
+   fixed applet set while the control plane replicates a security-
+   policy bump and its cache invalidations to every shard. The seeded
+   schedule cuts the victim shard's *control* links — its data path
+   stays up, the split-brain case: the farm keeps routing to a shard
+   that can no longer hear the leader — and optionally crash/restarts
+   another shard so it must recover the current version and pending
+   invalidations from the leader's log rather than the stale L2.
+
+   The machine-checked invariant: no fetch *issued after* the bump
+   committed is served bytes rewritten under the revoked version.
+   (Fetches already in flight at the commit are exempt — the lease
+   bound is about when a shard stops accepting new work.) It is
+   checked offline against pure pipeline runs: each applet's body is
+   rewritten under every version's stack, so each served digest maps
+   to the set of versions that produce it, and a violation is a fresh
+   serve, issued when [committed_version >= v2], whose digest only old
+   stacks produce. *)
+
+type control_config = {
+  cc_seed : int;
+  cc_shards : int;
+  cc_clients : int;
+  cc_duration_s : int;
+  cc_applets : int;
+  cc_think_us : int64;
+  cc_budget_us : int64;
+  cc_retry_budget : int;
+  cc_cache_mb : int; (* per-shard L1 and shared L2 capacity *)
+  cc_partitions : int; (* control-link partition windows; the first spans the bump *)
+  cc_partition_len_s : int;
+  cc_bump_at_s : int; (* when the leader proposes the new policy version *)
+  cc_restart_shard : bool; (* crash/restart one shard, drawn from the seed *)
+  cc_lease_us : int64;
+  cc_hb_interval_us : int64;
+  cc_commit_margin_us : int64;
+  cc_trace : bool;
+}
+
+let default_control_config =
+  {
+    cc_seed = 7;
+    cc_shards = 4;
+    cc_clients = 24;
+    cc_duration_s = 30;
+    cc_applets = 8;
+    cc_think_us = 500_000L;
+    cc_budget_us = 2_000_000L;
+    cc_retry_budget = 8;
+    cc_cache_mb = 16;
+    cc_partitions = 2;
+    cc_partition_len_s = 3;
+    cc_bump_at_s = 12;
+    cc_restart_shard = true;
+    cc_lease_us = 1_000_000L;
+    cc_hb_interval_us = 250_000L;
+    cc_commit_margin_us = 100_000L;
+    cc_trace = false;
+  }
+
+type control_outcome = {
+  cn_seed : int;
+  cn_fetches : int;
+  cn_served : int; (* fresh serves *)
+  cn_stale_served : int;
+  cn_failed : int;
+  cn_shed : int;
+  cn_base_version : int;
+  cn_new_version : int;
+  cn_commit_us : int64; (* when the bump committed (0 = never) *)
+  cn_revoked_serves : int; (* fresh serves of revoked bytes issued after commit — must be 0 *)
+  cn_inflight_exempt : int; (* old-version serves issued before the commit *)
+  cn_fence_rejects : int;
+  cn_resyncs : int;
+  cn_stale_drops : int; (* versioned cache lookups that dropped a stale entry *)
+  cn_invalidations : int; (* explicit Cache.remove hits *)
+  cn_heartbeats : int;
+  cn_commits : int;
+  cn_converged : bool; (* every member applied the full log, at the new version, leased *)
+  cn_member_versions : int list;
+  cn_changed_applets : string list; (* applets whose bytes differ across versions *)
+  cn_digests : (string * string list) list; (* applet -> sorted distinct served digests *)
+  cn_fault_trace : string list;
+  cn_trace_digest : string;
+}
+
+let run_control (cfg : control_config) : control_outcome =
+  if cfg.cc_shards <= 0 then
+    invalid_arg "Chaos.run_control: shards must be positive";
+  if cfg.cc_trace then begin
+    Telemetry.Trace.reset ();
+    Telemetry.Trace.enable ()
+  end;
+  let engine = Simnet.Engine.create () in
+  Simnet.Engine.set_tracing engine true;
+  Simnet.Engine.set_trace_cap engine (Some 1_000_000);
+  let plan = Simnet.Fault.create ~seed:cfg.cc_seed in
+  let origin, _wan =
+    Scaling.applet_workload ~applet_count:cfg.cc_applets ~seed:cfg.cc_seed
+  in
+  let origin_latency _ = Simnet.Engine.ms 10 in
+  (* Two policy versions: the standard policy, and the same policy
+     tightened with audited operations on two specific applets' kernel
+     entry points — an operation-map change, so the rewriter starts
+     instrumenting those call sites and the rewritten bytes genuinely
+     differ for exactly those applets. The rest exercise the
+     unchanged-digest half of the invariant: partitions may change who
+     serves them, never the bytes. *)
+  let policy_v1 = Experiment.standard_policy in
+  let tightened = List.filter (fun k -> k < cfg.cc_applets) [ 1; 4 ] in
+  let policy_v2 =
+    List.fold_left
+      (fun p k ->
+        Security.Policy.with_operation p
+          {
+            Security.Policy.op_permission = "applet.step";
+            op_class = Printf.sprintf "applet/A%03d/Kernel" k;
+            op_method = "step";
+            op_resource_arg = false;
+          })
+      policy_v1 tightened
+  in
+  let v1 = policy_v1.Security.Policy.version
+  and v2 = policy_v2.Security.Policy.version in
+  let stack_v1 = Scaling.filters_for policy_v1
+  and stack_v2 = Scaling.filters_for policy_v2 in
+  let stack_of v = if v >= v2 then stack_v2 else stack_v1 in
+  (* Warm-cache serving: per-shard L1s plus one shared L2, fixed
+     request names, no memo — stale hits must actually recompute. *)
+  let l2 = Proxy.Cache.create ~capacity:(cfg.cc_cache_mb * 1024 * 1024) in
+  let pool =
+    Array.init cfg.cc_shards (fun i ->
+        Proxy.create engine
+          ~cache_capacity:(cfg.cc_cache_mb * 1024 * 1024)
+          ~l2
+          ~host_name:(Printf.sprintf "shard%d" i)
+          ~origin ~origin_latency ~filters:stack_v1 ())
+  in
+  Array.iter (fun p -> p.Proxy.policy_version <- v1) pool;
+  let farm = Proxy.Farm.create engine pool in
+  Array.iteri
+    (fun i p ->
+      let share =
+        (cfg.cc_clients / cfg.cc_shards)
+        + (if i < cfg.cc_clients mod cfg.cc_shards then 1 else 0)
+      in
+      Simnet.Host.allocate p.Proxy.host (share * Scaling.per_client_state_bytes))
+    pool;
+  let horizon = Simnet.Engine.sec cfg.cc_duration_s in
+  (* The control plane: per-member heartbeat/ack links over the farm
+     LAN fabric. Applying an entry swaps the shard's filter stack and
+     version, or drops the named class from its L1 and the shared L2. *)
+  let ctl =
+    Proxy.Control.create engine ~lease_us:cfg.cc_lease_us
+      ~hb_interval_us:cfg.cc_hb_interval_us
+      ~commit_margin_us:cfg.cc_commit_margin_us ~initial_version:v1 ()
+  in
+  let ctl_links =
+    Array.mapi
+      (fun i p ->
+        let link name =
+          Simnet.Link.create engine
+            ~name:(Printf.sprintf "ctl-%s-shard%d" name i)
+            ~bandwidth_bps:10_000_000 ~latency:(Simnet.Engine.us 500)
+        in
+        let lto = link "to" and lfrom = link "from" in
+        let mid =
+          Proxy.Control.add_member ctl
+            ~name:p.Proxy.host.Simnet.Host.name ~host:p.Proxy.host
+            ~link_to:lto ~link_from:lfrom
+            ~apply:(fun entry ->
+              match entry with
+              | Proxy.Control.Set_version v ->
+                p.Proxy.filters <- stack_of v;
+                p.Proxy.policy_version <- v
+              | Proxy.Control.Invalidate key ->
+                ignore (Proxy.Cache.remove p.Proxy.cache key);
+                ignore (Proxy.Cache.remove l2 key))
+        in
+        p.Proxy.serving_allowed <- (fun () -> Proxy.Control.member_ok ctl mid);
+        (lto, lfrom, mid))
+      pool
+  in
+  Proxy.Control.start ctl ~until:horizon;
+  let bump_at = Simnet.Engine.sec cfg.cc_bump_at_s in
+  let mid_start = Int64.div horizon 4L and mid_len = Int64.div horizon 2L in
+  (* Partition windows on the victim's control links only — the data
+     path stays up, so the farm keeps routing to a shard that cannot
+     hear the leader until its lease lapses and the fence trips. The
+     first window is pinned to span the bump (the interesting
+     interleaving); the rest are drawn from the seed inside the middle
+     half. *)
+  for w = 0 to cfg.cc_partitions - 1 do
+    let victim = Simnet.Fault.range plan ~max:cfg.cc_shards in
+    let lto, lfrom, _ = ctl_links.(victim) in
+    let len = Simnet.Engine.sec cfg.cc_partition_len_s in
+    let start =
+      if w = 0 then Int64.sub bump_at (Simnet.Engine.sec 1)
+      else
+        Int64.add mid_start
+          (Int64.of_int (Simnet.Fault.range plan ~max:(Int64.to_int mid_len)))
+    in
+    Simnet.Fault.schedule_partition plan engine
+      ~what:(Printf.sprintf "ctl shard%d" victim)
+      ~set:(fun v ->
+        Simnet.Link.set_partitioned lto v;
+        Simnet.Link.set_partitioned lfrom v)
+      ~schedule:[ (start, len) ]
+      ()
+  done;
+  (* One crash/restart window: the shard reboots with its L1 gone and
+     its policy state back at the base version — everything it knows
+     again it must re-learn from the leader's log before the control
+     plane lets it serve. The shared L2 deliberately survives: the
+     version stamps are what keep its old entries from being
+     resurrected. *)
+  if cfg.cc_restart_shard then begin
+    let victim = Simnet.Fault.range plan ~max:cfg.cc_shards in
+    let p = pool.(victim) in
+    let _, _, mid = ctl_links.(victim) in
+    let crash_at =
+      Int64.add mid_start
+        (Int64.of_int (Simnet.Fault.range plan ~max:(Int64.to_int mid_len)))
+    in
+    let down_for =
+      Int64.of_int (1_000_000 + Simnet.Fault.range plan ~max:2_000_000)
+    in
+    Simnet.Fault.schedule_host_faults plan p.Proxy.host
+      ~on_restart:(fun () ->
+        Proxy.Cache.clear p.Proxy.cache;
+        p.Proxy.filters <- stack_v1;
+        p.Proxy.policy_version <- v1;
+        Proxy.Control.mark_restarted ctl mid)
+      ~schedule:[ (crash_at, down_for) ]
+      ()
+  end;
+  (* The bump itself: the new version plus explicit invalidations for
+     the keys whose bytes the bump changes, replicated through the
+     log. The other applets' cached entries are left to the version
+     stamps — their first post-bump touch is a stale drop and a
+     recompute that regenerates identical bytes. *)
+  let bump_index = ref 0 in
+  Simnet.Engine.schedule_at engine bump_at (fun () ->
+      Simnet.Engine.record engine (Printf.sprintf "propose set-version %d" v2);
+      bump_index := Proxy.Control.propose ctl (Proxy.Control.Set_version v2);
+      List.iter
+        (fun k ->
+          ignore
+            (Proxy.Control.propose ctl
+               (Proxy.Control.Invalidate (Printf.sprintf "a%d/s" k))))
+        tightened);
+  let lan = Simnet.Link.ethernet_10mb engine in
+  let sessions =
+    Array.init cfg.cc_clients (fun _ ->
+        Client.Session.create ~budget_us:cfg.cc_budget_us
+          ~advertise_deadline:true ~retry_budget:cfg.cc_retry_budget
+          ~deliver:(fun ~bytes k -> Simnet.Link.transfer lan ~bytes k)
+          ~stale_key engine farm)
+  in
+  (* Fixed shared names keep the caches hot: [a<k>/s] for applet k.
+     Each fresh serve is recorded with the committed version at issue
+     time; the invariant is evaluated offline after the run. *)
+  let records = ref [] in
+  let rec client_loop id iter =
+    let k = (id + (iter * 37)) mod cfg.cc_applets in
+    let applet_key = Printf.sprintf "a%d" k in
+    let name = Printf.sprintf "%s/s" applet_key in
+    let v_at_issue = Proxy.Control.committed_version ctl in
+    Client.Session.fetch sessions.(id) ~cls:name (fun outcome ->
+        (match outcome with
+        | Client.Session.Fresh b ->
+          Simnet.Engine.record engine
+            (Printf.sprintf "serve %s @v%d -> c%d" name v_at_issue id);
+          records := (applet_key, Dsig.Md5.digest b, v_at_issue) :: !records
+        | Client.Session.Stale _ | Client.Session.Failed -> ());
+        Simnet.Engine.schedule engine ~delay:cfg.cc_think_us (fun () ->
+            client_loop id (iter + 1)))
+  in
+  for id = 0 to cfg.cc_clients - 1 do
+    Simnet.Engine.schedule_at engine
+      (Int64.of_int (id * 1_000_000 / max 1 cfg.cc_clients))
+      (fun () -> client_loop id 0)
+  done;
+  Simnet.Engine.run ~until:horizon engine;
+  (* Offline invariant check against pure pipeline runs: map each
+     applet to its rewritten digest under every version's stack. *)
+  let expected =
+    Array.init cfg.cc_applets (fun k ->
+        let body =
+          match origin (Printf.sprintf "a%d/s" k) with
+          | Some b -> b
+          | None -> failwith "Chaos.run_control: origin lost an applet"
+        in
+        let d stack = Proxy.Pipeline.digest (Proxy.Pipeline.run stack body) in
+        (d stack_v1, d stack_v2))
+  in
+  let changed =
+    List.filter_map
+      (fun k ->
+        let d1, d2 = expected.(k) in
+        if String.equal d1 d2 then None else Some (Printf.sprintf "a%d" k))
+      (List.init cfg.cc_applets (fun k -> k))
+  in
+  let revoked = ref 0 and exempt = ref 0 in
+  List.iter
+    (fun (applet_key, digest, v_at_issue) ->
+      let k = int_of_string (String.sub applet_key 1 (String.length applet_key - 1)) in
+      let d1, d2 = expected.(k) in
+      if not (String.equal d1 d2) && String.equal digest d1 then
+        if v_at_issue >= v2 then incr revoked else incr exempt)
+    !records;
+  let digests =
+    let tbl : (string, string list) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun (applet_key, digest, _) ->
+        let ds = Option.value ~default:[] (Hashtbl.find_opt tbl applet_key) in
+        if not (List.mem digest ds) then Hashtbl.replace tbl applet_key (digest :: ds))
+      !records;
+    List.sort
+      (fun (a, _) (b, _) -> String.compare a b)
+      (Hashtbl.fold
+         (fun k ds acc -> (k, List.sort String.compare ds) :: acc)
+         tbl [])
+  in
+  let member_versions =
+    List.init cfg.cc_shards (fun i ->
+        let _, _, mid = ctl_links.(i) in
+        Proxy.Control.member_version ctl mid)
+  in
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 sessions in
+  {
+    cn_seed = cfg.cc_seed;
+    cn_fetches = sum (fun s -> s.Client.Session.fetches);
+    cn_served = sum (fun s -> s.Client.Session.served);
+    cn_stale_served = sum (fun s -> s.Client.Session.stale_served);
+    cn_failed = sum (fun s -> s.Client.Session.failed);
+    cn_shed = sum (fun s -> s.Client.Session.overloaded_seen);
+    cn_base_version = v1;
+    cn_new_version = v2;
+    cn_commit_us =
+      Option.value ~default:0L (Proxy.Control.commit_us ctl ~index:!bump_index);
+    cn_revoked_serves = !revoked;
+    cn_inflight_exempt = !exempt;
+    cn_fence_rejects =
+      Array.fold_left (fun acc p -> acc + p.Proxy.fenced_rejects) 0 pool;
+    cn_resyncs = Proxy.Control.resyncs ctl;
+    cn_stale_drops =
+      l2.Proxy.Cache.stale_drops
+      + Array.fold_left
+          (fun acc p -> acc + p.Proxy.cache.Proxy.Cache.stale_drops)
+          0 pool;
+    cn_invalidations =
+      l2.Proxy.Cache.invalidations
+      + Array.fold_left
+          (fun acc p -> acc + p.Proxy.cache.Proxy.Cache.invalidations)
+          0 pool;
+    cn_heartbeats = Proxy.Control.heartbeats ctl;
+    cn_commits = Proxy.Control.commits ctl;
+    cn_converged =
+      Proxy.Control.converged ctl
+      && List.for_all (fun v -> v = v2) member_versions;
+    cn_member_versions = member_versions;
+    cn_changed_applets = changed;
+    cn_digests = digests;
+    cn_fault_trace = Simnet.Fault.trace plan;
+    cn_trace_digest =
+      Dsig.Md5.digest
+        (String.concat "\n"
+           (List.map
+              (fun (t, l) -> Printf.sprintf "%Ld %s" t l)
+              (Simnet.Engine.trace engine)));
+  }
+
+(* Control-plane invariants: the chaotic run against its partition-free
+   reference. *)
+type control_verdict = {
+  w_reference : control_outcome; (* partitions and restart removed; bump kept *)
+  w_chaotic : control_outcome;
+  w_no_revoked_serves : bool; (* zero in both runs *)
+  w_converged : bool; (* the chaotic run's members all reached the new version *)
+  w_digests_ok : bool;
+      (* applets the bump does not affect serve identical digest sets
+         in both runs *)
+}
+
+let control_ok w = w.w_no_revoked_serves && w.w_converged && w.w_digests_ok
+
+let partition_free (cfg : control_config) =
+  { cfg with cc_partitions = 0; cc_restart_shard = false }
+
+let verify_control (cfg : control_config) : control_verdict =
+  let reference = run_control (partition_free cfg) in
+  let chaotic = run_control cfg in
+  let digests_ok =
+    List.for_all
+      (fun (key, ds) ->
+        List.mem key chaotic.cn_changed_applets
+        ||
+        match List.assoc_opt key reference.cn_digests with
+        | Some ds' -> ds = ds'
+        | None -> true)
+      chaotic.cn_digests
+  in
+  {
+    w_reference = reference;
+    w_chaotic = chaotic;
+    w_no_revoked_serves =
+      chaotic.cn_revoked_serves = 0 && reference.cn_revoked_serves = 0;
+    w_converged = chaotic.cn_converged && reference.cn_converged;
+    w_digests_ok = digests_ok;
+  }
+
+let print_control_outcome ?(label = "control") o =
+  Printf.printf
+    "%-10s seed=%d fetches=%d served=%d stale=%d failed=%d shed=%d \
+     v%d->v%d commit=%Ldus revoked=%d exempt=%d fenced=%d resyncs=%d \
+     stale_drops=%d invalidations=%d converged=%b\n"
+    label o.cn_seed o.cn_fetches o.cn_served o.cn_stale_served o.cn_failed
+    o.cn_shed o.cn_base_version o.cn_new_version o.cn_commit_us
+    o.cn_revoked_serves o.cn_inflight_exempt o.cn_fence_rejects o.cn_resyncs
+    o.cn_stale_drops o.cn_invalidations o.cn_converged
+
 let print_outcome ?(label = "chaos") o =
   Printf.printf
     "%-10s seed=%d fetches=%d served=%d stale=%d failed=%d shed=%d \

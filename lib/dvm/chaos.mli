@@ -108,3 +108,113 @@ val spike_comparison : config -> comparison
     by goodput. *)
 
 val print_outcome : ?label:string -> outcome -> unit
+
+(** {1 The control-plane scenario}
+
+    Policy bumps under partition and split brain: a warm-cache farm
+    (per-shard L1 plus a shared L2, fixed request names) serves a
+    fixed applet set while a {!Proxy.Control} log replicates a
+    security-policy bump and its cache invalidations to every shard.
+    The seeded schedule cuts the victim shard's {e control} links only
+    — its data path stays up, so the farm keeps routing to a shard
+    that can no longer hear the leader until its lease lapses and the
+    fence trips — and optionally crash/restarts another shard so it
+    must recover the current version and pending invalidations from
+    the log rather than the stale shared L2.
+
+    The machine-checked invariant: {b no fetch issued after the bump
+    committed is served bytes rewritten under the revoked version}.
+    Fetches already in flight at the commit instant are exempt — the
+    lease bound is about when a shard stops accepting new work, not
+    about work it already accepted. The check is offline: each
+    applet's body is rewritten under both versions' stacks after the
+    run, so every served digest maps to the versions that produce
+    it. *)
+
+type control_config = {
+  cc_seed : int;
+  cc_shards : int;
+  cc_clients : int;
+  cc_duration_s : int;
+  cc_applets : int;
+  cc_think_us : int64;
+  cc_budget_us : int64;
+  cc_retry_budget : int;
+  cc_cache_mb : int;  (** per-shard L1 and shared L2 capacity *)
+  cc_partitions : int;
+      (** control-link partition windows; the first spans the bump *)
+  cc_partition_len_s : int;
+  cc_bump_at_s : int;  (** when the leader proposes the new version *)
+  cc_restart_shard : bool;
+      (** crash/restart one shard, drawn from the seed *)
+  cc_lease_us : int64;
+  cc_hb_interval_us : int64;
+  cc_commit_margin_us : int64;
+  cc_trace : bool;
+}
+
+val default_control_config : control_config
+(** 4 shards, 24 clients, 30 s, 8 applets, the bump at 12 s, two 3 s
+    partition windows (the first spanning the bump), one restart — the
+    bench and [dvmctl control] defaults. *)
+
+type control_outcome = {
+  cn_seed : int;
+  cn_fetches : int;
+  cn_served : int;  (** fresh serves *)
+  cn_stale_served : int;
+  cn_failed : int;
+  cn_shed : int;
+  cn_base_version : int;
+  cn_new_version : int;
+  cn_commit_us : int64;  (** when the bump committed (0 = never) *)
+  cn_revoked_serves : int;
+      (** fresh serves of revoked bytes issued after the commit — the
+          invariant; must be 0 *)
+  cn_inflight_exempt : int;
+      (** old-version serves issued before the commit *)
+  cn_fence_rejects : int;  (** requests refused by lease fences *)
+  cn_resyncs : int;  (** members that caught up after falling behind *)
+  cn_stale_drops : int;
+      (** versioned cache lookups that dropped a stale entry *)
+  cn_invalidations : int;  (** explicit [Cache.remove] hits *)
+  cn_heartbeats : int;
+  cn_commits : int;
+  cn_converged : bool;
+      (** every member applied the full log, at the new version, with
+          a live lease, by the horizon *)
+  cn_member_versions : int list;
+  cn_changed_applets : string list;
+      (** applets whose rewritten bytes differ across versions *)
+  cn_digests : (string * string list) list;
+      (** applet key → sorted distinct served digests *)
+  cn_fault_trace : string list;
+  cn_trace_digest : string;
+}
+
+val run_control : control_config -> control_outcome
+(** One seeded control-plane run in simulated time. *)
+
+val partition_free : control_config -> control_config
+(** The same configuration with the partitions and the restart removed
+    — the bump still happens; the reference run {!verify_control}
+    compares against. *)
+
+(** The control-plane invariants, checked by {!verify_control}. *)
+type control_verdict = {
+  w_reference : control_outcome;  (** partition-free, restart-free *)
+  w_chaotic : control_outcome;
+  w_no_revoked_serves : bool;  (** zero revoked serves in both runs *)
+  w_converged : bool;  (** both runs' members all reached the new version *)
+  w_digests_ok : bool;
+      (** applets the bump does not affect serve identical digest sets
+          in both runs — partitions change who serves, never the
+          bytes *)
+}
+
+val control_ok : control_verdict -> bool
+
+val verify_control : control_config -> control_verdict
+(** Run [partition_free config] and [config], check the invariants. *)
+
+val print_control_outcome : ?label:string -> control_outcome -> unit

@@ -55,13 +55,15 @@ let applet_workload ~applet_count ~seed =
   in
   (origin, origin_latency)
 
-let standard_filters () =
+let filters_for policy =
   let oracle = Verifier.Oracle.of_classes (Jvm.Bootlib.boot_classes ()) in
   [
     Verifier.Static_verifier.filter ~oracle ();
-    Security.Rewriter.filter Experiment.standard_policy;
+    Security.Rewriter.filter policy;
     Monitor.Instrument.audit_filter ();
   ]
+
+let standard_filters () = filters_for Experiment.standard_policy
 
 let run ?(duration_s = 30) ?(seed = 7) ?(applet_count = 64)
     ?(mem_capacity = 64 * 1024 * 1024) ?(proxies = 1)

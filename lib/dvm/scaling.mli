@@ -23,9 +23,14 @@ val applet_workload :
     [(origin, origin_latency)] over realized applet bodies. Request
     names are ["a<k>/<uniq>"]: serve body [k]. *)
 
+val filters_for : Security.Policy.t -> Rewrite.Filter.t list
+(** The standard pipeline — static verification, security rewriting
+    under the given policy, audit instrumentation. The control-plane
+    chaos scenario builds one stack per policy version from this. *)
+
 val standard_filters : unit -> Rewrite.Filter.t list
-(** The proxy pipeline every experiment runs: static verification,
-    security rewriting, audit instrumentation. *)
+(** [filters_for Experiment.standard_policy] — the stack every
+    experiment runs. *)
 
 val run :
   ?duration_s:int ->

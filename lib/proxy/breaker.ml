@@ -36,6 +36,7 @@ type t = {
   mutable cooldown_us : int64; (* next trip's cooldown *)
   mutable open_until : int64;
   mutable probe_successes : int;
+  mutable probe_inflight : int; (* Half_open grants not yet resolved *)
   mutable trips : int;
   mutable probes : int;
 }
@@ -59,6 +60,7 @@ let create ?(fail_threshold = 3) ?(window_threshold = 4)
     cooldown_us;
     open_until = 0L;
     probe_successes = 0;
+    probe_inflight = 0;
     trips = 0;
     probes = 0;
   }
@@ -75,7 +77,8 @@ let prune t ~now =
 let refresh t ~now =
   if t.st = Open && Int64.compare now t.open_until >= 0 then begin
     t.st <- Half_open;
-    t.probe_successes <- 0
+    t.probe_successes <- 0;
+    t.probe_inflight <- 0
   end
 
 let state t ~now =
@@ -88,8 +91,17 @@ let allow t ~now =
   | Closed -> true
   | Open -> false
   | Half_open ->
-    t.probes <- t.probes + 1;
-    true
+    (* Cap outstanding probes at [success_threshold]: that many
+       successes suffice to close, so admitting more traffic before
+       any probe resolves is a thundering herd onto a still-sick
+       shard. Further callers are refused until a probe resolves
+       (via [record_success] / [record_failure]). *)
+    if t.probe_inflight >= t.success_threshold then false
+    else begin
+      t.probe_inflight <- t.probe_inflight + 1;
+      t.probes <- t.probes + 1;
+      true
+    end
 
 let trip t ~now =
   t.st <- Open;
@@ -99,6 +111,7 @@ let trip t ~now =
      if Int64.compare doubled t.max_cooldown_us > 0 then t.max_cooldown_us
      else doubled);
   t.probe_successes <- 0;
+  t.probe_inflight <- 0;
   t.trips <- t.trips + 1;
   Telemetry.Global.incr "breaker.trips"
 
@@ -110,7 +123,9 @@ let record_failure t ~now =
   match t.st with
   | Open -> ()
   | Half_open ->
-    (* The probe failed: the shard is still sick. Back off harder. *)
+    (* The probe failed: the shard is still sick. Back off harder.
+       ([trip] zeroes [probe_inflight] along with the other probe
+       bookkeeping.) *)
     trip t ~now
   | Closed ->
     if
@@ -125,9 +140,14 @@ let record_success t ~now =
   | Open -> ()
   | Closed -> ()
   | Half_open ->
+    (* Floor at 0: health probes ([Farm.probe]) report outcomes
+       without a matching [allow], so there may be nothing in flight
+       to release. *)
+    if t.probe_inflight > 0 then t.probe_inflight <- t.probe_inflight - 1;
     t.probe_successes <- t.probe_successes + 1;
     if t.probe_successes >= t.success_threshold then begin
       t.st <- Closed;
       t.window <- [];
-      t.cooldown_us <- t.base_cooldown_us
+      t.cooldown_us <- t.base_cooldown_us;
+      t.probe_inflight <- 0
     end

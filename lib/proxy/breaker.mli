@@ -29,9 +29,13 @@ val create :
     doubling to a 4 s cap; 2 probe successes close. *)
 
 val allow : t -> now:int64 -> bool
-(** May traffic be sent now? [true] in Closed and Half_open (each
-    Half_open grant counts as a probe), [false] in Open. Advances
-    Open→Half_open when the cooldown has expired. *)
+(** May traffic be sent now? [true] in Closed, [false] in Open.
+    In Half_open each grant counts as a probe and at most
+    [success_threshold] probes may be outstanding at once — further
+    callers get [false] until a probe resolves through
+    {!record_success} or {!record_failure}, so a thundering herd
+    cannot pile onto a still-sick shard. Advances Open→Half_open
+    when the cooldown has expired. *)
 
 val record_success : t -> now:int64 -> unit
 val record_failure : t -> now:int64 -> unit

@@ -8,6 +8,7 @@
 type entry = {
   e_key : string;
   e_bytes : string;
+  e_version : int; (* policy version the bytes were rewritten under; 0 = unversioned *)
   mutable e_prev : entry option; (* toward the MRU end *)
   mutable e_next : entry option; (* toward the LRU end *)
 }
@@ -23,6 +24,8 @@ type t = {
   mutable evictions : int; (* capacity-pressure evictions only *)
   mutable restart_drops : int; (* warm state lost to simulated restarts *)
   mutable oversize_skips : int; (* stores skipped: entry larger than capacity *)
+  mutable stale_drops : int; (* versioned lookups that evicted a stale entry *)
+  mutable invalidations : int; (* explicit removes via [remove] *)
 }
 
 let create ~capacity =
@@ -37,6 +40,8 @@ let create ~capacity =
     evictions = 0;
     restart_drops = 0;
     oversize_skips = 0;
+    stale_drops = 0;
+    invalidations = 0;
   }
 
 let enabled t = t.capacity > 0
@@ -62,18 +67,38 @@ let publish_gauges t =
       (Int64.of_int (Hashtbl.length t.tbl))
   end
 
-let find_raw t key =
+let detach t e =
+  unlink t e;
+  Hashtbl.remove t.tbl e.e_key;
+  t.used <- t.used - String.length e.e_bytes
+
+(* Version 0 — on either side — means "unversioned, matches anything",
+   so the pre-versioning call sites keep their exact behaviour. A real
+   mismatch is worse than a miss: the bytes were rewritten under a
+   revoked policy, so the entry is dropped on sight rather than left
+   to be served by a later unversioned lookup. *)
+let version_ok ~version e =
+  version = 0 || e.e_version = 0 || e.e_version = version
+
+let find_raw t ~version key =
   match Hashtbl.find_opt t.tbl key with
-  | Some e ->
+  | Some e when version_ok ~version e ->
     unlink t e;
     push_mru t e;
     t.hits <- t.hits + 1;
     Some e.e_bytes
+  | Some e ->
+    detach t e;
+    t.stale_drops <- t.stale_drops + 1;
+    t.misses <- t.misses + 1;
+    if Telemetry.Global.on () then Telemetry.Global.incr "cache.stale_drops";
+    publish_gauges t;
+    None
   | None ->
     t.misses <- t.misses + 1;
     None
 
-let find t key =
+let find ?(version = 0) t key =
   if not (enabled t) then begin
     (* A disabled cache still reports the miss: every lookup that would
        have gone to a real cache is one, and counting it keeps hit-ratio
@@ -82,11 +107,11 @@ let find t key =
     if Telemetry.Global.on () then Telemetry.Global.incr "cache.misses";
     None
   end
-  else if not (Telemetry.Global.on ()) then find_raw t key
+  else if not (Telemetry.Global.on ()) then find_raw t ~version key
   else
     Telemetry.Global.with_span ~cat:"cache" ~args:[ ("class", key) ]
       ~observe_hist:"cache.find_us" "cache.find" (fun () ->
-        match find_raw t key with
+        match find_raw t ~version key with
         | Some _ as hit ->
           Telemetry.Global.incr "cache.hits";
           hit
@@ -102,9 +127,20 @@ let remove_lru t =
   match t.lru with
   | None -> false
   | Some e ->
-    unlink t e;
-    Hashtbl.remove t.tbl e.e_key;
-    t.used <- t.used - String.length e.e_bytes;
+    detach t e;
+    true
+
+(* Explicit invalidation — the control plane's path for revoking one
+   class. Distinct from eviction (capacity) and restart drops (crash):
+   counted in [invalidations] / [cache.invalidations]. *)
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> false
+  | Some e ->
+    detach t e;
+    t.invalidations <- t.invalidations + 1;
+    if Telemetry.Global.on () then Telemetry.Global.incr "cache.invalidations";
+    publish_gauges t;
     true
 
 let evict_one t =
@@ -113,7 +149,7 @@ let evict_one t =
     Telemetry.Global.incr "cache.evictions"
   end
 
-let store t key bytes =
+let store ?(version = 0) t key bytes =
   if not (enabled t) then ()
   else if String.length bytes > t.capacity then begin
     (* An entry bigger than the whole budget can never be cached;
@@ -132,7 +168,10 @@ let store t key bytes =
     while t.used + String.length bytes > t.capacity && Hashtbl.length t.tbl > 0 do
       evict_one t
     done;
-    let e = { e_key = key; e_bytes = bytes; e_prev = None; e_next = None } in
+    let e =
+      { e_key = key; e_bytes = bytes; e_version = version;
+        e_prev = None; e_next = None }
+    in
     Hashtbl.replace t.tbl key e;
     push_mru t e;
     t.used <- t.used + String.length bytes;
@@ -143,7 +182,12 @@ let store t key bytes =
 (* Peek without touching recency order or hit/miss stats — what
    admission control uses to estimate service cost without polluting
    the numbers the real lookup will record. *)
-let mem t key = enabled t && Hashtbl.mem t.tbl key
+let mem ?(version = 0) t key =
+  enabled t
+  &&
+  match Hashtbl.find_opt t.tbl key with
+  | Some e -> version_ok ~version e
+  | None -> false
 
 let size t = Hashtbl.length t.tbl
 

@@ -19,17 +19,36 @@ type t = {
       ({!drop_fraction}) — never conflated with [evictions] *)
   mutable oversize_skips : int;  (** stores skipped because the entry
       exceeds the whole capacity *)
+  mutable stale_drops : int;  (** versioned lookups that hit an entry
+      rewritten under another policy version — dropped on sight and
+      counted as misses ([cache.stale_drops]) *)
+  mutable invalidations : int;  (** explicit {!remove}s, the control
+      plane's revocation path ([cache.invalidations]) *)
 }
 
 val create : capacity:int -> t
 val enabled : t -> bool
-val find : t -> string -> string option
-val store : t -> string -> string -> unit
 
-val mem : t -> string -> bool
-(** Peek: present in an enabled cache? Touches neither the recency
-    order nor the hit/miss stats — admission control's cost estimate
-    must not perturb what the real lookup then records. *)
+val find : ?version:int -> t -> string -> string option
+(** [version] is the policy version the caller will serve under;
+    0 (the default) means unversioned and matches any entry, as does
+    an entry stored unversioned. A genuine mismatch is treated as a
+    miss {e and} drops the stale entry, so bytes rewritten under a
+    revoked policy cannot be resurrected by a later lookup. *)
+
+val store : ?version:int -> t -> string -> string -> unit
+(** Stamp the entry with the policy version it was rewritten under
+    (0 = unversioned). *)
+
+val remove : t -> string -> bool
+(** Explicit invalidation of one key; [true] if it was present.
+    Counted in [invalidations], never in [evictions]. *)
+
+val mem : ?version:int -> t -> string -> bool
+(** Peek: present in an enabled cache (under a compatible version)?
+    Touches neither the recency order nor the hit/miss stats —
+    admission control's cost estimate must not perturb what the real
+    lookup then records. *)
 
 val size : t -> int
 

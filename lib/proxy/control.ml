@@ -1,0 +1,286 @@
+(* The farm's control plane: a leader-based replication log that
+   propagates security-policy versions and rewrite-cache invalidations
+   to every shard over simnet links.
+
+   Why a leader log and not anti-entropy gossip: the invariant the
+   chaos suite checks — "no client is served under a revoked policy
+   version once the bump commits" — needs a *commit point* with a
+   guarantee about every shard, including the partitioned ones gossip
+   cannot reach. Leases give that point without waiting on the slowest
+   partition: a shard may serve only while it holds a live lease, and
+   leases are renewed exclusively by heartbeats, which always carry
+   the log suffix the shard is missing. So at
+
+     commit(e) = min( all members acked e,
+                      proposed(e) + lease_us + commit_margin_us )
+
+   every member has either applied [e] (it processed a heartbeat sent
+   after the proposal — entries are applied *before* the lease is
+   renewed, in the same delivery) or its lease has lapsed and the
+   shard is fenced: its node refuses to serve and the farm fails the
+   request over. [commit_margin_us] covers heartbeats already in
+   flight when the entry was proposed: such a heartbeat renews the
+   lease to at most proposed + transit + lease_us, so any margin at
+   or above the worst-case heartbeat transit makes the bound sound.
+
+   A restarted shard is the same machinery from the other end: it
+   comes back fenced with its applied position reset, and the next
+   heartbeat replays the whole log — current version and every
+   pending invalidation — before the lease that lets it serve again
+   is granted. Recovery from peers, not from whatever the shared L2
+   still holds. *)
+
+type entry = Set_version of int | Invalidate of string
+
+let entry_to_string = function
+  | Set_version v -> Printf.sprintf "set-version %d" v
+  | Invalidate key -> Printf.sprintf "invalidate %s" key
+
+type member = {
+  m_id : int;
+  m_name : string;
+  m_host : Simnet.Host.t;
+  m_to : Simnet.Link.t; (* leader -> member: heartbeats + log suffix *)
+  m_from : Simnet.Link.t; (* member -> leader: acks *)
+  m_apply : entry -> unit;
+  mutable m_applied : int; (* prefix of the log applied locally *)
+  mutable m_acked : int; (* leader's view of the acked prefix *)
+  mutable m_lease_until : int64;
+  mutable m_version : int; (* highest Set_version applied *)
+  mutable m_needs_resync : bool; (* restarted; fenced until caught up *)
+  mutable m_resyncs : int;
+}
+
+type pending = {
+  p_index : int; (* 1-based position in the log *)
+  p_entry : entry;
+  p_proposed_at : int64;
+  mutable p_committed_at : int64 option;
+}
+
+type t = {
+  engine : Simnet.Engine.t;
+  lease_us : int64;
+  hb_interval_us : int64;
+  commit_margin_us : int64;
+  hb_bytes : int; (* wire size of an empty heartbeat / an ack *)
+  entry_bytes : int; (* wire size per carried log entry *)
+  mutable members : member array;
+  mutable log : pending list; (* newest first *)
+  mutable log_len : int;
+  mutable version : int; (* latest *proposed* version *)
+  mutable committed_version : int; (* highest committed Set_version *)
+  mutable running : bool;
+  mutable heartbeats : int;
+  mutable acks : int;
+  mutable proposals : int;
+  mutable commits : int;
+}
+
+let create engine ?(lease_us = 1_000_000L) ?(hb_interval_us = 250_000L)
+    ?(commit_margin_us = 100_000L) ?(hb_bytes = 64) ?(entry_bytes = 96)
+    ?(initial_version = 1) () =
+  {
+    engine;
+    lease_us;
+    hb_interval_us;
+    commit_margin_us;
+    hb_bytes;
+    entry_bytes;
+    members = [||];
+    log = [];
+    log_len = 0;
+    version = initial_version;
+    committed_version = initial_version;
+    running = false;
+    heartbeats = 0;
+    acks = 0;
+    proposals = 0;
+    commits = 0;
+  }
+
+let member t id =
+  if id < 0 || id >= Array.length t.members then
+    invalid_arg "Control.member: unknown id";
+  t.members.(id)
+
+let add_member t ~name ~host ~link_to ~link_from ~apply =
+  let id = Array.length t.members in
+  let m =
+    {
+      m_id = id;
+      m_name = name;
+      m_host = host;
+      m_to = link_to;
+      m_from = link_from;
+      m_apply = apply;
+      m_applied = 0;
+      m_acked = 0;
+      (* A fresh member starts with a live lease: the log is empty, so
+         there is nothing it could be missing. *)
+      m_lease_until = Int64.add (Simnet.Engine.now t.engine) t.lease_us;
+      m_version = t.version;
+      m_needs_resync = false;
+      m_resyncs = 0;
+    }
+  in
+  t.members <- Array.append t.members [| m |];
+  id
+
+(* Log positions are 1-based; [suffix_after n] returns entries n+1..len
+   oldest first. The log is a few entries long, so list scans are
+   fine. *)
+let suffix_after t n =
+  List.filter (fun p -> p.p_index > n) (List.rev t.log)
+
+let entry_at t idx = List.find_opt (fun p -> p.p_index = idx) t.log
+
+let commit t p ~at =
+  if p.p_committed_at = None then begin
+    p.p_committed_at <- Some at;
+    t.commits <- t.commits + 1;
+    (match p.p_entry with
+    | Set_version v ->
+      if v > t.committed_version then t.committed_version <- v
+    | Invalidate _ -> ());
+    Telemetry.Global.incr "control.commits"
+  end
+
+(* An entry commits as soon as every member acked it; the lease
+   deadline scheduled at propose time is the backstop for members a
+   partition keeps silent. *)
+let advance_commits t ~now =
+  let floor_acked =
+    Array.fold_left (fun acc m -> min acc m.m_acked) max_int t.members
+  in
+  List.iter
+    (fun p -> if p.p_index <= floor_acked then commit t p ~at:now)
+    t.log
+
+let propose t entry =
+  let now = Simnet.Engine.now t.engine in
+  let p =
+    { p_index = t.log_len + 1; p_entry = entry; p_proposed_at = now;
+      p_committed_at = None }
+  in
+  t.log <- p :: t.log;
+  t.log_len <- t.log_len + 1;
+  t.proposals <- t.proposals + 1;
+  (match entry with
+  | Set_version v -> if v > t.version then t.version <- v
+  | Invalidate _ -> ());
+  Telemetry.Global.incr "control.proposals";
+  (* Lease backstop: by this time every member that has not applied
+     the entry is running on a lease too old to still be live. *)
+  Simnet.Engine.schedule_at t.engine
+    (Int64.add now (Int64.add t.lease_us t.commit_margin_us))
+    (fun () ->
+      if Array.length t.members = 0 then
+        commit t p ~at:(Simnet.Engine.now t.engine)
+      else advance_commits t ~now:(Simnet.Engine.now t.engine);
+      if p.p_committed_at = None then
+        commit t p ~at:(Simnet.Engine.now t.engine));
+  p.p_index
+
+(* One heartbeat to one member: ship the suffix past the leader's view
+   of its acked prefix. Delivery applies the entries *then* renews the
+   lease — the ordering the commit rule relies on — and the ack rides
+   its own link back. A member whose host is down ignores the
+   delivery entirely: no apply, no renewal, no ack. *)
+let heartbeat t m =
+  let missing = suffix_after t m.m_acked in
+  let bytes = t.hb_bytes + (t.entry_bytes * List.length missing) in
+  t.heartbeats <- t.heartbeats + 1;
+  Telemetry.Global.incr "control.heartbeats";
+  Simnet.Link.transfer m.m_to ~bytes (fun () ->
+      if Simnet.Host.is_up m.m_host then begin
+        List.iter
+          (fun p ->
+            if p.p_index > m.m_applied then begin
+              m.m_apply p.p_entry;
+              (match p.p_entry with
+              | Set_version v -> if v > m.m_version then m.m_version <- v
+              | Invalidate _ -> ());
+              m.m_applied <- p.p_index;
+              Telemetry.Global.incr "control.applies"
+            end)
+          missing;
+        if m.m_needs_resync && m.m_applied >= t.log_len then begin
+          m.m_needs_resync <- false;
+          m.m_resyncs <- m.m_resyncs + 1;
+          Telemetry.Global.incr "control.resyncs"
+        end;
+        (* The lease is renewed only when the member is fully caught
+           up on what this heartbeat carried; a restarted member in
+           mid-replay stays fenced. *)
+        if not m.m_needs_resync then
+          m.m_lease_until <-
+            Int64.add (Simnet.Engine.now t.engine) t.lease_us;
+        let applied = m.m_applied in
+        Simnet.Link.transfer m.m_from ~bytes:t.hb_bytes (fun () ->
+            t.acks <- t.acks + 1;
+            if applied > m.m_acked then m.m_acked <- applied;
+            Telemetry.Global.incr "control.acks";
+            advance_commits t ~now:(Simnet.Engine.now t.engine))
+      end)
+
+let rec tick t ~until =
+  if t.running && Int64.compare (Simnet.Engine.now t.engine) until <= 0 then begin
+    Array.iter (fun m -> heartbeat t m) t.members;
+    Simnet.Engine.schedule t.engine ~delay:t.hb_interval_us (fun () ->
+        tick t ~until)
+  end
+
+let start t ~until =
+  if not t.running then begin
+    t.running <- true;
+    tick t ~until
+  end
+
+let stop t = t.running <- false
+
+(* May shard [id] serve right now? Only on a live lease — and a
+   restarted member holds none until it has replayed the full log. *)
+let member_ok t id =
+  let m = member t id in
+  Int64.compare (Simnet.Engine.now t.engine) m.m_lease_until < 0
+
+let mark_restarted t id =
+  let m = member t id in
+  m.m_applied <- 0;
+  m.m_acked <- 0;
+  m.m_lease_until <- 0L;
+  m.m_needs_resync <- t.log_len > 0;
+  Telemetry.Global.incr "control.restarts"
+
+let committed t ~index =
+  match entry_at t index with
+  | Some p -> p.p_committed_at <> None
+  | None -> false
+
+let commit_us t ~index =
+  match entry_at t index with Some p -> p.p_committed_at | None -> None
+
+let committed_version t = t.committed_version
+let current_version t = t.version
+let log_length t = t.log_len
+let member_count t = Array.length t.members
+let member_name t id = (member t id).m_name
+let member_version t id = (member t id).m_version
+let member_applied t id = (member t id).m_applied
+let member_resyncs t id = (member t id).m_resyncs
+
+let converged t =
+  Array.for_all
+    (fun m ->
+      m.m_applied >= t.log_len
+      && Int64.compare (Simnet.Engine.now t.engine) m.m_lease_until < 0)
+    t.members
+
+let heartbeats t = t.heartbeats
+let acks t = t.acks
+let proposals t = t.proposals
+let commits t = t.commits
+
+let resyncs t =
+  Array.fold_left (fun acc m -> acc + m.m_resyncs) 0 t.members

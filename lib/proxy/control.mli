@@ -1,0 +1,115 @@
+(** The farm's control plane: a leader-based replication log with
+    lease fencing, propagating security-policy versions and
+    rewrite-cache invalidations to every shard over simnet links.
+
+    The leader appends {!type:entry} values to a log and ships the
+    missing suffix to each member on every heartbeat; a member applies
+    the entries {e in order, before} its lease is renewed by the same
+    delivery. A member may serve clients only while its lease is live
+    ({!member_ok}), so an entry proposed at [p] is {e committed} at
+
+    [min (all members acked, p + lease_us + commit_margin_us)]
+
+    — by then every member has either applied it or is fenced and the
+    farm fails requests over to shards that have. [commit_margin_us]
+    must be at least the worst-case heartbeat transit time (it covers
+    renewals already in flight at the proposal). A restarted member
+    ({!mark_restarted}) comes back fenced with its position reset and
+    recovers the whole log — current version plus pending
+    invalidations — from the leader before it is granted a lease
+    again.
+
+    Counters: [control.heartbeats], [control.acks],
+    [control.proposals], [control.commits], [control.applies],
+    [control.resyncs], [control.restarts]. *)
+
+type t
+
+type entry =
+  | Set_version of int  (** the security policy moved to this version *)
+  | Invalidate of string  (** drop this class from rewrite caches *)
+
+val entry_to_string : entry -> string
+
+val create :
+  Simnet.Engine.t ->
+  ?lease_us:int64 ->
+  ?hb_interval_us:int64 ->
+  ?commit_margin_us:int64 ->
+  ?hb_bytes:int ->
+  ?entry_bytes:int ->
+  ?initial_version:int ->
+  unit ->
+  t
+(** Defaults: 1 s leases renewed every 250 ms, 100 ms commit margin,
+    64-byte heartbeats/acks carrying 96 bytes per log entry, initial
+    policy version 1. *)
+
+val add_member :
+  t ->
+  name:string ->
+  host:Simnet.Host.t ->
+  link_to:Simnet.Link.t ->
+  link_from:Simnet.Link.t ->
+  apply:(entry -> unit) ->
+  int
+(** Register a shard; returns its member id. [link_to] carries
+    heartbeats leader→member, [link_from] carries acks back — sever
+    both (e.g. {!Simnet.Link.set_partitioned}) to partition the member
+    from the control plane while its data path stays up. [apply] runs
+    at heartbeat delivery, once per log entry, in log order; a member
+    whose host is down ignores deliveries entirely. The member starts
+    with a live lease (the log it could be missing is empty). *)
+
+val start : t -> until:Simnet.Engine.time -> unit
+(** Start the heartbeat loop; it reschedules itself every
+    [hb_interval_us] until the virtual clock passes [until] (or
+    {!stop}). *)
+
+val stop : t -> unit
+
+val propose : t -> entry -> int
+(** Append an entry to the log and return its (1-based) index. Commit
+    happens when all members ack or at the lease backstop, whichever
+    is earlier; watch it with {!committed} / {!commit_us}. *)
+
+val committed : t -> index:int -> bool
+val commit_us : t -> index:int -> Simnet.Engine.time option
+
+val committed_version : t -> int
+(** Highest [Set_version] that has committed — the version the
+    serving invariant is stated against. *)
+
+val current_version : t -> int
+(** Highest [Set_version] proposed (it may not have committed yet). *)
+
+val member_ok : t -> int -> bool
+(** May this shard serve right now? [true] only on a live lease; a
+    partitioned member's lease lapses one [lease_us] after its last
+    heartbeat, and a restarted member holds no lease until it has
+    replayed the full log. Nodes plug this into
+    [Node.serving_allowed] so a fenced shard fails over. *)
+
+val mark_restarted : t -> int -> unit
+(** The shard lost its volatile state: reset its applied position and
+    fence it until the log — version and pending invalidations — has
+    been replayed from the leader. Call from the host's [on_restart]
+    hook. *)
+
+val converged : t -> bool
+(** Every member has applied the full log and holds a live lease. *)
+
+val log_length : t -> int
+val member_count : t -> int
+val member_name : t -> int -> string
+val member_version : t -> int -> int
+(** Highest [Set_version] this member has applied. *)
+
+val member_applied : t -> int -> int
+val member_resyncs : t -> int -> int
+
+val heartbeats : t -> int
+val acks : t -> int
+val proposals : t -> int
+val commits : t -> int
+val resyncs : t -> int

@@ -29,6 +29,16 @@ type t = {
   l2_lookup_us : int;
   l2_bandwidth_bps : int; (* peer-to-peer transfer rate for L2 hits *)
   mutable filters : Rewrite.Filter.t list;
+  mutable policy_version : int;
+  (* Security-policy version this shard currently rewrites under;
+     stamped onto pipeline runs and every L1/L2 entry (0 =
+     unversioned, the pre-control-plane behaviour). The control
+     plane's apply hook swaps [filters] and bumps this together. *)
+  mutable serving_allowed : unit -> bool;
+  (* Control-plane fence: when false the node refuses to serve —
+     requests take the [on_fail] path exactly like a crashed host, so
+     the farm fails over. Wired to [Control.member_ok]; defaults to
+     always-true for standalone nodes. *)
   origin : origin;
   origin_latency : string -> Simnet.Engine.time; (* per-class WAN latency *)
   origin_bandwidth_bps : int;
@@ -50,6 +60,7 @@ type t = {
   mutable pipeline_runs : int; (* full parse/rewrite/generate passes *)
   mutable coalesced : int; (* requests that joined an in-flight run *)
   mutable l2_hits : int; (* misses served by the shared tier *)
+  mutable fenced_rejects : int; (* requests refused by the control-plane fence *)
   mutable cpu_us : int64; (* total pipeline + cache-service CPU *)
 }
 
@@ -68,6 +79,8 @@ let create ?(cache_capacity = 48 * 1024 * 1024)
     l2_lookup_us;
     l2_bandwidth_bps;
     filters;
+    policy_version = 0;
+    serving_allowed = (fun () -> true);
     origin;
     origin_latency;
     origin_bandwidth_bps;
@@ -85,6 +98,7 @@ let create ?(cache_capacity = 48 * 1024 * 1024)
     pipeline_runs = 0;
     coalesced = 0;
     l2_hits = 0;
+    fenced_rejects = 0;
     cpu_us = 0L;
   }
 
@@ -113,7 +127,8 @@ let transform_and_reply ?on_fail ?(trace = Telemetry.Trace.none) t ~cls bytes k
     Telemetry.Trace.scope trace ~node:t.host.Simnet.Host.name (fun () ->
         Telemetry.Global.with_span ~cat:"proxy" ~args:[ ("class", cls) ]
           "proxy.transform" (fun () ->
-            Pipeline.run ?memo:t.memo ?signer:t.signer t.filters bytes))
+            Pipeline.run ~policy_version:t.policy_version ?memo:t.memo
+              ?signer:t.signer t.filters bytes))
   in
   let sign_cost =
     match t.signer with
@@ -134,12 +149,15 @@ let transform_and_reply ?on_fail ?(trace = Telemetry.Trace.none) t ~cls bytes k
         log t "proxy.reject" (Printf.sprintf "%s: %s (%s)" cls reason filter)
       | None -> log t "proxy.serve" cls);
       let out = outcome.Pipeline.out_bytes in
-      Cache.store t.cache cls out;
+      let version = outcome.Pipeline.out_version in
+      Cache.store ~version t.cache cls out;
       (* The shared tier keeps the rewritten class even if this shard
          later restarts cache-cold: peers (and the restarted shard)
          rewarm from it at transfer cost instead of re-running the
-         pipeline. *)
-      (match t.l2 with None -> () | Some l2 -> Cache.store l2 cls out);
+         pipeline. Both entries carry the policy version the bytes
+         were rewritten under, so a later lookup under a newer policy
+         treats them as misses instead of resurrecting stale code. *)
+      (match t.l2 with None -> () | Some l2 -> Cache.store ~version l2 cls out);
       t.bytes_served <- t.bytes_served + String.length out;
       k (Bytes out))
 
@@ -192,6 +210,19 @@ let rec request ?on_fail ?deadline ?(trace = Telemetry.Trace.none) t ~cls k =
     match on_fail with
     | Some f -> Simnet.Engine.schedule t.engine ~delay:0L f
     | None -> ()
+  else if not (t.serving_allowed ()) then begin
+    (* Control-plane fence: the shard's lease lapsed (partition) or it
+       is replaying the log after a restart. Serving now could hand
+       out bytes rewritten under a revoked policy, so refuse and let
+       the farm fail over — the same path as a crashed host. *)
+    t.fenced_rejects <- t.fenced_rejects + 1;
+    if Telemetry.Global.on () then Telemetry.Global.incr "control.fenced_rejects";
+    Telemetry.Trace.event tctx ~node ~kind:"control.fenced"
+      (Printf.sprintf "class %s: shard fenced, failing over" cls);
+    match on_fail with
+    | Some f -> Simnet.Engine.schedule t.engine ~delay:0L f
+    | None -> Simnet.Engine.schedule t.engine ~delay:0L (fun () -> k Unavailable)
+  end
   else begin
     (* Admission: can this request finish inside its deadline given
        what the CPU is already committed to? The estimate peeks at the
@@ -201,7 +232,7 @@ let rec request ?on_fail ?deadline ?(trace = Telemetry.Trace.none) t ~cls k =
        reply after one zero-delay hop, not a timeout downstream. *)
     let admit_at = Simnet.Engine.now t.engine in
     let backlog = Simnet.Host.backlog_us t.host in
-    let is_hit = Cache.mem t.cache cls in
+    let is_hit = Cache.mem ~version:t.policy_version t.cache cls in
     let is_join = Hashtbl.mem t.inflight cls in
     let est_us =
       Int64.add backlog
@@ -254,7 +285,7 @@ let rec request ?on_fail ?deadline ?(trace = Telemetry.Trace.none) t ~cls k =
    L2, origin fetch + pipeline. *)
 and request_admitted ?on_fail ~trace t ~cls k =
   let node = t.host.Simnet.Host.name in
-  match Cache.find t.cache cls with
+  match Cache.find ~version:t.policy_version t.cache cls with
     | Some bytes ->
       (* A small fixed cost to look up and stream from the disk cache.
          Stats and the audit record land in the completion callback:
@@ -278,7 +309,9 @@ and request_admitted ?on_fail ~trace t ~cls k =
         waiters := (k, on_fail) :: !waiters
       | None -> (
         match
-          match t.l2 with None -> None | Some l2 -> Cache.find l2 cls
+          match t.l2 with
+          | None -> None
+          | Some l2 -> Cache.find ~version:t.policy_version l2 cls
         with
         | Some bytes ->
           (* Shared-tier hit: pay the peer transfer, rewarm the L1. *)
@@ -290,7 +323,7 @@ and request_admitted ?on_fail ~trace t ~cls k =
           let cost = l2_transfer_cost t ~bytes:(String.length bytes) in
           t.cpu_us <- Int64.add t.cpu_us cost;
           Simnet.Host.compute t.host ?on_fail ~cost_us:cost (fun () ->
-              Cache.store t.cache cls bytes;
+              Cache.store ~version:t.policy_version t.cache cls bytes;
               t.bytes_served <- t.bytes_served + String.length bytes;
               log t "proxy.l2_hit" cls;
               k (Bytes bytes))
@@ -348,19 +381,23 @@ and request_admitted ?on_fail ~trace t ~cls k =
    the pipeline immediately and returns the bytes. *)
 let request_sync_raw t ~cls =
   t.requests <- t.requests + 1;
-  match Cache.find t.cache cls with
+  match Cache.find ~version:t.policy_version t.cache cls with
   | Some bytes ->
     t.cpu_us <- Int64.add t.cpu_us 2000L;
     t.bytes_served <- t.bytes_served + String.length bytes;
     Bytes bytes
   | None -> (
-    match match t.l2 with None -> None | Some l2 -> Cache.find l2 cls with
+    match
+      match t.l2 with
+      | None -> None
+      | Some l2 -> Cache.find ~version:t.policy_version l2 cls
+    with
     | Some bytes ->
       t.l2_hits <- t.l2_hits + 1;
       if Telemetry.Global.on () then Telemetry.Global.incr "proxy.l2_hits";
       t.cpu_us <-
         Int64.add t.cpu_us (l2_transfer_cost t ~bytes:(String.length bytes));
-      Cache.store t.cache cls bytes;
+      Cache.store ~version:t.policy_version t.cache cls bytes;
       t.bytes_served <- t.bytes_served + String.length bytes;
       Bytes bytes
     | None -> (
@@ -370,15 +407,19 @@ let request_sync_raw t ~cls =
         t.origin_fetches <- t.origin_fetches + 1;
         Telemetry.Global.incr "proxy.origin_fetches";
         t.pipeline_runs <- t.pipeline_runs + 1;
-        let outcome = Pipeline.run ?memo:t.memo ?signer:t.signer t.filters bytes in
+        let outcome =
+          Pipeline.run ~policy_version:t.policy_version ?memo:t.memo
+            ?signer:t.signer t.filters bytes
+        in
         t.cpu_us <- Int64.add t.cpu_us (Pipeline.total_cost outcome);
         (match outcome.Pipeline.rejected with
         | Some _ -> t.rejections <- t.rejections + 1
         | None -> ());
-        Cache.store t.cache cls outcome.Pipeline.out_bytes;
+        let version = outcome.Pipeline.out_version in
+        Cache.store ~version t.cache cls outcome.Pipeline.out_bytes;
         (match t.l2 with
         | None -> ()
-        | Some l2 -> Cache.store l2 cls outcome.Pipeline.out_bytes);
+        | Some l2 -> Cache.store ~version l2 cls outcome.Pipeline.out_bytes);
         t.bytes_served <-
           t.bytes_served + String.length outcome.Pipeline.out_bytes;
         Bytes outcome.Pipeline.out_bytes))

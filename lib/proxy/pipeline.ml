@@ -7,6 +7,7 @@
 
 type outcome = {
   out_bytes : string;
+  out_version : int; (* policy version the class was rewritten under; 0 = unversioned *)
   rejected : (string * string) option; (* filter, reason *)
   parse_cost : int64; (* µs of proxy CPU *)
   transform_cost : int64;
@@ -99,7 +100,8 @@ let apply_gate g cf =
         Telemetry.Global.incr "certify.fail";
         Some reason)
 
-let run_uncached ?signer ?gate filters (bytes : string) : outcome =
+let run_uncached ?(policy_version = 0) ?signer ?gate filters (bytes : string) :
+    outcome =
   let parse_cost = parse_cost_of bytes in
   match parse_traced bytes with
   | exception Bytecode.Decode.Format_error reason ->
@@ -110,6 +112,7 @@ let run_uncached ?signer ?gate filters (bytes : string) : outcome =
     let o =
       {
         out_bytes = out;
+        out_version = policy_version;
         rejected = Some ("decode", reason);
         parse_cost;
         transform_cost = 0L;
@@ -149,6 +152,7 @@ let run_uncached ?signer ?gate filters (bytes : string) : outcome =
         let o =
           {
             out_bytes = out;
+            out_version = policy_version;
             rejected = Some ("certify", reason);
             parse_cost;
             transform_cost = !transform_cost;
@@ -171,6 +175,7 @@ let run_uncached ?signer ?gate filters (bytes : string) : outcome =
         let o =
           {
             out_bytes = out;
+            out_version = policy_version;
             rejected = None;
             parse_cost;
             transform_cost = !transform_cost;
@@ -197,6 +202,7 @@ let run_uncached ?signer ?gate filters (bytes : string) : outcome =
         let o =
           {
             out_bytes = out;
+            out_version = policy_version;
             rejected = Some ("encode", reason);
             parse_cost;
             transform_cost = !transform_cost;
@@ -215,6 +221,7 @@ let run_uncached ?signer ?gate filters (bytes : string) : outcome =
       let o =
         {
           out_bytes = out;
+          out_version = policy_version;
           rejected = Some (filter, reason);
           parse_cost;
           transform_cost = !transform_cost;
@@ -254,7 +261,7 @@ module Memo = struct
   }
 
   type t = {
-    tbl : (string, entry) Hashtbl.t; (* input bytes -> entry *)
+    tbl : (int * string, entry) Hashtbl.t; (* (policy version, input bytes) -> entry *)
     cap : int; (* stop inserting past this many entries *)
     mutable hits : int;
     mutable misses : int;
@@ -306,15 +313,20 @@ module Memo = struct
     end
 end
 
-let run ?memo ?signer ?gate filters (bytes : string) : outcome =
+let run ?(policy_version = 0) ?memo ?signer ?gate filters (bytes : string) :
+    outcome =
   match memo with
-  | None -> run_uncached ?signer ?gate filters bytes
+  | None -> run_uncached ~policy_version ?signer ?gate filters bytes
   | Some m when not (Memo.matches m filters signer gate) ->
-    run_uncached ?signer ?gate filters bytes
+    run_uncached ~policy_version ?signer ?gate filters bytes
   | Some m -> (
     Memo.pin m filters signer gate;
     let live = Telemetry.Global.on () in
-    match Hashtbl.find_opt m.Memo.tbl bytes with
+    (* The memo key carries the policy version alongside the bytes:
+       two versions whose filter stacks happen to be shared physically
+       must still never serve each other's outcomes. *)
+    let key = (policy_version, bytes) in
+    match Hashtbl.find_opt m.Memo.tbl key with
     | Some e when e.Memo.me_telemetry = live ->
       m.Memo.hits <- m.Memo.hits + 1;
       (match e.Memo.me_tape with
@@ -325,11 +337,11 @@ let run ?memo ?signer ?gate filters (bytes : string) : outcome =
       m.Memo.misses <- m.Memo.misses + 1;
       let o, tape =
         Telemetry.capture Telemetry.default (fun () ->
-            run_uncached ?signer ?gate filters bytes)
+            run_uncached ~policy_version ?signer ?gate filters bytes)
       in
       (match tape with
       | Some _ when Hashtbl.length m.Memo.tbl < m.Memo.cap ->
-        Hashtbl.replace m.Memo.tbl bytes
+        Hashtbl.replace m.Memo.tbl key
           { Memo.me_outcome = o; me_tape = tape; me_telemetry = live }
       | _ -> ());
       o)
@@ -337,7 +349,8 @@ let run ?memo ?signer ?gate filters (bytes : string) : outcome =
 (* Ablation: the naive structure that re-parses and re-generates
    between every pair of services, as if each were an independent
    proxy. Same output, multiplied parse/generate cost. *)
-let run_parse_per_service ?signer ?gate filters bytes : outcome =
+let run_parse_per_service ?(policy_version = 0) ?signer ?gate filters bytes :
+    outcome =
   (* A rejection carries the name the replacement class must take —
      the rejected class's own name (so the client's load of it raises
      the error), or the fixed "malformed/Input" when the input never
@@ -407,4 +420,5 @@ let run_parse_per_service ?signer ?gate filters bytes : outcome =
       Bytecode.Encode.class_to_bytes
         (Dsig.Sign.sign key (Bytecode.Decode.class_of_bytes out_bytes))
   in
-  { out_bytes; rejected; parse_cost; transform_cost; generate_cost; parses }
+  { out_bytes; out_version = policy_version; rejected; parse_cost;
+    transform_cost; generate_cost; parses }

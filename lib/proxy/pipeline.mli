@@ -7,6 +7,9 @@
 
 type outcome = {
   out_bytes : string;
+  out_version : int;
+      (** security-policy version the class was rewritten under
+          (stamped onto every cache/L2 entry); 0 = unversioned *)
   rejected : (string * string) option;  (** (filter, reason) *)
   parse_cost : int64;  (** µs of proxy CPU *)
   transform_cost : int64;
@@ -64,6 +67,7 @@ module Memo : sig
 end
 
 val run :
+  ?policy_version:int ->
   ?memo:Memo.t ->
   ?signer:Dsig.Sign.key ->
   ?gate:gate ->
@@ -72,9 +76,12 @@ val run :
   outcome
 (** A memo pins itself to the first (filters, signer, gate) triple it
     serves — all compared physically — and falls back to real runs for
-    any other. *)
+    any other. [policy_version] (default 0 = unversioned) is stamped
+    into [out_version] and keys the memo alongside the input bytes, so
+    outcomes computed under different policy versions never alias. *)
 
 val run_parse_per_service :
+  ?policy_version:int ->
   ?signer:Dsig.Sign.key -> ?gate:gate -> Rewrite.Filter.t list -> string -> outcome
 (** Ablation: re-parse and re-generate between every pair of services
     (same output, multiplied cost — including one more parse for the

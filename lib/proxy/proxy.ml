@@ -12,3 +12,4 @@ module Admission = Admission
 include Node
 
 module Farm = Farm
+module Control = Control

@@ -49,6 +49,17 @@ type t = Node.t = {
   l2_lookup_us : int;
   l2_bandwidth_bps : int;  (** peer-to-peer transfer rate for L2 hits *)
   mutable filters : Rewrite.Filter.t list;
+  mutable policy_version : int;
+      (** security-policy version this shard rewrites under; stamped
+          onto pipeline runs and every L1/L2 entry (0 = unversioned).
+          The control plane's apply hook swaps [filters] and bumps
+          this together. *)
+  mutable serving_allowed : unit -> bool;
+      (** control-plane fence: when it returns [false] the node
+          refuses to serve (counter [control.fenced_rejects], trace
+          event [control.fenced]) and requests take the [on_fail]
+          path like a crashed host, so the farm fails over. Wire to
+          {!Control.member_ok}; defaults to always-true. *)
   origin : origin;
   origin_latency : string -> Simnet.Engine.time;
   origin_bandwidth_bps : int;
@@ -66,6 +77,8 @@ type t = Node.t = {
   mutable pipeline_runs : int;  (** full parse/rewrite/generate passes *)
   mutable coalesced : int;  (** requests that joined an in-flight run *)
   mutable l2_hits : int;  (** misses served by the shared tier *)
+  mutable fenced_rejects : int;
+      (** requests refused by the control-plane fence *)
   mutable cpu_us : int64;  (** total pipeline + cache-service CPU *)
 }
 
@@ -168,3 +181,8 @@ end
 module Farm : module type of Farm
 (** Sharded proxy farm: consistent-hash routing over independent
     shards, ring-order failover, farm-wide counter aggregation. *)
+
+module Control : module type of Control
+(** The farm's control plane: a leader-based replication log with
+    lease fencing that propagates security-policy versions and
+    rewrite-cache invalidations to every shard over simnet links. *)

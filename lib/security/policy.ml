@@ -96,6 +96,23 @@ let with_rule t ~sid ~permission ~allow =
            t.rules;
   }
 
+(* Operation-map updates also bump the version. Unlike [with_rule],
+   these change which call sites the rewriter instruments, so classes
+   rewritten under the old version are textually different — exactly
+   the case the farm's control plane must invalidate across shards. *)
+let with_operation t op =
+  { t with version = t.version + 1; operations = op :: t.operations }
+
+let without_operation t ~permission =
+  {
+    t with
+    version = t.version + 1;
+    operations =
+      List.filter
+        (fun op -> not (String.equal op.op_permission permission))
+        t.operations;
+  }
+
 let pp ppf t =
   Format.fprintf ppf "policy v%d (default %s)@\n" t.version
     (if t.default_allow then "allow" else "deny");

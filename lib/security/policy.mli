@@ -52,4 +52,12 @@ val with_rule : t -> sid:sid -> permission:permission -> allow:bool -> t
 (** Functional update; bumps the policy version (triggers cache
     invalidation). *)
 
+val with_operation : t -> operation -> t
+val without_operation : t -> permission:permission -> t
+(** Operation-map updates, also version-bumping. These change which
+    call sites the rewriter instruments — classes rewritten under the
+    old version are textually different, the case the farm's control
+    plane exists to invalidate. [without_operation] removes every
+    operation carrying [permission]. *)
+
 val pp : Format.formatter -> t -> unit

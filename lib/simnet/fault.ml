@@ -14,6 +14,7 @@ type t = {
   mutable drops : int;
   mutable crashes : int;
   mutable restarts : int;
+  mutable partitions : int;
   mutable events : string list; (* newest first *)
 }
 
@@ -26,6 +27,7 @@ let create ~seed =
     drops = 0;
     crashes = 0;
     restarts = 0;
+    partitions = 0;
     events = [];
   }
 
@@ -65,6 +67,7 @@ let trace t = List.rev t.events
 let drops t = t.drops
 let crashes t = t.crashes
 let restarts t = t.restarts
+let partitions t = t.partitions
 
 let count_drop t ~at what =
   t.drops <- t.drops + 1;
@@ -96,4 +99,22 @@ let schedule_host_faults t (host : Host.t) ?(mem_retained = 0.0) ?on_restart
             Telemetry.Global.incr "simnet.restarts";
             Option.iter (fun f -> f ()) on_restart
           end))
+    schedule
+
+(* Partition schedule: at each [start] the partition opens (the caller's
+   [set true] makes the affected links lose everything) and [len] later
+   it heals. [set] is a closure rather than a link so one schedule can
+   sever a whole bundle of links atomically — and so this module does
+   not depend on [Link], which depends on it. *)
+let schedule_partition t engine ~what ~set ~schedule () =
+  List.iter
+    (fun (start, len) ->
+      Engine.schedule_at engine start (fun () ->
+          set true;
+          t.partitions <- t.partitions + 1;
+          record t ~at:(Engine.now engine) (Printf.sprintf "partition %s" what);
+          Telemetry.Global.incr "simnet.partitions");
+      Engine.schedule_at engine (Int64.add start len) (fun () ->
+          set false;
+          record t ~at:(Engine.now engine) (Printf.sprintf "heal %s" what)))
     schedule

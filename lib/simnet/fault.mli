@@ -35,6 +35,9 @@ val drops : t -> int
 val crashes : t -> int
 val restarts : t -> int
 
+val partitions : t -> int
+(** Partition windows opened so far. *)
+
 val count_drop : t -> at:Engine.time -> string -> unit
 (** Used by {!Link}: bump the drop counter and append to the trace. *)
 
@@ -54,3 +57,20 @@ val schedule_host_faults :
     runs [on_restart], where the owner clears warm state the crash
     lost (e.g. a class cache). Counters: [simnet.crashes],
     [simnet.restarts]. *)
+
+(** {1 Network-partition schedules} *)
+
+val schedule_partition :
+  t ->
+  Engine.t ->
+  what:string ->
+  set:(bool -> unit) ->
+  schedule:(Engine.time * Engine.time) list ->
+  unit ->
+  unit
+(** For each [(start, len)]: call [set true] at [start] and [set false]
+    at [start + len]. [set] is a closure — typically
+    [Link.set_partitioned link], or a function severing a whole bundle
+    of links at once — so a schedule can partition any cut of the
+    network atomically. Each window appends ["partition <what>"] /
+    ["heal <what>"] to the trace and bumps [simnet.partitions]. *)

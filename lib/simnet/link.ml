@@ -23,6 +23,8 @@ type t = {
   mutable transfers : int;
   mutable faults : faults option;
   mutable drops : int;
+  mutable partitioned : bool; (* partition window open: every transfer lost *)
+  mutable partition_drops : int;
 }
 
 let create engine ~name ~bandwidth_bps ~latency =
@@ -36,12 +38,16 @@ let create engine ~name ~bandwidth_bps ~latency =
     transfers = 0;
     faults = None;
     drops = 0;
+    partitioned = false;
+    partition_drops = 0;
   }
 
 let set_faults t ~plan ?(drop_prob = 0.0) ?(jitter_max_us = 0) () =
   t.faults <- Some { plan; drop_prob; jitter_max_us }
 
 let clear_faults t = t.faults <- None
+
+let set_partitioned t v = t.partitioned <- v
 
 (* Transmission time for [bytes] at the link rate, in µs. *)
 let tx_time t ~bytes =
@@ -62,6 +68,17 @@ let transfer t ?on_drop ~bytes k =
   t.bytes_carried <- t.bytes_carried + bytes;
   t.transfers <- t.transfers + 1;
   let arrival = Int64.add done_tx t.latency in
+  if t.partitioned then begin
+    (* A partition loses every transfer — no probability draw, so the
+       plan's random stream stays aligned with the unpartitioned run
+       and digests outside the window are comparable. *)
+    t.partition_drops <- t.partition_drops + 1;
+    Telemetry.Global.incr "simnet.partition_drops";
+    match on_drop with
+    | Some g -> Engine.schedule_at t.engine arrival g
+    | None -> ()
+  end
+  else
   match t.faults with
   | Some f when Fault.flip f.plan ~p:f.drop_prob ->
     t.drops <- t.drops + 1;

@@ -20,6 +20,8 @@ type t = {
   mutable transfers : int;
   mutable faults : faults option;
   mutable drops : int;
+  mutable partitioned : bool;
+  mutable partition_drops : int;
 }
 
 val create :
@@ -32,6 +34,15 @@ val set_faults :
     [\[0, jitter_max_us)] — both from [plan]'s deterministic stream. *)
 
 val clear_faults : t -> unit
+
+val set_partitioned : t -> bool -> unit
+(** Open or close a network-partition window on this link. While open,
+    {e every} transfer is lost (no probability draw, so the fault
+    plan's random stream stays aligned with an unpartitioned run);
+    [on_drop] still fires at would-be arrival and losses are counted in
+    [partition_drops] / [simnet.partition_drops], separate from
+    probabilistic [drops]. Schedule windows with
+    {!Fault.schedule_partition}. *)
 
 val tx_time : t -> bytes:int -> Engine.time
 

@@ -95,6 +95,7 @@ let note_shed t ~now_us =
 
 type report = {
   r_window_s : int;
+  r_span_s : int;  (** seconds actually observed, <= window *)
   r_requests : int;  (** in window *)
   r_fresh : int;
   r_stale : int;
@@ -120,9 +121,11 @@ let report t ~now_us =
   let sec = Int64.to_int (Int64.div now_us 1_000_000L) in
   let req = ref 0 and fresh = ref 0 and bytes = ref 0 in
   let stale = ref 0 and failed = ref 0 and sheds = ref 0 in
+  let oldest = ref max_int in
   Array.iter
     (fun b ->
       if b.b_sec >= 0 && b.b_sec <= sec && sec - b.b_sec < t.window_s then begin
+        if b.b_sec < !oldest then oldest := b.b_sec;
         req := !req + b.b_requests;
         fresh := !fresh + b.b_fresh;
         bytes := !bytes + b.b_fresh_bytes;
@@ -135,14 +138,23 @@ let report t ~now_us =
   let total_violation =
     rate ~bad:(t.total_requests - t.total_fresh) ~total:t.total_requests
   in
+  (* Divide by the seconds actually observed, not the nominal window:
+     during warm-up (fewer than [window_s] seconds of traffic) the old
+     full-window divisor underreported goodput by up to the warm-up
+     ratio. Capped at [window_s]; an empty window reports over 1 s. *)
+  let span =
+    if !oldest = max_int then 1 else min t.window_s (sec - !oldest + 1)
+  in
+  let span = max 1 span in
   {
     r_window_s = t.window_s;
+    r_span_s = span;
     r_requests = !req;
     r_fresh = !fresh;
     r_stale = !stale;
     r_failed = !failed;
     r_sheds = !sheds;
-    r_goodput_bps = float_of_int !bytes /. float_of_int t.window_s;
+    r_goodput_bps = float_of_int !bytes /. float_of_int span;
     r_violation_rate = violation;
     r_budget_burn = burn t ~violation;
     r_total_requests = t.total_requests;
@@ -156,15 +168,15 @@ let report t ~now_us =
 
 let report_json r =
   Printf.sprintf
-    "{\"window_s\":%d,\"requests\":%d,\"fresh\":%d,\"stale\":%d,\"failed\":%d,\"sheds\":%d,\"goodput_bps\":%.1f,\"violation_rate\":%.6f,\"budget_burn\":%.4f,\"total_requests\":%d,\"total_fresh\":%d,\"total_stale\":%d,\"total_failed\":%d,\"total_sheds\":%d,\"total_violation_rate\":%.6f,\"total_budget_burn\":%.4f}"
-    r.r_window_s r.r_requests r.r_fresh r.r_stale r.r_failed r.r_sheds
-    r.r_goodput_bps r.r_violation_rate r.r_budget_burn r.r_total_requests
-    r.r_total_fresh r.r_total_stale r.r_total_failed r.r_total_sheds
-    r.r_total_violation_rate r.r_total_budget_burn
+    "{\"window_s\":%d,\"span_s\":%d,\"requests\":%d,\"fresh\":%d,\"stale\":%d,\"failed\":%d,\"sheds\":%d,\"goodput_bps\":%.1f,\"violation_rate\":%.6f,\"budget_burn\":%.4f,\"total_requests\":%d,\"total_fresh\":%d,\"total_stale\":%d,\"total_failed\":%d,\"total_sheds\":%d,\"total_violation_rate\":%.6f,\"total_budget_burn\":%.4f}"
+    r.r_window_s r.r_span_s r.r_requests r.r_fresh r.r_stale r.r_failed
+    r.r_sheds r.r_goodput_bps r.r_violation_rate r.r_budget_burn
+    r.r_total_requests r.r_total_fresh r.r_total_stale r.r_total_failed
+    r.r_total_sheds r.r_total_violation_rate r.r_total_budget_burn
 
 let report_text r =
   Printf.sprintf
-    "SLO (last %ds window)\n\
+    "SLO (last %ds window, %ds observed)\n\
     \  requests            %d (fresh %d, stale %d, failed %d; sheds %d)\n\
     \  goodput             %.1f B/s\n\
     \  violation rate      %.4f\n\
@@ -173,7 +185,7 @@ let report_text r =
     \  requests            %d (fresh %d, stale %d, failed %d; sheds %d)\n\
     \  violation rate      %.4f\n\
     \  error-budget burn   %.2fx\n"
-    r.r_window_s r.r_requests r.r_fresh r.r_stale r.r_failed r.r_sheds
-    r.r_goodput_bps r.r_violation_rate r.r_budget_burn r.r_total_requests
-    r.r_total_fresh r.r_total_stale r.r_total_failed r.r_total_sheds
-    r.r_total_violation_rate r.r_total_budget_burn
+    r.r_window_s r.r_span_s r.r_requests r.r_fresh r.r_stale r.r_failed
+    r.r_sheds r.r_goodput_bps r.r_violation_rate r.r_budget_burn
+    r.r_total_requests r.r_total_fresh r.r_total_stale r.r_total_failed
+    r.r_total_sheds r.r_total_violation_rate r.r_total_budget_burn

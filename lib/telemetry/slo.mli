@@ -23,12 +23,15 @@ val note_shed : t -> now_us:int64 -> unit
 
 type report = {
   r_window_s : int;
+  r_span_s : int;
+      (** seconds actually observed (capped at [r_window_s]); the
+          goodput divisor, so warm-up does not underreport *)
   r_requests : int;  (** in window *)
   r_fresh : int;
   r_stale : int;
   r_failed : int;
   r_sheds : int;
-  r_goodput_bps : float;  (** fresh bytes per second over the window *)
+  r_goodput_bps : float;  (** fresh bytes per observed second *)
   r_violation_rate : float;  (** 1 - fresh/requests over the window *)
   r_budget_burn : float;  (** violation rate / (1 - objective) *)
   r_total_requests : int;

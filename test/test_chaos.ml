@@ -197,6 +197,62 @@ let test_hedge_wins_on_slow_owner () =
     (Int64.compare (Simnet.Engine.now engine) 500_000L < 0
     || session.Dvm.Client.Session.served = 1)
 
+(* --- The control-plane scenario. --- *)
+
+(* A small configuration for the fast control-plane tests. *)
+let small_control =
+  {
+    Dvm.Chaos.default_control_config with
+    Dvm.Chaos.cc_clients = 12;
+    cc_duration_s = 18;
+    cc_applets = 6;
+    cc_bump_at_s = 7;
+    cc_partitions = 1;
+    cc_partition_len_s = 2;
+  }
+
+let test_control_invariants_hold () =
+  let w = Dvm.Chaos.verify_control small_control in
+  check Alcotest.bool "no serve under the revoked version" true
+    w.Dvm.Chaos.w_no_revoked_serves;
+  check Alcotest.bool "every shard converged" true w.Dvm.Chaos.w_converged;
+  check Alcotest.bool "unaffected applets digest-identical" true
+    w.Dvm.Chaos.w_digests_ok;
+  check Alcotest.bool "verdict rolls up" true (Dvm.Chaos.control_ok w);
+  let c = w.Dvm.Chaos.w_chaotic in
+  (* the run actually exercised the machinery it claims to test *)
+  check Alcotest.bool "bump committed" true (c.Dvm.Chaos.cn_commit_us > 0L);
+  check Alcotest.bool "the bump changes some applets' bytes" true
+    (List.length c.Dvm.Chaos.cn_changed_applets > 0);
+  check Alcotest.bool "faults were injected" true
+    (List.length c.Dvm.Chaos.cn_fault_trace > 0);
+  check Alcotest.bool "fence refused some requests" true
+    (c.Dvm.Chaos.cn_fence_rejects > 0);
+  check Alcotest.bool "version stamps dropped stale entries" true
+    (c.Dvm.Chaos.cn_stale_drops > 0);
+  check Alcotest.bool "invalidations replicated and applied" true
+    (c.Dvm.Chaos.cn_invalidations > 0);
+  check Alcotest.bool "restarted shard resynced from the log" true
+    (c.Dvm.Chaos.cn_resyncs > 0);
+  (* changed applets really serve two distinct digest sets over the
+     run (v1 before the bump, v2 after); unchanged ones serve one *)
+  List.iter
+    (fun (k, ds) ->
+      let changed = List.mem k c.Dvm.Chaos.cn_changed_applets in
+      check Alcotest.bool
+        (Printf.sprintf "applet %s digest count (%s)" k
+           (if changed then "changed" else "unchanged"))
+        true
+        (if changed then List.length ds = 2 else List.length ds = 1))
+    c.Dvm.Chaos.cn_digests
+
+let test_control_seed_replayable () =
+  let a = Dvm.Chaos.run_control small_control
+  and b = Dvm.Chaos.run_control small_control in
+  check Alcotest.string "engine traces digest-identical"
+    a.Dvm.Chaos.cn_trace_digest b.Dvm.Chaos.cn_trace_digest;
+  check Alcotest.bool "whole outcomes identical" true (a = b)
+
 let () =
   Alcotest.run "chaos"
     [
@@ -215,5 +271,12 @@ let () =
             test_brownout_serves_stale;
           Alcotest.test_case "hedge wins on slow owner" `Quick
             test_hedge_wins_on_slow_owner;
+        ] );
+      ( "control-plane",
+        [
+          Alcotest.test_case "invariants hold" `Quick
+            test_control_invariants_hold;
+          Alcotest.test_case "seed determinism" `Quick
+            test_control_seed_replayable;
         ] );
     ]

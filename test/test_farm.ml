@@ -287,6 +287,298 @@ let test_flapping_replica_stabilizes () =
   check Alcotest.int "owner serves again after rehabilitation" (before + 1)
     pool.(owner).Proxy.requests
 
+(* --- Cache versioning and invalidation. --- *)
+
+let test_cache_versioned_entries () =
+  let c = Proxy.Cache.create ~capacity:(1024 * 1024) in
+  Proxy.Cache.store ~version:1 c "k" "body-v1";
+  check
+    (Alcotest.option Alcotest.string)
+    "same version hits" (Some "body-v1")
+    (Proxy.Cache.find ~version:1 c "k");
+  check Alcotest.bool "same version mem" true
+    (Proxy.Cache.mem ~version:1 c "k");
+  check Alcotest.bool "other version mem is a miss" false
+    (Proxy.Cache.mem ~version:2 c "k");
+  (* a mismatched lookup is a miss AND drops the stale entry *)
+  check
+    (Alcotest.option Alcotest.string)
+    "version mismatch misses" None
+    (Proxy.Cache.find ~version:2 c "k");
+  check Alcotest.int "stale entry dropped on sight" 1 c.Proxy.Cache.stale_drops;
+  check
+    (Alcotest.option Alcotest.string)
+    "entry gone for its own version too" None
+    (Proxy.Cache.find ~version:1 c "k");
+  (* version 0 is unversioned: matches anything, both directions *)
+  Proxy.Cache.store ~version:0 c "u" "body-u";
+  check
+    (Alcotest.option Alcotest.string)
+    "unversioned entry serves any version" (Some "body-u")
+    (Proxy.Cache.find ~version:7 c "u");
+  Proxy.Cache.store ~version:3 c "w" "body-w";
+  check
+    (Alcotest.option Alcotest.string)
+    "unversioned lookup accepts any entry" (Some "body-w")
+    (Proxy.Cache.find c "w")
+
+let test_cache_remove () =
+  let c = Proxy.Cache.create ~capacity:(1024 * 1024) in
+  Proxy.Cache.store c "a" "body-a";
+  Proxy.Cache.store c "b" "body-b";
+  check Alcotest.bool "remove hits" true (Proxy.Cache.remove c "a");
+  check Alcotest.bool "removed key misses" false (Proxy.Cache.mem c "a");
+  check Alcotest.bool "other keys untouched" true (Proxy.Cache.mem c "b");
+  check Alcotest.bool "second remove is a miss" false (Proxy.Cache.remove c "a");
+  check Alcotest.int "invalidations counted once" 1
+    c.Proxy.Cache.invalidations;
+  check Alcotest.int "used bytes released" (String.length "body-b")
+    c.Proxy.Cache.used
+
+(* Regression: a shard restarting cache-cold used to rewarm from the
+   shared L2 and resurrect entries rewritten under a policy version
+   the farm has since revoked. Entries are now stamped with the policy
+   version; a mismatched rewarm is a miss that drops the stale entry
+   and the pipeline re-runs under the current stack. *)
+let test_l2_rewarm_respects_policy_version () =
+  let engine = Simnet.Engine.create () in
+  let l2 = Proxy.Cache.create ~capacity:(4 * 1024 * 1024) in
+  let mark name =
+    Rewrite.Filter.make ~name (fun cf ->
+        {
+          cf with
+          Bytecode.Classfile.fields =
+            B.field name "I" :: cf.Bytecode.Classfile.fields;
+        })
+  in
+  let node version filters =
+    let p =
+      Proxy.create engine ~cache_capacity:(4 * 1024 * 1024) ~l2
+        ~host_name:(Printf.sprintf "shard-v%d" version)
+        ~origin:(fun _ -> Some hello_bytes)
+        ~origin_latency:(fun _ -> 0L)
+        ~filters ()
+    in
+    p.Proxy.policy_version <- version;
+    p
+  in
+  let a = node 1 [ mark "m1" ] in
+  let b = node 2 [ mark "m2" ] in
+  let serve p =
+    match Proxy.request_sync p ~cls:"some/Applet" with
+    | Proxy.Bytes s -> s
+    | _ -> fail "expected bytes"
+  in
+  (* shard A fills its L1 and the shared L2 under policy v1 *)
+  let v1_bytes = serve a in
+  check Alcotest.bool "L2 warmed by shard A" true
+    (Proxy.Cache.mem ~version:1 l2 "some/Applet");
+  (* shard B (already at v2, cache-cold — the restarted shard) must
+     NOT serve A's v1 bytes out of the shared tier *)
+  let v2_bytes = serve b in
+  check Alcotest.bool "stacks genuinely differ" false
+    (String.equal v1_bytes v2_bytes);
+  check Alcotest.int "no L2 rewarm across versions" 0 b.Proxy.l2_hits;
+  check Alcotest.bool "stale L2 entry dropped on sight" true
+    (l2.Proxy.Cache.stale_drops > 0);
+  check Alcotest.int "pipeline re-ran under the current stack" 1
+    b.Proxy.pipeline_runs;
+  (* same-version rewarm still works: a third v2 shard hits B's entry *)
+  let c = node 2 [ mark "m2" ] in
+  let v2_again = serve c in
+  check Alcotest.string "same-version rewarm serves identical bytes" v2_bytes
+    v2_again;
+  check Alcotest.int "served from the shared tier" 1 c.Proxy.l2_hits;
+  check Alcotest.int "no pipeline run on the rewarm" 0 c.Proxy.pipeline_runs
+
+(* --- The control plane. --- *)
+
+let make_control ?(members = 3) ?(lease_us = 1_000_000L)
+    ?(hb_interval_us = 250_000L) ?(commit_margin_us = 100_000L) engine =
+  let ctl =
+    Proxy.Control.create engine ~lease_us ~hb_interval_us ~commit_margin_us ()
+  in
+  let applied = Array.make members [] in
+  let rigs =
+    Array.init members (fun i ->
+        let host =
+          Simnet.Host.create engine ~name:(Printf.sprintf "m%d" i)
+        in
+        let link name =
+          Simnet.Link.create engine
+            ~name:(Printf.sprintf "%s-m%d" name i)
+            ~bandwidth_bps:10_000_000 ~latency:(Simnet.Engine.us 500)
+        in
+        let lto = link "to" and lfrom = link "from" in
+        let mid =
+          Proxy.Control.add_member ctl ~name:(Printf.sprintf "m%d" i) ~host
+            ~link_to:lto ~link_from:lfrom
+            ~apply:(fun e -> applied.(i) <- e :: applied.(i))
+        in
+        (host, lto, lfrom, mid))
+  in
+  (ctl, rigs, applied)
+
+let test_control_replicates_and_commits () =
+  let engine = Simnet.Engine.create () in
+  let ctl, rigs, applied = make_control ~members:3 engine in
+  Proxy.Control.start ctl ~until:(Simnet.Engine.sec 10);
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 2) (fun () ->
+      ignore (Proxy.Control.propose ctl (Proxy.Control.Set_version 2));
+      ignore (Proxy.Control.propose ctl (Proxy.Control.Invalidate "a0/s")));
+  Simnet.Engine.run ~until:(Simnet.Engine.sec 10) engine;
+  check Alcotest.bool "converged" true (Proxy.Control.converged ctl);
+  Array.iteri
+    (fun i (_, _, _, mid) ->
+      check Alcotest.int
+        (Printf.sprintf "member %d applied the whole log" i)
+        2
+        (Proxy.Control.member_applied ctl mid);
+      check Alcotest.int
+        (Printf.sprintf "member %d at the new version" i)
+        2
+        (Proxy.Control.member_version ctl mid);
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "member %d applied in log order" i)
+        [ "set-version 2"; "invalidate a0/s" ]
+        (List.rev_map Proxy.Control.entry_to_string applied.(i)))
+    rigs;
+  check Alcotest.bool "all-acks commit beats the lease backstop" true
+    (match Proxy.Control.commit_us ctl ~index:1 with
+    | Some at -> at < Simnet.Engine.sec 3
+    | None -> false);
+  check Alcotest.int "committed version follows" 2
+    (Proxy.Control.committed_version ctl)
+
+let test_control_partition_fences_then_recovers () =
+  let engine = Simnet.Engine.create () in
+  let ctl, rigs, _ = make_control ~members:3 engine in
+  let _, lto, lfrom, mid = rigs.(1) in
+  Proxy.Control.start ctl ~until:(Simnet.Engine.sec 20);
+  (* partition member 1's control links for 2..6 s; bump at 3 s *)
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 2) (fun () ->
+      Simnet.Link.set_partitioned lto true;
+      Simnet.Link.set_partitioned lfrom true);
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 3) (fun () ->
+      ignore (Proxy.Control.propose ctl (Proxy.Control.Set_version 2)));
+  (* by 3.5 s its lease (1 s, last renewed just before 2 s) is gone *)
+  Simnet.Engine.schedule_at engine (Simnet.Engine.ms 3500) (fun () ->
+      check Alcotest.bool "partitioned member is fenced" false
+        (Proxy.Control.member_ok ctl mid);
+      check Alcotest.bool "stale member has not applied the bump" true
+        (Proxy.Control.member_version ctl mid < 2);
+      check Alcotest.bool "bump not committed while a lease could be live"
+        false
+        (Proxy.Control.committed ctl ~index:1));
+  (* the lease backstop: proposed at 3 s + 1 s lease + 100 ms margin.
+     The entry commits then even though the partitioned member never
+     acked — it is fenced, not waited on. *)
+  Simnet.Engine.schedule_at engine (Simnet.Engine.ms 4200) (fun () ->
+      check Alcotest.bool "bump committed at the lease backstop" true
+        (Proxy.Control.committed ctl ~index:1));
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 6) (fun () ->
+      Simnet.Link.set_partitioned lto false;
+      Simnet.Link.set_partitioned lfrom false);
+  Simnet.Engine.run ~until:(Simnet.Engine.sec 20) engine;
+  check Alcotest.bool "healed member converges" true
+    (Proxy.Control.converged ctl);
+  check Alcotest.int "healed member reaches the new version" 2
+    (Proxy.Control.member_version ctl mid);
+  check Alcotest.bool "lease live again" true (Proxy.Control.member_ok ctl mid)
+
+let test_control_restart_replays_log () =
+  let engine = Simnet.Engine.create () in
+  let ctl, rigs, applied = make_control ~members:2 engine in
+  let host, _, _, mid = rigs.(1) in
+  Proxy.Control.start ctl ~until:(Simnet.Engine.sec 12);
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 1) (fun () ->
+      ignore (Proxy.Control.propose ctl (Proxy.Control.Set_version 2));
+      ignore (Proxy.Control.propose ctl (Proxy.Control.Invalidate "a1/s")));
+  (* crash at 3 s, restart at 5 s having lost all volatile state *)
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 3) (fun () ->
+      Simnet.Host.crash host);
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 5) (fun () ->
+      Simnet.Host.restart host;
+      applied.(1) <- [];
+      Proxy.Control.mark_restarted ctl mid;
+      check Alcotest.bool "restarted member fenced until resync" false
+        (Proxy.Control.member_ok ctl mid));
+  Simnet.Engine.run ~until:(Simnet.Engine.sec 12) engine;
+  check Alcotest.bool "recovered member converges" true
+    (Proxy.Control.converged ctl);
+  check
+    (Alcotest.list Alcotest.string)
+    "full log replayed in order after the restart"
+    [ "set-version 2"; "invalidate a1/s" ]
+    (List.rev_map Proxy.Control.entry_to_string applied.(1));
+  check Alcotest.bool "resync counted" true
+    (Proxy.Control.member_resyncs ctl mid >= 1);
+  check Alcotest.bool "lease granted only after full replay" true
+    (Proxy.Control.member_ok ctl mid)
+
+(* Convergence property: whatever partition windows the seed throws at
+   the members' control links, once every window has healed the plane
+   converges — every member applies the full log and agrees on one
+   version. Windows all end by 8 s; the run goes to 20 s, leaving
+   well over a lease + heartbeat interval of healed time. *)
+let prop_control_converges_after_partitions =
+  let gen =
+    QCheck.Gen.(
+      let* members = int_range 2 4 in
+      let* bumps = int_range 1 3 in
+      let* windows =
+        list_size (int_range 0 6)
+          (triple (int_range 0 (members - 1)) (int_range 0 6_000)
+             (int_range 1 2_000))
+      in
+      return (members, bumps, windows))
+  in
+  let print (members, bumps, windows) =
+    Printf.sprintf "members=%d bumps=%d windows=[%s]" members bumps
+      (String.concat ";"
+         (List.map
+            (fun (m, at, len) -> Printf.sprintf "m%d@%dms+%dms" m at len)
+            windows))
+  in
+  QCheck.Test.make ~count:60
+    ~name:"control plane converges to one version after any partition \
+           schedule heals"
+    (QCheck.make gen ~print)
+    (fun (members, bumps, windows) ->
+      let engine = Simnet.Engine.create () in
+      let ctl, rigs, _ = make_control ~members engine in
+      Proxy.Control.start ctl ~until:(Simnet.Engine.sec 20);
+      List.iter
+        (fun (m, at_ms, len_ms) ->
+          let _, lto, lfrom, _ = rigs.(m) in
+          Simnet.Engine.schedule_at engine (Simnet.Engine.ms at_ms) (fun () ->
+              Simnet.Link.set_partitioned lto true;
+              Simnet.Link.set_partitioned lfrom true);
+          Simnet.Engine.schedule_at engine
+            (Simnet.Engine.ms (at_ms + len_ms))
+            (fun () ->
+              Simnet.Link.set_partitioned lto false;
+              Simnet.Link.set_partitioned lfrom false))
+        windows;
+      for b = 1 to bumps do
+        Simnet.Engine.schedule_at engine
+          (Simnet.Engine.ms (1000 * b))
+          (fun () ->
+            ignore (Proxy.Control.propose ctl (Proxy.Control.Set_version (b + 1)));
+            ignore
+              (Proxy.Control.propose ctl
+                 (Proxy.Control.Invalidate (Printf.sprintf "a%d/s" b))))
+      done;
+      Simnet.Engine.run ~until:(Simnet.Engine.sec 20) engine;
+      Proxy.Control.converged ctl
+      && Array.for_all
+           (fun (_, _, _, mid) ->
+             Proxy.Control.member_version ctl mid
+             = Proxy.Control.current_version ctl)
+           rigs
+      && Proxy.Control.committed_version ctl = Proxy.Control.current_version ctl)
+
 let () =
   Alcotest.run "farm"
     [
@@ -319,5 +611,23 @@ let () =
             test_farm_scaling_past_the_knee;
           Alcotest.test_case "coalescing under shared load" `Quick
             test_coalescing_under_shared_load;
+        ] );
+      ( "cache-versioning",
+        [
+          Alcotest.test_case "versioned entries" `Quick
+            test_cache_versioned_entries;
+          Alcotest.test_case "remove" `Quick test_cache_remove;
+          Alcotest.test_case "L2 rewarm respects policy version" `Quick
+            test_l2_rewarm_respects_policy_version;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "replicates and commits" `Quick
+            test_control_replicates_and_commits;
+          Alcotest.test_case "partition fences then recovers" `Quick
+            test_control_partition_fences_then_recovers;
+          Alcotest.test_case "restart replays the log" `Quick
+            test_control_restart_replays_log;
+          QCheck_alcotest.to_alcotest prop_control_converges_after_partitions;
         ] );
     ]

@@ -790,6 +790,166 @@ let test_breaker_flapping_window () =
   check Alcotest.bool "slow failures age out of the window" true
     (Proxy.Breaker.allow b ~now:!t)
 
+let test_breaker_half_open_probe_cap () =
+  (* Regression: Half_open used to answer [true] to every caller, so
+     the whole backlog stampeded the recovering shard at once. The cap
+     is [success_threshold] outstanding probes; further callers are
+     refused until a probe resolves. *)
+  let b = Proxy.Breaker.create ~cooldown_us:1000L ~success_threshold:2 () in
+  for i = 0 to 2 do
+    Proxy.Breaker.record_failure b ~now:(Int64.of_int i)
+  done;
+  check Alcotest.bool "first probe admitted" true
+    (Proxy.Breaker.allow b ~now:1500L);
+  check Alcotest.bool "second probe admitted" true
+    (Proxy.Breaker.allow b ~now:1501L);
+  check Alcotest.bool "third caller refused: cap reached" false
+    (Proxy.Breaker.allow b ~now:1502L);
+  check Alcotest.bool "still refused while probes unresolved" false
+    (Proxy.Breaker.allow b ~now:1600L);
+  (* one probe resolves: exactly one slot frees *)
+  Proxy.Breaker.record_success b ~now:1700L;
+  check Alcotest.bool "resolved probe frees one slot" true
+    (Proxy.Breaker.allow b ~now:1701L);
+  check Alcotest.bool "cap holds again" false
+    (Proxy.Breaker.allow b ~now:1702L);
+  (* the second success closes; traffic flows freely again *)
+  Proxy.Breaker.record_success b ~now:1800L;
+  check Alcotest.bool "closed after threshold successes" true
+    (Proxy.Breaker.state b ~now:1801L = Proxy.Breaker.Closed);
+  check Alcotest.bool "closed admits everyone" true
+    (Proxy.Breaker.allow b ~now:1802L && Proxy.Breaker.allow b ~now:1803L
+    && Proxy.Breaker.allow b ~now:1804L)
+
+(* State-machine property for the breaker: drive the real
+   implementation and an independently written reference model with
+   the same random op sequence and require identical observable
+   behaviour — every [allow] verdict, the state, and the trip count.
+   The model encodes the spec directly: trips open for the current
+   cooldown, each trip doubles the cooldown up to the cap, closing
+   resets it, Open always refuses, Half_open admits at most
+   [success_threshold] unresolved probes. *)
+type breaker_op = B_allow | B_success | B_failure | B_advance of int
+
+let prop_breaker_matches_model =
+  let fail_threshold = 3 and window_threshold = 4 and success_threshold = 2 in
+  let window_us = 10_000L and base_cooldown = 1_000L and max_cooldown = 4_000L in
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 1 80)
+        (frequency
+           [
+             (3, return B_allow);
+             (2, return B_success);
+             (3, return B_failure);
+             (2, map (fun d -> B_advance d) (int_range 1 3_000));
+           ]))
+  in
+  let print_ops ops =
+    String.concat ";"
+      (List.map
+         (function
+           | B_allow -> "allow"
+           | B_success -> "success"
+           | B_failure -> "failure"
+           | B_advance d -> Printf.sprintf "+%dus" d)
+         ops)
+  in
+  QCheck.Test.make ~count:500
+    ~name:"breaker matches its reference model (open refuses, cooldown \
+           doubles and caps, close resets, probe cap)"
+    (QCheck.make gen ~print:print_ops)
+    (fun ops ->
+      let b = Proxy.Breaker.create ~fail_threshold ~window_threshold ~window_us
+          ~cooldown_us:base_cooldown ~max_cooldown_us:max_cooldown
+          ~success_threshold ()
+      in
+      (* the reference model *)
+      let m_st = ref `Closed and m_consec = ref 0 and m_window = ref [] in
+      let m_cooldown = ref base_cooldown and m_open_until = ref 0L in
+      let m_succ = ref 0 and m_inflight = ref 0 and m_trips = ref 0 in
+      let now = ref 0L in
+      let m_refresh () =
+        if !m_st = `Open && Int64.compare !now !m_open_until >= 0 then begin
+          m_st := `Half_open;
+          m_succ := 0;
+          m_inflight := 0
+        end
+      in
+      let m_trip () =
+        m_st := `Open;
+        m_open_until := Int64.add !now !m_cooldown;
+        m_cooldown :=
+          (let d = Int64.mul !m_cooldown 2L in
+           if Int64.compare d max_cooldown > 0 then max_cooldown else d);
+        m_succ := 0;
+        m_inflight := 0;
+        incr m_trips
+      in
+      List.for_all
+        (fun op ->
+          match op with
+          | B_advance d ->
+            now := Int64.add !now (Int64.of_int d);
+            true
+          | B_allow ->
+            m_refresh ();
+            let model_verdict =
+              match !m_st with
+              | `Closed -> true
+              | `Open -> false
+              | `Half_open ->
+                if !m_inflight >= success_threshold then false
+                else begin
+                  incr m_inflight;
+                  true
+                end
+            in
+            let real = Proxy.Breaker.allow b ~now:!now in
+            real = model_verdict
+            && not (real && Proxy.Breaker.state b ~now:!now = Proxy.Breaker.Open)
+          | B_failure ->
+            m_refresh ();
+            incr m_consec;
+            let horizon = Int64.sub !now window_us in
+            m_window :=
+              !now
+              :: List.filter
+                   (fun at -> Int64.compare at horizon >= 0)
+                   !m_window;
+            (match !m_st with
+            | `Open -> ()
+            | `Half_open -> m_trip ()
+            | `Closed ->
+              if
+                !m_consec >= fail_threshold
+                || List.length !m_window >= window_threshold
+              then m_trip ());
+            Proxy.Breaker.record_failure b ~now:!now;
+            Proxy.Breaker.trips b = !m_trips
+          | B_success ->
+            m_refresh ();
+            m_consec := 0;
+            (match !m_st with
+            | `Open | `Closed -> ()
+            | `Half_open ->
+              if !m_inflight > 0 then decr m_inflight;
+              incr m_succ;
+              if !m_succ >= success_threshold then begin
+                m_st := `Closed;
+                m_window := [];
+                m_cooldown := base_cooldown;
+                m_inflight := 0
+              end);
+            Proxy.Breaker.record_success b ~now:!now;
+            (match (Proxy.Breaker.state b ~now:!now, !m_st) with
+            | Proxy.Breaker.Closed, `Closed
+            | Proxy.Breaker.Open, `Open
+            | Proxy.Breaker.Half_open, `Half_open ->
+              true
+            | _ -> false))
+        ops)
+
 (* --- Admission control. --- *)
 
 let test_admission_deadline_shed () =
@@ -1196,6 +1356,9 @@ let () =
             test_breaker_half_open_cycle;
           Alcotest.test_case "flapping window" `Quick
             test_breaker_flapping_window;
+          Alcotest.test_case "half-open probe cap" `Quick
+            test_breaker_half_open_probe_cap;
+          QCheck_alcotest.to_alcotest prop_breaker_matches_model;
         ] );
       ( "admission",
         [
