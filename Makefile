@@ -40,14 +40,21 @@ chaos-smoke:
 	  --spike-start 3 --spike-len 5 --crashes 1 --loss 1.0 --trace
 
 # Control-plane smoke: a short seeded run replicating a policy bump
-# across the farm while control links partition (split brain) and one
-# shard crash/restarts. dvmctl exits nonzero if any control-plane
+# across the farm while control links partition (split brain), one
+# shard crash/restarts, the leased leader is killed mid-commit (the
+# new leader must re-drive the uncommitted suffix) and later wakes
+# with a stale term. dvmctl exits nonzero if any control-plane
 # invariant fails: a client served under the revoked policy version,
-# a shard that never converges, or digest drift on applets the bump
-# does not touch.
+# two valid leadership leases at one sampled instant (or a term
+# regression), snapshot catch-up state that differs from a full-log
+# replay, a shard that never converges, or digest drift on applets
+# the bump does not touch. The second line is the election smoke:
+# leader crash + leader partition forced on, checked via --json.
 control-smoke:
 	dune exec bin/dvmctl.exe -- control --clients 12 --duration 18 \
 	  --applets 6 --bump-at 7 --partitions 1 --partition-len 2 --trace
+	dune exec bin/dvmctl.exe -- control --clients 12 --duration 18 \
+	  --applets 6 --bump-at 7 --partitions 1 --partition-len 2 --json
 
 # Trace smoke: a seeded chaos run must yield, for at least one shed and
 # one serve-stale brownout request, a single cross-node trace with the

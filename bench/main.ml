@@ -1135,25 +1135,36 @@ let control () =
   Printf.printf
     "%d shards, %d clients, %d applets, bump at %ds, %d control-link \
      partition\n\
-     windows of %ds (the first spans the bump), restart %s, %.0f ms lease, \
-     seed %d\n\n"
+     windows of %ds (the first spans the bump), restart %s, leader crash \
+     %s,\n\
+     leader partition %s, churn every %ds, snapshot every %d, %.0f ms \
+     lease, seed %d\n\n"
     cfg.Dvm.Chaos.cc_shards cfg.Dvm.Chaos.cc_clients cfg.Dvm.Chaos.cc_applets
     cfg.Dvm.Chaos.cc_bump_at_s cfg.Dvm.Chaos.cc_partitions
     cfg.Dvm.Chaos.cc_partition_len_s
     (if cfg.Dvm.Chaos.cc_restart_shard then "on" else "off")
+    (if cfg.Dvm.Chaos.cc_leader_crash then "on" else "off")
+    (if cfg.Dvm.Chaos.cc_leader_partition then "on" else "off")
+    cfg.Dvm.Chaos.cc_churn_s cfg.Dvm.Chaos.cc_snapshot_every
     (Int64.to_float cfg.Dvm.Chaos.cc_lease_us /. 1e3)
     cfg.Dvm.Chaos.cc_seed;
   let outcome_json o =
     Printf.sprintf
-      "{\"fetches\":%d,\"served\":%d,\"stale\":%d,\"failed\":%d,\"shed\":%d,\"base_version\":%d,\"new_version\":%d,\"commit_us\":%Ld,\"revoked_serves\":%d,\"inflight_exempt\":%d,\"fence_rejects\":%d,\"resyncs\":%d,\"stale_drops\":%d,\"invalidations\":%d,\"heartbeats\":%d,\"commits\":%d,\"converged\":%b,\"changed_applets\":[%s],\"digests\":{%s},\"trace_digest\":\"%s\"}"
+      "{\"fetches\":%d,\"served\":%d,\"stale\":%d,\"failed\":%d,\"shed\":%d,\"base_version\":%d,\"new_version\":%d,\"commit_us\":%Ld,\"revoked_serves\":%d,\"inflight_exempt\":%d,\"fence_rejects\":%d,\"resyncs\":%d,\"stale_drops\":%d,\"invalidations\":%d,\"heartbeats\":%d,\"commits\":%d,\"term\":%d,\"member_terms\":[%s],\"elections\":%d,\"leader_changes\":%d,\"stepdowns\":%d,\"redrives\":%d,\"compactions\":%d,\"snapshot_installs\":%d,\"max_leased\":%d,\"term_regressions\":%d,\"replay_ok\":%b,\"converged\":%b,\"changed_applets\":[%s],\"digests\":{%s},\"trace_digest\":\"%s\"}"
       o.Dvm.Chaos.cn_fetches o.Dvm.Chaos.cn_served o.Dvm.Chaos.cn_stale_served
       o.Dvm.Chaos.cn_failed o.Dvm.Chaos.cn_shed o.Dvm.Chaos.cn_base_version
       o.Dvm.Chaos.cn_new_version o.Dvm.Chaos.cn_commit_us
       o.Dvm.Chaos.cn_revoked_serves o.Dvm.Chaos.cn_inflight_exempt
       o.Dvm.Chaos.cn_fence_rejects o.Dvm.Chaos.cn_resyncs
       o.Dvm.Chaos.cn_stale_drops o.Dvm.Chaos.cn_invalidations
-      o.Dvm.Chaos.cn_heartbeats o.Dvm.Chaos.cn_commits
-      o.Dvm.Chaos.cn_converged
+      o.Dvm.Chaos.cn_heartbeats o.Dvm.Chaos.cn_commits o.Dvm.Chaos.cn_term
+      (String.concat ","
+         (List.map string_of_int o.Dvm.Chaos.cn_member_terms))
+      o.Dvm.Chaos.cn_elections o.Dvm.Chaos.cn_leader_changes
+      o.Dvm.Chaos.cn_stepdowns o.Dvm.Chaos.cn_redrives
+      o.Dvm.Chaos.cn_compactions o.Dvm.Chaos.cn_snapshot_installs
+      o.Dvm.Chaos.cn_max_leased o.Dvm.Chaos.cn_term_regressions
+      o.Dvm.Chaos.cn_replay_ok o.Dvm.Chaos.cn_converged
       (String.concat ","
          (List.map
             (fun a -> Printf.sprintf "\"%s\"" a)
@@ -1177,18 +1188,25 @@ let control () =
   Printf.printf
     "\nbump v%d -> v%d; %d applets change bytes\n\
      no serves under revoked version: %b (in-flight exempt: %d)\n\
+     at most one leased leader:      %b (max sampled %d, term regressions \
+     %d)\n\
+     snapshot catch-up = replay:     %b (%d compactions, %d installs)\n\
      every shard converged:          %b\n\
      unaffected digests identical:   %b\n"
     c.Dvm.Chaos.cn_base_version c.Dvm.Chaos.cn_new_version
     (List.length c.Dvm.Chaos.cn_changed_applets)
     w.Dvm.Chaos.w_no_revoked_serves c.Dvm.Chaos.cn_inflight_exempt
+    w.Dvm.Chaos.w_single_leader c.Dvm.Chaos.cn_max_leased
+    c.Dvm.Chaos.cn_term_regressions w.Dvm.Chaos.w_replay_ok
+    c.Dvm.Chaos.cn_compactions c.Dvm.Chaos.cn_snapshot_installs
     w.Dvm.Chaos.w_converged w.Dvm.Chaos.w_digests_ok;
   bench_put "reference" (outcome_json w.Dvm.Chaos.w_reference);
   bench_put "chaotic" (outcome_json c);
   bench_put "invariants"
     (Printf.sprintf
-       "{\"no_revoked_serves\":%b,\"converged\":%b,\"digests_ok\":%b}"
-       w.Dvm.Chaos.w_no_revoked_serves w.Dvm.Chaos.w_converged
+       "{\"no_revoked_serves\":%b,\"single_leader\":%b,\"replay_ok\":%b,\"converged\":%b,\"digests_ok\":%b}"
+       w.Dvm.Chaos.w_no_revoked_serves w.Dvm.Chaos.w_single_leader
+       w.Dvm.Chaos.w_replay_ok w.Dvm.Chaos.w_converged
        w.Dvm.Chaos.w_digests_ok);
   subsection "injected-fault trace (replayable from the seed)";
   List.iter (Printf.printf "  %s\n") c.Dvm.Chaos.cn_fault_trace;

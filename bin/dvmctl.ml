@@ -773,7 +773,8 @@ let chaos seed shards clients duration spike spike_start spike_len crashes
   end
 
 let control seed shards clients duration applets partitions partition_len
-    bump_at no_restart lease_ms trace =
+    bump_at no_restart lease_ms churn snapshot_every no_leader_crash
+    no_leader_partition trace json =
   let cfg =
     {
       Dvm.Chaos.default_control_config with
@@ -787,46 +788,98 @@ let control seed shards clients duration applets partitions partition_len
       cc_bump_at_s = bump_at;
       cc_restart_shard = not no_restart;
       cc_lease_us = Int64.of_int (lease_ms * 1000);
+      cc_churn_s = churn;
+      cc_snapshot_every = snapshot_every;
+      cc_leader_crash = not no_leader_crash;
+      cc_leader_partition = not no_leader_partition;
     }
   in
-  Printf.printf
-    "control: %d shards, %d clients, %d applets, policy bump at %ds,\n\
-     %d control-link partition windows of %ds (first spans the bump), \
-     restart %s,\n\
-     %d ms lease, seed %d\n\n"
-    cfg.Dvm.Chaos.cc_shards cfg.Dvm.Chaos.cc_clients cfg.Dvm.Chaos.cc_applets
-    cfg.Dvm.Chaos.cc_bump_at_s cfg.Dvm.Chaos.cc_partitions
-    cfg.Dvm.Chaos.cc_partition_len_s
-    (if cfg.Dvm.Chaos.cc_restart_shard then "on" else "off")
-    lease_ms cfg.Dvm.Chaos.cc_seed;
+  if not json then
+    Printf.printf
+      "control: %d shards, %d clients, %d applets, policy bump at %ds,\n\
+       %d control-link partition windows of %ds (first spans the bump), \
+       restart %s,\n\
+       leader crash %s, leader partition %s, churn every %ds, snapshot \
+       every %d,\n\
+       %d ms lease, seed %d\n\n"
+      cfg.Dvm.Chaos.cc_shards cfg.Dvm.Chaos.cc_clients cfg.Dvm.Chaos.cc_applets
+      cfg.Dvm.Chaos.cc_bump_at_s cfg.Dvm.Chaos.cc_partitions
+      cfg.Dvm.Chaos.cc_partition_len_s
+      (if cfg.Dvm.Chaos.cc_restart_shard then "on" else "off")
+      (if cfg.Dvm.Chaos.cc_leader_crash then "on" else "off")
+      (if cfg.Dvm.Chaos.cc_leader_partition then "on" else "off")
+      cfg.Dvm.Chaos.cc_churn_s cfg.Dvm.Chaos.cc_snapshot_every lease_ms
+      cfg.Dvm.Chaos.cc_seed;
   let w = Dvm.Chaos.verify_control cfg in
-  Dvm.Chaos.print_control_outcome ~label:"reference" w.Dvm.Chaos.w_reference;
-  Dvm.Chaos.print_control_outcome ~label:"chaotic" w.Dvm.Chaos.w_chaotic;
   let c = w.Dvm.Chaos.w_chaotic in
-  Printf.printf
-    "\nbump v%d -> v%d committed at %Ld us; %d applets change bytes: %s\n"
-    c.Dvm.Chaos.cn_base_version c.Dvm.Chaos.cn_new_version
-    c.Dvm.Chaos.cn_commit_us
-    (List.length c.Dvm.Chaos.cn_changed_applets)
-    (String.concat ", " c.Dvm.Chaos.cn_changed_applets);
-  Printf.printf
-    "\nno serves under revoked version: %b (in-flight exempt: %d)\n\
-     every shard converged:          %b (versions %s)\n\
-     unaffected digests identical:   %b\n"
-    w.Dvm.Chaos.w_no_revoked_serves c.Dvm.Chaos.cn_inflight_exempt
-    w.Dvm.Chaos.w_converged
-    (String.concat " "
-       (List.map string_of_int c.Dvm.Chaos.cn_member_versions))
-    w.Dvm.Chaos.w_digests_ok;
-  if trace then begin
-    Printf.printf "\ninjected-fault trace (replayable from seed %d):\n" seed;
-    match c.Dvm.Chaos.cn_fault_trace with
-    | [] -> print_endline "  (no faults injected)"
-    | lines -> List.iter (Printf.printf "  %s\n") lines
-  end;
-  if Dvm.Chaos.control_ok w then 0
+  let ok = Dvm.Chaos.control_ok w in
+  if json then begin
+    let escape s =
+      String.concat ""
+        (List.map
+           (function
+             | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+             | c -> String.make 1 c)
+           (List.init (String.length s) (String.get s)))
+    in
+    let slist l =
+      String.concat "," (List.map (fun s -> Printf.sprintf {|"%s"|} (escape s)) l)
+    in
+    let ilist l = String.concat "," (List.map string_of_int l) in
+    Printf.printf
+      {|{"seed":%d,"shards":%d,"fetches":%d,"served":%d,"failed":%d,"commit_us":%Ld,"term":%d,"member_terms":[%s],"elections":%d,"leader_changes":%d,"stepdowns":%d,"redrives":%d,"compactions":%d,"snapshot_installs":%d,"max_leased":%d,"term_regressions":%d,"resyncs":%d,"fence_rejects":%d,"invalidations":%d,"revoked_serves":%d,"member_versions":[%s],"changed_applets":[%s],"invariants":{"no_revoked_serves":%b,"single_leader":%b,"replay_ok":%b,"converged":%b,"digests_ok":%b,"ok":%b}}|}
+      c.Dvm.Chaos.cn_seed cfg.Dvm.Chaos.cc_shards c.Dvm.Chaos.cn_fetches
+      c.Dvm.Chaos.cn_served c.Dvm.Chaos.cn_failed c.Dvm.Chaos.cn_commit_us
+      c.Dvm.Chaos.cn_term
+      (ilist c.Dvm.Chaos.cn_member_terms)
+      c.Dvm.Chaos.cn_elections c.Dvm.Chaos.cn_leader_changes
+      c.Dvm.Chaos.cn_stepdowns c.Dvm.Chaos.cn_redrives
+      c.Dvm.Chaos.cn_compactions c.Dvm.Chaos.cn_snapshot_installs
+      c.Dvm.Chaos.cn_max_leased c.Dvm.Chaos.cn_term_regressions
+      c.Dvm.Chaos.cn_resyncs c.Dvm.Chaos.cn_fence_rejects
+      c.Dvm.Chaos.cn_invalidations c.Dvm.Chaos.cn_revoked_serves
+      (ilist c.Dvm.Chaos.cn_member_versions)
+      (slist c.Dvm.Chaos.cn_changed_applets)
+      w.Dvm.Chaos.w_no_revoked_serves w.Dvm.Chaos.w_single_leader
+      w.Dvm.Chaos.w_replay_ok w.Dvm.Chaos.w_converged
+      w.Dvm.Chaos.w_digests_ok ok;
+    print_newline ()
+  end
   else begin
-    Printf.eprintf "control-plane invariant violated\n";
+    Dvm.Chaos.print_control_outcome ~label:"reference" w.Dvm.Chaos.w_reference;
+    Dvm.Chaos.print_control_outcome ~label:"chaotic" w.Dvm.Chaos.w_chaotic;
+    Printf.printf
+      "\nbump v%d -> v%d committed at %Ld us; %d applets change bytes: %s\n"
+      c.Dvm.Chaos.cn_base_version c.Dvm.Chaos.cn_new_version
+      c.Dvm.Chaos.cn_commit_us
+      (List.length c.Dvm.Chaos.cn_changed_applets)
+      (String.concat ", " c.Dvm.Chaos.cn_changed_applets);
+    Printf.printf
+      "\nno serves under revoked version: %b (in-flight exempt: %d)\n\
+       at most one leased leader:      %b (max sampled %d, term \
+       regressions %d)\n\
+       snapshot catch-up = replay:     %b (%d compactions, %d installs)\n\
+       every shard converged:          %b (versions %s, terms %s)\n\
+       unaffected digests identical:   %b\n"
+      w.Dvm.Chaos.w_no_revoked_serves c.Dvm.Chaos.cn_inflight_exempt
+      w.Dvm.Chaos.w_single_leader c.Dvm.Chaos.cn_max_leased
+      c.Dvm.Chaos.cn_term_regressions w.Dvm.Chaos.w_replay_ok
+      c.Dvm.Chaos.cn_compactions c.Dvm.Chaos.cn_snapshot_installs
+      w.Dvm.Chaos.w_converged
+      (String.concat " "
+         (List.map string_of_int c.Dvm.Chaos.cn_member_versions))
+      (String.concat " " (List.map string_of_int c.Dvm.Chaos.cn_member_terms))
+      w.Dvm.Chaos.w_digests_ok;
+    if trace then begin
+      Printf.printf "\ninjected-fault trace (replayable from seed %d):\n" seed;
+      match c.Dvm.Chaos.cn_fault_trace with
+      | [] -> print_endline "  (no faults injected)"
+      | lines -> List.iter (Printf.printf "  %s\n") lines
+    end
+  end;
+  if ok then 0
+  else begin
+    if not json then Printf.eprintf "control-plane invariant violated\n";
     1
   end
 
@@ -1270,24 +1323,62 @@ let control_cmd =
     Arg.(value & opt int (Int64.to_int d.Dvm.Chaos.cc_lease_us / 1000)
          & info [ "lease" ] ~docv:"MS" ~doc:"member lease length (ms)")
   in
+  let churn =
+    Arg.(value & opt int d.Dvm.Chaos.cc_churn_s
+         & info [ "churn" ] ~docv:"S"
+             ~doc:"propose a rotating cache invalidation every $(docv) \
+                   seconds (0 = off); keeps the log growing so compaction \
+                   triggers mid-run")
+  in
+  let snapshot_every =
+    Arg.(value & opt int d.Dvm.Chaos.cc_snapshot_every
+         & info [ "snapshot-every" ] ~docv:"N"
+             ~doc:"fold the committed, applied prefix into a snapshot \
+                   every $(docv) live entries")
+  in
+  let no_leader_crash =
+    Arg.(value & flag
+         & info [ "no-leader-crash" ]
+             ~doc:"skip crashing the leased leader 200 ms after the bump \
+                   (crash-during-commit: the new leader re-drives the \
+                   uncommitted suffix)")
+  in
+  let no_leader_partition =
+    Arg.(value & flag
+         & info [ "no-leader-partition" ]
+             ~doc:"skip partitioning the leased leader late in the run \
+                   (the stale-term wake-up)")
+  in
   let trace =
     Arg.(value & flag
          & info [ "trace" ] ~doc:"print the injected-fault trace")
+  in
+  let json =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"emit one machine-readable JSON object (terms, leader \
+                   changes, snapshot stats, invariant results) instead of \
+                   the report")
   in
   Cmd.v
     (Cmd.info "control"
        ~doc:
          "Replicate a security-policy bump and its cache invalidations \
           across the farm while a seeded schedule partitions control \
-          links (split brain) and crash/restarts a shard, then check the \
-          control-plane invariants: no client is ever served bytes \
+          links (split brain), crash/restarts a shard, kills the leased \
+          leader mid-commit and wakes it with a stale term, then check \
+          the control-plane invariants: no client is ever served bytes \
           rewritten under the revoked policy version once the bump \
-          commits, every shard converges to the new version, and applets \
-          the bump does not affect serve byte-identical digests to a \
-          partition-free run. Exits nonzero on violation")
+          commits, at most one member holds a valid leadership lease at \
+          any sampled instant with terms monotone, snapshot catch-up is \
+          state-identical to full-log replay, every shard converges to \
+          the new version, and applets the bump does not affect serve \
+          byte-identical digests to a partition-free run. Exits nonzero \
+          on violation")
     Term.(const control $ seed $ shards $ clients $ duration $ applets
           $ partitions $ partition_len $ bump_at $ no_restart $ lease
-          $ trace)
+          $ churn $ snapshot_every $ no_leader_crash $ no_leader_partition
+          $ trace $ json)
 
 let main_cmd =
   Cmd.group

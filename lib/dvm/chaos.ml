@@ -400,6 +400,10 @@ type control_config = {
   cc_lease_us : int64;
   cc_hb_interval_us : int64;
   cc_commit_margin_us : int64;
+  cc_churn_s : int; (* propose an invalidation every N s (0 = off) *)
+  cc_snapshot_every : int; (* committed entries per snapshot fold *)
+  cc_leader_crash : bool; (* crash the leased leader just after the bump *)
+  cc_leader_partition : bool; (* partition the leader late; stale-term wake-up *)
   cc_trace : bool;
 }
 
@@ -421,6 +425,10 @@ let default_control_config =
     cc_lease_us = 1_000_000L;
     cc_hb_interval_us = 250_000L;
     cc_commit_margin_us = 100_000L;
+    cc_churn_s = 1;
+    cc_snapshot_every = 4;
+    cc_leader_crash = true;
+    cc_leader_partition = true;
     cc_trace = false;
   }
 
@@ -442,6 +450,19 @@ type control_outcome = {
   cn_invalidations : int; (* explicit Cache.remove hits *)
   cn_heartbeats : int;
   cn_commits : int;
+  cn_term : int; (* highest term reached *)
+  cn_member_terms : int list;
+  cn_elections : int;
+  cn_leader_changes : int;
+  cn_stepdowns : int;
+  cn_redrives : int;
+  cn_compactions : int;
+  cn_snapshot_installs : int;
+  cn_max_leased : int; (* max simultaneous leased leaders seen — must be <= 1 *)
+  cn_term_regressions : int; (* per-member term decreases seen — must be 0 *)
+  cn_replay_ok : bool;
+      (* converged, and every member's state digest equals a full-log
+         replay of the authoritative log — snapshot catch-up invariant *)
   cn_converged : bool; (* every member applied the full log, at the new version, leased *)
   cn_member_versions : int list;
   cn_changed_applets : string list; (* applets whose bytes differ across versions *)
@@ -519,7 +540,8 @@ let run_control (cfg : control_config) : control_outcome =
   let ctl =
     Proxy.Control.create engine ~lease_us:cfg.cc_lease_us
       ~hb_interval_us:cfg.cc_hb_interval_us
-      ~commit_margin_us:cfg.cc_commit_margin_us ~initial_version:v1 ()
+      ~commit_margin_us:cfg.cc_commit_margin_us
+      ~snapshot_threshold:(max 1 cfg.cc_snapshot_every) ~initial_version:v1 ()
   in
   let ctl_links =
     Array.mapi
@@ -605,16 +627,115 @@ let run_control (cfg : control_config) : control_outcome =
      log. The other applets' cached entries are left to the version
      stamps — their first post-bump touch is a stale drop and a
      recompute that regenerates identical bytes. *)
+  (* Proposals go to whichever member holds the leadership lease; with
+     elections in play there may transiently be none (mid-campaign,
+     leader partitioned), so every proposer retries until a leased
+     leader accepts. Retrying a lost entry is safe: both entry kinds
+     are idempotent joins, so a duplicate is invisible in the final
+     state. *)
+  let rec propose_until entry k =
+    match Proxy.Control.propose ctl entry with
+    | Some idx -> k idx
+    | None ->
+      Simnet.Engine.schedule engine ~delay:200_000L (fun () ->
+          propose_until entry k)
+  in
   let bump_index = ref 0 in
   Simnet.Engine.schedule_at engine bump_at (fun () ->
       Simnet.Engine.record engine (Printf.sprintf "propose set-version %d" v2);
-      bump_index := Proxy.Control.propose ctl (Proxy.Control.Set_version v2);
+      propose_until (Proxy.Control.Set_version v2) (fun idx ->
+          bump_index := idx);
       List.iter
         (fun k ->
-          ignore
-            (Proxy.Control.propose ctl
-               (Proxy.Control.Invalidate (Printf.sprintf "a%d/s" k))))
+          propose_until
+            (Proxy.Control.Invalidate (Printf.sprintf "a%d/s" k))
+            (fun _ -> ()))
         tightened);
+  (* Background invalidation churn keeps the log growing so compaction
+     actually triggers mid-run: rotating keys of *unchanged* applets,
+     whose recompute regenerates identical bytes — the log history
+     gets folded away while the serving invariant stays checkable. *)
+  if cfg.cc_churn_s > 0 then begin
+    let period = Simnet.Engine.sec cfg.cc_churn_s in
+    let rec churn i at =
+      if Int64.compare at horizon < 0 then
+        Simnet.Engine.schedule_at engine at (fun () ->
+            propose_until
+              (Proxy.Control.Invalidate
+                 (Printf.sprintf "a%d/s" (i mod cfg.cc_applets)))
+              (fun _ -> ());
+            churn (i + 1) (Int64.add at period))
+    in
+    churn 0 (Simnet.Engine.sec (min 2 cfg.cc_duration_s))
+  end;
+  (* Leader crash just after the bump: whoever holds the lease when the
+     proposal is still working toward commit goes down mid-commit, and
+     the new leader must re-drive the uncommitted suffix under its own
+     term. The victim restarts cold (L1 gone, base policy) and rejoins
+     through the snapshot + suffix path. *)
+  if cfg.cc_leader_crash then begin
+    let crash_at = Int64.add bump_at 200_000L in
+    let down_for =
+      Int64.of_int (6_000_000 + Simnet.Fault.range plan ~max:2_000_000)
+    in
+    Simnet.Engine.schedule_at engine crash_at (fun () ->
+        match Proxy.Control.leader ctl with
+        | None -> ()
+        | Some lid ->
+          let p = pool.(lid) in
+          let _, _, mid = ctl_links.(lid) in
+          Simnet.Fault.record plan ~at:crash_at
+            (Printf.sprintf "leader-crash shard%d for %Ldus" lid down_for);
+          Simnet.Host.crash p.Proxy.host;
+          Simnet.Engine.schedule engine ~delay:down_for (fun () ->
+              Simnet.Host.restart p.Proxy.host;
+              Proxy.Cache.clear p.Proxy.cache;
+              p.Proxy.filters <- stack_v1;
+              p.Proxy.policy_version <- v1;
+              Proxy.Control.mark_restarted ctl mid))
+  end;
+  (* Leader partition late in the run: the leased leader is cut off,
+     loses its lease, the rest elect over it — and when the window
+     heals the old leader wakes up with a stale term and must step
+     down rather than split the brain. *)
+  if cfg.cc_leader_partition then begin
+    let at = Int64.add bump_at (Simnet.Engine.sec 6) in
+    let len = Simnet.Engine.sec 2 in
+    Simnet.Engine.schedule_at engine at (fun () ->
+        match Proxy.Control.leader ctl with
+        | None -> ()
+        | Some lid ->
+          let lto, lfrom, _ = ctl_links.(lid) in
+          Simnet.Fault.record plan ~at
+            (Printf.sprintf "leader-partition shard%d for %Ldus" lid len);
+          Simnet.Link.set_partitioned lto true;
+          Simnet.Link.set_partitioned lfrom true;
+          Simnet.Engine.schedule engine ~delay:len (fun () ->
+              Simnet.Fault.record plan ~at:(Int64.add at len)
+                (Printf.sprintf "leader-partition shard%d healed" lid);
+              Simnet.Link.set_partitioned lto false;
+              Simnet.Link.set_partitioned lfrom false))
+  end;
+  (* Election-safety probes: sample every 100 ms of virtual time. The
+     lease arithmetic guarantees disjointness continuously; the probe
+     machine-checks it at every sampled instant, along with per-member
+     term monotonicity. *)
+  let max_leased = ref 0 and term_regressions = ref 0 in
+  let last_terms = Array.make cfg.cc_shards 0 in
+  let rec probe at =
+    if Int64.compare at horizon <= 0 then
+      Simnet.Engine.schedule_at engine at (fun () ->
+          let n = List.length (Proxy.Control.leased_leaders ctl) in
+          if n > !max_leased then max_leased := n;
+          Array.iteri
+            (fun i (_, _, mid) ->
+              let tm = Proxy.Control.member_term ctl mid in
+              if tm < last_terms.(i) then incr term_regressions;
+              last_terms.(i) <- tm)
+            ctl_links;
+          probe (Int64.add at 100_000L))
+  in
+  probe 0L;
   let lan = Simnet.Link.ethernet_10mb engine in
   let sessions =
     Array.init cfg.cc_clients (fun _ ->
@@ -693,6 +814,29 @@ let run_control (cfg : control_config) : control_outcome =
         let _, _, mid = ctl_links.(i) in
         Proxy.Control.member_version ctl mid)
   in
+  let member_terms =
+    List.init cfg.cc_shards (fun i ->
+        let _, _, mid = ctl_links.(i) in
+        Proxy.Control.member_term ctl mid)
+  in
+  let converged =
+    Proxy.Control.converged ctl
+    && List.for_all (fun v -> v = v2) member_versions
+  in
+  (* Snapshot catch-up invariant: a converged farm's members — some of
+     whom got there through snapshot installs and restart replays —
+     must hold state byte-identical to a from-scratch replay of the
+     authoritative log. *)
+  let replay_ok =
+    converged
+    &&
+    let want = Proxy.Control.replay_digest ctl in
+    List.for_all
+      (fun i ->
+        let _, _, mid = ctl_links.(i) in
+        String.equal (Proxy.Control.member_state_digest ctl mid) want)
+      (List.init cfg.cc_shards (fun i -> i))
+  in
   let sum f = Array.fold_left (fun acc s -> acc + f s) 0 sessions in
   {
     cn_seed = cfg.cc_seed;
@@ -722,9 +866,18 @@ let run_control (cfg : control_config) : control_outcome =
           0 pool;
     cn_heartbeats = Proxy.Control.heartbeats ctl;
     cn_commits = Proxy.Control.commits ctl;
-    cn_converged =
-      Proxy.Control.converged ctl
-      && List.for_all (fun v -> v = v2) member_versions;
+    cn_term = Proxy.Control.term ctl;
+    cn_member_terms = member_terms;
+    cn_elections = Proxy.Control.elections ctl;
+    cn_leader_changes = Proxy.Control.leader_changes ctl;
+    cn_stepdowns = Proxy.Control.stepdowns ctl;
+    cn_redrives = Proxy.Control.redrives ctl;
+    cn_compactions = Proxy.Control.compactions ctl;
+    cn_snapshot_installs = Proxy.Control.snapshot_installs ctl;
+    cn_max_leased = !max_leased;
+    cn_term_regressions = !term_regressions;
+    cn_replay_ok = replay_ok;
+    cn_converged = converged;
     cn_member_versions = member_versions;
     cn_changed_applets = changed;
     cn_digests = digests;
@@ -740,19 +893,32 @@ let run_control (cfg : control_config) : control_outcome =
 (* Control-plane invariants: the chaotic run against its partition-free
    reference. *)
 type control_verdict = {
-  w_reference : control_outcome; (* partitions and restart removed; bump kept *)
+  w_reference : control_outcome; (* partitions and all faults removed; bump kept *)
   w_chaotic : control_outcome;
   w_no_revoked_serves : bool; (* zero in both runs *)
+  w_single_leader : bool;
+      (* never two leased leaders at a sampled instant, and terms are
+         monotone per member — the election-safety invariant *)
+  w_replay_ok : bool;
+      (* snapshot catch-up state-identical to full-log replay, both runs *)
   w_converged : bool; (* the chaotic run's members all reached the new version *)
   w_digests_ok : bool;
       (* applets the bump does not affect serve identical digest sets
          in both runs *)
 }
 
-let control_ok w = w.w_no_revoked_serves && w.w_converged && w.w_digests_ok
+let control_ok w =
+  w.w_no_revoked_serves && w.w_single_leader && w.w_replay_ok && w.w_converged
+  && w.w_digests_ok
 
 let partition_free (cfg : control_config) =
-  { cfg with cc_partitions = 0; cc_restart_shard = false }
+  {
+    cfg with
+    cc_partitions = 0;
+    cc_restart_shard = false;
+    cc_leader_crash = false;
+    cc_leader_partition = false;
+  }
 
 let verify_control (cfg : control_config) : control_verdict =
   let reference = run_control (partition_free cfg) in
@@ -772,6 +938,11 @@ let verify_control (cfg : control_config) : control_verdict =
     w_chaotic = chaotic;
     w_no_revoked_serves =
       chaotic.cn_revoked_serves = 0 && reference.cn_revoked_serves = 0;
+    w_single_leader =
+      chaotic.cn_max_leased <= 1 && reference.cn_max_leased <= 1
+      && chaotic.cn_term_regressions = 0
+      && reference.cn_term_regressions = 0;
+    w_replay_ok = chaotic.cn_replay_ok && reference.cn_replay_ok;
     w_converged = chaotic.cn_converged && reference.cn_converged;
     w_digests_ok = digests_ok;
   }
@@ -780,11 +951,17 @@ let print_control_outcome ?(label = "control") o =
   Printf.printf
     "%-10s seed=%d fetches=%d served=%d stale=%d failed=%d shed=%d \
      v%d->v%d commit=%Ldus revoked=%d exempt=%d fenced=%d resyncs=%d \
-     stale_drops=%d invalidations=%d converged=%b\n"
+     stale_drops=%d invalidations=%d term=%d elections=%d \
+     leader_changes=%d stepdowns=%d redrives=%d compactions=%d \
+     snap_installs=%d max_leased=%d term_regr=%d replay_ok=%b \
+     converged=%b\n"
     label o.cn_seed o.cn_fetches o.cn_served o.cn_stale_served o.cn_failed
     o.cn_shed o.cn_base_version o.cn_new_version o.cn_commit_us
     o.cn_revoked_serves o.cn_inflight_exempt o.cn_fence_rejects o.cn_resyncs
-    o.cn_stale_drops o.cn_invalidations o.cn_converged
+    o.cn_stale_drops o.cn_invalidations o.cn_term o.cn_elections
+    o.cn_leader_changes o.cn_stepdowns o.cn_redrives o.cn_compactions
+    o.cn_snapshot_installs o.cn_max_leased o.cn_term_regressions
+    o.cn_replay_ok o.cn_converged
 
 let print_outcome ?(label = "chaos") o =
   Printf.printf

@@ -120,16 +120,28 @@ val print_outcome : ?label:string -> outcome -> unit
     that can no longer hear the leader until its lease lapses and the
     fence trips — and optionally crash/restarts another shard so it
     must recover the current version and pending invalidations from
-    the log rather than the stale shared L2.
+    the log rather than the stale shared L2. With elections in play
+    the schedule also attacks the leadership itself: the leased leader
+    is crashed just after proposing the bump (crash-during-commit —
+    the new leader re-drives the uncommitted suffix under its own
+    term) and partitioned late in the run (it wakes up with a stale
+    term and must step down), while background invalidation churn
+    grows the log past the snapshot threshold so compaction and
+    snapshot catch-up genuinely happen mid-run.
 
-    The machine-checked invariant: {b no fetch issued after the bump
-    committed is served bytes rewritten under the revoked version}.
-    Fetches already in flight at the commit instant are exempt — the
-    lease bound is about when a shard stops accepting new work, not
-    about work it already accepted. The check is offline: each
-    applet's body is rewritten under both versions' stacks after the
-    run, so every served digest maps to the versions that produce
-    it. *)
+    Three machine-checked invariants: {b no fetch issued after the
+    bump committed is served bytes rewritten under the revoked
+    version} (fetches already in flight at the commit instant are
+    exempt — the lease bound is about when a shard stops accepting new
+    work, not about work it already accepted; the check is offline:
+    each applet's body is rewritten under both versions' stacks after
+    the run, so every served digest maps to the versions that produce
+    it); {b at most one member holds a valid leadership lease at any
+    sampled instant, and terms are monotone per member} (election
+    safety, probed every 100 ms of virtual time); and {b snapshot
+    catch-up is state-identical to full-log replay} (every converged
+    member's state digest equals a from-scratch replay of the
+    authoritative log). *)
 
 type control_config = {
   cc_seed : int;
@@ -150,13 +162,26 @@ type control_config = {
   cc_lease_us : int64;
   cc_hb_interval_us : int64;
   cc_commit_margin_us : int64;
+  cc_churn_s : int;
+      (** propose a rotating cache invalidation every N seconds (0 =
+          off) — keeps the log growing so compaction triggers mid-run *)
+  cc_snapshot_every : int;
+      (** committed, applied entries that trigger a snapshot fold *)
+  cc_leader_crash : bool;
+      (** crash whoever holds the lease 200 ms after the bump, forcing
+          a hand-off with an uncommitted suffix *)
+  cc_leader_partition : bool;
+      (** partition the leased leader 6 s after the bump for 2 s — the
+          stale-term wake-up scenario *)
   cc_trace : bool;
 }
 
 val default_control_config : control_config
 (** 4 shards, 24 clients, 30 s, 8 applets, the bump at 12 s, two 3 s
-    partition windows (the first spanning the bump), one restart — the
-    bench and [dvmctl control] defaults. *)
+    partition windows (the first spanning the bump), one restart, 1 s
+    invalidation churn with a snapshot fold every 4 entries, leader
+    crash and leader partition on — the bench and [dvmctl control]
+    defaults. *)
 
 type control_outcome = {
   cn_seed : int;
@@ -180,6 +205,24 @@ type control_outcome = {
   cn_invalidations : int;  (** explicit [Cache.remove] hits *)
   cn_heartbeats : int;
   cn_commits : int;
+  cn_term : int;  (** highest term reached *)
+  cn_member_terms : int list;
+  cn_elections : int;  (** elections won, bootstrap included *)
+  cn_leader_changes : int;
+  cn_stepdowns : int;
+  cn_redrives : int;
+      (** uncommitted entries re-stamped under a new leader's term *)
+  cn_compactions : int;
+  cn_snapshot_installs : int;
+  cn_max_leased : int;
+      (** max simultaneous leased leaders across all sampled instants —
+          election safety demands [<= 1] *)
+  cn_term_regressions : int;
+      (** per-member term decreases observed — must be 0 *)
+  cn_replay_ok : bool;
+      (** converged, and every member's state digest is byte-identical
+          to a full-log replay of the authoritative log — the snapshot
+          catch-up invariant *)
   cn_converged : bool;
       (** every member applied the full log, at the new version, with
           a live lease, by the horizon *)
@@ -196,15 +239,21 @@ val run_control : control_config -> control_outcome
 (** One seeded control-plane run in simulated time. *)
 
 val partition_free : control_config -> control_config
-(** The same configuration with the partitions and the restart removed
-    — the bump still happens; the reference run {!verify_control}
-    compares against. *)
+(** The same configuration with the partitions, the restart, and the
+    leader crash/partition removed — the bump and the churn still
+    happen; the reference run {!verify_control} compares against. *)
 
 (** The control-plane invariants, checked by {!verify_control}. *)
 type control_verdict = {
-  w_reference : control_outcome;  (** partition-free, restart-free *)
+  w_reference : control_outcome;  (** partition-free, fault-free *)
   w_chaotic : control_outcome;
   w_no_revoked_serves : bool;  (** zero revoked serves in both runs *)
+  w_single_leader : bool;
+      (** never two leased leaders at a sampled instant and terms
+          monotone per member, in both runs — election safety *)
+  w_replay_ok : bool;
+      (** snapshot catch-up state-identical to full-log replay, in
+          both runs *)
   w_converged : bool;  (** both runs' members all reached the new version *)
   w_digests_ok : bool;
       (** applets the bump does not affect serve identical digest sets

@@ -1,27 +1,46 @@
-(** The farm's control plane: a leader-based replication log with
-    lease fencing, propagating security-policy versions and
-    rewrite-cache invalidations to every shard over simnet links.
+(** The farm's control plane: a replicated log with term-numbered
+    leader election, leadership + serving leases, and snapshot
+    compaction, carrying security-policy versions and rewrite-cache
+    invalidations to every shard over simnet links.
 
-    The leader appends {!type:entry} values to a log and ships the
-    missing suffix to each member on every heartbeat; a member applies
-    the entries {e in order, before} its lease is renewed by the same
-    delivery. A member may serve clients only while its lease is live
-    ({!member_ok}), so an entry proposed at [p] is {e committed} at
+    Every member is a full replica. A member that has not heard a
+    leader for its (id-staggered) election timeout campaigns: it bumps
+    its term and solicits votes; a voter grants at most one vote per
+    term and only to candidates whose log is at least as complete as
+    its own, so a majority winner holds every committed entry. A vote
+    grant carries the voter's promise horizon — the time until which
+    its past acks may still extend an old leader's leadership lease —
+    and the winner's lease is invalid before the maximum promise its
+    majority reported. Majorities intersect, so at most one leader
+    holds a valid lease per instant (the election-safety invariant,
+    probed by {!leased_leaders}).
 
-    [min (all members acked, p + lease_us + commit_margin_us)]
+    An entry proposed at [p] commits at
 
-    — by then every member has either applied it or is fenced and the
-    farm fails requests over to shards that have. [commit_margin_us]
-    must be at least the worst-case heartbeat transit time (it covers
-    renewals already in flight at the proposal). A restarted member
-    ({!mark_restarted}) comes back fenced with its position reset and
-    recovers the whole log — current version plus pending
-    invalidations — from the leader before it is granted a lease
-    again.
+    [max (majority acked, min (all acked, p + lease_us + margin))]
 
-    Counters: [control.heartbeats], [control.acks],
-    [control.proposals], [control.commits], [control.applies],
-    [control.resyncs], [control.restarts]. *)
+    — the majority arm makes it durable across leader changes (the
+    election restriction hands it to every future leader); the fence
+    arm is sound because by [p + lease + margin] every member has
+    either applied the entry or lost the serving lease, which only a
+    {e leased} leader's heartbeats renew, and the backstop fires only
+    while the proposing leader still holds its leadership lease. A new
+    leader re-drives the uncommitted suffix of its log under its own
+    term. Replicas fold the committed, applied prefix into a snapshot
+    (version bound + pending invalidation set) once it exceeds a
+    threshold and truncate the log; laggards and restarted members
+    catch up from snapshot + suffix instead of replaying history.
+    Restart keeps the durable stub (term, vote, promise horizon,
+    snapshot, log), replays it locally, and stays fenced until a
+    leader confirms the member is current.
+
+    Counters (all also emitted as reason events of the same name):
+    [control.heartbeats], [control.acks], [control.proposals],
+    [control.commits], [control.applies], [control.resyncs],
+    [control.restarts], [control.vote], [control.term_bump],
+    [control.election_win], [control.stepdown], [control.redrive],
+    [control.lease_grant], [control.lease_expire],
+    [control.snapshot_compact], [control.snapshot_install]. *)
 
 type t
 
@@ -36,14 +55,21 @@ val create :
   ?lease_us:int64 ->
   ?hb_interval_us:int64 ->
   ?commit_margin_us:int64 ->
+  ?election_timeout_us:int64 ->
+  ?stagger_us:int64 ->
+  ?snapshot_threshold:int ->
   ?hb_bytes:int ->
   ?entry_bytes:int ->
   ?initial_version:int ->
   unit ->
   t
 (** Defaults: 1 s leases renewed every 250 ms, 100 ms commit margin,
-    64-byte heartbeats/acks carrying 96 bytes per log entry, initial
-    policy version 1. *)
+    600 ms base election timeout staggered by one heartbeat interval
+    per member id (a finer stagger would quantize away under the
+    tick), snapshot fold at 8 committed live entries, 64-byte
+    heartbeats/acks carrying 96 bytes per log entry (a shipped
+    snapshot costs one entry plus one per pending invalidation),
+    initial policy version 1. *)
 
 val add_member :
   t ->
@@ -53,25 +79,34 @@ val add_member :
   link_from:Simnet.Link.t ->
   apply:(entry -> unit) ->
   int
-(** Register a shard; returns its member id. [link_to] carries
-    heartbeats leader→member, [link_from] carries acks back — sever
-    both (e.g. {!Simnet.Link.set_partitioned}) to partition the member
-    from the control plane while its data path stays up. [apply] runs
-    at heartbeat delivery, once per log entry, in log order; a member
-    whose host is down ignores deliveries entirely. The member starts
-    with a live lease (the log it could be missing is empty). *)
+(** Register a replica; returns its member id. [link_to] is the
+    fabric → member downlink, [link_from] the member → fabric uplink;
+    a message between two members crosses the sender's uplink and then
+    the receiver's downlink, so severing one member's pair
+    ({!Simnet.Link.set_partitioned}) isolates it from the whole plane
+    while its data path stays up. [apply] runs at delivery, in log
+    order — and again on snapshot install or restart replay, so
+    effects must be idempotent joins (version bumps and invalidations
+    are). A member whose host is down ignores deliveries entirely. A
+    fresh member starts with a live serving lease: the log it could be
+    missing is empty. *)
 
 val start : t -> until:Simnet.Engine.time -> unit
-(** Start the heartbeat loop; it reschedules itself every
-    [hb_interval_us] until the virtual clock passes [until] (or
-    {!stop}). *)
+(** Start the tick loop (elections, heartbeats, lease renewal); it
+    reschedules itself every [hb_interval_us] until the virtual clock
+    passes [until] (or {!stop}). When tracing is enabled, opens a
+    [control.plane] root span that collects the reason events. *)
 
 val stop : t -> unit
 
-val propose : t -> entry -> int
-(** Append an entry to the log and return its (1-based) index. Commit
-    happens when all members ack or at the lease backstop, whichever
-    is earlier; watch it with {!committed} / {!commit_us}. *)
+val propose : t -> entry -> int option
+(** Append an entry at the current leased leader and return its
+    (1-based) log index, or [None] when no member holds a valid
+    leadership lease (mid-election, leader partitioned) — callers
+    retry. Indices continue from the leader's own last entry, so an
+    index minted by a dead leader for an uncommitted entry may be
+    reused under a later term; committed indices are never reused.
+    Watch commitment with {!committed} / {!commit_us}. *)
 
 val committed : t -> index:int -> bool
 val commit_us : t -> index:int -> Simnet.Engine.time option
@@ -81,35 +116,98 @@ val committed_version : t -> int
     serving invariant is stated against. *)
 
 val current_version : t -> int
-(** Highest [Set_version] proposed (it may not have committed yet). *)
+(** Highest [Set_version] a leader accepted (it may not have
+    committed yet). *)
 
 val member_ok : t -> int -> bool
-(** May this shard serve right now? [true] only on a live lease; a
-    partitioned member's lease lapses one [lease_us] after its last
-    heartbeat, and a restarted member holds no lease until it has
-    replayed the full log. Nodes plug this into
-    [Node.serving_allowed] so a fenced shard fails over. *)
+(** May this shard serve right now? [true] only on a live serving
+    lease. Only a leased leader's heartbeats renew it, and only once
+    the member has applied everything that leader holds — so a
+    partitioned, stale or restarted member fences itself within one
+    [lease_us]. Nodes plug this into [Node.serving_allowed] so a
+    fenced shard fails over. *)
 
 val mark_restarted : t -> int -> unit
-(** The shard lost its volatile state: reset its applied position and
-    fence it until the log — version and pending invalidations — has
-    been replayed from the leader. Call from the host's [on_restart]
-    hook. *)
+(** The shard lost its volatile serving state (caches, version,
+    leases) but kept the durable stub a real deployment would fsync —
+    term, vote, promise horizon, snapshot, log. Replays the stub into
+    the fresh node via [apply] (snapshot fold first, then the retained
+    suffix) and fences the member until a leader confirms it is
+    current. Call from the host's [on_restart] hook. *)
 
 val converged : t -> bool
-(** Every member has applied the full log and holds a live lease. *)
+(** A leased leader exists, every member has applied everything it
+    holds, and every serving lease is live. *)
+
+(** {2 Election and replication observables} *)
+
+val leader : t -> int option
+(** The member holding a valid leadership lease right now, if any. *)
+
+val leased_leaders : t -> int list
+(** Every member holding a valid leadership lease at this instant —
+    the split-brain probe. Election safety says this never has two
+    elements. *)
+
+val term : t -> int
+(** Highest term any member has seen. *)
+
+val member_term : t -> int -> int
+val member_role : t -> int -> string
+(** ["follower"], ["candidate"] or ["leader"]. *)
+
+val member_state_digest : t -> int -> string
+(** Canonical digest of the member's applied serving state — version
+    plus sorted invalidation set. The snapshot catch-up invariant
+    byte-compares this across members and against {!replay_digest}. *)
+
+val replay_digest : t -> string
+(** The state a fresh replica reaches by replaying the authoritative
+    log (the leased leader's, else the most election-worthy member's)
+    from scratch: snapshot fold + live suffix. Snapshot catch-up is
+    correct iff every converged member's {!member_state_digest}
+    equals this. *)
+
+(** {2 Introspection} *)
 
 val log_length : t -> int
+(** Highest log index ever minted (compaction does not shrink it). *)
+
 val member_count : t -> int
 val member_name : t -> int -> string
+
 val member_version : t -> int -> int
 (** Highest [Set_version] this member has applied. *)
 
 val member_applied : t -> int -> int
 val member_resyncs : t -> int -> int
 
+val member_snapshot_index : t -> int -> int
+(** Log index through which this member's state is folded into its
+    snapshot. *)
+
+val member_snapshot_installs : t -> int -> int
+
+val member_log_live : t -> int -> int
+(** Log entries the member retains above its snapshot. *)
+
+(** {2 Counters} *)
+
 val heartbeats : t -> int
 val acks : t -> int
 val proposals : t -> int
 val commits : t -> int
 val resyncs : t -> int
+
+val elections : t -> int
+(** Elections won (leaderships assumed, including re-elections). *)
+
+val stepdowns : t -> int
+val redrives : t -> int
+(** Uncommitted entries re-stamped under a new leader's term. *)
+
+val compactions : t -> int
+val snapshot_installs : t -> int
+
+val leader_changes : t -> int
+(** Changes of leadership identity (bootstrap election included). *)

@@ -217,8 +217,17 @@ let rec request ?on_fail ?deadline ?(trace = Telemetry.Trace.none) t ~cls k =
        the farm fail over — the same path as a crashed host. *)
     t.fenced_rejects <- t.fenced_rejects + 1;
     if Telemetry.Global.on () then Telemetry.Global.incr "control.fenced_rejects";
-    Telemetry.Trace.event tctx ~node ~kind:"control.fenced"
-      (Printf.sprintf "class %s: shard fenced, failing over" cls);
+    (* mirrored 1:1 with the counter, like the control plane's own
+       reason events; off-trace the line still reaches the recorder *)
+    (if Telemetry.Trace.live tctx then
+       Telemetry.Trace.event tctx ~node ~kind:"control.fenced_rejects"
+         (Printf.sprintf "class %s: shard fenced, failing over" cls)
+     else
+       Telemetry.Flight.note
+         ~at:(Simnet.Engine.now t.engine)
+         ~node
+         (Printf.sprintf "control.fenced_rejects class %s: shard fenced"
+            cls));
     match on_fail with
     | Some f -> Simnet.Engine.schedule t.engine ~delay:0L f
     | None -> Simnet.Engine.schedule t.engine ~delay:0L (fun () -> k Unavailable)

@@ -56,8 +56,8 @@ type t = Node.t = {
           this together. *)
   mutable serving_allowed : unit -> bool;
       (** control-plane fence: when it returns [false] the node
-          refuses to serve (counter [control.fenced_rejects], trace
-          event [control.fenced]) and requests take the [on_fail]
+          refuses to serve (counter and same-named trace event
+          [control.fenced_rejects]) and requests take the [on_fail]
           path like a crashed host, so the farm fails over. Wire to
           {!Control.member_ok}; defaults to always-true. *)
   origin : origin;

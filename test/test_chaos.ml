@@ -234,6 +234,28 @@ let test_control_invariants_hold () =
     (c.Dvm.Chaos.cn_invalidations > 0);
   check Alcotest.bool "restarted shard resynced from the log" true
     (c.Dvm.Chaos.cn_resyncs > 0);
+  (* the election machinery was genuinely attacked: the leader crash
+     and the leader partition each force at least one hand-off *)
+  check Alcotest.bool "single leader invariant sampled clean" true
+    w.Dvm.Chaos.w_single_leader;
+  check Alcotest.bool "snapshot catch-up = full-log replay" true
+    w.Dvm.Chaos.w_replay_ok;
+  check Alcotest.bool "leadership was re-elected after the crash" true
+    (c.Dvm.Chaos.cn_elections >= 2);
+  check Alcotest.bool "leadership changed identity" true
+    (c.Dvm.Chaos.cn_leader_changes >= 2);
+  check Alcotest.bool "the stale-term wake-up forced a stepdown" true
+    (c.Dvm.Chaos.cn_stepdowns >= 1);
+  check Alcotest.bool "an orphaned suffix was re-driven" true
+    (c.Dvm.Chaos.cn_redrives >= 1);
+  check Alcotest.bool "the log was compacted mid-run" true
+    (c.Dvm.Chaos.cn_compactions >= 1);
+  check Alcotest.bool "a laggard caught up from a snapshot" true
+    (c.Dvm.Chaos.cn_snapshot_installs >= 1);
+  check Alcotest.bool "never two leased leaders at a sampled instant" true
+    (c.Dvm.Chaos.cn_max_leased <= 1);
+  check Alcotest.int "terms never regressed" 0
+    c.Dvm.Chaos.cn_term_regressions;
   (* changed applets really serve two distinct digest sets over the
      run (v1 before the bump, v2 after); unchanged ones serve one *)
   List.iter

@@ -394,9 +394,11 @@ let test_l2_rewarm_respects_policy_version () =
 (* --- The control plane. --- *)
 
 let make_control ?(members = 3) ?(lease_us = 1_000_000L)
-    ?(hb_interval_us = 250_000L) ?(commit_margin_us = 100_000L) engine =
+    ?(hb_interval_us = 250_000L) ?(commit_margin_us = 100_000L)
+    ?(snapshot_threshold = 8) engine =
   let ctl =
-    Proxy.Control.create engine ~lease_us ~hb_interval_us ~commit_margin_us ()
+    Proxy.Control.create engine ~lease_us ~hb_interval_us ~commit_margin_us
+      ~snapshot_threshold ()
   in
   let applied = Array.make members [] in
   let rigs =
@@ -517,11 +519,142 @@ let test_control_restart_replays_log () =
   check Alcotest.bool "lease granted only after full replay" true
     (Proxy.Control.member_ok ctl mid)
 
+(* With elections in play [propose] returns [None] while no leader
+   holds a valid lease, and an entry accepted by a leader that dies
+   before replicating it is legitimately lost — so callers that need
+   an outcome re-propose. Both helpers re-propose the same content,
+   which is safe because entries are idempotent joins. *)
+let rec propose_retrying engine ctl entry =
+  match Proxy.Control.propose ctl entry with
+  | Some _ -> ()
+  | None ->
+    Simnet.Engine.schedule engine ~delay:200_000L (fun () ->
+        propose_retrying engine ctl entry)
+
+(* Re-propose [Set_version v] until it actually commits — immune to
+   leader deaths that lose an accepted-but-uncommitted bump. *)
+let rec ensure_version engine ctl v () =
+  if Proxy.Control.committed_version ctl < v then begin
+    ignore (Proxy.Control.propose ctl (Proxy.Control.Set_version v));
+    Simnet.Engine.schedule engine ~delay:300_000L (ensure_version engine ctl v)
+  end
+
+let test_control_leader_crash_hands_off () =
+  let engine = Simnet.Engine.create () in
+  let ctl, rigs, _ = make_control ~members:3 engine in
+  let host0, _, _, mid0 = rigs.(0) in
+  let _, l2to, l2from, _ = rigs.(2) in
+  (* member 2 is partitioned across the proposal so the all-acks arm
+     cannot fire — only the fence backstop could commit, and the
+     leader dies first *)
+  Proxy.Control.start ctl ~until:(Simnet.Engine.sec 12);
+  Simnet.Engine.schedule_at engine (Simnet.Engine.ms 1900) (fun () ->
+      Simnet.Link.set_partitioned l2to true;
+      Simnet.Link.set_partitioned l2from true);
+  (* the bump lands at the bootstrap leader (member 0) and replicates
+     to member 1 on the same tick... *)
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 2) (fun () ->
+      check (Alcotest.option Alcotest.int) "member 0 won the bootstrap"
+        (Some 0) (Proxy.Control.leader ctl);
+      propose_retrying engine ctl (Proxy.Control.Set_version 2);
+      propose_retrying engine ctl (Proxy.Control.Invalidate "a0/s"));
+  (* ...then the leader dies mid-commit: majority-acked, but neither
+     the all-acks arm nor the fence has fired *)
+  Simnet.Engine.schedule_at engine (Simnet.Engine.ms 2500) (fun () ->
+      check Alcotest.bool "entries not committed at the crash" false
+        (Proxy.Control.committed ctl ~index:1);
+      Simnet.Host.crash host0);
+  Simnet.Engine.schedule_at engine (Simnet.Engine.ms 2600) (fun () ->
+      Simnet.Link.set_partitioned l2to false;
+      Simnet.Link.set_partitioned l2from false);
+  (* member 1 campaigns once its election timeout expires, wins with
+     member 2's vote (the election restriction favors its longer log),
+     re-drives the orphaned suffix under its own term, and the fence
+     backstop commits it. *)
+  Simnet.Engine.schedule_at engine (Simnet.Engine.ms 5500) (fun () ->
+      check (Alcotest.option Alcotest.int) "member 1 took over" (Some 1)
+        (Proxy.Control.leader ctl);
+      check Alcotest.bool "re-driven suffix committed under the new term"
+        true
+        (Proxy.Control.committed ctl ~index:1);
+      check Alcotest.int "new version committed" 2
+        (Proxy.Control.committed_version ctl));
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 6) (fun () ->
+      Simnet.Host.restart host0;
+      Proxy.Control.mark_restarted ctl mid0);
+  Simnet.Engine.run ~until:(Simnet.Engine.sec 12) engine;
+  check Alcotest.bool "plane converged after the hand-off" true
+    (Proxy.Control.converged ctl);
+  check Alcotest.bool "a hand-off election happened" true
+    (Proxy.Control.elections ctl >= 2);
+  check Alcotest.bool "leadership changed identity" true
+    (Proxy.Control.leader_changes ctl >= 2);
+  check Alcotest.bool "the orphaned suffix was re-driven" true
+    (Proxy.Control.redrives ctl >= 1);
+  check Alcotest.string "old leader rejoined as a follower" "follower"
+    (Proxy.Control.member_role ctl mid0);
+  Array.iter
+    (fun (_, _, _, mid) ->
+      check Alcotest.int "every member at the committed version" 2
+        (Proxy.Control.member_version ctl mid);
+      check Alcotest.string "state digests identical to full replay"
+        (Proxy.Control.replay_digest ctl)
+        (Proxy.Control.member_state_digest ctl mid))
+    rigs
+
+let test_control_snapshot_catch_up () =
+  let engine = Simnet.Engine.create () in
+  let ctl, rigs, applied =
+    make_control ~members:3 ~snapshot_threshold:4 engine
+  in
+  let host2, _, _, mid2 = rigs.(2) in
+  Proxy.Control.start ctl ~until:(Simnet.Engine.sec 16);
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 1)
+    (ensure_version engine ctl 2);
+  (* a cycling invalidation stream: 12 entries over four distinct
+     keys, so the fold dedups aggressively *)
+  for i = 0 to 11 do
+    Simnet.Engine.schedule_at engine
+      (Simnet.Engine.ms (1500 + (500 * i)))
+      (fun () ->
+        propose_retrying engine ctl
+          (Proxy.Control.Invalidate (Printf.sprintf "a%d/s" (i mod 4))))
+  done;
+  (* member 2 is dead from 2 s to 10 s — across several folds *)
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 2) (fun () ->
+      Simnet.Host.crash host2);
+  Simnet.Engine.schedule_at engine (Simnet.Engine.sec 10) (fun () ->
+      Simnet.Host.restart host2;
+      applied.(2) <- [];
+      Proxy.Control.mark_restarted ctl mid2);
+  Simnet.Engine.run ~until:(Simnet.Engine.sec 16) engine;
+  check Alcotest.bool "plane converged" true (Proxy.Control.converged ctl);
+  check Alcotest.bool "the log was compacted" true
+    (Proxy.Control.compactions ctl > 0);
+  check Alcotest.bool "the rejoiner caught up from a snapshot" true
+    (Proxy.Control.member_snapshot_installs ctl mid2 >= 1);
+  check Alcotest.bool "the rejoiner is behind the leader's fold" true
+    (Proxy.Control.member_snapshot_index ctl mid2 > 0);
+  (* byte-identical to full-log replay — and to the member that DID
+     apply the whole history entry by entry *)
+  let _, _, _, mid0 = rigs.(0) in
+  check Alcotest.string "snapshot catch-up state = full-log replay"
+    (Proxy.Control.replay_digest ctl)
+    (Proxy.Control.member_state_digest ctl mid2);
+  check Alcotest.string "snapshot catch-up state = entry-by-entry state"
+    (Proxy.Control.member_state_digest ctl mid0)
+    (Proxy.Control.member_state_digest ctl mid2);
+  (* the catch-up stream the rejoiner re-applied is the *fold*, not
+     history: strictly fewer applies than committed entries *)
+  check Alcotest.bool "caught up from the fold, not from history" true
+    (List.length applied.(2) < Proxy.Control.log_length ctl)
+
 (* Convergence property: whatever partition windows the seed throws at
    the members' control links, once every window has healed the plane
-   converges — every member applies the full log and agrees on one
-   version. Windows all end by 8 s; the run goes to 20 s, leaving
-   well over a lease + heartbeat interval of healed time. *)
+   converges — every member applies the authoritative log and agrees
+   on the committed version, which reaches every bump that was driven
+   to commitment. Windows all end by 8 s; the run goes to 20 s,
+   leaving well over an election timeout + lease of healed time. *)
 let prop_control_converges_after_partitions =
   let gen =
     QCheck.Gen.(
@@ -565,19 +698,112 @@ let prop_control_converges_after_partitions =
         Simnet.Engine.schedule_at engine
           (Simnet.Engine.ms (1000 * b))
           (fun () ->
-            ignore (Proxy.Control.propose ctl (Proxy.Control.Set_version (b + 1)));
-            ignore
-              (Proxy.Control.propose ctl
-                 (Proxy.Control.Invalidate (Printf.sprintf "a%d/s" b))))
+            ensure_version engine ctl (b + 1) ();
+            propose_retrying engine ctl
+              (Proxy.Control.Invalidate (Printf.sprintf "a%d/s" b)))
       done;
       Simnet.Engine.run ~until:(Simnet.Engine.sec 20) engine;
+      let target = bumps + 1 in
       Proxy.Control.converged ctl
+      && Proxy.Control.committed_version ctl = target
       && Array.for_all
            (fun (_, _, _, mid) ->
-             Proxy.Control.member_version ctl mid
-             = Proxy.Control.current_version ctl)
-           rigs
-      && Proxy.Control.committed_version ctl = Proxy.Control.current_version ctl)
+             Proxy.Control.member_version ctl mid = target
+             && String.equal
+                  (Proxy.Control.member_state_digest ctl mid)
+                  (Proxy.Control.replay_digest ctl))
+           rigs)
+
+(* Election safety: across arbitrary crash/partition/heal schedules,
+   never two valid leadership leases at one sampled instant, and
+   per-member terms never regress — not even transiently, not even
+   while nothing can be elected at all. Sampled every 100 ms of
+   virtual time for 15 s. *)
+let prop_control_election_safety =
+  let gen =
+    QCheck.Gen.(
+      let* members = int_range 3 5 in
+      let* crashes =
+        list_size (int_range 0 2)
+          (triple
+             (int_range 0 (members - 1))
+             (int_range 500 8_000) (int_range 300 4_000))
+      in
+      let* windows =
+        list_size (int_range 0 5)
+          (triple (int_range 0 (members - 1)) (int_range 0 9_000)
+             (int_range 1 3_000))
+      in
+      return (members, crashes, windows))
+  in
+  let print (members, crashes, windows) =
+    Printf.sprintf "members=%d crashes=[%s] windows=[%s]" members
+      (String.concat ";"
+         (List.map
+            (fun (m, at, len) -> Printf.sprintf "m%d@%dms+%dms" m at len)
+            crashes))
+      (String.concat ";"
+         (List.map
+            (fun (m, at, len) -> Printf.sprintf "m%d@%dms+%dms" m at len)
+            windows))
+  in
+  QCheck.Test.make ~count:60
+    ~name:"election safety: at most one leased leader per instant, terms \
+           monotone"
+    (QCheck.make gen ~print)
+    (fun (members, crashes, windows) ->
+      let engine = Simnet.Engine.create () in
+      let ctl, rigs, _ = make_control ~members engine in
+      Proxy.Control.start ctl ~until:(Simnet.Engine.sec 15);
+      (* at most one crash window per member, so a crash never lands
+         on an already-down host *)
+      let crashed = Array.make members false in
+      List.iter
+        (fun (m, at_ms, len_ms) ->
+          if not crashed.(m) then begin
+            crashed.(m) <- true;
+            let host, _, _, mid = rigs.(m) in
+            Simnet.Engine.schedule_at engine (Simnet.Engine.ms at_ms)
+              (fun () -> Simnet.Host.crash host);
+            Simnet.Engine.schedule_at engine
+              (Simnet.Engine.ms (at_ms + len_ms))
+              (fun () ->
+                Simnet.Host.restart host;
+                Proxy.Control.mark_restarted ctl mid)
+          end)
+        crashes;
+      List.iter
+        (fun (m, at_ms, len_ms) ->
+          let _, lto, lfrom, _ = rigs.(m) in
+          Simnet.Engine.schedule_at engine (Simnet.Engine.ms at_ms) (fun () ->
+              Simnet.Link.set_partitioned lto true;
+              Simnet.Link.set_partitioned lfrom true);
+          Simnet.Engine.schedule_at engine
+            (Simnet.Engine.ms (at_ms + len_ms))
+            (fun () ->
+              Simnet.Link.set_partitioned lto false;
+              Simnet.Link.set_partitioned lfrom false))
+        windows;
+      Simnet.Engine.schedule_at engine (Simnet.Engine.sec 1) (fun () ->
+          propose_retrying engine ctl (Proxy.Control.Set_version 2));
+      let violations = ref 0 in
+      let last_terms = Array.make members 0 in
+      let rec probe at =
+        if Int64.compare at (Simnet.Engine.sec 15) <= 0 then
+          Simnet.Engine.schedule_at engine at (fun () ->
+              if List.length (Proxy.Control.leased_leaders ctl) > 1 then
+                incr violations;
+              Array.iteri
+                (fun i (_, _, _, mid) ->
+                  let tm = Proxy.Control.member_term ctl mid in
+                  if tm < last_terms.(i) then incr violations;
+                  last_terms.(i) <- tm)
+                rigs;
+              probe (Int64.add at 100_000L))
+      in
+      probe 0L;
+      Simnet.Engine.run ~until:(Simnet.Engine.sec 15) engine;
+      !violations = 0)
 
 let () =
   Alcotest.run "farm"
@@ -628,6 +854,11 @@ let () =
             test_control_partition_fences_then_recovers;
           Alcotest.test_case "restart replays the log" `Quick
             test_control_restart_replays_log;
+          Alcotest.test_case "leader crash hands off" `Quick
+            test_control_leader_crash_hands_off;
+          Alcotest.test_case "snapshot catch-up" `Quick
+            test_control_snapshot_catch_up;
           QCheck_alcotest.to_alcotest prop_control_converges_after_partitions;
+          QCheck_alcotest.to_alcotest prop_control_election_safety;
         ] );
     ]

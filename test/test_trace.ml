@@ -298,6 +298,72 @@ let test_acceptance_traces () =
   check_trace "admission.shed_deadline";
   check_trace "client.serve_stale"
 
+(* Control-plane decisions mirror into reason events 1:1 under the
+   same kind names — election, lease, re-drive and snapshot machinery
+   included. The config matches the chaos suite's small control run,
+   which provably exercises a leader crash, a stale-term wake-up and a
+   snapshot catch-up. *)
+let control_pairs =
+  [
+    "control.term_bump";
+    "control.stepdown";
+    "control.vote";
+    "control.election_win";
+    "control.redrive";
+    "control.lease_grant";
+    "control.lease_expire";
+    "control.snapshot_compact";
+    "control.snapshot_install";
+    "control.resync";
+    "control.fenced_rejects";
+  ]
+
+let test_control_completeness () =
+  Telemetry.reset Telemetry.default;
+  Telemetry.enable Telemetry.default;
+  let o =
+    Fun.protect
+      ~finally:(fun () -> Telemetry.disable Telemetry.default)
+      (fun () ->
+        Dvm.Chaos.run_control
+          {
+            Dvm.Chaos.default_control_config with
+            Dvm.Chaos.cc_clients = 12;
+            cc_duration_s = 18;
+            cc_applets = 6;
+            cc_bump_at_s = 7;
+            cc_partitions = 1;
+            cc_partition_len_s = 2;
+            cc_trace = true;
+          })
+  in
+  (* the run exercised what the mirror claims to cover *)
+  check Alcotest.bool "elections happened" true (o.Dvm.Chaos.cn_elections >= 2);
+  check Alcotest.bool "suffix re-driven" true (o.Dvm.Chaos.cn_redrives >= 1);
+  check Alcotest.bool "snapshot installed" true
+    (o.Dvm.Chaos.cn_snapshot_installs >= 1);
+  check Alcotest.int "no trace records dropped" 0 (Trace.dropped ());
+  let kinds = Trace.event_kind_counts () in
+  List.iter
+    (fun kind ->
+      let ev = Option.value ~default:0 (List.assoc_opt kind kinds) in
+      let c =
+        Int64.to_int (Telemetry.counter_value Telemetry.default kind)
+      in
+      check Alcotest.bool (kind ^ " occurred") true (c > 0);
+      check Alcotest.int (kind ^ " events = counter") c ev)
+    control_pairs;
+  (* all of them hang off the control.plane root span *)
+  match Trace.find_trace_with ~kind:"control.election_win" with
+  | None -> Alcotest.fail "no trace contains the election"
+  | Some tr ->
+    check Alcotest.bool "control.plane span present" true
+      (List.exists
+         (fun s ->
+           String.equal s.Trace.s_name "control.plane"
+           && String.equal s.Trace.s_node "control")
+         (Trace.spans_of tr))
+
 let test_determinism () =
   let snapshot () =
     ignore (run_traced_chaos ());
@@ -339,6 +405,8 @@ let () =
       ( "chaos",
         [
           Alcotest.test_case "decision completeness" `Quick test_completeness;
+          Alcotest.test_case "control decision completeness" `Quick
+            test_control_completeness;
           Alcotest.test_case "acceptance traces" `Quick test_acceptance_traces;
           Alcotest.test_case "seeded determinism" `Quick test_determinism;
         ] );
