@@ -635,16 +635,16 @@ let run_control (cfg : control_config) : control_outcome =
      state. *)
   let rec propose_until entry k =
     match Proxy.Control.propose ctl entry with
-    | Some idx -> k idx
+    | Some id -> k id
     | None ->
       Simnet.Engine.schedule engine ~delay:200_000L (fun () ->
           propose_until entry k)
   in
-  let bump_index = ref 0 in
+  let bump_id = ref 0 in
   Simnet.Engine.schedule_at engine bump_at (fun () ->
       Simnet.Engine.record engine (Printf.sprintf "propose set-version %d" v2);
-      propose_until (Proxy.Control.Set_version v2) (fun idx ->
-          bump_index := idx);
+      propose_until (Proxy.Control.Set_version v2) (fun id ->
+          bump_id := id);
       List.iter
         (fun k ->
           propose_until
@@ -672,7 +672,9 @@ let run_control (cfg : control_config) : control_outcome =
      proposal is still working toward commit goes down mid-commit, and
      the new leader must re-drive the uncommitted suffix under its own
      term. The victim restarts cold (L1 gone, base policy) and rejoins
-     through the snapshot + suffix path. *)
+     through the snapshot + suffix path: by the time it returns the
+     survivors' churn commits have carried the snapshot fold past its
+     crash position. *)
   if cfg.cc_leader_crash then begin
     let crash_at = Int64.add bump_at 200_000L in
     let down_for =
@@ -848,7 +850,7 @@ let run_control (cfg : control_config) : control_outcome =
     cn_base_version = v1;
     cn_new_version = v2;
     cn_commit_us =
-      Option.value ~default:0L (Proxy.Control.commit_us ctl ~index:!bump_index);
+      Option.value ~default:0L (Proxy.Control.commit_us ctl ~id:!bump_id);
     cn_revoked_serves = !revoked;
     cn_inflight_exempt = !exempt;
     cn_fence_rejects =

@@ -52,9 +52,10 @@
 
    Hand-off. A new leader re-drives the uncommitted suffix of its log
    under its own term — re-stamped, re-timed, fresh fence backstops —
-   and followers adopt the new stamps in place (same content) or drop
-   back to their committed fold when a dead leader left them a
-   divergent suffix.
+   and followers adopt the new stamps in place (same content) or,
+   when a dead leader left them a divergent suffix, truncate from the
+   first conflicting index up, keeping the agreed prefix (committed
+   entries included, as Raft does).
 
    Compaction. Once the committed, locally-applied prefix grows past
    [snapshot_threshold] live entries, a replica folds it into a
@@ -80,6 +81,7 @@ type role = Follower | Candidate | Leader
 
 type logrec = {
   l_index : int; (* 1-based, contiguous above the snapshot *)
+  l_id : int; (* mint id: unique per proposal, kept across re-drives *)
   mutable l_term : int;
   l_entry : entry;
   mutable l_proposed_at : int64;
@@ -176,9 +178,14 @@ type t = {
   base_version : int;
   mutable members : member array;
   mutable next_index : int; (* highest log index ever minted *)
+  mutable next_id : int; (* last proposal id minted; never reused *)
   mutable version : int; (* latest *proposed* version *)
   mutable committed_version : int; (* highest committed Set_version *)
-  commits_at : (int, int64) Hashtbl.t; (* index -> commit time *)
+  (* Keyed by proposal id, NOT log index: a dead leader's uncommitted
+     indices can be reused under a later term, and an index-keyed
+     table would let a caller's stale handle flip committed for a
+     different entry that later lands at the same index. *)
+  commits_at : (int, int64) Hashtbl.t; (* proposal id -> commit time *)
   mutable running : bool;
   mutable until : int64;
   mutable trace_ctx : Telemetry.Trace.ctx;
@@ -213,6 +220,7 @@ let create engine ?(lease_us = 1_000_000L) ?(hb_interval_us = 250_000L)
     base_version = initial_version;
     members = [||];
     next_index = 0;
+    next_id = 0;
     version = initial_version;
     committed_version = initial_version;
     commits_at = Hashtbl.create 64;
@@ -475,13 +483,18 @@ let prev_ok p ~prev_index ~prev_term =
     | Some x -> x.l_term = prev_term
     | None -> false
 
-(* Drop the uncommitted suffix a dead leader left behind; applied
+(* Drop the divergent suffix a dead leader left behind: only the
+   entries from the first conflicting index up. The agreed prefix —
+   committed-but-not-yet-folded entries the member already acked
+   included — is kept; wiping it back to the snapshot would open a
+   window in which too few members hold a committed entry for the
+   election restriction to guarantee the next leader has it. Applied
    effects stay (they are idempotent joins) and the next heartbeat
-   re-ships the authoritative suffix from the fold. *)
-let reset_to_fold p =
-  p.m_log <- [];
-  p.m_applied <- p.m_snap.s_index;
-  p.m_commit_index <- min p.m_commit_index p.m_snap.s_index;
+   re-ships the authoritative suffix. *)
+let truncate_from p idx =
+  p.m_log <- List.filter (fun x -> x.l_index < idx) p.m_log;
+  p.m_applied <- min p.m_applied (last_index p);
+  p.m_commit_index <- min p.m_commit_index p.m_applied;
   refresh_state p
 
 (* Accept one shipped entry; false aborts the rest of the batch (the
@@ -497,8 +510,13 @@ let accept_entry t p r =
         true
       end
       else begin
-        reset_to_fold p;
-        false
+        (* conflict: truncate from here up (the prefix below agrees)
+           and take the leader's record in its place *)
+        truncate_from p r.l_index;
+        p.m_log <- r :: p.m_log;
+        apply_entry t p r.l_entry;
+        p.m_applied <- r.l_index;
+        true
       end
     | None ->
       if r.l_index = last_index p + 1 then begin
@@ -509,16 +527,33 @@ let accept_entry t p r =
       end
       else false
 
+(* Walk the contiguous committed prefix of [m]'s log: an index counts
+   as committed iff the record holding it committed (by id — a reused
+   index under a later term is a different record). A leader calls
+   this both when a fresh entry commits and on taking office: its log
+   can hold entries an earlier leader already committed, and walking
+   the prefix at election time lets its fold catch up — and spares
+   those entries a pointless re-drive — without waiting for new
+   traffic. *)
+let advance_commit_prefix t m =
+  let committed_at idx =
+    idx <= m.m_snap.s_index
+    || (match List.find_opt (fun x -> x.l_index = idx) m.m_log with
+       | Some x -> Hashtbl.mem t.commits_at x.l_id
+       | None -> false)
+  in
+  while committed_at (m.m_commit_index + 1) do
+    m.m_commit_index <- m.m_commit_index + 1
+  done
+
 let commit_rec t m r ~now =
-  if not (Hashtbl.mem t.commits_at r.l_index) then begin
-    Hashtbl.replace t.commits_at r.l_index now;
+  if not (Hashtbl.mem t.commits_at r.l_id) then begin
+    Hashtbl.replace t.commits_at r.l_id now;
     t.commits <- t.commits + 1;
     (match r.l_entry with
     | Set_version v -> if v > t.committed_version then t.committed_version <- v
     | Invalidate _ -> ());
-    while Hashtbl.mem t.commits_at (m.m_commit_index + 1) do
-      m.m_commit_index <- m.m_commit_index + 1
-    done;
+    advance_commit_prefix t m;
     Telemetry.Global.incr "control.commits";
     maybe_compact t m
   end
@@ -530,7 +565,7 @@ let advance_commits t m ~now =
   let maj = majority t in
   List.iter
     (fun r ->
-      if not (Hashtbl.mem t.commits_at r.l_index) then begin
+      if not (Hashtbl.mem t.commits_at r.l_id) then begin
         let acked = ref 1 and all = ref true in
         Array.iter
           (fun p ->
@@ -542,6 +577,14 @@ let advance_commits t m ~now =
       end)
     m.m_log
 
+(* Sentinel in [m_acked_send] for a peer that has not acked this
+   leadership at all. It must be distinguishable from a real ack (the
+   clock starts at 0): a zero-initialized slot would let a fresh
+   leader derive a "valid" lease from zero acks whenever now <
+   lease_us, and with a nondefault election timeout shorter than the
+   lease that fabricated lease could overlap a rival's. *)
+let never_acked = -1L
+
 let recompute_lease t m =
   let n = Array.length t.members in
   if Array.length m.m_acked_send = n then begin
@@ -551,9 +594,12 @@ let recompute_lease t m =
     in
     Array.sort (fun a b -> Int64.compare b a) vals;
     let kth = vals.(majority t - 1) in
-    let cand = Int64.add kth t.lease_us in
-    if Int64.compare cand m.m_ldr_lease_until > 0 then
-      m.m_ldr_lease_until <- cand
+    (* the lease only ever derives from a real majority of acks *)
+    if Int64.compare kth never_acked > 0 then begin
+      let cand = Int64.add kth t.lease_us in
+      if Int64.compare cand m.m_ldr_lease_until > 0 then
+        m.m_ldr_lease_until <- cand
+    end
   end
 
 (* --- the message loop --- *)
@@ -654,7 +700,11 @@ and on_append t p
       let ok = ref true in
       List.iter (fun r -> if !ok then ok := accept_entry t p r) a_entries
     end
-    else reset_to_fold p;
+    else
+      (* the anchor disagrees: drop the suffix from the anchor up; the
+         ack reports the clamped position and the leader re-ships from
+         the agreed prefix *)
+      truncate_from p a_prev_index;
     (* A suffix above the leader's last entry, stamped by an older
        term, came from a dead leader and is lost — this leader never
        had it. Drop it or it haunts the state digest forever. *)
@@ -747,7 +797,7 @@ and become_leader t m ~now =
   m.m_role <- Leader;
   let n = Array.length t.members in
   m.m_match <- Array.make n 0;
-  m.m_acked_send <- Array.make n 0L;
+  m.m_acked_send <- Array.make n never_acked;
   m.m_ldr_lease_until <- 0L;
   t.elections <- t.elections + 1;
   if t.last_leader <> Some m.m_id then begin
@@ -757,6 +807,11 @@ and become_leader t m ~now =
   note t m "control.election_win"
     (Printf.sprintf "term %d with %d votes" m.m_term
        (List.length m.m_votes_got));
+  (* Entries a fallen leader already committed need no re-drive; walk
+     the committed prefix first so the fold can catch up and only the
+     genuinely uncommitted suffix is re-stamped. *)
+  advance_commit_prefix t m;
+  maybe_compact t m;
   (* Re-drive the uncommitted suffix under the new term: fresh stamp,
      fresh propose time, fresh fence backstop. *)
   List.iter
@@ -813,7 +868,7 @@ and backstop_check t m r ~term =
   let now = Simnet.Engine.now t.engine in
   if
     t.running && m.m_role = Leader && m.m_term = term && r.l_term = term
-    && not (Hashtbl.mem t.commits_at r.l_index)
+    && not (Hashtbl.mem t.commits_at r.l_id)
   then
     if leased t m ~now then begin
       r.l_fence_ok <- true;
@@ -877,9 +932,11 @@ let propose t e =
   | None -> None
   | Some m ->
     let idx = last_index m + 1 in
+    t.next_id <- t.next_id + 1;
     let r =
       {
         l_index = idx;
+        l_id = t.next_id;
         l_term = m.m_term;
         l_entry = e;
         l_proposed_at = now;
@@ -899,7 +956,7 @@ let propose t e =
     Telemetry.Global.incr "control.proposals";
     arm_backstop t m r;
     advance_commits t m ~now;
-    Some idx
+    Some r.l_id
 
 let member_ok t id =
   let m = member t id in
@@ -933,8 +990,8 @@ let mark_restarted t id =
   m.m_needs_resync <- t.next_index > 0;
   Telemetry.Global.incr "control.restarts"
 
-let committed t ~index = Hashtbl.mem t.commits_at index
-let commit_us t ~index = Hashtbl.find_opt t.commits_at index
+let committed t ~id = Hashtbl.mem t.commits_at id
+let commit_us t ~id = Hashtbl.find_opt t.commits_at id
 let committed_version t = t.committed_version
 let current_version t = t.version
 let log_length t = t.next_index

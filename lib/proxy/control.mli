@@ -101,15 +101,23 @@ val stop : t -> unit
 
 val propose : t -> entry -> int option
 (** Append an entry at the current leased leader and return its
-    (1-based) log index, or [None] when no member holds a valid
-    leadership lease (mid-election, leader partitioned) — callers
-    retry. Indices continue from the leader's own last entry, so an
-    index minted by a dead leader for an uncommitted entry may be
-    reused under a later term; committed indices are never reused.
-    Watch commitment with {!committed} / {!commit_us}. *)
+    proposal id — unique, monotone, never reused — or [None] when no
+    member holds a valid leadership lease (mid-election, leader
+    partitioned) — callers retry. Log {e indices} continue from the
+    leader's own last entry, so an index minted by a dead leader for
+    an uncommitted entry may be reused under a later term; commitment
+    is therefore tracked by proposal id, which follows the entry
+    across leader hand-off re-drives and can never alias a different
+    entry that later commits at a reused index. Watch commitment with
+    {!committed} / {!commit_us}. *)
 
-val committed : t -> index:int -> bool
-val commit_us : t -> index:int -> Simnet.Engine.time option
+val committed : t -> id:int -> bool
+(** Has the proposal with this id committed? A re-driven proposal
+    (same entry, re-stamped under a new leader's term) keeps its id;
+    a lost proposal's id never reports committed, even after a
+    different entry commits at the same log index. *)
+
+val commit_us : t -> id:int -> Simnet.Engine.time option
 
 val committed_version : t -> int
 (** Highest [Set_version] that has committed — the version the

@@ -447,7 +447,7 @@ let test_control_replicates_and_commits () =
         (List.rev_map Proxy.Control.entry_to_string applied.(i)))
     rigs;
   check Alcotest.bool "all-acks commit beats the lease backstop" true
-    (match Proxy.Control.commit_us ctl ~index:1 with
+    (match Proxy.Control.commit_us ctl ~id:1 with
     | Some at -> at < Simnet.Engine.sec 3
     | None -> false);
   check Alcotest.int "committed version follows" 2
@@ -472,13 +472,13 @@ let test_control_partition_fences_then_recovers () =
         (Proxy.Control.member_version ctl mid < 2);
       check Alcotest.bool "bump not committed while a lease could be live"
         false
-        (Proxy.Control.committed ctl ~index:1));
+        (Proxy.Control.committed ctl ~id:1));
   (* the lease backstop: proposed at 3 s + 1 s lease + 100 ms margin.
      The entry commits then even though the partitioned member never
      acked — it is fenced, not waited on. *)
   Simnet.Engine.schedule_at engine (Simnet.Engine.ms 4200) (fun () ->
       check Alcotest.bool "bump committed at the lease backstop" true
-        (Proxy.Control.committed ctl ~index:1));
+        (Proxy.Control.committed ctl ~id:1));
   Simnet.Engine.schedule_at engine (Simnet.Engine.sec 6) (fun () ->
       Simnet.Link.set_partitioned lto false;
       Simnet.Link.set_partitioned lfrom false);
@@ -562,7 +562,7 @@ let test_control_leader_crash_hands_off () =
      the all-acks arm nor the fence has fired *)
   Simnet.Engine.schedule_at engine (Simnet.Engine.ms 2500) (fun () ->
       check Alcotest.bool "entries not committed at the crash" false
-        (Proxy.Control.committed ctl ~index:1);
+        (Proxy.Control.committed ctl ~id:1);
       Simnet.Host.crash host0);
   Simnet.Engine.schedule_at engine (Simnet.Engine.ms 2600) (fun () ->
       Simnet.Link.set_partitioned l2to false;
@@ -576,7 +576,7 @@ let test_control_leader_crash_hands_off () =
         (Proxy.Control.leader ctl);
       check Alcotest.bool "re-driven suffix committed under the new term"
         true
-        (Proxy.Control.committed ctl ~index:1);
+        (Proxy.Control.committed ctl ~id:1);
       check Alcotest.int "new version committed" 2
         (Proxy.Control.committed_version ctl));
   Simnet.Engine.schedule_at engine (Simnet.Engine.sec 6) (fun () ->
